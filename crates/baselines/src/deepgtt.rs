@@ -1,0 +1,239 @@
+//! DeepGTT (Li et al., WWW 2019): a travel-time-specific deep model.
+//!
+//! The original learns a travel-time *distribution* from per-edge speeds
+//! produced by a deep generative model. This reproduction keeps its defining
+//! structure — a per-edge speed network conditioned on departure time, with
+//! path travel time as the sum of `length / speed` — and trains the mean
+//! prediction with MSE. As in the paper, the architecture is inherently
+//! travel-time shaped, which is exactly why it transfers poorly to ranking
+//! (Tables III and X).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use wsccl_nn::layers::Linear;
+use wsccl_nn::optim::Adam;
+use wsccl_nn::{Graph, NodeId, Parameters, Tensor};
+use wsccl_roadnet::{Path, RoadNetwork};
+use wsccl_traffic::SimTime;
+
+use crate::common::{time_features, EdgeFeaturizer, FnRepresenter, TIME_DIM};
+use crate::pathrank::RegressionExample;
+
+/// DeepGTT configuration.
+pub struct DeepGttConfig {
+    pub hidden: usize,
+    pub epochs: usize,
+    pub lr: f64,
+    pub seed: u64,
+}
+
+impl Default for DeepGttConfig {
+    fn default() -> Self {
+        Self { hidden: 24, epochs: 6, lr: 3e-3, seed: 0 }
+    }
+}
+
+/// Trained DeepGTT model.
+pub struct DeepGtt {
+    params: Parameters,
+    l1: Linear,
+    speed_head: Linear,
+    ef: EdgeFeaturizer,
+    hidden: usize,
+    /// Target scale (seconds) used to normalize the MSE.
+    target_scale: f64,
+}
+
+impl DeepGtt {
+    /// Per-edge hidden state and positive speed (m/s).
+    fn edge_forward(
+        &self,
+        g: &mut Graph<'_>,
+        feat: &[f64],
+        tf: &[f64],
+    ) -> (NodeId, NodeId) {
+        let mut x = feat.to_vec();
+        x.extend_from_slice(tf);
+        let xn = g.input(Tensor::row(x));
+        let h_pre = self.l1.forward(g, xn);
+        let h = g.relu(h_pre);
+        let raw = self.speed_head.forward(g, h);
+        // softplus(raw) + 1 m/s floor, expressed as −ln σ(−raw) + 1.
+        let neg = g.scale(raw, -1.0);
+        let sig = g.sigmoid(neg);
+        let lns = g.ln(sig);
+        let sp = g.scale(lns, -1.0);
+        let one = g.input(Tensor::scalar(1.0));
+        let speed = g.add(sp, one);
+        (h, speed)
+    }
+
+    /// Predicted travel time node for a temporal path.
+    fn path_forward(&self, g: &mut Graph<'_>, path: &Path, lengths: &[f64], tf: &[f64]) -> NodeId {
+        let mut terms = Vec::with_capacity(path.len());
+        for (k, &e) in path.edges().iter().enumerate() {
+            let (_, speed) = self.edge_forward(g, &self.ef.edge(e).to_vec(), tf);
+            terms.push(self.edge_time(g, speed, lengths[k]));
+        }
+        let stacked = g.concat_rows(&terms);
+        g.sum_all(stacked)
+    }
+
+    /// Per-edge time from speed. For `v > 0`, `σ(−ln v) = 1/(1+v)`, so
+    /// `t_e = 2L·σ(−ln v) = 2L/(1+v)` — a smooth, strictly decreasing pace
+    /// surrogate of `L/v` that the speed head learns to calibrate (exact
+    /// division is outside the autodiff op set; the surrogate preserves
+    /// monotonicity and positivity, which is all the regression needs).
+    fn edge_time(&self, g: &mut Graph<'_>, speed: NodeId, length: f64) -> NodeId {
+        let lnv = g.ln(speed);
+        let neg = g.scale(lnv, -1.0);
+        let pace = g.sigmoid(neg); // = 1/(1+v)
+        g.scale(pace, 2.0 * length)
+    }
+
+    /// Train DeepGTT on regression examples.
+    pub fn train(net: &RoadNetwork, examples: &[RegressionExample], cfg: &DeepGttConfig) -> Self {
+        assert!(!examples.is_empty(), "DeepGTT needs labeled examples");
+        let ef = EdgeFeaturizer::new(net);
+        let mut params = Parameters::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD6);
+        let l1 =
+            Linear::new(&mut params, &mut rng, "gtt.l1", EdgeFeaturizer::DIM + TIME_DIM, cfg.hidden);
+        let speed_head = Linear::new(&mut params, &mut rng, "gtt.speed", cfg.hidden, 1);
+        let target_scale = (examples.iter().map(|e| e.target.abs()).sum::<f64>()
+            / examples.len() as f64)
+            .max(1e-6);
+        let mut model = Self { params, l1, speed_head, ef, hidden: cfg.hidden, target_scale };
+        let mut opt = Adam::new(cfg.lr);
+
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let ex = &examples[i];
+                let lengths: Vec<f64> =
+                    ex.path.edges().iter().map(|&e| net.edge(e).length).collect();
+                let tf = time_features(ex.departure);
+                let mut params = std::mem::take(&mut model.params);
+                params.zero_grads();
+                {
+                    let mut g = Graph::new(&mut params);
+                    let pred = model.path_forward(&mut g, &ex.path, &lengths, &tf);
+                    let scaled = g.scale(pred, 1.0 / model.target_scale);
+                    let target = Tensor::scalar(ex.target / model.target_scale);
+                    let loss = g.mse_to_const(scaled, &target);
+                    g.backward(loss);
+                }
+                params.clip_grad_norm(5.0);
+                opt.step(&mut params);
+                model.params = params;
+            }
+        }
+        model
+    }
+
+    /// Predict travel time (seconds, or the trained target's unit).
+    pub fn predict(&mut self, net: &RoadNetwork, path: &Path, departure: SimTime) -> f64 {
+        let lengths: Vec<f64> = path.edges().iter().map(|&e| net.edge(e).length).collect();
+        let tf = time_features(departure);
+        let mut params = std::mem::take(&mut self.params);
+        let v = {
+            let mut g = Graph::new(&mut params);
+            let pred = self.path_forward(&mut g, path, &lengths, &tf);
+            g.value(pred).item()
+        };
+        self.params = params;
+        v
+    }
+
+    /// Freeze into a representer exposing the mean per-edge hidden state.
+    pub fn into_representer(mut self, name: impl Into<String>) -> FnRepresenter {
+        let dim = self.hidden;
+        FnRepresenter::new(name, dim, move |_net, path, dep| {
+            let tf = time_features(dep);
+            let mut params = std::mem::take(&mut self.params);
+            let v = {
+                let mut g = Graph::new(&mut params);
+                let hs: Vec<NodeId> = path
+                    .edges()
+                    .iter()
+                    .map(|&e| self.edge_forward(&mut g, &self.ef.edge(e).to_vec(), &tf).0)
+                    .collect();
+                let stacked = g.concat_rows(&hs);
+                let mean = g.mean_rows(stacked);
+                g.value(mean).data().to_vec()
+            };
+            self.params = params;
+            v
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsccl_datagen::{CityDataset, DatasetConfig};
+    use wsccl_roadnet::CityProfile;
+
+    #[test]
+    fn learns_travel_time_better_than_mean() {
+        let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 15));
+        let examples: Vec<RegressionExample> = ds
+            .tte
+            .iter()
+            .take(30)
+            .map(|t| RegressionExample {
+                path: t.path.clone(),
+                departure: t.departure,
+                target: t.travel_time,
+            })
+            .collect();
+        let mut model = DeepGtt::train(
+            &ds.net,
+            &examples,
+            &DeepGttConfig { epochs: 10, ..Default::default() },
+        );
+        let mae: f64 = examples
+            .iter()
+            .map(|e| (model.predict(&ds.net, &e.path, e.departure) - e.target).abs())
+            .sum::<f64>()
+            / examples.len() as f64;
+        let mean: f64 = examples.iter().map(|e| e.target).sum::<f64>() / examples.len() as f64;
+        let mae_mean: f64 =
+            examples.iter().map(|e| (e.target - mean).abs()).sum::<f64>() / examples.len() as f64;
+        assert!(mae < mae_mean, "DeepGTT {mae:.1} should beat mean {mae_mean:.1}");
+    }
+
+    #[test]
+    fn predictions_scale_with_path_length() {
+        let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 15));
+        let examples: Vec<RegressionExample> = ds
+            .tte
+            .iter()
+            .take(20)
+            .map(|t| RegressionExample {
+                path: t.path.clone(),
+                departure: t.departure,
+                target: t.travel_time,
+            })
+            .collect();
+        let mut model =
+            DeepGtt::train(&ds.net, &examples, &DeepGttConfig { epochs: 4, ..Default::default() });
+        // Longer paths should get longer predictions, on average.
+        let mut short = (0.0, 0usize);
+        let mut long = (0.0, 0usize);
+        for e in &examples {
+            let p = model.predict(&ds.net, &e.path, e.departure);
+            if e.path.len() <= 10 {
+                short = (short.0 + p, short.1 + 1);
+            } else {
+                long = (long.0 + p, long.1 + 1);
+            }
+        }
+        if short.1 > 0 && long.1 > 0 {
+            assert!(long.0 / long.1 as f64 > short.0 / short.1 as f64);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Deep Graph InfoMax (Velickovic et al., ICLR 2019).
+//!
+//! A one-layer mean-aggregation graph encoder produces node embeddings; a
+//! bilinear discriminator is trained to tell true embeddings from corrupted
+//! ones (row-shuffled features) relative to the sigmoid mean summary vector.
+//! Path representation = mean over edges of `[z_from, z_to]`.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use wsccl_nn::layers::Linear;
+use wsccl_nn::optim::Adam;
+use wsccl_nn::{Graph, NodeId, Parameters, Tensor};
+use wsccl_roadnet::RoadNetwork;
+
+use crate::common::{EdgeFeaturizer, FnRepresenter};
+
+/// Raw node features: mean of incident edge features plus normalized degree.
+pub(crate) fn node_features(net: &RoadNetwork) -> Tensor {
+    let ef = EdgeFeaturizer::new(net);
+    let dim = ef.dim() + 1;
+    let n = net.num_nodes();
+    let mut x = Tensor::zeros(n, dim);
+    for v in 0..n {
+        let node = wsccl_roadnet::NodeId(v as u32);
+        let incident: Vec<_> =
+            net.out_edges(node).iter().chain(net.in_edges(node)).copied().collect();
+        if !incident.is_empty() {
+            for &e in &incident {
+                for (c, f) in ef.edge(e).iter().enumerate() {
+                    x.set(v, c, x.get(v, c) + f / incident.len() as f64);
+                }
+            }
+        }
+        x.set(v, dim - 1, (incident.len() as f64 / 8.0).min(2.0));
+    }
+    x
+}
+
+/// Row-normalized adjacency (with self loops) as a dense tensor.
+pub(crate) fn mean_adjacency(net: &RoadNetwork) -> Tensor {
+    let n = net.num_nodes();
+    let mut a = Tensor::zeros(n, n);
+    for e in net.edges() {
+        a.set(e.from.index(), e.to.index(), 1.0);
+        a.set(e.to.index(), e.from.index(), 1.0);
+    }
+    for v in 0..n {
+        a.set(v, v, 1.0);
+    }
+    for v in 0..n {
+        let row_sum: f64 = a.row_slice(v).iter().sum();
+        let inv = 1.0 / row_sum;
+        for x in a.row_slice_mut(v) {
+            *x *= inv;
+        }
+    }
+    a
+}
+
+/// DGI training configuration.
+pub struct DgiConfig {
+    pub dim: usize,
+    pub epochs: usize,
+    pub lr: f64,
+    pub seed: u64,
+}
+
+impl Default for DgiConfig {
+    fn default() -> Self {
+        Self { dim: 16, epochs: 40, lr: 1e-2, seed: 0 }
+    }
+}
+
+/// Train DGI and return the path representer.
+pub fn train(net: &RoadNetwork, cfg: &DgiConfig) -> FnRepresenter {
+    let x = node_features(net);
+    let adj = mean_adjacency(net);
+    let in_dim = x.cols();
+    let n = net.num_nodes();
+
+    let mut params = Parameters::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD61);
+    let enc = Linear::new(&mut params, &mut rng, "dgi.enc", in_dim, cfg.dim);
+    let disc = Linear::new_no_bias(&mut params, &mut rng, "dgi.disc", cfg.dim, cfg.dim);
+    let mut opt = Adam::new(cfg.lr);
+
+    // One corruption per epoch: shuffle feature rows.
+    let encode = |g: &mut Graph<'_>, enc: &Linear, adj: NodeId, feats: NodeId| {
+        let agg = g.matmul(adj, feats);
+        let h = enc.forward(g, agg);
+        g.relu(h)
+    };
+
+    for epoch in 0..cfg.epochs {
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut rng);
+        let mut xc = Tensor::zeros(n, in_dim);
+        for (r, &p) in perm.iter().enumerate() {
+            xc.row_slice_mut(r).copy_from_slice(x.row_slice(p));
+        }
+
+        params.zero_grads();
+        let mut g = Graph::new(&mut params);
+        let adj_n = g.input(adj.clone());
+        let x_n = g.input(x.clone());
+        let xc_n = g.input(xc);
+        let z = encode(&mut g, &enc, adj_n, x_n);
+        let zc = encode(&mut g, &enc, adj_n, xc_n);
+        // Summary s = σ(mean(z)).
+        let mean_z = g.mean_rows(z);
+        let s = g.sigmoid(mean_z);
+        let ws = disc.forward(&mut g, s); // (1, dim)
+        // Scores: z · wsᵀ → (n, 1); BCE with labels 1 (real) / 0 (corrupt).
+        let pos_scores = g.matmul_nt(z, ws);
+        let neg_scores = g.matmul_nt(zc, ws);
+        // -log σ(pos): softplus(-pos) = -ln(σ(pos)).
+        let pos_sig = g.sigmoid(pos_scores);
+        let pos_ln = g.ln(pos_sig);
+        let neg_sig_arg = g.scale(neg_scores, -1.0);
+        let neg_sig = g.sigmoid(neg_sig_arg);
+        let neg_ln = g.ln(neg_sig);
+        let pos_sum = g.sum_all(pos_ln);
+        let neg_sum = g.sum_all(neg_ln);
+        let total = g.add(pos_sum, neg_sum);
+        let loss = g.scale(total, -1.0 / (2 * n) as f64);
+        let _ = epoch;
+        g.backward(loss);
+        opt.step(&mut params);
+    }
+
+    // Freeze final node embeddings.
+    let z = {
+        let mut g = Graph::new(&mut params);
+        let adj_n = g.input(adj.clone());
+        let x_n = g.input(x.clone());
+        let z = encode(&mut g, &enc, adj_n, x_n);
+        g.value(z).clone()
+    };
+    let dim = 2 * cfg.dim;
+    let z_rows: Vec<Vec<f64>> = (0..n).map(|v| z.row_slice(v).to_vec()).collect();
+    FnRepresenter::new("DGI", dim, move |net, path, _dep| {
+        let mut acc = vec![0.0; dim];
+        for &e in path.edges() {
+            let edge = net.edge(e);
+            for (a, v) in acc.iter_mut().zip(
+                z_rows[edge.from.index()].iter().chain(&z_rows[edge.to.index()]),
+            ) {
+                *a += v;
+            }
+        }
+        let inv = 1.0 / path.len() as f64;
+        acc.iter_mut().for_each(|v| *v *= inv);
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsccl_core::PathRepresenter;
+    use wsccl_roadnet::{CityProfile, Path};
+    use wsccl_traffic::SimTime;
+
+    #[test]
+    fn adjacency_rows_are_stochastic() {
+        let net = CityProfile::Aalborg.generate(2);
+        let a = mean_adjacency(&net);
+        for v in 0..net.num_nodes() {
+            let s: f64 = a.row_slice(v).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn trains_and_represents() {
+        let net = CityProfile::Aalborg.generate(2);
+        let rep = train(&net, &DgiConfig { epochs: 5, ..Default::default() });
+        let path = Path::new_unchecked(vec![net.out_edges(wsccl_roadnet::NodeId(0))[0]]);
+        let v = rep.represent(&net, &path, SimTime::from_hm(0, 8, 0));
+        assert_eq!(v.len(), 32);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+}

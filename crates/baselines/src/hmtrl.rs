@@ -1,0 +1,230 @@
+//! HMTRL (Liu et al., VLDB 2020): unified route representation learning with
+//! spatio-temporal dependencies and multi-task supervision.
+//!
+//! Reproduction: a GRU over per-edge `[spatial features, time features]`
+//! inputs, a self-attention layer capturing route-level semantic coherence,
+//! mean pooling into a route representation, and one linear head per
+//! supervised task. Training is multi-task when labels for both tasks are
+//! provided, single-task otherwise (the Table X variants).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use wsccl_nn::layers::{Gru, Linear, SelfAttention};
+use wsccl_nn::optim::Adam;
+use wsccl_nn::{Graph, NodeId, Parameters, Tensor};
+use wsccl_roadnet::{Path, RoadNetwork};
+use wsccl_traffic::SimTime;
+
+use crate::common::{time_features, EdgeFeaturizer, FnRepresenter, TIME_DIM};
+use crate::pathrank::RegressionExample;
+
+/// HMTRL configuration.
+pub struct HmtrlConfig {
+    pub dim: usize,
+    pub epochs: usize,
+    pub lr: f64,
+    pub seed: u64,
+}
+
+impl Default for HmtrlConfig {
+    fn default() -> Self {
+        Self { dim: 24, epochs: 5, lr: 3e-3, seed: 0 }
+    }
+}
+
+struct Standardizer {
+    mean: f64,
+    std: f64,
+}
+
+impl Standardizer {
+    fn fit(xs: &[f64]) -> Self {
+        let mean = xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len().max(1) as f64;
+        Self { mean, std: var.sqrt().max(1e-6) }
+    }
+}
+
+/// Trained HMTRL model.
+pub struct Hmtrl {
+    params: Parameters,
+    gru: Gru,
+    attn: SelfAttention,
+    head_tte: Linear,
+    head_rank: Linear,
+    ef: EdgeFeaturizer,
+    std_tte: Standardizer,
+    std_rank: Standardizer,
+    dim: usize,
+}
+
+impl Hmtrl {
+    fn route_repr(&self, g: &mut Graph<'_>, path: &Path, departure: SimTime) -> NodeId {
+        let tf = time_features(departure);
+        let inputs: Vec<NodeId> = self
+            .ef
+            .path(path)
+            .into_iter()
+            .map(|mut f| {
+                f.extend_from_slice(&tf);
+                g.input(Tensor::row(f))
+            })
+            .collect();
+        let hs = self.gru.forward(g, &inputs);
+        let stacked = g.concat_rows(&hs);
+        let attended = self.attn.forward(g, stacked);
+        g.mean_rows(attended)
+    }
+
+    /// Train HMTRL. Either task's examples may be empty (single-task mode),
+    /// but not both.
+    pub fn train(
+        net: &RoadNetwork,
+        tte: &[RegressionExample],
+        rank: &[RegressionExample],
+        cfg: &HmtrlConfig,
+    ) -> Self {
+        assert!(!tte.is_empty() || !rank.is_empty(), "HMTRL needs labels for at least one task");
+        let ef = EdgeFeaturizer::new(net);
+        let mut params = Parameters::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x477);
+        let gru = Gru::new(&mut params, &mut rng, "hm.gru", EdgeFeaturizer::DIM + TIME_DIM, cfg.dim);
+        let attn = SelfAttention::new(&mut params, &mut rng, "hm.attn", cfg.dim);
+        let head_tte = Linear::new(&mut params, &mut rng, "hm.tte", cfg.dim, 1);
+        let head_rank = Linear::new(&mut params, &mut rng, "hm.rank", cfg.dim, 1);
+        let std_tte =
+            Standardizer::fit(&tte.iter().map(|e| e.target).collect::<Vec<_>>());
+        let std_rank =
+            Standardizer::fit(&rank.iter().map(|e| e.target).collect::<Vec<_>>());
+        let mut model = Self {
+            params,
+            gru,
+            attn,
+            head_tte,
+            head_rank,
+            ef,
+            std_tte,
+            std_rank,
+            dim: cfg.dim,
+        };
+        let mut opt = Adam::new(cfg.lr);
+
+        // Interleave the two tasks: (task, index).
+        let mut schedule: Vec<(bool, usize)> = (0..tte.len())
+            .map(|i| (true, i))
+            .chain((0..rank.len()).map(|i| (false, i)))
+            .collect();
+        for _ in 0..cfg.epochs {
+            schedule.shuffle(&mut rng);
+            for &(is_tte, i) in &schedule {
+                let (ex, std, use_tte) = if is_tte {
+                    (&tte[i], &model.std_tte, true)
+                } else {
+                    (&rank[i], &model.std_rank, false)
+                };
+                let target = Tensor::scalar((ex.target - std.mean) / std.std);
+                let mut params = std::mem::take(&mut model.params);
+                params.zero_grads();
+                {
+                    let mut g = Graph::new(&mut params);
+                    let repr = model.route_repr(&mut g, &ex.path, ex.departure);
+                    let head = if use_tte { &model.head_tte } else { &model.head_rank };
+                    let pred = head.forward(&mut g, repr);
+                    let loss = g.mse_to_const(pred, &target);
+                    g.backward(loss);
+                }
+                params.clip_grad_norm(5.0);
+                opt.step(&mut params);
+                model.params = params;
+            }
+        }
+        model
+    }
+
+    /// Freeze into a representer exposing the attended route representation.
+    pub fn into_representer(mut self, name: impl Into<String>) -> FnRepresenter {
+        let dim = self.dim;
+        FnRepresenter::new(name, dim, move |_net, path, dep| {
+            let mut params = std::mem::take(&mut self.params);
+            let v = {
+                let mut g = Graph::new(&mut params);
+                let repr = self.route_repr(&mut g, path, dep);
+                g.value(repr).data().to_vec()
+            };
+            self.params = params;
+            v
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsccl_core::PathRepresenter;
+    use wsccl_datagen::{CityDataset, DatasetConfig};
+    use wsccl_roadnet::CityProfile;
+
+    #[test]
+    fn multitask_training_produces_time_sensitive_representations() {
+        let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 16));
+        let tte: Vec<RegressionExample> = ds
+            .tte
+            .iter()
+            .take(15)
+            .map(|t| RegressionExample {
+                path: t.path.clone(),
+                departure: t.departure,
+                target: t.travel_time,
+            })
+            .collect();
+        let rank: Vec<RegressionExample> = ds
+            .groups
+            .iter()
+            .take(5)
+            .flat_map(|grp| {
+                grp.candidates.iter().zip(&grp.scores).map(move |(p, &s)| RegressionExample {
+                    path: p.clone(),
+                    departure: grp.departure,
+                    target: s,
+                })
+            })
+            .collect();
+        let model =
+            Hmtrl::train(&ds.net, &tte, &rank, &HmtrlConfig { epochs: 2, ..Default::default() });
+        let rep = model.into_representer("HMTRL");
+        let p = &tte[0].path;
+        let a = rep.represent(&ds.net, p, SimTime::from_hm(0, 8, 0));
+        let b = rep.represent(&ds.net, p, SimTime::from_hm(6, 22, 0));
+        assert_eq!(a.len(), rep.dim());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn single_task_mode_works() {
+        let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 16));
+        let tte: Vec<RegressionExample> = ds
+            .tte
+            .iter()
+            .take(10)
+            .map(|t| RegressionExample {
+                path: t.path.clone(),
+                departure: t.departure,
+                target: t.travel_time,
+            })
+            .collect();
+        let model =
+            Hmtrl::train(&ds.net, &tte, &[], &HmtrlConfig { epochs: 1, ..Default::default() });
+        let rep = model.into_representer("HMTRL-TTE");
+        let v = rep.represent(&ds.net, &tte[0].path, tte[0].departure);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn no_labels_panics() {
+        let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 16));
+        Hmtrl::train(&ds.net, &[], &[], &HmtrlConfig::default());
+    }
+}

@@ -1,0 +1,152 @@
+//! Memory Bank instance discrimination (Wu et al., CVPR 2018), re-implemented
+//! with an LSTM path encoder as described in the paper's baseline list.
+//!
+//! Every unlabeled path is its own class. The encoder output is scored
+//! against a memory bank of per-instance prototypes with a temperature-scaled
+//! softmax over sampled negatives; prototypes are EMA-updated after each step.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use wsccl_datagen::TemporalPathSample;
+use wsccl_nn::layers::Lstm;
+use wsccl_nn::optim::Adam;
+use wsccl_nn::{Graph, Parameters, Tensor};
+use wsccl_roadnet::RoadNetwork;
+
+use crate::common::{EdgeFeaturizer, FnRepresenter};
+
+/// MB training configuration.
+pub struct MbConfig {
+    pub dim: usize,
+    pub epochs: usize,
+    pub lr: f64,
+    pub temperature: f64,
+    pub negatives: usize,
+    /// EMA momentum for bank updates.
+    pub momentum: f64,
+    pub seed: u64,
+}
+
+impl Default for MbConfig {
+    fn default() -> Self {
+        Self { dim: 24, epochs: 3, lr: 3e-3, temperature: 0.3, negatives: 16, momentum: 0.5, seed: 0 }
+    }
+}
+
+fn normalize(v: &mut [f64]) {
+    let n: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if n > 1e-12 {
+        v.iter_mut().for_each(|x| *x /= n);
+    }
+}
+
+/// Train the MB baseline on the unlabeled pool.
+pub fn train(net: &RoadNetwork, pool: &[TemporalPathSample], cfg: &MbConfig) -> FnRepresenter {
+    assert!(!pool.is_empty(), "MB needs a non-empty pool");
+    let ef = EdgeFeaturizer::new(net);
+    let mut params = Parameters::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x3B);
+    let lstm = Lstm::new(&mut params, &mut rng, "mb.lstm", ef.dim(), cfg.dim, 1);
+    let mut opt = Adam::new(cfg.lr);
+
+    // Bank initialized with unit random vectors.
+    let mut bank: Vec<Vec<f64>> = (0..pool.len())
+        .map(|_| {
+            let mut v: Vec<f64> =
+                (0..cfg.dim).map(|_| rng.random_range(-1.0..1.0)).collect();
+            normalize(&mut v);
+            v
+        })
+        .collect();
+
+    for _ in 0..cfg.epochs {
+        for i in 0..pool.len() {
+            params.zero_grads();
+            let mut g = Graph::new(&mut params);
+            let inputs: Vec<_> = ef
+                .path(&pool[i].path)
+                .into_iter()
+                .map(|f| g.input(Tensor::row(f)))
+                .collect();
+            let hs = lstm.forward(&mut g, &inputs);
+            let stacked = g.concat_rows(&hs);
+            let z = g.mean_rows(stacked);
+
+            // Scores against own prototype (positive) and sampled negatives.
+            let vi = g.input(Tensor::row(bank[i].clone()));
+            let pos = g.cos_sim(z, vi);
+            let pos_t = g.scale(pos, 1.0 / cfg.temperature);
+            let mut all = vec![pos_t];
+            for _ in 0..cfg.negatives {
+                let j = rng.random_range(0..pool.len());
+                if j == i {
+                    continue;
+                }
+                let vj = g.input(Tensor::row(bank[j].clone()));
+                let s = g.cos_sim(z, vj);
+                all.push(g.scale(s, 1.0 / cfg.temperature));
+            }
+            let lse = g.log_sum_exp(&all);
+            let nll = g.sub(lse, pos_t);
+            g.backward(nll);
+            opt.step(&mut params);
+
+            // EMA bank update with the (detached) new representation.
+            let z_val = {
+                let mut g2 = Graph::new(&mut params);
+                let inputs: Vec<_> = ef
+                    .path(&pool[i].path)
+                    .into_iter()
+                    .map(|f| g2.input(Tensor::row(f)))
+                    .collect();
+                let hs = lstm.forward(&mut g2, &inputs);
+                let stacked = g2.concat_rows(&hs);
+                let z = g2.mean_rows(stacked);
+                g2.value(z).data().to_vec()
+            };
+            for (b, v) in bank[i].iter_mut().zip(&z_val) {
+                *b = cfg.momentum * *b + (1.0 - cfg.momentum) * v;
+            }
+            normalize(&mut bank[i]);
+        }
+    }
+
+    let dim = cfg.dim;
+    FnRepresenter::new("MB", dim, move |_net, path, _dep| {
+        let mut g = Graph::new(&mut params);
+        let inputs: Vec<_> =
+            ef.path(path).into_iter().map(|f| g.input(Tensor::row(f))).collect();
+        let hs = lstm.forward(&mut g, &inputs);
+        let stacked = g.concat_rows(&hs);
+        let z = g.mean_rows(stacked);
+        // Sum view: magnitude carries path length (training is cosine-based
+        // and scale-invariant, so this is a pure inference-time choice shared
+        // by all sequence encoders; see DESIGN.md).
+        let mut v = g.value(z).data().to_vec();
+        let n = path.len() as f64;
+        v.iter_mut().for_each(|x| *x *= n);
+        v
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsccl_core::PathRepresenter;
+    use wsccl_datagen::{CityDataset, DatasetConfig};
+    use wsccl_roadnet::CityProfile;
+    use wsccl_traffic::SimTime;
+
+    #[test]
+    fn trains_and_distinguishes_instances() {
+        let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 8));
+        let pool: Vec<_> = ds.unlabeled.iter().take(20).cloned().collect();
+        let rep = train(&ds.net, &pool, &MbConfig { epochs: 2, ..Default::default() });
+        let a = rep.represent(&ds.net, &pool[0].path, SimTime::from_hm(0, 8, 0));
+        let b = rep.represent(&ds.net, &pool[1].path, SimTime::from_hm(0, 8, 0));
+        assert_eq!(a.len(), rep.dim());
+        assert_ne!(a, b, "distinct instances should differ");
+        assert!(a.iter().all(|x| x.is_finite()));
+    }
+}

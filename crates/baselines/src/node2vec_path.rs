@@ -1,0 +1,58 @@
+//! Node2vec baseline: unsupervised graph embeddings of the road network;
+//! a path's representation is the average of its edges' representations
+//! (the paper's aggregation for all graph-node baselines).
+
+use wsccl_graphembed::{Node2VecConfig, RoadEmbeddings};
+use wsccl_roadnet::{EdgeId, RoadNetwork};
+
+use crate::common::FnRepresenter;
+
+/// Train the Node2vec baseline.
+pub fn train(net: &RoadNetwork, dim_per_node: usize, seed: u64) -> FnRepresenter {
+    let cfg = Node2VecConfig { dim: dim_per_node, seed, ..Default::default() };
+    let emb = RoadEmbeddings::train(net, &cfg);
+    // Precompute every edge representation once.
+    let edge_reprs: Vec<Vec<f64>> =
+        (0..net.num_edges()).map(|i| emb.edge_embedding(net, EdgeId(i as u32))).collect();
+    let dim = 2 * dim_per_node;
+    FnRepresenter::new("Node2vec", dim, move |_net, path, _dep| {
+        let mut acc = vec![0.0; dim];
+        for &e in path.edges() {
+            for (a, v) in acc.iter_mut().zip(&edge_reprs[e.index()]) {
+                *a += v;
+            }
+        }
+        let inv = 1.0 / path.len() as f64;
+        acc.iter_mut().for_each(|v| *v *= inv);
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsccl_core::PathRepresenter;
+    use wsccl_roadnet::{CityProfile, Path};
+    use wsccl_traffic::SimTime;
+
+    #[test]
+    fn representation_ignores_time_and_has_right_width() {
+        let net = CityProfile::Aalborg.generate(4);
+        let rep = train(&net, 8, 4);
+        assert_eq!(rep.dim(), 16);
+        let path = {
+            let mut edges = Vec::new();
+            let mut cur = wsccl_roadnet::NodeId(0);
+            for _ in 0..5 {
+                let e = net.out_edges(cur)[0];
+                edges.push(e);
+                cur = net.edge(e).to;
+            }
+            Path::new_unchecked(edges)
+        };
+        let a = rep.represent(&net, &path, SimTime::from_hm(0, 8, 0));
+        let b = rep.represent(&net, &path, SimTime::from_hm(3, 22, 0));
+        assert_eq!(a, b, "node2vec baseline is time-invariant by construction");
+        assert_eq!(a.len(), 16);
+    }
+}

@@ -1,0 +1,318 @@
+//! PathRank (Yang et al., TKDE 2020): a supervised GRU path-representation
+//! model that takes departure time as context and regresses a task label
+//! (travel time or ranking score).
+//!
+//! Also implements the paper's pre-training experiment (Fig. 7): PathRank's
+//! encoder can be *initialized from a trained WSCCL encoder* and fine-tuned on
+//! few labels.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use wsccl_core::encoder::{EncoderWeights, TemporalPathEncoder};
+use wsccl_nn::layers::{Gru, Linear};
+use wsccl_nn::optim::Adam;
+use wsccl_nn::{Graph, Parameters, Tensor};
+use wsccl_roadnet::{Path, RoadNetwork};
+use wsccl_traffic::SimTime;
+
+use crate::common::{time_features, EdgeFeaturizer, FnRepresenter, TIME_DIM};
+
+/// A supervised regression example `(path, departure) → target`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RegressionExample {
+    pub path: Path,
+    pub departure: SimTime,
+    pub target: f64,
+}
+
+/// PathRank configuration.
+#[derive(Clone, Debug)]
+pub struct PathRankConfig {
+    pub dim: usize,
+    pub epochs: usize,
+    pub lr: f64,
+    pub seed: u64,
+}
+
+impl Default for PathRankConfig {
+    fn default() -> Self {
+        Self { dim: 24, epochs: 6, lr: 3e-3, seed: 0 }
+    }
+}
+
+/// Target standardization stats.
+#[derive(Clone, Copy, Debug)]
+struct Standardizer {
+    mean: f64,
+    std: f64,
+}
+
+impl Standardizer {
+    fn fit(targets: impl Iterator<Item = f64> + Clone) -> Self {
+        let (mut n, mut sum) = (0usize, 0.0);
+        for t in targets.clone() {
+            sum += t;
+            n += 1;
+        }
+        assert!(n > 0, "cannot standardize no targets");
+        let mean = sum / n as f64;
+        let var = targets.map(|t| (t - mean).powi(2)).sum::<f64>() / n as f64;
+        Self { mean, std: var.sqrt().max(1e-6) }
+    }
+
+    fn forward(&self, t: f64) -> f64 {
+        (t - self.mean) / self.std
+    }
+
+    fn inverse(&self, z: f64) -> f64 {
+        z * self.std + self.mean
+    }
+}
+
+/// Trained PathRank model (GRU variant).
+pub struct PathRank {
+    params: Parameters,
+    gru: Gru,
+    head: Linear,
+    ef: EdgeFeaturizer,
+    std: Standardizer,
+    dim: usize,
+}
+
+impl PathRank {
+    /// Train on regression examples (travel times or ranking scores).
+    pub fn train(net: &RoadNetwork, examples: &[RegressionExample], cfg: &PathRankConfig) -> Self {
+        assert!(!examples.is_empty(), "PathRank needs labeled examples");
+        let ef = EdgeFeaturizer::new(net);
+        let std = Standardizer::fit(examples.iter().map(|e| e.target));
+        let mut params = Parameters::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9A7);
+        let gru =
+            Gru::new(&mut params, &mut rng, "pr.gru", ef.dim() + TIME_DIM, cfg.dim);
+        let head = Linear::new(&mut params, &mut rng, "pr.head", cfg.dim, 1);
+        let mut opt = Adam::new(cfg.lr);
+
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let ex = &examples[i];
+                params.zero_grads();
+                let mut g = Graph::new(&mut params);
+                let tf = time_features(ex.departure);
+                let inputs: Vec<_> = ef
+                    .path(&ex.path)
+                    .into_iter()
+                    .map(|mut f| {
+                        f.extend_from_slice(&tf);
+                        g.input(Tensor::row(f))
+                    })
+                    .collect();
+                let h = gru.forward_last(&mut g, &inputs);
+                let pred = head.forward(&mut g, h);
+                let target = Tensor::scalar(std.forward(ex.target));
+                let loss = g.mse_to_const(pred, &target);
+                g.backward(loss);
+                params.clip_grad_norm(5.0);
+                opt.step(&mut params);
+            }
+        }
+        Self { params, gru, head, ef, std, dim: cfg.dim }
+    }
+
+    /// The model's own prediction for a temporal path.
+    pub fn predict(&mut self, path: &Path, departure: SimTime) -> f64 {
+        let tf = time_features(departure);
+        let mut g = Graph::new(&mut self.params);
+        let inputs: Vec<_> = self
+            .ef
+            .path(path)
+            .into_iter()
+            .map(|mut f| {
+                f.extend_from_slice(&tf);
+                g.input(Tensor::row(f))
+            })
+            .collect();
+        let h = self.gru.forward_last(&mut g, &inputs);
+        let pred = self.head.forward(&mut g, h);
+        self.std.inverse(g.value(pred).item())
+    }
+
+    /// Mean absolute error on held-out examples.
+    pub fn evaluate_mae(&mut self, examples: &[RegressionExample]) -> f64 {
+        assert!(!examples.is_empty());
+        let total: f64 = examples
+            .iter()
+            .map(|e| (self.predict(&e.path, e.departure) - e.target).abs())
+            .sum();
+        total / examples.len() as f64
+    }
+
+    /// Freeze into a representer exposing the final GRU hidden state.
+    pub fn into_representer(mut self, name: impl Into<String>) -> FnRepresenter {
+        let dim = self.dim;
+        FnRepresenter::new(name, dim, move |_net, path, dep| {
+            let tf = time_features(dep);
+            let mut g = Graph::new(&mut self.params);
+            let inputs: Vec<_> = self
+                .ef
+                .path(path)
+                .into_iter()
+                .map(|mut f| {
+                    f.extend_from_slice(&tf);
+                    g.input(Tensor::row(f))
+                })
+                .collect();
+            let h = self.gru.forward_last(&mut g, &inputs);
+            g.value(h).data().to_vec()
+        })
+    }
+}
+
+/// PathRank over the WSCCL temporal path encoder (used in Fig. 7).
+///
+/// When `init` carries a trained WSCCL parameter store, the encoder starts
+/// from the pre-trained weights; otherwise it starts fresh. In both cases a
+/// new linear head is attached and everything is fine-tuned on the labels.
+pub struct PathRankOverEncoder {
+    encoder: Arc<TemporalPathEncoder>,
+    params: Parameters,
+    weights: EncoderWeights,
+    head: Linear,
+    std: Standardizer,
+}
+
+impl PathRankOverEncoder {
+    pub fn train(
+        encoder: Arc<TemporalPathEncoder>,
+        init: Option<(&Parameters, &EncoderWeights)>,
+        examples: &[RegressionExample],
+        epochs: usize,
+        lr: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(!examples.is_empty(), "needs labeled examples");
+        let std = Standardizer::fit(examples.iter().map(|e| e.target));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF16);
+        let (mut params, weights) = match init {
+            Some((p, w)) => (p.clone(), w.clone()),
+            None => {
+                let mut p = Parameters::new();
+                let w = encoder.init_weights(&mut p, seed);
+                (p, w)
+            }
+        };
+        let head = Linear::new(&mut params, &mut rng, "pr.head", encoder.out_dim(), 1);
+        let mut opt = Adam::new(lr);
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        for _ in 0..epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let ex = &examples[i];
+                params.zero_grads();
+                let mut g = Graph::new(&mut params);
+                let (tpr, _) = encoder.forward(&mut g, &weights, &ex.path, ex.departure);
+                let pred = head.forward(&mut g, tpr);
+                let target = Tensor::scalar(std.forward(ex.target));
+                let loss = g.mse_to_const(pred, &target);
+                g.backward(loss);
+                params.clip_grad_norm(5.0);
+                opt.step(&mut params);
+            }
+        }
+        Self { encoder, params, weights, head, std }
+    }
+
+    pub fn predict(&mut self, path: &Path, departure: SimTime) -> f64 {
+        let mut g = Graph::new(&mut self.params);
+        let (tpr, _) = self.encoder.forward(&mut g, &self.weights, path, departure);
+        let pred = self.head.forward(&mut g, tpr);
+        self.std.inverse(g.value(pred).item())
+    }
+
+    pub fn evaluate_mae(&mut self, examples: &[RegressionExample]) -> f64 {
+        assert!(!examples.is_empty());
+        let total: f64 = examples
+            .iter()
+            .map(|e| (self.predict(&e.path, e.departure) - e.target).abs())
+            .sum();
+        total / examples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsccl_core::PathRepresenter;
+    use wsccl_datagen::{CityDataset, DatasetConfig};
+    use wsccl_roadnet::CityProfile;
+
+    fn tte_examples(ds: &CityDataset, n: usize) -> Vec<RegressionExample> {
+        ds.tte
+            .iter()
+            .take(n)
+            .map(|t| RegressionExample {
+                path: t.path.clone(),
+                departure: t.departure,
+                target: t.travel_time,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_travel_time_better_than_mean_baseline() {
+        let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 13));
+        let train_ex = tte_examples(&ds, 30);
+        let mut model = PathRank::train(
+            &ds.net,
+            &train_ex,
+            &PathRankConfig { epochs: 8, ..Default::default() },
+        );
+        let mae_model = model.evaluate_mae(&train_ex);
+        let mean: f64 =
+            train_ex.iter().map(|e| e.target).sum::<f64>() / train_ex.len() as f64;
+        let mae_mean: f64 = train_ex.iter().map(|e| (e.target - mean).abs()).sum::<f64>()
+            / train_ex.len() as f64;
+        assert!(
+            mae_model < 0.9 * mae_mean,
+            "PathRank {mae_model:.1} should beat mean baseline {mae_mean:.1}"
+        );
+    }
+
+    #[test]
+    fn representer_is_time_sensitive() {
+        let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 13));
+        let train_ex = tte_examples(&ds, 20);
+        let model = PathRank::train(
+            &ds.net,
+            &train_ex,
+            &PathRankConfig { epochs: 2, ..Default::default() },
+        );
+        let rep = model.into_representer("PathRank");
+        let p = &train_ex[0].path;
+        let a = rep.represent(&ds.net, p, SimTime::from_hm(0, 8, 0));
+        let b = rep.represent(&ds.net, p, SimTime::from_hm(6, 22, 0));
+        assert_ne!(a, b);
+        assert_eq!(a.len(), rep.dim());
+    }
+
+    #[test]
+    fn encoder_variant_trains_with_and_without_init() {
+        let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 14));
+        let train_ex = tte_examples(&ds, 15);
+        let enc = Arc::new(TemporalPathEncoder::new(
+            &ds.net,
+            wsccl_core::encoder::EncoderConfig::tiny(),
+            14,
+        ));
+        let mut fresh =
+            PathRankOverEncoder::train(Arc::clone(&enc), None, &train_ex, 2, 3e-3, 1);
+        let mae = fresh.evaluate_mae(&train_ex);
+        assert!(mae.is_finite() && mae > 0.0);
+    }
+}

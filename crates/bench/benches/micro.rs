@@ -1,0 +1,96 @@
+//! Criterion microbenchmarks for the core computational kernels:
+//! encoder forward/backward, WSC losses, node2vec walks, Dijkstra/Yen,
+//! HMM map matching, and GBDT fitting.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wsccl_core::config::WscclConfig;
+use wsccl_core::encoder::{EncoderConfig, TemporalPathEncoder};
+use wsccl_core::wsc::WscModel;
+use wsccl_datagen::{CityDataset, DatasetConfig};
+use wsccl_downstream::{GbConfig, GbRegressor};
+use wsccl_graphembed::walks::AdjGraph;
+use wsccl_mapmatch::{map_match, EdgeSpatialIndex, MatchConfig};
+use wsccl_roadnet::shortest::dijkstra;
+use wsccl_roadnet::yen::k_shortest_paths;
+use wsccl_roadnet::{CityProfile, NodeId};
+use wsccl_traffic::{CongestionModel, PopLabeler, SimTime, TripConfig, TripGenerator};
+
+fn bench_encoder(c: &mut Criterion) {
+    let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 1));
+    let enc = Arc::new(TemporalPathEncoder::new(&ds.net, EncoderConfig::default(), 1));
+    let mut model = WscModel::new(Arc::clone(&enc), WscclConfig::default(), 1);
+    let sample = ds.unlabeled.iter().max_by_key(|s| s.path.len()).unwrap().clone();
+
+    c.bench_function("encoder_embed_path", |b| {
+        b.iter(|| model.embed(&sample.path, sample.departure))
+    });
+
+    c.bench_function("wsc_train_step_batch16", |b| {
+        b.iter(|| model.train_step(&ds.unlabeled, &PopLabeler))
+    });
+}
+
+fn bench_graph_algorithms(c: &mut Criterion) {
+    let net = CityProfile::Chengdu.generate(2);
+    c.bench_function("dijkstra_full_city", |b| {
+        b.iter(|| dijkstra(&net, NodeId(0), &|e| net.edge(e).length, &[], &[]))
+    });
+    let w = |e| net.edge(e).length;
+    c.bench_function("yen_k5", |b| {
+        b.iter(|| k_shortest_paths(&net, NodeId(0), NodeId(200), 5, &w))
+    });
+}
+
+fn bench_node2vec_walks(c: &mut Criterion) {
+    let net = CityProfile::Aalborg.generate(3);
+    let edges: Vec<(usize, usize)> =
+        net.edges().iter().map(|e| (e.from.index(), e.to.index())).collect();
+    let g = AdjGraph::from_edges(net.num_nodes(), &edges);
+    c.bench_function("node2vec_walk_len20", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(7),
+            |mut rng| g.node2vec_walk(&mut rng, 0, 20, 1.0, 2.0),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_map_matching(c: &mut Criterion) {
+    let net = CityProfile::Aalborg.generate(4);
+    let model = CongestionModel::new(&net, 1.5, 4);
+    let mut generator = TripGenerator::new(&net, &model, TripConfig::default(), 4);
+    let trip = generator.generate_trip_at(SimTime::from_hm(1, 9, 0));
+    let traj = generator.trip_to_trajectory(&trip);
+    let index = EdgeSpatialIndex::new(&net, 200.0);
+    let cfg = MatchConfig::default();
+    c.bench_function("hmm_map_match_one_trajectory", |b| {
+        b.iter(|| map_match(&net, &index, &traj, &cfg))
+    });
+}
+
+fn bench_gbdt(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    use rand::RngExt;
+    let x: Vec<Vec<f64>> = (0..400)
+        .map(|_| (0..32).map(|_| rng.random_range(-1.0..1.0)).collect())
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| r.iter().sum::<f64>()).collect();
+    c.bench_function("gbr_fit_400x32", |b| {
+        b.iter(|| GbRegressor::fit(&x, &y, &GbConfig { n_trees: 40, ..Default::default() }))
+    });
+    let model = GbRegressor::fit(&x, &y, &GbConfig::default());
+    c.bench_function("gbr_predict", |b| b.iter(|| model.predict(&x[0])));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_encoder, bench_graph_algorithms, bench_node2vec_walks,
+              bench_map_matching, bench_gbdt
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Extra ablation (beyond the paper, called out in DESIGN.md §6): the
+//! aggregation view. Training always follows Eq. 8 (mean); at inference the
+//! representation handed to downstream heads can be the mean itself or its
+//! length-scaled sum (identical up to scale, which cosine training ignores
+//! but gradient-boosted heads can exploit).
+
+use wsccl_bench::eval::{evaluate_ranking, evaluate_tte};
+use wsccl_bench::methods::train_wsccl_variant;
+use wsccl_bench::report::Table;
+use wsccl_bench::runner::{load_city, WORLD_SEED};
+use wsccl_bench::Scale;
+use wsccl_core::curriculum::CurriculumStrategy;
+use wsccl_core::encoder::EncoderConfig;
+use wsccl_core::WscclConfig;
+use wsccl_roadnet::CityProfile;
+use wsccl_traffic::PopLabeler;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = load_city(CityProfile::Aalborg, scale);
+    let mut table = Table::new(
+        format!("Extra ablation — aggregation view, aalborg (scale {})", scale.name()),
+        &["Aggregation", "MAE", "MARE", "MAPE", "Rank MAE", "tau", "rho"],
+    );
+    for (label, sum_inference) in [("mean (Eq. 8)", false), ("sum view", true)] {
+        let base = scale.wsccl(WORLD_SEED);
+        let cfg = WscclConfig {
+            encoder: EncoderConfig { sum_inference, ..base.encoder.clone() },
+            ..base
+        };
+        let rep = train_wsccl_variant(&ds, &cfg, CurriculumStrategy::Learned, &PopLabeler, label);
+        let t = evaluate_tte(rep.as_ref(), &ds);
+        let r = evaluate_ranking(rep.as_ref(), &ds);
+        table.row(vec![
+            label.to_string(),
+            format!("{:.2}", t.mae),
+            format!("{:.2}", t.mare),
+            format!("{:.2}", t.mape),
+            format!("{:.3}", r.mae),
+            format!("{:.2}", r.tau),
+            format!("{:.2}", r.rho),
+        ]);
+    }
+    table.emit("ablation_aggregate.txt");
+}

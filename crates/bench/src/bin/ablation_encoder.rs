@@ -1,0 +1,47 @@
+//! Extra ablation (§IV-C's remark): LSTM vs Transformer temporal path
+//! encoder, identical training protocol and losses.
+
+use wsccl_bench::eval::{evaluate_ranking, evaluate_tte};
+use wsccl_bench::methods::train_wsccl_variant;
+use wsccl_bench::report::Table;
+use wsccl_bench::runner::{load_city, WORLD_SEED};
+use wsccl_bench::Scale;
+use wsccl_core::curriculum::CurriculumStrategy;
+use wsccl_core::encoder::{EncoderConfig, SeqArch};
+use wsccl_core::WscclConfig;
+use wsccl_roadnet::CityProfile;
+use wsccl_traffic::PopLabeler;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = load_city(CityProfile::Aalborg, scale);
+    let mut table = Table::new(
+        format!("Extra ablation — sequence encoder, aalborg (scale {})", scale.name()),
+        &["Encoder", "MAE", "MARE", "MAPE", "Rank MAE", "tau", "rho"],
+    );
+    for (label, arch) in [
+        ("LSTM (Eq. 7)", SeqArch::Lstm),
+        ("Transformer x1", SeqArch::Transformer { blocks: 1 }),
+        ("Transformer x2", SeqArch::Transformer { blocks: 2 }),
+    ] {
+        eprintln!("[train] WSCCL with {label}");
+        let base = scale.wsccl(WORLD_SEED);
+        let cfg = WscclConfig {
+            encoder: EncoderConfig { seq_arch: arch, ..base.encoder.clone() },
+            ..base
+        };
+        let rep = train_wsccl_variant(&ds, &cfg, CurriculumStrategy::Learned, &PopLabeler, label);
+        let t = evaluate_tte(rep.as_ref(), &ds);
+        let r = evaluate_ranking(rep.as_ref(), &ds);
+        table.row(vec![
+            label.to_string(),
+            format!("{:.2}", t.mae),
+            format!("{:.2}", t.mare),
+            format!("{:.2}", t.mape),
+            format!("{:.3}", r.mae),
+            format!("{:.2}", r.tau),
+            format!("{:.2}", r.rho),
+        ]);
+    }
+    table.emit("ablation_encoder.txt");
+}

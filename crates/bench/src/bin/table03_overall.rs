@@ -1,0 +1,82 @@
+//! Table III: overall accuracy on travel-time estimation and path ranking,
+//! all methods × three cities.
+//!
+//! Supervised methods are trained on the task they are evaluated on (the
+//! paper's primary-task protocol), so they appear twice internally (once per
+//! task) but as one row. GCN/STGCN predict travel time directly and are
+//! excluded from ranking, as in the paper.
+
+use wsccl_bench::methods::Method;
+use wsccl_bench::report::Table;
+use wsccl_bench::runner::{load_city, rank_cells, run_method, tte_cells, Tasks};
+use wsccl_bench::Scale;
+use wsccl_roadnet::CityProfile;
+
+enum Row {
+    /// One model serves both tasks (unsupervised methods + WSCCL).
+    Shared(Method),
+    /// Task-specific supervised training: (label, TTE-trained, rank-trained).
+    PerTask(&'static str, Method, Method),
+    /// Travel-time-only direct predictor.
+    TteOnly(Method),
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let lineup = vec![
+        Row::Shared(Method::Node2vec),
+        Row::Shared(Method::Dgi),
+        Row::Shared(Method::Gmi),
+        Row::Shared(Method::Mb),
+        Row::Shared(Method::Bert),
+        Row::Shared(Method::InfoGraph),
+        Row::Shared(Method::Pim),
+        Row::PerTask("DeepGTT", Method::DeepGttTte, Method::DeepGttRank),
+        Row::PerTask("HMTRL", Method::HmtrlTte, Method::HmtrlRank),
+        Row::PerTask("PathRank", Method::PathRankTte, Method::PathRankRank),
+        Row::TteOnly(Method::Gcn),
+        Row::TteOnly(Method::Stgcn),
+        Row::Shared(Method::Wsccl),
+    ];
+
+    for profile in CityProfile::ALL {
+        let ds = load_city(profile, scale);
+        let mut table = Table::new(
+            format!(
+                "Table III — {} (scale {}): travel time estimation + path ranking",
+                profile.name(),
+                scale.name()
+            ),
+            &["Method", "MAE", "MARE", "MAPE", "Rank MAE", "tau", "rho"],
+        );
+        for row in &lineup {
+            let (label, tte, rank) = match row {
+                Row::Shared(m) => {
+                    let res = run_method(*m, &ds, scale, Tasks::TTE_AND_RANK);
+                    (m.display_name().to_string(), res.tte, res.rank)
+                }
+                Row::PerTask(label, mt, mr) => {
+                    let rt = run_method(*mt, &ds, scale, Tasks { tte: true, rank: false, rec: false });
+                    let rr = run_method(*mr, &ds, scale, Tasks { tte: false, rank: true, rec: false });
+                    (label.to_string(), rt.tte, rr.rank)
+                }
+                Row::TteOnly(m) => {
+                    let res = run_method(*m, &ds, scale, Tasks { tte: true, rank: false, rec: false });
+                    (m.display_name().to_string(), res.tte, None)
+                }
+            };
+            let t = tte_cells(&tte);
+            let r = rank_cells(&rank);
+            table.row(vec![
+                label,
+                t[0].clone(),
+                t[1].clone(),
+                t[2].clone(),
+                r[0].clone(),
+                r[1].clone(),
+                r[2].clone(),
+            ]);
+        }
+        table.emit(&format!("table03_overall_{}.txt", profile.name()));
+    }
+}

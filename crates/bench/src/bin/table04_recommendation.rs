@@ -1,0 +1,46 @@
+//! Table IV: path recommendation (accuracy + hit rate), ten methods × three
+//! cities. GCN/STGCN cannot participate (no generic representation), matching
+//! the paper.
+
+use wsccl_bench::methods::Method;
+use wsccl_bench::report::Table;
+use wsccl_bench::runner::{load_city, rec_cells, run_method, Tasks};
+use wsccl_bench::Scale;
+use wsccl_roadnet::CityProfile;
+
+fn main() {
+    let scale = Scale::from_env();
+    // Supervised methods use their ranking-trained variant for the
+    // recommendation representation (recommendation labels derive from the
+    // same candidate groups).
+    let lineup = vec![
+        Method::Node2vec,
+        Method::Dgi,
+        Method::Gmi,
+        Method::Mb,
+        Method::Bert,
+        Method::InfoGraph,
+        Method::Pim,
+        Method::HmtrlRank,
+        Method::PathRankRank,
+        Method::Wsccl,
+    ];
+
+    for profile in CityProfile::ALL {
+        let ds = load_city(profile, scale);
+        let mut table = Table::new(
+            format!("Table IV — {} (scale {}): path recommendation", profile.name(), scale.name()),
+            &["Method", "Acc.", "HR"],
+        );
+        for &method in &lineup {
+            let res = run_method(method, &ds, scale, Tasks::REC_ONLY);
+            let c = rec_cells(&res.rec);
+            let label = method
+                .display_name()
+                .trim_end_matches("(PR)")
+                .to_string();
+            table.row(vec![label, c[0].clone(), c[1].clone()]);
+        }
+        table.emit(&format!("table04_recommendation_{}.txt", profile.name()));
+    }
+}

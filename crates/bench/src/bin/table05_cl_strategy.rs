@@ -1,0 +1,16 @@
+//! Table V: learned curriculum vs the heuristic (path-length) curriculum.
+
+use wsccl_bench::methods::Method;
+use wsccl_bench::runner::ablation_tables;
+use wsccl_bench::Scale;
+use wsccl_roadnet::CityProfile;
+
+fn main() {
+    ablation_tables(
+        "table05_cl_strategy",
+        "Table V — effect of the CL design strategy",
+        &[Method::WscclHeuristic, Method::Wsccl],
+        &CityProfile::ALL,
+        Scale::from_env(),
+    );
+}

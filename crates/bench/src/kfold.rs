@@ -1,0 +1,100 @@
+//! K-fold cross-validated downstream evaluation.
+//!
+//! The paper reports a single 80/20 split; at reproduction scale that split's
+//! variance is non-trivial, so the harness also offers k-fold estimates with
+//! per-fold dispersion (used for the stability analysis in EXPERIMENTS.md).
+
+use wsccl_core::PathRepresenter;
+use wsccl_datagen::CityDataset;
+use wsccl_downstream::metrics;
+use wsccl_downstream::{GbConfig, GbRegressor};
+
+/// A cross-validated metric: mean and standard deviation over folds.
+#[derive(Clone, Copy, Debug)]
+pub struct FoldedMetric {
+    pub mean: f64,
+    pub std: f64,
+    pub folds: usize,
+}
+
+fn summarize(values: &[f64]) -> FoldedMetric {
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    FoldedMetric { mean, std: var.sqrt(), folds: values.len() }
+}
+
+/// Contiguous fold boundaries over a deterministic seeded shuffle.
+fn folds(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 2 && k <= n, "need 2 ≤ k ≤ n");
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed ^ 0xF01D));
+    let size = n.div_ceil(k);
+    idx.chunks(size).map(|c| c.to_vec()).collect()
+}
+
+/// K-fold cross-validated travel-time MAE for a representer.
+pub fn kfold_tte_mae(
+    rep: &dyn PathRepresenter,
+    ds: &CityDataset,
+    k: usize,
+    seed: u64,
+) -> FoldedMetric {
+    let x: Vec<Vec<f64>> =
+        ds.tte.iter().map(|t| rep.represent(&ds.net, &t.path, t.departure)).collect();
+    let y: Vec<f64> = ds.tte.iter().map(|t| t.travel_time).collect();
+    let folds = folds(x.len(), k, seed);
+    let mut maes = Vec::with_capacity(folds.len());
+    for (fi, test) in folds.iter().enumerate() {
+        let test_set: std::collections::HashSet<usize> = test.iter().copied().collect();
+        let mut xt = Vec::new();
+        let mut yt = Vec::new();
+        for i in 0..x.len() {
+            if !test_set.contains(&i) {
+                xt.push(x[i].clone());
+                yt.push(y[i]);
+            }
+        }
+        let _ = fi;
+        let model = GbRegressor::fit(&xt, &yt, &GbConfig::default());
+        let truth: Vec<f64> = test.iter().map(|&i| y[i]).collect();
+        let pred: Vec<f64> = test.iter().map(|&i| model.predict(&x[i])).collect();
+        maes.push(metrics::mae(&truth, &pred));
+    }
+    summarize(&maes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsccl_baselines::node2vec_path;
+    use wsccl_datagen::DatasetConfig;
+    use wsccl_roadnet::CityProfile;
+
+    #[test]
+    fn folds_partition_the_data() {
+        let f = folds(53, 5, 1);
+        assert_eq!(f.len(), 5);
+        let mut all: Vec<usize> = f.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..53).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kfold_mae_is_finite_with_dispersion() {
+        let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 61));
+        let rep = node2vec_path::train(&ds.net, 8, 61);
+        let m = kfold_tte_mae(&rep, &ds, 4, 61);
+        assert_eq!(m.folds, 4);
+        assert!(m.mean > 0.0 && m.mean.is_finite());
+        assert!(m.std >= 0.0 && m.std.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "2 ≤ k")]
+    fn k_of_one_rejected() {
+        folds(10, 1, 0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Method registry: train any evaluated method on a city dataset.
+
+use wsccl_baselines::gcn::{GcnConfig, GcnPredictor, GcnTtePredictor};
+use wsccl_baselines::pathrank::{PathRank, PathRankConfig, RegressionExample};
+use wsccl_baselines::{bert, deepgtt, dgi, gmi, hmtrl, infograph, mb, node2vec_path, pim};
+use wsccl_baselines::TravelTimePredictor;
+use wsccl_core::curriculum::{train_wsccl_with_strategy, CurriculumStrategy};
+use wsccl_core::encoder::EncoderConfig;
+use wsccl_core::{PathRepresenter, WscclConfig};
+use wsccl_datagen::{train_test_split, CityDataset};
+use wsccl_traffic::{PopLabeler, TciLabeler, WeakLabeler};
+
+use crate::scale::Scale;
+
+/// Split seed shared with `eval` so supervised methods train on exactly the
+/// data the GBR heads train on.
+pub const SPLIT_SEED: u64 = 0x5EED;
+
+/// Every method in the evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    Wsccl,
+    WscclTci,
+    WscclHeuristic,
+    WscclNoCl,
+    WscclNoGlobal,
+    WscclNoLocal,
+    WscclNt,
+    Node2vec,
+    Dgi,
+    Gmi,
+    Mb,
+    Bert,
+    InfoGraph,
+    Pim,
+    PimTemporal,
+    /// PathRank trained on travel-time labels.
+    PathRankTte,
+    /// PathRank trained on ranking labels.
+    PathRankRank,
+    DeepGttTte,
+    DeepGttRank,
+    HmtrlTte,
+    HmtrlRank,
+    Gcn,
+    Stgcn,
+}
+
+impl Method {
+    pub fn display_name(self) -> &'static str {
+        match self {
+            Method::Wsccl => "WSCCL",
+            Method::WscclTci => "WSCCL-TCI",
+            Method::WscclHeuristic => "Heuristic",
+            Method::WscclNoCl => "w/o CL",
+            Method::WscclNoGlobal => "w/o Global",
+            Method::WscclNoLocal => "w/o Local",
+            Method::WscclNt => "WSCCL-NT",
+            Method::Node2vec => "Node2vec",
+            Method::Dgi => "DGI",
+            Method::Gmi => "GMI",
+            Method::Mb => "MB",
+            Method::Bert => "BERT",
+            Method::InfoGraph => "InfoGraph",
+            Method::Pim => "PIM",
+            Method::PimTemporal => "PIM-Temporal",
+            Method::PathRankTte => "PathRank(TTE)",
+            Method::PathRankRank => "PathRank(PR)",
+            Method::DeepGttTte => "DeepGTT(TTE)",
+            Method::DeepGttRank => "DeepGTT(PR)",
+            Method::HmtrlTte => "HMTRL(TTE)",
+            Method::HmtrlRank => "HMTRL(PR)",
+            Method::Gcn => "GCN",
+            Method::Stgcn => "STGCN",
+        }
+    }
+}
+
+/// A trained method, ready for evaluation.
+pub enum MethodKind {
+    Repr(Box<dyn PathRepresenter + Send + Sync>),
+    Tte(Box<dyn TravelTimePredictor + Send + Sync>),
+}
+
+/// Travel-time training examples from the shared 80% split.
+pub fn tte_train_examples(ds: &CityDataset) -> Vec<RegressionExample> {
+    let (train, _) = train_test_split(ds.tte.len(), 0.8, SPLIT_SEED);
+    train
+        .iter()
+        .map(|&i| RegressionExample {
+            path: ds.tte[i].path.clone(),
+            departure: ds.tte[i].departure,
+            target: ds.tte[i].travel_time,
+        })
+        .collect()
+}
+
+/// Ranking-score training examples (flattened groups) from the shared split.
+pub fn rank_train_examples(ds: &CityDataset) -> Vec<RegressionExample> {
+    let (train, _) = train_test_split(ds.groups.len(), 0.8, SPLIT_SEED);
+    train
+        .iter()
+        .flat_map(|&gi| {
+            let g = &ds.groups[gi];
+            g.candidates.iter().zip(&g.scores).map(move |(p, &s)| RegressionExample {
+                path: p.clone(),
+                departure: g.departure,
+                target: s,
+            })
+        })
+        .collect()
+}
+
+/// Train a WSCCL variant with full control (used by ablations and sweeps).
+pub fn train_wsccl_variant(
+    ds: &CityDataset,
+    cfg: &WscclConfig,
+    strategy: CurriculumStrategy,
+    labeler: &(dyn WeakLabeler + Sync),
+    name: &str,
+) -> Box<dyn PathRepresenter + Send + Sync> {
+    Box::new(train_wsccl_with_strategy(&ds.net, &ds.unlabeled, labeler, cfg, strategy, name))
+}
+
+/// Train a method on a dataset at the given scale.
+pub fn train_method(method: Method, ds: &CityDataset, scale: Scale, seed: u64) -> MethodKind {
+    let epochs = scale.baseline_epochs();
+    match method {
+        Method::Wsccl => MethodKind::Repr(train_wsccl_variant(
+            ds,
+            &scale.wsccl(seed),
+            CurriculumStrategy::Learned,
+            &PopLabeler,
+            "WSCCL",
+        )),
+        Method::WscclTci => {
+            let tci = TciLabeler::new(&ds.net, &ds.congestion);
+            MethodKind::Repr(train_wsccl_variant(
+                ds,
+                &scale.wsccl(seed),
+                CurriculumStrategy::Learned,
+                &tci,
+                "WSCCL-TCI",
+            ))
+        }
+        Method::WscclHeuristic => MethodKind::Repr(train_wsccl_variant(
+            ds,
+            &scale.wsccl(seed),
+            CurriculumStrategy::Heuristic,
+            &PopLabeler,
+            "Heuristic",
+        )),
+        Method::WscclNoCl => MethodKind::Repr(train_wsccl_variant(
+            ds,
+            &scale.wsccl(seed),
+            CurriculumStrategy::None,
+            &PopLabeler,
+            "w/o CL",
+        )),
+        Method::WscclNoGlobal => {
+            let cfg = WscclConfig { lambda: 0.0, ..scale.wsccl(seed) };
+            MethodKind::Repr(train_wsccl_variant(
+                ds,
+                &cfg,
+                CurriculumStrategy::Learned,
+                &PopLabeler,
+                "w/o Global",
+            ))
+        }
+        Method::WscclNoLocal => {
+            let cfg = WscclConfig { lambda: 1.0, ..scale.wsccl(seed) };
+            MethodKind::Repr(train_wsccl_variant(
+                ds,
+                &cfg,
+                CurriculumStrategy::Learned,
+                &PopLabeler,
+                "w/o Local",
+            ))
+        }
+        Method::WscclNt => {
+            let mut cfg = scale.wsccl(seed);
+            cfg.encoder = EncoderConfig { use_temporal: false, ..cfg.encoder };
+            MethodKind::Repr(train_wsccl_variant(
+                ds,
+                &cfg,
+                CurriculumStrategy::Learned,
+                &PopLabeler,
+                "WSCCL-NT",
+            ))
+        }
+        Method::Node2vec => MethodKind::Repr(Box::new(node2vec_path::train(&ds.net, 16, seed))),
+        Method::Dgi => MethodKind::Repr(Box::new(dgi::train(
+            &ds.net,
+            &dgi::DgiConfig { epochs: 15 * epochs, seed, ..Default::default() },
+        ))),
+        Method::Gmi => MethodKind::Repr(Box::new(gmi::train(
+            &ds.net,
+            &gmi::GmiConfig { epochs: 15 * epochs, seed, ..Default::default() },
+        ))),
+        Method::Mb => MethodKind::Repr(Box::new(mb::train(
+            &ds.net,
+            &ds.unlabeled,
+            &mb::MbConfig { epochs, seed, ..Default::default() },
+        ))),
+        Method::Bert => MethodKind::Repr(Box::new(bert::train(
+            &ds.net,
+            &ds.unlabeled,
+            &bert::BertConfig { epochs, seed, ..Default::default() },
+        ))),
+        Method::InfoGraph => MethodKind::Repr(Box::new(infograph::train(
+            &ds.net,
+            &ds.unlabeled,
+            &infograph::InfoGraphConfig { epochs, seed, ..Default::default() },
+        ))),
+        Method::Pim => MethodKind::Repr(Box::new(pim::train(
+            &ds.net,
+            &ds.unlabeled,
+            &pim::PimConfig { epochs, seed, ..Default::default() },
+        ))),
+        Method::PimTemporal => MethodKind::Repr(Box::new(pim::train_temporal(
+            &ds.net,
+            &ds.unlabeled,
+            &pim::PimConfig { epochs, seed, ..Default::default() },
+            16,
+        ))),
+        Method::PathRankTte => {
+            let ex = tte_train_examples(ds);
+            let model = PathRank::train(
+                &ds.net,
+                &ex,
+                &PathRankConfig { epochs: 2 * epochs, seed, ..Default::default() },
+            );
+            MethodKind::Repr(Box::new(model.into_representer("PathRank(TTE)")))
+        }
+        Method::PathRankRank => {
+            let ex = rank_train_examples(ds);
+            let model = PathRank::train(
+                &ds.net,
+                &ex,
+                &PathRankConfig { epochs: 2 * epochs, seed, ..Default::default() },
+            );
+            MethodKind::Repr(Box::new(model.into_representer("PathRank(PR)")))
+        }
+        Method::DeepGttTte => {
+            let ex = tte_train_examples(ds);
+            let model = deepgtt::DeepGtt::train(
+                &ds.net,
+                &ex,
+                &deepgtt::DeepGttConfig { epochs: 2 * epochs, seed, ..Default::default() },
+            );
+            MethodKind::Repr(Box::new(model.into_representer("DeepGTT(TTE)")))
+        }
+        Method::DeepGttRank => {
+            let ex = rank_train_examples(ds);
+            let model = deepgtt::DeepGtt::train(
+                &ds.net,
+                &ex,
+                &deepgtt::DeepGttConfig { epochs: 2 * epochs, seed, ..Default::default() },
+            );
+            MethodKind::Repr(Box::new(model.into_representer("DeepGTT(PR)")))
+        }
+        Method::HmtrlTte => {
+            let ex = tte_train_examples(ds);
+            let model = hmtrl::Hmtrl::train(
+                &ds.net,
+                &ex,
+                &[],
+                &hmtrl::HmtrlConfig { epochs, seed, ..Default::default() },
+            );
+            MethodKind::Repr(Box::new(model.into_representer("HMTRL(TTE)")))
+        }
+        Method::HmtrlRank => {
+            let ex = rank_train_examples(ds);
+            let model = hmtrl::Hmtrl::train(
+                &ds.net,
+                &[],
+                &ex,
+                &hmtrl::HmtrlConfig { epochs, seed, ..Default::default() },
+            );
+            MethodKind::Repr(Box::new(model.into_representer("HMTRL(PR)")))
+        }
+        Method::Gcn => {
+            let ex = tte_train_examples(ds);
+            let model = GcnPredictor::train(
+                &ds.net,
+                &ex,
+                &GcnConfig { epochs, seed, ..Default::default() },
+            );
+            MethodKind::Tte(Box::new(GcnTtePredictor::new(model)))
+        }
+        Method::Stgcn => {
+            let ex = tte_train_examples(ds);
+            let model = GcnPredictor::train(
+                &ds.net,
+                &ex,
+                &GcnConfig { epochs, temporal: true, seed, ..Default::default() },
+            );
+            MethodKind::Tte(Box::new(GcnTtePredictor::new(model)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsccl_datagen::DatasetConfig;
+    use wsccl_roadnet::CityProfile;
+
+    #[test]
+    fn representative_methods_train_at_tiny_scale() {
+        let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 40));
+        for m in [Method::Node2vec, Method::Pim, Method::PathRankTte, Method::Gcn] {
+            match train_method(m, &ds, Scale::Tiny, 1) {
+                MethodKind::Repr(r) => {
+                    let s = &ds.unlabeled[0];
+                    let v = r.represent(&ds.net, &s.path, s.departure);
+                    assert!(!v.is_empty(), "{}", m.display_name());
+                }
+                MethodKind::Tte(p) => {
+                    let s = &ds.tte[0];
+                    assert!(p.predict(&ds.net, &s.path, s.departure) > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_examples_use_train_split_only() {
+        let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 41));
+        let ex = tte_train_examples(&ds);
+        assert_eq!(ex.len(), (ds.tte.len() as f64 * 0.8).round() as usize);
+        let rx = rank_train_examples(&ds);
+        assert!(!rx.is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Plain-text table rendering and result persistence.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple aligned text table, printed to stdout and saved under `results/`.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}", c, width = widths[i] + 2);
+                let _ = i;
+            }
+            let _ = writeln!(out);
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        let _ = writeln!(out, "{}", "-".repeat(total.min(120).max(ncols)));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Print to stdout and write to `results/<file>`.
+    pub fn emit(&self, file: &str) {
+        let rendered = self.render();
+        println!("{rendered}");
+        let dir = Path::new("results");
+        if std::fs::create_dir_all(dir).is_ok() {
+            let _ = std::fs::write(dir.join(file), &rendered);
+        }
+    }
+}
+
+/// Format a float with 2 decimals (the paper's table precision).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["Method", "MAE"]);
+        t.row(vec!["WSCCL".into(), "31.66".into()]);
+        t.row(vec!["A-very-long-name".into(), "1.00".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("WSCCL"));
+        // Columns aligned: both data rows place MAE at the same offset.
+        let lines: Vec<&str> = s.lines().collect();
+        let pos1 = lines[3].find("31.66").unwrap();
+        let pos2 = lines[4].find("1.00").unwrap();
+        assert_eq!(pos1, pos2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("demo", &["A", "B"]);
+        t.row(vec!["x".into()]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Experiment scale presets.
+
+use wsccl_core::WscclConfig;
+use wsccl_datagen::DatasetConfig;
+use wsccl_roadnet::CityProfile;
+
+/// Experiment scale, selected via `WSCCL_SCALE` (tiny / small / full).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test sizes: every binary finishes in well under a minute.
+    Tiny,
+    /// Default: the headline shapes emerge, minutes per binary.
+    Small,
+    /// Largest CPU-feasible sizes.
+    Full,
+}
+
+impl Scale {
+    /// Read from the `WSCCL_SCALE` environment variable (default `small`).
+    pub fn from_env() -> Self {
+        match std::env::var("WSCCL_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "tiny" => Scale::Tiny,
+            "full" => Scale::Full,
+            _ => Scale::Small,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Dataset generation parameters for a city at this scale.
+    pub fn dataset(self, profile: CityProfile, seed: u64) -> DatasetConfig {
+        let (unlabeled, tte, groups) = match self {
+            Scale::Tiny => (120, 80, 30),
+            Scale::Small => (500, 300, 200),
+            Scale::Full => (1200, 500, 300),
+        };
+        DatasetConfig {
+            profile,
+            seed,
+            num_unlabeled: unlabeled,
+            num_tte: tte,
+            num_groups: groups,
+            candidates_per_group: 6,
+            use_map_matching: false,
+        }
+    }
+
+    /// WSCCL training configuration at this scale.
+    pub fn wsccl(self, seed: u64) -> WscclConfig {
+        let (epochs, meta, expert_epochs) = match self {
+            Scale::Tiny => (1, 2, 1),
+            Scale::Small => (3, 4, 1),
+            Scale::Full => (4, 4, 2),
+        };
+        WscclConfig {
+            epochs,
+            num_meta_sets: meta,
+            expert_epochs,
+            seed,
+            ..WscclConfig::default()
+        }
+    }
+
+    /// Epoch budget for the neural baselines at this scale.
+    pub fn baseline_epochs(self) -> usize {
+        match self {
+            Scale::Tiny => 1,
+            Scale::Small => 3,
+            Scale::Full => 5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_defaults_to_small() {
+        // Note: avoids mutating the process env; exercises the mapping only.
+        assert_eq!(Scale::Tiny.name(), "tiny");
+        assert_eq!(Scale::Small.name(), "small");
+        let cfg = Scale::Tiny.dataset(CityProfile::Aalborg, 1);
+        assert!(cfg.num_unlabeled < Scale::Full.dataset(CityProfile::Aalborg, 1).num_unlabeled);
+    }
+}

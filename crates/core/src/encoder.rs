@@ -1,0 +1,492 @@
+//! The temporal path encoder (§IV).
+//!
+//! Per edge `e_i` of a temporal path `tp = (p, t)`, the encoder builds
+//! `x_{e_i} = [t_all, s_all(e_i)]` where:
+//!
+//! * `t_all` is the node2vec embedding of the departure time's node in the
+//!   2016-node temporal graph (Eq. 2) — a *frozen* input, as in the paper;
+//! * `s_all = [s_rn, s_type]` concatenates the frozen road-topology embedding
+//!   (Eq. 5) with *trainable* embeddings of the four categorical edge features
+//!   (Eq. 3–4).
+//!
+//! The sequence is encoded by an LSTM (Eq. 7) and mean-pooled into the TPR
+//! (Eq. 8). The per-step LSTM outputs are the spatio-temporal edge
+//! representations (STERs) consumed by the local WSC loss.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use wsccl_graphembed::{Node2VecConfig, RoadEmbeddings, TemporalEmbeddings};
+use wsccl_nn::layers::{Embedding, Linear, Lstm, TransformerBlock};
+use wsccl_nn::{Graph, NodeId, ParamId, Parameters, Tensor};
+use wsccl_roadnet::{EdgeFeatures, Path, RoadNetwork, RoadType};
+use wsccl_traffic::SimTime;
+
+/// Sequence model choice for the encoder. The paper uses an LSTM (Eq. 7) and
+/// notes that "more advanced sequential models, e.g., Transformer" are drop-in
+/// alternatives (§IV-C); both are provided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeqArch {
+    Lstm,
+    /// Pre-norm Transformer encoder with the given number of blocks.
+    Transformer { blocks: usize },
+}
+
+/// Encoder architecture parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EncoderConfig {
+    /// Embedding widths for the four categorical features (paper: 64/32/16/16).
+    pub d_rt: usize,
+    pub d_l: usize,
+    pub d_o: usize,
+    pub d_ts: usize,
+    /// node2vec dimension per road-network node; `s_rn` is twice this.
+    pub topo_node_dim: usize,
+    /// Temporal node2vec dimension (`d_tem`).
+    pub d_tem: usize,
+    /// LSTM hidden size = TPR dimension (`d_h`; paper: 128).
+    pub hidden: usize,
+    /// Stacked LSTM layers (paper: 2). Ignored for the Transformer variant.
+    pub lstm_layers: usize,
+    /// Sequence model (paper default: LSTM).
+    pub seq_arch: SeqArch,
+    /// If false, the temporal embedding is omitted entirely (the paper's
+    /// WSCCL-NT ablation, Table VIII).
+    pub use_temporal: bool,
+    /// Inference-time aggregation view. Training always uses Eq. 8's mean —
+    /// under the cosine-similarity losses the two views are *identical* (sum
+    /// = |p| · mean, and cosine is scale-invariant). Downstream heads see the
+    /// sum view by default because its magnitude carries path length, the
+    /// dominant travel-time factor the paper's 128-dim encoder learns
+    /// implicitly (see DESIGN.md §1 on reproduction-scale adaptations).
+    pub sum_inference: bool,
+    /// node2vec training budget for the two frozen embedding tables.
+    pub node2vec_walks: usize,
+    pub node2vec_epochs: usize,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        Self {
+            d_rt: 8,
+            d_l: 4,
+            d_o: 2,
+            d_ts: 2,
+            topo_node_dim: 8,
+            d_tem: 16,
+            hidden: 32,
+            lstm_layers: 1,
+            seq_arch: SeqArch::Lstm,
+            use_temporal: true,
+            node2vec_walks: 6,
+            node2vec_epochs: 2,
+            sum_inference: true,
+        }
+    }
+}
+
+impl EncoderConfig {
+    /// Minimal widths for fast tests.
+    pub fn tiny() -> Self {
+        Self {
+            d_rt: 4,
+            d_l: 2,
+            d_o: 2,
+            d_ts: 2,
+            topo_node_dim: 4,
+            d_tem: 16,
+            hidden: 16,
+            lstm_layers: 1,
+            seq_arch: SeqArch::Lstm,
+            node2vec_walks: 4,
+            node2vec_epochs: 1,
+            use_temporal: true,
+            sum_inference: true,
+        }
+    }
+
+    /// Width of the spatial embedding `s_all` (Eq. 6).
+    pub fn spatial_dim(&self) -> usize {
+        2 * self.topo_node_dim + self.d_rt + self.d_l + self.d_o + self.d_ts
+    }
+
+    /// Width of each LSTM input `x_e = [t_all, s_all, phys]`.
+    pub fn input_dim(&self) -> usize {
+        self.spatial_dim()
+            + PHYS_DIM
+            + if self.use_temporal { self.d_tem } else { 0 }
+    }
+}
+
+/// Width of the continuous physical edge features appended to `s_all`
+/// (normalized length, log-length, free-flow traversal time). §IV-B's feature
+/// list is explicitly non-exhaustive ("a number of spatial features,
+/// including, e.g., road types, number of lanes"); these continuous features
+/// carry the length information that the paper's larger encoder can infer
+/// from its 128-dimensional recurrent state.
+pub const PHYS_DIM: usize = 3;
+
+/// The temporal path encoder with its frozen embedding tables.
+///
+/// Trainable state lives in an external [`Parameters`] store so the same
+/// encoder definition can be instantiated for the main model and each
+/// curriculum expert.
+pub struct TemporalPathEncoder {
+    cfg: EncoderConfig,
+    /// Frozen: per-edge road topology embedding `s_rn` (Eq. 5).
+    topo: Vec<Vec<f64>>,
+    /// Frozen: temporal embeddings over the 2016-node temporal graph.
+    temporal: Option<TemporalEmbeddings>,
+    /// Per-edge categorical feature indices, precomputed from the network.
+    feat: Vec<EdgeFeatures>,
+    /// Per-edge continuous physical features (see [`PHYS_DIM`]).
+    phys: Vec<[f64; PHYS_DIM]>,
+}
+
+/// The trainable weights of the sequence model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum SeqWeights {
+    Lstm(Lstm),
+    Transformer {
+        input_proj: Linear,
+        /// Learned positional embedding table (capped at [`MAX_PATH_LEN`]).
+        positions: ParamId,
+        blocks: Vec<TransformerBlock>,
+    },
+}
+
+/// Longest path the Transformer position table supports (longer paths share
+/// the final position embedding).
+pub const MAX_PATH_LEN: usize = 96;
+
+/// The trainable weights of one encoder instance.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EncoderWeights {
+    emb_rt: Embedding,
+    emb_l: Embedding,
+    emb_o: Embedding,
+    emb_ts: Embedding,
+    seq: SeqWeights,
+}
+
+impl TemporalPathEncoder {
+    /// Build the frozen parts: runs node2vec on the road network and (if
+    /// enabled) the temporal graph. Deterministic per seed.
+    pub fn new(net: &RoadNetwork, cfg: EncoderConfig, seed: u64) -> Self {
+        let n2v_road = Node2VecConfig {
+            dim: cfg.topo_node_dim,
+            walks_per_node: cfg.node2vec_walks,
+            epochs: cfg.node2vec_epochs,
+            seed: seed ^ 0x0AD,
+            ..Default::default()
+        };
+        let road = RoadEmbeddings::train(net, &n2v_road);
+        let topo: Vec<Vec<f64>> = (0..net.num_edges())
+            .map(|i| road.edge_embedding(net, wsccl_roadnet::EdgeId(i as u32)))
+            .collect();
+        let temporal = cfg.use_temporal.then(|| {
+            let n2v_t = Node2VecConfig {
+                dim: cfg.d_tem,
+                walks_per_node: cfg.node2vec_walks,
+                epochs: cfg.node2vec_epochs,
+                seed: seed ^ 0x7E4,
+                ..Default::default()
+            };
+            TemporalEmbeddings::train(&n2v_t)
+        });
+        let feat = net.edges().iter().map(|e| e.features).collect();
+        let phys = net
+            .edges()
+            .iter()
+            .map(|e| {
+                let free_flow = e.length / e.features.road_type.free_flow_speed();
+                [e.length / 1000.0, (1.0 + e.length).ln() / 8.0, free_flow / 60.0]
+            })
+            .collect();
+        Self { cfg, topo, temporal, feat, phys }
+    }
+
+    pub fn config(&self) -> &EncoderConfig {
+        &self.cfg
+    }
+
+    /// TPR dimensionality (`d_h`).
+    pub fn out_dim(&self) -> usize {
+        self.cfg.hidden
+    }
+
+    /// Register fresh trainable weights in a parameter store.
+    pub fn init_weights(&self, params: &mut Parameters, seed: u64) -> EncoderWeights {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE6C0);
+        EncoderWeights {
+            emb_rt: Embedding::new(params, &mut rng, "enc.rt", RoadType::ALL.len(), self.cfg.d_rt),
+            emb_l: Embedding::new(
+                params,
+                &mut rng,
+                "enc.lanes",
+                EdgeFeatures::NUM_LANE_CATEGORIES,
+                self.cfg.d_l,
+            ),
+            emb_o: Embedding::new(params, &mut rng, "enc.oneway", 2, self.cfg.d_o),
+            emb_ts: Embedding::new(params, &mut rng, "enc.signals", 2, self.cfg.d_ts),
+            seq: match self.cfg.seq_arch {
+                SeqArch::Lstm => SeqWeights::Lstm(Lstm::new(
+                    params,
+                    &mut rng,
+                    "enc.lstm",
+                    self.cfg.input_dim(),
+                    self.cfg.hidden,
+                    self.cfg.lstm_layers,
+                )),
+                SeqArch::Transformer { blocks } => SeqWeights::Transformer {
+                    input_proj: Linear::new(
+                        params,
+                        &mut rng,
+                        "enc.proj",
+                        self.cfg.input_dim(),
+                        self.cfg.hidden,
+                    ),
+                    positions: params.register(
+                        "enc.pos",
+                        wsccl_nn::init::normal(&mut rng, MAX_PATH_LEN, self.cfg.hidden, 0.1),
+                    ),
+                    blocks: (0..blocks)
+                        .map(|b| {
+                            TransformerBlock::new(
+                                params,
+                                &mut rng,
+                                &format!("enc.block{b}"),
+                                self.cfg.hidden,
+                                2,
+                            )
+                        })
+                        .collect(),
+                },
+            },
+        }
+    }
+
+    /// Encode a temporal path. Returns the TPR node and the per-edge STER
+    /// nodes (Eq. 7–8).
+    pub fn forward(
+        &self,
+        g: &mut Graph<'_>,
+        w: &EncoderWeights,
+        path: &Path,
+        departure: SimTime,
+    ) -> (NodeId, Vec<NodeId>) {
+        assert!(!path.is_empty(), "cannot encode an empty path");
+        // Frozen temporal embedding, shared across the path's edges.
+        let t_all = self
+            .temporal
+            .as_ref()
+            .map(|t| g.input(Tensor::row(t.embed(departure).to_vec())));
+
+        let mut inputs = Vec::with_capacity(path.len());
+        for &e in path.edges() {
+            let f = &self.feat[e.index()];
+            let rt = w.emb_rt.forward(g, &[f.road_type.index()]);
+            let l = w.emb_l.forward(g, &[f.lanes_index()]);
+            let o = w.emb_o.forward(g, &[f.one_way as usize]);
+            let ts = w.emb_ts.forward(g, &[f.signals as usize]);
+            let topo = g.input(Tensor::row(self.topo[e.index()].clone()));
+            let phys = g.input(Tensor::row(self.phys[e.index()].to_vec()));
+            let x = match t_all {
+                Some(t) => g.concat_cols(&[t, topo, rt, l, o, ts, phys]),
+                None => g.concat_cols(&[topo, rt, l, o, ts, phys]),
+            };
+            inputs.push(x);
+        }
+        let sters = match &w.seq {
+            SeqWeights::Lstm(lstm) => lstm.forward(g, &inputs),
+            SeqWeights::Transformer { input_proj, positions, blocks } => {
+                let stacked = g.concat_rows(&inputs);
+                let projected = input_proj.forward(g, stacked);
+                let pos_idx: Vec<usize> =
+                    (0..inputs.len()).map(|i| i.min(MAX_PATH_LEN - 1)).collect();
+                let pos = g.embed_lookup(*positions, &pos_idx);
+                let mut h = g.add(projected, pos);
+                for block in blocks {
+                    h = block.forward(g, h);
+                }
+                (0..inputs.len()).map(|i| g.slice_rows(h, i, i + 1)).collect()
+            }
+        };
+        let stacked = g.concat_rows(&sters);
+        let tpr = g.mean_rows(stacked);
+        (tpr, sters)
+    }
+
+    /// Inference: encode a path to a plain vector (builds a throwaway graph).
+    ///
+    /// Applies the configured aggregation view: mean (Eq. 8) or its
+    /// length-scaled sum equivalent (`sum_inference`).
+    pub fn embed(
+        &self,
+        params: &mut Parameters,
+        w: &EncoderWeights,
+        path: &Path,
+        departure: SimTime,
+    ) -> Vec<f64> {
+        let mut g = Graph::new(params);
+        let (tpr, _) = self.forward(&mut g, w, path, departure);
+        let mut v = g.value(tpr).data().to_vec();
+        if self.cfg.sum_inference {
+            let n = path.len() as f64;
+            v.iter_mut().for_each(|x| *x *= n);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsccl_roadnet::CityProfile;
+
+    fn setup() -> (RoadNetwork, TemporalPathEncoder) {
+        let net = CityProfile::Aalborg.generate(2);
+        let enc = TemporalPathEncoder::new(&net, EncoderConfig::tiny(), 2);
+        (net, enc)
+    }
+
+    fn some_path(net: &RoadNetwork, len: usize) -> Path {
+        // Greedy walk from node 0.
+        let mut edges = Vec::new();
+        let mut cur = wsccl_roadnet::NodeId(0);
+        for _ in 0..len {
+            let e = net.out_edges(cur)[0];
+            edges.push(e);
+            cur = net.edge(e).to;
+        }
+        Path::new(net, edges).expect("valid walk")
+    }
+
+    #[test]
+    fn tpr_has_configured_dimension() {
+        let (net, enc) = setup();
+        let mut params = Parameters::new();
+        let w = enc.init_weights(&mut params, 1);
+        let path = some_path(&net, 5);
+        let v = enc.embed(&mut params, &w, &path, SimTime::from_hm(0, 8, 0));
+        assert_eq!(v.len(), enc.out_dim());
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn departure_time_changes_the_representation() {
+        let (net, enc) = setup();
+        let mut params = Parameters::new();
+        let w = enc.init_weights(&mut params, 1);
+        let path = some_path(&net, 6);
+        let morning = enc.embed(&mut params, &w, &path, SimTime::from_hm(0, 8, 0));
+        let night = enc.embed(&mut params, &w, &path, SimTime::from_hm(0, 2, 0));
+        let diff: f64 =
+            morning.iter().zip(&night).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-6, "temporal input should affect the TPR");
+    }
+
+    #[test]
+    fn nt_variant_ignores_departure_time() {
+        let net = CityProfile::Aalborg.generate(2);
+        let cfg = EncoderConfig { use_temporal: false, ..EncoderConfig::tiny() };
+        let enc = TemporalPathEncoder::new(&net, cfg, 2);
+        let mut params = Parameters::new();
+        let w = enc.init_weights(&mut params, 1);
+        let path = some_path(&net, 6);
+        let a = enc.embed(&mut params, &w, &path, SimTime::from_hm(0, 8, 0));
+        let b = enc.embed(&mut params, &w, &path, SimTime::from_hm(3, 22, 0));
+        assert_eq!(a, b, "WSCCL-NT must be time-invariant");
+    }
+
+    #[test]
+    fn sters_match_path_length_and_feed_gradients() {
+        let (net, enc) = setup();
+        let mut params = Parameters::new();
+        let w = enc.init_weights(&mut params, 1);
+        let path = some_path(&net, 4);
+        let mut g = Graph::new(&mut params);
+        let (tpr, sters) = enc.forward(&mut g, &w, &path, SimTime::from_hm(1, 9, 0));
+        assert_eq!(sters.len(), 4);
+        let loss = g.sum_all(tpr);
+        g.backward(loss);
+        let touched = params
+            .ids()
+            .filter(|&id| params.grad(id).data().iter().any(|v| v.abs() > 0.0))
+            .count();
+        assert!(touched > 0, "backward should reach trainable weights");
+    }
+
+    #[test]
+    fn different_paths_embed_differently() {
+        let (net, enc) = setup();
+        let mut params = Parameters::new();
+        let w = enc.init_weights(&mut params, 1);
+        let p1 = some_path(&net, 4);
+        let p2 = some_path(&net, 9);
+        let t = SimTime::from_hm(2, 10, 0);
+        let a = enc.embed(&mut params, &w, &p1, t);
+        let b = enc.embed(&mut params, &w, &p2, t);
+        assert_ne!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod transformer_tests {
+    use super::*;
+    use wsccl_roadnet::CityProfile;
+
+    fn some_path(net: &RoadNetwork, len: usize) -> Path {
+        let mut edges = Vec::new();
+        let mut cur = wsccl_roadnet::NodeId(0);
+        for _ in 0..len {
+            let e = net.out_edges(cur)[0];
+            edges.push(e);
+            cur = net.edge(e).to;
+        }
+        Path::new(net, edges).expect("valid walk")
+    }
+
+    #[test]
+    fn transformer_encoder_produces_valid_tprs() {
+        let net = CityProfile::Aalborg.generate(2);
+        let cfg = EncoderConfig {
+            seq_arch: SeqArch::Transformer { blocks: 1 },
+            ..EncoderConfig::tiny()
+        };
+        let enc = TemporalPathEncoder::new(&net, cfg, 2);
+        let mut params = Parameters::new();
+        let w = enc.init_weights(&mut params, 1);
+        let path = some_path(&net, 6);
+        let v = enc.embed(&mut params, &w, &path, SimTime::from_hm(0, 8, 0));
+        assert_eq!(v.len(), enc.out_dim());
+        assert!(v.iter().all(|x| x.is_finite()));
+        // Time-sensitive, like the LSTM variant.
+        let u = enc.embed(&mut params, &w, &path, SimTime::from_hm(0, 2, 0));
+        assert_ne!(v, u);
+    }
+
+    #[test]
+    fn transformer_gradients_flow_end_to_end() {
+        let net = CityProfile::Aalborg.generate(2);
+        let cfg = EncoderConfig {
+            seq_arch: SeqArch::Transformer { blocks: 2 },
+            ..EncoderConfig::tiny()
+        };
+        let enc = TemporalPathEncoder::new(&net, cfg, 2);
+        let mut params = Parameters::new();
+        let w = enc.init_weights(&mut params, 1);
+        let path = some_path(&net, 5);
+        let mut g = Graph::new(&mut params);
+        let (tpr, sters) = enc.forward(&mut g, &w, &path, SimTime::from_hm(1, 9, 0));
+        assert_eq!(sters.len(), 5);
+        let loss = g.sum_all(tpr);
+        g.backward(loss);
+        let touched = params
+            .ids()
+            .filter(|&id| params.grad(id).data().iter().any(|v| v.abs() > 0.0))
+            .count();
+        assert!(touched > params.len() / 2, "{touched} of {}", params.len());
+    }
+}

@@ -1,0 +1,36 @@
+//! WSCCL — Weakly-Supervised Contrastive Curriculum Learning for temporal
+//! path representations (Yang et al., ICDE 2022).
+//!
+//! The crate implements the paper's full pipeline:
+//!
+//! * [`encoder`] — the temporal path encoder (§IV): spatial feature
+//!   embeddings (Eq. 3–4), road-topology node2vec embeddings (Eq. 5–6),
+//!   temporal-graph node2vec embeddings (Eq. 2), an LSTM over per-edge
+//!   spatio-temporal inputs (Eq. 7), and mean aggregation into a TPR (Eq. 8).
+//! * [`sampler`] — weak-label-aware positive/negative minibatch construction
+//!   (§V-A, Fig. 5).
+//! * [`loss`] — the global WSC loss (Eq. 10) and local WSC loss (Eq. 11),
+//!   combined with the balance factor λ (Eq. 12).
+//! * [`wsc`] — the WSC base model: encoder + losses + Adam training loop.
+//! * [`curriculum`] — curriculum sample evaluation (meta-sets by path length,
+//!   expert models, similarity-sum difficulty scores, Eq. 13) and curriculum
+//!   sample selection (M easy-to-hard stages plus a final full-data stage,
+//!   §VI-C), yielding the advanced WSCCL model.
+//! * [`represent`] — the [`represent::PathRepresenter`] trait every method in
+//!   the evaluation (WSCCL and all baselines) implements, so downstream tasks
+//!   are method-agnostic.
+
+pub mod config;
+pub mod curriculum;
+pub mod encoder;
+pub mod loss;
+pub mod persist;
+pub mod represent;
+pub mod sampler;
+pub mod wsc;
+
+pub use config::WscclConfig;
+pub use curriculum::train_wsccl;
+pub use encoder::{EncoderConfig, TemporalPathEncoder};
+pub use represent::PathRepresenter;
+pub use wsc::WscModel;

@@ -1,0 +1,325 @@
+//! The weakly-supervised contrastive losses (§V-B/C/D).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use wsccl_nn::{Graph, NodeId};
+
+use crate::sampler::BatchItem;
+
+/// Encoded batch: per item, its TPR node and its per-edge STER nodes.
+pub struct EncodedBatch<'a> {
+    pub items: &'a [BatchItem],
+    pub tprs: Vec<NodeId>,
+    pub sters: Vec<Vec<NodeId>>,
+}
+
+/// Global WSC objective (Eq. 10), as a node to **maximize**.
+///
+/// For each query `i` whose positive set is non-empty:
+/// `(1/|S_i|) Σ_{j∈S_i} [ sim(TPR_i, TPR_j) − log Σ_{k∈N_i} exp sim(TPR_i, TPR_k) ]`.
+/// Returns `None` when no query has both a positive and a negative.
+pub fn global_wsc(g: &mut Graph<'_>, batch: &EncodedBatch<'_>) -> Option<NodeId> {
+    global_wsc_with_temperature(g, batch, 1.0)
+}
+
+/// Global WSC objective with a similarity temperature τ̂ (`sim/τ̂` inside the
+/// exponentials; τ̂ = 1 recovers Eq. 10 verbatim).
+pub fn global_wsc_with_temperature(
+    g: &mut Graph<'_>,
+    batch: &EncodedBatch<'_>,
+    temperature: f64,
+) -> Option<NodeId> {
+    assert!(temperature > 0.0, "temperature must be positive");
+    let n = batch.items.len();
+    // Precompute pairwise cosine similarity nodes lazily.
+    let mut sims: Vec<Vec<Option<NodeId>>> = vec![vec![None; n]; n];
+    let sim = |g: &mut Graph<'_>, sims: &mut Vec<Vec<Option<NodeId>>>, i: usize, j: usize| {
+        if sims[i][j].is_none() {
+            let c = g.cos_sim(batch.tprs[i], batch.tprs[j]);
+            let s = g.scale(c, 1.0 / temperature);
+            sims[i][j] = Some(s);
+            sims[j][i] = Some(s);
+        }
+        sims[i][j].expect("just inserted")
+    };
+
+    let mut per_query = Vec::new();
+    for i in 0..n {
+        let positives: Vec<usize> = (0..n)
+            .filter(|&j| j != i && batch.items[i].is_positive_for(&batch.items[j]))
+            .collect();
+        let negatives: Vec<usize> = (0..n)
+            .filter(|&j| j != i && !batch.items[i].is_positive_for(&batch.items[j]))
+            .collect();
+        if positives.is_empty() || negatives.is_empty() {
+            continue;
+        }
+        let neg_sims: Vec<NodeId> =
+            negatives.iter().map(|&k| sim(g, &mut sims, i, k)).collect();
+        let lse = g.log_sum_exp(&neg_sims);
+        let mut terms = Vec::with_capacity(positives.len());
+        for &j in &positives {
+            let s = sim(g, &mut sims, i, j);
+            terms.push(g.sub(s, lse));
+        }
+        let mean_pos = g.mean_scalars(&terms);
+        per_query.push(mean_pos);
+    }
+    if per_query.is_empty() {
+        return None;
+    }
+    Some(g.mean_scalars(&per_query))
+}
+
+/// Local WSC objective (Eq. 11), as a node to **maximize**.
+///
+/// For each query, sample up to `edges_per_side` edges from its positive
+/// paths (the positive edge set `PN`, sharing the query's weak label) and from
+/// negative paths whose label differs (`NN`). The objective is
+/// `(1/|PN|) [ log Σ_PN exp s(TPR, STER) − log Σ_NN exp s(TPR, STER) ]`.
+pub fn local_wsc(
+    g: &mut Graph<'_>,
+    batch: &EncodedBatch<'_>,
+    rng: &mut StdRng,
+    edges_per_side: usize,
+) -> Option<NodeId> {
+    let n = batch.items.len();
+    let mut per_query = Vec::new();
+    for i in 0..n {
+        // Positive edge pool: edges of i's own path and of positive partners.
+        let mut pos_pool: Vec<(usize, usize)> = Vec::new(); // (item, step)
+        for j in 0..n {
+            if j == i || batch.items[i].is_positive_for(&batch.items[j]) {
+                for s in 0..batch.sters[j].len() {
+                    pos_pool.push((j, s));
+                }
+            }
+        }
+        // Negative edge pool: edges of paths whose label differs (Eq. 11's
+        // `y_j ≠ y_i` condition).
+        let mut neg_pool: Vec<(usize, usize)> = Vec::new();
+        for j in 0..n {
+            if j != i && batch.items[j].label != batch.items[i].label {
+                for s in 0..batch.sters[j].len() {
+                    neg_pool.push((j, s));
+                }
+            }
+        }
+        if pos_pool.is_empty() || neg_pool.is_empty() {
+            continue;
+        }
+        let draw = |rng: &mut StdRng, pool: &[(usize, usize)], k: usize| -> Vec<(usize, usize)> {
+            (0..k.min(pool.len()))
+                .map(|_| pool[rng.random_range(0..pool.len())])
+                .collect()
+        };
+        let pos = draw(rng, &pos_pool, edges_per_side);
+        let neg = draw(rng, &neg_pool, edges_per_side);
+
+        let pos_sims: Vec<NodeId> =
+            pos.iter().map(|&(j, s)| g.cos_sim(batch.tprs[i], batch.sters[j][s])).collect();
+        let neg_sims: Vec<NodeId> =
+            neg.iter().map(|&(j, s)| g.cos_sim(batch.tprs[i], batch.sters[j][s])).collect();
+        let lse_pos = g.log_sum_exp(&pos_sims);
+        let lse_neg = g.log_sum_exp(&neg_sims);
+        let diff = g.sub(lse_pos, lse_neg);
+        let scaled = g.scale(diff, 1.0 / pos_sims.len() as f64);
+        per_query.push(scaled);
+    }
+    if per_query.is_empty() {
+        return None;
+    }
+    Some(g.mean_scalars(&per_query))
+}
+
+/// Combined WSC **loss to minimize**: `−(λ·L_global + (1−λ)·L_local)` (Eq. 12).
+///
+/// λ = 1 drops the local term (the paper's "w/o Local"), λ = 0 drops the
+/// global term ("w/o Global"). Returns `None` if neither term is computable
+/// on this batch.
+pub fn wsc_loss(
+    g: &mut Graph<'_>,
+    batch: &EncodedBatch<'_>,
+    rng: &mut StdRng,
+    lambda: f64,
+    edges_per_side: usize,
+) -> Option<NodeId> {
+    wsc_loss_with_temperature(g, batch, rng, lambda, edges_per_side, 1.0)
+}
+
+/// [`wsc_loss`] with a global-similarity temperature (see
+/// [`global_wsc_with_temperature`]).
+pub fn wsc_loss_with_temperature(
+    g: &mut Graph<'_>,
+    batch: &EncodedBatch<'_>,
+    rng: &mut StdRng,
+    lambda: f64,
+    edges_per_side: usize,
+    temperature: f64,
+) -> Option<NodeId> {
+    assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0,1]");
+    let global =
+        if lambda > 0.0 { global_wsc_with_temperature(g, batch, temperature) } else { None };
+    let local = if lambda < 1.0 { local_wsc(g, batch, rng, edges_per_side) } else { None };
+    let objective = match (global, local) {
+        (Some(gl), Some(lo)) => {
+            let a = g.scale(gl, lambda);
+            let b = g.scale(lo, 1.0 - lambda);
+            Some(g.add(a, b))
+        }
+        (Some(gl), None) => Some(g.scale(gl, lambda)),
+        (None, Some(lo)) => Some(g.scale(lo, 1.0 - lambda)),
+        (None, None) => None,
+    }?;
+    Some(g.scale(objective, -1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use wsccl_nn::{Parameters, Tensor};
+    use wsccl_roadnet::Path;
+    use wsccl_traffic::{SimTime, WeakLabel};
+    use wsccl_roadnet::EdgeId;
+
+    /// Build a fake batch whose TPRs are parameters, to inspect loss behavior.
+    fn fake_batch_items() -> Vec<BatchItem> {
+        let path_a = Path::new_unchecked(vec![EdgeId(0), EdgeId(1)]);
+        let path_b = Path::new_unchecked(vec![EdgeId(2), EdgeId(3)]);
+        vec![
+            // Query + positive (same path, same label).
+            BatchItem {
+                path: path_a.clone(),
+                departure: SimTime::from_hm(0, 8, 0),
+                label: WeakLabel::MorningPeak,
+            },
+            BatchItem {
+                path: path_a.clone(),
+                departure: SimTime::from_hm(1, 8, 30),
+                label: WeakLabel::MorningPeak,
+            },
+            // Same path, different label → negative.
+            BatchItem {
+                path: path_a,
+                departure: SimTime::from_hm(0, 12, 0),
+                label: WeakLabel::OffPeak,
+            },
+            // Different path, same label → negative.
+            BatchItem {
+                path: path_b,
+                departure: SimTime::from_hm(2, 8, 0),
+                label: WeakLabel::MorningPeak,
+            },
+        ]
+    }
+
+    fn encode_with_vectors<'a>(
+        g: &mut Graph<'_>,
+        items: &'a [BatchItem],
+        vecs: &[Vec<f64>],
+    ) -> EncodedBatch<'a> {
+        let tprs: Vec<NodeId> = vecs.iter().map(|v| g.input(Tensor::row(v.clone()))).collect();
+        // Fake STERs: two per item, equal to the TPR vector scaled.
+        let sters: Vec<Vec<NodeId>> = vecs
+            .iter()
+            .map(|v| {
+                vec![
+                    g.input(Tensor::row(v.clone())),
+                    g.input(Tensor::row(v.iter().map(|x| x * 0.5).collect())),
+                ]
+            })
+            .collect();
+        EncodedBatch { items, tprs, sters }
+    }
+
+    #[test]
+    fn global_objective_prefers_aligned_positives() {
+        let items = fake_batch_items();
+        let mut params = Parameters::new();
+        // Case 1: positive aligned with query, negatives orthogonal.
+        let good = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![1.0, 0.1, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        // Case 2: positive orthogonal, one negative aligned.
+        let bad = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![1.0, 0.1, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let mut g = Graph::new(&mut params);
+        let enc = encode_with_vectors(&mut g, &items, &good);
+        let v_good = global_wsc(&mut g, &enc).map(|n| g.value(n).item()).unwrap();
+        let enc = encode_with_vectors(&mut g, &items, &bad);
+        let v_bad = global_wsc(&mut g, &enc).map(|n| g.value(n).item()).unwrap();
+        assert!(
+            v_good > v_bad,
+            "aligned positives should score higher: {v_good:.4} vs {v_bad:.4}"
+        );
+    }
+
+    #[test]
+    fn no_positive_pairs_yields_none() {
+        // A batch of four distinct paths: nobody has a positive.
+        let mk = |e: u32, label| BatchItem {
+            path: Path::new_unchecked(vec![EdgeId(e)]),
+            departure: SimTime::from_hm(0, 8, 0),
+            label,
+        };
+        let items = vec![
+            mk(0, WeakLabel::MorningPeak),
+            mk(1, WeakLabel::OffPeak),
+            mk(2, WeakLabel::AfternoonPeak),
+            mk(3, WeakLabel::MorningPeak),
+        ];
+        let mut params = Parameters::new();
+        let mut g = Graph::new(&mut params);
+        let vecs: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64 + 1.0, 1.0]).collect();
+        let enc = encode_with_vectors(&mut g, &items, &vecs);
+        assert!(global_wsc(&mut g, &enc).is_none());
+        // Local loss still works: labels differ across items.
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(local_wsc(&mut g, &enc, &mut rng, 2).is_some());
+    }
+
+    #[test]
+    fn combined_loss_respects_lambda_extremes() {
+        let items = fake_batch_items();
+        let vecs = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.9, 0.1, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let mut params = Parameters::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = Graph::new(&mut params);
+        let enc = encode_with_vectors(&mut g, &items, &vecs);
+        let l_full = wsc_loss(&mut g, &enc, &mut rng, 0.8, 2).map(|n| g.value(n).item());
+        let enc = encode_with_vectors(&mut g, &items, &vecs);
+        let l_global_only = wsc_loss(&mut g, &enc, &mut rng, 1.0, 2).map(|n| g.value(n).item());
+        let enc = encode_with_vectors(&mut g, &items, &vecs);
+        let l_local_only = wsc_loss(&mut g, &enc, &mut rng, 0.0, 2).map(|n| g.value(n).item());
+        assert!(l_full.is_some() && l_global_only.is_some() && l_local_only.is_some());
+        for l in [l_full, l_global_only, l_local_only].into_iter().flatten() {
+            assert!(l.is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be in")]
+    fn invalid_lambda_panics() {
+        let items = fake_batch_items();
+        let mut params = Parameters::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = Graph::new(&mut params);
+        let vecs = vec![vec![1.0, 0.0]; 4];
+        let enc = encode_with_vectors(&mut g, &items, &vecs);
+        let _ = wsc_loss(&mut g, &enc, &mut rng, 1.5, 2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Model persistence: save a trained WSC model's weights and reload them
+//! into a compatible encoder.
+//!
+//! Only the *trainable* state is serialized (parameter tensors plus the layer
+//! handles that index into them). The frozen node2vec tables are rebuilt
+//! deterministically from the same seed, so a checkpoint is
+//! `(encoder config, seed, weights)`.
+
+use std::io::{Read, Write};
+use std::path::Path as FsPath;
+
+use serde::{Deserialize, Serialize};
+
+use wsccl_nn::Parameters;
+
+use crate::encoder::{EncoderConfig, EncoderWeights};
+
+/// A serializable WSC checkpoint.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version, bumped on breaking layout changes.
+    pub version: u32,
+    /// Encoder architecture (needed to rebuild the frozen tables).
+    pub encoder_config: EncoderConfig,
+    /// Seed the frozen node2vec tables were built from.
+    pub encoder_seed: u64,
+    /// All trainable parameter tensors.
+    pub params: Parameters,
+    /// Layer handles into `params`.
+    pub weights: EncoderWeights,
+}
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(std::io::Error),
+    Encode(String),
+    /// The file's version does not match [`CHECKPOINT_VERSION`].
+    VersionMismatch { found: u32 },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            PersistError::Encode(e) => write!(f, "checkpoint encoding error: {e}"),
+            PersistError::VersionMismatch { found } => {
+                write!(f, "checkpoint version {found} != supported {CHECKPOINT_VERSION}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl Checkpoint {
+    pub fn new(
+        encoder_config: EncoderConfig,
+        encoder_seed: u64,
+        params: Parameters,
+        weights: EncoderWeights,
+    ) -> Self {
+        Self { version: CHECKPOINT_VERSION, encoder_config, encoder_seed, params, weights }
+    }
+
+    /// Serialize to a writer as JSON.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), PersistError> {
+        let json = serde_json::to_string(self).map_err(|e| PersistError::Encode(e.to_string()))?;
+        w.write_all(json.as_bytes())?;
+        Ok(())
+    }
+
+    /// Deserialize from a reader, validating the version.
+    pub fn read_from(r: &mut impl Read) -> Result<Self, PersistError> {
+        let mut buf = String::new();
+        r.read_to_string(&mut buf)?;
+        let cp: Checkpoint =
+            serde_json::from_str(&buf).map_err(|e| PersistError::Encode(e.to_string()))?;
+        if cp.version != CHECKPOINT_VERSION {
+            return Err(PersistError::VersionMismatch { found: cp.version });
+        }
+        Ok(cp)
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: impl AsRef<FsPath>) -> Result<(), PersistError> {
+        let mut f = std::fs::File::create(path)?;
+        self.write_to(&mut f)
+    }
+
+    /// Load from a file.
+    pub fn load(path: impl AsRef<FsPath>) -> Result<Self, PersistError> {
+        let mut f = std::fs::File::open(path)?;
+        Self::read_from(&mut f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::TemporalPathEncoder;
+    use wsccl_roadnet::CityProfile;
+    use wsccl_traffic::SimTime;
+
+    #[test]
+    fn roundtrip_preserves_embeddings() {
+        let net = CityProfile::Aalborg.generate(3);
+        let cfg = EncoderConfig::tiny();
+        let enc = TemporalPathEncoder::new(&net, cfg.clone(), 3);
+        let mut params = Parameters::new();
+        let weights = enc.init_weights(&mut params, 9);
+
+        // A short valid path.
+        let mut edges = Vec::new();
+        let mut cur = wsccl_roadnet::NodeId(0);
+        for _ in 0..4 {
+            let e = net.out_edges(cur)[0];
+            edges.push(e);
+            cur = net.edge(e).to;
+        }
+        let path = wsccl_roadnet::Path::new_unchecked(edges);
+        let t = SimTime::from_hm(0, 8, 0);
+        let before = enc.embed(&mut params, &weights, &path, t);
+
+        // Roundtrip through bytes.
+        let cp = Checkpoint::new(cfg.clone(), 3, params, weights);
+        let mut buf = Vec::new();
+        cp.write_to(&mut buf).expect("write");
+        let restored = Checkpoint::read_from(&mut buf.as_slice()).expect("read");
+
+        // Rebuild the frozen encoder from (config, seed) and compare.
+        let enc2 = TemporalPathEncoder::new(&net, restored.encoder_config.clone(), restored.encoder_seed);
+        let mut params2 = restored.params;
+        let after = enc2.embed(&mut params2, &restored.weights, &path, t);
+        assert_eq!(before, after, "checkpoint roundtrip must be exact");
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let net = CityProfile::Aalborg.generate(3);
+        let cfg = EncoderConfig::tiny();
+        let enc = TemporalPathEncoder::new(&net, cfg.clone(), 3);
+        let mut params = Parameters::new();
+        let weights = enc.init_weights(&mut params, 9);
+        let mut cp = Checkpoint::new(cfg, 3, params, weights);
+        cp.version = 99;
+        let mut buf = Vec::new();
+        // Bypass write-side checks by serializing directly.
+        buf.extend_from_slice(serde_json::to_string(&cp).unwrap().as_bytes());
+        match Checkpoint::read_from(&mut buf.as_slice()) {
+            Err(PersistError::VersionMismatch { found: 99 }) => {}
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod probe_tests {
+    use super::*;
+    use crate::encoder::TemporalPathEncoder;
+    use wsccl_roadnet::CityProfile;
+
+    #[test]
+    fn params_roundtrip_bit_exact() {
+        let net = CityProfile::Aalborg.generate(3);
+        let cfg = EncoderConfig::tiny();
+        let enc = TemporalPathEncoder::new(&net, cfg.clone(), 3);
+        let mut params = Parameters::new();
+        let weights = enc.init_weights(&mut params, 9);
+        let orig = params.clone();
+        let cp = Checkpoint::new(cfg, 3, params, weights);
+        let mut buf = Vec::new();
+        cp.write_to(&mut buf).unwrap();
+        let restored = Checkpoint::read_from(&mut buf.as_slice()).unwrap();
+        for id in orig.ids() {
+            assert_eq!(orig.value(id).data(), restored.params.value(id).data(), "param {:?}", id);
+        }
+    }
+}

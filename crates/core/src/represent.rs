@@ -1,0 +1,21 @@
+//! The method-agnostic representation interface.
+
+use wsccl_roadnet::{Path, RoadNetwork};
+use wsccl_traffic::SimTime;
+
+/// Anything that maps a temporal path to a fixed-size vector.
+///
+/// WSCCL and every baseline implement this; downstream task evaluation
+/// (travel time, ranking, recommendation) consumes it uniformly. Methods that
+/// ignore the temporal aspect (the paper's unsupervised baselines) simply
+/// disregard `departure`.
+pub trait PathRepresenter {
+    /// Dimensionality of the produced representations.
+    fn dim(&self) -> usize;
+
+    /// Represent a temporal path `(path, departure)`.
+    fn represent(&self, net: &RoadNetwork, path: &Path, departure: SimTime) -> Vec<f64>;
+
+    /// Human-readable method name for result tables.
+    fn name(&self) -> &str;
+}

@@ -1,0 +1,184 @@
+//! Weak-label-aware minibatch construction (§V-A, Fig. 5).
+//!
+//! Each batch is built from anchor blocks. For an anchor temporal path
+//! `(p, t)` with weak label `y`, the block contains:
+//!
+//! 1. the anchor itself;
+//! 2. a **positive**: the same path with a *different* departure time that has
+//!    the *same* weak label;
+//! 3. a **hard negative**: the same path with a departure time of a
+//!    *different* weak label;
+//! 4. a random other sample from the pool (different path; same or different
+//!    label — both remaining negative categories arise here).
+//!
+//! Within a batch, every non-positive sample acts as a negative for the
+//! anchor, exactly as in Eq. 10's `N_tp = P \ {tp ∪ S_tp}`.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use wsccl_datagen::TemporalPathSample;
+use wsccl_roadnet::Path;
+use wsccl_traffic::time::WEEK_SECONDS;
+use wsccl_traffic::{SimTime, WeakLabel, WeakLabeler};
+
+/// One sample in a contrastive batch.
+#[derive(Clone, Debug)]
+pub struct BatchItem {
+    pub path: Path,
+    pub departure: SimTime,
+    pub label: WeakLabel,
+}
+
+impl BatchItem {
+    /// Positive relation per §V-A: same path AND same weak label.
+    pub fn is_positive_for(&self, other: &BatchItem) -> bool {
+        self.label == other.label && self.path.edges() == other.path.edges()
+    }
+}
+
+/// Sample a departure time carrying the requested weak label (rejection
+/// sampling over the week; labels partition the week so this terminates
+/// quickly). Returns `None` only if the label never occurs in `tries` draws.
+pub fn sample_time_with_label(
+    rng: &mut StdRng,
+    labeler: &dyn WeakLabeler,
+    target: WeakLabel,
+    tries: usize,
+) -> Option<SimTime> {
+    for _ in 0..tries {
+        let t = SimTime::new(rng.random_range(0..WEEK_SECONDS));
+        if labeler.label(t) == target {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Sample a departure time with any label other than `avoid`.
+pub fn sample_time_with_other_label(
+    rng: &mut StdRng,
+    labeler: &dyn WeakLabeler,
+    avoid: WeakLabel,
+    tries: usize,
+) -> Option<SimTime> {
+    for _ in 0..tries {
+        let t = SimTime::new(rng.random_range(0..WEEK_SECONDS));
+        if labeler.label(t) != avoid {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Build one batch of ~`batch_size` items from the unlabeled pool.
+pub fn build_batch(
+    rng: &mut StdRng,
+    pool: &[TemporalPathSample],
+    labeler: &dyn WeakLabeler,
+    batch_size: usize,
+) -> Vec<BatchItem> {
+    assert!(!pool.is_empty(), "cannot sample from an empty pool");
+    let blocks = (batch_size / 4).max(1);
+    let mut batch = Vec::with_capacity(blocks * 4);
+    for _ in 0..blocks {
+        let anchor = &pool[rng.random_range(0..pool.len())];
+        let label = labeler.label(anchor.departure);
+        batch.push(BatchItem {
+            path: anchor.path.clone(),
+            departure: anchor.departure,
+            label,
+        });
+        // Positive: same path, same label, (almost surely) different time.
+        if let Some(t) = sample_time_with_label(rng, labeler, label, 200) {
+            batch.push(BatchItem { path: anchor.path.clone(), departure: t, label });
+        }
+        // Hard negative: same path, different label.
+        if let Some(t) = sample_time_with_other_label(rng, labeler, label, 200) {
+            batch.push(BatchItem {
+                path: anchor.path.clone(),
+                departure: t,
+                label: labeler.label(t),
+            });
+        }
+        // Random other sample: different path.
+        let other = &pool[rng.random_range(0..pool.len())];
+        batch.push(BatchItem {
+            path: other.path.clone(),
+            departure: other.departure,
+            label: labeler.label(other.departure),
+        });
+    }
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use wsccl_datagen::{CityDataset, DatasetConfig};
+    use wsccl_roadnet::CityProfile;
+    use wsccl_traffic::PopLabeler;
+
+    fn pool() -> Vec<TemporalPathSample> {
+        CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 1)).unlabeled
+    }
+
+    #[test]
+    fn labeled_time_sampling_hits_the_target() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for target in [WeakLabel::MorningPeak, WeakLabel::AfternoonPeak, WeakLabel::OffPeak] {
+            let t = sample_time_with_label(&mut rng, &PopLabeler, target, 500).expect("found");
+            assert_eq!(PopLabeler.label(t), target);
+        }
+        let t = sample_time_with_other_label(&mut rng, &PopLabeler, WeakLabel::OffPeak, 500)
+            .expect("found");
+        assert_ne!(PopLabeler.label(t), WeakLabel::OffPeak);
+    }
+
+    #[test]
+    fn every_anchor_has_a_positive_and_negatives() {
+        let pool = pool();
+        let mut rng = StdRng::seed_from_u64(2);
+        let batch = build_batch(&mut rng, &pool, &PopLabeler, 16);
+        assert!(batch.len() >= 12, "batch size {}", batch.len());
+        // For each item, count positives/negatives among others.
+        let mut anchors_with_pos = 0;
+        for (i, a) in batch.iter().enumerate() {
+            let pos = batch
+                .iter()
+                .enumerate()
+                .filter(|&(j, b)| j != i && a.is_positive_for(b))
+                .count();
+            if pos > 0 {
+                anchors_with_pos += 1;
+            }
+        }
+        // Anchor+positive pairs guarantee at least half the items have a
+        // positive partner.
+        assert!(anchors_with_pos >= batch.len() / 2, "{anchors_with_pos} of {}", batch.len());
+    }
+
+    #[test]
+    fn hard_negatives_share_path_but_not_label() {
+        let pool = pool();
+        let mut rng = StdRng::seed_from_u64(3);
+        let batch = build_batch(&mut rng, &pool, &PopLabeler, 16);
+        let has_hard_negative = batch.iter().enumerate().any(|(i, a)| {
+            batch.iter().enumerate().any(|(j, b)| {
+                i != j && a.path.edges() == b.path.edges() && a.label != b.label
+            })
+        });
+        assert!(has_hard_negative, "expected same-path different-label pairs");
+    }
+
+    #[test]
+    fn items_carry_consistent_labels() {
+        let pool = pool();
+        let mut rng = StdRng::seed_from_u64(4);
+        let batch = build_batch(&mut rng, &pool, &PopLabeler, 12);
+        for item in &batch {
+            assert_eq!(item.label, PopLabeler.label(item.departure));
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! The WSC base model (Fig. 5): temporal path encoder + WSC losses + Adam.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wsccl_datagen::TemporalPathSample;
+use wsccl_nn::optim::Adam;
+use wsccl_nn::{Graph, Parameters};
+use wsccl_roadnet::{Path, RoadNetwork};
+use wsccl_traffic::{SimTime, WeakLabeler};
+
+use crate::config::WscclConfig;
+use crate::encoder::{EncoderWeights, TemporalPathEncoder};
+use crate::loss::{wsc_loss_with_temperature, EncodedBatch};
+use crate::represent::PathRepresenter;
+use crate::sampler::build_batch;
+
+/// A trainable WSC model instance. The (expensive, frozen) encoder tables are
+/// shared via `Arc`; the trainable weights are private to this instance.
+pub struct WscModel {
+    encoder: Arc<TemporalPathEncoder>,
+    params: Parameters,
+    weights: EncoderWeights,
+    optimizer: Adam,
+    cfg: WscclConfig,
+    rng: StdRng,
+    /// Mean training loss per epoch, for diagnostics and tests.
+    pub loss_history: Vec<f64>,
+}
+
+impl WscModel {
+    pub fn new(encoder: Arc<TemporalPathEncoder>, cfg: WscclConfig, seed: u64) -> Self {
+        let mut params = Parameters::new();
+        let weights = encoder.init_weights(&mut params, seed);
+        let optimizer = Adam::new(cfg.lr);
+        Self {
+            encoder,
+            params,
+            weights,
+            optimizer,
+            cfg,
+            rng: StdRng::seed_from_u64(seed ^ 0x5C3A),
+            loss_history: Vec::new(),
+        }
+    }
+
+    pub fn encoder(&self) -> &TemporalPathEncoder {
+        &self.encoder
+    }
+
+    pub fn config(&self) -> &WscclConfig {
+        &self.cfg
+    }
+
+    /// One optimization step on one sampled batch. Returns the loss, or
+    /// `None` if the batch had no usable contrastive structure.
+    pub fn train_step(
+        &mut self,
+        pool: &[TemporalPathSample],
+        labeler: &dyn WeakLabeler,
+    ) -> Option<f64> {
+        let items = build_batch(&mut self.rng, pool, labeler, self.cfg.batch_size);
+        self.params.zero_grads();
+        let mut g = Graph::new(&mut self.params);
+        let mut tprs = Vec::with_capacity(items.len());
+        let mut sters = Vec::with_capacity(items.len());
+        for item in &items {
+            let (tpr, st) = self.encoder.forward(&mut g, &self.weights, &item.path, item.departure);
+            tprs.push(tpr);
+            sters.push(st);
+        }
+        let batch = EncodedBatch { items: &items, tprs, sters };
+        let loss = wsc_loss_with_temperature(
+            &mut g,
+            &batch,
+            &mut self.rng,
+            self.cfg.lambda,
+            self.cfg.local_edges,
+            self.cfg.temperature,
+        )?;
+        let value = g.value(loss).item();
+        if !value.is_finite() {
+            return None;
+        }
+        g.backward(loss);
+        self.params.clip_grad_norm(self.cfg.grad_clip);
+        self.optimizer.step(&mut self.params);
+        Some(value)
+    }
+
+    /// Train for `epochs` passes of `pool.len() / batch_size` steps each.
+    pub fn train(
+        &mut self,
+        pool: &[TemporalPathSample],
+        labeler: &dyn WeakLabeler,
+        epochs: usize,
+    ) {
+        assert!(!pool.is_empty(), "cannot train on an empty pool");
+        let steps = (pool.len() / self.cfg.batch_size).max(1);
+        for _ in 0..epochs {
+            let mut total = 0.0;
+            let mut n = 0usize;
+            for _ in 0..steps {
+                if let Some(l) = self.train_step(pool, labeler) {
+                    total += l;
+                    n += 1;
+                }
+            }
+            self.loss_history.push(if n > 0 { total / n as f64 } else { f64::NAN });
+        }
+    }
+
+    /// Embed one temporal path.
+    pub fn embed(&mut self, path: &Path, departure: SimTime) -> Vec<f64> {
+        self.encoder.embed(&mut self.params, &self.weights, path, departure)
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.encoder.out_dim()
+    }
+
+    /// Freeze into a shareable [`PathRepresenter`].
+    pub fn into_representer(self, name: impl Into<String>) -> TrainedRepresenter {
+        TrainedRepresenter {
+            encoder: self.encoder,
+            inner: Mutex::new((self.params, self.weights)),
+            name: name.into(),
+        }
+    }
+
+    /// Borrow the trained weights (for transfer, e.g. pre-training PathRank).
+    pub fn weights(&self) -> (&Parameters, &EncoderWeights) {
+        (&self.params, &self.weights)
+    }
+}
+
+/// A frozen, thread-safe representer produced by training.
+pub struct TrainedRepresenter {
+    encoder: Arc<TemporalPathEncoder>,
+    inner: Mutex<(Parameters, EncoderWeights)>,
+    name: String,
+}
+
+impl TrainedRepresenter {
+    /// Assemble from previously trained (e.g. checkpointed) state.
+    pub fn from_parts(
+        encoder: Arc<TemporalPathEncoder>,
+        params: Parameters,
+        weights: EncoderWeights,
+        name: impl Into<String>,
+    ) -> Self {
+        Self { encoder, inner: Mutex::new((params, weights)), name: name.into() }
+    }
+}
+
+impl PathRepresenter for TrainedRepresenter {
+    fn dim(&self) -> usize {
+        self.encoder.out_dim()
+    }
+
+    fn represent(&self, _net: &RoadNetwork, path: &Path, departure: SimTime) -> Vec<f64> {
+        let mut guard = self.inner.lock();
+        let (params, weights) = &mut *guard;
+        // Safe split: embed only reads weights but Graph requires &mut params.
+        let weights = weights.clone();
+        self.encoder.embed(params, &weights, path, departure)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsccl_datagen::{CityDataset, DatasetConfig};
+    use wsccl_roadnet::CityProfile;
+    use wsccl_traffic::PopLabeler;
+
+    fn quick_setup() -> (CityDataset, Arc<TemporalPathEncoder>) {
+        let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 11));
+        let enc = Arc::new(TemporalPathEncoder::new(
+            &ds.net,
+            crate::encoder::EncoderConfig::tiny(),
+            11,
+        ));
+        (ds, enc)
+    }
+
+    #[test]
+    fn training_reduces_contrastive_loss() {
+        let (ds, enc) = quick_setup();
+        let mut model = WscModel::new(enc, WscclConfig::tiny(), 1);
+        // Average loss over the first few steps vs. the last few.
+        let mut losses = Vec::new();
+        for _ in 0..30 {
+            if let Some(l) = model.train_step(&ds.unlabeled, &PopLabeler) {
+                losses.push(l);
+            }
+        }
+        assert!(losses.len() >= 25, "most steps should produce a loss");
+        let head: f64 = losses[..5].iter().sum::<f64>() / 5.0;
+        let tail: f64 = losses[losses.len() - 5..].iter().sum::<f64>() / 5.0;
+        assert!(
+            tail < head,
+            "contrastive loss should fall during training: {head:.4} → {tail:.4}"
+        );
+    }
+
+    #[test]
+    fn trained_model_separates_weak_label_classes() {
+        // After training, the same path at two same-label times should be
+        // more similar than at different-label times.
+        let (ds, enc) = quick_setup();
+        let mut model = WscModel::new(enc, WscclConfig::tiny(), 2);
+        model.train(&ds.unlabeled, &PopLabeler, 10);
+        let cos = |a: &[f64], b: &[f64]| {
+            let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+            let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+            dot / (na * nb)
+        };
+        let mut same_sum = 0.0;
+        let mut diff_sum = 0.0;
+        let mut n = 0;
+        for s in ds.unlabeled.iter().take(10) {
+            let peak1 = model.embed(&s.path, SimTime::from_hm(0, 8, 0));
+            let peak2 = model.embed(&s.path, SimTime::from_hm(2, 8, 20));
+            let off = model.embed(&s.path, SimTime::from_hm(0, 13, 0));
+            same_sum += cos(&peak1, &peak2);
+            diff_sum += cos(&peak1, &off);
+            n += 1;
+        }
+        let (same, diff) = (same_sum / n as f64, diff_sum / n as f64);
+        assert!(
+            same > diff,
+            "same weak label should be closer: same {same:.4} vs diff {diff:.4}"
+        );
+    }
+
+    #[test]
+    fn representer_is_deterministic_and_named() {
+        let (ds, enc) = quick_setup();
+        let mut model = WscModel::new(enc, WscclConfig::tiny(), 3);
+        model.train_step(&ds.unlabeled, &PopLabeler);
+        let rep = model.into_representer("WSCCL");
+        let s = &ds.unlabeled[0];
+        let a = rep.represent(&ds.net, &s.path, s.departure);
+        let b = rep.represent(&ds.net, &s.path, s.departure);
+        assert_eq!(a, b);
+        assert_eq!(rep.name(), "WSCCL");
+        assert_eq!(a.len(), rep.dim());
+    }
+}

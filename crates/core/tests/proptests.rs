@@ -1,0 +1,88 @@
+//! Property-based tests for the WSCCL core: batch construction, loss
+//! computability, and curriculum invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wsccl_core::curriculum::{curriculum_stages, meta_sets};
+use wsccl_core::sampler::{build_batch, sample_time_with_label};
+use wsccl_datagen::{CityDataset, DatasetConfig};
+use wsccl_roadnet::CityProfile;
+use wsccl_traffic::{PopLabeler, WeakLabel, WeakLabeler};
+
+fn pool() -> Vec<wsccl_datagen::TemporalPathSample> {
+    CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 4)).unlabeled
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Batches always label items consistently with the labeler and contain
+    /// at least one anchor–positive pair.
+    #[test]
+    fn batches_are_well_formed(seed in 0u64..500, size in 8usize..32) {
+        let pool = pool();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batch = build_batch(&mut rng, &pool, &PopLabeler, size);
+        prop_assert!(!batch.is_empty());
+        for item in &batch {
+            prop_assert_eq!(item.label, PopLabeler.label(item.departure));
+            prop_assert!(!item.path.is_empty());
+        }
+        let has_positive_pair = batch.iter().enumerate().any(|(i, a)| {
+            batch.iter().enumerate().any(|(j, b)| i != j && a.is_positive_for(b))
+        });
+        prop_assert!(has_positive_pair);
+    }
+
+    /// Label-conditioned time sampling always returns the requested label.
+    #[test]
+    fn time_sampling_honors_label(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for target in [WeakLabel::MorningPeak, WeakLabel::AfternoonPeak, WeakLabel::OffPeak] {
+            if let Some(t) = sample_time_with_label(&mut rng, &PopLabeler, target, 500) {
+                prop_assert_eq!(PopLabeler.label(t), target);
+            }
+        }
+    }
+
+    /// Meta-sets partition the data into non-overlapping, length-sorted sets.
+    #[test]
+    fn meta_sets_partition(n in 1usize..8) {
+        let data = pool();
+        prop_assume!(n <= data.len());
+        let sets = meta_sets(&data, n);
+        prop_assert_eq!(sets.len(), n);
+        let mut all: Vec<usize> = sets.concat();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..data.len()).collect::<Vec<_>>());
+        for w in sets.windows(2) {
+            let max_prev = w[0].iter().map(|&i| data[i].path.len()).max().unwrap();
+            let min_next = w[1].iter().map(|&i| data[i].path.len()).min().unwrap();
+            prop_assert!(max_prev <= min_next);
+        }
+    }
+
+    /// Curriculum stages partition samples and order easiest-first.
+    #[test]
+    fn stages_partition_and_order(
+        scores in proptest::collection::vec(-5.0f64..5.0, 6..40),
+        m in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(m <= scores.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stages = curriculum_stages(&scores, m, &mut rng);
+        let mut all: Vec<usize> = stages.concat();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..scores.len()).collect::<Vec<_>>());
+        // Min score of a stage ≥ max score of the next stage (easy → hard).
+        for w in stages.windows(2) {
+            let min_prev =
+                w[0].iter().map(|&i| scores[i]).fold(f64::INFINITY, f64::min);
+            let max_next =
+                w[1].iter().map(|&i| scores[i]).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(min_prev >= max_next - 1e-12);
+        }
+    }
+}

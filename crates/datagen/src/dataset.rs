@@ -1,0 +1,319 @@
+//! City dataset generation.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use wsccl_mapmatch::{map_match, EdgeSpatialIndex, MatchConfig};
+use wsccl_roadnet::yen::k_shortest_paths;
+use wsccl_roadnet::{CityProfile, Path, RoadNetwork};
+use wsccl_traffic::{CongestionModel, SimTime, TripConfig, TripGenerator};
+
+/// One unlabeled temporal path `tp = (p, t)` (paper Definition 4).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TemporalPathSample {
+    pub path: Path,
+    pub departure: SimTime,
+}
+
+/// Labeled travel-time example.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TteExample {
+    pub path: Path,
+    pub departure: SimTime,
+    /// Realized travel time, seconds.
+    pub travel_time: f64,
+}
+
+/// One origin–destination candidate group for ranking and recommendation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CandidateGroup {
+    pub departure: SimTime,
+    /// Candidate paths; index 0 is always the trajectory path.
+    pub candidates: Vec<Path>,
+    /// Ranking score per candidate (trajectory path = 1.0).
+    pub scores: Vec<f64>,
+    /// Recommendation label per candidate (trajectory path = true).
+    pub labels: Vec<bool>,
+}
+
+/// Generation parameters for one city dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    pub profile: CityProfile,
+    pub seed: u64,
+    /// Unlabeled temporal paths for representation learning.
+    pub num_unlabeled: usize,
+    /// Labeled examples: TTE count, and candidate-group count for
+    /// ranking/recommendation.
+    pub num_tte: usize,
+    pub num_groups: usize,
+    /// Candidates per group, including the trajectory path.
+    pub candidates_per_group: usize,
+    /// If true, recover unlabeled paths from simulated noisy GPS by HMM map
+    /// matching (slower, exercises the full pipeline like the paper).
+    pub use_map_matching: bool,
+}
+
+impl DatasetConfig {
+    /// Benchmark-scale defaults for a profile.
+    pub fn standard(profile: CityProfile, seed: u64) -> Self {
+        Self {
+            profile,
+            seed,
+            num_unlabeled: 1200,
+            num_tte: 500,
+            num_groups: 120,
+            candidates_per_group: 5,
+            use_map_matching: false,
+        }
+    }
+
+    /// Small configuration for unit/integration tests.
+    pub fn tiny(profile: CityProfile, seed: u64) -> Self {
+        Self {
+            profile,
+            seed,
+            num_unlabeled: 60,
+            num_tte: 40,
+            num_groups: 10,
+            candidates_per_group: 4,
+            use_map_matching: false,
+        }
+    }
+}
+
+/// A fully generated city dataset.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct CityDataset {
+    pub name: String,
+    pub net: RoadNetwork,
+    pub congestion: CongestionModel,
+    pub unlabeled: Vec<TemporalPathSample>,
+    pub tte: Vec<TteExample>,
+    pub groups: Vec<CandidateGroup>,
+}
+
+/// Per-city traffic realism parameters (sampling rates from §VII-A.1; peak
+/// strengths chosen so the three cities differ in congestion severity).
+fn city_params(profile: CityProfile) -> (f64, TripConfig) {
+    match profile {
+        CityProfile::Aalborg => (
+            1.2,
+            TripConfig { gps_noise: 8.0, sample_interval: 5.0, ..Default::default() },
+        ),
+        CityProfile::Harbin => (
+            1.6,
+            TripConfig { gps_noise: 15.0, sample_interval: 30.0, ..Default::default() },
+        ),
+        CityProfile::Chengdu => (
+            1.8,
+            TripConfig { gps_noise: 12.0, sample_interval: 3.0, ..Default::default() },
+        ),
+    }
+}
+
+impl CityDataset {
+    /// Generate a dataset. Deterministic per config.
+    pub fn generate(cfg: &DatasetConfig) -> Self {
+        let net = cfg.profile.generate(cfg.seed);
+        let (peak_strength, trip_cfg) = city_params(cfg.profile);
+        let congestion = CongestionModel::new(&net, peak_strength, cfg.seed);
+        let mut generator = TripGenerator::new(&net, &congestion, trip_cfg, cfg.seed);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xDA7A_6E4);
+
+        // Unlabeled temporal paths (optionally via GPS + map matching).
+        let index = cfg.use_map_matching.then(|| EdgeSpatialIndex::new(&net, 200.0));
+        let match_cfg = MatchConfig::default();
+        let mut unlabeled = Vec::with_capacity(cfg.num_unlabeled);
+        while unlabeled.len() < cfg.num_unlabeled {
+            let trip = generator.generate_trip();
+            let path = match &index {
+                Some(ix) => {
+                    let traj = generator.trip_to_trajectory(&trip);
+                    match map_match(&net, ix, &traj, &match_cfg) {
+                        Some(p) => p,
+                        None => continue,
+                    }
+                }
+                None => trip.path.clone(),
+            };
+            unlabeled.push(TemporalPathSample { path, departure: trip.departure });
+        }
+
+        // Labeled travel-time examples.
+        let tte: Vec<TteExample> = (0..cfg.num_tte)
+            .map(|_| {
+                let trip = generator.generate_trip();
+                TteExample {
+                    path: trip.path,
+                    departure: trip.departure,
+                    travel_time: trip.total_time,
+                }
+            })
+            .collect();
+
+        // Candidate groups for ranking and recommendation.
+        let mut groups = Vec::with_capacity(cfg.num_groups);
+        while groups.len() < cfg.num_groups {
+            let trip = generator.generate_trip();
+            let truth = trip.path;
+            let (src, dst) = (truth.source(&net), truth.destination(&net));
+            let weight = |e| net.edge(e).length;
+            let mut candidates =
+                k_shortest_paths(&net, src, dst, cfg.candidates_per_group + 2, &weight);
+            // Drop any duplicate of the trajectory path, keep it in front.
+            candidates.retain(|p| p.edges() != truth.edges());
+            candidates.truncate(cfg.candidates_per_group - 1);
+            if candidates.len() + 1 < 3 {
+                continue; // need at least 3 candidates for meaningful ranking
+            }
+            // Shuffle alternatives so position carries no signal, then insert
+            // the truth at a random slot.
+            let mut all: Vec<Path> = candidates;
+            let pos = rng.random_range(0..=all.len());
+            all.insert(pos, truth.clone());
+            let scores: Vec<f64> =
+                all.iter().map(|p| p.weighted_jaccard(&truth, &net)).collect();
+            let labels: Vec<bool> = all.iter().map(|p| p.edges() == truth.edges()).collect();
+            // Re-order so index 0 is the truth (consumers rely on it).
+            let truth_ix = labels.iter().position(|&b| b).expect("truth present");
+            let mut order: Vec<usize> = (0..all.len()).collect();
+            order.swap(0, truth_ix);
+            let candidates: Vec<Path> = order.iter().map(|&i| all[i].clone()).collect();
+            let scores: Vec<f64> = order.iter().map(|&i| scores[i]).collect();
+            let labels: Vec<bool> = order.iter().map(|&i| labels[i]).collect();
+            groups.push(CandidateGroup { departure: trip.departure, candidates, scores, labels });
+        }
+
+        Self {
+            name: cfg.profile.name().to_string(),
+            net,
+            congestion,
+            unlabeled,
+            tte,
+            groups,
+        }
+    }
+
+    /// Dataset statistics row (the Table II analog).
+    pub fn statistics(&self) -> DatasetStatistics {
+        DatasetStatistics {
+            name: self.name.clone(),
+            num_nodes: self.net.num_nodes(),
+            num_edges: self.net.num_edges(),
+            unlabeled_paths: self.unlabeled.len(),
+            labeled_tte: self.tte.len(),
+            labeled_groups: self.groups.len(),
+            mean_path_len: self.unlabeled.iter().map(|s| s.path.len()).sum::<usize>() as f64
+                / self.unlabeled.len().max(1) as f64,
+        }
+    }
+}
+
+/// Summary statistics for reporting.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatasetStatistics {
+    pub name: String,
+    pub num_nodes: usize,
+    pub num_edges: usize,
+    pub unlabeled_paths: usize,
+    pub labeled_tte: usize,
+    pub labeled_groups: usize,
+    pub mean_path_len: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsccl_traffic::{PopLabeler, WeakLabel, WeakLabeler};
+
+    #[test]
+    fn tiny_dataset_has_requested_sizes_and_valid_paths() {
+        let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 42));
+        assert_eq!(ds.unlabeled.len(), 60);
+        assert_eq!(ds.tte.len(), 40);
+        assert_eq!(ds.groups.len(), 10);
+        for s in &ds.unlabeled {
+            assert!(Path::new(&ds.net, s.path.edges().to_vec()).is_some());
+        }
+        for t in &ds.tte {
+            assert!(t.travel_time > 0.0);
+        }
+    }
+
+    #[test]
+    fn candidate_groups_are_well_formed() {
+        let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Harbin, 7));
+        for g in &ds.groups {
+            assert!(g.candidates.len() >= 3);
+            assert_eq!(g.candidates.len(), g.scores.len());
+            assert_eq!(g.candidates.len(), g.labels.len());
+            // Index 0 is the trajectory path: label true, score 1.0.
+            assert!(g.labels[0]);
+            assert!((g.scores[0] - 1.0).abs() < 1e-12);
+            // Exactly one positive label.
+            assert_eq!(g.labels.iter().filter(|&&b| b).count(), 1);
+            // All candidates share the truth's endpoints.
+            let (s, d) =
+                (g.candidates[0].source(&ds.net), g.candidates[0].destination(&ds.net));
+            for c in &g.candidates {
+                assert_eq!(c.source(&ds.net), s);
+                assert_eq!(c.destination(&ds.net), d);
+            }
+            // Scores are in [0, 1] and alternatives score below the truth.
+            for (i, &sc) in g.scores.iter().enumerate() {
+                assert!((0.0..=1.0 + 1e-12).contains(&sc));
+                if i > 0 {
+                    assert!(sc < 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn travel_times_reflect_peaks() {
+        // Average peak-departure speed (m/s) should be lower than off-peak.
+        let ds = CityDataset::generate(&DatasetConfig::standard(CityProfile::Chengdu, 3));
+        let labeler = PopLabeler;
+        let mut peak = (0.0f64, 0usize);
+        let mut off = (0.0f64, 0usize);
+        for t in &ds.tte {
+            let speed = t.path.length(&ds.net) / t.travel_time;
+            match labeler.label(t.departure) {
+                WeakLabel::OffPeak => {
+                    off.0 += speed;
+                    off.1 += 1;
+                }
+                _ => {
+                    peak.0 += speed;
+                    peak.1 += 1;
+                }
+            }
+        }
+        assert!(peak.1 > 10 && off.1 > 10, "both classes should be populated");
+        let (vp, vo) = (peak.0 / peak.1 as f64, off.0 / off.1 as f64);
+        assert!(vp < vo, "peak speed {vp:.1} should be below off-peak {vo:.1}");
+    }
+
+    #[test]
+    fn map_matched_generation_works() {
+        let cfg = DatasetConfig {
+            use_map_matching: true,
+            ..DatasetConfig::tiny(CityProfile::Aalborg, 5)
+        };
+        let ds = CityDataset::generate(&cfg);
+        assert_eq!(ds.unlabeled.len(), 60);
+        for s in &ds.unlabeled {
+            assert!(Path::new(&ds.net, s.path.edges().to_vec()).is_some());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 9));
+        let b = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 9));
+        assert_eq!(a.unlabeled[0].path.edges(), b.unlabeled[0].path.edges());
+        assert_eq!(a.tte[5].travel_time, b.tte[5].travel_time);
+    }
+}

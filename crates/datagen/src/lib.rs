@@ -1,0 +1,25 @@
+//! Dataset assembly: the reproduction's stand-in for Table II's three city
+//! datasets.
+//!
+//! A [`CityDataset`] bundles a synthetic road network, its congestion model,
+//! an *unlabeled* pool of temporal paths (used by all representation-learning
+//! methods), and *labeled* examples for the three downstream tasks:
+//!
+//! * **Travel-time estimation** — realized trip durations from the simulator.
+//! * **Path ranking** — per origin–destination group, the trajectory path
+//!   (score 1.0) plus Yen k-shortest alternatives scored by length-weighted
+//!   Jaccard similarity with the trajectory path (§VII-A.2b).
+//! * **Path recommendation** — the same groups with binary used/unused labels
+//!   (§VII-A.2c).
+//!
+//! Paths can come either directly from the trip simulator or — like the paper
+//! — be recovered from simulated noisy GPS traces by HMM map matching
+//! (`use_map_matching`).
+
+pub mod dataset;
+pub mod split;
+
+pub use dataset::{
+    CandidateGroup, CityDataset, DatasetConfig, TemporalPathSample, TteExample,
+};
+pub use split::train_test_split;

@@ -1,0 +1,49 @@
+//! Seeded train/test splitting (the paper uses 80/20 on labeled data).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Shuffle indices `0..n` and split at `train_frac`.
+///
+/// # Panics
+/// Panics unless `0 < train_frac < 1` and both sides end up non-empty.
+pub fn train_test_split(n: usize, train_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(train_frac > 0.0 && train_frac < 1.0, "train_frac must be in (0,1)");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed ^ 0x5B11_7000));
+    let cut = ((n as f64) * train_frac).round() as usize;
+    assert!(cut > 0 && cut < n, "split produced an empty side (n={n}, frac={train_frac})");
+    let test = idx.split_off(cut);
+    (idx, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_without_overlap() {
+        let (train, test) = train_test_split(100, 0.8, 1);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_sensitive_to_seed() {
+        let a = train_test_split(50, 0.8, 7);
+        let b = train_test_split(50, 0.8, 7);
+        assert_eq!(a, b);
+        let c = train_test_split(50, 0.8, 8);
+        assert_ne!(a.0, c.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty side")]
+    fn degenerate_split_panics() {
+        train_test_split(1, 0.5, 0);
+    }
+}

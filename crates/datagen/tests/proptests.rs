@@ -1,0 +1,50 @@
+//! Property-based tests for dataset invariants across seeds and profiles.
+
+use proptest::prelude::*;
+use wsccl_datagen::{train_test_split, CityDataset, DatasetConfig};
+use wsccl_roadnet::{CityProfile, Path};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Every generated dataset satisfies the structural contract regardless
+    /// of seed and city.
+    #[test]
+    fn dataset_contract(seed in 0u64..200, city in 0usize..3) {
+        let profile = CityProfile::ALL[city];
+        let ds = CityDataset::generate(&DatasetConfig::tiny(profile, seed));
+        for s in &ds.unlabeled {
+            prop_assert!(Path::new(&ds.net, s.path.edges().to_vec()).is_some());
+        }
+        for t in &ds.tte {
+            prop_assert!(t.travel_time > 0.0 && t.travel_time.is_finite());
+            // Sanity: implied speed within physical bounds (0.5–40 m/s).
+            let v = t.path.length(&ds.net) / t.travel_time;
+            prop_assert!((0.5..=40.0).contains(&v), "implied speed {v}");
+        }
+        for g in &ds.groups {
+            prop_assert!(g.labels[0]);
+            prop_assert!((g.scores[0] - 1.0).abs() < 1e-12);
+            prop_assert_eq!(g.labels.iter().filter(|&&b| b).count(), 1);
+            let (s, d) = (g.candidates[0].source(&ds.net), g.candidates[0].destination(&ds.net));
+            for (c, &score) in g.candidates.iter().zip(&g.scores) {
+                prop_assert_eq!(c.source(&ds.net), s);
+                prop_assert_eq!(c.destination(&ds.net), d);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&score));
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Splits partition for any n and fraction.
+    #[test]
+    fn split_partitions(n in 5usize..2000, frac in 0.1f64..0.9, seed in 0u64..100) {
+        let (train, test) = train_test_split(n, frac, seed);
+        prop_assert_eq!(train.len() + test.len(), n);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), n);
+    }
+}

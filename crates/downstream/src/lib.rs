@@ -1,0 +1,18 @@
+//! Downstream task machinery (§VII-A.2/4).
+//!
+//! The paper evaluates every representation-learning method by freezing the
+//! learned representations and fitting sklearn's Gradient Boosting Regressor
+//! (travel time, ranking score) or Classifier (path recommendation) on top.
+//! This crate provides from-scratch equivalents:
+//!
+//! * [`tree`] — CART regression trees (variance-reduction splits).
+//! * [`gbdt`] — gradient boosting: [`gbdt::GbRegressor`] (squared loss) and
+//!   [`gbdt::GbClassifier`] (binary logistic loss).
+//! * [`metrics`] — MAE / MARE / MAPE (Eq. 14), Kendall τ and Spearman ρ
+//!   (Eq. 15), classification accuracy and hit rate (Eq. 16).
+
+pub mod gbdt;
+pub mod metrics;
+pub mod tree;
+
+pub use gbdt::{GbClassifier, GbConfig, GbRegressor};

@@ -1,0 +1,190 @@
+//! Evaluation metrics: Eq. 14 (MAE / MARE / MAPE), Eq. 15 (Kendall τ,
+//! Spearman ρ), and Eq. 16 (accuracy, hit rate).
+
+/// Mean absolute error.
+pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    assert!(!truth.is_empty(), "mae of nothing");
+    truth.iter().zip(pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / truth.len() as f64
+}
+
+/// Mean absolute relative error: Σ|t−p| / Σ|t|.
+pub fn mare(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    let denom: f64 = truth.iter().map(|t| t.abs()).sum();
+    assert!(denom > 0.0, "mare undefined for all-zero truth");
+    truth.iter().zip(pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / denom
+}
+
+/// Mean absolute percentage error (in %, matching the paper's tables).
+/// Zero-truth entries are skipped.
+pub fn mape(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (t, p) in truth.iter().zip(pred) {
+        if t.abs() > 1e-9 {
+            sum += ((t - p) / t).abs();
+            n += 1;
+        }
+    }
+    assert!(n > 0, "mape undefined: all truths are zero");
+    100.0 * sum / n as f64
+}
+
+/// Kendall rank correlation coefficient τ (Eq. 15), with the τ-a convention:
+/// ties count as neither concordant nor discordant.
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    assert!(n >= 2, "kendall tau needs at least two items");
+    let mut con = 0i64;
+    let mut dis = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s = (a[i] - a[j]) * (b[i] - b[j]);
+            if s > 0.0 {
+                con += 1;
+            } else if s < 0.0 {
+                dis += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (con - dis) as f64 / pairs
+}
+
+/// Average ranks (1-based), ties receive their mean rank.
+fn average_ranks(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| x[i].partial_cmp(&x[j]).expect("finite values"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && x[order[j + 1]] == x[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation ρ computed as Pearson correlation of average
+/// ranks (exact under ties, and equal to Eq. 15 without ties).
+pub fn spearman_rho(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    assert!(a.len() >= 2, "spearman needs at least two items");
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    let n = ra.len() as f64;
+    let ma = ra.iter().sum::<f64>() / n;
+    let mb = rb.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in ra.iter().zip(&rb) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va < 1e-12 || vb < 1e-12 {
+        return 0.0; // constant ranking carries no order information
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Classification accuracy (Eq. 16).
+pub fn accuracy(truth: &[bool], pred: &[bool]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    assert!(!truth.is_empty());
+    truth.iter().zip(pred).filter(|(t, p)| t == p).count() as f64 / truth.len() as f64
+}
+
+/// Hit rate = TP / (TP + FN) (Eq. 16), i.e. recall on the positive class.
+pub fn hit_rate(truth: &[bool], pred: &[bool]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    let tp = truth.iter().zip(pred).filter(|(&t, &p)| t && p).count() as f64;
+    let fnn = truth.iter().zip(pred).filter(|(&t, &p)| t && !p).count() as f64;
+    if tp + fnn == 0.0 {
+        0.0
+    } else {
+        tp / (tp + fnn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_metrics_on_known_values() {
+        let t = [100.0, 200.0, 300.0];
+        let p = [110.0, 180.0, 300.0];
+        assert!((mae(&t, &p) - 10.0).abs() < 1e-12);
+        assert!((mare(&t, &p) - 30.0 / 600.0).abs() < 1e-12);
+        let expect_mape = 100.0 * (0.1 + 0.1 + 0.0) / 3.0;
+        assert!((mape(&t, &p) - expect_mape).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_prediction_zeroes_errors() {
+        let t = [5.0, 7.0, 9.0];
+        assert_eq!(mae(&t, &t), 0.0);
+        assert_eq!(mare(&t, &t), 0.0);
+        assert_eq!(mape(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn kendall_on_known_orderings() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b_same = [10.0, 20.0, 30.0, 40.0];
+        let b_rev = [40.0, 30.0, 20.0, 10.0];
+        assert!((kendall_tau(&a, &b_same) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&a, &b_rev) + 1.0).abs() < 1e-12);
+        // One swap out of 6 pairs: τ = (5 - 1) / 6.
+        let b_swap = [20.0, 10.0, 30.0, 40.0];
+        assert!((kendall_tau(&a, &b_swap) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_on_known_orderings() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 4.0, 6.0, 8.0, 10.0];
+        assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-12);
+        let rev: Vec<f64> = b.iter().rev().copied().collect();
+        assert!((spearman_rho(&a, &rev) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties_and_constants() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 1.0, 2.0, 3.0];
+        assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-9);
+        let c = [2.0, 2.0, 2.0, 2.0];
+        assert_eq!(spearman_rho(&a, &c), 0.0);
+    }
+
+    #[test]
+    fn classification_metrics() {
+        let t = [true, true, false, false, true];
+        let p = [true, false, false, true, true];
+        assert!((accuracy(&t, &p) - 0.6).abs() < 1e-12);
+        // TP = 2, FN = 1 → HR = 2/3.
+        assert!((hit_rate(&t, &p) - 2.0 / 3.0).abs() < 1e-12);
+        // No positives → hit rate defined as 0.
+        assert_eq!(hit_rate(&[false, false], &[false, true]), 0.0);
+    }
+
+    #[test]
+    fn mape_skips_zero_truth_entries() {
+        let t = [0.0, 100.0];
+        let p = [5.0, 110.0];
+        assert!((mape(&t, &p) - 10.0).abs() < 1e-9);
+    }
+}

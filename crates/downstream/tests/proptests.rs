@@ -1,0 +1,89 @@
+//! Property-based tests for trees, boosting, and metrics.
+
+use proptest::prelude::*;
+use wsccl_downstream::metrics::{
+    accuracy, hit_rate, kendall_tau, mae, mape, mare, spearman_rho,
+};
+use wsccl_downstream::tree::{RegressionTree, TreeConfig};
+use wsccl_downstream::{GbConfig, GbRegressor};
+
+fn xy(n: usize) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    (
+        proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, 3), n..n + 1),
+        proptest::collection::vec(-100.0f64..100.0, n..n + 1),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A regression tree's predictions never leave the range of its targets.
+    #[test]
+    fn tree_predictions_within_target_range((x, y) in xy(30)) {
+        let tree = RegressionTree::fit(&x, &y, &TreeConfig::default());
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for row in &x {
+            let p = tree.predict(row);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// More boosting rounds never increase training MSE (squared loss is
+    /// monotone in function space with a small enough learning rate).
+    #[test]
+    fn boosting_training_error_is_monotone((x, y) in xy(40)) {
+        let mse = |trees: usize| {
+            let cfg = GbConfig { n_trees: trees, learning_rate: 0.1, ..Default::default() };
+            let m = GbRegressor::fit(&x, &y, &cfg);
+            x.iter().zip(&y).map(|(r, t)| (m.predict(r) - t).powi(2)).sum::<f64>()
+        };
+        prop_assert!(mse(30) <= mse(5) + 1e-6);
+    }
+
+    /// MAE/MARE/MAPE are zero exactly for perfect predictions and positive
+    /// otherwise.
+    #[test]
+    fn error_metrics_definiteness(y in proptest::collection::vec(1.0f64..1000.0, 2..20), bump in 0.1f64..10.0) {
+        prop_assert_eq!(mae(&y, &y), 0.0);
+        prop_assert_eq!(mare(&y, &y), 0.0);
+        prop_assert_eq!(mape(&y, &y), 0.0);
+        let off: Vec<f64> = y.iter().map(|v| v + bump).collect();
+        prop_assert!(mae(&y, &off) > 0.0);
+        prop_assert!(mare(&y, &off) > 0.0);
+        prop_assert!(mape(&y, &off) > 0.0);
+        prop_assert!((mae(&y, &off) - bump).abs() < 1e-9);
+    }
+
+    /// Kendall τ and Spearman ρ: bounded, symmetric under argument swap, and
+    /// negated by reversing one ranking.
+    #[test]
+    fn rank_correlation_properties(a in proptest::collection::vec(-100.0f64..100.0, 3..15)) {
+        // Make values distinct enough to avoid tie pathologies.
+        let a: Vec<f64> = a.iter().enumerate().map(|(i, v)| v + i as f64 * 1e-3).collect();
+        let b: Vec<f64> = a.iter().map(|v| v * 2.0 + 1.0).collect();
+        prop_assert!((kendall_tau(&a, &b) - 1.0).abs() < 1e-9);
+        prop_assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-9);
+        let rev: Vec<f64> = b.iter().map(|v| -v).collect();
+        prop_assert!((kendall_tau(&a, &rev) + 1.0).abs() < 1e-9);
+        prop_assert!((spearman_rho(&a, &rev) + 1.0).abs() < 1e-9);
+        // Symmetry.
+        prop_assert!((kendall_tau(&a, &b) - kendall_tau(&b, &a)).abs() < 1e-12);
+        prop_assert!((spearman_rho(&a, &b) - spearman_rho(&b, &a)).abs() < 1e-12);
+    }
+
+    /// Accuracy and hit rate are bounded and consistent with perfect/anti
+    /// predictions.
+    #[test]
+    fn classification_metric_bounds(t in proptest::collection::vec(any::<bool>(), 1..30)) {
+        prop_assert_eq!(accuracy(&t, &t), 1.0);
+        let flipped: Vec<bool> = t.iter().map(|b| !b).collect();
+        prop_assert_eq!(accuracy(&t, &flipped), 0.0);
+        let hr = hit_rate(&t, &t);
+        if t.iter().any(|&b| b) {
+            prop_assert_eq!(hr, 1.0);
+        } else {
+            prop_assert_eq!(hr, 0.0);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Graph representation learning: a from-scratch node2vec (Grover & Leskovec,
+//! KDD 2016) with biased second-order random walks and skip-gram negative
+//! sampling, plus the paper's two applications of it:
+//!
+//! * [`temporal`] — the 2016-node temporal graph of §IV-A (288 five-minute
+//!   slots × 7 days, with adjacency between consecutive slots, between the
+//!   same slots on neighboring days, and across the Sunday→Monday boundary),
+//!   embedded with node2vec to produce `t_all`.
+//! * [`roadgraph`] — node2vec over the road network's intersection graph
+//!   (§IV-B(b)); an edge's topology embedding is the concatenation of its
+//!   endpoint embeddings, `s_rn = [n_vi, n_vj]` (Eq. 5).
+
+pub mod node2vec;
+pub mod roadgraph;
+pub mod skipgram;
+pub mod temporal;
+pub mod walks;
+
+pub use node2vec::{Node2Vec, Node2VecConfig};
+pub use roadgraph::RoadEmbeddings;
+pub use temporal::TemporalEmbeddings;
+pub use walks::AdjGraph;

@@ -1,0 +1,150 @@
+//! node2vec driver: walks + skip-gram → node embeddings.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::skipgram::SkipGram;
+use crate::walks::AdjGraph;
+
+/// node2vec hyperparameters. The paper uses 128-dimensional outputs; the
+/// reproduction default is 32 (see DESIGN.md on CPU scaling).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Node2VecConfig {
+    pub dim: usize,
+    pub walk_len: usize,
+    pub walks_per_node: usize,
+    pub window: usize,
+    pub negatives: usize,
+    /// Return parameter p.
+    pub p: f64,
+    /// In-out parameter q.
+    pub q: f64,
+    pub lr: f64,
+    pub epochs: usize,
+    pub seed: u64,
+}
+
+impl Default for Node2VecConfig {
+    fn default() -> Self {
+        Self {
+            dim: 32,
+            walk_len: 20,
+            walks_per_node: 6,
+            window: 4,
+            negatives: 4,
+            p: 1.0,
+            q: 1.0,
+            lr: 0.025,
+            epochs: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// Trained node2vec embeddings.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Node2Vec {
+    dim: usize,
+    embeddings: Vec<Vec<f64>>,
+}
+
+impl Node2Vec {
+    /// Train node2vec on a graph.
+    pub fn train(graph: &AdjGraph, cfg: &Node2VecConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4E2C_0DE5);
+        let mut walks = Vec::with_capacity(graph.num_nodes() * cfg.walks_per_node);
+        for _ in 0..cfg.walks_per_node {
+            for start in 0..graph.num_nodes() {
+                walks.push(graph.node2vec_walk(&mut rng, start, cfg.walk_len, cfg.p, cfg.q));
+            }
+        }
+        let mut model = SkipGram::new(&mut rng, graph.num_nodes(), cfg.dim);
+        model.train_walks(&mut rng, &walks, cfg.window, cfg.negatives, cfg.lr, cfg.epochs);
+        Self { dim: cfg.dim, embeddings: model.w_in }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.embeddings.len()
+    }
+
+    /// Embedding vector of a node.
+    pub fn embedding(&self, node: usize) -> &[f64] {
+        &self.embeddings[node]
+    }
+
+    /// Cosine similarity between two nodes.
+    pub fn cosine(&self, a: usize, b: usize) -> f64 {
+        let (va, vb) = (&self.embeddings[a], &self.embeddings[b]);
+        let dot: f64 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
+        let na: f64 = va.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = vb.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if na < 1e-12 || nb < 1e-12 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two cliques joined by one bridge edge: embeddings must separate them.
+    #[test]
+    fn separates_two_communities() {
+        let mut edges = Vec::new();
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                edges.push((a, b));
+                edges.push((a + 6, b + 6));
+            }
+        }
+        edges.push((0, 6)); // bridge
+        let g = AdjGraph::from_edges(12, &edges);
+        let n2v = Node2Vec::train(
+            &g,
+            &Node2VecConfig { dim: 16, walks_per_node: 10, epochs: 4, ..Default::default() },
+        );
+        // Average within- vs cross-community similarity.
+        let mut within = 0.0;
+        let mut cross = 0.0;
+        let mut nw = 0;
+        let mut nc = 0;
+        for a in 1..6 {
+            for b in (a + 1)..6 {
+                within += n2v.cosine(a, b);
+                nw += 1;
+            }
+            for b in 7..12 {
+                cross += n2v.cosine(a, b);
+                nc += 1;
+            }
+        }
+        let (within, cross) = (within / nw as f64, cross / nc as f64);
+        assert!(within > cross + 0.15, "within {within:.3} vs cross {cross:.3}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = AdjGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let cfg = Node2VecConfig { dim: 8, ..Default::default() };
+        let a = Node2Vec::train(&g, &cfg);
+        let b = Node2Vec::train(&g, &cfg);
+        assert_eq!(a.embedding(2), b.embedding(2));
+    }
+
+    #[test]
+    fn shapes() {
+        let g = AdjGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let n2v = Node2Vec::train(&g, &Node2VecConfig { dim: 12, ..Default::default() });
+        assert_eq!(n2v.num_nodes(), 4);
+        assert_eq!(n2v.dim(), 12);
+        assert_eq!(n2v.embedding(0).len(), 12);
+    }
+}

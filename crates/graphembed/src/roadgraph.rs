@@ -1,0 +1,100 @@
+//! node2vec over the road network's intersection graph (§IV-B(b)).
+//!
+//! An edge's topology embedding is the concatenation of its endpoint node
+//! embeddings: `s_rn(e_k) = [n_vi, n_vj]` (Eq. 5).
+
+use serde::{Deserialize, Serialize};
+
+use wsccl_roadnet::{EdgeId, RoadNetwork};
+
+use crate::node2vec::{Node2Vec, Node2VecConfig};
+use crate::walks::AdjGraph;
+
+/// Build the undirected intersection graph of a road network.
+pub fn build_road_graph(net: &RoadNetwork) -> AdjGraph {
+    let edges: Vec<(usize, usize)> =
+        net.edges().iter().map(|e| (e.from.index(), e.to.index())).collect();
+    AdjGraph::from_edges(net.num_nodes(), &edges)
+}
+
+/// Trained road-network node embeddings with edge-level access.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoadEmbeddings {
+    model: Node2Vec,
+}
+
+impl RoadEmbeddings {
+    /// Train node2vec over the road network's intersection graph.
+    pub fn train(net: &RoadNetwork, cfg: &Node2VecConfig) -> Self {
+        let graph = build_road_graph(net);
+        Self { model: Node2Vec::train(&graph, cfg) }
+    }
+
+    /// Per-node embedding dimension; edge embeddings are twice this.
+    pub fn node_dim(&self) -> usize {
+        self.model.dim()
+    }
+
+    /// Edge topology embedding: `[emb(from), emb(to)]` (Eq. 5).
+    pub fn edge_embedding(&self, net: &RoadNetwork, e: EdgeId) -> Vec<f64> {
+        let edge = net.edge(e);
+        let mut out = Vec::with_capacity(2 * self.node_dim());
+        out.extend_from_slice(self.model.embedding(edge.from.index()));
+        out.extend_from_slice(self.model.embedding(edge.to.index()));
+        out
+    }
+
+    pub fn node_embedding(&self, node: usize) -> &[f64] {
+        self.model.embedding(node)
+    }
+
+    pub fn node_cosine(&self, a: usize, b: usize) -> f64 {
+        self.model.cosine(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsccl_roadnet::shortest::dijkstra;
+    use wsccl_roadnet::{CityProfile, NodeId};
+
+    fn quick_cfg() -> Node2VecConfig {
+        Node2VecConfig { dim: 16, walk_len: 15, walks_per_node: 3, epochs: 1, seed: 3, ..Default::default() }
+    }
+
+    #[test]
+    fn edge_embedding_concatenates_endpoints() {
+        let net = CityProfile::Aalborg.generate(6);
+        let emb = RoadEmbeddings::train(&net, &quick_cfg());
+        let e = EdgeId(0);
+        let v = emb.edge_embedding(&net, e);
+        assert_eq!(v.len(), 32);
+        let from = net.edge(e).from.index();
+        assert_eq!(&v[..16], emb.node_embedding(from));
+    }
+
+    #[test]
+    fn topologically_close_nodes_are_more_similar() {
+        let net = CityProfile::Aalborg.generate(6);
+        let emb = RoadEmbeddings::train(&net, &quick_cfg());
+        // Compare hop-1 neighbors against far-away nodes (graph distance).
+        let sp = dijkstra(&net, NodeId(0), &|_e| 1.0, &[], &[]);
+        let mut near = Vec::new();
+        let mut far = Vec::new();
+        for v in 0..net.num_nodes() {
+            let d = sp.dist[v];
+            if d >= 1.0 && d <= 2.0 {
+                near.push(v);
+            } else if d >= 12.0 && d.is_finite() {
+                far.push(v);
+            }
+        }
+        assert!(!near.is_empty() && !far.is_empty());
+        let avg = |xs: &[usize]| {
+            xs.iter().map(|&v| emb.node_cosine(0, v)).sum::<f64>() / xs.len() as f64
+        };
+        let (n, f) = (avg(&near), avg(&far));
+        assert!(n > f, "near {n:.3} should exceed far {f:.3}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Skip-gram with negative sampling (SGNS) over walk corpora.
+//!
+//! Gradients are closed-form, so this trains with hand-rolled SGD rather than
+//! the autodiff stack — word2vec-style.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// SGNS model state: input ("in") and output ("out") embedding tables.
+pub struct SkipGram {
+    dim: usize,
+    pub w_in: Vec<Vec<f64>>,
+    w_out: Vec<Vec<f64>>,
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl SkipGram {
+    pub fn new(rng: &mut StdRng, vocab: usize, dim: usize) -> Self {
+        let init = |rng: &mut StdRng| {
+            (0..vocab)
+                .map(|_| (0..dim).map(|_| rng.random_range(-0.5..0.5) / dim as f64).collect())
+                .collect::<Vec<Vec<f64>>>()
+        };
+        Self { dim, w_in: init(rng), w_out: init(rng) }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// One SGD update for a (center, context) pair with `negatives` sampled
+    /// uniformly. Returns the pair's loss before the update.
+    pub fn train_pair(
+        &mut self,
+        rng: &mut StdRng,
+        center: usize,
+        context: usize,
+        negatives: usize,
+        lr: f64,
+    ) -> f64 {
+        let vocab = self.w_out.len();
+        let mut grad_in = vec![0.0; self.dim];
+        let mut loss = 0.0;
+
+        // Positive term: -log σ(z_c · z_ctx).
+        {
+            let dot: f64 =
+                self.w_in[center].iter().zip(&self.w_out[context]).map(|(a, b)| a * b).sum();
+            let s = sigmoid(dot);
+            loss -= s.max(1e-12).ln();
+            let g = s - 1.0; // d loss / d dot
+            for d in 0..self.dim {
+                grad_in[d] += g * self.w_out[context][d];
+                self.w_out[context][d] -= lr * g * self.w_in[center][d];
+            }
+        }
+
+        // Negative terms: -log σ(-z_c · z_neg).
+        for _ in 0..negatives {
+            let neg = rng.random_range(0..vocab);
+            if neg == context {
+                continue;
+            }
+            let dot: f64 =
+                self.w_in[center].iter().zip(&self.w_out[neg]).map(|(a, b)| a * b).sum();
+            let s = sigmoid(dot);
+            loss -= (1.0 - s).max(1e-12).ln();
+            let g = s; // d loss / d dot
+            for d in 0..self.dim {
+                grad_in[d] += g * self.w_out[neg][d];
+                self.w_out[neg][d] -= lr * g * self.w_in[center][d];
+            }
+        }
+
+        for d in 0..self.dim {
+            self.w_in[center][d] -= lr * grad_in[d];
+        }
+        loss
+    }
+
+    /// Train on a corpus of walks with the given context window.
+    /// Returns the mean pair loss of the final epoch.
+    pub fn train_walks(
+        &mut self,
+        rng: &mut StdRng,
+        walks: &[Vec<usize>],
+        window: usize,
+        negatives: usize,
+        lr: f64,
+        epochs: usize,
+    ) -> f64 {
+        let mut last = 0.0;
+        for _ in 0..epochs {
+            let mut total = 0.0;
+            let mut pairs = 0usize;
+            for walk in walks {
+                for (i, &center) in walk.iter().enumerate() {
+                    let lo = i.saturating_sub(window);
+                    let hi = (i + window + 1).min(walk.len());
+                    for j in lo..hi {
+                        if j != i {
+                            total += self.train_pair(rng, center, walk[j], negatives, lr);
+                            pairs += 1;
+                        }
+                    }
+                }
+            }
+            last = if pairs > 0 { total / pairs as f64 } else { 0.0 };
+        }
+        last
+    }
+
+    /// Cosine similarity between two nodes' input embeddings.
+    pub fn cosine(&self, a: usize, b: usize) -> f64 {
+        let (va, vb) = (&self.w_in[a], &self.w_in[b]);
+        let dot: f64 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
+        let na: f64 = va.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = vb.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if na < 1e-12 || nb < 1e-12 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn loss_decreases_with_training() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = SkipGram::new(&mut rng, 20, 8);
+        // Two tight clusters: walks alternate within {0..4} or within {5..9}.
+        let mut walks = Vec::new();
+        for s in 0..50 {
+            let base = if s % 2 == 0 { 0 } else { 5 };
+            walks.push((0..10).map(|i| base + (i + s) % 5).collect::<Vec<_>>());
+        }
+        let first = model.train_walks(&mut rng, &walks, 2, 3, 0.05, 1);
+        let last = model.train_walks(&mut rng, &walks, 2, 3, 0.05, 10);
+        assert!(last < first, "loss should drop: {first} → {last}");
+    }
+
+    #[test]
+    fn co_occurring_nodes_become_similar() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = SkipGram::new(&mut rng, 10, 8);
+        let mut walks = Vec::new();
+        for s in 0..80 {
+            let base = if s % 2 == 0 { 0 } else { 5 };
+            walks.push((0..12).map(|i| base + (i + s) % 5).collect::<Vec<_>>());
+        }
+        model.train_walks(&mut rng, &walks, 2, 4, 0.05, 15);
+        // Within-cluster similarity should exceed cross-cluster similarity.
+        let within = model.cosine(0, 1);
+        let cross = model.cosine(0, 6);
+        assert!(within > cross + 0.2, "within {within:.3} vs cross {cross:.3}");
+    }
+}

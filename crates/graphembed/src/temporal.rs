@@ -1,0 +1,127 @@
+//! The paper's temporal graph (§IV-A) and its node2vec embeddings.
+//!
+//! 288 five-minute slots × 7 days = 2016 nodes. Edges connect (i) consecutive
+//! slots within a day, (ii) the same slot on neighboring days, and (iii) slots
+//! across the Sunday→Monday boundary (day wrap), capturing local smoothness
+//! and weekly periodicity.
+
+use serde::{Deserialize, Serialize};
+
+use wsccl_traffic::time::{SLOTS_PER_DAY, TEMPORAL_NODES};
+use wsccl_traffic::SimTime;
+
+use crate::node2vec::{Node2Vec, Node2VecConfig};
+use crate::walks::AdjGraph;
+
+/// Node index for (day, slot).
+pub fn temporal_node(day: usize, slot: usize) -> usize {
+    debug_assert!(day < 7 && slot < SLOTS_PER_DAY);
+    day * SLOTS_PER_DAY + slot
+}
+
+/// Build the 2016-node temporal graph.
+pub fn build_temporal_graph() -> AdjGraph {
+    let mut edges = Vec::new();
+    for day in 0..7 {
+        for slot in 0..SLOTS_PER_DAY {
+            let u = temporal_node(day, slot);
+            // (i) adjacent slots within the day, wrapping midnight into the
+            // next day (and Sunday's last slot into Monday's first).
+            let (nday, nslot) =
+                if slot + 1 < SLOTS_PER_DAY { (day, slot + 1) } else { ((day + 1) % 7, 0) };
+            edges.push((u, temporal_node(nday, nslot)));
+            // (ii) the same slot on the next day; day 6 → day 0 closes the
+            // weekly cycle (the paper's Sunday–Monday connection).
+            edges.push((u, temporal_node((day + 1) % 7, slot)));
+        }
+    }
+    AdjGraph::from_edges(TEMPORAL_NODES, &edges)
+}
+
+/// Trained temporal embeddings: `t_all = Node2Vec^tg(t_emb)` (Eq. 2).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TemporalEmbeddings {
+    model: Node2Vec,
+}
+
+impl TemporalEmbeddings {
+    /// Train node2vec over the temporal graph.
+    pub fn train(cfg: &Node2VecConfig) -> Self {
+        let graph = build_temporal_graph();
+        Self { model: Node2Vec::train(&graph, cfg) }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.model.dim()
+    }
+
+    /// Temporal embedding of a departure time.
+    pub fn embed(&self, t: SimTime) -> &[f64] {
+        self.model.embedding(t.temporal_node())
+    }
+
+    /// Cosine similarity between two departure times' embeddings.
+    pub fn cosine(&self, a: SimTime, b: SimTime) -> f64 {
+        self.model.cosine(a.temporal_node(), b.temporal_node())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_has_2016_nodes_and_correct_adjacency() {
+        let g = build_temporal_graph();
+        assert_eq!(g.num_nodes(), 2016);
+        // Adjacent slots connected.
+        assert!(g.has_edge(temporal_node(0, 0), temporal_node(0, 1)));
+        // Same slot, adjacent days connected.
+        assert!(g.has_edge(temporal_node(0, 100), temporal_node(1, 100)));
+        // Sunday ↔ Monday weekly wrap.
+        assert!(g.has_edge(temporal_node(6, 50), temporal_node(0, 50)));
+        // Midnight wrap: Sunday's last slot connects to Monday's first.
+        assert!(g.has_edge(temporal_node(6, SLOTS_PER_DAY - 1), temporal_node(0, 0)));
+        // Distant slots NOT directly connected.
+        assert!(!g.has_edge(temporal_node(0, 0), temporal_node(0, 100)));
+        assert!(!g.has_edge(temporal_node(0, 0), temporal_node(3, 0)));
+    }
+
+    #[test]
+    fn every_node_has_degree_four() {
+        // Each node touches: prev/next slot, same slot prev/next day.
+        let g = build_temporal_graph();
+        for v in 0..g.num_nodes() {
+            assert_eq!(g.degree(v), 4, "node {v} degree {}", g.degree(v));
+        }
+    }
+
+    #[test]
+    fn nearby_times_embed_more_similarly_than_distant_times() {
+        let cfg = Node2VecConfig {
+            dim: 16,
+            walk_len: 15,
+            walks_per_node: 2,
+            epochs: 1,
+            seed: 5,
+            ..Default::default()
+        };
+        let emb = TemporalEmbeddings::train(&cfg);
+        // Average over several probes to be robust.
+        let mut near = 0.0;
+        let mut far = 0.0;
+        let mut n = 0;
+        for day in 0..5u32 {
+            for hour in [8u32, 12, 17] {
+                let t = SimTime::from_hm(day, hour, 0);
+                let t_near = SimTime::from_hm(day, hour, 10);
+                let t_far = SimTime::from_hm((day + 3) % 7, (hour + 11) % 24, 0);
+                near += emb.cosine(t, t_near);
+                far += emb.cosine(t, t_far);
+                n += 1;
+            }
+        }
+        let (near, far) = (near / n as f64, far / n as f64);
+        assert!(near > far, "near {near:.3} should exceed far {far:.3}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Property-based tests for walks and the temporal graph.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wsccl_graphembed::temporal::{build_temporal_graph, temporal_node};
+use wsccl_graphembed::AdjGraph;
+
+proptest! {
+    /// Walks never use a non-edge, start at the requested node, and respect
+    /// the length bound.
+    #[test]
+    fn walks_respect_graph(
+        seed in 0u64..500,
+        start in 0usize..30,
+        len in 1usize..40,
+        p in 0.25f64..4.0,
+        q in 0.25f64..4.0,
+    ) {
+        // A ring plus chords: every node has degree ≥ 2.
+        let n = 30;
+        let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        edges.extend((0..n / 3).map(|i| (i, (i + n / 2) % n)));
+        let g = AdjGraph::from_edges(n, &edges);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let walk = g.node2vec_walk(&mut rng, start, len, p, q);
+        prop_assert_eq!(walk[0], start);
+        prop_assert!(walk.len() <= len);
+        for w in walk.windows(2) {
+            prop_assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    /// Temporal-graph adjacency is exactly: slot ±1 (with wrap) and day ±1 at
+    /// the same slot (with weekly wrap).
+    #[test]
+    fn temporal_adjacency_characterization(day in 0usize..7, slot in 0usize..288) {
+        let g = build_temporal_graph();
+        let u = temporal_node(day, slot);
+        for v in g.neighbors(u) {
+            let (vd, vs) = (v / 288, v % 288);
+            let same_slot_adjacent_day =
+                vs == slot && (vd == (day + 1) % 7 || (vd + 1) % 7 == day);
+            // Consecutive in the flattened weekly timeline (wrapping).
+            let u_lin = day * 288 + slot;
+            let v_lin = vd * 288 + vs;
+            let consecutive = (u_lin + 1) % 2016 == v_lin || (v_lin + 1) % 2016 == u_lin;
+            prop_assert!(
+                same_slot_adjacent_day || consecutive,
+                "unexpected neighbor ({vd},{vs}) of ({day},{slot})"
+            );
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Viterbi decoding over edge candidates (the HMM core).
+
+use serde::{Deserialize, Serialize};
+
+use wsccl_roadnet::shortest::dijkstra;
+use wsccl_roadnet::{EdgeId, Path, RoadNetwork};
+use wsccl_traffic::Trajectory;
+
+use crate::spatial::EdgeSpatialIndex;
+
+/// Map-matching parameters (Newson & Krumm's σ and β).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MatchConfig {
+    /// Candidate search radius around each fix, meters.
+    pub candidate_radius: f64,
+    /// Emission noise std-dev σ, meters (≈ GPS error).
+    pub sigma: f64,
+    /// Transition scale β, meters: tolerance for route-vs-straight-line
+    /// disagreement.
+    pub beta: f64,
+    /// Keep at most this many candidates per fix.
+    pub max_candidates: usize,
+    /// Downsample fixes so consecutive kept fixes are at least this far
+    /// apart, meters (0 keeps everything).
+    pub min_fix_spacing: f64,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        Self {
+            candidate_radius: 60.0,
+            sigma: 15.0,
+            beta: 30.0,
+            max_candidates: 6,
+            min_fix_spacing: 40.0,
+        }
+    }
+}
+
+/// Match a GPS trajectory to a path in the network.
+///
+/// Returns `None` when no fix has any candidate edge or the decoded states
+/// cannot be connected into a valid path.
+pub fn map_match(
+    net: &RoadNetwork,
+    index: &EdgeSpatialIndex,
+    traj: &Trajectory,
+    cfg: &MatchConfig,
+) -> Option<Path> {
+    // 1. Downsample fixes spatially.
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    for f in &traj.fixes {
+        let p = (f.x, f.y);
+        if let Some(&last) = points.last() {
+            let d = ((p.0 - last.0).powi(2) + (p.1 - last.1).powi(2)).sqrt();
+            if d < cfg.min_fix_spacing {
+                continue;
+            }
+        }
+        points.push(p);
+    }
+    if points.len() < 2 {
+        // Degenerate trajectory: fall back to all fixes.
+        points = traj.fixes.iter().map(|f| (f.x, f.y)).collect();
+    }
+
+    // 2. Candidates per fix: (edge, projection t, emission log-prob).
+    //    Fixes with no candidate are dropped.
+    let mut layers: Vec<Vec<(EdgeId, f64, f64)>> = Vec::new();
+    let mut kept_points: Vec<(f64, f64)> = Vec::new();
+    for &p in &points {
+        let mut cands = index.edges_near(net, p, cfg.candidate_radius);
+        cands.truncate(cfg.max_candidates);
+        if !cands.is_empty() {
+            let layer = cands
+                .into_iter()
+                .map(|(e, d)| {
+                    let (t, _) = net.edge_projection(p, e);
+                    (e, t, -0.5 * (d / cfg.sigma).powi(2))
+                })
+                .collect();
+            layers.push(layer);
+            kept_points.push(p);
+        }
+    }
+    if layers.is_empty() {
+        return None;
+    }
+
+    // 3. Viterbi with route distances between projected points.
+    let mut score: Vec<f64> = layers[0].iter().map(|&(_, _, em)| em).collect();
+    let mut back: Vec<Vec<usize>> = vec![Vec::new()];
+    for k in 1..layers.len() {
+        let straight = {
+            let (a, b) = (kept_points[k - 1], kept_points[k]);
+            ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+        };
+        // Route distances from each previous candidate's projected point to
+        // each current candidate's projected point: one Dijkstra per previous
+        // candidate, rooted at the head of its edge.
+        let route: Vec<Vec<f64>> = layers[k - 1]
+            .iter()
+            .map(|&(pe, pt, _)| {
+                let head = net.edge(pe).to;
+                let sp = dijkstra(net, head, &|e| net.edge(e).length, &[], &[]);
+                let remaining_on_prev = (1.0 - pt) * net.edge(pe).length;
+                layers[k]
+                    .iter()
+                    .map(|&(ce, ct, _)| {
+                        if pe == ce {
+                            // Movement along the same edge (backwards counts
+                            // as its absolute on-edge displacement).
+                            (ct - pt).abs() * net.edge(pe).length
+                        } else if net.adjacent(pe, ce) {
+                            remaining_on_prev + ct * net.edge(ce).length
+                        } else {
+                            let tail = net.edge(ce).from;
+                            let base = sp.distance(tail);
+                            if base.is_finite() {
+                                remaining_on_prev + base + ct * net.edge(ce).length
+                            } else {
+                                f64::INFINITY
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut new_score = vec![f64::NEG_INFINITY; layers[k].len()];
+        let mut new_back = vec![0usize; layers[k].len()];
+        for (j, &(_, _, em)) in layers[k].iter().enumerate() {
+            for (i, &prev) in score.iter().enumerate() {
+                let r = route[i][j];
+                let trans = if r.is_finite() {
+                    -(r - straight).abs() / cfg.beta
+                } else {
+                    f64::NEG_INFINITY
+                };
+                let s = prev + trans + em;
+                if s > new_score[j] {
+                    new_score[j] = s;
+                    new_back[j] = i;
+                }
+            }
+        }
+        if new_score.iter().all(|s| s.is_infinite()) {
+            // No feasible transition: restart scoring from this layer's
+            // emissions (handles disconnected segments gracefully).
+            new_score = layers[k].iter().map(|&(_, _, em)| em).collect();
+            new_back = vec![usize::MAX; layers[k].len()];
+        }
+        score = new_score;
+        back.push(new_back);
+    }
+
+    // 4. Backtrack the best state sequence.
+    let mut best = score
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(ix, _)| ix)?;
+    let mut states: Vec<EdgeId> = Vec::with_capacity(layers.len());
+    for k in (0..layers.len()).rev() {
+        states.push(layers[k][best].0);
+        if k > 0 {
+            let b = back[k][best];
+            if b == usize::MAX {
+                break; // restart point: preceding states are unreliable
+            }
+            best = b;
+        }
+    }
+    states.reverse();
+
+    // 5. Collapse repeats and connect gaps with shortest paths.
+    let mut edges: Vec<EdgeId> = Vec::new();
+    for e in states {
+        match edges.last() {
+            None => edges.push(e),
+            Some(&last) if last == e => {}
+            Some(&last) => {
+                if net.adjacent(last, e) {
+                    edges.push(e);
+                } else {
+                    let from = net.edge(last).to;
+                    let to = net.edge(e).from;
+                    if from == to {
+                        edges.push(e);
+                    } else {
+                        let sp = dijkstra(net, from, &|x| net.edge(x).length, &[], &[]);
+                        match sp.path_to(net, to) {
+                            Some(fill) => {
+                                edges.extend_from_slice(fill.edges());
+                                edges.push(e);
+                            }
+                            None => return None,
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Path::new(net, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsccl_roadnet::CityProfile;
+    use wsccl_traffic::{CongestionModel, SimTime, TripConfig, TripGenerator};
+
+    fn setup(
+        seed: u64,
+        gps_noise: f64,
+        sample_interval: f64,
+    ) -> (wsccl_roadnet::RoadNetwork, CongestionModel, TripConfig) {
+        let net = CityProfile::Aalborg.generate(seed);
+        let model = CongestionModel::new(&net, 1.5, seed);
+        let cfg = TripConfig { gps_noise, sample_interval, ..Default::default() };
+        (net, model, cfg)
+    }
+
+    /// Fraction of the true path's length recovered by the match.
+    fn overlap(net: &wsccl_roadnet::RoadNetwork, truth: &Path, matched: &Path) -> f64 {
+        truth.weighted_jaccard(matched, net)
+    }
+
+    #[test]
+    fn noise_free_trajectories_are_recovered_well() {
+        let (net, model, tcfg) = setup(21, 0.0, 5.0);
+        let index = EdgeSpatialIndex::new(&net, 200.0);
+        let mut generator = TripGenerator::new(&net, &model, tcfg, 21);
+        let mcfg = MatchConfig { sigma: 5.0, ..Default::default() };
+        let mut total = 0.0;
+        let mut n = 0;
+        for _ in 0..10 {
+            let trip = generator.generate_trip_at(SimTime::from_hm(1, 10, 0));
+            let traj = generator.trip_to_trajectory(&trip);
+            let matched = map_match(&net, &index, &traj, &mcfg).expect("match");
+            total += overlap(&net, &trip.path, &matched);
+            n += 1;
+        }
+        let mean = total / n as f64;
+        assert!(mean > 0.9, "mean overlap {mean:.3} too low for noise-free input");
+    }
+
+    #[test]
+    fn noisy_trajectories_are_still_mostly_recovered() {
+        let (net, model, tcfg) = setup(22, 15.0, 15.0);
+        let index = EdgeSpatialIndex::new(&net, 200.0);
+        let mut generator = TripGenerator::new(&net, &model, tcfg, 22);
+        let mcfg = MatchConfig::default();
+        let mut total = 0.0;
+        let mut n = 0;
+        for _ in 0..10 {
+            let trip = generator.generate_trip_at(SimTime::from_hm(2, 9, 0));
+            let traj = generator.trip_to_trajectory(&trip);
+            if let Some(matched) = map_match(&net, &index, &traj, &mcfg) {
+                total += overlap(&net, &trip.path, &matched);
+                n += 1;
+            }
+        }
+        assert!(n >= 8, "matcher failed on {} of 10 noisy trajectories", 10 - n);
+        let mean = total / n as f64;
+        assert!(mean > 0.6, "mean overlap {mean:.3} too low for noisy input");
+    }
+
+    #[test]
+    fn empty_region_trajectory_returns_none() {
+        let (net, _, _) = setup(23, 0.0, 5.0);
+        let index = EdgeSpatialIndex::new(&net, 200.0);
+        let traj = Trajectory {
+            fixes: vec![
+                wsccl_traffic::GpsFix { x: 1e8, y: 1e8, t: 0.0 },
+                wsccl_traffic::GpsFix { x: 1e8, y: 1e8, t: 10.0 },
+            ],
+            departure: SimTime::from_hm(0, 8, 0),
+        };
+        assert!(map_match(&net, &index, &traj, &MatchConfig::default()).is_none());
+    }
+
+    #[test]
+    fn matched_result_is_a_valid_path() {
+        let (net, model, tcfg) = setup(24, 10.0, 10.0);
+        let index = EdgeSpatialIndex::new(&net, 200.0);
+        let mut generator = TripGenerator::new(&net, &model, tcfg, 24);
+        let trip = generator.generate_trip();
+        let traj = generator.trip_to_trajectory(&trip);
+        if let Some(matched) = map_match(&net, &index, &traj, &MatchConfig::default()) {
+            // Path::new validates adjacency; double-check endpoints are sane.
+            assert!(matched.len() >= 1);
+            assert!(Path::new(&net, matched.edges().to_vec()).is_some());
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Hidden-Markov-model map matching, after Newson & Krumm (SIGSPATIAL 2009),
+//! the algorithm the paper uses to turn raw GPS trajectories into paths
+//! (§VII-A.1).
+//!
+//! States are candidate edges near each GPS fix; emission probabilities are
+//! Gaussian in the fix-to-edge distance; transition probabilities decay
+//! exponentially in the difference between on-network route distance and
+//! straight-line displacement. Viterbi decoding picks the most probable edge
+//! sequence, and gaps between consecutive matched edges are filled with
+//! shortest paths so the result is a valid [`wsccl_roadnet::Path`].
+
+pub mod hmm;
+pub mod spatial;
+
+pub use hmm::{map_match, MatchConfig};
+pub use spatial::EdgeSpatialIndex;

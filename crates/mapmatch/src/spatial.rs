@@ -1,0 +1,128 @@
+//! Uniform-grid spatial index over road-network edges.
+//!
+//! Map matching queries "edges within r of a point" once per GPS fix; a grid
+//! bucketed by edge bounding boxes turns that from O(|E|) into O(cell).
+
+use wsccl_roadnet::{EdgeId, RoadNetwork};
+
+/// Uniform grid over edge bounding boxes.
+pub struct EdgeSpatialIndex {
+    cell: f64,
+    min_x: f64,
+    min_y: f64,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<EdgeId>>,
+}
+
+impl EdgeSpatialIndex {
+    /// Build an index with the given cell size (meters). A cell around 2–4×
+    /// the typical query radius works well.
+    pub fn new(net: &RoadNetwork, cell: f64) -> Self {
+        assert!(cell > 0.0, "cell size must be positive");
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for i in 0..net.num_nodes() {
+            let (x, y) = net.position(wsccl_roadnet::NodeId(i as u32));
+            min_x = min_x.min(x);
+            min_y = min_y.min(y);
+            max_x = max_x.max(x);
+            max_y = max_y.max(y);
+        }
+        let cols = (((max_x - min_x) / cell).ceil() as usize).max(1) + 1;
+        let rows = (((max_y - min_y) / cell).ceil() as usize).max(1) + 1;
+        let mut buckets = vec![Vec::new(); cols * rows];
+        for i in 0..net.num_edges() {
+            let e = EdgeId(i as u32);
+            let edge = net.edge(e);
+            let (x1, y1) = net.position(edge.from);
+            let (x2, y2) = net.position(edge.to);
+            let c0 = (((x1.min(x2) - min_x) / cell) as usize).min(cols - 1);
+            let c1 = (((x1.max(x2) - min_x) / cell) as usize).min(cols - 1);
+            let r0 = (((y1.min(y2) - min_y) / cell) as usize).min(rows - 1);
+            let r1 = (((y1.max(y2) - min_y) / cell) as usize).min(rows - 1);
+            for r in r0..=r1 {
+                for c in c0..=c1 {
+                    buckets[r * cols + c].push(e);
+                }
+            }
+        }
+        Self { cell, min_x, min_y, cols, rows, buckets }
+    }
+
+    /// Edges whose geometry is within `radius` of `p`, with their distances.
+    pub fn edges_near(
+        &self,
+        net: &RoadNetwork,
+        p: (f64, f64),
+        radius: f64,
+    ) -> Vec<(EdgeId, f64)> {
+        let span = (radius / self.cell).ceil() as i64 + 1;
+        let cc = ((p.0 - self.min_x) / self.cell) as i64;
+        let cr = ((p.1 - self.min_y) / self.cell) as i64;
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for r in (cr - span).max(0)..=(cr + span).min(self.rows as i64 - 1) {
+            for c in (cc - span).max(0)..=(cc + span).min(self.cols as i64 - 1) {
+                for &e in &self.buckets[r as usize * self.cols + c as usize] {
+                    if !seen.insert(e) {
+                        continue;
+                    }
+                    let d = net.point_to_edge_distance(p, e);
+                    if d <= radius {
+                        out.push((e, d));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsccl_roadnet::CityProfile;
+
+    #[test]
+    fn matches_brute_force() {
+        let net = CityProfile::Aalborg.generate(9);
+        let index = EdgeSpatialIndex::new(&net, 200.0);
+        let probes = [(500.0, 400.0), (1500.0, 2000.0), (0.0, 0.0), (3000.0, 100.0)];
+        for p in probes {
+            let mut brute: Vec<(EdgeId, f64)> = (0..net.num_edges())
+                .filter_map(|i| {
+                    let e = EdgeId(i as u32);
+                    let d = net.point_to_edge_distance(p, e);
+                    (d <= 150.0).then_some((e, d))
+                })
+                .collect();
+            brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let fast = index.edges_near(&net, p, 150.0);
+            let brute_set: std::collections::HashSet<EdgeId> =
+                brute.iter().map(|&(e, _)| e).collect();
+            let fast_set: std::collections::HashSet<EdgeId> =
+                fast.iter().map(|&(e, _)| e).collect();
+            assert_eq!(brute_set, fast_set, "probe {p:?}");
+        }
+    }
+
+    #[test]
+    fn results_sorted_by_distance() {
+        let net = CityProfile::Chengdu.generate(4);
+        let index = EdgeSpatialIndex::new(&net, 150.0);
+        let near = index.edges_near(&net, (800.0, 800.0), 300.0);
+        assert!(!near.is_empty());
+        for w in near.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn far_away_point_returns_empty() {
+        let net = CityProfile::Aalborg.generate(9);
+        let index = EdgeSpatialIndex::new(&net, 200.0);
+        assert!(index.edges_near(&net, (1e7, 1e7), 100.0).is_empty());
+    }
+}

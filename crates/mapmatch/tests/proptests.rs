@@ -1,0 +1,59 @@
+//! Property-based tests: spatial index correctness and matcher robustness.
+
+use proptest::prelude::*;
+use wsccl_mapmatch::{map_match, EdgeSpatialIndex, MatchConfig};
+use wsccl_roadnet::{CityProfile, EdgeId, Path};
+use wsccl_traffic::{CongestionModel, GpsFix, SimTime, Trajectory, TripConfig, TripGenerator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The grid index returns exactly the edges a brute-force radius scan
+    /// finds, for arbitrary probe points and radii.
+    #[test]
+    fn index_matches_brute_force(
+        seed in 0u64..50,
+        px in -500.0f64..4500.0,
+        py in -500.0f64..4500.0,
+        radius in 20.0f64..400.0,
+    ) {
+        let net = CityProfile::Harbin.generate(seed);
+        let index = EdgeSpatialIndex::new(&net, 180.0);
+        let fast: std::collections::HashSet<EdgeId> =
+            index.edges_near(&net, (px, py), radius).into_iter().map(|(e, _)| e).collect();
+        let brute: std::collections::HashSet<EdgeId> = (0..net.num_edges())
+            .filter_map(|i| {
+                let e = EdgeId(i as u32);
+                (net.point_to_edge_distance((px, py), e) <= radius).then_some(e)
+            })
+            .collect();
+        prop_assert_eq!(fast, brute);
+    }
+
+    /// Whatever the matcher returns is always a valid, connected path.
+    #[test]
+    fn matched_paths_are_always_valid(seed in 0u64..40) {
+        let net = CityProfile::Aalborg.generate(seed);
+        let model = CongestionModel::new(&net, 1.4, seed);
+        let mut generator = TripGenerator::new(&net, &model, TripConfig::default(), seed);
+        let index = EdgeSpatialIndex::new(&net, 200.0);
+        let trip = generator.generate_trip_at(SimTime::from_hm(2, 9, 0));
+        let traj = generator.trip_to_trajectory(&trip);
+        if let Some(path) = map_match(&net, &index, &traj, &MatchConfig::default()) {
+            prop_assert!(Path::new(&net, path.edges().to_vec()).is_some());
+        }
+    }
+
+    /// Garbage trajectories (far away, or single fix) never panic.
+    #[test]
+    fn degenerate_trajectories_handled(seed in 0u64..20, x in -1e7f64..1e7, y in -1e7f64..1e7) {
+        let net = CityProfile::Aalborg.generate(seed);
+        let index = EdgeSpatialIndex::new(&net, 200.0);
+        let traj = Trajectory {
+            fixes: vec![GpsFix { x, y, t: 0.0 }],
+            departure: SimTime::from_hm(0, 8, 0),
+        };
+        // Either matches something near (x, y) or returns None; never panics.
+        let _ = map_match(&net, &index, &traj, &MatchConfig::default());
+    }
+}

@@ -1,0 +1,79 @@
+//! Finite-difference gradient verification.
+//!
+//! Every autodiff op and every layer in this crate is validated by comparing
+//! analytic parameter gradients against central differences of the loss.
+
+use crate::params::{ParamId, Parameters};
+
+/// Result of a gradient check for one parameter element.
+#[derive(Clone, Copy, Debug)]
+pub struct GradCheckFailure {
+    pub param: ParamId,
+    pub element: usize,
+    pub analytic: f64,
+    pub numeric: f64,
+}
+
+/// Check analytic gradients of `loss_fn` against central finite differences.
+///
+/// `loss_fn` must be a deterministic function of the parameter values that
+/// builds a graph, calls `backward`, and returns the scalar loss. Gradients
+/// are read from the store after one call; numeric gradients perturb each
+/// element by `eps`.
+///
+/// Returns all elements whose relative error exceeds `tol`.
+pub fn check_gradients(
+    params: &mut Parameters,
+    mut loss_fn: impl FnMut(&mut Parameters) -> f64,
+    eps: f64,
+    tol: f64,
+) -> Vec<GradCheckFailure> {
+    params.zero_grads();
+    let _ = loss_fn(params);
+    let analytic: Vec<Vec<f64>> =
+        params.ids().map(|id| params.grad(id).data().to_vec()).collect();
+
+    let mut failures = Vec::new();
+    let ids: Vec<ParamId> = params.ids().collect();
+    for &id in &ids {
+        let n = params.value(id).len();
+        for e in 0..n {
+            let orig = params.value(id).data()[e];
+            params.value_mut(id).data_mut()[e] = orig + eps;
+            params.zero_grads();
+            let up = loss_fn(params);
+            params.value_mut(id).data_mut()[e] = orig - eps;
+            params.zero_grads();
+            let down = loss_fn(params);
+            params.value_mut(id).data_mut()[e] = orig;
+
+            let numeric = (up - down) / (2.0 * eps);
+            let a = analytic[id.index()][e];
+            let denom = a.abs().max(numeric.abs()).max(1.0);
+            if (a - numeric).abs() / denom > tol {
+                failures.push(GradCheckFailure { param: id, element: e, analytic: a, numeric });
+            }
+        }
+    }
+    failures
+}
+
+/// Panic with a readable report if any gradient fails the check.
+pub fn assert_gradients_close(
+    params: &mut Parameters,
+    loss_fn: impl FnMut(&mut Parameters) -> f64,
+    eps: f64,
+    tol: f64,
+) {
+    let failures = check_gradients(params, loss_fn, eps, tol);
+    if !failures.is_empty() {
+        let mut msg = format!("{} gradient mismatches:\n", failures.len());
+        for f in failures.iter().take(10) {
+            msg.push_str(&format!(
+                "  param {:?} [{}]: analytic {:.6e} vs numeric {:.6e}\n",
+                f.param, f.element, f.analytic, f.numeric
+            ));
+        }
+        panic!("{msg}");
+    }
+}

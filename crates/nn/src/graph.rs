@@ -1,0 +1,845 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] records every forward operation as a node; [`Graph::backward`]
+//! walks the tape in reverse, propagating adjoints to inputs and accumulating
+//! parameter gradients into the shared [`Parameters`] store. A fresh graph is
+//! built per training step, which naturally supports the variable-length paths
+//! this paper operates on.
+//!
+//! Every op's gradient is verified against central finite differences in the
+//! test suite (see `tests/gradcheck.rs` and [`crate::gradcheck`]).
+
+use crate::params::{ParamId, Parameters};
+use crate::tensor::Tensor;
+
+/// Handle to a node on the tape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+#[derive(Debug)]
+enum Op {
+    /// Constant input; receives no gradient.
+    Input,
+    /// Reference to a trainable parameter.
+    Param(ParamId),
+    /// `A · B`
+    MatMul(NodeId, NodeId),
+    /// `A · Bᵀ`
+    MatMulNt(NodeId, NodeId),
+    /// Elementwise `A + B` (same shape).
+    Add(NodeId, NodeId),
+    /// `A + 1·r` — add a `1 × d` row vector to every row of `A`.
+    AddRow(NodeId, NodeId),
+    /// Elementwise `A - B`.
+    Sub(NodeId, NodeId),
+    /// Elementwise (Hadamard) `A ⊙ B`.
+    Mul(NodeId, NodeId),
+    /// `c · A`.
+    Scale(NodeId, f64),
+    /// Elementwise logistic sigmoid.
+    Sigmoid(NodeId),
+    /// Elementwise tanh.
+    Tanh(NodeId),
+    /// Elementwise ReLU.
+    Relu(NodeId),
+    /// Column slice `A[:, start..end]`.
+    SliceCols(NodeId, usize, usize),
+    /// Horizontal concatenation of several nodes.
+    ConcatCols(Vec<NodeId>),
+    /// Vertical stack of several nodes (all same `cols`).
+    ConcatRows(Vec<NodeId>),
+    /// `1 × d` mean over rows.
+    MeanRows(NodeId),
+    /// `1 × 1` sum of all elements.
+    SumAll(NodeId),
+    /// Row-wise softmax.
+    SoftmaxRows(NodeId),
+    /// Cosine similarity of two same-shaped tensors viewed as flat vectors → `1 × 1`.
+    CosSim(NodeId, NodeId),
+    /// Dot product of two same-shaped tensors viewed as flat vectors → `1 × 1`.
+    Dot(NodeId, NodeId),
+    /// `log Σ exp(xᵢ)` over a list of `1 × 1` scalars → `1 × 1`.
+    LogSumExp(Vec<NodeId>),
+    /// Softmax cross-entropy of `1 × k` logits against a class index → `1 × 1`.
+    CrossEntropy(NodeId, usize),
+    /// Row gather from a parameter matrix (embedding lookup).
+    EmbedLookup(ParamId, Vec<usize>),
+    /// Elementwise natural log (inputs must be positive).
+    Ln(NodeId),
+    /// Row-wise layer normalization (zero mean, unit variance per row).
+    LayerNormRows(NodeId, f64),
+    /// Row slice `A[start..end, :]`.
+    SliceRows(NodeId, usize, usize),
+}
+
+struct Node {
+    op: Op,
+    value: Tensor,
+    grad: Tensor,
+    needs_grad: bool,
+}
+
+/// Reverse-mode autodiff tape.
+pub struct Graph<'p> {
+    params: &'p mut Parameters,
+    nodes: Vec<Node>,
+}
+
+impl<'p> Graph<'p> {
+    /// Start a fresh tape over the given parameter store.
+    pub fn new(params: &'p mut Parameters) -> Self {
+        Self { params, nodes: Vec::with_capacity(256) }
+    }
+
+    /// Read-only access to the underlying parameters.
+    pub fn params(&self) -> &Parameters {
+        self.params
+    }
+
+    /// Value of a node.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// Gradient accumulated at a node (valid after [`Graph::backward`]).
+    pub fn grad(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id.0].grad
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn push(&mut self, op: Op, value: Tensor, needs_grad: bool) -> NodeId {
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        self.nodes.push(Node { op, value, grad, needs_grad });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    fn needs(&self, id: NodeId) -> bool {
+        self.nodes[id.0].needs_grad
+    }
+
+    // ---------------------------------------------------------------- inputs
+
+    /// Constant input tensor (no gradient).
+    pub fn input(&mut self, value: Tensor) -> NodeId {
+        self.push(Op::Input, value, false)
+    }
+
+    /// Reference a trainable parameter.
+    pub fn param(&mut self, id: ParamId) -> NodeId {
+        let value = self.params.value(id).clone();
+        self.push(Op::Param(id), value, true)
+    }
+
+    /// Embedding lookup: gather `indices` rows of the parameter matrix.
+    pub fn embed_lookup(&mut self, id: ParamId, indices: &[usize]) -> NodeId {
+        let table = self.params.value(id);
+        let cols = table.cols();
+        let mut out = Tensor::zeros(indices.len(), cols);
+        for (r, &ix) in indices.iter().enumerate() {
+            assert!(ix < table.rows(), "embedding index {ix} out of range {}", table.rows());
+            out.row_slice_mut(r).copy_from_slice(table.row_slice(ix));
+        }
+        self.push(Op::EmbedLookup(id, indices.to_vec()), out, true)
+    }
+
+    // ------------------------------------------------------------------- ops
+
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::MatMul(a, b), v, ng)
+    }
+
+    /// `a · bᵀ`.
+    pub fn matmul_nt(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.matmul_nt(&self.nodes[b.0].value);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::MatMulNt(a, b), v, ng)
+    }
+
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::Add(a, b), v, ng)
+    }
+
+    /// Add a `1 × d` row vector to every row of `a`.
+    pub fn add_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let (av, rv) = (&self.nodes[a.0].value, &self.nodes[row.0].value);
+        assert_eq!(rv.rows(), 1, "add_row: rhs must be a row vector");
+        assert_eq!(av.cols(), rv.cols(), "add_row: col mismatch");
+        let mut v = av.clone();
+        for r in 0..v.rows() {
+            for (x, y) in v.row_slice_mut(r).iter_mut().zip(rv.data()) {
+                *x += y;
+            }
+        }
+        let ng = self.needs(a) || self.needs(row);
+        self.push(Op::AddRow(a, row), v, ng)
+    }
+
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::Sub(a, b), v, ng)
+    }
+
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.mul(&self.nodes[b.0].value);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::Mul(a, b), v, ng)
+    }
+
+    pub fn scale(&mut self, a: NodeId, c: f64) -> NodeId {
+        let v = self.nodes[a.0].value.scale(c);
+        let ng = self.needs(a);
+        self.push(Op::Scale(a, c), v, ng)
+    }
+
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let ng = self.needs(a);
+        self.push(Op::Sigmoid(a), v, ng)
+    }
+
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(f64::tanh);
+        let ng = self.needs(a);
+        self.push(Op::Tanh(a), v, ng)
+    }
+
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let ng = self.needs(a);
+        self.push(Op::Relu(a), v, ng)
+    }
+
+    /// Elementwise natural log. Caller must guarantee strictly positive inputs.
+    pub fn ln(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(f64::ln);
+        let ng = self.needs(a);
+        self.push(Op::Ln(a), v, ng)
+    }
+
+    /// Row slice `a[start..end, :]`.
+    pub fn slice_rows(&mut self, a: NodeId, start: usize, end: usize) -> NodeId {
+        let av = &self.nodes[a.0].value;
+        assert!(start < end && end <= av.rows(), "slice_rows out of range");
+        let mut v = Tensor::zeros(end - start, av.cols());
+        for r in start..end {
+            v.row_slice_mut(r - start).copy_from_slice(av.row_slice(r));
+        }
+        let ng = self.needs(a);
+        self.push(Op::SliceRows(a, start, end), v, ng)
+    }
+
+    /// Column slice `a[:, start..end]`.
+    pub fn slice_cols(&mut self, a: NodeId, start: usize, end: usize) -> NodeId {
+        let av = &self.nodes[a.0].value;
+        assert!(start < end && end <= av.cols(), "slice_cols out of range");
+        let mut v = Tensor::zeros(av.rows(), end - start);
+        for r in 0..av.rows() {
+            v.row_slice_mut(r).copy_from_slice(&av.row_slice(r)[start..end]);
+        }
+        let ng = self.needs(a);
+        self.push(Op::SliceCols(a, start, end), v, ng)
+    }
+
+    /// Horizontal concatenation of the given nodes.
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat_cols of nothing");
+        let rows = self.nodes[parts[0].0].value.rows();
+        let cols: usize = parts.iter().map(|p| self.nodes[p.0].value.cols()).sum();
+        let mut v = Tensor::zeros(rows, cols);
+        for r in 0..rows {
+            let mut off = 0;
+            for p in parts {
+                let pv = &self.nodes[p.0].value;
+                assert_eq!(pv.rows(), rows, "concat_cols row mismatch");
+                let w = pv.cols();
+                v.row_slice_mut(r)[off..off + w].copy_from_slice(pv.row_slice(r));
+                off += w;
+            }
+        }
+        let ng = parts.iter().any(|&p| self.needs(p));
+        self.push(Op::ConcatCols(parts.to_vec()), v, ng)
+    }
+
+    /// Vertical stack of the given nodes.
+    pub fn concat_rows(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat_rows of nothing");
+        let refs: Vec<&Tensor> = parts.iter().map(|p| &self.nodes[p.0].value).collect();
+        let v = Tensor::stack_rows(&refs);
+        let ng = parts.iter().any(|&p| self.needs(p));
+        self.push(Op::ConcatRows(parts.to_vec()), v, ng)
+    }
+
+    /// `1 × d` mean over rows.
+    pub fn mean_rows(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.mean_rows();
+        let ng = self.needs(a);
+        self.push(Op::MeanRows(a), v, ng)
+    }
+
+    /// `1 × 1` sum of every element.
+    pub fn sum_all(&mut self, a: NodeId) -> NodeId {
+        let v = Tensor::scalar(self.nodes[a.0].value.sum());
+        let ng = self.needs(a);
+        self.push(Op::SumAll(a), v, ng)
+    }
+
+    /// Row-wise layer normalization: each row is shifted to zero mean and
+    /// scaled to unit variance (`eps` stabilizes near-constant rows). Affine
+    /// parameters, when wanted, compose via [`Graph::mul`]/[`Graph::add_row`].
+    pub fn layer_norm_rows(&mut self, a: NodeId, eps: f64) -> NodeId {
+        let av = &self.nodes[a.0].value;
+        let mut v = av.clone();
+        for r in 0..v.rows() {
+            let row = v.row_slice_mut(r);
+            let n = row.len() as f64;
+            let mean = row.iter().sum::<f64>() / n;
+            let var = row.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+            let inv = 1.0 / (var + eps).sqrt();
+            for x in row.iter_mut() {
+                *x = (*x - mean) * inv;
+            }
+        }
+        let ng = self.needs(a);
+        self.push(Op::LayerNormRows(a, eps), v, ng)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let av = &self.nodes[a.0].value;
+        let mut v = av.clone();
+        for r in 0..v.rows() {
+            let row = v.row_slice_mut(r);
+            let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut z = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - m).exp();
+                z += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= z;
+            }
+        }
+        let ng = self.needs(a);
+        self.push(Op::SoftmaxRows(a), v, ng)
+    }
+
+    /// Cosine similarity of two same-shaped tensors (flattened) → `1 × 1`.
+    pub fn cos_sim(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = Tensor::scalar(self.nodes[a.0].value.cosine(&self.nodes[b.0].value));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::CosSim(a, b), v, ng)
+    }
+
+    /// Flat dot product → `1 × 1`.
+    pub fn dot(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = Tensor::scalar(self.nodes[a.0].value.flat_dot(&self.nodes[b.0].value));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::Dot(a, b), v, ng)
+    }
+
+    /// Numerically stable `log Σᵢ exp(xᵢ)` over `1 × 1` scalar nodes → `1 × 1`.
+    pub fn log_sum_exp(&mut self, xs: &[NodeId]) -> NodeId {
+        assert!(!xs.is_empty(), "log_sum_exp of nothing");
+        let vals: Vec<f64> = xs.iter().map(|&x| self.nodes[x.0].value.item()).collect();
+        let m = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let s: f64 = vals.iter().map(|v| (v - m).exp()).sum();
+        let v = Tensor::scalar(m + s.ln());
+        let ng = xs.iter().any(|&x| self.needs(x));
+        self.push(Op::LogSumExp(xs.to_vec()), v, ng)
+    }
+
+    /// Softmax cross-entropy of `1 × k` logits vs. class index → `1 × 1`.
+    pub fn cross_entropy(&mut self, logits: NodeId, target: usize) -> NodeId {
+        let lv = &self.nodes[logits.0].value;
+        assert_eq!(lv.rows(), 1, "cross_entropy expects 1 x k logits");
+        assert!(target < lv.cols(), "cross_entropy target out of range");
+        let row = lv.row_slice(0);
+        let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lse = m + row.iter().map(|v| (v - m).exp()).sum::<f64>().ln();
+        let v = Tensor::scalar(lse - row[target]);
+        let ng = self.needs(logits);
+        self.push(Op::CrossEntropy(logits, target), v, ng)
+    }
+
+    // ----------------------------------------------------------- composites
+
+    /// Mean squared error between a prediction node and a constant target.
+    pub fn mse_to_const(&mut self, pred: NodeId, target: &Tensor) -> NodeId {
+        let t = self.input(target.clone());
+        let d = self.sub(pred, t);
+        let sq = self.mul(d, d);
+        let s = self.sum_all(sq);
+        self.scale(s, 1.0 / target.len() as f64)
+    }
+
+    /// Mean of several `1 × 1` scalar nodes.
+    pub fn mean_scalars(&mut self, xs: &[NodeId]) -> NodeId {
+        assert!(!xs.is_empty(), "mean_scalars of nothing");
+        let stacked = self.concat_rows(xs);
+        let s = self.sum_all(stacked);
+        self.scale(s, 1.0 / xs.len() as f64)
+    }
+
+    // ------------------------------------------------------------- backward
+
+    /// Run backpropagation from a `1 × 1` loss node.
+    ///
+    /// Parameter gradients are **accumulated** into the shared store; call
+    /// [`Parameters::zero_grads`] between steps.
+    pub fn backward(&mut self, loss: NodeId) {
+        assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "backward from non-scalar");
+        self.nodes[loss.0].grad = Tensor::scalar(1.0);
+
+        for i in (0..self.nodes.len()).rev() {
+            if !self.nodes[i].needs_grad {
+                continue;
+            }
+            // Take the node's grad out to satisfy the borrow checker while we
+            // mutate predecessor grads.
+            let g = std::mem::replace(&mut self.nodes[i].grad, Tensor::zeros(0, 0));
+            if g.data().iter().all(|&v| v == 0.0) {
+                self.nodes[i].grad = g;
+                continue;
+            }
+            match &self.nodes[i].op {
+                Op::Input => {}
+                Op::Param(pid) => {
+                    let pid = *pid;
+                    self.params.grad_mut(pid).add_assign(&g);
+                }
+                Op::MatMul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    if self.needs(a) {
+                        let da = g.matmul_nt(&self.nodes[b.0].value);
+                        self.nodes[a.0].grad.add_assign(&da);
+                    }
+                    if self.needs(b) {
+                        let db = self.nodes[a.0].value.matmul_tn(&g);
+                        self.nodes[b.0].grad.add_assign(&db);
+                    }
+                }
+                Op::MatMulNt(a, b) => {
+                    // C = A·Bᵀ  ⇒  dA = dC·B ; dB = dCᵀ·A.
+                    let (a, b) = (*a, *b);
+                    if self.needs(a) {
+                        let da = g.matmul(&self.nodes[b.0].value);
+                        self.nodes[a.0].grad.add_assign(&da);
+                    }
+                    if self.needs(b) {
+                        let db = g.matmul_tn(&self.nodes[a.0].value);
+                        self.nodes[b.0].grad.add_assign(&db);
+                    }
+                }
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    if self.needs(a) {
+                        self.nodes[a.0].grad.add_assign(&g);
+                    }
+                    if self.needs(b) {
+                        self.nodes[b.0].grad.add_assign(&g);
+                    }
+                }
+                Op::AddRow(a, row) => {
+                    let (a, row) = (*a, *row);
+                    if self.needs(a) {
+                        self.nodes[a.0].grad.add_assign(&g);
+                    }
+                    if self.needs(row) {
+                        let cols = g.cols();
+                        let mut dr = Tensor::zeros(1, cols);
+                        for r in 0..g.rows() {
+                            for (d, v) in dr.data_mut().iter_mut().zip(g.row_slice(r)) {
+                                *d += v;
+                            }
+                        }
+                        self.nodes[row.0].grad.add_assign(&dr);
+                    }
+                }
+                Op::Sub(a, b) => {
+                    let (a, b) = (*a, *b);
+                    if self.needs(a) {
+                        self.nodes[a.0].grad.add_assign(&g);
+                    }
+                    if self.needs(b) {
+                        self.nodes[b.0].grad.axpy(-1.0, &g);
+                    }
+                }
+                Op::Mul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    if self.needs(a) {
+                        let da = g.mul(&self.nodes[b.0].value);
+                        self.nodes[a.0].grad.add_assign(&da);
+                    }
+                    if self.needs(b) {
+                        let db = g.mul(&self.nodes[a.0].value);
+                        self.nodes[b.0].grad.add_assign(&db);
+                    }
+                }
+                Op::Scale(a, c) => {
+                    let (a, c) = (*a, *c);
+                    if self.needs(a) {
+                        self.nodes[a.0].grad.axpy(c, &g);
+                    }
+                }
+                Op::Sigmoid(a) => {
+                    let a = *a;
+                    if self.needs(a) {
+                        let y = &self.nodes[i].value;
+                        let da = g.zip_with(y, |gv, yv| gv * yv * (1.0 - yv));
+                        self.nodes[a.0].grad.add_assign(&da);
+                    }
+                }
+                Op::Tanh(a) => {
+                    let a = *a;
+                    if self.needs(a) {
+                        let y = &self.nodes[i].value;
+                        let da = g.zip_with(y, |gv, yv| gv * (1.0 - yv * yv));
+                        self.nodes[a.0].grad.add_assign(&da);
+                    }
+                }
+                Op::Relu(a) => {
+                    let a = *a;
+                    if self.needs(a) {
+                        let x = &self.nodes[a.0].value;
+                        let da = g.zip_with(x, |gv, xv| if xv > 0.0 { gv } else { 0.0 });
+                        self.nodes[a.0].grad.add_assign(&da);
+                    }
+                }
+                Op::Ln(a) => {
+                    let a = *a;
+                    if self.needs(a) {
+                        let x = &self.nodes[a.0].value;
+                        let da = g.zip_with(x, |gv, xv| gv / xv);
+                        self.nodes[a.0].grad.add_assign(&da);
+                    }
+                }
+                Op::SliceCols(a, start, _end) => {
+                    let (a, start) = (*a, *start);
+                    if self.needs(a) {
+                        let target = &mut self.nodes[a.0].grad;
+                        for r in 0..g.rows() {
+                            let dst = &mut target.row_slice_mut(r)[start..start + g.cols()];
+                            for (d, v) in dst.iter_mut().zip(g.row_slice(r)) {
+                                *d += v;
+                            }
+                        }
+                    }
+                }
+                Op::ConcatCols(parts) => {
+                    let parts = parts.clone();
+                    let mut off = 0;
+                    for p in parts {
+                        let w = self.nodes[p.0].value.cols();
+                        if self.needs(p) {
+                            for r in 0..g.rows() {
+                                let src = &g.row_slice(r)[off..off + w];
+                                let dst = self.nodes[p.0].grad.row_slice_mut(r);
+                                for (d, v) in dst.iter_mut().zip(src) {
+                                    *d += v;
+                                }
+                            }
+                        }
+                        off += w;
+                    }
+                }
+                Op::ConcatRows(parts) => {
+                    let parts = parts.clone();
+                    let mut off = 0;
+                    for p in parts {
+                        let nr = self.nodes[p.0].value.rows();
+                        if self.needs(p) {
+                            for r in 0..nr {
+                                let src = g.row_slice(off + r).to_vec();
+                                let dst = self.nodes[p.0].grad.row_slice_mut(r);
+                                for (d, v) in dst.iter_mut().zip(&src) {
+                                    *d += v;
+                                }
+                            }
+                        }
+                        off += nr;
+                    }
+                }
+                Op::MeanRows(a) => {
+                    let a = *a;
+                    if self.needs(a) {
+                        let n = self.nodes[a.0].value.rows();
+                        let inv = 1.0 / n as f64;
+                        let target = &mut self.nodes[a.0].grad;
+                        for r in 0..n {
+                            for (d, v) in target.row_slice_mut(r).iter_mut().zip(g.row_slice(0)) {
+                                *d += v * inv;
+                            }
+                        }
+                    }
+                }
+                Op::SumAll(a) => {
+                    let a = *a;
+                    if self.needs(a) {
+                        let gv = g.item();
+                        self.nodes[a.0]
+                            .grad
+                            .data_mut()
+                            .iter_mut()
+                            .for_each(|d| *d += gv);
+                    }
+                }
+                Op::SoftmaxRows(a) => {
+                    let a = *a;
+                    if self.needs(a) {
+                        let y = self.nodes[i].value.clone();
+                        let target = &mut self.nodes[a.0].grad;
+                        for r in 0..y.rows() {
+                            let yrow = y.row_slice(r);
+                            let grow = g.row_slice(r);
+                            let dotgy: f64 = yrow.iter().zip(grow).map(|(yv, gv)| yv * gv).sum();
+                            for ((d, &yv), &gv) in
+                                target.row_slice_mut(r).iter_mut().zip(yrow).zip(grow)
+                            {
+                                *d += yv * (gv - dotgy);
+                            }
+                        }
+                    }
+                }
+                Op::CosSim(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let gv = g.item();
+                    let av = self.nodes[a.0].value.clone();
+                    let bv = self.nodes[b.0].value.clone();
+                    let na = av.norm();
+                    let nb = bv.norm();
+                    if na < 1e-12 || nb < 1e-12 {
+                        // Value was defined as 0; treat gradient as 0 too.
+                    } else {
+                        let c = av.flat_dot(&bv) / (na * nb);
+                        if self.needs(a) {
+                            // d/da = b/(|a||b|) − c · a/|a|²
+                            let mut da = bv.scale(1.0 / (na * nb));
+                            da.axpy(-c / (na * na), &av);
+                            self.nodes[a.0].grad.axpy(gv, &da);
+                        }
+                        if self.needs(b) {
+                            let mut db = av.scale(1.0 / (na * nb));
+                            db.axpy(-c / (nb * nb), &bv);
+                            self.nodes[b.0].grad.axpy(gv, &db);
+                        }
+                    }
+                }
+                Op::Dot(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let gv = g.item();
+                    if self.needs(a) {
+                        let bv = self.nodes[b.0].value.clone();
+                        self.nodes[a.0].grad.axpy(gv, &bv);
+                    }
+                    if self.needs(b) {
+                        let av = self.nodes[a.0].value.clone();
+                        self.nodes[b.0].grad.axpy(gv, &av);
+                    }
+                }
+                Op::LogSumExp(xs) => {
+                    let xs = xs.clone();
+                    let gv = g.item();
+                    let out = self.nodes[i].value.item();
+                    for x in xs {
+                        if self.needs(x) {
+                            let w = (self.nodes[x.0].value.item() - out).exp();
+                            self.nodes[x.0].grad.data_mut()[0] += gv * w;
+                        }
+                    }
+                }
+                Op::CrossEntropy(logits, target) => {
+                    let (logits, target) = (*logits, *target);
+                    if self.needs(logits) {
+                        let gv = g.item();
+                        let lv = self.nodes[logits.0].value.clone();
+                        let row = lv.row_slice(0);
+                        let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                        let z: f64 = row.iter().map(|v| (v - m).exp()).sum();
+                        let dst = self.nodes[logits.0].grad.row_slice_mut(0);
+                        for (j, (d, &v)) in dst.iter_mut().zip(row).enumerate() {
+                            let p = (v - m).exp() / z;
+                            *d += gv * (p - if j == target { 1.0 } else { 0.0 });
+                        }
+                    }
+                }
+                Op::SliceRows(a, start, _end) => {
+                    let (a, start) = (*a, *start);
+                    if self.needs(a) {
+                        let target = &mut self.nodes[a.0].grad;
+                        for r in 0..g.rows() {
+                            for (d, v) in
+                                target.row_slice_mut(start + r).iter_mut().zip(g.row_slice(r))
+                            {
+                                *d += v;
+                            }
+                        }
+                    }
+                }
+                Op::LayerNormRows(a, eps) => {
+                    let (a, eps) = (*a, *eps);
+                    if self.needs(a) {
+                        // With x̂ = (x − μ)/σ:
+                        // dx = (1/σ) · (dy − mean(dy) − x̂ · mean(dy ⊙ x̂)).
+                        let x = self.nodes[a.0].value.clone();
+                        let xhat = self.nodes[i].value.clone();
+                        let target = &mut self.nodes[a.0].grad;
+                        for r in 0..x.rows() {
+                            let n = x.cols() as f64;
+                            let xrow = x.row_slice(r);
+                            let mean = xrow.iter().sum::<f64>() / n;
+                            let var =
+                                xrow.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+                            let inv = 1.0 / (var + eps).sqrt();
+                            let grow = g.row_slice(r);
+                            let hrow = xhat.row_slice(r);
+                            let mean_dy = grow.iter().sum::<f64>() / n;
+                            let mean_dyh: f64 =
+                                grow.iter().zip(hrow).map(|(d, h)| d * h).sum::<f64>() / n;
+                            for ((t, &dy), &h) in
+                                target.row_slice_mut(r).iter_mut().zip(grow).zip(hrow)
+                            {
+                                *t += inv * (dy - mean_dy - h * mean_dyh);
+                            }
+                        }
+                    }
+                }
+                Op::EmbedLookup(pid, indices) => {
+                    let pid = *pid;
+                    let indices = indices.clone();
+                    let table_grad = self.params.grad_mut(pid);
+                    for (r, ix) in indices.into_iter().enumerate() {
+                        for (d, v) in table_grad.row_slice_mut(ix).iter_mut().zip(g.row_slice(r)) {
+                            *d += v;
+                        }
+                    }
+                }
+            }
+            self.nodes[i].grad = g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params_with(values: &[(&str, Tensor)]) -> (Parameters, Vec<ParamId>) {
+        let mut p = Parameters::new();
+        let ids = values.iter().map(|(n, t)| p.register(*n, t.clone())).collect();
+        (p, ids)
+    }
+
+    #[test]
+    fn forward_matmul_add_sigmoid() {
+        let (mut p, ids) = params_with(&[
+            ("w", Tensor::from_vec(2, 1, vec![1.0, -1.0])),
+            ("b", Tensor::scalar(0.5)),
+        ]);
+        let mut g = Graph::new(&mut p);
+        let x = g.input(Tensor::row(vec![2.0, 1.0]));
+        let w = g.param(ids[0]);
+        let b = g.param(ids[1]);
+        let wx = g.matmul(x, w);
+        let z = g.add(wx, b);
+        let y = g.sigmoid(z);
+        // z = 2 - 1 + 0.5 = 1.5
+        let expect = 1.0 / (1.0 + (-1.5f64).exp());
+        assert!((g.value(y).item() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_simple_linear() {
+        // loss = (w·x)² with x = 3, w = 2 → loss = 36, dL/dw = 2·w·x² = 36.
+        let (mut p, ids) = params_with(&[("w", Tensor::scalar(2.0))]);
+        let mut g = Graph::new(&mut p);
+        let x = g.input(Tensor::scalar(3.0));
+        let w = g.param(ids[0]);
+        let wx = g.mul(w, x);
+        let loss = g.mul(wx, wx);
+        g.backward(loss);
+        assert!((p.grad(ids[0]).item() - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backward_accumulates_across_uses() {
+        // loss = w + w → dL/dw = 2.
+        let (mut p, ids) = params_with(&[("w", Tensor::scalar(1.0))]);
+        let mut g = Graph::new(&mut p);
+        let w = g.param(ids[0]);
+        let loss = g.add(w, w);
+        g.backward(loss);
+        assert!((p.grad(ids[0]).item() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn embed_lookup_scatter_grad() {
+        let (mut p, ids) =
+            params_with(&[("e", Tensor::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]))]);
+        let mut g = Graph::new(&mut p);
+        let e = g.embed_lookup(ids[0], &[2, 0, 2]);
+        assert_eq!(g.value(e).row_slice(0), &[5.0, 6.0]);
+        let s = g.sum_all(e);
+        g.backward(s);
+        // Row 2 used twice, row 0 once, row 1 never.
+        assert_eq!(p.grad(ids[0]).row_slice(0), &[1.0, 1.0]);
+        assert_eq!(p.grad(ids[0]).row_slice(1), &[0.0, 0.0]);
+        assert_eq!(p.grad(ids[0]).row_slice(2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn log_sum_exp_is_stable_for_large_inputs() {
+        let (mut p, _) = params_with(&[]);
+        let mut g = Graph::new(&mut p);
+        let a = g.input(Tensor::scalar(1000.0));
+        let b = g.input(Tensor::scalar(1000.0));
+        let l = g.log_sum_exp(&[a, b]);
+        assert!((g.value(l).item() - (1000.0 + 2f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_entropy_matches_manual() {
+        let (mut p, ids) = params_with(&[("l", Tensor::row(vec![1.0, 2.0, 3.0]))]);
+        let mut g = Graph::new(&mut p);
+        let l = g.param(ids[0]);
+        let ce = g.cross_entropy(l, 1);
+        let z: f64 = [1.0f64, 2.0, 3.0].iter().map(|v| v.exp()).sum();
+        assert!((g.value(ce).item() - (z.ln() - 2.0)).abs() < 1e-9);
+        g.backward(ce);
+        let soft: Vec<f64> = [1.0f64, 2.0, 3.0].iter().map(|v| v.exp() / z).collect();
+        let gr = p.grad(ids[0]);
+        assert!((gr.get(0, 0) - soft[0]).abs() < 1e-9);
+        assert!((gr.get(0, 1) - (soft[1] - 1.0)).abs() < 1e-9);
+        assert!((gr.get(0, 2) - soft[2]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cos_sim_of_identical_vectors_has_zero_grad() {
+        // d cos(a,a)/da = 0 since cos is scale-invariant.
+        let (mut p, ids) = params_with(&[("a", Tensor::row(vec![1.0, 2.0]))]);
+        let mut g = Graph::new(&mut p);
+        let a = g.param(ids[0]);
+        let c = g.cos_sim(a, a);
+        assert!((g.value(c).item() - 1.0).abs() < 1e-12);
+        g.backward(c);
+        for v in p.grad(ids[0]).data() {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "backward from non-scalar")]
+    fn backward_from_matrix_panics() {
+        let (mut p, _) = params_with(&[]);
+        let mut g = Graph::new(&mut p);
+        let x = g.input(Tensor::zeros(2, 2));
+        g.backward(x);
+    }
+}

@@ -1,0 +1,61 @@
+//! Weight initialization schemes.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot uniform init: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    uniform(rng, rows, cols, -a, a)
+}
+
+/// Uniform init in `[lo, hi)`.
+pub fn uniform(rng: &mut StdRng, rows: usize, cols: usize, lo: f64, hi: f64) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.random_range(lo..hi)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Small-scale normal init via Box–Muller (std-dev `std`).
+pub fn normal(rng: &mut StdRng, rows: usize, cols: usize, std: f64) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|_| {
+            let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.random_range(0.0..1.0);
+            std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = xavier_uniform(&mut rng, 10, 20);
+        let a = (6.0 / 30.0f64).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= a));
+    }
+
+    #[test]
+    fn normal_has_reasonable_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = normal(&mut rng, 100, 100, 0.5);
+        let mean = t.sum() / t.len() as f64;
+        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / t.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(3), 4, 4);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(3), 4, 4);
+        assert_eq!(a, b);
+    }
+}

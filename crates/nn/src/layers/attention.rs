@@ -1,0 +1,90 @@
+//! Single-head scaled dot-product self-attention.
+//!
+//! Used by the BERT-style baseline (the paper treats a path as a sentence) and
+//! by HMTRL's route-semantics module. Kept to a single head: at reproduction
+//! scale multi-head adds parameters without changing the result shapes.
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{Graph, NodeId};
+use crate::layers::Linear;
+use crate::params::Parameters;
+
+/// One self-attention block: `softmax(QKᵀ/√d)·V` followed by a residual
+/// projection.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SelfAttention {
+    q: Linear,
+    k: Linear,
+    v: Linear,
+    out: Linear,
+    dim: usize,
+}
+
+impl SelfAttention {
+    pub fn new(params: &mut Parameters, rng: &mut StdRng, name: &str, dim: usize) -> Self {
+        Self {
+            q: Linear::new_no_bias(params, rng, &format!("{name}.q"), dim, dim),
+            k: Linear::new_no_bias(params, rng, &format!("{name}.k"), dim, dim),
+            v: Linear::new_no_bias(params, rng, &format!("{name}.v"), dim, dim),
+            out: Linear::new(params, rng, &format!("{name}.out"), dim, dim),
+            dim,
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// `x` is `(seq_len, dim)`; returns `(seq_len, dim)` with a residual
+    /// connection.
+    pub fn forward(&self, g: &mut Graph<'_>, x: NodeId) -> NodeId {
+        let q = self.q.forward(g, x);
+        let k = self.k.forward(g, x);
+        let v = self.v.forward(g, x);
+        let scores = g.matmul_nt(q, k);
+        let scaled = g.scale(scores, 1.0 / (self.dim as f64).sqrt());
+        let attn = g.softmax_rows(scaled);
+        let ctx = g.matmul(attn, v);
+        let proj = self.out.forward(g, ctx);
+        g.add(proj, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preserves_shape() {
+        let mut params = Parameters::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let attn = SelfAttention::new(&mut params, &mut rng, "a", 4);
+        let mut g = Graph::new(&mut params);
+        let x = g.input(Tensor::from_vec(5, 4, (0..20).map(|v| v as f64 * 0.1).collect()));
+        let y = attn.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), (5, 4));
+        assert!(!g.value(y).has_non_finite());
+    }
+
+    #[test]
+    fn gradients_flow_to_all_projections() {
+        let mut params = Parameters::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let attn = SelfAttention::new(&mut params, &mut rng, "a", 3);
+        let mut g = Graph::new(&mut params);
+        let x = g.input(Tensor::from_vec(4, 3, (0..12).map(|v| v as f64 * 0.2 - 1.0).collect()));
+        let y = attn.forward(&mut g, x);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        let nonzero = params
+            .ids()
+            .filter(|&id| params.grad(id).data().iter().any(|v| v.abs() > 1e-12))
+            .count();
+        // All weight matrices should get gradient; the output bias always does.
+        assert!(nonzero >= 4, "only {nonzero} of {} params got gradient", params.len());
+    }
+}

@@ -1,0 +1,80 @@
+//! Trainable embedding table with gather/scatter gradients.
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{Graph, NodeId};
+use crate::init;
+use crate::params::{ParamId, Parameters};
+
+/// Lookup table mapping categorical ids to dense vectors.
+///
+/// This implements the paper's Eq. 3: sparse one-hot features times an
+/// embedding matrix — realized directly as a row gather.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Embedding {
+    table: ParamId,
+    num_embeddings: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    pub fn new(
+        params: &mut Parameters,
+        rng: &mut StdRng,
+        name: &str,
+        num_embeddings: usize,
+        dim: usize,
+    ) -> Self {
+        let table =
+            params.register(format!("{name}.table"), init::normal(rng, num_embeddings, dim, 0.1));
+        Self { table, num_embeddings, dim }
+    }
+
+    pub fn num_embeddings(&self) -> usize {
+        self.num_embeddings
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn param_id(&self) -> ParamId {
+        self.table
+    }
+
+    /// Gather rows for `indices`; returns `(indices.len(), dim)`.
+    pub fn forward(&self, g: &mut Graph<'_>, indices: &[usize]) -> NodeId {
+        g.embed_lookup(self.table, indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_returns_rows() {
+        let mut params = Parameters::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let emb = Embedding::new(&mut params, &mut rng, "e", 4, 3);
+        *params.value_mut(emb.param_id()) =
+            Tensor::from_vec(4, 3, (0..12).map(|v| v as f64).collect());
+        let mut g = Graph::new(&mut params);
+        let out = emb.forward(&mut g, &[3, 1]);
+        assert_eq!(g.value(out).row_slice(0), &[9.0, 10.0, 11.0]);
+        assert_eq!(g.value(out).row_slice(1), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_lookup_panics() {
+        let mut params = Parameters::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let emb = Embedding::new(&mut params, &mut rng, "e", 4, 3);
+        let mut g = Graph::new(&mut params);
+        emb.forward(&mut g, &[4]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Gated recurrent unit (used by the PathRank baseline, which the paper
+//! describes as GRU-based).
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{Graph, NodeId};
+use crate::init;
+use crate::params::{ParamId, Parameters};
+use crate::tensor::Tensor;
+
+/// Single-layer GRU with fused gate weights (order: reset, update, candidate).
+///
+/// Uses the formulation `n = tanh(x·Wxn + (r ⊙ h)·Whn + bn)`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Gru {
+    wx: ParamId, // (in_dim, 3h)
+    wh: ParamId, // (h, 3h)
+    b: ParamId,  // (1, 3h)
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl Gru {
+    pub fn new(
+        params: &mut Parameters,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+    ) -> Self {
+        let wx = params.register(format!("{name}.wx"), init::xavier_uniform(rng, in_dim, 3 * hidden));
+        let wh = params.register(format!("{name}.wh"), init::xavier_uniform(rng, hidden, 3 * hidden));
+        let b = params.register(format!("{name}.b"), Tensor::zeros(1, 3 * hidden));
+        Self { wx, wh, b, in_dim, hidden }
+    }
+
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    fn step(&self, g: &mut Graph<'_>, x: NodeId, h: NodeId) -> NodeId {
+        let hsz = self.hidden;
+        let wx = g.param(self.wx);
+        let wh = g.param(self.wh);
+        let b = g.param(self.b);
+        let xw0 = g.matmul(x, wx);
+        let xw = g.add_row(xw0, b);
+        let hw = g.matmul(h, wh);
+
+        let xr = g.slice_cols(xw, 0, hsz);
+        let xz = g.slice_cols(xw, hsz, 2 * hsz);
+        let xn = g.slice_cols(xw, 2 * hsz, 3 * hsz);
+        let hr = g.slice_cols(hw, 0, hsz);
+        let hz = g.slice_cols(hw, hsz, 2 * hsz);
+        let hn = g.slice_cols(hw, 2 * hsz, 3 * hsz);
+
+        let r_pre = g.add(xr, hr);
+        let r = g.sigmoid(r_pre);
+        let z_pre = g.add(xz, hz);
+        let z = g.sigmoid(z_pre);
+        let rhn = g.mul(r, hn);
+        let n_pre = g.add(xn, rhn);
+        let n = g.tanh(n_pre);
+
+        // h' = (1 - z) ⊙ n + z ⊙ h = n - z⊙n + z⊙h
+        let zn = g.mul(z, n);
+        let zh = g.mul(z, h);
+        let nm = g.sub(n, zn);
+        g.add(nm, zh)
+    }
+
+    /// Run over a sequence of `(n, in_dim)` nodes; returns hidden state per step.
+    pub fn forward(&self, g: &mut Graph<'_>, inputs: &[NodeId]) -> Vec<NodeId> {
+        assert!(!inputs.is_empty(), "Gru over empty sequence");
+        let n = g.value(inputs[0]).rows();
+        let mut h = g.input(Tensor::zeros(n, self.hidden));
+        let mut out = Vec::with_capacity(inputs.len());
+        for &x in inputs {
+            h = self.step(g, x, h);
+            out.push(h);
+        }
+        out
+    }
+
+    /// Run over a sequence and return the final hidden state.
+    pub fn forward_last(&self, g: &mut Graph<'_>, inputs: &[NodeId]) -> NodeId {
+        *self.forward(g, inputs).last().expect("non-empty sequence")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_and_finiteness() {
+        let mut params = Parameters::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let gru = Gru::new(&mut params, &mut rng, "gru", 3, 4);
+        let mut g = Graph::new(&mut params);
+        let xs: Vec<NodeId> =
+            (0..6).map(|t| g.input(Tensor::row(vec![t as f64, -1.0, 0.5]))).collect();
+        let hs = gru.forward(&mut g, &xs);
+        assert_eq!(hs.len(), 6);
+        for h in hs {
+            let v = g.value(h);
+            assert_eq!(v.shape(), (1, 4));
+            assert!(!v.has_non_finite());
+            assert!(v.data().iter().all(|x| x.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn gradient_reaches_all_params() {
+        let mut params = Parameters::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let gru = Gru::new(&mut params, &mut rng, "gru", 2, 3);
+        let mut g = Graph::new(&mut params);
+        let xs: Vec<NodeId> = (0..3).map(|_| g.input(Tensor::row(vec![1.0, -0.5]))).collect();
+        let h = gru.forward_last(&mut g, &xs);
+        let loss = g.sum_all(h);
+        g.backward(loss);
+        let nonzero = params
+            .ids()
+            .filter(|&id| params.grad(id).data().iter().any(|v| v.abs() > 0.0))
+            .count();
+        assert_eq!(nonzero, params.len());
+    }
+}

@@ -1,0 +1,105 @@
+//! Fully-connected layer `y = x·W + b`.
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{Graph, NodeId};
+use crate::init;
+use crate::params::{ParamId, Parameters};
+use crate::tensor::Tensor;
+
+/// Dense affine layer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Create a layer with bias, Xavier-initialized.
+    pub fn new(
+        params: &mut Parameters,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let w = params.register(format!("{name}.w"), init::xavier_uniform(rng, in_dim, out_dim));
+        let b = params.register(format!("{name}.b"), Tensor::zeros(1, out_dim));
+        Self { w, b: Some(b), in_dim, out_dim }
+    }
+
+    /// Create a layer without bias.
+    pub fn new_no_bias(
+        params: &mut Parameters,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let w = params.register(format!("{name}.w"), init::xavier_uniform(rng, in_dim, out_dim));
+        Self { w, b: None, in_dim, out_dim }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// `x` is `(n, in_dim)`; returns `(n, out_dim)`.
+    pub fn forward(&self, g: &mut Graph<'_>, x: NodeId) -> NodeId {
+        assert_eq!(
+            g.value(x).cols(),
+            self.in_dim,
+            "Linear: input cols {} != in_dim {}",
+            g.value(x).cols(),
+            self.in_dim
+        );
+        let w = g.param(self.w);
+        let xw = g.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let bn = g.param(b);
+                g.add_row(xw, bn)
+            }
+            None => xw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut params = Parameters::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new(&mut params, &mut rng, "l", 3, 2);
+        // Force known weights.
+        *params.value_mut(ParamId(0)) = Tensor::from_vec(3, 2, vec![1., 0., 0., 1., 1., 1.]);
+        *params.value_mut(ParamId(1)) = Tensor::row(vec![10.0, 20.0]);
+        let mut g = Graph::new(&mut params);
+        let x = g.input(Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]));
+        let y = lin.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), (2, 2));
+        assert_eq!(g.value(y).row_slice(0), &[1. + 3. + 10., 2. + 3. + 20.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input cols")]
+    fn forward_wrong_width_panics() {
+        let mut params = Parameters::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new(&mut params, &mut rng, "l", 3, 2);
+        let mut g = Graph::new(&mut params);
+        let x = g.input(Tensor::zeros(1, 4));
+        lin.forward(&mut g, x);
+    }
+}

@@ -1,0 +1,18 @@
+//! Neural layers expressed over the autodiff [`crate::Graph`].
+//!
+//! Each layer registers its weights in a shared [`crate::Parameters`] store at
+//! construction time and exposes a `forward` that appends ops to a graph.
+
+mod attention;
+mod embedding;
+mod gru;
+mod linear;
+mod lstm;
+mod transformer;
+
+pub use attention::SelfAttention;
+pub use embedding::Embedding;
+pub use gru::Gru;
+pub use linear::Linear;
+pub use lstm::Lstm;
+pub use transformer::TransformerBlock;

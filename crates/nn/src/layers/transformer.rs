@@ -1,0 +1,93 @@
+//! Pre-norm Transformer encoder block: `x + Attn(LN(x))`, then
+//! `x + FFN(LN(x))`. The paper notes (§IV-C) that its LSTM can be replaced by
+//! "more advanced sequential models, e.g., Transformer"; this block backs
+//! that option in `wsccl-core`.
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{Graph, NodeId};
+use crate::layers::{Linear, SelfAttention};
+use crate::params::Parameters;
+
+/// One pre-norm Transformer block.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TransformerBlock {
+    attn: SelfAttention,
+    ff1: Linear,
+    ff2: Linear,
+    dim: usize,
+}
+
+impl TransformerBlock {
+    /// `ff_mult` scales the feed-forward hidden width (canonically 4).
+    pub fn new(
+        params: &mut Parameters,
+        rng: &mut StdRng,
+        name: &str,
+        dim: usize,
+        ff_mult: usize,
+    ) -> Self {
+        Self {
+            attn: SelfAttention::new(params, rng, &format!("{name}.attn"), dim),
+            ff1: Linear::new(params, rng, &format!("{name}.ff1"), dim, dim * ff_mult),
+            ff2: Linear::new(params, rng, &format!("{name}.ff2"), dim * ff_mult, dim),
+            dim,
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// `x` is `(seq_len, dim)`; returns `(seq_len, dim)`.
+    pub fn forward(&self, g: &mut Graph<'_>, x: NodeId) -> NodeId {
+        // Attention sub-layer (SelfAttention carries its own residual).
+        let normed = g.layer_norm_rows(x, 1e-5);
+        let attended = self.attn.forward(g, normed);
+        // Feed-forward sub-layer with residual.
+        let normed2 = g.layer_norm_rows(attended, 1e-5);
+        let h = self.ff1.forward(g, normed2);
+        let h = g.relu(h);
+        let h = self.ff2.forward(g, h);
+        g.add(h, attended)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preserves_shape_and_stays_finite() {
+        let mut params = Parameters::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let block = TransformerBlock::new(&mut params, &mut rng, "t", 8, 2);
+        let mut g = Graph::new(&mut params);
+        let x = g.input(Tensor::from_vec(6, 8, (0..48).map(|v| v as f64 * 0.1 - 2.0).collect()));
+        let y = block.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), (6, 8));
+        assert!(!g.value(y).has_non_finite());
+    }
+
+    #[test]
+    fn gradients_reach_every_parameter() {
+        let mut params = Parameters::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let block = TransformerBlock::new(&mut params, &mut rng, "t", 6, 2);
+        let mut g = Graph::new(&mut params);
+        let x = g.input(Tensor::from_vec(4, 6, (0..24).map(|v| (v as f64 * 0.37).sin()).collect()));
+        let y = block.forward(&mut g, x);
+        let sq = g.mul(y, y);
+        let l = g.sum_all(sq);
+        g.backward(l);
+        let touched = params
+            .ids()
+            .filter(|&id| params.grad(id).data().iter().any(|v| v.abs() > 1e-14))
+            .count();
+        // All weight matrices receive gradient (the final ff2 bias always does).
+        assert!(touched >= params.len() - 1, "{touched} of {}", params.len());
+    }
+}

@@ -1,0 +1,29 @@
+//! Minimal neural-network substrate for the WSCCL reproduction.
+//!
+//! The paper trains its models with PyTorch on GPUs; this crate replaces that
+//! stack with a small, dependency-free, CPU-only implementation:
+//!
+//! * [`tensor::Tensor`] — a dense row-major `f64` matrix with the handful of
+//!   BLAS-like operations the models need.
+//! * [`graph::Graph`] — a tape-based reverse-mode autodiff graph. Every forward
+//!   pass builds a fresh tape over shared [`params::Parameters`]; `backward`
+//!   accumulates parameter gradients which an [`optim`] optimizer then applies.
+//! * [`layers`] — `Linear`, `Embedding`, `Lstm`, `Gru`, and single-head
+//!   self-attention, all expressed in terms of graph ops so gradients are exact.
+//! * [`gradcheck`] — finite-difference gradient verification used heavily by the
+//!   test suite; every op and layer in this crate is gradient-checked.
+//!
+//! The API is deliberately small: WSCCL and all twelve baselines in
+//! `wsccl-baselines` are built exclusively from these pieces.
+
+pub mod gradcheck;
+pub mod graph;
+pub mod init;
+pub mod layers;
+pub mod optim;
+pub mod params;
+pub mod tensor;
+
+pub use graph::{Graph, NodeId};
+pub use params::{ParamId, Parameters};
+pub use tensor::Tensor;

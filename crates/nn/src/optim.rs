@@ -1,0 +1,171 @@
+//! Optimizers: plain SGD and Adam (the paper trains with lr = 3e-4 Adam-style).
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::Parameters;
+use crate::tensor::Tensor;
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    pub fn new(lr: f64) -> Self {
+        Self { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    pub fn set_lr(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    /// Apply one update step using the accumulated gradients.
+    pub fn step(&mut self, params: &mut Parameters) {
+        if self.momentum != 0.0 && self.velocity.len() != params.len() {
+            self.velocity = params
+                .ids()
+                .map(|id| {
+                    let v = params.value(id);
+                    Tensor::zeros(v.rows(), v.cols())
+                })
+                .collect();
+        }
+        for id in params.ids().collect::<Vec<_>>() {
+            let g = params.grad(id).clone();
+            if self.momentum != 0.0 {
+                let v = &mut self.velocity[id.index()];
+                for (vv, gv) in v.data_mut().iter_mut().zip(g.data()) {
+                    *vv = self.momentum * *vv + gv;
+                }
+                let v = self.velocity[id.index()].clone();
+                params.value_mut(id).axpy(-self.lr, &v);
+            } else {
+                params.value_mut(id).axpy(-self.lr, &g);
+            }
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba). Defaults: β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    pub fn new(lr: f64) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    pub fn set_lr(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn ensure_state(&mut self, params: &Parameters) {
+        if self.m.len() != params.len() {
+            let zeros = |p: &Parameters| {
+                p.ids()
+                    .map(|id| {
+                        let v = p.value(id);
+                        Tensor::zeros(v.rows(), v.cols())
+                    })
+                    .collect::<Vec<_>>()
+            };
+            self.m = zeros(params);
+            self.v = zeros(params);
+            self.t = 0;
+        }
+    }
+
+    /// Apply one update step using the accumulated gradients.
+    pub fn step(&mut self, params: &mut Parameters) {
+        self.ensure_state(params);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for id in params.ids().collect::<Vec<_>>() {
+            let ix = id.index();
+            let g = params.grad(id).clone();
+            let m = &mut self.m[ix];
+            for (mv, gv) in m.data_mut().iter_mut().zip(g.data()) {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+            }
+            let v = &mut self.v[ix];
+            for (vv, gv) in v.data_mut().iter_mut().zip(g.data()) {
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+            }
+            let (m, v) = (&self.m[ix], &self.v[ix]);
+            let value = params.value_mut(id);
+            for ((p, mv), vv) in value.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
+                let mhat = mv / bc1;
+                let vhat = vv / bc2;
+                *p -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Minimize (w - 5)² and check both optimizers converge.
+    fn quadratic_converges(mut step: impl FnMut(&mut Parameters), iters: usize) -> f64 {
+        let mut params = Parameters::new();
+        let w = params.register("w", Tensor::scalar(0.0));
+        for _ in 0..iters {
+            params.zero_grads();
+            let mut g = Graph::new(&mut params);
+            let wn = g.param(w);
+            let t = g.input(Tensor::scalar(5.0));
+            let d = g.sub(wn, t);
+            let loss = g.mul(d, d);
+            g.backward(loss);
+            step(&mut params);
+        }
+        params.value(w).item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let w = quadratic_converges(|p| opt.step(p), 200);
+        assert!((w - 5.0).abs() < 1e-6, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        let w = quadratic_converges(|p| opt.step(p), 300);
+        assert!((w - 5.0).abs() < 1e-4, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.3);
+        let w = quadratic_converges(|p| opt.step(p), 300);
+        assert!((w - 5.0).abs() < 1e-3, "w = {w}");
+    }
+}

@@ -1,0 +1,154 @@
+//! Shared trainable parameter storage.
+//!
+//! Parameters live outside the per-step autodiff [`crate::Graph`]: each forward
+//! pass references them by [`ParamId`], `backward` accumulates into the matching
+//! gradient slot, and an optimizer applies the update. This mirrors the
+//! PyTorch `nn.Parameter` / optimizer split the paper's implementation uses.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+
+/// Handle to one parameter tensor inside a [`Parameters`] store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Raw index, stable for the lifetime of the store.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A flat store of named parameter tensors and their accumulated gradients.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Parameters {
+    values: Vec<Tensor>,
+    grads: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl Parameters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new parameter with an initial value.
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let id = ParamId(self.values.len());
+        self.grads.push(Tensor::zeros(value.rows(), value.cols()));
+        self.values.push(value);
+        self.names.push(name.into());
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.grads[id.0]
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// All parameter ids, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.values.len()).map(ParamId)
+    }
+
+    /// Reset every gradient to zero.
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.fill_zero();
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// Global L2 norm of all gradients (used for clipping diagnostics).
+    pub fn grad_norm(&self) -> f64 {
+        self.grads.iter().map(|g| g.data().iter().map(|v| v * v).sum::<f64>()).sum::<f64>().sqrt()
+    }
+
+    /// Scale all gradients so the global norm does not exceed `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f64) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for g in &mut self.grads {
+                g.data_mut().iter_mut().for_each(|v| *v *= s);
+            }
+        }
+    }
+
+    /// Copy all values from `other` (shapes must match; used for expert cloning
+    /// and for initializing a supervised model from pre-trained WSCCL weights).
+    pub fn copy_values_from(&mut self, other: &Parameters) {
+        assert_eq!(self.values.len(), other.values.len(), "parameter count mismatch");
+        for (dst, src) in self.values.iter_mut().zip(&other.values) {
+            assert_eq!(dst.shape(), src.shape(), "parameter shape mismatch");
+            *dst = src.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_access() {
+        let mut p = Parameters::new();
+        let a = p.register("w", Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = p.register("b", Tensor::scalar(3.0));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.value(a).data(), &[1.0, 2.0]);
+        assert_eq!(p.value(b).item(), 3.0);
+        assert_eq!(p.name(a), "w");
+        assert_eq!(p.num_scalars(), 3);
+    }
+
+    #[test]
+    fn grad_clip_scales_down_only() {
+        let mut p = Parameters::new();
+        let a = p.register("w", Tensor::zeros(1, 2));
+        *p.grad_mut(a) = Tensor::from_vec(1, 2, vec![3.0, 4.0]);
+        p.clip_grad_norm(10.0);
+        assert_eq!(p.grad(a).data(), &[3.0, 4.0]);
+        p.clip_grad_norm(1.0);
+        let n = p.grad_norm();
+        assert!((n - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn copy_values_roundtrip() {
+        let mut a = Parameters::new();
+        let ida = a.register("w", Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let mut b = Parameters::new();
+        b.register("w", Tensor::zeros(1, 2));
+        b.copy_values_from(&a);
+        assert_eq!(b.value(ida).data(), &[1.0, 2.0]);
+    }
+}

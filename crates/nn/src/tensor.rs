@@ -1,0 +1,391 @@
+//! Dense row-major `f64` matrices.
+//!
+//! A [`Tensor`] is always two-dimensional; vectors are `1 × d` row matrices and
+//! scalars are `1 × 1`. This keeps the autodiff op set small while covering
+//! everything the paper's models need.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Tensor filled with a constant.
+    pub fn full(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Build from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape {rows}x{cols} != data len {}", data.len());
+        Self { rows, cols, data }
+    }
+
+    /// A `1 × d` row vector.
+    pub fn row(data: Vec<f64>) -> Self {
+        let cols = data.len();
+        Self { rows: 1, cols, data }
+    }
+
+    /// A `1 × 1` scalar tensor.
+    pub fn scalar(v: f64) -> Self {
+        Self { rows: 1, cols: 1, data: vec![v] }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Extract the single element of a `1 × 1` tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not `1 × 1`.
+    pub fn item(&self) -> f64 {
+        assert_eq!(self.shape(), (1, 1), "item() requires a 1x1 tensor");
+        self.data[0]
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    pub fn row_slice(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a slice.
+    pub fn row_slice_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        // i-k-j loop order: the inner loop walks both `other` and `out` rows
+        // contiguously, which matters for the LSTM hot path.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (c, o) in crow.iter_mut().zip(orow) {
+                    *c += a * o;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · otherᵀ`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {:?} x {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row_slice(i);
+            for j in 0..other.rows {
+                let brow = other.row_slice(j);
+                let mut s = 0.0;
+                for (a, b) in arow.iter().zip(brow) {
+                    s += a * b;
+                }
+                out.data[i * other.rows + j] = s;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `selfᵀ · other`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: {:?}ᵀ x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let arow = self.row_slice(k);
+            let brow = other.row_slice(k);
+            for (i, a) in arow.iter().enumerate() {
+                if *a == 0.0 {
+                    continue;
+                }
+                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (c, b) in crow.iter_mut().zip(brow) {
+                    *c += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Elementwise `self + other`.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise `self - other`.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Elementwise combine with the same-shaped `other`.
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "elementwise shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Tensor { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&a| f(a)).collect() }
+    }
+
+    /// Multiply every element by `c`.
+    pub fn scale(&self, c: f64) -> Tensor {
+        self.map(|a| a * c)
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += c * other` (axpy).
+    pub fn axpy(&mut self, c: f64, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += c * b;
+        }
+    }
+
+    /// Set all elements to zero, keeping the shape.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Dot product of two tensors viewed as flat vectors.
+    pub fn flat_dot(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "flat_dot shape mismatch");
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// Euclidean norm of the tensor viewed as a flat vector.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// `1 × cols` mean over rows.
+    pub fn mean_rows(&self) -> Tensor {
+        assert!(self.rows > 0, "mean_rows of empty tensor");
+        let mut out = Tensor::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, v) in out.data.iter_mut().zip(self.row_slice(r)) {
+                *o += v;
+            }
+        }
+        let inv = 1.0 / self.rows as f64;
+        out.data.iter_mut().for_each(|v| *v *= inv);
+        out
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn concat_cols(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "concat_cols row mismatch");
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row_slice(r));
+            data.extend_from_slice(other.row_slice(r));
+        }
+        Tensor { rows: self.rows, cols, data }
+    }
+
+    /// Stack rows of the given tensors (all must share `cols`).
+    pub fn stack_rows(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "stack_rows of nothing");
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols, cols, "stack_rows col mismatch");
+            data.extend_from_slice(&p.data);
+        }
+        Tensor { rows, cols, data }
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// Cosine similarity between two tensors viewed as flat vectors.
+    ///
+    /// Returns 0.0 when either vector has (near-)zero norm.
+    pub fn cosine(&self, other: &Tensor) -> f64 {
+        let na = self.norm();
+        let nb = other.norm();
+        if na < 1e-12 || nb < 1e-12 {
+            return 0.0;
+        }
+        self.flat_dot(other) / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_by_hand() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_with_transpose() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(4, 3, (0..12).map(|v| v as f64).collect());
+        let bt = {
+            let mut t = Tensor::zeros(3, 4);
+            for r in 0..4 {
+                for c in 0..3 {
+                    t.set(c, r, b.get(r, c));
+                }
+            }
+            t
+        };
+        assert_eq!(a.matmul_nt(&b), a.matmul(&bt));
+    }
+
+    #[test]
+    fn matmul_tn_equals_transpose_matmul() {
+        let a = Tensor::from_vec(3, 2, (0..6).map(|v| v as f64).collect());
+        let b = Tensor::from_vec(3, 4, (0..12).map(|v| v as f64).collect());
+        let at = {
+            let mut t = Tensor::zeros(2, 3);
+            for r in 0..3 {
+                for c in 0..2 {
+                    t.set(c, r, a.get(r, c));
+                }
+            }
+            t
+        };
+        assert_eq!(a.matmul_tn(&b), at.matmul(&b));
+    }
+
+    #[test]
+    fn mean_rows_averages() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.mean_rows().data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn concat_and_stack() {
+        let a = Tensor::from_vec(2, 1, vec![1.0, 2.0]);
+        let b = Tensor::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let c = a.concat_cols(&b);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.data(), &[1.0, 3.0, 4.0, 2.0, 5.0, 6.0]);
+
+        let s = Tensor::stack_rows(&[&a, &a]);
+        assert_eq!(s.shape(), (4, 1));
+    }
+
+    #[test]
+    fn cosine_bounds_and_degenerate() {
+        let a = Tensor::row(vec![1.0, 0.0]);
+        let b = Tensor::row(vec![0.0, 1.0]);
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-12);
+        assert!(a.cosine(&b).abs() < 1e-12);
+        let z = Tensor::row(vec![0.0, 0.0]);
+        assert_eq!(a.cosine(&z), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

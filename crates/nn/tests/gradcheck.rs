@@ -1,0 +1,539 @@
+//! Finite-difference verification of every autodiff op and layer.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wsccl_nn::gradcheck::assert_gradients_close;
+use wsccl_nn::layers::{Embedding, Gru, Linear, Lstm, SelfAttention};
+use wsccl_nn::{Graph, Parameters, Tensor};
+
+const EPS: f64 = 1e-5;
+const TOL: f64 = 1e-5;
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(42)
+}
+
+fn rand_tensor(rng: &mut StdRng, r: usize, c: usize) -> Tensor {
+    wsccl_nn::init::uniform(rng, r, c, -1.0, 1.0)
+}
+
+#[test]
+fn matmul_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let a = p.register("a", rand_tensor(&mut rng, 2, 3));
+    let b = p.register("b", rand_tensor(&mut rng, 3, 4));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let an = g.param(a);
+            let bn = g.param(b);
+            let c = g.matmul(an, bn);
+            let l = g.sum_all(c);
+            g.backward(l);
+            g.value(l).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn matmul_nt_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let a = p.register("a", rand_tensor(&mut rng, 2, 3));
+    let b = p.register("b", rand_tensor(&mut rng, 4, 3));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let an = g.param(a);
+            let bn = g.param(b);
+            let c = g.matmul_nt(an, bn);
+            // Square to make the loss nonlinear in each factor.
+            let sq = g.mul(c, c);
+            let l = g.sum_all(sq);
+            g.backward(l);
+            g.value(l).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn elementwise_ops_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let a = p.register("a", rand_tensor(&mut rng, 3, 3));
+    let b = p.register("b", rand_tensor(&mut rng, 3, 3));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let an = g.param(a);
+            let bn = g.param(b);
+            let s = g.add(an, bn);
+            let d = g.sub(s, bn);
+            let m = g.mul(d, bn);
+            let sc = g.scale(m, 0.7);
+            let l = g.sum_all(sc);
+            g.backward(l);
+            g.value(l).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn activations_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let a = p.register("a", rand_tensor(&mut rng, 2, 4));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let an = g.param(a);
+            let s = g.sigmoid(an);
+            let t = g.tanh(s);
+            let l = g.sum_all(t);
+            g.backward(l);
+            g.value(l).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn relu_grad_away_from_kink() {
+    let mut p = Parameters::new();
+    // Keep values away from 0 so finite differences are valid.
+    let a = p.register("a", Tensor::from_vec(1, 4, vec![0.5, -0.5, 1.5, -2.0]));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let an = g.param(a);
+            let r = g.relu(an);
+            let sq = g.mul(r, r);
+            let l = g.sum_all(sq);
+            g.backward(l);
+            g.value(l).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn ln_grad() {
+    let mut p = Parameters::new();
+    let a = p.register("a", Tensor::from_vec(1, 3, vec![0.5, 1.5, 2.5]));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let an = g.param(a);
+            let l0 = g.ln(an);
+            let l = g.sum_all(l0);
+            g.backward(l);
+            g.value(l).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn add_row_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let a = p.register("a", rand_tensor(&mut rng, 3, 4));
+    let r = p.register("r", rand_tensor(&mut rng, 1, 4));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let an = g.param(a);
+            let rn = g.param(r);
+            let s = g.add_row(an, rn);
+            let sq = g.mul(s, s);
+            let l = g.sum_all(sq);
+            g.backward(l);
+            g.value(l).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn slice_concat_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let a = p.register("a", rand_tensor(&mut rng, 2, 6));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let an = g.param(a);
+            let left = g.slice_cols(an, 0, 3);
+            let right = g.slice_cols(an, 3, 6);
+            let m = g.mul(left, right);
+            let back = g.concat_cols(&[m, left]);
+            let l = g.sum_all(back);
+            g.backward(l);
+            g.value(l).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn concat_rows_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let a = p.register("a", rand_tensor(&mut rng, 2, 3));
+    let b = p.register("b", rand_tensor(&mut rng, 1, 3));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let an = g.param(a);
+            let bn = g.param(b);
+            let s = g.concat_rows(&[an, bn, an]);
+            let sq = g.mul(s, s);
+            let l = g.sum_all(sq);
+            g.backward(l);
+            g.value(l).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn mean_rows_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let a = p.register("a", rand_tensor(&mut rng, 4, 3));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let an = g.param(a);
+            let m = g.mean_rows(an);
+            let sq = g.mul(m, m);
+            let l = g.sum_all(sq);
+            g.backward(l);
+            g.value(l).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn softmax_rows_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let a = p.register("a", rand_tensor(&mut rng, 3, 4));
+    let w = p.register("w", rand_tensor(&mut rng, 3, 4));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let an = g.param(a);
+            let wn = g.param(w);
+            let s = g.softmax_rows(an);
+            let m = g.mul(s, wn);
+            let l = g.sum_all(m);
+            g.backward(l);
+            g.value(l).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn cos_sim_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let a = p.register("a", rand_tensor(&mut rng, 1, 5));
+    let b = p.register("b", rand_tensor(&mut rng, 1, 5));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let an = g.param(a);
+            let bn = g.param(b);
+            let c = g.cos_sim(an, bn);
+            g.backward(c);
+            g.value(c).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn dot_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let a = p.register("a", rand_tensor(&mut rng, 1, 5));
+    let b = p.register("b", rand_tensor(&mut rng, 1, 5));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let an = g.param(a);
+            let bn = g.param(b);
+            let d = g.dot(an, bn);
+            let sq = g.mul(d, d);
+            g.backward(sq);
+            g.value(sq).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn log_sum_exp_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let a = p.register("a", rand_tensor(&mut rng, 1, 1));
+    let b = p.register("b", rand_tensor(&mut rng, 1, 1));
+    let c = p.register("c", rand_tensor(&mut rng, 1, 1));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let an = g.param(a);
+            let bn = g.param(b);
+            let cn = g.param(c);
+            let l = g.log_sum_exp(&[an, bn, cn]);
+            g.backward(l);
+            g.value(l).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn cross_entropy_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let a = p.register("logits", rand_tensor(&mut rng, 1, 5));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let an = g.param(a);
+            let l = g.cross_entropy(an, 2);
+            g.backward(l);
+            g.value(l).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn embedding_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let emb = Embedding::new(&mut p, &mut rng, "e", 5, 3);
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let e = emb.forward(&mut g, &[0, 2, 2, 4]);
+            let sq = g.mul(e, e);
+            let l = g.sum_all(sq);
+            g.backward(l);
+            g.value(l).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn linear_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let lin = Linear::new(&mut p, &mut rng, "l", 3, 2);
+    let x = rand_tensor(&mut rng, 4, 3);
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let xn = g.input(x.clone());
+            let y = lin.forward(&mut g, xn);
+            let t = g.tanh(y);
+            let l = g.sum_all(t);
+            g.backward(l);
+            g.value(l).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn lstm_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let lstm = Lstm::new(&mut p, &mut rng, "lstm", 2, 3, 2);
+    let xs: Vec<Tensor> = (0..3).map(|_| rand_tensor(&mut rng, 1, 2)).collect();
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let nodes: Vec<_> = xs.iter().map(|x| g.input(x.clone())).collect();
+            let h = lstm.forward_last(&mut g, &nodes);
+            let sq = g.mul(h, h);
+            let l = g.sum_all(sq);
+            g.backward(l);
+            g.value(l).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn gru_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let gru = Gru::new(&mut p, &mut rng, "gru", 2, 3);
+    let xs: Vec<Tensor> = (0..3).map(|_| rand_tensor(&mut rng, 1, 2)).collect();
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let nodes: Vec<_> = xs.iter().map(|x| g.input(x.clone())).collect();
+            let h = gru.forward_last(&mut g, &nodes);
+            let sq = g.mul(h, h);
+            let l = g.sum_all(sq);
+            g.backward(l);
+            g.value(l).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn attention_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let attn = SelfAttention::new(&mut p, &mut rng, "a", 3);
+    let x = rand_tensor(&mut rng, 4, 3);
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let xn = g.input(x.clone());
+            let y = attn.forward(&mut g, xn);
+            let sq = g.mul(y, y);
+            let l = g.sum_all(sq);
+            g.backward(l);
+            g.value(l).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+/// A composite resembling the actual WSCCL loss: mean over cosine-similarity
+/// log-ratios of LSTM-encoded sequences.
+#[test]
+fn contrastive_composite_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let lstm = Lstm::new(&mut p, &mut rng, "lstm", 2, 3, 1);
+    let seqs: Vec<Vec<Tensor>> = (0..3)
+        .map(|_| (0..2).map(|_| rand_tensor(&mut rng, 1, 2)).collect())
+        .collect();
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let reprs: Vec<_> = seqs
+                .iter()
+                .map(|seq| {
+                    let nodes: Vec<_> = seq.iter().map(|x| g.input(x.clone())).collect();
+                    let hs = lstm.forward(&mut g, &nodes);
+                    let stacked = g.concat_rows(&hs);
+                    g.mean_rows(stacked)
+                })
+                .collect();
+            let pos = g.cos_sim(reprs[0], reprs[1]);
+            let neg = g.cos_sim(reprs[0], reprs[2]);
+            let lse = g.log_sum_exp(&[neg]);
+            let obj = g.sub(pos, lse);
+            let loss = g.scale(obj, -1.0);
+            g.backward(loss);
+            g.value(loss).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn layer_norm_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let a = p.register("a", rand_tensor(&mut rng, 3, 5));
+    let w = p.register("w", rand_tensor(&mut rng, 3, 5));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let an = g.param(a);
+            let wn = g.param(w);
+            let ln = g.layer_norm_rows(an, 1e-5);
+            let m = g.mul(ln, wn);
+            let l = g.sum_all(m);
+            g.backward(l);
+            g.value(l).item()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn slice_rows_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let a = p.register("a", rand_tensor(&mut rng, 5, 3));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let an = g.param(a);
+            let top = g.slice_rows(an, 0, 2);
+            let mid = g.slice_rows(an, 1, 4);
+            let top2 = g.slice_rows(an, 3, 4);
+            let joined = g.concat_rows(&[top, top2]);
+            let prod = g.mul(mid, joined);
+            let l = g.sum_all(prod);
+            g.backward(l);
+            g.value(l).item()
+        },
+        EPS,
+        TOL,
+    );
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the tensor and autodiff layers.
+
+use proptest::prelude::*;
+use wsccl_nn::{Graph, Parameters, Tensor};
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0f64..10.0, len)
+}
+
+proptest! {
+    /// Matrix multiplication distributes over addition: (A+B)·C = A·C + B·C.
+    #[test]
+    fn matmul_distributes((a, b, c) in (small_vec(6), small_vec(6), small_vec(6))) {
+        let a = Tensor::from_vec(2, 3, a);
+        let b = Tensor::from_vec(2, 3, b);
+        let c = Tensor::from_vec(3, 2, c);
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Cosine similarity is bounded in [-1, 1] and symmetric.
+    #[test]
+    fn cosine_bounded_and_symmetric((a, b) in (small_vec(5), small_vec(5))) {
+        let a = Tensor::row(a);
+        let b = Tensor::row(b);
+        let c1 = a.cosine(&b);
+        let c2 = b.cosine(&a);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c1));
+        prop_assert!((c1 - c2).abs() < 1e-12);
+    }
+
+    /// Cosine similarity is invariant to positive scaling.
+    #[test]
+    fn cosine_scale_invariant((a, b, s) in (small_vec(4), small_vec(4), 0.1f64..10.0)) {
+        let a = Tensor::row(a);
+        let b = Tensor::row(b);
+        let c1 = a.cosine(&b);
+        let c2 = a.scale(s).cosine(&b);
+        prop_assert!((c1 - c2).abs() < 1e-9);
+    }
+
+    /// mean_rows of a constant matrix is that constant.
+    #[test]
+    fn mean_rows_of_constant(v in -100.0f64..100.0, rows in 1usize..8, cols in 1usize..8) {
+        let t = Tensor::full(rows, cols, v);
+        let m = t.mean_rows();
+        prop_assert_eq!(m.shape(), (1, cols));
+        for x in m.data() {
+            prop_assert!((x - v).abs() < 1e-9);
+        }
+    }
+
+    /// Softmax rows sum to one and are positive.
+    #[test]
+    fn softmax_rows_is_distribution(data in small_vec(12)) {
+        let mut p = Parameters::new();
+        let mut g = Graph::new(&mut p);
+        let x = g.input(Tensor::from_vec(3, 4, data));
+        let s = g.softmax_rows(x);
+        let v = g.value(s);
+        for r in 0..3 {
+            let row = v.row_slice(r);
+            prop_assert!(row.iter().all(|&x| x > 0.0));
+            let sum: f64 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// log_sum_exp is ≥ max input and ≤ max + ln(n).
+    #[test]
+    fn log_sum_exp_bounds(vals in proptest::collection::vec(-50.0f64..50.0, 1..6)) {
+        let mut p = Parameters::new();
+        let mut g = Graph::new(&mut p);
+        let nodes: Vec<_> = vals.iter().map(|&v| g.input(Tensor::scalar(v))).collect();
+        let l = g.log_sum_exp(&nodes);
+        let out = g.value(l).item();
+        let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(out >= max - 1e-9);
+        prop_assert!(out <= max + (vals.len() as f64).ln() + 1e-9);
+    }
+
+    /// Cross entropy is non-negative and equals -ln(softmax[target]).
+    #[test]
+    fn cross_entropy_nonnegative(vals in small_vec(5), target in 0usize..5) {
+        let mut p = Parameters::new();
+        let mut g = Graph::new(&mut p);
+        let x = g.input(Tensor::row(vals.clone()));
+        let ce = g.cross_entropy(x, target);
+        let out = g.value(ce).item();
+        prop_assert!(out >= -1e-9);
+        let m = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let z: f64 = vals.iter().map(|v| (v - m).exp()).sum();
+        let manual = -( (vals[target] - m).exp() / z ).ln();
+        prop_assert!((out - manual).abs() < 1e-9);
+    }
+
+    /// Backward through a linear chain gives the product of local derivatives.
+    #[test]
+    fn chain_rule_scalar(x in -2.0f64..2.0) {
+        // f(w) = tanh(sigmoid(w)); f'(w) = (1 - tanh²(s)) · s(1-s)
+        let mut p = Parameters::new();
+        let w = p.register("w", Tensor::scalar(x));
+        let mut g = Graph::new(&mut p);
+        let wn = g.param(w);
+        let s = g.sigmoid(wn);
+        let t = g.tanh(s);
+        g.backward(t);
+        let sv = 1.0 / (1.0 + (-x).exp());
+        let tv = sv.tanh();
+        let expect = (1.0 - tv * tv) * sv * (1.0 - sv);
+        prop_assert!((p.grad(w).item() - expect).abs() < 1e-9);
+    }
+}

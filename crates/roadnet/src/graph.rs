@@ -1,0 +1,317 @@
+//! Directed road-network graph with the paper's spatial edge features.
+
+use serde::{Deserialize, Serialize};
+
+/// Vertex (intersection) handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Edge (road segment) handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Road classification (the paper's "Road Type (RT)" categorical feature).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoadType {
+    Motorway,
+    Primary,
+    Secondary,
+    Tertiary,
+    Residential,
+}
+
+impl RoadType {
+    pub const ALL: [RoadType; 5] = [
+        RoadType::Motorway,
+        RoadType::Primary,
+        RoadType::Secondary,
+        RoadType::Tertiary,
+        RoadType::Residential,
+    ];
+
+    /// Dense categorical index for embedding lookups.
+    pub fn index(self) -> usize {
+        match self {
+            RoadType::Motorway => 0,
+            RoadType::Primary => 1,
+            RoadType::Secondary => 2,
+            RoadType::Tertiary => 3,
+            RoadType::Residential => 4,
+        }
+    }
+
+    /// Free-flow speed in m/s used by the traffic simulator.
+    pub fn free_flow_speed(self) -> f64 {
+        match self {
+            RoadType::Motorway => 110.0 / 3.6,
+            RoadType::Primary => 70.0 / 3.6,
+            RoadType::Secondary => 55.0 / 3.6,
+            RoadType::Tertiary => 45.0 / 3.6,
+            RoadType::Residential => 30.0 / 3.6,
+        }
+    }
+}
+
+/// The paper's four spatial edge features (§IV-B(a)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeFeatures {
+    pub road_type: RoadType,
+    /// Number of traffic lanes (1–4 in the generator).
+    pub lanes: u8,
+    /// True if the edge can only be traversed in its stored direction.
+    pub one_way: bool,
+    /// True if the edge carries one or more traffic signals.
+    pub signals: bool,
+}
+
+impl EdgeFeatures {
+    /// Number of lane categories the generator produces (for one-hot width).
+    pub const NUM_LANE_CATEGORIES: usize = 4;
+
+    /// Categorical index of the lane count (lanes 1..=4 → 0..=3).
+    pub fn lanes_index(&self) -> usize {
+        (self.lanes.clamp(1, Self::NUM_LANE_CATEGORIES as u8) - 1) as usize
+    }
+}
+
+/// One directed road segment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Edge {
+    pub from: NodeId,
+    pub to: NodeId,
+    /// Segment length in meters.
+    pub length: f64,
+    pub features: EdgeFeatures,
+}
+
+/// A directed road network (paper Definition 1) with planar node coordinates.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    /// City name, e.g. "aalborg".
+    pub name: String,
+    /// Planar node coordinates in meters (used for GPS simulation/matching).
+    positions: Vec<(f64, f64)>,
+    edges: Vec<Edge>,
+    /// Outgoing edge ids per node.
+    out_edges: Vec<Vec<EdgeId>>,
+    /// Incoming edge ids per node.
+    in_edges: Vec<Vec<EdgeId>>,
+}
+
+impl RoadNetwork {
+    /// Build a network from node positions and edges.
+    ///
+    /// # Panics
+    /// Panics if an edge references a missing node.
+    pub fn new(name: impl Into<String>, positions: Vec<(f64, f64)>, edges: Vec<Edge>) -> Self {
+        let n = positions.len();
+        let mut out_edges = vec![Vec::new(); n];
+        let mut in_edges = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            assert!(e.from.index() < n && e.to.index() < n, "edge endpoint out of range");
+            assert!(e.length > 0.0, "edge length must be positive");
+            out_edges[e.from.index()].push(EdgeId(i as u32));
+            in_edges[e.to.index()].push(EdgeId(i as u32));
+        }
+        Self { name: name.into(), positions, edges, out_edges, in_edges }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.positions.len()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    pub fn position(&self, n: NodeId) -> (f64, f64) {
+        self.positions[n.index()]
+    }
+
+    /// Outgoing edges of a node.
+    pub fn out_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.out_edges[n.index()]
+    }
+
+    /// Incoming edges of a node.
+    pub fn in_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.in_edges[n.index()]
+    }
+
+    /// Edges that can directly follow `e` in a path.
+    pub fn successors(&self, e: EdgeId) -> &[EdgeId] {
+        self.out_edges(self.edge(e).to)
+    }
+
+    /// Euclidean midpoint of an edge (used as its representative location).
+    pub fn edge_midpoint(&self, e: EdgeId) -> (f64, f64) {
+        let edge = self.edge(e);
+        let (x1, y1) = self.position(edge.from);
+        let (x2, y2) = self.position(edge.to);
+        ((x1 + x2) / 2.0, (y1 + y2) / 2.0)
+    }
+
+    /// Point at fraction `t ∈ [0,1]` along the (straight) edge geometry.
+    pub fn edge_point_at(&self, e: EdgeId, t: f64) -> (f64, f64) {
+        let edge = self.edge(e);
+        let (x1, y1) = self.position(edge.from);
+        let (x2, y2) = self.position(edge.to);
+        (x1 + (x2 - x1) * t, y1 + (y2 - y1) * t)
+    }
+
+    /// Project a point onto an edge: returns `(t, distance)` where `t ∈ [0,1]`
+    /// is the position of the closest point along the edge and `distance` the
+    /// perpendicular distance to it.
+    pub fn edge_projection(&self, p: (f64, f64), e: EdgeId) -> (f64, f64) {
+        let edge = self.edge(e);
+        let (x1, y1) = self.position(edge.from);
+        let (x2, y2) = self.position(edge.to);
+        let (dx, dy) = (x2 - x1, y2 - y1);
+        let len2 = dx * dx + dy * dy;
+        let t = if len2 == 0.0 {
+            0.0
+        } else {
+            (((p.0 - x1) * dx + (p.1 - y1) * dy) / len2).clamp(0.0, 1.0)
+        };
+        let (cx, cy) = (x1 + t * dx, y1 + t * dy);
+        (t, ((p.0 - cx).powi(2) + (p.1 - cy).powi(2)).sqrt())
+    }
+
+    /// Distance from a point to the (straight-segment) geometry of an edge.
+    pub fn point_to_edge_distance(&self, p: (f64, f64), e: EdgeId) -> f64 {
+        self.edge_projection(p, e).1
+    }
+
+    /// True if `b` can directly follow `a` in a path.
+    pub fn adjacent(&self, a: EdgeId, b: EdgeId) -> bool {
+        self.edge(a).to == self.edge(b).from
+    }
+
+    /// Check strong connectivity via forward+backward BFS from node 0.
+    pub fn is_strongly_connected(&self) -> bool {
+        let n = self.num_nodes();
+        if n == 0 {
+            return true;
+        }
+        let reach = |adj: &dyn Fn(NodeId) -> Vec<NodeId>| {
+            let mut seen = vec![false; n];
+            let mut stack = vec![NodeId(0)];
+            seen[0] = true;
+            let mut count = 1;
+            while let Some(u) = stack.pop() {
+                for v in adj(u) {
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        count += 1;
+                        stack.push(v);
+                    }
+                }
+            }
+            count
+        };
+        let fwd = reach(&|u: NodeId| {
+            self.out_edges(u).iter().map(|&e| self.edge(e).to).collect::<Vec<_>>()
+        });
+        let bwd = reach(&|u: NodeId| {
+            self.in_edges(u).iter().map(|&e| self.edge(e).from).collect::<Vec<_>>()
+        });
+        fwd == n && bwd == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn tiny_features() -> EdgeFeatures {
+        EdgeFeatures { road_type: RoadType::Residential, lanes: 1, one_way: false, signals: false }
+    }
+
+    fn triangle() -> RoadNetwork {
+        // 0 → 1 → 2 → 0, strongly connected.
+        let positions = vec![(0.0, 0.0), (100.0, 0.0), (50.0, 80.0)];
+        let mk = |from: u32, to: u32| Edge {
+            from: NodeId(from),
+            to: NodeId(to),
+            length: 100.0,
+            features: tiny_features(),
+        };
+        RoadNetwork::new("tri", positions, vec![mk(0, 1), mk(1, 2), mk(2, 0)])
+    }
+
+    #[test]
+    fn adjacency_lists_are_consistent() {
+        let net = triangle();
+        assert_eq!(net.num_nodes(), 3);
+        assert_eq!(net.num_edges(), 3);
+        assert_eq!(net.out_edges(NodeId(0)), &[EdgeId(0)]);
+        assert_eq!(net.in_edges(NodeId(0)), &[EdgeId(2)]);
+        assert!(net.adjacent(EdgeId(0), EdgeId(1)));
+        assert!(!net.adjacent(EdgeId(0), EdgeId(2)));
+        assert_eq!(net.successors(EdgeId(0)), &[EdgeId(1)]);
+    }
+
+    #[test]
+    fn triangle_is_strongly_connected() {
+        assert!(triangle().is_strongly_connected());
+    }
+
+    #[test]
+    fn one_way_chain_is_not_strongly_connected() {
+        let positions = vec![(0.0, 0.0), (1.0, 0.0)];
+        let e = Edge {
+            from: NodeId(0),
+            to: NodeId(1),
+            length: 1.0,
+            features: tiny_features(),
+        };
+        let net = RoadNetwork::new("chain", positions, vec![e]);
+        assert!(!net.is_strongly_connected());
+    }
+
+    #[test]
+    fn point_to_edge_distance_is_perpendicular() {
+        let net = triangle();
+        // Edge 0 runs from (0,0) to (100,0); point (50, 30) is 30 m away.
+        let d = net.point_to_edge_distance((50.0, 30.0), EdgeId(0));
+        assert!((d - 30.0).abs() < 1e-9);
+        // Beyond the segment end, distance is to the endpoint.
+        let d2 = net.point_to_edge_distance((130.0, 40.0), EdgeId(0));
+        assert!((d2 - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn road_type_indices_are_dense() {
+        for (i, rt) in RoadType::ALL.iter().enumerate() {
+            assert_eq!(rt.index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_edge_rejected() {
+        let positions = vec![(0.0, 0.0), (1.0, 0.0)];
+        let e = Edge { from: NodeId(0), to: NodeId(1), length: 0.0, features: tiny_features() };
+        RoadNetwork::new("bad", positions, vec![e]);
+    }
+}

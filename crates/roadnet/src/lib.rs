@@ -1,0 +1,23 @@
+//! Road networks for the WSCCL reproduction.
+//!
+//! Implements Definition 1 (road network as a directed graph), Definition 3
+//! (paths as sequences of adjacent edges), the spatial edge features of §IV-B
+//! (road type, number of lanes, one-way flag, traffic signals), and the path
+//! algorithms the evaluation needs: Dijkstra shortest paths and Yen's
+//! k-shortest loopless paths (used to generate ranking/recommendation
+//! candidates, as in the paper's §VII-A.2).
+//!
+//! The paper uses OpenStreetMap extracts of Aalborg, Harbin, and Chengdu; this
+//! crate replaces them with a seeded synthetic generator ([`synth`]) that
+//! produces road-like graphs with matching *relative* density and feature
+//! distributions (see DESIGN.md §1 for the substitution argument).
+
+pub mod graph;
+pub mod path;
+pub mod shortest;
+pub mod synth;
+pub mod yen;
+
+pub use graph::{EdgeFeatures, EdgeId, NodeId, RoadNetwork, RoadType};
+pub use path::Path;
+pub use synth::{CityProfile, SynthConfig};

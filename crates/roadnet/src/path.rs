@@ -1,0 +1,185 @@
+//! Paths (Definition 3): sequences of adjacent edges, plus the path-similarity
+//! measure used to derive ranking scores (§VII-A.2b).
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{EdgeId, NodeId, RoadNetwork};
+
+/// A path `p = ⟨e_1 … e_n⟩` of adjacent edges in a road network.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Path {
+    edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// Build a path, validating adjacency against the network.
+    ///
+    /// Returns `None` for an empty sequence or any non-adjacent step.
+    pub fn new(net: &RoadNetwork, edges: Vec<EdgeId>) -> Option<Self> {
+        if edges.is_empty() {
+            return None;
+        }
+        for w in edges.windows(2) {
+            if !net.adjacent(w[0], w[1]) {
+                return None;
+            }
+        }
+        Some(Self { edges })
+    }
+
+    /// Build a path without adjacency validation (for trusted generators).
+    pub fn new_unchecked(edges: Vec<EdgeId>) -> Self {
+        debug_assert!(!edges.is_empty(), "paths are non-empty");
+        Self { edges }
+    }
+
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Source node of the path.
+    pub fn source(&self, net: &RoadNetwork) -> NodeId {
+        net.edge(self.edges[0]).from
+    }
+
+    /// Destination node of the path.
+    pub fn destination(&self, net: &RoadNetwork) -> NodeId {
+        net.edge(*self.edges.last().expect("non-empty")).to
+    }
+
+    /// Total length in meters.
+    pub fn length(&self, net: &RoadNetwork) -> f64 {
+        self.edges.iter().map(|&e| net.edge(e).length).sum()
+    }
+
+    /// True if no node repeats (loopless / simple path).
+    pub fn is_simple(&self, net: &RoadNetwork) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(self.source(net));
+        for &e in &self.edges {
+            if !seen.insert(net.edge(e).to) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Length-weighted Jaccard similarity with another path.
+    ///
+    /// This is the paper's ranking-score construction: the more of a candidate
+    /// path's length is shared with the trajectory path, the higher its score;
+    /// the trajectory path itself scores 1.0.
+    pub fn weighted_jaccard(&self, other: &Path, net: &RoadNetwork) -> f64 {
+        // Deterministic iteration (sorted, deduped) so float summation order —
+        // and therefore every downstream score — is identical across runs.
+        let mut a: Vec<EdgeId> = self.edges.clone();
+        a.sort_unstable();
+        a.dedup();
+        let mut b: Vec<EdgeId> = other.edges.clone();
+        b.sort_unstable();
+        b.dedup();
+        let bset: std::collections::HashSet<EdgeId> = b.iter().copied().collect();
+        let aset: std::collections::HashSet<EdgeId> = a.iter().copied().collect();
+        let mut inter = 0.0;
+        let mut union = 0.0;
+        for &e in &a {
+            let len = net.edge(e).length;
+            union += len;
+            if bset.contains(&e) {
+                inter += len;
+            }
+        }
+        for &e in &b {
+            if !aset.contains(&e) {
+                union += net.edge(e).length;
+            }
+        }
+        if union == 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Edge, EdgeFeatures, RoadType};
+
+    fn features() -> EdgeFeatures {
+        EdgeFeatures { road_type: RoadType::Residential, lanes: 1, one_way: false, signals: false }
+    }
+
+    /// Square with both diagonals: 0-1-2-3 around, plus 0→2.
+    fn square() -> RoadNetwork {
+        let positions = vec![(0.0, 0.0), (100.0, 0.0), (100.0, 100.0), (0.0, 100.0)];
+        let mk = |from: u32, to: u32, len: f64| Edge {
+            from: NodeId(from),
+            to: NodeId(to),
+            length: len,
+            features: features(),
+        };
+        RoadNetwork::new(
+            "sq",
+            positions,
+            vec![
+                mk(0, 1, 100.0), // e0
+                mk(1, 2, 100.0), // e1
+                mk(2, 3, 100.0), // e2
+                mk(3, 0, 100.0), // e3
+                mk(0, 2, 141.4), // e4 diagonal
+            ],
+        )
+    }
+
+    #[test]
+    fn validated_construction() {
+        let net = square();
+        assert!(Path::new(&net, vec![EdgeId(0), EdgeId(1)]).is_some());
+        assert!(Path::new(&net, vec![EdgeId(0), EdgeId(2)]).is_none());
+        assert!(Path::new(&net, vec![]).is_none());
+    }
+
+    #[test]
+    fn endpoints_and_length() {
+        let net = square();
+        let p = Path::new(&net, vec![EdgeId(0), EdgeId(1), EdgeId(2)]).unwrap();
+        assert_eq!(p.source(&net), NodeId(0));
+        assert_eq!(p.destination(&net), NodeId(3));
+        assert!((p.length(&net) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simplicity() {
+        let net = square();
+        let simple = Path::new(&net, vec![EdgeId(0), EdgeId(1)]).unwrap();
+        assert!(simple.is_simple(&net));
+        let cycle = Path::new(&net, vec![EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3)]).unwrap();
+        assert!(!cycle.is_simple(&net)); // returns to node 0
+    }
+
+    #[test]
+    fn weighted_jaccard_properties() {
+        let net = square();
+        let a = Path::new(&net, vec![EdgeId(0), EdgeId(1)]).unwrap();
+        let b = Path::new(&net, vec![EdgeId(4)]).unwrap();
+        // Identity scores 1.
+        assert!((a.weighted_jaccard(&a, &net) - 1.0).abs() < 1e-12);
+        // Disjoint paths score 0.
+        assert_eq!(a.weighted_jaccard(&b, &net), 0.0);
+        // Partial overlap is in (0, 1) and symmetric.
+        let c = Path::new(&net, vec![EdgeId(0)]).unwrap();
+        let s = a.weighted_jaccard(&c, &net);
+        assert!(s > 0.0 && s < 1.0);
+        assert!((s - c.weighted_jaccard(&a, &net)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,203 @@
+//! Dijkstra shortest paths over node graphs with pluggable edge weights.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{EdgeId, NodeId, RoadNetwork};
+use crate::path::Path;
+
+/// Min-heap entry ordered by cost.
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; costs are finite by construction.
+        other.cost.partial_cmp(&self.cost).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Full single-source Dijkstra state.
+pub struct ShortestPaths {
+    /// Distance per node (`f64::INFINITY` if unreachable).
+    pub dist: Vec<f64>,
+    /// Incoming edge on the shortest path tree, per node.
+    pub prev_edge: Vec<Option<EdgeId>>,
+}
+
+impl ShortestPaths {
+    /// Reconstruct the edge sequence from the source to `target`.
+    pub fn path_to(&self, net: &RoadNetwork, target: NodeId) -> Option<Path> {
+        if self.dist[target.index()].is_infinite() {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut cur = target;
+        while let Some(e) = self.prev_edge[cur.index()] {
+            edges.push(e);
+            cur = net.edge(e).from;
+        }
+        if edges.is_empty() {
+            return None; // target == source: no edges
+        }
+        edges.reverse();
+        Some(Path::new_unchecked(edges))
+    }
+
+    pub fn distance(&self, target: NodeId) -> f64 {
+        self.dist[target.index()]
+    }
+}
+
+/// Single-source Dijkstra with a per-edge weight function.
+///
+/// `weight` must return a positive, finite cost; `banned_nodes` /
+/// `banned_edges` support Yen's spur computations (entries may be empty).
+pub fn dijkstra(
+    net: &RoadNetwork,
+    source: NodeId,
+    weight: &dyn Fn(EdgeId) -> f64,
+    banned_nodes: &[bool],
+    banned_edges: &[bool],
+) -> ShortestPaths {
+    let n = net.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev_edge: Vec<Option<EdgeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry { cost: 0.0, node: source });
+
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if done[node.index()] {
+            continue;
+        }
+        done[node.index()] = true;
+        for &e in net.out_edges(node) {
+            if banned_edges.get(e.index()).copied().unwrap_or(false) {
+                continue;
+            }
+            let to = net.edge(e).to;
+            if banned_nodes.get(to.index()).copied().unwrap_or(false) {
+                continue;
+            }
+            let w = weight(e);
+            debug_assert!(w > 0.0 && w.is_finite(), "edge weight must be positive and finite");
+            let nd = cost + w;
+            if nd < dist[to.index()] {
+                dist[to.index()] = nd;
+                prev_edge[to.index()] = Some(e);
+                heap.push(HeapEntry { cost: nd, node: to });
+            }
+        }
+    }
+    ShortestPaths { dist, prev_edge }
+}
+
+/// Shortest path by physical edge length.
+pub fn shortest_path_by_length(net: &RoadNetwork, from: NodeId, to: NodeId) -> Option<Path> {
+    let sp = dijkstra(net, from, &|e| net.edge(e).length, &[], &[]);
+    sp.path_to(net, to)
+}
+
+/// Shortest path under an arbitrary positive weight function.
+pub fn shortest_path_weighted(
+    net: &RoadNetwork,
+    from: NodeId,
+    to: NodeId,
+    weight: &dyn Fn(EdgeId) -> f64,
+) -> Option<Path> {
+    let sp = dijkstra(net, from, weight, &[], &[]);
+    sp.path_to(net, to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Edge, EdgeFeatures, RoadType};
+
+    fn features() -> EdgeFeatures {
+        EdgeFeatures { road_type: RoadType::Residential, lanes: 1, one_way: false, signals: false }
+    }
+
+    /// Diamond: 0→1→3 (cost 2), 0→2→3 (cost 10), plus direct 0→3 (cost 5).
+    fn diamond() -> RoadNetwork {
+        let positions = vec![(0.0, 0.0), (1.0, 1.0), (1.0, -1.0), (2.0, 0.0)];
+        let mk = |from: u32, to: u32, len: f64| Edge {
+            from: NodeId(from),
+            to: NodeId(to),
+            length: len,
+            features: features(),
+        };
+        RoadNetwork::new(
+            "diamond",
+            positions,
+            vec![mk(0, 1, 1.0), mk(1, 3, 1.0), mk(0, 2, 5.0), mk(2, 3, 5.0), mk(0, 3, 5.0)],
+        )
+    }
+
+    #[test]
+    fn finds_cheapest_route() {
+        let net = diamond();
+        let p = shortest_path_by_length(&net, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p.edges(), &[EdgeId(0), EdgeId(1)]);
+        assert!((p.length(&net) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_custom_weights() {
+        let net = diamond();
+        // Penalize edge 1 heavily; the direct edge becomes cheapest.
+        let w = |e: EdgeId| if e == EdgeId(1) { 100.0 } else { net.edge(e).length };
+        let p = shortest_path_weighted(&net, NodeId(0), NodeId(3), &w).unwrap();
+        assert_eq!(p.edges(), &[EdgeId(4)]);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let net = diamond();
+        // Node 0 has no incoming edges.
+        assert!(shortest_path_by_length(&net, NodeId(3), NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn source_equals_target_returns_none() {
+        let net = diamond();
+        assert!(shortest_path_by_length(&net, NodeId(0), NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn banned_edges_are_avoided() {
+        let net = diamond();
+        let mut banned = vec![false; net.num_edges()];
+        banned[0] = true; // ban 0→1
+        let sp = dijkstra(&net, NodeId(0), &|e| net.edge(e).length, &[], &banned);
+        let p = sp.path_to(&net, NodeId(3)).unwrap();
+        assert_eq!(p.edges(), &[EdgeId(4)]);
+    }
+
+    #[test]
+    fn distances_satisfy_triangle_inequality_on_tree() {
+        let net = diamond();
+        let sp = dijkstra(&net, NodeId(0), &|e| net.edge(e).length, &[], &[]);
+        // dist of every node equals dist of predecessor plus edge weight.
+        for node in 1..net.num_nodes() {
+            if let Some(e) = sp.prev_edge[node] {
+                let pred = net.edge(e).from;
+                let expect = sp.dist[pred.index()] + net.edge(e).length;
+                assert!((sp.dist[node] - expect).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Seeded synthetic city generator.
+//!
+//! Substitutes for the paper's OpenStreetMap extracts (DESIGN.md §1). A city is
+//! an irregular, jittered grid with arterial corridors, optional diagonals,
+//! one-way streets, and signalized intersections. Three profiles mirror the
+//! paper's cities at ~20× reduced scale while preserving their *relative*
+//! density ordering (Chengdu densest, Aalborg sparsest) and feature mix.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{Edge, EdgeFeatures, NodeId, RoadNetwork, RoadType};
+
+/// Generation parameters for one synthetic city.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SynthConfig {
+    pub name: String,
+    /// Grid width (columns of intersections).
+    pub grid_w: usize,
+    /// Grid height (rows of intersections).
+    pub grid_h: usize,
+    /// Distance between neighboring grid intersections, meters.
+    pub spacing: f64,
+    /// Node position jitter as a fraction of spacing.
+    pub jitter: f64,
+    /// Probability of keeping a non-spanning-tree grid connection.
+    pub keep_prob: f64,
+    /// Probability of adding a diagonal connection per grid cell.
+    pub diag_prob: f64,
+    /// Fraction of kept non-tree connections that are one-way.
+    pub one_way_frac: f64,
+    /// Probability that a minor edge carries a traffic signal.
+    pub signal_prob: f64,
+    /// Every `arterial_spacing`-th row/column is an arterial (Primary).
+    pub arterial_spacing: usize,
+    pub seed: u64,
+}
+
+/// The three city profiles used throughout the evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CityProfile {
+    /// Sparse Scandinavian city (paper: 10,017 nodes / 11,597 edges).
+    Aalborg,
+    /// Mid-density Chinese city (paper: 8,497 nodes / 14,497 edges).
+    Harbin,
+    /// Dense Chinese city (paper: 6,632 nodes / 17,038 edges).
+    Chengdu,
+}
+
+impl CityProfile {
+    pub const ALL: [CityProfile; 3] = [CityProfile::Aalborg, CityProfile::Harbin, CityProfile::Chengdu];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CityProfile::Aalborg => "aalborg",
+            CityProfile::Harbin => "harbin",
+            CityProfile::Chengdu => "chengdu",
+        }
+    }
+
+    /// Generator configuration at reproduction scale.
+    pub fn config(self, seed: u64) -> SynthConfig {
+        match self {
+            CityProfile::Aalborg => SynthConfig {
+                name: self.name().into(),
+                grid_w: 23,
+                grid_h: 22,
+                spacing: 150.0,
+                jitter: 0.25,
+                keep_prob: 0.35,
+                diag_prob: 0.05,
+                one_way_frac: 0.15,
+                signal_prob: 0.15,
+                arterial_spacing: 6,
+                seed,
+            },
+            CityProfile::Harbin => SynthConfig {
+                name: self.name().into(),
+                grid_w: 21,
+                grid_h: 20,
+                spacing: 180.0,
+                jitter: 0.2,
+                keep_prob: 0.65,
+                diag_prob: 0.10,
+                one_way_frac: 0.25,
+                signal_prob: 0.25,
+                arterial_spacing: 5,
+                seed,
+            },
+            CityProfile::Chengdu => SynthConfig {
+                name: self.name().into(),
+                grid_w: 19,
+                grid_h: 18,
+                spacing: 120.0,
+                jitter: 0.15,
+                keep_prob: 0.95,
+                diag_prob: 0.35,
+                one_way_frac: 0.30,
+                signal_prob: 0.35,
+                arterial_spacing: 4,
+                seed,
+            },
+        }
+    }
+
+    /// Generate this city's road network.
+    pub fn generate(self, seed: u64) -> RoadNetwork {
+        generate(&self.config(seed))
+    }
+}
+
+/// Undirected candidate connection between two grid nodes.
+#[derive(Clone, Copy)]
+struct Candidate {
+    a: usize,
+    b: usize,
+    diagonal: bool,
+}
+
+/// Generate a strongly connected road network from a config.
+pub fn generate(cfg: &SynthConfig) -> RoadNetwork {
+    assert!(cfg.grid_w >= 2 && cfg.grid_h >= 2, "grid must be at least 2x2");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.grid_w * cfg.grid_h;
+    let at = |x: usize, y: usize| y * cfg.grid_w + x;
+
+    // Jittered node positions.
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let (x, y) = (i % cfg.grid_w, i / cfg.grid_w);
+            let jx = rng.random_range(-cfg.jitter..cfg.jitter) * cfg.spacing;
+            let jy = rng.random_range(-cfg.jitter..cfg.jitter) * cfg.spacing;
+            (x as f64 * cfg.spacing + jx, y as f64 * cfg.spacing + jy)
+        })
+        .collect();
+
+    // Candidate connections: 4-neighborhood plus optional diagonals.
+    let mut candidates = Vec::new();
+    for y in 0..cfg.grid_h {
+        for x in 0..cfg.grid_w {
+            if x + 1 < cfg.grid_w {
+                candidates.push(Candidate { a: at(x, y), b: at(x + 1, y), diagonal: false });
+            }
+            if y + 1 < cfg.grid_h {
+                candidates.push(Candidate { a: at(x, y), b: at(x, y + 1), diagonal: false });
+            }
+            if x + 1 < cfg.grid_w && y + 1 < cfg.grid_h && rng.random::<f64>() < cfg.diag_prob {
+                if rng.random::<f64>() < 0.5 {
+                    candidates.push(Candidate { a: at(x, y), b: at(x + 1, y + 1), diagonal: true });
+                } else {
+                    candidates.push(Candidate { a: at(x + 1, y), b: at(x, y + 1), diagonal: true });
+                }
+            }
+        }
+    }
+
+    // Randomized spanning tree (union-find over shuffled candidates) —
+    // guarantees connectivity; tree connections are always bidirectional,
+    // which makes the digraph strongly connected.
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.shuffle(&mut rng);
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut in_tree = vec![false; candidates.len()];
+    for &ci in &order {
+        let c = candidates[ci];
+        let (ra, rb) = (find(&mut parent, c.a), find(&mut parent, c.b));
+        if ra != rb {
+            parent[ra] = rb;
+            in_tree[ci] = true;
+        }
+    }
+
+    // Feature assignment helpers.
+    let is_arterial_node = |i: usize| -> (bool, bool) {
+        let (x, y) = (i % cfg.grid_w, i / cfg.grid_w);
+        (y % cfg.arterial_spacing == cfg.arterial_spacing / 2,
+         x % cfg.arterial_spacing == cfg.arterial_spacing / 2)
+    };
+
+    let mut edges: Vec<Edge> = Vec::new();
+    for (ci, c) in candidates.iter().enumerate() {
+        let keep = in_tree[ci] || rng.random::<f64>() < cfg.keep_prob;
+        if !keep {
+            continue;
+        }
+        // Road classification: connections along an arterial row/column are
+        // Primary (with a small chance of Motorway); diagonals tend major.
+        let (row_a, col_a) = is_arterial_node(c.a);
+        let (row_b, col_b) = is_arterial_node(c.b);
+        let arterial = (row_a && row_b) || (col_a && col_b);
+        let road_type = if arterial {
+            if rng.random::<f64>() < 0.12 { RoadType::Motorway } else { RoadType::Primary }
+        } else if c.diagonal {
+            RoadType::Secondary
+        } else {
+            match rng.random_range(0..10) {
+                0..=1 => RoadType::Secondary,
+                2..=4 => RoadType::Tertiary,
+                _ => RoadType::Residential,
+            }
+        };
+        let lanes: u8 = match road_type {
+            RoadType::Motorway => rng.random_range(3..=4),
+            RoadType::Primary => rng.random_range(2..=3),
+            RoadType::Secondary => rng.random_range(2..=3),
+            RoadType::Tertiary => rng.random_range(1..=2),
+            RoadType::Residential => 1,
+        };
+        let signals = match road_type {
+            RoadType::Motorway => false,
+            RoadType::Primary => rng.random::<f64>() < 2.0 * cfg.signal_prob,
+            _ => rng.random::<f64>() < cfg.signal_prob,
+        };
+        // One-way only for non-tree minor edges, to preserve strong connectivity.
+        let one_way = !in_tree[ci]
+            && road_type != RoadType::Motorway
+            && rng.random::<f64>() < cfg.one_way_frac;
+
+        let (pa, pb) = (positions[c.a], positions[c.b]);
+        let length = ((pa.0 - pb.0).powi(2) + (pa.1 - pb.1).powi(2)).sqrt().max(10.0);
+        let features = EdgeFeatures { road_type, lanes, one_way, signals };
+        let (from, to) =
+            if one_way && rng.random::<f64>() < 0.5 { (c.b, c.a) } else { (c.a, c.b) };
+        edges.push(Edge { from: NodeId(from as u32), to: NodeId(to as u32), length, features });
+        if !one_way {
+            edges.push(Edge {
+                from: NodeId(to as u32),
+                to: NodeId(from as u32),
+                length,
+                features,
+            });
+        }
+    }
+
+    RoadNetwork::new(cfg.name.clone(), positions, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_profiles_are_strongly_connected() {
+        for profile in CityProfile::ALL {
+            let net = profile.generate(7);
+            assert!(net.is_strongly_connected(), "{} not strongly connected", profile.name());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = CityProfile::Harbin.generate(3);
+        let b = CityProfile::Harbin.generate(3);
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+        for (ea, eb) in a.edges().iter().zip(b.edges()) {
+            assert_eq!(ea.from, eb.from);
+            assert_eq!(ea.to, eb.to);
+            assert_eq!(ea.features, eb.features);
+        }
+        let c = CityProfile::Harbin.generate(4);
+        assert_ne!(a.num_edges(), c.num_edges(), "different seeds should differ");
+    }
+
+    #[test]
+    fn density_ordering_matches_paper() {
+        // Chengdu must be the densest, Aalborg the sparsest (edges per node).
+        let density = |p: CityProfile| {
+            let net = p.generate(11);
+            net.num_edges() as f64 / net.num_nodes() as f64
+        };
+        let aal = density(CityProfile::Aalborg);
+        let har = density(CityProfile::Harbin);
+        let che = density(CityProfile::Chengdu);
+        assert!(aal < har && har < che, "density order violated: {aal:.2} {har:.2} {che:.2}");
+    }
+
+    #[test]
+    fn feature_mix_is_plausible() {
+        let net = CityProfile::Chengdu.generate(5);
+        let types: HashSet<usize> = net.edges().iter().map(|e| e.features.road_type.index()).collect();
+        assert!(types.len() >= 4, "expected diverse road types, got {types:?}");
+        let one_way = net.edges().iter().filter(|e| e.features.one_way).count();
+        assert!(one_way > 0, "expected some one-way streets");
+        let signals = net.edges().iter().filter(|e| e.features.signals).count();
+        assert!(signals > 0, "expected some signals");
+        assert!(net.edges().iter().all(|e| (1..=4).contains(&e.features.lanes)));
+        assert!(net.edges().iter().all(|e| e.length >= 10.0));
+    }
+
+    #[test]
+    fn sizes_are_at_reproduction_scale() {
+        for profile in CityProfile::ALL {
+            let net = profile.generate(1);
+            assert!(
+                (300..600).contains(&net.num_nodes()),
+                "{}: {} nodes",
+                profile.name(),
+                net.num_nodes()
+            );
+            assert!(net.num_edges() > net.num_nodes(), "{} too sparse", profile.name());
+        }
+    }
+}

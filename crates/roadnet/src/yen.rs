@@ -1,0 +1,198 @@
+//! Yen's algorithm for k-shortest loopless paths.
+//!
+//! The paper generates alternative paths between a trajectory's source and
+//! destination to build ranking candidates (§VII-A.2b) and recommendation
+//! negatives (§VII-A.2c); Yen's algorithm is the standard tool for that.
+
+use std::collections::HashSet;
+
+use crate::graph::{EdgeId, NodeId, RoadNetwork};
+use crate::path::Path;
+use crate::shortest::dijkstra;
+
+/// Cost of a path under a weight function.
+fn path_cost(path: &Path, weight: &dyn Fn(EdgeId) -> f64) -> f64 {
+    path.edges().iter().map(|&e| weight(e)).sum()
+}
+
+/// Node sequence of a path (source, then each edge's head).
+fn node_sequence(net: &RoadNetwork, path: &Path) -> Vec<NodeId> {
+    let mut nodes = Vec::with_capacity(path.len() + 1);
+    nodes.push(path.source(net));
+    for &e in path.edges() {
+        nodes.push(net.edge(e).to);
+    }
+    nodes
+}
+
+/// K-shortest loopless paths from `from` to `to`, cheapest first.
+///
+/// Returns fewer than `k` paths when the graph doesn't contain `k` distinct
+/// loopless routes. Weights must be positive and finite.
+pub fn k_shortest_paths(
+    net: &RoadNetwork,
+    from: NodeId,
+    to: NodeId,
+    k: usize,
+    weight: &dyn Fn(EdgeId) -> f64,
+) -> Vec<Path> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let first = {
+        let sp = dijkstra(net, from, weight, &[], &[]);
+        match sp.path_to(net, to) {
+            Some(p) => p,
+            None => return Vec::new(),
+        }
+    };
+
+    let mut confirmed: Vec<Path> = vec![first];
+    // Candidate pool: (cost, path). Linear scan is fine at k ≤ ~20.
+    let mut candidates: Vec<(f64, Path)> = Vec::new();
+    let mut seen: HashSet<Vec<EdgeId>> = HashSet::new();
+    seen.insert(confirmed[0].edges().to_vec());
+
+    while confirmed.len() < k {
+        let prev = confirmed.last().expect("non-empty").clone();
+        let prev_nodes = node_sequence(net, &prev);
+
+        for i in 0..prev.len() {
+            let spur_node = prev_nodes[i];
+            let root_edges = &prev.edges()[..i];
+
+            // Ban edges that would recreate an already-confirmed path with the
+            // same root, and ban root nodes to keep paths loopless.
+            let mut banned_edges = vec![false; net.num_edges()];
+            for p in &confirmed {
+                if p.len() > i && p.edges()[..i] == *root_edges {
+                    banned_edges[p.edges()[i].index()] = true;
+                }
+            }
+            for (_, p) in &candidates {
+                if p.len() > i && p.edges()[..i] == *root_edges {
+                    banned_edges[p.edges()[i].index()] = true;
+                }
+            }
+            let mut banned_nodes = vec![false; net.num_nodes()];
+            for &n in &prev_nodes[..i] {
+                banned_nodes[n.index()] = true;
+            }
+
+            let sp = dijkstra(net, spur_node, weight, &banned_nodes, &banned_edges);
+            let Some(spur) = sp.path_to(net, to) else { continue };
+
+            let mut total: Vec<EdgeId> = root_edges.to_vec();
+            total.extend_from_slice(spur.edges());
+            let candidate = Path::new_unchecked(total);
+            if !candidate.is_simple(net) {
+                continue;
+            }
+            if seen.insert(candidate.edges().to_vec()) {
+                let c = path_cost(&candidate, weight);
+                candidates.push((c, candidate));
+            }
+        }
+
+        // Pop the cheapest candidate.
+        let Some(best_ix) = candidates
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite costs"))
+            .map(|(ix, _)| ix)
+        else {
+            break;
+        };
+        let (_, best) = candidates.swap_remove(best_ix);
+        confirmed.push(best);
+    }
+    confirmed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Edge, EdgeFeatures, RoadType};
+
+    fn features() -> EdgeFeatures {
+        EdgeFeatures { road_type: RoadType::Residential, lanes: 1, one_way: false, signals: false }
+    }
+
+    /// Classic Yen test graph with several distinct routes 0 → 5.
+    fn grid() -> RoadNetwork {
+        let positions: Vec<(f64, f64)> =
+            (0..6).map(|i| ((i % 3) as f64 * 100.0, (i / 3) as f64 * 100.0)).collect();
+        let mk = |from: u32, to: u32, len: f64| Edge {
+            from: NodeId(from),
+            to: NodeId(to),
+            length: len,
+            features: features(),
+        };
+        // 0-1-2 top row, 3-4-5 bottom row, verticals both ways.
+        RoadNetwork::new(
+            "g",
+            positions,
+            vec![
+                mk(0, 1, 1.0),
+                mk(1, 2, 1.0),
+                mk(3, 4, 1.0),
+                mk(4, 5, 1.0),
+                mk(0, 3, 2.0),
+                mk(1, 4, 2.0),
+                mk(2, 5, 2.0),
+            ],
+        )
+    }
+
+    fn len_weight(net: &RoadNetwork) -> impl Fn(EdgeId) -> f64 + '_ {
+        move |e| net.edge(e).length
+    }
+
+    #[test]
+    fn returns_sorted_distinct_loopless_paths() {
+        let net = grid();
+        let w = len_weight(&net);
+        let paths = k_shortest_paths(&net, NodeId(0), NodeId(5), 5, &w);
+        assert!(paths.len() >= 3, "expected ≥3 routes, got {}", paths.len());
+        // Sorted by cost.
+        let costs: Vec<f64> = paths.iter().map(|p| p.length(&net)).collect();
+        for w in costs.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12, "not sorted: {costs:?}");
+        }
+        // Distinct and loopless.
+        let mut seen = HashSet::new();
+        for p in &paths {
+            assert!(p.is_simple(&net));
+            assert!(seen.insert(p.edges().to_vec()), "duplicate path");
+            assert_eq!(p.source(&net), NodeId(0));
+            assert_eq!(p.destination(&net), NodeId(5));
+        }
+    }
+
+    #[test]
+    fn first_path_is_the_shortest() {
+        let net = grid();
+        let w = len_weight(&net);
+        let paths = k_shortest_paths(&net, NodeId(0), NodeId(5), 1, &w);
+        let sp = crate::shortest::shortest_path_by_length(&net, NodeId(0), NodeId(5)).unwrap();
+        assert_eq!(paths[0].edges(), sp.edges());
+    }
+
+    #[test]
+    fn k_zero_and_unreachable() {
+        let net = grid();
+        let w = len_weight(&net);
+        assert!(k_shortest_paths(&net, NodeId(0), NodeId(5), 0, &w).is_empty());
+        // Node 0 is unreachable from node 5.
+        assert!(k_shortest_paths(&net, NodeId(5), NodeId(0), 3, &w).is_empty());
+    }
+
+    #[test]
+    fn exhausts_routes_gracefully() {
+        let net = grid();
+        let w = len_weight(&net);
+        let paths = k_shortest_paths(&net, NodeId(0), NodeId(1), 10, &w);
+        // Only one loopless route 0 → 1 exists.
+        assert_eq!(paths.len(), 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for path algorithms on randomly generated cities.
+
+use proptest::prelude::*;
+use wsccl_roadnet::shortest::{dijkstra, shortest_path_by_length};
+use wsccl_roadnet::yen::k_shortest_paths;
+use wsccl_roadnet::{CityProfile, NodeId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Dijkstra distances obey the relaxation property on every edge:
+    /// dist(v) ≤ dist(u) + w(u→v).
+    #[test]
+    fn dijkstra_relaxation_holds(seed in 0u64..500, src in 0u32..300) {
+        let net = CityProfile::Aalborg.generate(seed);
+        let src = NodeId(src % net.num_nodes() as u32);
+        let sp = dijkstra(&net, src, &|e| net.edge(e).length, &[], &[]);
+        for (i, e) in net.edges().iter().enumerate() {
+            let _ = i;
+            let du = sp.dist[e.from.index()];
+            let dv = sp.dist[e.to.index()];
+            prop_assert!(dv <= du + e.length + 1e-6,
+                "relaxation violated: d({:?})={dv} > d({:?})={du} + {}", e.to, e.from, e.length);
+        }
+    }
+
+    /// A reconstructed shortest path's length equals the reported distance.
+    #[test]
+    fn path_length_matches_distance(seed in 0u64..500, a in 0u32..300, b in 0u32..300) {
+        let net = CityProfile::Harbin.generate(seed);
+        let a = NodeId(a % net.num_nodes() as u32);
+        let b = NodeId(b % net.num_nodes() as u32);
+        prop_assume!(a != b);
+        let sp = dijkstra(&net, a, &|e| net.edge(e).length, &[], &[]);
+        if let Some(p) = sp.path_to(&net, b) {
+            prop_assert!((p.length(&net) - sp.distance(b)).abs() < 1e-6);
+            prop_assert_eq!(p.source(&net), a);
+            prop_assert_eq!(p.destination(&net), b);
+        }
+    }
+
+    /// Yen's k-shortest paths are simple, distinct, sorted, and start with the
+    /// true shortest path.
+    #[test]
+    fn yen_invariants(seed in 0u64..200, a in 0u32..300, b in 0u32..300) {
+        let net = CityProfile::Chengdu.generate(seed);
+        let a = NodeId(a % net.num_nodes() as u32);
+        let b = NodeId(b % net.num_nodes() as u32);
+        prop_assume!(a != b);
+        let w = |e| net.edge(e).length;
+        let paths = k_shortest_paths(&net, a, b, 4, &w);
+        if paths.is_empty() {
+            // Only acceptable when genuinely unreachable.
+            prop_assert!(shortest_path_by_length(&net, a, b).is_none());
+            return Ok(());
+        }
+        let best = shortest_path_by_length(&net, a, b).unwrap();
+        prop_assert!((paths[0].length(&net) - best.length(&net)).abs() < 1e-6);
+        let mut seen = std::collections::HashSet::new();
+        let mut prev = 0.0f64;
+        for p in &paths {
+            prop_assert!(p.is_simple(&net));
+            prop_assert!(seen.insert(p.edges().to_vec()));
+            let c = p.length(&net);
+            prop_assert!(c + 1e-9 >= prev);
+            prev = c;
+            prop_assert_eq!(p.source(&net), a);
+            prop_assert_eq!(p.destination(&net), b);
+        }
+    }
+
+    /// Every generated city is strongly connected regardless of seed.
+    #[test]
+    fn cities_always_strongly_connected(seed in 0u64..1000) {
+        for profile in CityProfile::ALL {
+            prop_assert!(profile.generate(seed).is_strongly_connected());
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Time- and space-dependent congestion model.
+//!
+//! Ground-truth travel times in the paper come from real traffic; here they
+//! come from this model. Its structure is chosen so that the phenomena the
+//! paper's weak labels must capture actually exist in the data: weekday
+//! morning (≈08:00) and afternoon (≈17:30) peaks, stronger congestion near the
+//! city center, per-edge heterogeneity, and signal delays.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use wsccl_roadnet::{EdgeId, RoadNetwork};
+
+use crate::time::SimTime;
+
+/// City-level congestion parameters plus per-edge heterogeneity.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CongestionModel {
+    /// Multiplicative per-edge speed heterogeneity (≈ lognormal around 1).
+    edge_factor: Vec<f64>,
+    /// City center in network coordinates.
+    center: (f64, f64),
+    /// Spatial decay radius of the center effect, meters.
+    radius: f64,
+    /// Peak congestion severity (0 = flat traffic; ~1.5 = heavy peaks).
+    pub peak_strength: f64,
+}
+
+impl CongestionModel {
+    /// Build a model for a network. `peak_strength` controls how much slower
+    /// peak-hour travel is; the per-city defaults in `wsccl-datagen` use
+    /// 1.2–1.8.
+    pub fn new(net: &RoadNetwork, peak_strength: f64, seed: u64) -> Self {
+        // XOR with a constant so this RNG stream differs from other components
+        // seeded from the same master seed.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7AFF_1C00);
+        let edge_factor = (0..net.num_edges())
+            .map(|_| {
+                // Lognormal-ish: exp(N(0, 0.15)), clamped to a sane band.
+                let z: f64 = rng.random_range(-1.0..1.0) + rng.random_range(-1.0..1.0);
+                (0.15 * z).exp().clamp(0.6, 1.6)
+            })
+            .collect();
+        let (mut cx, mut cy, mut n) = (0.0, 0.0, 0);
+        for i in 0..net.num_nodes() {
+            let (x, y) = net.position(wsccl_roadnet::NodeId(i as u32));
+            cx += x;
+            cy += y;
+            n += 1;
+        }
+        let center = (cx / n as f64, cy / n as f64);
+        // Radius: half the coordinate spread.
+        let mut max_d: f64 = 1.0;
+        for i in 0..net.num_nodes() {
+            let (x, y) = net.position(wsccl_roadnet::NodeId(i as u32));
+            let d = ((x - center.0).powi(2) + (y - center.1).powi(2)).sqrt();
+            max_d = max_d.max(d);
+        }
+        Self { edge_factor, center, radius: max_d / 2.0, peak_strength }
+    }
+
+    /// Time-of-day congestion intensity in `[0, 1]` (before peak scaling).
+    ///
+    /// Weekdays have Gaussian bumps at 08:00 (σ = 1h) and 17:30 (σ = 1.5h);
+    /// weekends a mild midday bump.
+    pub fn time_profile(t: SimTime) -> f64 {
+        let h = t.hour_f();
+        let bump = |center: f64, sigma: f64| (-((h - center) / sigma).powi(2) / 2.0).exp();
+        if t.is_weekday() {
+            (bump(8.0, 1.0) + bump(17.5, 1.5)).min(1.0)
+        } else {
+            0.35 * bump(13.0, 3.0)
+        }
+    }
+
+    /// Spatial congestion weight in `[0.4, 1.2]`: higher near the center.
+    fn spatial(&self, pos: (f64, f64)) -> f64 {
+        let d2 = (pos.0 - self.center.0).powi(2) + (pos.1 - self.center.1).powi(2);
+        0.4 + 0.8 * (-d2 / (2.0 * self.radius * self.radius)).exp()
+    }
+
+    /// Congestion factor ≥ 1 dividing free-flow speed at `pos` and time `t`.
+    pub fn congestion_factor(&self, t: SimTime, pos: (f64, f64)) -> f64 {
+        1.0 + self.peak_strength * Self::time_profile(t) * self.spatial(pos)
+    }
+
+    /// Instantaneous speed on an edge at time `t`, m/s.
+    pub fn speed(&self, net: &RoadNetwork, e: EdgeId, t: SimTime) -> f64 {
+        let edge = net.edge(e);
+        let base = edge.features.road_type.free_flow_speed();
+        // More lanes flow slightly better under load.
+        let lane_factor = 0.9 + 0.05 * edge.features.lanes as f64;
+        let pos = net.edge_midpoint(e);
+        (base * lane_factor * self.edge_factor[e.index()] / self.congestion_factor(t, pos))
+            .max(1.0)
+    }
+
+    /// Expected traversal time of an edge entered at time `t`, seconds,
+    /// including expected signal delay.
+    pub fn edge_travel_time(&self, net: &RoadNetwork, e: EdgeId, t: SimTime) -> f64 {
+        let edge = net.edge(e);
+        let drive = edge.length / self.speed(net, e, t);
+        let signal = if edge.features.signals {
+            // Expected signal wait grows with congestion.
+            8.0 + 12.0 * Self::time_profile(t)
+        } else {
+            0.0
+        };
+        drive + signal
+    }
+
+    /// Citywide congestion index at time `t` in `[0, 1]`, the basis of the
+    /// TCI weak labels: mean normalized congestion over sampled edges.
+    pub fn network_congestion_index(&self, net: &RoadNetwork, t: SimTime) -> f64 {
+        let n = net.num_edges();
+        let step = (n / 64).max(1);
+        let mut sum = 0.0;
+        let mut count = 0;
+        let max_factor = 1.0 + self.peak_strength * 1.2;
+        let mut i = 0;
+        while i < n {
+            let pos = net.edge_midpoint(EdgeId(i as u32));
+            sum += (self.congestion_factor(t, pos) - 1.0) / (max_factor - 1.0);
+            count += 1;
+            i += step;
+        }
+        (sum / count as f64).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsccl_roadnet::{CityProfile, RoadType};
+
+    fn setup() -> (RoadNetwork, CongestionModel) {
+        let net = CityProfile::Aalborg.generate(1);
+        let model = CongestionModel::new(&net, 1.5, 1);
+        (net, model)
+    }
+
+    #[test]
+    fn peak_hours_are_slower() {
+        let (net, model) = setup();
+        let e = EdgeId(0);
+        let peak = model.speed(&net, e, SimTime::from_hm(1, 8, 0));
+        let off = model.speed(&net, e, SimTime::from_hm(1, 11, 30));
+        let night = model.speed(&net, e, SimTime::from_hm(1, 3, 0));
+        assert!(peak < off, "peak {peak} should be slower than midday {off}");
+        assert!(off < night + 1e-9, "midday {off} should be ≤ night {night}");
+    }
+
+    #[test]
+    fn weekends_are_lighter_than_weekday_peaks() {
+        let p_weekday = CongestionModel::time_profile(SimTime::from_hm(2, 8, 0));
+        let p_weekend = CongestionModel::time_profile(SimTime::from_hm(5, 8, 0));
+        assert!(p_weekday > 2.0 * p_weekend);
+    }
+
+    #[test]
+    fn travel_time_positive_and_signal_penalty_applies() {
+        let (net, model) = setup();
+        let t = SimTime::from_hm(0, 8, 0);
+        // Find one signalized and one unsignalized edge of the same type.
+        let mut sig = None;
+        let mut plain = None;
+        for i in 0..net.num_edges() {
+            let e = EdgeId(i as u32);
+            let f = net.edge(e).features;
+            if f.signals && sig.is_none() {
+                sig = Some(e);
+            }
+            if !f.signals && plain.is_none() {
+                plain = Some(e);
+            }
+        }
+        let (sig, plain) = (sig.expect("has signals"), plain.expect("has plain"));
+        let tt_sig = model.edge_travel_time(&net, sig, t);
+        let tt_plain = model.edge_travel_time(&net, plain, t);
+        assert!(tt_sig > 0.0 && tt_plain > 0.0);
+        // The signal adds at least the base 8 s over pure driving time.
+        let drive = net.edge(sig).length / model.speed(&net, sig, t);
+        assert!(tt_sig >= drive + 8.0);
+    }
+
+    #[test]
+    fn congestion_index_tracks_peaks_and_is_bounded() {
+        let (net, model) = setup();
+        let peak = model.network_congestion_index(&net, SimTime::from_hm(1, 8, 0));
+        let night = model.network_congestion_index(&net, SimTime::from_hm(1, 3, 0));
+        assert!((0.0..=1.0).contains(&peak) && (0.0..=1.0).contains(&night));
+        assert!(peak > night + 0.2, "peak index {peak} vs night {night}");
+    }
+
+    #[test]
+    fn faster_roads_stay_faster() {
+        let (net, model) = setup();
+        let t = SimTime::from_hm(0, 12, 0);
+        // Average speed by type: motorways should beat residential streets.
+        let mut by_type = [(0.0f64, 0usize); 5];
+        for i in 0..net.num_edges() {
+            let e = EdgeId(i as u32);
+            let ix = net.edge(e).features.road_type.index();
+            by_type[ix].0 += model.speed(&net, e, t);
+            by_type[ix].1 += 1;
+        }
+        let avg = |ix: usize| by_type[ix].0 / by_type[ix].1.max(1) as f64;
+        let motorway = avg(RoadType::Motorway.index());
+        let residential = avg(RoadType::Residential.index());
+        assert!(motorway > 1.5 * residential, "{motorway} vs {residential}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Weak labels (paper Definition 6 and §VII-A.5).
+//!
+//! Two families:
+//! * **POP** — peak / off-peak from the departure time alone: Morning peak
+//!   (7–9 a.m. weekdays), Afternoon peak (4–7 p.m. weekdays), Off-peak
+//!   (everything else). This is the paper's default.
+//! * **TCI** — traffic congestion index: four congestion levels derived from a
+//!   citywide congestion signal (the paper queries Baidu Maps; we query the
+//!   simulator's [`crate::CongestionModel`]).
+
+use serde::{Deserialize, Serialize};
+
+use wsccl_roadnet::RoadNetwork;
+
+use crate::congestion::CongestionModel;
+use crate::time::SimTime;
+
+/// A weak label value. Variants from the two families never compare equal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WeakLabel {
+    /// POP family.
+    MorningPeak,
+    /// POP family.
+    AfternoonPeak,
+    /// POP family.
+    OffPeak,
+    /// TCI family: congestion level 0 (free) … 3 (jammed).
+    Tci(u8),
+}
+
+impl WeakLabel {
+    /// Dense index within the labeler's class space.
+    pub fn class_index(self) -> usize {
+        match self {
+            WeakLabel::MorningPeak => 0,
+            WeakLabel::AfternoonPeak => 1,
+            WeakLabel::OffPeak => 2,
+            WeakLabel::Tci(level) => level as usize,
+        }
+    }
+}
+
+/// Assigns a weak label to a departure time.
+pub trait WeakLabeler {
+    fn label(&self, t: SimTime) -> WeakLabel;
+    /// Number of distinct labels this labeler can produce.
+    fn num_classes(&self) -> usize;
+    /// Short name for reporting ("POP" / "TCI").
+    fn name(&self) -> &'static str;
+}
+
+/// Peak / off-peak labeler — the paper's default weak labels.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct PopLabeler;
+
+impl WeakLabeler for PopLabeler {
+    fn label(&self, t: SimTime) -> WeakLabel {
+        if t.is_weekday() {
+            let h = t.hour_f();
+            if (7.0..9.0).contains(&h) {
+                return WeakLabel::MorningPeak;
+            }
+            if (16.0..19.0).contains(&h) {
+                return WeakLabel::AfternoonPeak;
+            }
+        }
+        WeakLabel::OffPeak
+    }
+
+    fn num_classes(&self) -> usize {
+        3
+    }
+
+    fn name(&self) -> &'static str {
+        "POP"
+    }
+}
+
+/// Traffic-congestion-index labeler: quantizes the citywide congestion index
+/// into 4 levels, mirroring Baidu's four congestion grades.
+pub struct TciLabeler {
+    /// Precomputed index per 5-minute temporal-graph node.
+    index_by_node: Vec<f64>,
+    thresholds: [f64; 3],
+}
+
+impl TciLabeler {
+    /// Precompute the congestion index over the whole week and choose
+    /// thresholds at the 50th / 75th / 90th percentiles so all four levels
+    /// occur.
+    pub fn new(net: &RoadNetwork, model: &CongestionModel) -> Self {
+        let n = crate::time::TEMPORAL_NODES;
+        let index_by_node: Vec<f64> = (0..n)
+            .map(|node| {
+                let day = (node / crate::time::SLOTS_PER_DAY) as u32;
+                let slot = (node % crate::time::SLOTS_PER_DAY) as u32;
+                let t = SimTime::from_day_time(day, slot * 300);
+                model.network_congestion_index(net, t)
+            })
+            .collect();
+        let mut sorted = index_by_node.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let pct = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
+        Self { index_by_node, thresholds: [pct(0.5), pct(0.75), pct(0.9)] }
+    }
+
+    /// The raw congestion index backing a departure time's label.
+    pub fn raw_index(&self, t: SimTime) -> f64 {
+        self.index_by_node[t.temporal_node()]
+    }
+}
+
+impl WeakLabeler for TciLabeler {
+    fn label(&self, t: SimTime) -> WeakLabel {
+        let v = self.raw_index(t);
+        let level = self.thresholds.iter().filter(|&&th| v > th).count() as u8;
+        WeakLabel::Tci(level)
+    }
+
+    fn num_classes(&self) -> usize {
+        4
+    }
+
+    fn name(&self) -> &'static str {
+        "TCI"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsccl_roadnet::CityProfile;
+
+    #[test]
+    fn pop_matches_definition() {
+        let l = PopLabeler;
+        assert_eq!(l.label(SimTime::from_hm(0, 8, 0)), WeakLabel::MorningPeak);
+        assert_eq!(l.label(SimTime::from_hm(4, 17, 30)), WeakLabel::AfternoonPeak);
+        assert_eq!(l.label(SimTime::from_hm(0, 12, 0)), WeakLabel::OffPeak);
+        // Weekend mornings are off-peak.
+        assert_eq!(l.label(SimTime::from_hm(5, 8, 0)), WeakLabel::OffPeak);
+        // Boundaries: 9:00 is already off-peak, 7:00 is peak.
+        assert_eq!(l.label(SimTime::from_hm(1, 9, 0)), WeakLabel::OffPeak);
+        assert_eq!(l.label(SimTime::from_hm(1, 7, 0)), WeakLabel::MorningPeak);
+        assert_eq!(l.num_classes(), 3);
+    }
+
+    #[test]
+    fn tci_produces_all_levels_and_orders_by_congestion() {
+        let net = CityProfile::Harbin.generate(2);
+        let model = CongestionModel::new(&net, 1.5, 2);
+        let tci = TciLabeler::new(&net, &model);
+        let mut seen = std::collections::HashSet::new();
+        for day in 0..7 {
+            for hour in 0..24 {
+                if let WeakLabel::Tci(l) = tci.label(SimTime::from_hm(day, hour, 0)) {
+                    seen.insert(l);
+                }
+            }
+        }
+        assert!(seen.len() >= 3, "expected ≥3 TCI levels used, got {seen:?}");
+        // Peak must be at least as congested as deep night.
+        let peak = tci.label(SimTime::from_hm(1, 8, 0));
+        let night = tci.label(SimTime::from_hm(1, 3, 0));
+        let level = |w: WeakLabel| match w {
+            WeakLabel::Tci(l) => l,
+            _ => unreachable!(),
+        };
+        assert!(level(peak) > level(night));
+    }
+
+    #[test]
+    fn class_indices_are_dense() {
+        assert_eq!(WeakLabel::MorningPeak.class_index(), 0);
+        assert_eq!(WeakLabel::AfternoonPeak.class_index(), 1);
+        assert_eq!(WeakLabel::OffPeak.class_index(), 2);
+        assert_eq!(WeakLabel::Tci(3).class_index(), 3);
+    }
+}

@@ -1,0 +1,119 @@
+//! Simulation time over one week.
+//!
+//! The paper's temporal graph discretizes a week into 5-minute slots × 7 days
+//! = 2016 nodes (§IV-A). [`SimTime`] is the continuous counterpart: seconds
+//! since Monday 00:00, wrapping at the week boundary.
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds in one day.
+pub const DAY_SECONDS: u32 = 86_400;
+/// Seconds in one week.
+pub const WEEK_SECONDS: u32 = 7 * DAY_SECONDS;
+/// Five-minute slots per day (the paper's 288).
+pub const SLOTS_PER_DAY: usize = 288;
+/// Nodes in the paper's temporal graph (288 slots × 7 days).
+pub const TEMPORAL_NODES: usize = SLOTS_PER_DAY * 7;
+
+/// A departure time: seconds since Monday 00:00, in `[0, WEEK_SECONDS)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SimTime(u32);
+
+impl SimTime {
+    /// Construct, wrapping into the week.
+    pub fn new(seconds: u32) -> Self {
+        Self(seconds % WEEK_SECONDS)
+    }
+
+    /// Construct from day of week (0 = Monday) and seconds within the day.
+    pub fn from_day_time(day: u32, seconds_of_day: u32) -> Self {
+        assert!(day < 7, "day out of range");
+        assert!(seconds_of_day < DAY_SECONDS, "seconds_of_day out of range");
+        Self(day * DAY_SECONDS + seconds_of_day)
+    }
+
+    /// Construct from day, hour, and minute.
+    pub fn from_hm(day: u32, hour: u32, minute: u32) -> Self {
+        assert!(hour < 24 && minute < 60, "time out of range");
+        Self::from_day_time(day, hour * 3600 + minute * 60)
+    }
+
+    pub fn seconds(self) -> u32 {
+        self.0
+    }
+
+    /// Day of week, 0 = Monday … 6 = Sunday.
+    pub fn day(self) -> u32 {
+        self.0 / DAY_SECONDS
+    }
+
+    /// Seconds since midnight of the current day.
+    pub fn seconds_of_day(self) -> u32 {
+        self.0 % DAY_SECONDS
+    }
+
+    /// Hour of day as a fraction (e.g. 8.5 = 08:30).
+    pub fn hour_f(self) -> f64 {
+        self.seconds_of_day() as f64 / 3600.0
+    }
+
+    /// Five-minute slot within the day, `0..288`.
+    pub fn slot(self) -> usize {
+        (self.seconds_of_day() / 300) as usize
+    }
+
+    /// Node index in the paper's 2016-node temporal graph.
+    pub fn temporal_node(self) -> usize {
+        self.day() as usize * SLOTS_PER_DAY + self.slot()
+    }
+
+    /// True Monday–Friday.
+    pub fn is_weekday(self) -> bool {
+        self.day() < 5
+    }
+
+    /// Advance by (possibly fractional) seconds, wrapping at the week.
+    pub fn advance(self, seconds: f64) -> Self {
+        debug_assert!(seconds >= 0.0);
+        Self::new(self.0.wrapping_add(seconds.round() as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = SimTime::from_hm(2, 8, 30); // Wednesday 08:30
+        assert_eq!(t.day(), 2);
+        assert_eq!(t.seconds_of_day(), 8 * 3600 + 30 * 60);
+        assert!((t.hour_f() - 8.5).abs() < 1e-12);
+        assert!(t.is_weekday());
+        assert!(!SimTime::from_hm(6, 12, 0).is_weekday());
+    }
+
+    #[test]
+    fn slots_match_paper_discretization() {
+        // 00:06 Monday is slot 1 (the paper's worked example in §IV-A).
+        let t = SimTime::from_hm(0, 0, 6);
+        assert_eq!(t.slot(), 1);
+        assert_eq!(t.temporal_node(), 1);
+        // Sunday's last slot is node 2015.
+        let last = SimTime::from_hm(6, 23, 59);
+        assert_eq!(last.temporal_node(), TEMPORAL_NODES - 1);
+    }
+
+    #[test]
+    fn week_wraps() {
+        let t = SimTime::new(WEEK_SECONDS - 10).advance(20.0);
+        assert_eq!(t.seconds(), 10);
+        assert_eq!(SimTime::new(WEEK_SECONDS).seconds(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "day out of range")]
+    fn bad_day_panics() {
+        SimTime::from_day_time(7, 0);
+    }
+}

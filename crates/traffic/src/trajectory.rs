@@ -1,0 +1,303 @@
+//! Trip generation, traversal simulation, and GPS fix emission.
+//!
+//! Replaces the paper's vehicle fleets: agents draw origin–destination pairs,
+//! depart at peak-weighted times, choose routes by perturbed expected travel
+//! time (drivers are near- but not perfectly rational), traverse edges under
+//! the congestion model with multiplicative noise, and emit Gaussian-noised
+//! GPS fixes at a configurable sampling interval (the paper's cities sample at
+//! 1 Hz, 1/30 Hz, and ~1/4 Hz respectively).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use wsccl_roadnet::shortest::shortest_path_weighted;
+use wsccl_roadnet::{EdgeId, NodeId, Path, RoadNetwork};
+
+use crate::congestion::CongestionModel;
+use crate::time::{SimTime, DAY_SECONDS};
+
+/// One noisy GPS observation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GpsFix {
+    pub x: f64,
+    pub y: f64,
+    /// Seconds since departure.
+    pub t: f64,
+}
+
+/// A GPS trajectory (paper Definition 2).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Trajectory {
+    pub fixes: Vec<GpsFix>,
+    pub departure: SimTime,
+}
+
+/// A simulated trip: the ground-truth path, departure, per-edge travel times,
+/// and total travel time. This is what map matching should recover from the
+/// corresponding [`Trajectory`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Trip {
+    pub path: Path,
+    pub departure: SimTime,
+    /// Realized traversal time of each edge, seconds.
+    pub edge_times: Vec<f64>,
+    /// Realized total travel time, seconds.
+    pub total_time: f64,
+}
+
+/// Trip generation parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TripConfig {
+    /// Minimum path length in edges; short hops are discarded.
+    pub min_edges: usize,
+    /// Maximum path length in edges.
+    pub max_edges: usize,
+    /// Std-dev of the multiplicative log-cost perturbation in route choice.
+    pub route_noise: f64,
+    /// Std-dev of the multiplicative travel-time noise per edge.
+    pub time_noise: f64,
+    /// GPS position noise, meters (std-dev per axis).
+    pub gps_noise: f64,
+    /// GPS sampling interval, seconds.
+    pub sample_interval: f64,
+}
+
+impl Default for TripConfig {
+    fn default() -> Self {
+        Self {
+            min_edges: 5,
+            max_edges: 60,
+            route_noise: 0.25,
+            time_noise: 0.15,
+            gps_noise: 12.0,
+            sample_interval: 15.0,
+        }
+    }
+}
+
+/// Seeded trip generator over one city.
+pub struct TripGenerator<'a> {
+    net: &'a RoadNetwork,
+    model: &'a CongestionModel,
+    cfg: TripConfig,
+    rng: StdRng,
+}
+
+impl<'a> TripGenerator<'a> {
+    pub fn new(
+        net: &'a RoadNetwork,
+        model: &'a CongestionModel,
+        cfg: TripConfig,
+        seed: u64,
+    ) -> Self {
+        // XOR with a constant so this RNG stream differs from other components.
+        Self { net, model, cfg, rng: StdRng::seed_from_u64(seed ^ 0x7219_06E4) }
+    }
+
+    /// Sample a departure time: weekdays weighted toward the two peaks, plus a
+    /// uniform background over waking hours.
+    pub fn sample_departure(&mut self) -> SimTime {
+        let day = self.rng.random_range(0..7u32);
+        let r: f64 = self.rng.random();
+        let hour: f64 = if day < 5 && r < 0.3 {
+            // Morning peak cluster.
+            8.0 + self.rng.random_range(-1.0..1.0)
+        } else if day < 5 && r < 0.6 {
+            // Afternoon peak cluster.
+            17.5 + self.rng.random_range(-1.5..1.5)
+        } else {
+            // Background traffic, 6:00–23:00.
+            self.rng.random_range(6.0..23.0)
+        };
+        let secs = ((hour.clamp(0.0, 23.99)) * 3600.0) as u32 % DAY_SECONDS;
+        SimTime::from_day_time(day, secs)
+    }
+
+    /// Sample an origin–destination pair and route, retrying until the route
+    /// satisfies the configured length band.
+    fn sample_route(&mut self, departure: SimTime) -> Path {
+        let n = self.net.num_nodes() as u32;
+        loop {
+            let a = NodeId(self.rng.random_range(0..n));
+            let b = NodeId(self.rng.random_range(0..n));
+            if a == b {
+                continue;
+            }
+            // Route choice: expected travel time at departure, perturbed per
+            // edge by exp(N(0, route_noise)) to model driver preference noise.
+            let mut perturb = vec![0.0f64; self.net.num_edges()];
+            for p in perturb.iter_mut() {
+                let z: f64 =
+                    self.rng.random_range(-1.0..1.0) + self.rng.random_range(-1.0..1.0);
+                *p = (self.cfg.route_noise * z).exp();
+            }
+            let model = self.model;
+            let net = self.net;
+            let weight = move |e: EdgeId| {
+                model.edge_travel_time(net, e, departure).max(0.1) * perturb[e.index()]
+            };
+            let Some(path) = shortest_path_weighted(self.net, a, b, &weight) else {
+                continue;
+            };
+            if (self.cfg.min_edges..=self.cfg.max_edges).contains(&path.len()) {
+                return path;
+            }
+        }
+    }
+
+    /// Generate one trip with realized edge traversal times.
+    pub fn generate_trip(&mut self) -> Trip {
+        let departure = self.sample_departure();
+        self.generate_trip_at(departure)
+    }
+
+    /// Generate one trip departing at a fixed time.
+    pub fn generate_trip_at(&mut self, departure: SimTime) -> Trip {
+        let path = self.sample_route(departure);
+        let (edge_times, total_time) = self.traverse(&path, departure);
+        Trip { path, departure, edge_times, total_time }
+    }
+
+    /// Realize traversal times for a given path and departure time.
+    pub fn traverse(&mut self, path: &Path, departure: SimTime) -> (Vec<f64>, f64) {
+        let mut t = departure;
+        let mut total = 0.0;
+        let mut edge_times = Vec::with_capacity(path.len());
+        for &e in path.edges() {
+            let expected = self.model.edge_travel_time(self.net, e, t);
+            let z: f64 = self.rng.random_range(-1.0..1.0) + self.rng.random_range(-1.0..1.0);
+            let realized = (expected * (self.cfg.time_noise * z).exp()).max(0.5);
+            edge_times.push(realized);
+            total += realized;
+            t = t.advance(realized);
+        }
+        (edge_times, total)
+    }
+
+    /// Emit a noisy GPS trajectory for a trip.
+    pub fn trip_to_trajectory(&mut self, trip: &Trip) -> Trajectory {
+        let mut fixes = Vec::new();
+        let mut next_sample = 0.0f64;
+        let mut elapsed = 0.0f64;
+        for (i, &e) in trip.path.edges().iter().enumerate() {
+            let dur = trip.edge_times[i];
+            while next_sample <= elapsed + dur {
+                let frac = ((next_sample - elapsed) / dur).clamp(0.0, 1.0);
+                let (x, y) = self.net.edge_point_at(e, frac);
+                let nx = x + self.gauss() * self.cfg.gps_noise;
+                let ny = y + self.gauss() * self.cfg.gps_noise;
+                fixes.push(GpsFix { x: nx, y: ny, t: next_sample });
+                next_sample += self.cfg.sample_interval;
+            }
+            elapsed += dur;
+        }
+        // Always include the final position.
+        let last_edge = *trip.path.edges().last().expect("non-empty path");
+        let (x, y) = self.net.edge_point_at(last_edge, 1.0);
+        fixes.push(GpsFix {
+            x: x + self.gauss() * self.cfg.gps_noise,
+            y: y + self.gauss() * self.cfg.gps_noise,
+            t: elapsed,
+        });
+        Trajectory { fixes, departure: trip.departure }
+    }
+
+    /// Approximate standard normal (sum of uniforms, variance-corrected).
+    fn gauss(&mut self) -> f64 {
+        let mut s = 0.0;
+        for _ in 0..6 {
+            s += self.rng.random_range(-1.0..1.0f64);
+        }
+        s * (3.0f64 / 6.0).sqrt() * (2.0f64 / 3.0).sqrt() * 1.22
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsccl_roadnet::CityProfile;
+
+    fn setup() -> (RoadNetwork, CongestionModel) {
+        let net = CityProfile::Aalborg.generate(3);
+        let model = CongestionModel::new(&net, 1.5, 3);
+        (net, model)
+    }
+
+    #[test]
+    fn trips_respect_length_band_and_are_valid_paths() {
+        let (net, model) = setup();
+        let cfg = TripConfig::default();
+        let mut generator = TripGenerator::new(&net, &model, cfg.clone(), 7);
+        for _ in 0..20 {
+            let trip = generator.generate_trip();
+            assert!((cfg.min_edges..=cfg.max_edges).contains(&trip.path.len()));
+            assert!(Path::new(&net, trip.path.edges().to_vec()).is_some(), "invalid path");
+            assert_eq!(trip.edge_times.len(), trip.path.len());
+            assert!(trip.edge_times.iter().all(|&t| t > 0.0));
+            assert!((trip.edge_times.iter().sum::<f64>() - trip.total_time).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn peak_trips_are_slower_on_the_same_path() {
+        let (net, model) = setup();
+        let mut generator =
+            TripGenerator::new(&net, &model, TripConfig { time_noise: 0.0, ..Default::default() }, 9);
+        let trip = generator.generate_trip_at(SimTime::from_hm(1, 8, 0));
+        let (_, peak_time) = generator.traverse(&trip.path, SimTime::from_hm(1, 8, 0));
+        let (_, night_time) = generator.traverse(&trip.path, SimTime::from_hm(1, 3, 0));
+        assert!(
+            peak_time > 1.1 * night_time,
+            "peak {peak_time:.0}s should exceed night {night_time:.0}s by >10%"
+        );
+    }
+
+    #[test]
+    fn trajectory_covers_the_trip_and_orders_in_time() {
+        let (net, model) = setup();
+        let mut generator = TripGenerator::new(&net, &model, TripConfig::default(), 11);
+        let trip = generator.generate_trip();
+        let traj = generator.trip_to_trajectory(&trip);
+        assert!(traj.fixes.len() >= 2);
+        for w in traj.fixes.windows(2) {
+            assert!(w[0].t <= w[1].t);
+        }
+        // Last fix is (noisily) near the destination.
+        let dest = net.position(trip.path.destination(&net));
+        let last = traj.fixes.last().unwrap();
+        let d = ((last.x - dest.0).powi(2) + (last.y - dest.1).powi(2)).sqrt();
+        assert!(d < 100.0, "last fix {d:.0} m from destination");
+    }
+
+    #[test]
+    fn departure_sampling_prefers_weekday_peaks() {
+        let (net, model) = setup();
+        let mut generator = TripGenerator::new(&net, &model, TripConfig::default(), 13);
+        let mut peak = 0;
+        let mut total = 0;
+        for _ in 0..2000 {
+            let t = generator.sample_departure();
+            if t.is_weekday() {
+                total += 1;
+                let h = t.hour_f();
+                if (7.0..9.0).contains(&h) || (16.0..19.0).contains(&h) {
+                    peak += 1;
+                }
+            }
+        }
+        let frac = peak as f64 / total as f64;
+        // Uniform over 6–23 h would put ~29% in the 5 peak hours; we weight
+        // peaks, so expect well above that.
+        assert!(frac > 0.4, "peak fraction {frac:.2}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let (net, model) = setup();
+        let t1 = TripGenerator::new(&net, &model, TripConfig::default(), 5).generate_trip();
+        let t2 = TripGenerator::new(&net, &model, TripConfig::default(), 5).generate_trip();
+        assert_eq!(t1.path.edges(), t2.path.edges());
+        assert_eq!(t1.departure, t2.departure);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for time, congestion, and weak labels.
+
+use proptest::prelude::*;
+use wsccl_roadnet::CityProfile;
+use wsccl_traffic::time::WEEK_SECONDS;
+use wsccl_traffic::{CongestionModel, PopLabeler, SimTime, WeakLabel, WeakLabeler};
+
+proptest! {
+    /// SimTime construction always lands inside the week, and accessors are
+    /// consistent with each other.
+    #[test]
+    fn sim_time_invariants(secs in 0u32..(3 * WEEK_SECONDS)) {
+        let t = SimTime::new(secs);
+        prop_assert!(t.seconds() < WEEK_SECONDS);
+        prop_assert!(t.day() < 7);
+        prop_assert!(t.slot() < 288);
+        prop_assert!(t.temporal_node() < 2016);
+        prop_assert_eq!(t.seconds(), t.day() * 86_400 + t.seconds_of_day());
+        prop_assert_eq!(t.is_weekday(), t.day() < 5);
+    }
+
+    /// Advancing time is additive modulo the week.
+    #[test]
+    fn advance_is_modular(start in 0u32..WEEK_SECONDS, delta in 0.0f64..1e6) {
+        let t = SimTime::new(start).advance(delta);
+        let expect = (start as u64 + delta.round() as u64) % WEEK_SECONDS as u64;
+        prop_assert_eq!(t.seconds() as u64, expect);
+    }
+
+    /// POP labels partition every instant into exactly one class.
+    #[test]
+    fn pop_labels_total(secs in 0u32..WEEK_SECONDS) {
+        let t = SimTime::new(secs);
+        let label = PopLabeler.label(t);
+        prop_assert!(matches!(
+            label,
+            WeakLabel::MorningPeak | WeakLabel::AfternoonPeak | WeakLabel::OffPeak
+        ));
+        // Peak labels only on weekdays.
+        if !t.is_weekday() {
+            prop_assert_eq!(label, WeakLabel::OffPeak);
+        }
+        prop_assert!(label.class_index() < PopLabeler.num_classes());
+    }
+
+    /// Congestion factor is always ≥ 1 and speeds are positive & bounded by
+    /// free flow (up to edge heterogeneity and lane factor).
+    #[test]
+    fn congestion_physics(seed in 0u64..50, secs in 0u32..WEEK_SECONDS, eix in 0usize..500) {
+        let net = CityProfile::Aalborg.generate(seed);
+        let model = CongestionModel::new(&net, 1.5, seed);
+        let t = SimTime::new(secs);
+        let e = wsccl_roadnet::EdgeId((eix % net.num_edges()) as u32);
+        let pos = net.edge_midpoint(e);
+        prop_assert!(model.congestion_factor(t, pos) >= 1.0);
+        let v = model.speed(&net, e, t);
+        prop_assert!(v >= 1.0);
+        let free = net.edge(e).features.road_type.free_flow_speed();
+        prop_assert!(v <= free * 1.15 * 1.6 + 1e-9, "speed {v} vs free {free}");
+        let tt = model.edge_travel_time(&net, e, t);
+        prop_assert!(tt > 0.0 && tt.is_finite());
+    }
+
+    /// The citywide congestion index stays in [0, 1] at all times.
+    #[test]
+    fn congestion_index_bounded(secs in 0u32..WEEK_SECONDS) {
+        let net = CityProfile::Harbin.generate(3);
+        let model = CongestionModel::new(&net, 1.8, 3);
+        let idx = model.network_congestion_index(&net, SimTime::new(secs));
+        prop_assert!((0.0..=1.0).contains(&idx));
+    }
+}

@@ -1,0 +1,80 @@
+//! Route recommender: train WSCCL, fit a recommendation head on historical
+//! route choices, then recommend routes for unseen origin–destination queries
+//! and measure how often the recommendation matches the route a driver
+//! actually took (the paper's path-recommendation task, §VII-A.2c).
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p wsccl-bench --example route_recommender
+//! ```
+
+use wsccl_bench::Scale;
+use wsccl_core::{train_wsccl, PathRepresenter};
+use wsccl_datagen::{train_test_split, CityDataset};
+use wsccl_downstream::{GbClassifier, GbConfig};
+use wsccl_roadnet::CityProfile;
+use wsccl_traffic::{PopLabeler, WeakLabel, WeakLabeler};
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = CityDataset::generate(&scale.dataset(CityProfile::Harbin, 5));
+    println!(
+        "training WSCCL on {} unlabeled temporal paths ({} candidate groups for recommendation)",
+        ds.unlabeled.len(),
+        ds.groups.len()
+    );
+    let rep = train_wsccl(&ds.net, &ds.unlabeled, &PopLabeler, &scale.wsccl(5));
+
+    // Fit the recommendation head on historical choices (train groups).
+    let (train_groups, test_groups) = train_test_split(ds.groups.len(), 0.8, 99);
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for &gi in &train_groups {
+        let g = &ds.groups[gi];
+        for (p, &label) in g.candidates.iter().zip(&g.labels) {
+            x.push(rep.represent(&ds.net, p, g.departure));
+            y.push(label);
+        }
+    }
+    let head = GbClassifier::fit(&x, &y, &GbConfig::default());
+
+    // Recommend for unseen queries: pick the candidate with the highest
+    // predicted probability of being the driver's choice.
+    let mut hits = 0usize;
+    let mut peak_hits = 0usize;
+    let mut peak_total = 0usize;
+    for &gi in &test_groups {
+        let g = &ds.groups[gi];
+        let best = g
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, head.predict_proba(&rep.represent(&ds.net, p, g.departure))))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty group");
+        let hit = g.labels[best];
+        hits += hit as usize;
+        if PopLabeler.label(g.departure) != WeakLabel::OffPeak {
+            peak_total += 1;
+            peak_hits += hit as usize;
+        }
+    }
+    println!(
+        "\nrecommended the driver's actual route for {hits}/{} unseen queries ({:.0}%)",
+        test_groups.len(),
+        100.0 * hits as f64 / test_groups.len() as f64
+    );
+    if peak_total > 0 {
+        println!(
+            "during peak hours: {peak_hits}/{peak_total} ({:.0}%)",
+            100.0 * peak_hits as f64 / peak_total as f64
+        );
+    }
+    let random_baseline: f64 = test_groups
+        .iter()
+        .map(|&gi| 1.0 / ds.groups[gi].candidates.len() as f64)
+        .sum::<f64>()
+        / test_groups.len() as f64;
+    println!("random-guess baseline: {:.0}%", 100.0 * random_baseline);
+}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerate every table and figure of the paper. WSCCL_SCALE controls size.
+set -x
+SCALE="${WSCCL_SCALE:-small}"
+mkdir -p results
+for bin in table02_datasets table05_cl_strategy table07_weak_labels \
+           table08_temporal table09_pim_temporal table06_ablation \
+           table10_supervised table11_lambda table12_metasets \
+           table04_recommendation table03_overall fig07_pretraining \
+           ablation_aggregate ablation_encoder; do
+  echo "=== running $bin (scale $SCALE) ==="
+  WSCCL_SCALE="$SCALE" ./target/release/$bin 2>>results/run.log || echo "$bin FAILED"
+done
+echo "all experiments complete"

@@ -1,0 +1,75 @@
+//! Every method in the evaluation trains and produces usable output at
+//! miniature scale — the registry-level contract the benchmark harness
+//! depends on.
+
+use wsccl_bench::eval::{evaluate_tte, evaluate_tte_predictor};
+use wsccl_bench::methods::{train_method, Method, MethodKind};
+use wsccl_bench::Scale;
+use wsccl_datagen::{CityDataset, DatasetConfig};
+use wsccl_roadnet::CityProfile;
+
+fn dataset() -> CityDataset {
+    CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 90))
+}
+
+fn assert_method_works(m: Method, ds: &CityDataset) {
+    match train_method(m, ds, Scale::Tiny, 1) {
+        MethodKind::Repr(rep) => {
+            let s = &ds.unlabeled[0];
+            let v = rep.represent(&ds.net, &s.path, s.departure);
+            assert_eq!(v.len(), rep.dim(), "{}", m.display_name());
+            assert!(v.iter().all(|x| x.is_finite()), "{}", m.display_name());
+            let tte = evaluate_tte(rep.as_ref(), ds);
+            assert!(tte.mae.is_finite() && tte.mae > 0.0, "{}", m.display_name());
+        }
+        MethodKind::Tte(p) => {
+            let tte = evaluate_tte_predictor(p.as_ref(), ds);
+            assert!(tte.mae.is_finite() && tte.mae > 0.0, "{}", m.display_name());
+        }
+    }
+}
+
+#[test]
+fn unsupervised_graph_methods_work() {
+    let ds = dataset();
+    for m in [Method::Node2vec, Method::Dgi, Method::Gmi] {
+        assert_method_works(m, &ds);
+    }
+}
+
+#[test]
+fn unsupervised_sequence_methods_work() {
+    let ds = dataset();
+    for m in [Method::Mb, Method::Bert, Method::InfoGraph, Method::Pim, Method::PimTemporal] {
+        assert_method_works(m, &ds);
+    }
+}
+
+#[test]
+fn supervised_methods_work() {
+    let ds = dataset();
+    for m in [
+        Method::PathRankTte,
+        Method::PathRankRank,
+        Method::DeepGttTte,
+        Method::HmtrlTte,
+        Method::Gcn,
+        Method::Stgcn,
+    ] {
+        assert_method_works(m, &ds);
+    }
+}
+
+#[test]
+fn wsccl_variants_work() {
+    let ds = dataset();
+    for m in [Method::Wsccl, Method::WscclNt, Method::WscclHeuristic, Method::WscclNoCl] {
+        assert_method_works(m, &ds);
+    }
+}
+
+#[test]
+fn tci_weak_labels_work() {
+    let ds = dataset();
+    assert_method_works(Method::WscclTci, &ds);
+}

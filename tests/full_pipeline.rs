@@ -1,0 +1,92 @@
+//! End-to-end integration: synthetic city → GPS fleet → HMM map matching →
+//! dataset → WSCCL training → downstream evaluation. Exercises every crate in
+//! one flow, at miniature scale.
+
+use std::sync::Arc;
+
+use wsccl_bench::eval::{evaluate_ranking, evaluate_recommendation, evaluate_tte};
+use wsccl_core::config::WscclConfig;
+use wsccl_core::curriculum::{train_wsccl_with_strategy, CurriculumStrategy};
+use wsccl_core::encoder::{EncoderConfig, TemporalPathEncoder};
+use wsccl_core::wsc::WscModel;
+use wsccl_core::PathRepresenter;
+use wsccl_datagen::{CityDataset, DatasetConfig};
+use wsccl_mapmatch::{map_match, EdgeSpatialIndex, MatchConfig};
+use wsccl_roadnet::{CityProfile, Path};
+use wsccl_traffic::{CongestionModel, PopLabeler, TripConfig, TripGenerator};
+
+fn mini_cfg() -> WscclConfig {
+    WscclConfig {
+        encoder: EncoderConfig::tiny(),
+        epochs: 1,
+        num_meta_sets: 2,
+        expert_epochs: 1,
+        batch_size: 8,
+        ..WscclConfig::default()
+    }
+}
+
+#[test]
+fn gps_to_representation_pipeline() {
+    // 1. City + traffic.
+    let net = CityProfile::Aalborg.generate(77);
+    let congestion = CongestionModel::new(&net, 1.3, 77);
+    let index = EdgeSpatialIndex::new(&net, 200.0);
+    let mut generator = TripGenerator::new(&net, &congestion, TripConfig::default(), 77);
+
+    // 2. Simulate a small fleet and recover paths via map matching.
+    let mut recovered = Vec::new();
+    for _ in 0..12 {
+        let trip = generator.generate_trip();
+        let traj = generator.trip_to_trajectory(&trip);
+        if let Some(path) = map_match(&net, &index, &traj, &MatchConfig::default()) {
+            assert!(Path::new(&net, path.edges().to_vec()).is_some());
+            recovered.push(wsccl_datagen::TemporalPathSample { path, departure: trip.departure });
+        }
+    }
+    assert!(recovered.len() >= 9, "matcher should recover most trips, got {}", recovered.len());
+
+    // 3. Train a WSC model on the recovered temporal paths.
+    let enc = Arc::new(TemporalPathEncoder::new(&net, EncoderConfig::tiny(), 77));
+    let mut model = WscModel::new(enc, mini_cfg(), 77);
+    model.train(&recovered, &PopLabeler, 1);
+    let v = model.embed(&recovered[0].path, recovered[0].departure);
+    assert!(v.iter().all(|x| x.is_finite()));
+}
+
+#[test]
+fn dataset_to_all_three_downstream_tasks() {
+    let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Harbin, 78));
+    let rep = train_wsccl_with_strategy(
+        &ds.net,
+        &ds.unlabeled,
+        &PopLabeler,
+        &mini_cfg(),
+        CurriculumStrategy::Learned,
+        "WSCCL",
+    );
+    let tte = evaluate_tte(&rep, &ds);
+    assert!(tte.mae > 0.0 && tte.mae.is_finite());
+    assert!(tte.mare > 0.0 && tte.mape > 0.0);
+    let rank = evaluate_ranking(&rep, &ds);
+    assert!(rank.mae >= 0.0 && (-1.0..=1.0).contains(&rank.tau));
+    let rec = evaluate_recommendation(&rep, &ds);
+    assert!((0.0..=1.0).contains(&rec.acc) && (0.0..=1.0).contains(&rec.hr));
+}
+
+#[test]
+fn representations_capture_departure_time() {
+    let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 79));
+    let rep = train_wsccl_with_strategy(
+        &ds.net,
+        &ds.unlabeled,
+        &PopLabeler,
+        &mini_cfg(),
+        CurriculumStrategy::None,
+        "WSC",
+    );
+    let s = &ds.unlabeled[0];
+    let a = rep.represent(&ds.net, &s.path, wsccl_traffic::SimTime::from_hm(0, 8, 0));
+    let b = rep.represent(&ds.net, &s.path, wsccl_traffic::SimTime::from_hm(0, 3, 0));
+    assert_ne!(a, b, "temporal path representations must depend on departure time");
+}

@@ -1,0 +1,53 @@
+//! Reproducibility: everything downstream of a seed is bit-identical across
+//! runs — datasets, training, evaluation metrics.
+
+use wsccl_bench::eval::evaluate_tte;
+use wsccl_bench::methods::{train_method, Method, MethodKind};
+use wsccl_bench::Scale;
+use wsccl_datagen::{CityDataset, DatasetConfig};
+use wsccl_roadnet::CityProfile;
+
+#[test]
+fn datasets_are_bit_identical_across_runs() {
+    let a = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Chengdu, 55));
+    let b = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Chengdu, 55));
+    assert_eq!(a.unlabeled.len(), b.unlabeled.len());
+    for (x, y) in a.unlabeled.iter().zip(&b.unlabeled) {
+        assert_eq!(x.path.edges(), y.path.edges());
+        assert_eq!(x.departure, y.departure);
+    }
+    for (x, y) in a.tte.iter().zip(&b.tte) {
+        assert_eq!(x.travel_time, y.travel_time);
+    }
+    for (x, y) in a.groups.iter().zip(&b.groups) {
+        assert_eq!(x.scores, y.scores);
+        assert_eq!(x.labels, y.labels);
+    }
+}
+
+#[test]
+fn trained_method_metrics_are_identical_across_runs() {
+    let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 56));
+    let run = || match train_method(Method::Pim, &ds, Scale::Tiny, 3) {
+        MethodKind::Repr(rep) => evaluate_tte(rep.as_ref(), &ds),
+        MethodKind::Tte(_) => unreachable!(),
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.mae, b.mae);
+    assert_eq!(a.mare, b.mare);
+    assert_eq!(a.mape, b.mape);
+}
+
+#[test]
+fn different_seeds_produce_different_worlds() {
+    let a = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 1));
+    let b = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 2));
+    let same = a
+        .unlabeled
+        .iter()
+        .zip(&b.unlabeled)
+        .filter(|(x, y)| x.path.edges() == y.path.edges())
+        .count();
+    assert!(same < a.unlabeled.len() / 2, "seeds should change the sampled paths");
+}
