@@ -108,9 +108,7 @@ pub fn train(net: &RoadNetwork, pool: &[TemporalPathSample], cfg: &BertConfig) -
             }
             let mask_pos = rng.random_range(0..feats.len());
             let true_edge = sample.path.edges()[mask_pos];
-
-            params.zero_grads();
-            let mut g = Graph::new(&mut params);
+            let mut g = Graph::new(&params);
             let h = model.encode(&mut g, &feats, Some(mask_pos));
             // Output at the masked position.
             let mut sel = Tensor::zeros(1, feats.len());
@@ -131,14 +129,15 @@ pub fn train(net: &RoadNetwork, pool: &[TemporalPathSample], cfg: &BertConfig) -
             let logits = g.matmul_nt(hm, cands); // (1, k+1)
             let loss = g.cross_entropy(logits, 0);
             g.backward(loss);
-            opt.step(&mut params);
+            let grads = g.into_grads();
+            opt.step(&mut params, &grads);
         }
     }
 
     let dim = model.dim;
     FnRepresenter::new("BERT", dim, move |_net, path, _dep| {
         let feats = ef.path(path);
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let h = model.encode(&mut g, &feats, None);
         let z = g.mean_rows(h);
         // Sum view (see DESIGN.md): magnitude carries path length.

@@ -117,17 +117,17 @@ impl DeepGtt {
                     ex.path.edges().iter().map(|&e| net.edge(e).length).collect();
                 let tf = time_features(ex.departure);
                 let mut params = std::mem::take(&mut model.params);
-                params.zero_grads();
-                {
-                    let mut g = Graph::new(&mut params);
+                let mut grads = {
+                    let mut g = Graph::new(&params);
                     let pred = model.path_forward(&mut g, &ex.path, &lengths, &tf);
                     let scaled = g.scale(pred, 1.0 / model.target_scale);
                     let target = Tensor::scalar(ex.target / model.target_scale);
                     let loss = g.mse_to_const(scaled, &target);
                     g.backward(loss);
-                }
-                params.clip_grad_norm(5.0);
-                opt.step(&mut params);
+                    g.into_grads()
+                };
+                grads.clip_norm(5.0);
+                opt.step(&mut params, &grads);
                 model.params = params;
             }
         }
@@ -138,9 +138,9 @@ impl DeepGtt {
     pub fn predict(&mut self, net: &RoadNetwork, path: &Path, departure: SimTime) -> f64 {
         let lengths: Vec<f64> = path.edges().iter().map(|&e| net.edge(e).length).collect();
         let tf = time_features(departure);
-        let mut params = std::mem::take(&mut self.params);
+        let params = std::mem::take(&mut self.params);
         let v = {
-            let mut g = Graph::new(&mut params);
+            let mut g = Graph::new(&params);
             let pred = self.path_forward(&mut g, path, &lengths, &tf);
             g.value(pred).item()
         };
@@ -153,9 +153,9 @@ impl DeepGtt {
         let dim = self.hidden;
         FnRepresenter::new(name, dim, move |_net, path, dep| {
             let tf = time_features(dep);
-            let mut params = std::mem::take(&mut self.params);
+            let params = std::mem::take(&mut self.params);
             let v = {
-                let mut g = Graph::new(&mut params);
+                let mut g = Graph::new(&params);
                 let hs: Vec<NodeId> = path
                     .edges()
                     .iter()

@@ -100,9 +100,7 @@ pub fn train(net: &RoadNetwork, cfg: &DgiConfig) -> FnRepresenter {
         for (r, &p) in perm.iter().enumerate() {
             xc.row_slice_mut(r).copy_from_slice(x.row_slice(p));
         }
-
-        params.zero_grads();
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let adj_n = g.input(adj.clone());
         let x_n = g.input(x.clone());
         let xc_n = g.input(xc);
@@ -127,12 +125,13 @@ pub fn train(net: &RoadNetwork, cfg: &DgiConfig) -> FnRepresenter {
         let loss = g.scale(total, -1.0 / (2 * n) as f64);
         let _ = epoch;
         g.backward(loss);
-        opt.step(&mut params);
+        let grads = g.into_grads();
+        opt.step(&mut params, &grads);
     }
 
     // Freeze final node embeddings.
     let z = {
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let adj_n = g.input(adj.clone());
         let x_n = g.input(x.clone());
         let z = encode(&mut g, &enc, adj_n, x_n);

@@ -151,9 +151,8 @@ impl GcnPredictor {
                     continue;
                 }
                 let mut params = std::mem::take(&mut model.params);
-                params.zero_grads();
-                {
-                    let mut g = Graph::new(&mut params);
+                let mut grads = {
+                    let mut g = Graph::new(&params);
                     // Node embeddings computed once per step, reused by paths.
                     let z = model.node_embeddings(&mut g);
                     let mut losses = Vec::with_capacity(batch.len());
@@ -166,9 +165,10 @@ impl GcnPredictor {
                     }
                     let loss = g.mean_scalars(&losses);
                     g.backward(loss);
-                }
-                params.clip_grad_norm(5.0);
-                opt.step(&mut params);
+                    g.into_grads()
+                };
+                grads.clip_norm(5.0);
+                opt.step(&mut params, &grads);
                 model.params = params;
             }
         }
@@ -177,9 +177,9 @@ impl GcnPredictor {
 
     /// Predict a path's travel time.
     pub fn predict_time(&mut self, net: &RoadNetwork, path: &Path, departure: SimTime) -> f64 {
-        let mut params = std::mem::take(&mut self.params);
+        let params = std::mem::take(&mut self.params);
         let v = {
-            let mut g = Graph::new(&mut params);
+            let mut g = Graph::new(&params);
             let z = self.node_embeddings(&mut g);
             let pred = self.path_time(&mut g, z, path, net, departure);
             g.value(pred).item()

@@ -58,8 +58,7 @@ pub fn train(net: &RoadNetwork, cfg: &GmiConfig) -> FnRepresenter {
         .collect();
 
     for _ in 0..cfg.epochs {
-        params.zero_grads();
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let adj_n = g.input(adj.clone());
         let x_n = g.input(x.clone());
         let agg = g.matmul(adj_n, x_n);
@@ -99,12 +98,13 @@ pub fn train(net: &RoadNetwork, cfg: &GmiConfig) -> FnRepresenter {
         let mean = g.mean_scalars(&terms);
         let loss = g.scale(mean, -1.0);
         g.backward(loss);
-        opt.step(&mut params);
+        let grads = g.into_grads();
+        opt.step(&mut params, &grads);
     }
 
     // Freeze final embeddings.
     let z = {
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let adj_n = g.input(adj.clone());
         let x_n = g.input(x.clone());
         let agg = g.matmul(adj_n, x_n);

@@ -126,17 +126,17 @@ impl Hmtrl {
                 };
                 let target = Tensor::scalar((ex.target - std.mean) / std.std);
                 let mut params = std::mem::take(&mut model.params);
-                params.zero_grads();
-                {
-                    let mut g = Graph::new(&mut params);
+                let mut grads = {
+                    let mut g = Graph::new(&params);
                     let repr = model.route_repr(&mut g, &ex.path, ex.departure);
                     let head = if use_tte { &model.head_tte } else { &model.head_rank };
                     let pred = head.forward(&mut g, repr);
                     let loss = g.mse_to_const(pred, &target);
                     g.backward(loss);
-                }
-                params.clip_grad_norm(5.0);
-                opt.step(&mut params);
+                    g.into_grads()
+                };
+                grads.clip_norm(5.0);
+                opt.step(&mut params, &grads);
                 model.params = params;
             }
         }
@@ -147,9 +147,9 @@ impl Hmtrl {
     pub fn into_representer(mut self, name: impl Into<String>) -> FnRepresenter {
         let dim = self.dim;
         FnRepresenter::new(name, dim, move |_net, path, dep| {
-            let mut params = std::mem::take(&mut self.params);
+            let params = std::mem::take(&mut self.params);
             let v = {
-                let mut g = Graph::new(&mut params);
+                let mut g = Graph::new(&params);
                 let repr = self.route_repr(&mut g, path, dep);
                 g.value(repr).data().to_vec()
             };

@@ -72,8 +72,7 @@ pub fn train(
         for _ in 0..steps {
             let batch: Vec<&TemporalPathSample> =
                 (0..cfg.batch).map(|_| &pool[rng.random_range(0..pool.len())]).collect();
-            params.zero_grads();
-            let mut g = Graph::new(&mut params);
+            let mut g = Graph::new(&params);
             let encoded: Vec<(NodeId, Vec<NodeId>)> =
                 batch.iter().map(|s| encode(&mut g, &l1, &l2, &ef.path(&s.path))).collect();
 
@@ -104,13 +103,14 @@ pub fn train(
             let mean = g.mean_scalars(&terms);
             let loss = g.scale(mean, -1.0);
             g.backward(loss);
-            opt.step(&mut params);
+            let grads = g.into_grads();
+            opt.step(&mut params, &grads);
         }
     }
 
     let dim = cfg.dim;
     FnRepresenter::new("InfoGraph", dim, move |_net, path, _dep| {
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let feats = ef.path(path);
         let locals: Vec<NodeId> = feats
             .iter()

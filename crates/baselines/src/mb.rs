@@ -62,8 +62,7 @@ pub fn train(net: &RoadNetwork, pool: &[TemporalPathSample], cfg: &MbConfig) -> 
 
     for _ in 0..cfg.epochs {
         for i in 0..pool.len() {
-            params.zero_grads();
-            let mut g = Graph::new(&mut params);
+            let mut g = Graph::new(&params);
             let inputs: Vec<_> = ef
                 .path(&pool[i].path)
                 .into_iter()
@@ -90,11 +89,12 @@ pub fn train(net: &RoadNetwork, pool: &[TemporalPathSample], cfg: &MbConfig) -> 
             let lse = g.log_sum_exp(&all);
             let nll = g.sub(lse, pos_t);
             g.backward(nll);
-            opt.step(&mut params);
+            let grads = g.into_grads();
+            opt.step(&mut params, &grads);
 
             // EMA bank update with the (detached) new representation.
             let z_val = {
-                let mut g2 = Graph::new(&mut params);
+                let mut g2 = Graph::new(&params);
                 let inputs: Vec<_> = ef
                     .path(&pool[i].path)
                     .into_iter()
@@ -114,7 +114,7 @@ pub fn train(net: &RoadNetwork, pool: &[TemporalPathSample], cfg: &MbConfig) -> 
 
     let dim = cfg.dim;
     FnRepresenter::new("MB", dim, move |_net, path, _dep| {
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let inputs: Vec<_> =
             ef.path(path).into_iter().map(|f| g.input(Tensor::row(f))).collect();
         let hs = lstm.forward(&mut g, &inputs);

@@ -102,8 +102,7 @@ impl PathRank {
             order.shuffle(&mut rng);
             for &i in &order {
                 let ex = &examples[i];
-                params.zero_grads();
-                let mut g = Graph::new(&mut params);
+                let mut g = Graph::new(&params);
                 let tf = time_features(ex.departure);
                 let inputs: Vec<_> = ef
                     .path(&ex.path)
@@ -118,8 +117,9 @@ impl PathRank {
                 let target = Tensor::scalar(std.forward(ex.target));
                 let loss = g.mse_to_const(pred, &target);
                 g.backward(loss);
-                params.clip_grad_norm(5.0);
-                opt.step(&mut params);
+                let mut grads = g.into_grads();
+                grads.clip_norm(5.0);
+                opt.step(&mut params, &grads);
             }
         }
         Self { params, gru, head, ef, std, dim: cfg.dim }
@@ -128,7 +128,7 @@ impl PathRank {
     /// The model's own prediction for a temporal path.
     pub fn predict(&mut self, path: &Path, departure: SimTime) -> f64 {
         let tf = time_features(departure);
-        let mut g = Graph::new(&mut self.params);
+        let mut g = Graph::new(&self.params);
         let inputs: Vec<_> = self
             .ef
             .path(path)
@@ -154,11 +154,11 @@ impl PathRank {
     }
 
     /// Freeze into a representer exposing the final GRU hidden state.
-    pub fn into_representer(mut self, name: impl Into<String>) -> FnRepresenter {
+    pub fn into_representer(self, name: impl Into<String>) -> FnRepresenter {
         let dim = self.dim;
         FnRepresenter::new(name, dim, move |_net, path, dep| {
             let tf = time_features(dep);
-            let mut g = Graph::new(&mut self.params);
+            let mut g = Graph::new(&self.params);
             let inputs: Vec<_> = self
                 .ef
                 .path(path)
@@ -214,22 +214,22 @@ impl PathRankOverEncoder {
             order.shuffle(&mut rng);
             for &i in &order {
                 let ex = &examples[i];
-                params.zero_grads();
-                let mut g = Graph::new(&mut params);
+                let mut g = Graph::new(&params);
                 let (tpr, _) = encoder.forward(&mut g, &weights, &ex.path, ex.departure);
                 let pred = head.forward(&mut g, tpr);
                 let target = Tensor::scalar(std.forward(ex.target));
                 let loss = g.mse_to_const(pred, &target);
                 g.backward(loss);
-                params.clip_grad_norm(5.0);
-                opt.step(&mut params);
+                let mut grads = g.into_grads();
+                grads.clip_norm(5.0);
+                opt.step(&mut params, &grads);
             }
         }
         Self { encoder, params, weights, head, std }
     }
 
     pub fn predict(&mut self, path: &Path, departure: SimTime) -> f64 {
-        let mut g = Graph::new(&mut self.params);
+        let mut g = Graph::new(&self.params);
         let (tpr, _) = self.encoder.forward(&mut g, &self.weights, path, departure);
         let pred = self.head.forward(&mut g, tpr);
         self.std.inverse(g.value(pred).item())

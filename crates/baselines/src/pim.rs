@@ -84,9 +84,7 @@ pub fn train(net: &RoadNetwork, pool: &[TemporalPathSample], cfg: &PimConfig) ->
                 }
             }
             let Some((_, j)) = best else { continue };
-
-            params.zero_grads();
-            let mut g = Graph::new(&mut params);
+            let mut g = Graph::new(&params);
             let (global, own_locals) = encode(&mut g, &lstm, &ef.path(&pool[i].path));
             let (_, neg_locals) = encode(&mut g, &lstm, &ef.path(&pool[j].path));
 
@@ -105,13 +103,14 @@ pub fn train(net: &RoadNetwork, pool: &[TemporalPathSample], cfg: &PimConfig) ->
             let mean = g.mean_scalars(&terms);
             let loss = g.scale(mean, -1.0);
             g.backward(loss);
-            opt.step(&mut params);
+            let grads = g.into_grads();
+            opt.step(&mut params, &grads);
         }
     }
 
     let dim = cfg.dim;
     FnRepresenter::new("PIM", dim, move |_net, path, _dep| {
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let inputs: Vec<NodeId> =
             ef.path(path).into_iter().map(|f| g.input(Tensor::row(f))).collect();
         let hs = lstm.forward(&mut g, &inputs);

@@ -35,6 +35,36 @@ fn bench_encoder(c: &mut Criterion) {
     });
 }
 
+/// Data-parallel training and lock-free batched inference. `shards == threads`
+/// here, so on a multi-core host these lines show the parallel speedup; the
+/// shard count also changes the per-shard batch, so compare against the
+/// `bench_parallel` binary for fixed-work serial-vs-parallel numbers.
+fn bench_parallel_training(c: &mut Criterion) {
+    let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 1));
+    let enc = Arc::new(TemporalPathEncoder::new(&ds.net, EncoderConfig::tiny(), 1));
+    for shards in [1usize, 2, 4] {
+        let cfg = WscclConfig { shards, threads: shards, ..WscclConfig::default() };
+        let mut model = WscModel::new(Arc::clone(&enc), cfg, 1);
+        c.bench_function(&format!("wsc_train_step_shards{shards}"), |b| {
+            b.iter(|| model.train_step(&ds.unlabeled, &PopLabeler))
+        });
+    }
+
+    let mut model = WscModel::new(Arc::clone(&enc), WscclConfig::tiny(), 1);
+    model.train_step(&ds.unlabeled, &PopLabeler);
+    let rep = model.into_representer("WSCCL");
+    use wsccl_core::PathRepresenter;
+    c.bench_function("eval_embed_throughput", |b| {
+        b.iter(|| {
+            ds.tte
+                .iter()
+                .take(16)
+                .map(|t| rep.represent(&ds.net, &t.path, t.departure).len())
+                .sum::<usize>()
+        })
+    });
+}
+
 fn bench_graph_algorithms(c: &mut Criterion) {
     let net = CityProfile::Chengdu.generate(2);
     c.bench_function("dijkstra_full_city", |b| {
@@ -90,7 +120,7 @@ fn bench_gbdt(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_encoder, bench_graph_algorithms, bench_node2vec_walks,
-              bench_map_matching, bench_gbdt
+    targets = bench_encoder, bench_parallel_training, bench_graph_algorithms,
+              bench_node2vec_walks, bench_map_matching, bench_gbdt
 }
 criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Serial-vs-parallel timing harness for the data-parallel training and
+//! lock-free inference paths. Writes `BENCH_parallel.json` in the working
+//! directory (see `scripts/bench.sh`).
+//!
+//! For each shard count the *same logical step* (fixed seed, fixed shard
+//! count) is timed at `threads = 1` and `threads = shards`; because the shard
+//! count is part of the math, this isolates the execution knob. The host core
+//! count is recorded alongside — on a single-core host the parallel numbers
+//! legitimately match the serial ones.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use wsccl_core::config::WscclConfig;
+use wsccl_core::encoder::{EncoderConfig, TemporalPathEncoder};
+use wsccl_core::wsc::WscModel;
+use wsccl_core::PathRepresenter;
+use wsccl_datagen::{CityDataset, DatasetConfig};
+use wsccl_roadnet::CityProfile;
+use wsccl_traffic::PopLabeler;
+
+#[derive(Serialize)]
+struct TrainTiming {
+    shards: usize,
+    threads: usize,
+    steps: usize,
+    ms_per_step: f64,
+}
+
+#[derive(Serialize)]
+struct EmbedTiming {
+    paths: usize,
+    workers: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    host_cores: usize,
+    train_step: Vec<TrainTiming>,
+    eval_embed: EmbedTiming,
+}
+
+fn time_train(
+    enc: &Arc<TemporalPathEncoder>,
+    ds: &CityDataset,
+    shards: usize,
+    threads: usize,
+    steps: usize,
+) -> TrainTiming {
+    let cfg = WscclConfig { shards, threads, ..WscclConfig::default() };
+    let mut model = WscModel::new(Arc::clone(enc), cfg, 1);
+    // Warm-up: touch every code path (and Adam state) once.
+    for _ in 0..2 {
+        model.train_step(&ds.unlabeled, &PopLabeler);
+    }
+    let t = Instant::now();
+    for _ in 0..steps {
+        model.train_step(&ds.unlabeled, &PopLabeler);
+    }
+    let ms_per_step = t.elapsed().as_secs_f64() * 1000.0 / steps as f64;
+    println!("train_step shards={shards} threads={threads}: {ms_per_step:.2} ms/step");
+    TrainTiming { shards, threads, steps, ms_per_step }
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("host cores: {host_cores}");
+
+    let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 1));
+    let enc = Arc::new(TemporalPathEncoder::new(&ds.net, EncoderConfig::tiny(), 1));
+
+    let mut train_step = Vec::new();
+    for shards in [1usize, 2, 4] {
+        train_step.push(time_train(&enc, &ds, shards, 1, 10));
+        if shards > 1 {
+            train_step.push(time_train(&enc, &ds, shards, shards, 10));
+        }
+    }
+
+    // Lock-free batched inference: embed the whole TTE set through a shared
+    // representer, serial vs one worker per core.
+    let mut model = WscModel::new(Arc::clone(&enc), WscclConfig::tiny(), 1);
+    for _ in 0..3 {
+        model.train_step(&ds.unlabeled, &PopLabeler);
+    }
+    let rep = model.into_representer("WSCCL");
+    let rep = &rep;
+    let net = &ds.net;
+
+    let t = Instant::now();
+    for s in &ds.tte {
+        std::hint::black_box(rep.represent(net, &s.path, s.departure));
+    }
+    let serial_ms = t.elapsed().as_secs_f64() * 1000.0;
+
+    let workers = host_cores.min(ds.tte.len()).max(1);
+    let chunk = ds.tte.len().div_ceil(workers);
+    let t = Instant::now();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = ds
+            .tte
+            .chunks(chunk)
+            .map(|c| {
+                scope.spawn(move |_| {
+                    for s in c {
+                        std::hint::black_box(rep.represent(net, &s.path, s.departure));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("embed worker");
+        }
+    })
+    .expect("embed scope");
+    let parallel_ms = t.elapsed().as_secs_f64() * 1000.0;
+    println!(
+        "eval_embed {} paths: serial {serial_ms:.1} ms, parallel({workers}) {parallel_ms:.1} ms",
+        ds.tte.len()
+    );
+
+    let report = Report {
+        host_cores,
+        train_step,
+        eval_embed: EmbedTiming { paths: ds.tte.len(), workers, serial_ms, parallel_ms },
+    };
+    let json = serde_json::to_string(&report).expect("serialize report");
+    std::fs::write("BENCH_parallel.json", json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
+}

@@ -151,7 +151,7 @@ fn cmd_evaluate(
     seed: u64,
 ) -> Result<(), String> {
     let ds = load_or_generate(flags, profile, scale, seed)?;
-    let rep: Box<dyn PathRepresenter> = match flags.get("model") {
+    let rep: Box<dyn PathRepresenter + Sync> = match flags.get("model") {
         Some(path) => {
             let cp = Checkpoint::load(path).map_err(|e| e.to_string())?;
             let encoder = Arc::new(TemporalPathEncoder::new(

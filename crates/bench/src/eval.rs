@@ -1,10 +1,44 @@
 //! Downstream evaluation protocol (§VII-A.2/4).
+//!
+//! The embedding loops (one representation per test path) dominate evaluation
+//! wall-clock; they are embarrassingly parallel because `represent` is a
+//! read-only, lock-free operation. Every loop here fans out over scoped
+//! threads and reassembles results in input order, so the metrics are
+//! identical to a serial run.
 
 use wsccl_baselines::TravelTimePredictor;
 use wsccl_core::PathRepresenter;
 use wsccl_datagen::{train_test_split, CityDataset};
 use wsccl_downstream::metrics;
 use wsccl_downstream::{GbClassifier, GbConfig, GbRegressor};
+
+/// Map `f` over `items` across scoped worker threads, preserving input order.
+/// Falls back to a plain serial map when only one worker is useful.
+fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| {
+                let f = &f;
+                scope.spawn(move |_| c.iter().map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        // Joining in spawn order concatenates chunks back in input order.
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("eval worker panicked"))
+            .collect()
+    })
+    .expect("eval scope")
+}
 
 /// Travel-time estimation metrics (Eq. 14).
 #[derive(Clone, Copy, Debug)]
@@ -33,9 +67,8 @@ pub struct RecMetrics {
 const SPLIT_SEED: u64 = 0x5EED;
 
 /// Travel-time estimation: representation → GBR → Eq. 14 metrics.
-pub fn evaluate_tte(rep: &dyn PathRepresenter, ds: &CityDataset) -> TteMetrics {
-    let x: Vec<Vec<f64>> =
-        ds.tte.iter().map(|t| rep.represent(&ds.net, &t.path, t.departure)).collect();
+pub fn evaluate_tte(rep: &(dyn PathRepresenter + Sync), ds: &CityDataset) -> TteMetrics {
+    let x: Vec<Vec<f64>> = par_map(&ds.tte, |t| rep.represent(&ds.net, &t.path, t.departure));
     let y: Vec<f64> = ds.tte.iter().map(|t| t.travel_time).collect();
     let (train, test) = train_test_split(x.len(), 0.8, SPLIT_SEED);
     let xt: Vec<Vec<f64>> = train.iter().map(|&i| x[i].clone()).collect();
@@ -68,32 +101,38 @@ pub fn evaluate_tte_predictor(model: &dyn TravelTimePredictor, ds: &CityDataset)
 
 /// Path ranking: representation → GBR on candidate scores; MAE over all test
 /// candidates, τ and ρ averaged per candidate group (§VII-A.2b).
-pub fn evaluate_ranking(rep: &dyn PathRepresenter, ds: &CityDataset) -> RankMetrics {
+pub fn evaluate_ranking(rep: &(dyn PathRepresenter + Sync), ds: &CityDataset) -> RankMetrics {
     let (train_groups, test_groups) = train_test_split(ds.groups.len(), 0.8, SPLIT_SEED);
-    let mut xt = Vec::new();
+    let mut train_items = Vec::new();
     let mut yt = Vec::new();
     for &gi in &train_groups {
         let g = &ds.groups[gi];
         for (p, &s) in g.candidates.iter().zip(&g.scores) {
-            xt.push(rep.represent(&ds.net, p, g.departure));
+            train_items.push((p, g.departure));
             yt.push(s);
         }
     }
+    let xt = par_map(&train_items, |&(p, dep)| rep.represent(&ds.net, p, dep));
     let model = GbRegressor::fit(&xt, &yt, &GbConfig::default());
+
+    // One (truth, pred) pair per test group, computed in parallel but
+    // reassembled in group order.
+    let per_group: Vec<(Vec<f64>, Vec<f64>)> = par_map(&test_groups, |&gi| {
+        let g = &ds.groups[gi];
+        let pred: Vec<f64> = g
+            .candidates
+            .iter()
+            .map(|p| model.predict(&rep.represent(&ds.net, p, g.departure)))
+            .collect();
+        (g.scores.clone(), pred)
+    });
 
     let mut truth_all = Vec::new();
     let mut pred_all = Vec::new();
     let mut tau_sum = 0.0;
     let mut rho_sum = 0.0;
     let mut n_groups = 0usize;
-    for &gi in &test_groups {
-        let g = &ds.groups[gi];
-        let truth: Vec<f64> = g.scores.clone();
-        let pred: Vec<f64> = g
-            .candidates
-            .iter()
-            .map(|p| model.predict(&rep.represent(&ds.net, p, g.departure)))
-            .collect();
+    for (truth, pred) in per_group {
         if truth.len() >= 2 {
             tau_sum += metrics::kendall_tau(&truth, &pred);
             rho_sum += metrics::spearman_rho(&truth, &pred);
@@ -111,37 +150,45 @@ pub fn evaluate_ranking(rep: &dyn PathRepresenter, ds: &CityDataset) -> RankMetr
 
 /// Path recommendation: representation → GBC on used/unused labels; accuracy
 /// and hit rate over held-out candidates (§VII-A.2c).
-pub fn evaluate_recommendation(rep: &dyn PathRepresenter, ds: &CityDataset) -> RecMetrics {
+pub fn evaluate_recommendation(
+    rep: &(dyn PathRepresenter + Sync),
+    ds: &CityDataset,
+) -> RecMetrics {
     let (train_groups, test_groups) = train_test_split(ds.groups.len(), 0.8, SPLIT_SEED);
-    let mut xt = Vec::new();
+    let mut train_items = Vec::new();
     let mut yt = Vec::new();
     for &gi in &train_groups {
         let g = &ds.groups[gi];
         for (p, &label) in g.candidates.iter().zip(&g.labels) {
-            xt.push(rep.represent(&ds.net, p, g.departure));
+            train_items.push((p, g.departure));
             yt.push(label);
         }
     }
+    let xt = par_map(&train_items, |&(p, dep)| rep.represent(&ds.net, p, dep));
     let model = GbClassifier::fit(&xt, &yt, &GbConfig::default());
 
-    let mut truth = Vec::new();
-    let mut pred = Vec::new();
-    for &gi in &test_groups {
+    // Per group, recommend the candidate with the highest predicted
+    // probability (exactly one positive exists per group); per-candidate
+    // labels then feed Eq. 16.
+    let per_group: Vec<usize> = par_map(&test_groups, |&gi| {
         let g = &ds.groups[gi];
-        // Per group, recommend the candidate with the highest predicted
-        // probability (exactly one positive exists per group); per-candidate
-        // labels then feed Eq. 16.
         let probs: Vec<f64> = g
             .candidates
             .iter()
             .map(|p| model.predict_proba(&rep.represent(&ds.net, p, g.departure)))
             .collect();
-        let best = probs
+        probs
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
             .map(|(i, _)| i)
-            .expect("non-empty group");
+            .expect("non-empty group")
+    });
+
+    let mut truth = Vec::new();
+    let mut pred = Vec::new();
+    for (&gi, best) in test_groups.iter().zip(per_group) {
+        let g = &ds.groups[gi];
         for (i, &label) in g.labels.iter().enumerate() {
             truth.push(label);
             pred.push(i == best);

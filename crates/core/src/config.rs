@@ -37,6 +37,16 @@ pub struct WscclConfig {
     pub local_edges: usize,
     /// Gradient clipping threshold (global L2 norm).
     pub grad_clip: f64,
+    /// Number of data-parallel shards per contrastive training step. Each
+    /// shard is an independently sampled sub-batch (negatives stay within the
+    /// shard) whose gradients are reduced in shard order before one optimizer
+    /// step. This is a *logical* split: it changes the math, so it lives in
+    /// the config; see `threads` for the execution knob.
+    pub shards: usize,
+    /// Worker threads used to execute the shards of one training step.
+    /// Purely an execution detail — any value produces bit-for-bit identical
+    /// training for a fixed seed and shard count.
+    pub threads: usize,
     pub seed: u64,
 }
 
@@ -53,6 +63,8 @@ impl Default for WscclConfig {
             expert_epochs: 1,
             local_edges: 3,
             grad_clip: 5.0,
+            shards: 1,
+            threads: 1,
             seed: 0,
         }
     }

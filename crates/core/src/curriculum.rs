@@ -51,19 +51,29 @@ pub fn meta_sets(data: &[TemporalPathSample], n: usize) -> Vec<Vec<usize>> {
 /// Compute difficulty scores (Eq. 13): for `tp_i` in meta-set `j`, the sum
 /// over other experts `k` of `sim(WSC_j(tp_i), WSC_k(tp_i))`. Higher = easier.
 pub fn difficulty_scores(
-    experts: &mut [WscModel],
+    experts: &[WscModel],
     data: &[TemporalPathSample],
     membership: &[usize],
 ) -> Vec<f64> {
     let n_experts = experts.len();
     let mut scores = vec![0.0; data.len()];
-    // Pre-embed every sample under every expert (each embed is independent).
-    let mut reprs: Vec<Vec<Vec<f64>>> = Vec::with_capacity(n_experts);
-    for expert in experts.iter_mut() {
-        reprs.push(
-            data.iter().map(|s| expert.embed(&s.path, s.departure)).collect(),
-        );
-    }
+    // Pre-embed every sample under every expert. Embedding is lock-free and
+    // read-only, so each expert's pass runs on its own thread; collecting the
+    // joins in expert order keeps the output deterministic.
+    let reprs: Vec<Vec<Vec<f64>>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = experts
+            .iter()
+            .map(|expert| {
+                scope.spawn(move |_| {
+                    data.iter()
+                        .map(|s| expert.embed(&s.path, s.departure))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("embed thread")).collect()
+    })
+    .expect("difficulty scope");
     for (i, &own) in membership.iter().enumerate() {
         let own_repr = &reprs[own][i];
         let mut s = 0.0;
@@ -136,7 +146,7 @@ pub fn train_wsccl_with_strategy(
             }
             // Train experts in parallel: each on its own meta-set.
             let expert_cfg = cfg.clone();
-            let mut experts: Vec<WscModel> = crossbeam::thread::scope(|scope| {
+            let experts: Vec<WscModel> = crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = sets
                     .iter()
                     .enumerate()
@@ -160,7 +170,7 @@ pub fn train_wsccl_with_strategy(
             })
             .expect("expert training scope");
 
-            let scores = difficulty_scores(&mut experts, data, &membership);
+            let scores = difficulty_scores(&experts, data, &membership);
             curriculum_stages(&scores, sets.len(), &mut rng)
         }
     };
@@ -278,10 +288,10 @@ mod tests {
                 membership[i] = j;
             }
         }
-        let mut experts: Vec<WscModel> = (0..2)
+        let experts: Vec<WscModel> = (0..2)
             .map(|j| WscModel::new(Arc::clone(&encoder), WscclConfig::tiny(), j as u64))
             .collect();
-        let scores = difficulty_scores(&mut experts, &ds.unlabeled, &membership);
+        let scores = difficulty_scores(&experts, &ds.unlabeled, &membership);
         // Score is a sum of N−1 cosines, each in [−1, 1].
         for &s in &scores {
             assert!((-1.0..=1.0).contains(&s), "score {s} out of range for N=2");

@@ -324,7 +324,7 @@ impl TemporalPathEncoder {
     /// length-scaled sum equivalent (`sum_inference`).
     pub fn embed(
         &self,
-        params: &mut Parameters,
+        params: &Parameters,
         w: &EncoderWeights,
         path: &Path,
         departure: SimTime,
@@ -406,14 +406,14 @@ mod tests {
         let mut params = Parameters::new();
         let w = enc.init_weights(&mut params, 1);
         let path = some_path(&net, 4);
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let (tpr, sters) = enc.forward(&mut g, &w, &path, SimTime::from_hm(1, 9, 0));
         assert_eq!(sters.len(), 4);
         let loss = g.sum_all(tpr);
         g.backward(loss);
         let touched = params
             .ids()
-            .filter(|&id| params.grad(id).data().iter().any(|v| v.abs() > 0.0))
+            .filter(|&id| g.grads().grad(id).is_some_and(|t| t.data().iter().any(|v| v.abs() > 0.0)))
             .count();
         assert!(touched > 0, "backward should reach trainable weights");
     }
@@ -478,14 +478,14 @@ mod transformer_tests {
         let mut params = Parameters::new();
         let w = enc.init_weights(&mut params, 1);
         let path = some_path(&net, 5);
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let (tpr, sters) = enc.forward(&mut g, &w, &path, SimTime::from_hm(1, 9, 0));
         assert_eq!(sters.len(), 5);
         let loss = g.sum_all(tpr);
         g.backward(loss);
         let touched = params
             .ids()
-            .filter(|&id| params.grad(id).data().iter().any(|v| v.abs() > 0.0))
+            .filter(|&id| g.grads().grad(id).is_some_and(|t| t.data().iter().any(|v| v.abs() > 0.0)))
             .count();
         assert!(touched > params.len() / 2, "{touched} of {}", params.len());
     }

@@ -1,14 +1,21 @@
 //! The WSC base model (Fig. 5): temporal path encoder + WSC losses + Adam.
+//!
+//! Training is data-parallel: each step draws `cfg.shards` independent
+//! sub-batches, runs forward + backward for every shard on its own tape over
+//! the *shared* parameter values, reduces the shard gradients in shard order,
+//! and applies a single optimizer step. The shard count is part of the math
+//! (it determines which negatives each query sees); the thread count is not —
+//! for a fixed seed and shard count, training is bit-for-bit identical at any
+//! `cfg.threads`.
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
 use wsccl_datagen::TemporalPathSample;
 use wsccl_nn::optim::Adam;
-use wsccl_nn::{Graph, Parameters};
+use wsccl_nn::{GradStore, Graph, Parameters};
 use wsccl_roadnet::{Path, RoadNetwork};
 use wsccl_traffic::{SimTime, WeakLabeler};
 
@@ -29,6 +36,43 @@ pub struct WscModel {
     rng: StdRng,
     /// Mean training loss per epoch, for diagnostics and tests.
     pub loss_history: Vec<f64>,
+}
+
+/// Forward + loss + backward for one shard on its own tape. Runs against the
+/// shared read-only parameter values; everything this computes is a pure
+/// function of `(params, weights, cfg, seed)`, which is what makes the
+/// thread schedule irrelevant to the result.
+fn run_shard(
+    encoder: &TemporalPathEncoder,
+    params: &Parameters,
+    weights: &EncoderWeights,
+    cfg: &WscclConfig,
+    pool: &[TemporalPathSample],
+    labeler: &dyn WeakLabeler,
+    batch_size: usize,
+    seed: u64,
+) -> Option<(f64, GradStore)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let items = build_batch(&mut rng, pool, labeler, batch_size);
+    let mut g = Graph::new(params);
+    let mut tprs = Vec::with_capacity(items.len());
+    let mut sters = Vec::with_capacity(items.len());
+    for item in &items {
+        let (tpr, st) = encoder.forward(&mut g, weights, &item.path, item.departure);
+        tprs.push(tpr);
+        sters.push(st);
+    }
+    let batch = EncodedBatch { items: &items, tprs, sters };
+    let loss = wsc_loss_with_temperature(
+        &mut g,
+        &batch,
+        &mut rng,
+        cfg.lambda,
+        cfg.local_edges,
+        cfg.temperature,
+    )?;
+    let (value, grads) = g.finish(loss);
+    value.is_finite().then_some((value, grads))
 }
 
 impl WscModel {
@@ -55,47 +99,97 @@ impl WscModel {
         &self.cfg
     }
 
-    /// One optimization step on one sampled batch. Returns the loss, or
-    /// `None` if the batch had no usable contrastive structure.
+    /// One optimization step over `cfg.shards` data-parallel sub-batches.
+    /// Returns the mean shard loss, or `None` if no shard had usable
+    /// contrastive structure.
     pub fn train_step(
         &mut self,
         pool: &[TemporalPathSample],
-        labeler: &dyn WeakLabeler,
+        labeler: &(dyn WeakLabeler + Sync),
     ) -> Option<f64> {
-        let items = build_batch(&mut self.rng, pool, labeler, self.cfg.batch_size);
-        self.params.zero_grads();
-        let mut g = Graph::new(&mut self.params);
-        let mut tprs = Vec::with_capacity(items.len());
-        let mut sters = Vec::with_capacity(items.len());
-        for item in &items {
-            let (tpr, st) = self.encoder.forward(&mut g, &self.weights, &item.path, item.departure);
-            tprs.push(tpr);
-            sters.push(st);
+        let shards = self.cfg.shards.max(1);
+        // Per-shard batch size; `build_batch` clamps to at least one anchor
+        // block, so over-sharding degrades gracefully.
+        let per_shard = (self.cfg.batch_size / shards).max(1);
+        // Draw every shard's seed upfront, in shard order, so shard work is
+        // independent of execution interleaving.
+        let seeds: Vec<u64> = (0..shards).map(|_| self.rng.random()).collect();
+
+        let threads = self.cfg.threads.max(1).min(shards);
+        let results: Vec<Option<(f64, GradStore)>> = if threads == 1 {
+            seeds
+                .iter()
+                .map(|&seed| {
+                    run_shard(
+                        &self.encoder,
+                        &self.params,
+                        &self.weights,
+                        &self.cfg,
+                        pool,
+                        labeler,
+                        per_shard,
+                        seed,
+                    )
+                })
+                .collect()
+        } else {
+            let (encoder, params, weights, cfg) =
+                (&*self.encoder, &self.params, &self.weights, &self.cfg);
+            let mut results: Vec<Option<(f64, GradStore)>> = (0..shards).map(|_| None).collect();
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let seeds = &seeds;
+                        scope.spawn(move |_| {
+                            // Worker `t` owns shards t, t+threads, … — a fixed
+                            // partition, so results carry their shard index.
+                            (t..shards)
+                                .step_by(threads)
+                                .map(|s| {
+                                    let r = run_shard(
+                                        encoder, params, weights, cfg, pool, labeler,
+                                        per_shard, seeds[s],
+                                    );
+                                    (s, r)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (s, r) in h.join().expect("shard worker panicked") {
+                        results[s] = r;
+                    }
+                }
+            })
+            .expect("shard scope");
+            results
+        };
+
+        // Reduce in ascending shard order (results is shard-indexed), average,
+        // clip, and take one optimizer step.
+        let mut total = GradStore::new();
+        let mut loss_sum = 0.0;
+        let mut used = 0usize;
+        for (value, grads) in results.into_iter().flatten() {
+            total.accumulate(&grads);
+            loss_sum += value;
+            used += 1;
         }
-        let batch = EncodedBatch { items: &items, tprs, sters };
-        let loss = wsc_loss_with_temperature(
-            &mut g,
-            &batch,
-            &mut self.rng,
-            self.cfg.lambda,
-            self.cfg.local_edges,
-            self.cfg.temperature,
-        )?;
-        let value = g.value(loss).item();
-        if !value.is_finite() {
+        if used == 0 {
             return None;
         }
-        g.backward(loss);
-        self.params.clip_grad_norm(self.cfg.grad_clip);
-        self.optimizer.step(&mut self.params);
-        Some(value)
+        total.scale(1.0 / used as f64);
+        total.clip_norm(self.cfg.grad_clip);
+        self.optimizer.step(&mut self.params, &total);
+        Some(loss_sum / used as f64)
     }
 
     /// Train for `epochs` passes of `pool.len() / batch_size` steps each.
     pub fn train(
         &mut self,
         pool: &[TemporalPathSample],
-        labeler: &dyn WeakLabeler,
+        labeler: &(dyn WeakLabeler + Sync),
         epochs: usize,
     ) {
         assert!(!pool.is_empty(), "cannot train on an empty pool");
@@ -114,8 +208,8 @@ impl WscModel {
     }
 
     /// Embed one temporal path.
-    pub fn embed(&mut self, path: &Path, departure: SimTime) -> Vec<f64> {
-        self.encoder.embed(&mut self.params, &self.weights, path, departure)
+    pub fn embed(&self, path: &Path, departure: SimTime) -> Vec<f64> {
+        self.encoder.embed(&self.params, &self.weights, path, departure)
     }
 
     /// Output dimensionality.
@@ -127,7 +221,8 @@ impl WscModel {
     pub fn into_representer(self, name: impl Into<String>) -> TrainedRepresenter {
         TrainedRepresenter {
             encoder: self.encoder,
-            inner: Mutex::new((self.params, self.weights)),
+            params: self.params,
+            weights: self.weights,
             name: name.into(),
         }
     }
@@ -139,9 +234,14 @@ impl WscModel {
 }
 
 /// A frozen, thread-safe representer produced by training.
+///
+/// `represent` is lock-free: inference builds a throwaway tape over shared
+/// read-only state, so any number of threads can embed concurrently through a
+/// plain `&TrainedRepresenter` without synchronization or weight copies.
 pub struct TrainedRepresenter {
     encoder: Arc<TemporalPathEncoder>,
-    inner: Mutex<(Parameters, EncoderWeights)>,
+    params: Parameters,
+    weights: EncoderWeights,
     name: String,
 }
 
@@ -153,7 +253,7 @@ impl TrainedRepresenter {
         weights: EncoderWeights,
         name: impl Into<String>,
     ) -> Self {
-        Self { encoder, inner: Mutex::new((params, weights)), name: name.into() }
+        Self { encoder, params, weights, name: name.into() }
     }
 }
 
@@ -163,11 +263,7 @@ impl PathRepresenter for TrainedRepresenter {
     }
 
     fn represent(&self, _net: &RoadNetwork, path: &Path, departure: SimTime) -> Vec<f64> {
-        let mut guard = self.inner.lock();
-        let (params, weights) = &mut *guard;
-        // Safe split: embed only reads weights but Graph requires &mut params.
-        let weights = weights.clone();
-        self.encoder.embed(params, &weights, path, departure)
+        self.encoder.embed(&self.params, &self.weights, path, departure)
     }
 
     fn name(&self) -> &str {
@@ -217,7 +313,7 @@ mod tests {
         // After training, the same path at two same-label times should be
         // more similar than at different-label times.
         let (ds, enc) = quick_setup();
-        let mut model = WscModel::new(enc, WscclConfig::tiny(), 2);
+        let mut model = WscModel::new(enc, WscclConfig::tiny(), 6);
         model.train(&ds.unlabeled, &PopLabeler, 10);
         let cos = |a: &[f64], b: &[f64]| {
             let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
@@ -255,5 +351,80 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(rep.name(), "WSCCL");
         assert_eq!(a.len(), rep.dim());
+    }
+
+    #[test]
+    fn representer_is_shareable_across_threads_without_locks() {
+        // Regression test for the lock-free `represent`: a plain shared
+        // reference is embedded from several threads concurrently and every
+        // thread must see the exact single-threaded result.
+        let (ds, enc) = quick_setup();
+        let mut model = WscModel::new(enc, WscclConfig::tiny(), 4);
+        model.train_step(&ds.unlabeled, &PopLabeler);
+        let rep = model.into_representer("WSCCL");
+        let samples: Vec<_> = ds.unlabeled.iter().take(8).collect();
+        let expected: Vec<Vec<f64>> =
+            samples.iter().map(|s| rep.represent(&ds.net, &s.path, s.departure)).collect();
+
+        let rep = &rep;
+        let net = &ds.net;
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let samples = &samples;
+                    scope.spawn(move |_| {
+                        samples
+                            .iter()
+                            .map(|s| rep.represent(net, &s.path, s.departure))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().expect("embed thread"), expected);
+            }
+        })
+        .expect("embed scope");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_training() {
+        // `threads` is an execution knob only: for a fixed seed and shard
+        // count, every thread count must produce bit-for-bit identical
+        // training trajectories and final embeddings.
+        let (ds, enc) = quick_setup();
+        let train = |threads: usize| {
+            let cfg = WscclConfig { shards: 4, threads, ..WscclConfig::tiny() };
+            let mut model = WscModel::new(Arc::clone(&enc), cfg, 7);
+            model.train(&ds.unlabeled, &PopLabeler, 2);
+            let emb: Vec<Vec<f64>> = ds
+                .unlabeled
+                .iter()
+                .take(5)
+                .map(|s| model.embed(&s.path, s.departure))
+                .collect();
+            (model.loss_history.clone(), emb)
+        };
+        let (hist1, emb1) = train(1);
+        let (hist4, emb4) = train(4);
+        assert_eq!(hist1, hist4, "loss history must not depend on thread count");
+        assert_eq!(emb1, emb4, "final embeddings must not depend on thread count");
+    }
+
+    #[test]
+    fn sharded_training_still_reduces_loss() {
+        let (ds, enc) = quick_setup();
+        let cfg = WscclConfig { shards: 2, batch_size: 16, ..WscclConfig::tiny() };
+        let mut model = WscModel::new(enc, cfg, 5);
+        let mut losses = Vec::new();
+        for _ in 0..30 {
+            if let Some(l) = model.train_step(&ds.unlabeled, &PopLabeler) {
+                losses.push(l);
+            }
+        }
+        assert!(losses.len() >= 25, "most sharded steps should produce a loss");
+        let head: f64 = losses[..5].iter().sum::<f64>() / 5.0;
+        let tail: f64 = losses[losses.len() - 5..].iter().sum::<f64>() / 5.0;
+        assert!(tail < head, "sharded loss should fall: {head:.4} → {tail:.4}");
     }
 }

@@ -3,7 +3,7 @@
 //! Every autodiff op and every layer in this crate is validated by comparing
 //! analytic parameter gradients against central differences of the loss.
 
-use crate::params::{ParamId, Parameters};
+use crate::params::{GradStore, ParamId, Parameters};
 
 /// Result of a gradient check for one parameter element.
 #[derive(Clone, Copy, Debug)]
@@ -17,21 +17,26 @@ pub struct GradCheckFailure {
 /// Check analytic gradients of `loss_fn` against central finite differences.
 ///
 /// `loss_fn` must be a deterministic function of the parameter values that
-/// builds a graph, calls `backward`, and returns the scalar loss. Gradients
-/// are read from the store after one call; numeric gradients perturb each
-/// element by `eps`.
+/// builds a graph over `&Parameters` and returns the scalar loss together
+/// with the tape's gradients (typically via [`crate::Graph::finish`]).
+/// Numeric gradients perturb each element by `eps`; a parameter with no slot
+/// in the returned [`GradStore`] counts as having zero analytic gradient.
 ///
 /// Returns all elements whose relative error exceeds `tol`.
 pub fn check_gradients(
     params: &mut Parameters,
-    mut loss_fn: impl FnMut(&mut Parameters) -> f64,
+    mut loss_fn: impl FnMut(&Parameters) -> (f64, GradStore),
     eps: f64,
     tol: f64,
 ) -> Vec<GradCheckFailure> {
-    params.zero_grads();
-    let _ = loss_fn(params);
-    let analytic: Vec<Vec<f64>> =
-        params.ids().map(|id| params.grad(id).data().to_vec()).collect();
+    let (_, grads) = loss_fn(params);
+    let analytic: Vec<Vec<f64>> = params
+        .ids()
+        .map(|id| match grads.grad(id) {
+            Some(g) => g.data().to_vec(),
+            None => vec![0.0; params.value(id).len()],
+        })
+        .collect();
 
     let mut failures = Vec::new();
     let ids: Vec<ParamId> = params.ids().collect();
@@ -40,11 +45,9 @@ pub fn check_gradients(
         for e in 0..n {
             let orig = params.value(id).data()[e];
             params.value_mut(id).data_mut()[e] = orig + eps;
-            params.zero_grads();
-            let up = loss_fn(params);
+            let (up, _) = loss_fn(params);
             params.value_mut(id).data_mut()[e] = orig - eps;
-            params.zero_grads();
-            let down = loss_fn(params);
+            let (down, _) = loss_fn(params);
             params.value_mut(id).data_mut()[e] = orig;
 
             let numeric = (up - down) / (2.0 * eps);
@@ -61,7 +64,7 @@ pub fn check_gradients(
 /// Panic with a readable report if any gradient fails the check.
 pub fn assert_gradients_close(
     params: &mut Parameters,
-    loss_fn: impl FnMut(&mut Parameters) -> f64,
+    loss_fn: impl FnMut(&Parameters) -> (f64, GradStore),
     eps: f64,
     tol: f64,
 ) {

@@ -2,14 +2,19 @@
 //!
 //! A [`Graph`] records every forward operation as a node; [`Graph::backward`]
 //! walks the tape in reverse, propagating adjoints to inputs and accumulating
-//! parameter gradients into the shared [`Parameters`] store. A fresh graph is
-//! built per training step, which naturally supports the variable-length paths
-//! this paper operates on.
+//! parameter gradients into the tape's own [`GradStore`]. Parameters are only
+//! *read* during forward/backward, so multiple tapes can run concurrently over
+//! one shared `&Parameters` — the basis for shard-parallel training. A fresh
+//! graph is built per training step, which naturally supports the
+//! variable-length paths this paper operates on.
+//!
+//! Node gradient buffers are allocated lazily, on first accumulation: nodes
+//! that never receive an adjoint (constants, dead branches) cost no memory.
 //!
 //! Every op's gradient is verified against central finite differences in the
 //! test suite (see `tests/gradcheck.rs` and [`crate::gradcheck`]).
 
-use crate::params::{ParamId, Parameters};
+use crate::params::{GradStore, ParamId, Parameters};
 use crate::tensor::Tensor;
 
 /// Handle to a node on the tape.
@@ -75,20 +80,22 @@ enum Op {
 struct Node {
     op: Op,
     value: Tensor,
-    grad: Tensor,
+    /// Adjoint buffer, allocated lazily on first accumulation.
+    grad: Option<Tensor>,
     needs_grad: bool,
 }
 
-/// Reverse-mode autodiff tape.
+/// Reverse-mode autodiff tape over a shared, read-only parameter store.
 pub struct Graph<'p> {
-    params: &'p mut Parameters,
+    params: &'p Parameters,
+    grads: GradStore,
     nodes: Vec<Node>,
 }
 
 impl<'p> Graph<'p> {
     /// Start a fresh tape over the given parameter store.
-    pub fn new(params: &'p mut Parameters) -> Self {
-        Self { params, nodes: Vec::with_capacity(256) }
+    pub fn new(params: &'p Parameters) -> Self {
+        Self { params, grads: GradStore::new(), nodes: Vec::with_capacity(256) }
     }
 
     /// Read-only access to the underlying parameters.
@@ -96,14 +103,33 @@ impl<'p> Graph<'p> {
         self.params
     }
 
+    /// Parameter gradients accumulated so far (valid after [`Graph::backward`]).
+    pub fn grads(&self) -> &GradStore {
+        &self.grads
+    }
+
+    /// Consume the tape, keeping only the accumulated parameter gradients.
+    pub fn into_grads(self) -> GradStore {
+        self.grads
+    }
+
+    /// Run backward from `loss` and return `(loss value, parameter grads)`,
+    /// consuming the tape. The common tail of every training step.
+    pub fn finish(mut self, loss: NodeId) -> (f64, GradStore) {
+        let value = self.value(loss).item();
+        self.backward(loss);
+        (value, self.grads)
+    }
+
     /// Value of a node.
     pub fn value(&self, id: NodeId) -> &Tensor {
         &self.nodes[id.0].value
     }
 
-    /// Gradient accumulated at a node (valid after [`Graph::backward`]).
-    pub fn grad(&self, id: NodeId) -> &Tensor {
-        &self.nodes[id.0].grad
+    /// Adjoint accumulated at a node, if any (valid after [`Graph::backward`];
+    /// `None` ⇔ zero).
+    pub fn node_grad(&self, id: NodeId) -> Option<&Tensor> {
+        self.nodes[id.0].grad.as_ref()
     }
 
     pub fn num_nodes(&self) -> usize {
@@ -111,13 +137,19 @@ impl<'p> Graph<'p> {
     }
 
     fn push(&mut self, op: Op, value: Tensor, needs_grad: bool) -> NodeId {
-        let grad = Tensor::zeros(value.rows(), value.cols());
-        self.nodes.push(Node { op, value, grad, needs_grad });
+        self.nodes.push(Node { op, value, grad: None, needs_grad });
         NodeId(self.nodes.len() - 1)
     }
 
     fn needs(&self, id: NodeId) -> bool {
         self.nodes[id.0].needs_grad
+    }
+
+    /// Node adjoint buffer, allocated as zeros on first touch.
+    fn grad_entry(&mut self, id: NodeId) -> &mut Tensor {
+        let node = &mut self.nodes[id.0];
+        let (rows, cols) = node.value.shape();
+        node.grad.get_or_insert_with(|| Tensor::zeros(rows, cols))
     }
 
     // ---------------------------------------------------------------- inputs
@@ -392,38 +424,35 @@ impl<'p> Graph<'p> {
 
     /// Run backpropagation from a `1 × 1` loss node.
     ///
-    /// Parameter gradients are **accumulated** into the shared store; call
-    /// [`Parameters::zero_grads`] between steps.
+    /// Parameter gradients are **accumulated** into the tape's [`GradStore`]
+    /// (see [`Graph::grads`] / [`Graph::into_grads`] / [`Graph::finish`]).
     pub fn backward(&mut self, loss: NodeId) {
         assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "backward from non-scalar");
-        self.nodes[loss.0].grad = Tensor::scalar(1.0);
+        *self.grad_entry(loss) = Tensor::scalar(1.0);
 
         for i in (0..self.nodes.len()).rev() {
             if !self.nodes[i].needs_grad {
                 continue;
             }
             // Take the node's grad out to satisfy the borrow checker while we
-            // mutate predecessor grads.
-            let g = std::mem::replace(&mut self.nodes[i].grad, Tensor::zeros(0, 0));
-            if g.data().iter().all(|&v| v == 0.0) {
-                self.nodes[i].grad = g;
-                continue;
-            }
+            // mutate predecessor grads; a node never touched has zero adjoint.
+            let Some(g) = self.nodes[i].grad.take() else { continue };
             match &self.nodes[i].op {
                 Op::Input => {}
                 Op::Param(pid) => {
                     let pid = *pid;
-                    self.params.grad_mut(pid).add_assign(&g);
+                    let (rows, cols) = self.params.value(pid).shape();
+                    self.grads.entry(pid, rows, cols).add_assign(&g);
                 }
                 Op::MatMul(a, b) => {
                     let (a, b) = (*a, *b);
                     if self.needs(a) {
                         let da = g.matmul_nt(&self.nodes[b.0].value);
-                        self.nodes[a.0].grad.add_assign(&da);
+                        self.grad_entry(a).add_assign(&da);
                     }
                     if self.needs(b) {
                         let db = self.nodes[a.0].value.matmul_tn(&g);
-                        self.nodes[b.0].grad.add_assign(&db);
+                        self.grad_entry(b).add_assign(&db);
                     }
                 }
                 Op::MatMulNt(a, b) => {
@@ -431,26 +460,26 @@ impl<'p> Graph<'p> {
                     let (a, b) = (*a, *b);
                     if self.needs(a) {
                         let da = g.matmul(&self.nodes[b.0].value);
-                        self.nodes[a.0].grad.add_assign(&da);
+                        self.grad_entry(a).add_assign(&da);
                     }
                     if self.needs(b) {
                         let db = g.matmul_tn(&self.nodes[a.0].value);
-                        self.nodes[b.0].grad.add_assign(&db);
+                        self.grad_entry(b).add_assign(&db);
                     }
                 }
                 Op::Add(a, b) => {
                     let (a, b) = (*a, *b);
                     if self.needs(a) {
-                        self.nodes[a.0].grad.add_assign(&g);
+                        self.grad_entry(a).add_assign(&g);
                     }
                     if self.needs(b) {
-                        self.nodes[b.0].grad.add_assign(&g);
+                        self.grad_entry(b).add_assign(&g);
                     }
                 }
                 Op::AddRow(a, row) => {
                     let (a, row) = (*a, *row);
                     if self.needs(a) {
-                        self.nodes[a.0].grad.add_assign(&g);
+                        self.grad_entry(a).add_assign(&g);
                     }
                     if self.needs(row) {
                         let cols = g.cols();
@@ -460,33 +489,33 @@ impl<'p> Graph<'p> {
                                 *d += v;
                             }
                         }
-                        self.nodes[row.0].grad.add_assign(&dr);
+                        self.grad_entry(row).add_assign(&dr);
                     }
                 }
                 Op::Sub(a, b) => {
                     let (a, b) = (*a, *b);
                     if self.needs(a) {
-                        self.nodes[a.0].grad.add_assign(&g);
+                        self.grad_entry(a).add_assign(&g);
                     }
                     if self.needs(b) {
-                        self.nodes[b.0].grad.axpy(-1.0, &g);
+                        self.grad_entry(b).axpy(-1.0, &g);
                     }
                 }
                 Op::Mul(a, b) => {
                     let (a, b) = (*a, *b);
                     if self.needs(a) {
                         let da = g.mul(&self.nodes[b.0].value);
-                        self.nodes[a.0].grad.add_assign(&da);
+                        self.grad_entry(a).add_assign(&da);
                     }
                     if self.needs(b) {
                         let db = g.mul(&self.nodes[a.0].value);
-                        self.nodes[b.0].grad.add_assign(&db);
+                        self.grad_entry(b).add_assign(&db);
                     }
                 }
                 Op::Scale(a, c) => {
                     let (a, c) = (*a, *c);
                     if self.needs(a) {
-                        self.nodes[a.0].grad.axpy(c, &g);
+                        self.grad_entry(a).axpy(c, &g);
                     }
                 }
                 Op::Sigmoid(a) => {
@@ -494,7 +523,7 @@ impl<'p> Graph<'p> {
                     if self.needs(a) {
                         let y = &self.nodes[i].value;
                         let da = g.zip_with(y, |gv, yv| gv * yv * (1.0 - yv));
-                        self.nodes[a.0].grad.add_assign(&da);
+                        self.grad_entry(a).add_assign(&da);
                     }
                 }
                 Op::Tanh(a) => {
@@ -502,7 +531,7 @@ impl<'p> Graph<'p> {
                     if self.needs(a) {
                         let y = &self.nodes[i].value;
                         let da = g.zip_with(y, |gv, yv| gv * (1.0 - yv * yv));
-                        self.nodes[a.0].grad.add_assign(&da);
+                        self.grad_entry(a).add_assign(&da);
                     }
                 }
                 Op::Relu(a) => {
@@ -510,7 +539,7 @@ impl<'p> Graph<'p> {
                     if self.needs(a) {
                         let x = &self.nodes[a.0].value;
                         let da = g.zip_with(x, |gv, xv| if xv > 0.0 { gv } else { 0.0 });
-                        self.nodes[a.0].grad.add_assign(&da);
+                        self.grad_entry(a).add_assign(&da);
                     }
                 }
                 Op::Ln(a) => {
@@ -518,13 +547,13 @@ impl<'p> Graph<'p> {
                     if self.needs(a) {
                         let x = &self.nodes[a.0].value;
                         let da = g.zip_with(x, |gv, xv| gv / xv);
-                        self.nodes[a.0].grad.add_assign(&da);
+                        self.grad_entry(a).add_assign(&da);
                     }
                 }
                 Op::SliceCols(a, start, _end) => {
                     let (a, start) = (*a, *start);
                     if self.needs(a) {
-                        let target = &mut self.nodes[a.0].grad;
+                        let target = self.grad_entry(a);
                         for r in 0..g.rows() {
                             let dst = &mut target.row_slice_mut(r)[start..start + g.cols()];
                             for (d, v) in dst.iter_mut().zip(g.row_slice(r)) {
@@ -539,10 +568,10 @@ impl<'p> Graph<'p> {
                     for p in parts {
                         let w = self.nodes[p.0].value.cols();
                         if self.needs(p) {
+                            let target = self.grad_entry(p);
                             for r in 0..g.rows() {
                                 let src = &g.row_slice(r)[off..off + w];
-                                let dst = self.nodes[p.0].grad.row_slice_mut(r);
-                                for (d, v) in dst.iter_mut().zip(src) {
+                                for (d, v) in target.row_slice_mut(r).iter_mut().zip(src) {
                                     *d += v;
                                 }
                             }
@@ -556,10 +585,10 @@ impl<'p> Graph<'p> {
                     for p in parts {
                         let nr = self.nodes[p.0].value.rows();
                         if self.needs(p) {
+                            let target = self.grad_entry(p);
                             for r in 0..nr {
-                                let src = g.row_slice(off + r).to_vec();
-                                let dst = self.nodes[p.0].grad.row_slice_mut(r);
-                                for (d, v) in dst.iter_mut().zip(&src) {
+                                let src = g.row_slice(off + r);
+                                for (d, v) in target.row_slice_mut(r).iter_mut().zip(src) {
                                     *d += v;
                                 }
                             }
@@ -572,7 +601,7 @@ impl<'p> Graph<'p> {
                     if self.needs(a) {
                         let n = self.nodes[a.0].value.rows();
                         let inv = 1.0 / n as f64;
-                        let target = &mut self.nodes[a.0].grad;
+                        let target = self.grad_entry(a);
                         for r in 0..n {
                             for (d, v) in target.row_slice_mut(r).iter_mut().zip(g.row_slice(0)) {
                                 *d += v * inv;
@@ -584,18 +613,14 @@ impl<'p> Graph<'p> {
                     let a = *a;
                     if self.needs(a) {
                         let gv = g.item();
-                        self.nodes[a.0]
-                            .grad
-                            .data_mut()
-                            .iter_mut()
-                            .for_each(|d| *d += gv);
+                        self.grad_entry(a).data_mut().iter_mut().for_each(|d| *d += gv);
                     }
                 }
                 Op::SoftmaxRows(a) => {
                     let a = *a;
                     if self.needs(a) {
                         let y = self.nodes[i].value.clone();
-                        let target = &mut self.nodes[a.0].grad;
+                        let target = self.grad_entry(a);
                         for r in 0..y.rows() {
                             let yrow = y.row_slice(r);
                             let grow = g.row_slice(r);
@@ -623,12 +648,12 @@ impl<'p> Graph<'p> {
                             // d/da = b/(|a||b|) − c · a/|a|²
                             let mut da = bv.scale(1.0 / (na * nb));
                             da.axpy(-c / (na * na), &av);
-                            self.nodes[a.0].grad.axpy(gv, &da);
+                            self.grad_entry(a).axpy(gv, &da);
                         }
                         if self.needs(b) {
                             let mut db = av.scale(1.0 / (na * nb));
                             db.axpy(-c / (nb * nb), &bv);
-                            self.nodes[b.0].grad.axpy(gv, &db);
+                            self.grad_entry(b).axpy(gv, &db);
                         }
                     }
                 }
@@ -637,11 +662,11 @@ impl<'p> Graph<'p> {
                     let gv = g.item();
                     if self.needs(a) {
                         let bv = self.nodes[b.0].value.clone();
-                        self.nodes[a.0].grad.axpy(gv, &bv);
+                        self.grad_entry(a).axpy(gv, &bv);
                     }
                     if self.needs(b) {
                         let av = self.nodes[a.0].value.clone();
-                        self.nodes[b.0].grad.axpy(gv, &av);
+                        self.grad_entry(b).axpy(gv, &av);
                     }
                 }
                 Op::LogSumExp(xs) => {
@@ -651,7 +676,7 @@ impl<'p> Graph<'p> {
                     for x in xs {
                         if self.needs(x) {
                             let w = (self.nodes[x.0].value.item() - out).exp();
-                            self.nodes[x.0].grad.data_mut()[0] += gv * w;
+                            self.grad_entry(x).data_mut()[0] += gv * w;
                         }
                     }
                 }
@@ -663,7 +688,7 @@ impl<'p> Graph<'p> {
                         let row = lv.row_slice(0);
                         let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                         let z: f64 = row.iter().map(|v| (v - m).exp()).sum();
-                        let dst = self.nodes[logits.0].grad.row_slice_mut(0);
+                        let dst = self.grad_entry(logits).row_slice_mut(0);
                         for (j, (d, &v)) in dst.iter_mut().zip(row).enumerate() {
                             let p = (v - m).exp() / z;
                             *d += gv * (p - if j == target { 1.0 } else { 0.0 });
@@ -673,7 +698,7 @@ impl<'p> Graph<'p> {
                 Op::SliceRows(a, start, _end) => {
                     let (a, start) = (*a, *start);
                     if self.needs(a) {
-                        let target = &mut self.nodes[a.0].grad;
+                        let target = self.grad_entry(a);
                         for r in 0..g.rows() {
                             for (d, v) in
                                 target.row_slice_mut(start + r).iter_mut().zip(g.row_slice(r))
@@ -690,7 +715,7 @@ impl<'p> Graph<'p> {
                         // dx = (1/σ) · (dy − mean(dy) − x̂ · mean(dy ⊙ x̂)).
                         let x = self.nodes[a.0].value.clone();
                         let xhat = self.nodes[i].value.clone();
-                        let target = &mut self.nodes[a.0].grad;
+                        let target = self.grad_entry(a);
                         for r in 0..x.rows() {
                             let n = x.cols() as f64;
                             let xrow = x.row_slice(r);
@@ -714,7 +739,8 @@ impl<'p> Graph<'p> {
                 Op::EmbedLookup(pid, indices) => {
                     let pid = *pid;
                     let indices = indices.clone();
-                    let table_grad = self.params.grad_mut(pid);
+                    let (rows, cols) = self.params.value(pid).shape();
+                    let table_grad = self.grads.entry(pid, rows, cols);
                     for (r, ix) in indices.into_iter().enumerate() {
                         for (d, v) in table_grad.row_slice_mut(ix).iter_mut().zip(g.row_slice(r)) {
                             *d += v;
@@ -722,7 +748,7 @@ impl<'p> Graph<'p> {
                     }
                 }
             }
-            self.nodes[i].grad = g;
+            self.nodes[i].grad = Some(g);
         }
     }
 }
@@ -739,11 +765,11 @@ mod tests {
 
     #[test]
     fn forward_matmul_add_sigmoid() {
-        let (mut p, ids) = params_with(&[
+        let (p, ids) = params_with(&[
             ("w", Tensor::from_vec(2, 1, vec![1.0, -1.0])),
             ("b", Tensor::scalar(0.5)),
         ]);
-        let mut g = Graph::new(&mut p);
+        let mut g = Graph::new(&p);
         let x = g.input(Tensor::row(vec![2.0, 1.0]));
         let w = g.param(ids[0]);
         let b = g.param(ids[1]);
@@ -758,46 +784,91 @@ mod tests {
     #[test]
     fn backward_simple_linear() {
         // loss = (w·x)² with x = 3, w = 2 → loss = 36, dL/dw = 2·w·x² = 36.
-        let (mut p, ids) = params_with(&[("w", Tensor::scalar(2.0))]);
-        let mut g = Graph::new(&mut p);
+        let (p, ids) = params_with(&[("w", Tensor::scalar(2.0))]);
+        let mut g = Graph::new(&p);
         let x = g.input(Tensor::scalar(3.0));
         let w = g.param(ids[0]);
         let wx = g.mul(w, x);
         let loss = g.mul(wx, wx);
         g.backward(loss);
-        assert!((p.grad(ids[0]).item() - 36.0).abs() < 1e-9);
+        assert!((g.grads().grad(ids[0]).unwrap().item() - 36.0).abs() < 1e-9);
     }
 
     #[test]
     fn backward_accumulates_across_uses() {
         // loss = w + w → dL/dw = 2.
-        let (mut p, ids) = params_with(&[("w", Tensor::scalar(1.0))]);
-        let mut g = Graph::new(&mut p);
+        let (p, ids) = params_with(&[("w", Tensor::scalar(1.0))]);
+        let mut g = Graph::new(&p);
         let w = g.param(ids[0]);
         let loss = g.add(w, w);
         g.backward(loss);
-        assert!((p.grad(ids[0]).item() - 2.0).abs() < 1e-12);
+        assert!((g.grads().grad(ids[0]).unwrap().item() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finish_returns_loss_and_grads() {
+        let (p, ids) = params_with(&[("w", Tensor::scalar(2.0))]);
+        let mut g = Graph::new(&p);
+        let w = g.param(ids[0]);
+        let loss = g.mul(w, w);
+        let (value, grads) = g.finish(loss);
+        assert!((value - 4.0).abs() < 1e-12);
+        assert!((grads.grad(ids[0]).unwrap().item() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_grads_allocate_lazily() {
+        let (p, ids) = params_with(&[("w", Tensor::scalar(1.0))]);
+        let mut g = Graph::new(&p);
+        let dead = g.input(Tensor::zeros(8, 8));
+        let w = g.param(ids[0]);
+        let loss = g.mul(w, w);
+        g.backward(loss);
+        assert!(g.node_grad(dead).is_none(), "constant input must never allocate a grad");
+        assert!(g.node_grad(loss).is_some());
+    }
+
+    #[test]
+    fn two_tapes_share_one_parameter_store() {
+        // Data parallelism in miniature: two tapes over the same &Parameters,
+        // reduced in fixed order, equals one tape over the combined loss.
+        let (p, ids) = params_with(&[("w", Tensor::scalar(3.0))]);
+        let run = |x: f64| {
+            let mut g = Graph::new(&p);
+            let xn = g.input(Tensor::scalar(x));
+            let w = g.param(ids[0]);
+            let wx = g.mul(w, xn);
+            let loss = g.mul(wx, wx);
+            g.finish(loss).1
+        };
+        let (g1, g2) = (run(2.0), run(5.0));
+        let mut reduced = GradStore::new();
+        reduced.accumulate(&g1);
+        reduced.accumulate(&g2);
+        // d/dw [ (2w)² + (5w)² ] = 2w·(4 + 25) = 174 at w = 3.
+        assert!((reduced.grad(ids[0]).unwrap().item() - 174.0).abs() < 1e-9);
     }
 
     #[test]
     fn embed_lookup_scatter_grad() {
-        let (mut p, ids) =
+        let (p, ids) =
             params_with(&[("e", Tensor::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]))]);
-        let mut g = Graph::new(&mut p);
+        let mut g = Graph::new(&p);
         let e = g.embed_lookup(ids[0], &[2, 0, 2]);
         assert_eq!(g.value(e).row_slice(0), &[5.0, 6.0]);
         let s = g.sum_all(e);
         g.backward(s);
         // Row 2 used twice, row 0 once, row 1 never.
-        assert_eq!(p.grad(ids[0]).row_slice(0), &[1.0, 1.0]);
-        assert_eq!(p.grad(ids[0]).row_slice(1), &[0.0, 0.0]);
-        assert_eq!(p.grad(ids[0]).row_slice(2), &[2.0, 2.0]);
+        let gr = g.grads().grad(ids[0]).unwrap();
+        assert_eq!(gr.row_slice(0), &[1.0, 1.0]);
+        assert_eq!(gr.row_slice(1), &[0.0, 0.0]);
+        assert_eq!(gr.row_slice(2), &[2.0, 2.0]);
     }
 
     #[test]
     fn log_sum_exp_is_stable_for_large_inputs() {
-        let (mut p, _) = params_with(&[]);
-        let mut g = Graph::new(&mut p);
+        let (p, _) = params_with(&[]);
+        let mut g = Graph::new(&p);
         let a = g.input(Tensor::scalar(1000.0));
         let b = g.input(Tensor::scalar(1000.0));
         let l = g.log_sum_exp(&[a, b]);
@@ -806,15 +877,15 @@ mod tests {
 
     #[test]
     fn cross_entropy_matches_manual() {
-        let (mut p, ids) = params_with(&[("l", Tensor::row(vec![1.0, 2.0, 3.0]))]);
-        let mut g = Graph::new(&mut p);
+        let (p, ids) = params_with(&[("l", Tensor::row(vec![1.0, 2.0, 3.0]))]);
+        let mut g = Graph::new(&p);
         let l = g.param(ids[0]);
         let ce = g.cross_entropy(l, 1);
         let z: f64 = [1.0f64, 2.0, 3.0].iter().map(|v| v.exp()).sum();
         assert!((g.value(ce).item() - (z.ln() - 2.0)).abs() < 1e-9);
         g.backward(ce);
         let soft: Vec<f64> = [1.0f64, 2.0, 3.0].iter().map(|v| v.exp() / z).collect();
-        let gr = p.grad(ids[0]);
+        let gr = g.grads().grad(ids[0]).unwrap();
         assert!((gr.get(0, 0) - soft[0]).abs() < 1e-9);
         assert!((gr.get(0, 1) - (soft[1] - 1.0)).abs() < 1e-9);
         assert!((gr.get(0, 2) - soft[2]).abs() < 1e-9);
@@ -823,22 +894,24 @@ mod tests {
     #[test]
     fn cos_sim_of_identical_vectors_has_zero_grad() {
         // d cos(a,a)/da = 0 since cos is scale-invariant.
-        let (mut p, ids) = params_with(&[("a", Tensor::row(vec![1.0, 2.0]))]);
-        let mut g = Graph::new(&mut p);
+        let (p, ids) = params_with(&[("a", Tensor::row(vec![1.0, 2.0]))]);
+        let mut g = Graph::new(&p);
         let a = g.param(ids[0]);
         let c = g.cos_sim(a, a);
         assert!((g.value(c).item() - 1.0).abs() < 1e-12);
         g.backward(c);
-        for v in p.grad(ids[0]).data() {
-            assert!(v.abs() < 1e-9);
+        if let Some(gr) = g.grads().grad(ids[0]) {
+            for v in gr.data() {
+                assert!(v.abs() < 1e-9);
+            }
         }
     }
 
     #[test]
     #[should_panic(expected = "backward from non-scalar")]
     fn backward_from_matrix_panics() {
-        let (mut p, _) = params_with(&[]);
-        let mut g = Graph::new(&mut p);
+        let (p, _) = params_with(&[]);
+        let mut g = Graph::new(&p);
         let x = g.input(Tensor::zeros(2, 2));
         g.backward(x);
     }

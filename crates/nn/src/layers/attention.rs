@@ -63,7 +63,7 @@ mod tests {
         let mut params = Parameters::new();
         let mut rng = StdRng::seed_from_u64(1);
         let attn = SelfAttention::new(&mut params, &mut rng, "a", 4);
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let x = g.input(Tensor::from_vec(5, 4, (0..20).map(|v| v as f64 * 0.1).collect()));
         let y = attn.forward(&mut g, x);
         assert_eq!(g.value(y).shape(), (5, 4));
@@ -75,14 +75,14 @@ mod tests {
         let mut params = Parameters::new();
         let mut rng = StdRng::seed_from_u64(2);
         let attn = SelfAttention::new(&mut params, &mut rng, "a", 3);
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let x = g.input(Tensor::from_vec(4, 3, (0..12).map(|v| v as f64 * 0.2 - 1.0).collect()));
         let y = attn.forward(&mut g, x);
         let loss = g.sum_all(y);
         g.backward(loss);
         let nonzero = params
             .ids()
-            .filter(|&id| params.grad(id).data().iter().any(|v| v.abs() > 1e-12))
+            .filter(|&id| g.grads().grad(id).is_some_and(|t| t.data().iter().any(|v| v.abs() > 1e-12)))
             .count();
         // All weight matrices should get gradient; the output bias always does.
         assert!(nonzero >= 4, "only {nonzero} of {} params got gradient", params.len());

@@ -62,7 +62,7 @@ mod tests {
         let emb = Embedding::new(&mut params, &mut rng, "e", 4, 3);
         *params.value_mut(emb.param_id()) =
             Tensor::from_vec(4, 3, (0..12).map(|v| v as f64).collect());
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let out = emb.forward(&mut g, &[3, 1]);
         assert_eq!(g.value(out).row_slice(0), &[9.0, 10.0, 11.0]);
         assert_eq!(g.value(out).row_slice(1), &[3.0, 4.0, 5.0]);
@@ -74,7 +74,7 @@ mod tests {
         let mut params = Parameters::new();
         let mut rng = StdRng::seed_from_u64(1);
         let emb = Embedding::new(&mut params, &mut rng, "e", 4, 3);
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         emb.forward(&mut g, &[4]);
     }
 }

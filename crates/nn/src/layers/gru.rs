@@ -103,7 +103,7 @@ mod tests {
         let mut params = Parameters::new();
         let mut rng = StdRng::seed_from_u64(1);
         let gru = Gru::new(&mut params, &mut rng, "gru", 3, 4);
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let xs: Vec<NodeId> =
             (0..6).map(|t| g.input(Tensor::row(vec![t as f64, -1.0, 0.5]))).collect();
         let hs = gru.forward(&mut g, &xs);
@@ -121,14 +121,14 @@ mod tests {
         let mut params = Parameters::new();
         let mut rng = StdRng::seed_from_u64(2);
         let gru = Gru::new(&mut params, &mut rng, "gru", 2, 3);
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let xs: Vec<NodeId> = (0..3).map(|_| g.input(Tensor::row(vec![1.0, -0.5]))).collect();
         let h = gru.forward_last(&mut g, &xs);
         let loss = g.sum_all(h);
         g.backward(loss);
         let nonzero = params
             .ids()
-            .filter(|&id| params.grad(id).data().iter().any(|v| v.abs() > 0.0))
+            .filter(|&id| g.grads().grad(id).is_some_and(|t| t.data().iter().any(|v| v.abs() > 0.0)))
             .count();
         assert_eq!(nonzero, params.len());
     }

@@ -85,7 +85,7 @@ mod tests {
         // Force known weights.
         *params.value_mut(ParamId(0)) = Tensor::from_vec(3, 2, vec![1., 0., 0., 1., 1., 1.]);
         *params.value_mut(ParamId(1)) = Tensor::row(vec![10.0, 20.0]);
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let x = g.input(Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]));
         let y = lin.forward(&mut g, x);
         assert_eq!(g.value(y).shape(), (2, 2));
@@ -98,7 +98,7 @@ mod tests {
         let mut params = Parameters::new();
         let mut rng = StdRng::seed_from_u64(1);
         let lin = Linear::new(&mut params, &mut rng, "l", 3, 2);
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let x = g.input(Tensor::zeros(1, 4));
         lin.forward(&mut g, x);
     }

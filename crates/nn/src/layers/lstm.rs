@@ -145,7 +145,7 @@ mod tests {
         let mut params = Parameters::new();
         let mut rng = StdRng::seed_from_u64(1);
         let lstm = Lstm::new(&mut params, &mut rng, "lstm", 3, 5, 2);
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let xs: Vec<NodeId> =
             (0..4).map(|t| g.input(Tensor::row(vec![t as f64, 1.0, -1.0]))).collect();
         let hs = lstm.forward(&mut g, &xs);
@@ -161,7 +161,7 @@ mod tests {
         let mut params = Parameters::new();
         let mut rng = StdRng::seed_from_u64(2);
         let lstm = Lstm::new(&mut params, &mut rng, "lstm", 2, 4, 1);
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let xs: Vec<NodeId> =
             (0..50).map(|_| g.input(Tensor::row(vec![100.0, -100.0]))).collect();
         let hs = lstm.forward(&mut g, &xs);
@@ -175,14 +175,14 @@ mod tests {
         let mut params = Parameters::new();
         let mut rng = StdRng::seed_from_u64(3);
         let lstm = Lstm::new(&mut params, &mut rng, "lstm", 2, 3, 2);
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let xs: Vec<NodeId> = (0..3).map(|_| g.input(Tensor::row(vec![1.0, 2.0]))).collect();
         let h = lstm.forward_last(&mut g, &xs);
         let loss = g.sum_all(h);
         g.backward(loss);
         let nonzero = params
             .ids()
-            .filter(|&id| params.grad(id).data().iter().any(|v| v.abs() > 0.0))
+            .filter(|&id| g.grads().grad(id).is_some_and(|t| t.data().iter().any(|v| v.abs() > 0.0)))
             .count();
         assert_eq!(nonzero, params.len(), "every LSTM parameter should receive gradient");
     }
@@ -193,7 +193,7 @@ mod tests {
         let mut params = Parameters::new();
         let mut rng = StdRng::seed_from_u64(1);
         let lstm = Lstm::new(&mut params, &mut rng, "lstm", 2, 3, 1);
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         lstm.forward(&mut g, &[]);
     }
 }

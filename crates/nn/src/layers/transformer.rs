@@ -65,7 +65,7 @@ mod tests {
         let mut params = Parameters::new();
         let mut rng = StdRng::seed_from_u64(1);
         let block = TransformerBlock::new(&mut params, &mut rng, "t", 8, 2);
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let x = g.input(Tensor::from_vec(6, 8, (0..48).map(|v| v as f64 * 0.1 - 2.0).collect()));
         let y = block.forward(&mut g, x);
         assert_eq!(g.value(y).shape(), (6, 8));
@@ -77,7 +77,7 @@ mod tests {
         let mut params = Parameters::new();
         let mut rng = StdRng::seed_from_u64(2);
         let block = TransformerBlock::new(&mut params, &mut rng, "t", 6, 2);
-        let mut g = Graph::new(&mut params);
+        let mut g = Graph::new(&params);
         let x = g.input(Tensor::from_vec(4, 6, (0..24).map(|v| (v as f64 * 0.37).sin()).collect()));
         let y = block.forward(&mut g, x);
         let sq = g.mul(y, y);
@@ -85,7 +85,7 @@ mod tests {
         g.backward(l);
         let touched = params
             .ids()
-            .filter(|&id| params.grad(id).data().iter().any(|v| v.abs() > 1e-14))
+            .filter(|&id| g.grads().grad(id).is_some_and(|t| t.data().iter().any(|v| v.abs() > 1e-14)))
             .count();
         // All weight matrices receive gradient (the final ff2 bias always does).
         assert!(touched >= params.len() - 1, "{touched} of {}", params.len());

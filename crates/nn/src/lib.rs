@@ -25,5 +25,5 @@ pub mod params;
 pub mod tensor;
 
 pub use graph::{Graph, NodeId};
-pub use params::{ParamId, Parameters};
+pub use params::{GradStore, ParamId, Parameters};
 pub use tensor::Tensor;

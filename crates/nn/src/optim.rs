@@ -1,8 +1,13 @@
 //! Optimizers: plain SGD and Adam (the paper trains with lr = 3e-4 Adam-style).
+//!
+//! Optimizers consume a [`GradStore`] produced by one tape (or reduced from
+//! several data-parallel shard tapes) and update the shared [`Parameters`].
+//! A parameter with no gradient slot is treated as having an exact zero
+//! gradient: momentum/moment state still decays, matching dense behavior.
 
 use serde::{Deserialize, Serialize};
 
-use crate::params::Parameters;
+use crate::params::{GradStore, Parameters};
 use crate::tensor::Tensor;
 
 /// Stochastic gradient descent with optional momentum.
@@ -30,8 +35,8 @@ impl Sgd {
         self.lr = lr;
     }
 
-    /// Apply one update step using the accumulated gradients.
-    pub fn step(&mut self, params: &mut Parameters) {
+    /// Apply one update step using the given gradients.
+    pub fn step(&mut self, params: &mut Parameters, grads: &GradStore) {
         if self.momentum != 0.0 && self.velocity.len() != params.len() {
             self.velocity = params
                 .ids()
@@ -42,16 +47,20 @@ impl Sgd {
                 .collect();
         }
         for id in params.ids().collect::<Vec<_>>() {
-            let g = params.grad(id).clone();
+            let grad = grads.grad(id);
             if self.momentum != 0.0 {
                 let v = &mut self.velocity[id.index()];
-                for (vv, gv) in v.data_mut().iter_mut().zip(g.data()) {
-                    *vv = self.momentum * *vv + gv;
+                if let Some(g) = grad {
+                    for (vv, gv) in v.data_mut().iter_mut().zip(g.data()) {
+                        *vv = self.momentum * *vv + gv;
+                    }
+                } else {
+                    v.data_mut().iter_mut().for_each(|vv| *vv *= self.momentum);
                 }
                 let v = self.velocity[id.index()].clone();
                 params.value_mut(id).axpy(-self.lr, &v);
-            } else {
-                params.value_mut(id).axpy(-self.lr, &g);
+            } else if let Some(g) = grad {
+                params.value_mut(id).axpy(-self.lr, g);
             }
         }
     }
@@ -98,22 +107,30 @@ impl Adam {
         }
     }
 
-    /// Apply one update step using the accumulated gradients.
-    pub fn step(&mut self, params: &mut Parameters) {
+    /// Apply one update step using the given gradients.
+    pub fn step(&mut self, params: &mut Parameters, grads: &GradStore) {
         self.ensure_state(params);
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for id in params.ids().collect::<Vec<_>>() {
             let ix = id.index();
-            let g = params.grad(id).clone();
-            let m = &mut self.m[ix];
-            for (mv, gv) in m.data_mut().iter_mut().zip(g.data()) {
-                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
-            }
-            let v = &mut self.v[ix];
-            for (vv, gv) in v.data_mut().iter_mut().zip(g.data()) {
-                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+            match grads.grad(id) {
+                Some(g) => {
+                    let m = &mut self.m[ix];
+                    for (mv, gv) in m.data_mut().iter_mut().zip(g.data()) {
+                        *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+                    }
+                    let v = &mut self.v[ix];
+                    for (vv, gv) in v.data_mut().iter_mut().zip(g.data()) {
+                        *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+                    }
+                }
+                None => {
+                    // Zero gradient: moments decay exactly as dense zeros would.
+                    self.m[ix].data_mut().iter_mut().for_each(|mv| *mv *= self.beta1);
+                    self.v[ix].data_mut().iter_mut().for_each(|vv| *vv *= self.beta2);
+                }
             }
             let (m, v) = (&self.m[ix], &self.v[ix]);
             let value = params.value_mut(id);
@@ -132,18 +149,17 @@ mod tests {
     use crate::graph::Graph;
 
     /// Minimize (w - 5)² and check both optimizers converge.
-    fn quadratic_converges(mut step: impl FnMut(&mut Parameters), iters: usize) -> f64 {
+    fn quadratic_converges(mut step: impl FnMut(&mut Parameters, &GradStore), iters: usize) -> f64 {
         let mut params = Parameters::new();
         let w = params.register("w", Tensor::scalar(0.0));
         for _ in 0..iters {
-            params.zero_grads();
-            let mut g = Graph::new(&mut params);
+            let mut g = Graph::new(&params);
             let wn = g.param(w);
             let t = g.input(Tensor::scalar(5.0));
             let d = g.sub(wn, t);
             let loss = g.mul(d, d);
-            g.backward(loss);
-            step(&mut params);
+            let (_, grads) = g.finish(loss);
+            step(&mut params, &grads);
         }
         params.value(w).item()
     }
@@ -151,21 +167,43 @@ mod tests {
     #[test]
     fn sgd_converges_on_quadratic() {
         let mut opt = Sgd::new(0.1);
-        let w = quadratic_converges(|p| opt.step(p), 200);
+        let w = quadratic_converges(|p, g| opt.step(p, g), 200);
         assert!((w - 5.0).abs() < 1e-6, "w = {w}");
     }
 
     #[test]
     fn sgd_momentum_converges_on_quadratic() {
         let mut opt = Sgd::with_momentum(0.05, 0.9);
-        let w = quadratic_converges(|p| opt.step(p), 300);
+        let w = quadratic_converges(|p, g| opt.step(p, g), 300);
         assert!((w - 5.0).abs() < 1e-4, "w = {w}");
     }
 
     #[test]
     fn adam_converges_on_quadratic() {
         let mut opt = Adam::new(0.3);
-        let w = quadratic_converges(|p| opt.step(p), 300);
+        let w = quadratic_converges(|p, g| opt.step(p, g), 300);
         assert!((w - 5.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn adam_missing_grad_slot_matches_dense_zero() {
+        // Two runs: one where a second parameter has an explicit zero grad,
+        // one where its slot is absent. Updates must be identical.
+        let run = |dense: bool| {
+            let mut params = Parameters::new();
+            let a = params.register("a", Tensor::scalar(1.0));
+            let b = params.register("b", Tensor::scalar(2.0));
+            let mut opt = Adam::new(0.1);
+            for step in 0..5 {
+                let mut grads = GradStore::new();
+                *grads.entry(a, 1, 1) = Tensor::scalar(1.0 + step as f64);
+                if dense {
+                    grads.entry(b, 1, 1); // allocate an all-zero slot
+                }
+                opt.step(&mut params, &grads);
+            }
+            (params.value(a).item(), params.value(b).item())
+        };
+        assert_eq!(run(true), run(false));
     }
 }

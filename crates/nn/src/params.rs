@@ -1,9 +1,13 @@
 //! Shared trainable parameter storage.
 //!
-//! Parameters live outside the per-step autodiff [`crate::Graph`]: each forward
-//! pass references them by [`ParamId`], `backward` accumulates into the matching
-//! gradient slot, and an optimizer applies the update. This mirrors the
-//! PyTorch `nn.Parameter` / optimizer split the paper's implementation uses.
+//! Parameter *values* and *gradients* live in separate stores. [`Parameters`]
+//! holds the values and is read-only during a forward/backward pass, so any
+//! number of tapes (one per data-parallel shard, or concurrent inference
+//! calls) can share `&Parameters` without locking. Each [`crate::Graph`]
+//! accumulates into its own private [`GradStore`]; shard stores are reduced
+//! with [`GradStore::accumulate`] in a fixed order, and an optimizer consumes
+//! the reduced store. This mirrors the PyTorch `nn.Parameter` / optimizer
+//! split the paper's implementation uses, extended for data parallelism.
 
 use serde::{Deserialize, Serialize};
 
@@ -20,11 +24,10 @@ impl ParamId {
     }
 }
 
-/// A flat store of named parameter tensors and their accumulated gradients.
+/// A flat store of named parameter tensors (values only — see [`GradStore`]).
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Parameters {
     values: Vec<Tensor>,
-    grads: Vec<Tensor>,
     names: Vec<String>,
 }
 
@@ -36,7 +39,6 @@ impl Parameters {
     /// Register a new parameter with an initial value.
     pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
         let id = ParamId(self.values.len());
-        self.grads.push(Tensor::zeros(value.rows(), value.cols()));
         self.values.push(value);
         self.names.push(name.into());
         id
@@ -58,14 +60,6 @@ impl Parameters {
         &mut self.values[id.0]
     }
 
-    pub fn grad(&self, id: ParamId) -> &Tensor {
-        &self.grads[id.0]
-    }
-
-    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
-        &mut self.grads[id.0]
-    }
-
     pub fn name(&self, id: ParamId) -> &str {
         &self.names[id.0]
     }
@@ -75,32 +69,9 @@ impl Parameters {
         (0..self.values.len()).map(ParamId)
     }
 
-    /// Reset every gradient to zero.
-    pub fn zero_grads(&mut self) {
-        for g in &mut self.grads {
-            g.fill_zero();
-        }
-    }
-
     /// Total number of scalar parameters.
     pub fn num_scalars(&self) -> usize {
         self.values.iter().map(Tensor::len).sum()
-    }
-
-    /// Global L2 norm of all gradients (used for clipping diagnostics).
-    pub fn grad_norm(&self) -> f64 {
-        self.grads.iter().map(|g| g.data().iter().map(|v| v * v).sum::<f64>()).sum::<f64>().sqrt()
-    }
-
-    /// Scale all gradients so the global norm does not exceed `max_norm`.
-    pub fn clip_grad_norm(&mut self, max_norm: f64) {
-        let norm = self.grad_norm();
-        if norm > max_norm && norm > 0.0 {
-            let s = max_norm / norm;
-            for g in &mut self.grads {
-                g.data_mut().iter_mut().for_each(|v| *v *= s);
-            }
-        }
     }
 
     /// Copy all values from `other` (shapes must match; used for expert cloning
@@ -110,6 +81,94 @@ impl Parameters {
         for (dst, src) in self.values.iter_mut().zip(&other.values) {
             assert_eq!(dst.shape(), src.shape(), "parameter shape mismatch");
             *dst = src.clone();
+        }
+    }
+}
+
+/// Per-tape gradient accumulator, indexed by [`ParamId`].
+///
+/// Slots are allocated lazily: a parameter that never receives gradient costs
+/// nothing (important for the frozen embedding tables, which dominate the
+/// parameter count). A missing slot is semantically a zero gradient.
+#[derive(Clone, Debug, Default)]
+pub struct GradStore {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl GradStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gradient for `id`, if any was accumulated (`None` ⇔ zero).
+    pub fn grad(&self, id: ParamId) -> Option<&Tensor> {
+        self.grads.get(id.0).and_then(Option::as_ref)
+    }
+
+    /// Mutable gradient slot for `id`, allocated as zeros on first touch.
+    pub fn entry(&mut self, id: ParamId, rows: usize, cols: usize) -> &mut Tensor {
+        if self.grads.len() <= id.0 {
+            self.grads.resize(id.0 + 1, None);
+        }
+        let slot = &mut self.grads[id.0];
+        let g = slot.get_or_insert_with(|| Tensor::zeros(rows, cols));
+        debug_assert_eq!(g.shape(), (rows, cols), "gradient shape mismatch");
+        g
+    }
+
+    /// Iterate over all allocated (non-zero-capable) gradient slots.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> + '_ {
+        self.grads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|t| (ParamId(i), t)))
+    }
+
+    /// Number of allocated gradient slots.
+    pub fn num_allocated(&self) -> usize {
+        self.grads.iter().filter(|g| g.is_some()).count()
+    }
+
+    /// Drop all accumulated gradients.
+    pub fn clear(&mut self) {
+        self.grads.clear();
+    }
+
+    /// Add another store's gradients into this one (shard reduction).
+    ///
+    /// Reduction order is whatever order the caller invokes this in; for
+    /// deterministic training, accumulate shard stores in ascending shard
+    /// index.
+    pub fn accumulate(&mut self, other: &GradStore) {
+        for (id, g) in other.iter() {
+            self.entry(id, g.rows(), g.cols()).add_assign(g);
+        }
+    }
+
+    /// Multiply every accumulated gradient by `factor` (e.g. `1/K` after
+    /// reducing `K` shard stores whose losses should be averaged).
+    pub fn scale(&mut self, factor: f64) {
+        for g in self.grads.iter_mut().flatten() {
+            g.data_mut().iter_mut().for_each(|v| *v *= factor);
+        }
+    }
+
+    /// Global L2 norm over all accumulated gradients.
+    pub fn norm(&self) -> f64 {
+        self.iter()
+            .map(|(_, g)| g.data().iter().map(|v| v * v).sum::<f64>())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Scale all gradients so the global norm does not exceed `max_norm`.
+    pub fn clip_norm(&mut self, max_norm: f64) {
+        let norm = self.norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for g in self.grads.iter_mut().flatten() {
+                g.data_mut().iter_mut().for_each(|v| *v *= s);
+            }
         }
     }
 }
@@ -134,12 +193,39 @@ mod tests {
     fn grad_clip_scales_down_only() {
         let mut p = Parameters::new();
         let a = p.register("w", Tensor::zeros(1, 2));
-        *p.grad_mut(a) = Tensor::from_vec(1, 2, vec![3.0, 4.0]);
-        p.clip_grad_norm(10.0);
-        assert_eq!(p.grad(a).data(), &[3.0, 4.0]);
-        p.clip_grad_norm(1.0);
-        let n = p.grad_norm();
-        assert!((n - 1.0).abs() < 1e-12);
+        let mut g = GradStore::new();
+        *g.entry(a, 1, 2) = Tensor::from_vec(1, 2, vec![3.0, 4.0]);
+        g.clip_norm(10.0);
+        assert_eq!(g.grad(a).unwrap().data(), &[3.0, 4.0]);
+        g.clip_norm(1.0);
+        assert!((g.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grads_allocate_lazily() {
+        let mut p = Parameters::new();
+        let a = p.register("w", Tensor::zeros(4, 4));
+        let b = p.register("frozen", Tensor::zeros(1000, 64));
+        let mut g = GradStore::new();
+        g.entry(a, 4, 4).data_mut()[0] = 1.0;
+        assert_eq!(g.num_allocated(), 1, "untouched params must not allocate");
+        assert!(g.grad(b).is_none());
+        assert_eq!(g.grad(a).unwrap().get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn accumulate_sums_sparse_stores() {
+        let mut p = Parameters::new();
+        let a = p.register("a", Tensor::zeros(1, 2));
+        let b = p.register("b", Tensor::zeros(1, 1));
+        let mut g1 = GradStore::new();
+        *g1.entry(a, 1, 2) = Tensor::from_vec(1, 2, vec![1.0, 2.0]);
+        let mut g2 = GradStore::new();
+        *g2.entry(a, 1, 2) = Tensor::from_vec(1, 2, vec![10.0, 20.0]);
+        *g2.entry(b, 1, 1) = Tensor::scalar(5.0);
+        g1.accumulate(&g2);
+        assert_eq!(g1.grad(a).unwrap().data(), &[11.0, 22.0]);
+        assert_eq!(g1.grad(b).unwrap().item(), 5.0);
     }
 
     #[test]

@@ -31,8 +31,7 @@ fn matmul_grad() {
             let bn = g.param(b);
             let c = g.matmul(an, bn);
             let l = g.sum_all(c);
-            g.backward(l);
-            g.value(l).item()
+            g.finish(l)
         },
         EPS,
         TOL,
@@ -55,8 +54,7 @@ fn matmul_nt_grad() {
             // Square to make the loss nonlinear in each factor.
             let sq = g.mul(c, c);
             let l = g.sum_all(sq);
-            g.backward(l);
-            g.value(l).item()
+            g.finish(l)
         },
         EPS,
         TOL,
@@ -80,8 +78,7 @@ fn elementwise_ops_grad() {
             let m = g.mul(d, bn);
             let sc = g.scale(m, 0.7);
             let l = g.sum_all(sc);
-            g.backward(l);
-            g.value(l).item()
+            g.finish(l)
         },
         EPS,
         TOL,
@@ -101,8 +98,7 @@ fn activations_grad() {
             let s = g.sigmoid(an);
             let t = g.tanh(s);
             let l = g.sum_all(t);
-            g.backward(l);
-            g.value(l).item()
+            g.finish(l)
         },
         EPS,
         TOL,
@@ -122,8 +118,7 @@ fn relu_grad_away_from_kink() {
             let r = g.relu(an);
             let sq = g.mul(r, r);
             let l = g.sum_all(sq);
-            g.backward(l);
-            g.value(l).item()
+            g.finish(l)
         },
         EPS,
         TOL,
@@ -141,8 +136,7 @@ fn ln_grad() {
             let an = g.param(a);
             let l0 = g.ln(an);
             let l = g.sum_all(l0);
-            g.backward(l);
-            g.value(l).item()
+            g.finish(l)
         },
         EPS,
         TOL,
@@ -164,8 +158,7 @@ fn add_row_grad() {
             let s = g.add_row(an, rn);
             let sq = g.mul(s, s);
             let l = g.sum_all(sq);
-            g.backward(l);
-            g.value(l).item()
+            g.finish(l)
         },
         EPS,
         TOL,
@@ -187,8 +180,7 @@ fn slice_concat_grad() {
             let m = g.mul(left, right);
             let back = g.concat_cols(&[m, left]);
             let l = g.sum_all(back);
-            g.backward(l);
-            g.value(l).item()
+            g.finish(l)
         },
         EPS,
         TOL,
@@ -210,8 +202,7 @@ fn concat_rows_grad() {
             let s = g.concat_rows(&[an, bn, an]);
             let sq = g.mul(s, s);
             let l = g.sum_all(sq);
-            g.backward(l);
-            g.value(l).item()
+            g.finish(l)
         },
         EPS,
         TOL,
@@ -231,8 +222,7 @@ fn mean_rows_grad() {
             let m = g.mean_rows(an);
             let sq = g.mul(m, m);
             let l = g.sum_all(sq);
-            g.backward(l);
-            g.value(l).item()
+            g.finish(l)
         },
         EPS,
         TOL,
@@ -254,8 +244,7 @@ fn softmax_rows_grad() {
             let s = g.softmax_rows(an);
             let m = g.mul(s, wn);
             let l = g.sum_all(m);
-            g.backward(l);
-            g.value(l).item()
+            g.finish(l)
         },
         EPS,
         TOL,
@@ -275,8 +264,7 @@ fn cos_sim_grad() {
             let an = g.param(a);
             let bn = g.param(b);
             let c = g.cos_sim(an, bn);
-            g.backward(c);
-            g.value(c).item()
+            g.finish(c)
         },
         EPS,
         TOL,
@@ -297,8 +285,7 @@ fn dot_grad() {
             let bn = g.param(b);
             let d = g.dot(an, bn);
             let sq = g.mul(d, d);
-            g.backward(sq);
-            g.value(sq).item()
+            g.finish(sq)
         },
         EPS,
         TOL,
@@ -320,8 +307,7 @@ fn log_sum_exp_grad() {
             let bn = g.param(b);
             let cn = g.param(c);
             let l = g.log_sum_exp(&[an, bn, cn]);
-            g.backward(l);
-            g.value(l).item()
+            g.finish(l)
         },
         EPS,
         TOL,
@@ -339,8 +325,7 @@ fn cross_entropy_grad() {
             let mut g = Graph::new(p);
             let an = g.param(a);
             let l = g.cross_entropy(an, 2);
-            g.backward(l);
-            g.value(l).item()
+            g.finish(l)
         },
         EPS,
         TOL,
@@ -359,8 +344,7 @@ fn embedding_grad() {
             let e = emb.forward(&mut g, &[0, 2, 2, 4]);
             let sq = g.mul(e, e);
             let l = g.sum_all(sq);
-            g.backward(l);
-            g.value(l).item()
+            g.finish(l)
         },
         EPS,
         TOL,
@@ -381,8 +365,7 @@ fn linear_grad() {
             let y = lin.forward(&mut g, xn);
             let t = g.tanh(y);
             let l = g.sum_all(t);
-            g.backward(l);
-            g.value(l).item()
+            g.finish(l)
         },
         EPS,
         TOL,
@@ -403,8 +386,7 @@ fn lstm_grad() {
             let h = lstm.forward_last(&mut g, &nodes);
             let sq = g.mul(h, h);
             let l = g.sum_all(sq);
-            g.backward(l);
-            g.value(l).item()
+            g.finish(l)
         },
         EPS,
         TOL,
@@ -425,8 +407,7 @@ fn gru_grad() {
             let h = gru.forward_last(&mut g, &nodes);
             let sq = g.mul(h, h);
             let l = g.sum_all(sq);
-            g.backward(l);
-            g.value(l).item()
+            g.finish(l)
         },
         EPS,
         TOL,
@@ -447,8 +428,7 @@ fn attention_grad() {
             let y = attn.forward(&mut g, xn);
             let sq = g.mul(y, y);
             let l = g.sum_all(sq);
-            g.backward(l);
-            g.value(l).item()
+            g.finish(l)
         },
         EPS,
         TOL,
@@ -483,8 +463,7 @@ fn contrastive_composite_grad() {
             let lse = g.log_sum_exp(&[neg]);
             let obj = g.sub(pos, lse);
             let loss = g.scale(obj, -1.0);
-            g.backward(loss);
-            g.value(loss).item()
+            g.finish(loss)
         },
         EPS,
         TOL,
@@ -506,8 +485,7 @@ fn layer_norm_grad() {
             let ln = g.layer_norm_rows(an, 1e-5);
             let m = g.mul(ln, wn);
             let l = g.sum_all(m);
-            g.backward(l);
-            g.value(l).item()
+            g.finish(l)
         },
         EPS,
         TOL,
@@ -530,8 +508,7 @@ fn slice_rows_grad() {
             let joined = g.concat_rows(&[top, top2]);
             let prod = g.mul(mid, joined);
             let l = g.sum_all(prod);
-            g.backward(l);
-            g.value(l).item()
+            g.finish(l)
         },
         EPS,
         TOL,

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Record serial-vs-parallel timings for data-parallel WSC training and
+# lock-free batched inference. Writes BENCH_parallel.json at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --bin bench_parallel
+cargo run --release --quiet --bin bench_parallel
+echo
+echo "BENCH_parallel.json:"
+cat BENCH_parallel.json

@@ -1,0 +1,184 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness exposing the API surface the
+//! repository's benches use: [`Criterion::bench_function`], [`Bencher::iter`]
+//! / [`Bencher::iter_batched`], `criterion_group!` / `criterion_main!`, and
+//! `black_box`. Each benchmark is auto-calibrated to a target sampling time,
+//! then reports min/mean/median per-iteration wall time to stdout.
+//!
+//! No statistics engine, plots, or baseline comparison — just honest timing.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier re-exported for API compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched inputs are sized; only a hint in this implementation.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark driver handed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over the calibrated iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` excluding per-iteration `setup` cost.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Benchmark registry/configuration, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20, target_time: Duration::from_millis(500) }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.target_time = t;
+        self
+    }
+
+    /// Run one benchmark: calibrate iterations/sample, collect samples,
+    /// print a summary line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Calibrate: grow the iteration count until one sample is ≥ 1ms
+        // (or the routine is so slow a single iteration suffices).
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        // Fit the sample count into the target time budget.
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_sample = b.elapsed.max(Duration::from_nanos(1));
+        let budget_samples =
+            (self.target_time.as_nanos() / per_sample.as_nanos().max(1)).max(2) as usize;
+        let samples = self.sample_size.min(budget_samples).max(2);
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter_ns[0];
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        println!(
+            "{name:<40} min {:>12}  median {:>12}  mean {:>12}  ({samples} samples x {iters} iters)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20));
+        let mut count = 0u64;
+        c.bench_function("noop_sum", |b| b.iter(|| count = count.wrapping_add(1)));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher { iters: 10, elapsed: Duration::ZERO };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+}

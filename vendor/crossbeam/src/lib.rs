@@ -1,0 +1,79 @@
+//! Offline vendored stand-in for `crossbeam`.
+//!
+//! Only `crossbeam::thread::scope` is provided, layered over
+//! `std::thread::scope` (stable since Rust 1.63). The API mirrors upstream:
+//! `scope` returns a `Result` (always `Ok` here — panics propagate through
+//! join handles instead of poisoning the scope), and the closure passed to
+//! `spawn` receives a scope reference argument, so existing `|_|` closures
+//! compile unchanged.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scoped-thread handle mirroring `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Mirrors `crossbeam::thread::Scope`: spawn closures take `&Scope`.
+    pub struct Scope<'env, 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'env, 'scope> Scope<'env, 'scope> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'env, 'scope>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = Scope { inner: self.inner };
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing-spawned threads are joined
+    /// before `scope` returns. Upstream returns `Err` only when a spawned
+    /// thread panicked *and* its handle was leaked unjoined; with
+    /// `std::thread::scope` such a panic resumes on the parent thread
+    /// instead, so this always returns `Ok`.
+    #[allow(clippy::result_unit_err)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'env, 'scope>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1, 2, 3, 4];
+        let total: i32 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<i32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::thread::scope(|s| {
+            let h = s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,408 @@
+//! Offline vendored `Serialize`/`Deserialize` derive macros.
+//!
+//! `syn`/`quote` are unavailable in this offline build, so the item is parsed
+//! directly from the raw [`proc_macro::TokenStream`]. Only the shapes this
+//! repository actually derives are supported: non-generic structs (named,
+//! tuple, unit) and non-generic enums (unit, tuple, and struct variants).
+//! Generated code targets the vendored `serde` crate's `Value` data model and
+//! mirrors real serde's externally-tagged JSON layout.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skip `#[...]` attributes (including doc comments) at `i`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while *i < tokens.len() && is_punct(&tokens[*i], '#') {
+        *i += 1; // '#'
+        if *i < tokens.len() && matches!(&tokens[*i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)` at `i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if *i < tokens.len() && matches!(&tokens[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if *i < tokens.len()
+            && matches!(&tokens[*i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Parse named fields out of a brace group: returns the field names in order.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => names.push(id.to_string()),
+            other => panic!("serde_derive: expected field name, found `{other}`"),
+        }
+        i += 1;
+        assert!(
+            i < tokens.len() && is_punct(&tokens[i], ':'),
+            "serde_derive: expected `:` after field `{}`",
+            names.last().unwrap()
+        );
+        i += 1;
+        // Skip the type: consume until a comma at angle-bracket depth zero.
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Count comma-separated chunks of a paren group (tuple struct/variant arity).
+fn tuple_arity(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle: i32 = 0;
+    let mut saw_tokens_since_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                arity += 1;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        arity -= 1; // trailing comma
+    }
+    arity
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let fields = if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let f = Fields::Named(parse_named_fields(g.stream()));
+                    i += 1;
+                    f
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    let f = Fields::Tuple(tuple_arity(g.stream()));
+                    i += 1;
+                    f
+                }
+                _ => Fields::Unit,
+            }
+        } else {
+            Fields::Unit
+        };
+        // Skip an optional explicit discriminant, then the separating comma.
+        while i < tokens.len() && !is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        if i < tokens.len() {
+            i += 1; // ','
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde_derive (vendored): generic types are not supported (deriving `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = if i >= tokens.len() || is_punct(&tokens[i], ';') {
+                Fields::Unit
+            } else {
+                match &tokens[i] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        Fields::Named(parse_named_fields(g.stream()))
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                        Fields::Tuple(tuple_arity(g.stream()))
+                    }
+                    other => panic!("serde_derive: unexpected token `{other}` in struct `{name}`"),
+                }
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found `{other}`"),
+            };
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let mut s = String::from("let mut o = Vec::new();\n");
+                    for f in names {
+                        s.push_str(&format!(
+                            "o.push((\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})));\n"
+                        ));
+                    }
+                    s.push_str("serde::Value::Object(o)");
+                    s
+                }
+                Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> serde::Value {{ {body} }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let pushes: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Object(vec![{}]))]),\n",
+                            fs.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+fn gen_named_ctor(ty_path: &str, ctx: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::Deserialize::from_value(serde::field(o, \"{f}\", \"{ctx}\")?)?"
+            )
+        })
+        .collect();
+    format!("{ty_path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => format!(
+                    "let o = v.as_object(\"{name}\")?;\nOk({})",
+                    gen_named_ctor(name, name, fs)
+                ),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Deserialize::from_value(&a[{k}])?"))
+                        .collect();
+                    format!(
+                        "let a = v.as_array(\"{name}\")?;\n\
+                         if a.len() != {n} {{ return Err(serde::DeError::new(\
+                            format!(\"{name}: expected {n} elements, got {{}}\", a.len()))); }}\n\
+                         Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Unit => format!("let _ = v; Ok({name})"),
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        str_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"))
+                    }
+                    Fields::Tuple(n) => {
+                        let body = if *n == 1 {
+                            format!("Ok({name}::{vn}(serde::Deserialize::from_value(inner)?))")
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Deserialize::from_value(&a[{k}])?"))
+                                .collect();
+                            format!(
+                                "{{ let a = inner.as_array(\"{name}::{vn}\")?;\n\
+                                 if a.len() != {n} {{ return Err(serde::DeError::new(\
+                                    format!(\"{name}::{vn}: expected {n} elements, got {{}}\", a.len()))); }}\n\
+                                 Ok({name}::{vn}({})) }}",
+                                items.join(", ")
+                            )
+                        };
+                        obj_arms.push_str(&format!("\"{vn}\" => {body},\n"));
+                    }
+                    Fields::Named(fs) => {
+                        let ctx = format!("{name}::{vn}");
+                        let ctor = gen_named_ctor(&ctx, &ctx, fs);
+                        obj_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let o = inner.as_object(\"{ctx}\")?; Ok({ctor}) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                     match v {{\n\
+                       serde::Value::Str(s) => match s.as_str() {{\n\
+                         {str_arms}\n\
+                         other => Err(serde::DeError::new(format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                       }},\n\
+                       serde::Value::Object(o) if o.len() == 1 => {{\n\
+                         let (tag, inner) = &o[0];\n\
+                         match tag.as_str() {{\n\
+                           {obj_arms}\n\
+                           other => Err(serde::DeError::new(format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                         }}\n\
+                       }},\n\
+                       other => Err(serde::DeError::new(format!(\"{name}: expected enum, got {{}}\", other.kind()))),\n\
+                     }}\n\
+                   }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
