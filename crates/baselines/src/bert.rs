@@ -12,9 +12,9 @@ use rand::{RngExt, SeedableRng};
 
 use wsccl_datagen::TemporalPathSample;
 use wsccl_nn::layers::{Linear, SelfAttention};
-use wsccl_nn::optim::Adam;
 use wsccl_nn::{Graph, NodeId, Parameters, Tensor};
 use wsccl_roadnet::RoadNetwork;
+use wsccl_train::{NoopObserver, TrainObserver, TrainSpec, Trainable, Trainer};
 
 use crate::common::{EdgeFeaturizer, FnRepresenter};
 
@@ -48,12 +48,7 @@ struct BertModel {
 
 impl BertModel {
     /// Encode a feature sequence; `mask` optionally replaces one position.
-    fn encode(
-        &self,
-        g: &mut Graph<'_>,
-        feats: &[Vec<f64>],
-        mask: Option<usize>,
-    ) -> NodeId {
+    fn encode(&self, g: &mut Graph<'_>, feats: &[Vec<f64>], mask: Option<usize>) -> NodeId {
         let rows: Vec<NodeId> = feats
             .iter()
             .enumerate()
@@ -77,8 +72,65 @@ impl BertModel {
     }
 }
 
+/// Masked-edge prediction over the unlabeled pool, as seen by the engine.
+/// The mask position and decoy edges are drawn from the per-step shard RNG.
+struct BertTrainable<'a> {
+    model: &'a BertModel,
+    ef: &'a EdgeFeaturizer,
+    pool: &'a [TemporalPathSample],
+    decoys: usize,
+    num_edges: usize,
+}
+
+impl Trainable for BertTrainable<'_> {
+    type Batch = usize;
+
+    fn epoch_batches(&mut self, _epoch: u64, _rng: &mut StdRng) -> Vec<usize> {
+        (0..self.pool.len()).collect()
+    }
+
+    fn build_loss(&self, g: &mut Graph<'_>, &i: &usize, rng: &mut StdRng) -> Option<NodeId> {
+        let sample = &self.pool[i];
+        let feats = self.ef.path(&sample.path);
+        if feats.len() < 2 {
+            return None;
+        }
+        let mask_pos = rng.random_range(0..feats.len());
+        let true_edge = sample.path.edges()[mask_pos];
+        let h = self.model.encode(g, &feats, Some(mask_pos));
+        // Output at the masked position.
+        let mut sel = Tensor::zeros(1, feats.len());
+        sel.set(0, mask_pos, 1.0);
+        let sel_n = g.input(sel);
+        let hm = g.matmul(sel_n, h); // (1, dim)
+
+        // Candidates: true edge first, then decoys.
+        let mut cand_rows: Vec<NodeId> = Vec::with_capacity(self.decoys + 1);
+        let t = g.input(Tensor::row(self.ef.edge(true_edge).to_vec()));
+        cand_rows.push(self.model.edge_proj.forward(g, t));
+        for _ in 0..self.decoys {
+            let d = wsccl_roadnet::EdgeId(rng.random_range(0..self.num_edges as u32));
+            let x = g.input(Tensor::row(self.ef.edge(d).to_vec()));
+            cand_rows.push(self.model.edge_proj.forward(g, x));
+        }
+        let cands = g.concat_rows(&cand_rows); // (k+1, dim)
+        let logits = g.matmul_nt(hm, cands); // (1, k+1)
+        Some(g.cross_entropy(logits, 0))
+    }
+}
+
 /// Train the BERT baseline on the unlabeled pool.
 pub fn train(net: &RoadNetwork, pool: &[TemporalPathSample], cfg: &BertConfig) -> FnRepresenter {
+    train_observed(net, pool, cfg, &mut NoopObserver)
+}
+
+/// [`train`] with a [`TrainObserver`] receiving per-step records.
+pub fn train_observed(
+    net: &RoadNetwork,
+    pool: &[TemporalPathSample],
+    cfg: &BertConfig,
+    observer: &mut dyn TrainObserver,
+) -> FnRepresenter {
     assert!(!pool.is_empty(), "BERT needs a non-empty pool");
     let ef = EdgeFeaturizer::new(net);
     let mut params = Parameters::new();
@@ -90,49 +142,21 @@ pub fn train(net: &RoadNetwork, pool: &[TemporalPathSample], cfg: &BertConfig) -
             .collect(),
         edge_proj: Linear::new(&mut params, &mut rng, "bert.edge", ef.dim(), cfg.dim),
         mask_vec: params.register("bert.mask", wsccl_nn::init::normal(&mut rng, 1, cfg.dim, 0.1)),
-        pos_table: params.register(
-            "bert.pos",
-            wsccl_nn::init::normal(&mut rng, cfg.max_len, cfg.dim, 0.1),
-        ),
+        pos_table: params
+            .register("bert.pos", wsccl_nn::init::normal(&mut rng, cfg.max_len, cfg.dim, 0.1)),
         dim: cfg.dim,
         max_len: cfg.max_len,
     };
-    let mut opt = Adam::new(cfg.lr);
-    let num_edges = net.num_edges();
-
-    for _ in 0..cfg.epochs {
-        for sample in pool {
-            let feats = ef.path(&sample.path);
-            if feats.len() < 2 {
-                continue;
-            }
-            let mask_pos = rng.random_range(0..feats.len());
-            let true_edge = sample.path.edges()[mask_pos];
-            let mut g = Graph::new(&params);
-            let h = model.encode(&mut g, &feats, Some(mask_pos));
-            // Output at the masked position.
-            let mut sel = Tensor::zeros(1, feats.len());
-            sel.set(0, mask_pos, 1.0);
-            let sel_n = g.input(sel);
-            let hm = g.matmul(sel_n, h); // (1, dim)
-
-            // Candidates: true edge first, then decoys.
-            let mut cand_rows: Vec<NodeId> = Vec::with_capacity(cfg.decoys + 1);
-            let t = g.input(Tensor::row(ef.edge(true_edge).to_vec()));
-            cand_rows.push(model.edge_proj.forward(&mut g, t));
-            for _ in 0..cfg.decoys {
-                let d = wsccl_roadnet::EdgeId(rng.random_range(0..num_edges as u32));
-                let x = g.input(Tensor::row(ef.edge(d).to_vec()));
-                cand_rows.push(model.edge_proj.forward(&mut g, x));
-            }
-            let cands = g.concat_rows(&cand_rows); // (k+1, dim)
-            let logits = g.matmul_nt(hm, cands); // (1, k+1)
-            let loss = g.cross_entropy(logits, 0);
-            g.backward(loss);
-            let grads = g.into_grads();
-            opt.step(&mut params, &grads);
-        }
-    }
+    let mut trainer = Trainer::new(TrainSpec::adam(cfg.lr, cfg.epochs, cfg.seed));
+    let mut t = BertTrainable {
+        model: &model,
+        ef: &ef,
+        pool,
+        decoys: cfg.decoys,
+        num_edges: net.num_edges(),
+    };
+    trainer.run(&mut t, &mut params, cfg.epochs, observer);
+    drop(t);
 
     let dim = model.dim;
     FnRepresenter::new("BERT", dim, move |_net, path, _dep| {

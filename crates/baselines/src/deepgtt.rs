@@ -13,10 +13,10 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use wsccl_nn::layers::Linear;
-use wsccl_nn::optim::Adam;
 use wsccl_nn::{Graph, NodeId, Parameters, Tensor};
 use wsccl_roadnet::{Path, RoadNetwork};
 use wsccl_traffic::SimTime;
+use wsccl_train::{NoopObserver, TrainObserver, TrainSpec, Trainable, Trainer};
 
 use crate::common::{time_features, EdgeFeaturizer, FnRepresenter, TIME_DIM};
 use crate::pathrank::RegressionExample;
@@ -26,12 +26,43 @@ pub struct DeepGttConfig {
     pub hidden: usize,
     pub epochs: usize,
     pub lr: f64,
+    /// Max L2 norm of each step's gradient.
+    pub grad_clip: f64,
     pub seed: u64,
 }
 
 impl Default for DeepGttConfig {
     fn default() -> Self {
-        Self { hidden: 24, epochs: 6, lr: 3e-3, seed: 0 }
+        Self { hidden: 24, epochs: 6, lr: 3e-3, grad_clip: 5.0, seed: 0 }
+    }
+}
+
+/// Per-example travel-time regression, as seen by the engine. The model's
+/// `params` field is empty for the duration of training (the engine owns the
+/// live copy); `path_forward` never reads it.
+struct DeepGttTrainable<'a> {
+    model: &'a DeepGtt,
+    net: &'a RoadNetwork,
+    examples: &'a [RegressionExample],
+}
+
+impl Trainable for DeepGttTrainable<'_> {
+    type Batch = usize;
+
+    fn epoch_batches(&mut self, _epoch: u64, rng: &mut StdRng) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.examples.len()).collect();
+        order.shuffle(rng);
+        order
+    }
+
+    fn build_loss(&self, g: &mut Graph<'_>, &i: &usize, _rng: &mut StdRng) -> Option<NodeId> {
+        let ex = &self.examples[i];
+        let lengths: Vec<f64> = ex.path.edges().iter().map(|&e| self.net.edge(e).length).collect();
+        let tf = time_features(ex.departure);
+        let pred = self.model.path_forward(g, &ex.path, &lengths, &tf);
+        let scaled = g.scale(pred, 1.0 / self.model.target_scale);
+        let target = Tensor::scalar(ex.target / self.model.target_scale);
+        Some(g.mse_to_const(scaled, &target))
     }
 }
 
@@ -48,12 +79,7 @@ pub struct DeepGtt {
 
 impl DeepGtt {
     /// Per-edge hidden state and positive speed (m/s).
-    fn edge_forward(
-        &self,
-        g: &mut Graph<'_>,
-        feat: &[f64],
-        tf: &[f64],
-    ) -> (NodeId, NodeId) {
+    fn edge_forward(&self, g: &mut Graph<'_>, feat: &[f64], tf: &[f64]) -> (NodeId, NodeId) {
         let mut x = feat.to_vec();
         x.extend_from_slice(tf);
         let xn = g.input(Tensor::row(x));
@@ -95,42 +121,39 @@ impl DeepGtt {
 
     /// Train DeepGTT on regression examples.
     pub fn train(net: &RoadNetwork, examples: &[RegressionExample], cfg: &DeepGttConfig) -> Self {
+        Self::train_observed(net, examples, cfg, &mut NoopObserver)
+    }
+
+    /// [`Self::train`] with a [`TrainObserver`] receiving per-step records.
+    pub fn train_observed(
+        net: &RoadNetwork,
+        examples: &[RegressionExample],
+        cfg: &DeepGttConfig,
+        observer: &mut dyn TrainObserver,
+    ) -> Self {
         assert!(!examples.is_empty(), "DeepGTT needs labeled examples");
         let ef = EdgeFeaturizer::new(net);
         let mut params = Parameters::new();
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD6);
-        let l1 =
-            Linear::new(&mut params, &mut rng, "gtt.l1", EdgeFeaturizer::DIM + TIME_DIM, cfg.hidden);
+        let l1 = Linear::new(
+            &mut params,
+            &mut rng,
+            "gtt.l1",
+            EdgeFeaturizer::DIM + TIME_DIM,
+            cfg.hidden,
+        );
         let speed_head = Linear::new(&mut params, &mut rng, "gtt.speed", cfg.hidden, 1);
         let target_scale = (examples.iter().map(|e| e.target.abs()).sum::<f64>()
             / examples.len() as f64)
             .max(1e-6);
         let mut model = Self { params, l1, speed_head, ef, hidden: cfg.hidden, target_scale };
-        let mut opt = Adam::new(cfg.lr);
+        let mut params = std::mem::take(&mut model.params);
 
-        let mut order: Vec<usize> = (0..examples.len()).collect();
-        for _ in 0..cfg.epochs {
-            order.shuffle(&mut rng);
-            for &i in &order {
-                let ex = &examples[i];
-                let lengths: Vec<f64> =
-                    ex.path.edges().iter().map(|&e| net.edge(e).length).collect();
-                let tf = time_features(ex.departure);
-                let mut params = std::mem::take(&mut model.params);
-                let mut grads = {
-                    let mut g = Graph::new(&params);
-                    let pred = model.path_forward(&mut g, &ex.path, &lengths, &tf);
-                    let scaled = g.scale(pred, 1.0 / model.target_scale);
-                    let target = Tensor::scalar(ex.target / model.target_scale);
-                    let loss = g.mse_to_const(scaled, &target);
-                    g.backward(loss);
-                    g.into_grads()
-                };
-                grads.clip_norm(5.0);
-                opt.step(&mut params, &grads);
-                model.params = params;
-            }
-        }
+        let spec = TrainSpec::adam(cfg.lr, cfg.epochs, cfg.seed).with_grad_clip(cfg.grad_clip);
+        let mut trainer = Trainer::new(spec);
+        let mut t = DeepGttTrainable { model: &model, net, examples };
+        trainer.run(&mut t, &mut params, cfg.epochs, observer);
+        model.params = params;
         model
     }
 
@@ -190,11 +213,8 @@ mod tests {
                 target: t.travel_time,
             })
             .collect();
-        let mut model = DeepGtt::train(
-            &ds.net,
-            &examples,
-            &DeepGttConfig { epochs: 10, ..Default::default() },
-        );
+        let mut model =
+            DeepGtt::train(&ds.net, &examples, &DeepGttConfig { epochs: 10, ..Default::default() });
         let mae: f64 = examples
             .iter()
             .map(|e| (model.predict(&ds.net, &e.path, e.departure) - e.target).abs())

@@ -10,9 +10,9 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use wsccl_nn::layers::Linear;
-use wsccl_nn::optim::Adam;
 use wsccl_nn::{Graph, NodeId, Parameters, Tensor};
 use wsccl_roadnet::RoadNetwork;
+use wsccl_train::{NoopObserver, TrainObserver, TrainSpec, Trainable, Trainer};
 
 use crate::common::{EdgeFeaturizer, FnRepresenter};
 
@@ -73,43 +73,54 @@ impl Default for DgiConfig {
     }
 }
 
-/// Train DGI and return the path representer.
-pub fn train(net: &RoadNetwork, cfg: &DgiConfig) -> FnRepresenter {
-    let x = node_features(net);
-    let adj = mean_adjacency(net);
-    let in_dim = x.cols();
-    let n = net.num_nodes();
+fn encode(g: &mut Graph<'_>, enc: &Linear, adj: NodeId, feats: NodeId) -> NodeId {
+    let agg = g.matmul(adj, feats);
+    let h = enc.forward(g, agg);
+    g.relu(h)
+}
 
-    let mut params = Parameters::new();
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD61);
-    let enc = Linear::new(&mut params, &mut rng, "dgi.enc", in_dim, cfg.dim);
-    let disc = Linear::new_no_bias(&mut params, &mut rng, "dgi.disc", cfg.dim, cfg.dim);
-    let mut opt = Adam::new(cfg.lr);
+/// One full-graph InfoMax step per epoch, as seen by the engine. The batch is
+/// the corruption permutation, drawn from the engine RNG when the epoch's
+/// batch list is built.
+struct DgiTrainable<'a> {
+    enc: &'a Linear,
+    disc: &'a Linear,
+    x: &'a Tensor,
+    adj: &'a Tensor,
+    n: usize,
+}
 
-    // One corruption per epoch: shuffle feature rows.
-    let encode = |g: &mut Graph<'_>, enc: &Linear, adj: NodeId, feats: NodeId| {
-        let agg = g.matmul(adj, feats);
-        let h = enc.forward(g, agg);
-        g.relu(h)
-    };
+impl Trainable for DgiTrainable<'_> {
+    type Batch = Vec<usize>;
 
-    for epoch in 0..cfg.epochs {
-        let mut perm: Vec<usize> = (0..n).collect();
-        perm.shuffle(&mut rng);
+    fn epoch_batches(&mut self, _epoch: u64, rng: &mut StdRng) -> Vec<Vec<usize>> {
+        // One corruption per epoch: shuffle feature rows.
+        let mut perm: Vec<usize> = (0..self.n).collect();
+        perm.shuffle(rng);
+        vec![perm]
+    }
+
+    fn build_loss(
+        &self,
+        g: &mut Graph<'_>,
+        perm: &Vec<usize>,
+        _rng: &mut StdRng,
+    ) -> Option<NodeId> {
+        let (n, in_dim) = (self.n, self.x.cols());
         let mut xc = Tensor::zeros(n, in_dim);
         for (r, &p) in perm.iter().enumerate() {
-            xc.row_slice_mut(r).copy_from_slice(x.row_slice(p));
+            xc.row_slice_mut(r).copy_from_slice(self.x.row_slice(p));
         }
-        let mut g = Graph::new(&params);
-        let adj_n = g.input(adj.clone());
-        let x_n = g.input(x.clone());
+        let adj_n = g.input(self.adj.clone());
+        let x_n = g.input(self.x.clone());
         let xc_n = g.input(xc);
-        let z = encode(&mut g, &enc, adj_n, x_n);
-        let zc = encode(&mut g, &enc, adj_n, xc_n);
+        let z = encode(g, self.enc, adj_n, x_n);
+        let zc = encode(g, self.enc, adj_n, xc_n);
         // Summary s = σ(mean(z)).
         let mean_z = g.mean_rows(z);
         let s = g.sigmoid(mean_z);
-        let ws = disc.forward(&mut g, s); // (1, dim)
+        // (1, dim)
+        let ws = self.disc.forward(g, s);
         // Scores: z · wsᵀ → (n, 1); BCE with labels 1 (real) / 0 (corrupt).
         let pos_scores = g.matmul_nt(z, ws);
         let neg_scores = g.matmul_nt(zc, ws);
@@ -122,12 +133,34 @@ pub fn train(net: &RoadNetwork, cfg: &DgiConfig) -> FnRepresenter {
         let pos_sum = g.sum_all(pos_ln);
         let neg_sum = g.sum_all(neg_ln);
         let total = g.add(pos_sum, neg_sum);
-        let loss = g.scale(total, -1.0 / (2 * n) as f64);
-        let _ = epoch;
-        g.backward(loss);
-        let grads = g.into_grads();
-        opt.step(&mut params, &grads);
+        Some(g.scale(total, -1.0 / (2 * n) as f64))
     }
+}
+
+/// Train DGI and return the path representer.
+pub fn train(net: &RoadNetwork, cfg: &DgiConfig) -> FnRepresenter {
+    train_observed(net, cfg, &mut NoopObserver)
+}
+
+/// [`train`] with a [`TrainObserver`] receiving per-step records.
+pub fn train_observed(
+    net: &RoadNetwork,
+    cfg: &DgiConfig,
+    observer: &mut dyn TrainObserver,
+) -> FnRepresenter {
+    let x = node_features(net);
+    let adj = mean_adjacency(net);
+    let in_dim = x.cols();
+    let n = net.num_nodes();
+
+    let mut params = Parameters::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD61);
+    let enc = Linear::new(&mut params, &mut rng, "dgi.enc", in_dim, cfg.dim);
+    let disc = Linear::new_no_bias(&mut params, &mut rng, "dgi.disc", cfg.dim, cfg.dim);
+
+    let mut trainer = Trainer::new(TrainSpec::adam(cfg.lr, cfg.epochs, cfg.seed));
+    let mut t = DgiTrainable { enc: &enc, disc: &disc, x: &x, adj: &adj, n };
+    trainer.run(&mut t, &mut params, cfg.epochs, observer);
 
     // Freeze final node embeddings.
     let z = {
@@ -143,9 +176,9 @@ pub fn train(net: &RoadNetwork, cfg: &DgiConfig) -> FnRepresenter {
         let mut acc = vec![0.0; dim];
         for &e in path.edges() {
             let edge = net.edge(e);
-            for (a, v) in acc.iter_mut().zip(
-                z_rows[edge.from.index()].iter().chain(&z_rows[edge.to.index()]),
-            ) {
+            for (a, v) in
+                acc.iter_mut().zip(z_rows[edge.from.index()].iter().chain(&z_rows[edge.to.index()]))
+            {
                 *a += v;
             }
         }

@@ -13,10 +13,10 @@ use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, SeedableRng};
 
 use wsccl_nn::layers::Linear;
-use wsccl_nn::optim::Adam;
 use wsccl_nn::{Graph, NodeId, Parameters, Tensor};
 use wsccl_roadnet::{Path, RoadNetwork};
 use wsccl_traffic::SimTime;
+use wsccl_train::{NoopObserver, TrainObserver, TrainSpec, Trainable, Trainer};
 
 use crate::common::{time_features, EdgeFeaturizer, TravelTimePredictor, TIME_DIM};
 use crate::dgi::{mean_adjacency, node_features};
@@ -30,12 +30,14 @@ pub struct GcnConfig {
     pub batch: usize,
     /// If true, condition edge predictions on departure time (STGCN).
     pub temporal: bool,
+    /// Max L2 norm of each step's gradient.
+    pub grad_clip: f64,
     pub seed: u64,
 }
 
 impl Default for GcnConfig {
     fn default() -> Self {
-        Self { dim: 16, epochs: 8, lr: 3e-3, batch: 8, temporal: false, seed: 0 }
+        Self { dim: 16, epochs: 8, lr: 3e-3, batch: 8, temporal: false, grad_clip: 5.0, seed: 0 }
     }
 }
 
@@ -99,7 +101,14 @@ impl GcnPredictor {
         g.scale(lns, -self.target_scale / 10.0)
     }
 
-    fn path_time(&self, g: &mut Graph<'_>, z: NodeId, path: &Path, net: &RoadNetwork, t: SimTime) -> NodeId {
+    fn path_time(
+        &self,
+        g: &mut Graph<'_>,
+        z: NodeId,
+        path: &Path,
+        net: &RoadNetwork,
+        t: SimTime,
+    ) -> NodeId {
         let tf = time_features(t);
         let terms: Vec<NodeId> =
             path.edges().iter().map(|&e| self.edge_time(g, z, e, net, &tf)).collect();
@@ -109,6 +118,16 @@ impl GcnPredictor {
 
     /// Train on labeled travel times.
     pub fn train(net: &RoadNetwork, examples: &[RegressionExample], cfg: &GcnConfig) -> Self {
+        Self::train_observed(net, examples, cfg, &mut NoopObserver)
+    }
+
+    /// [`Self::train`] with a [`TrainObserver`] receiving per-step records.
+    pub fn train_observed(
+        net: &RoadNetwork,
+        examples: &[RegressionExample],
+        cfg: &GcnConfig,
+        observer: &mut dyn TrainObserver,
+    ) -> Self {
         assert!(!examples.is_empty(), "GCN needs labeled examples");
         let x = node_features(net);
         let adj = mean_adjacency(net);
@@ -118,13 +137,11 @@ impl GcnPredictor {
         let name = if cfg.temporal { "STGCN" } else { "GCN" };
         let w1 = Linear::new(&mut params, &mut rng, "gcn.w1", in_dim, cfg.dim);
         let w2 = Linear::new(&mut params, &mut rng, "gcn.w2", cfg.dim, cfg.dim);
-        let edge_in =
-            cfg.dim + EdgeFeaturizer::DIM + if cfg.temporal { TIME_DIM } else { 0 };
+        let edge_in = cfg.dim + EdgeFeaturizer::DIM + if cfg.temporal { TIME_DIM } else { 0 };
         let edge_mlp = Linear::new(&mut params, &mut rng, "gcn.emlp", edge_in, cfg.dim);
         let edge_head = Linear::new(&mut params, &mut rng, "gcn.ehead", cfg.dim, 1);
-        let target_scale = (examples.iter().map(|e| e.target).sum::<f64>()
-            / examples.len() as f64)
-            .max(1e-6);
+        let target_scale =
+            (examples.iter().map(|e| e.target).sum::<f64>() / examples.len() as f64).max(1e-6);
         let mut model = Self {
             params,
             w1,
@@ -138,40 +155,13 @@ impl GcnPredictor {
             target_scale,
             name,
         };
-        let mut opt = Adam::new(cfg.lr);
+        let mut params = std::mem::take(&mut model.params);
 
-        let mut order: Vec<usize> = (0..examples.len()).collect();
-        let steps = examples.len().div_ceil(cfg.batch);
-        for _ in 0..cfg.epochs {
-            order.shuffle(&mut rng);
-            for chunk in 0..steps {
-                let batch =
-                    &order[chunk * cfg.batch..((chunk + 1) * cfg.batch).min(order.len())];
-                if batch.is_empty() {
-                    continue;
-                }
-                let mut params = std::mem::take(&mut model.params);
-                let mut grads = {
-                    let mut g = Graph::new(&params);
-                    // Node embeddings computed once per step, reused by paths.
-                    let z = model.node_embeddings(&mut g);
-                    let mut losses = Vec::with_capacity(batch.len());
-                    for &i in batch {
-                        let ex = &examples[i];
-                        let pred = model.path_time(&mut g, z, &ex.path, net, ex.departure);
-                        let scaled = g.scale(pred, 1.0 / model.target_scale);
-                        let target = Tensor::scalar(ex.target / model.target_scale);
-                        losses.push(g.mse_to_const(scaled, &target));
-                    }
-                    let loss = g.mean_scalars(&losses);
-                    g.backward(loss);
-                    g.into_grads()
-                };
-                grads.clip_norm(5.0);
-                opt.step(&mut params, &grads);
-                model.params = params;
-            }
-        }
+        let spec = TrainSpec::adam(cfg.lr, cfg.epochs, cfg.seed).with_grad_clip(cfg.grad_clip);
+        let mut trainer = Trainer::new(spec);
+        let mut t = GcnTrainable { model: &model, net, examples, batch: cfg.batch };
+        trainer.run(&mut t, &mut params, cfg.epochs, observer);
+        model.params = params;
         model
     }
 
@@ -186,6 +176,49 @@ impl GcnPredictor {
         };
         self.params = params;
         v
+    }
+}
+
+/// Mini-batch travel-time regression over shared GCN node embeddings, as
+/// seen by the engine. The model's `params` field is empty for the duration
+/// of training (the engine owns the live copy); the forward helpers never
+/// read it.
+struct GcnTrainable<'a> {
+    model: &'a GcnPredictor,
+    net: &'a RoadNetwork,
+    examples: &'a [RegressionExample],
+    batch: usize,
+}
+
+impl Trainable for GcnTrainable<'_> {
+    type Batch = Vec<usize>;
+
+    fn epoch_batches(&mut self, _epoch: u64, rng: &mut StdRng) -> Vec<Vec<usize>> {
+        let mut order: Vec<usize> = (0..self.examples.len()).collect();
+        order.shuffle(rng);
+        order.chunks(self.batch.max(1)).map(|c| c.to_vec()).collect()
+    }
+
+    fn build_loss(
+        &self,
+        g: &mut Graph<'_>,
+        batch: &Vec<usize>,
+        _rng: &mut StdRng,
+    ) -> Option<NodeId> {
+        if batch.is_empty() {
+            return None;
+        }
+        // Node embeddings computed once per step, reused by paths.
+        let z = self.model.node_embeddings(g);
+        let mut losses = Vec::with_capacity(batch.len());
+        for &i in batch {
+            let ex = &self.examples[i];
+            let pred = self.model.path_time(g, z, &ex.path, self.net, ex.departure);
+            let scaled = g.scale(pred, 1.0 / self.model.target_scale);
+            let target = Tensor::scalar(ex.target / self.model.target_scale);
+            losses.push(g.mse_to_const(scaled, &target));
+        }
+        Some(g.mean_scalars(&losses))
     }
 }
 

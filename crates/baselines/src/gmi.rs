@@ -9,9 +9,9 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use wsccl_nn::layers::Linear;
-use wsccl_nn::optim::Adam;
-use wsccl_nn::{Graph, Parameters, Tensor};
+use wsccl_nn::{Graph, NodeId, Parameters, Tensor};
 use wsccl_roadnet::RoadNetwork;
+use wsccl_train::{NoopObserver, TrainObserver, TrainSpec, Trainable, Trainer};
 
 use crate::common::FnRepresenter;
 use crate::dgi::{mean_adjacency, node_features};
@@ -32,51 +32,45 @@ impl Default for GmiConfig {
     }
 }
 
-/// Train GMI and return the path representer.
-pub fn train(net: &RoadNetwork, cfg: &GmiConfig) -> FnRepresenter {
-    let x = node_features(net);
-    let adj = mean_adjacency(net);
-    let in_dim = x.cols();
-    let n = net.num_nodes();
+/// One FMI step per epoch, as seen by the engine. Pair sampling happens
+/// inside `build_loss` from the per-step shard RNG.
+struct GmiTrainable<'a> {
+    enc: &'a Linear,
+    critic: &'a Linear,
+    x: &'a Tensor,
+    adj: &'a Tensor,
+    neighbors: &'a [Vec<usize>],
+    n: usize,
+    pairs: usize,
+}
 
-    let mut params = Parameters::new();
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6B1);
-    let enc = Linear::new(&mut params, &mut rng, "gmi.enc", in_dim, cfg.dim);
-    let critic = Linear::new_no_bias(&mut params, &mut rng, "gmi.critic", cfg.dim, in_dim);
-    let mut opt = Adam::new(cfg.lr);
+impl Trainable for GmiTrainable<'_> {
+    type Batch = ();
 
-    // Neighbor lists for positive sampling.
-    let neighbors: Vec<Vec<usize>> = (0..n)
-        .map(|v| {
-            let node = wsccl_roadnet::NodeId(v as u32);
-            net.out_edges(node)
-                .iter()
-                .map(|&e| net.edge(e).to.index())
-                .chain(net.in_edges(node).iter().map(|&e| net.edge(e).from.index()))
-                .collect()
-        })
-        .collect();
+    fn epoch_batches(&mut self, _epoch: u64, _rng: &mut StdRng) -> Vec<()> {
+        vec![()]
+    }
 
-    for _ in 0..cfg.epochs {
-        let mut g = Graph::new(&params);
-        let adj_n = g.input(adj.clone());
-        let x_n = g.input(x.clone());
+    fn build_loss(&self, g: &mut Graph<'_>, _batch: &(), rng: &mut StdRng) -> Option<NodeId> {
+        let n = self.n;
+        let adj_n = g.input(self.adj.clone());
+        let x_n = g.input(self.x.clone());
         let agg = g.matmul(adj_n, x_n);
-        let h = enc.forward(&mut g, agg);
+        let h = self.enc.forward(g, agg);
         let z = g.relu(h);
         // Critic projections of all embeddings: (n, in_dim).
-        let proj = critic.forward(&mut g, z);
+        let proj = self.critic.forward(g, z);
 
-        let mut terms = Vec::with_capacity(cfg.pairs_per_epoch);
-        for _ in 0..cfg.pairs_per_epoch {
+        let mut terms = Vec::with_capacity(self.pairs);
+        for _ in 0..self.pairs {
             let v = rng.random_range(0..n);
-            if neighbors[v].is_empty() {
+            if self.neighbors[v].is_empty() {
                 continue;
             }
-            let pos = neighbors[v][rng.random_range(0..neighbors[v].len())];
+            let pos = self.neighbors[v][rng.random_range(0..self.neighbors[v].len())];
             let neg = rng.random_range(0..n);
-            let xp = g.input(Tensor::row(x.row_slice(pos).to_vec()));
-            let xn = g.input(Tensor::row(x.row_slice(neg).to_vec()));
+            let xp = g.input(Tensor::row(self.x.row_slice(pos).to_vec()));
+            let xn = g.input(Tensor::row(self.x.row_slice(neg).to_vec()));
             // Extract row v of proj with a one-hot left multiplication.
             let mut sel = Tensor::zeros(1, n);
             sel.set(0, v, 1.0);
@@ -93,14 +87,57 @@ pub fn train(net: &RoadNetwork, cfg: &GmiConfig) -> FnRepresenter {
             terms.push(t);
         }
         if terms.is_empty() {
-            continue;
+            return None;
         }
         let mean = g.mean_scalars(&terms);
-        let loss = g.scale(mean, -1.0);
-        g.backward(loss);
-        let grads = g.into_grads();
-        opt.step(&mut params, &grads);
+        Some(g.scale(mean, -1.0))
     }
+}
+
+/// Train GMI and return the path representer.
+pub fn train(net: &RoadNetwork, cfg: &GmiConfig) -> FnRepresenter {
+    train_observed(net, cfg, &mut NoopObserver)
+}
+
+/// [`train`] with a [`TrainObserver`] receiving per-step records.
+pub fn train_observed(
+    net: &RoadNetwork,
+    cfg: &GmiConfig,
+    observer: &mut dyn TrainObserver,
+) -> FnRepresenter {
+    let x = node_features(net);
+    let adj = mean_adjacency(net);
+    let in_dim = x.cols();
+    let n = net.num_nodes();
+
+    let mut params = Parameters::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6B1);
+    let enc = Linear::new(&mut params, &mut rng, "gmi.enc", in_dim, cfg.dim);
+    let critic = Linear::new_no_bias(&mut params, &mut rng, "gmi.critic", cfg.dim, in_dim);
+
+    // Neighbor lists for positive sampling.
+    let neighbors: Vec<Vec<usize>> = (0..n)
+        .map(|v| {
+            let node = wsccl_roadnet::NodeId(v as u32);
+            net.out_edges(node)
+                .iter()
+                .map(|&e| net.edge(e).to.index())
+                .chain(net.in_edges(node).iter().map(|&e| net.edge(e).from.index()))
+                .collect()
+        })
+        .collect();
+
+    let mut trainer = Trainer::new(TrainSpec::adam(cfg.lr, cfg.epochs, cfg.seed));
+    let mut t = GmiTrainable {
+        enc: &enc,
+        critic: &critic,
+        x: &x,
+        adj: &adj,
+        neighbors: &neighbors,
+        n,
+        pairs: cfg.pairs_per_epoch,
+    };
+    trainer.run(&mut t, &mut params, cfg.epochs, observer);
 
     // Freeze final embeddings.
     let z = {
@@ -118,9 +155,9 @@ pub fn train(net: &RoadNetwork, cfg: &GmiConfig) -> FnRepresenter {
         let mut acc = vec![0.0; dim];
         for &e in path.edges() {
             let edge = net.edge(e);
-            for (a, v) in acc.iter_mut().zip(
-                z_rows[edge.from.index()].iter().chain(&z_rows[edge.to.index()]),
-            ) {
+            for (a, v) in
+                acc.iter_mut().zip(z_rows[edge.from.index()].iter().chain(&z_rows[edge.to.index()]))
+            {
                 *a += v;
             }
         }

@@ -12,10 +12,10 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use wsccl_nn::layers::{Gru, Linear, SelfAttention};
-use wsccl_nn::optim::Adam;
 use wsccl_nn::{Graph, NodeId, Parameters, Tensor};
 use wsccl_roadnet::{Path, RoadNetwork};
 use wsccl_traffic::SimTime;
+use wsccl_train::{NoopObserver, TrainObserver, TrainSpec, Trainable, Trainer};
 
 use crate::common::{time_features, EdgeFeaturizer, FnRepresenter, TIME_DIM};
 use crate::pathrank::RegressionExample;
@@ -25,12 +25,14 @@ pub struct HmtrlConfig {
     pub dim: usize,
     pub epochs: usize,
     pub lr: f64,
+    /// Max L2 norm of each step's gradient.
+    pub grad_clip: f64,
     pub seed: u64,
 }
 
 impl Default for HmtrlConfig {
     fn default() -> Self {
-        Self { dim: 24, epochs: 5, lr: 3e-3, seed: 0 }
+        Self { dim: 24, epochs: 5, lr: 3e-3, grad_clip: 5.0, seed: 0 }
     }
 }
 
@@ -86,61 +88,52 @@ impl Hmtrl {
         rank: &[RegressionExample],
         cfg: &HmtrlConfig,
     ) -> Self {
+        Self::train_observed(net, tte, rank, cfg, &mut NoopObserver)
+    }
+
+    /// [`Self::train`] with a [`TrainObserver`] receiving per-step records.
+    pub fn train_observed(
+        net: &RoadNetwork,
+        tte: &[RegressionExample],
+        rank: &[RegressionExample],
+        cfg: &HmtrlConfig,
+        observer: &mut dyn TrainObserver,
+    ) -> Self {
         assert!(!tte.is_empty() || !rank.is_empty(), "HMTRL needs labels for at least one task");
         let ef = EdgeFeaturizer::new(net);
         let mut params = Parameters::new();
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x477);
-        let gru = Gru::new(&mut params, &mut rng, "hm.gru", EdgeFeaturizer::DIM + TIME_DIM, cfg.dim);
+        let gru =
+            Gru::new(&mut params, &mut rng, "hm.gru", EdgeFeaturizer::DIM + TIME_DIM, cfg.dim);
         let attn = SelfAttention::new(&mut params, &mut rng, "hm.attn", cfg.dim);
         let head_tte = Linear::new(&mut params, &mut rng, "hm.tte", cfg.dim, 1);
         let head_rank = Linear::new(&mut params, &mut rng, "hm.rank", cfg.dim, 1);
-        let std_tte =
-            Standardizer::fit(&tte.iter().map(|e| e.target).collect::<Vec<_>>());
-        let std_rank =
-            Standardizer::fit(&rank.iter().map(|e| e.target).collect::<Vec<_>>());
-        let mut model = Self {
-            params,
-            gru,
-            attn,
-            head_tte,
-            head_rank,
-            ef,
-            std_tte,
-            std_rank,
-            dim: cfg.dim,
-        };
-        let mut opt = Adam::new(cfg.lr);
+        let std_tte = Standardizer::fit(&tte.iter().map(|e| e.target).collect::<Vec<_>>());
+        let std_rank = Standardizer::fit(&rank.iter().map(|e| e.target).collect::<Vec<_>>());
+        let mut model =
+            Self { params, gru, attn, head_tte, head_rank, ef, std_tte, std_rank, dim: cfg.dim };
+        let mut params = std::mem::take(&mut model.params);
 
-        // Interleave the two tasks: (task, index).
-        let mut schedule: Vec<(bool, usize)> = (0..tte.len())
-            .map(|i| (true, i))
-            .chain((0..rank.len()).map(|i| (false, i)))
-            .collect();
-        for _ in 0..cfg.epochs {
-            schedule.shuffle(&mut rng);
-            for &(is_tte, i) in &schedule {
-                let (ex, std, use_tte) = if is_tte {
-                    (&tte[i], &model.std_tte, true)
-                } else {
-                    (&rank[i], &model.std_rank, false)
-                };
-                let target = Tensor::scalar((ex.target - std.mean) / std.std);
-                let mut params = std::mem::take(&mut model.params);
-                let mut grads = {
-                    let mut g = Graph::new(&params);
-                    let repr = model.route_repr(&mut g, &ex.path, ex.departure);
-                    let head = if use_tte { &model.head_tte } else { &model.head_rank };
-                    let pred = head.forward(&mut g, repr);
-                    let loss = g.mse_to_const(pred, &target);
-                    g.backward(loss);
-                    g.into_grads()
-                };
-                grads.clip_norm(5.0);
-                opt.step(&mut params, &grads);
-                model.params = params;
-            }
-        }
+        let spec = TrainSpec::adam(cfg.lr, cfg.epochs, cfg.seed).with_grad_clip(cfg.grad_clip);
+        let mut trainer = Trainer::new(spec);
+        let mut t = HmtrlTrainable { model: &model, tte, rank };
+        trainer.run(&mut t, &mut params, cfg.epochs, observer);
+        model.params = params;
         model
+    }
+
+    fn task_loss(
+        &self,
+        g: &mut Graph<'_>,
+        ex: &RegressionExample,
+        std: &Standardizer,
+        use_tte: bool,
+    ) -> NodeId {
+        let target = Tensor::scalar((ex.target - std.mean) / std.std);
+        let repr = self.route_repr(g, &ex.path, ex.departure);
+        let head = if use_tte { &self.head_tte } else { &self.head_rank };
+        let pred = head.forward(g, repr);
+        g.mse_to_const(pred, &target)
     }
 
     /// Freeze into a representer exposing the attended route representation.
@@ -156,6 +149,44 @@ impl Hmtrl {
             self.params = params;
             v
         })
+    }
+}
+
+/// Interleaved multi-task regression, as seen by the engine. A batch is a
+/// `(task, index)` pair: `true` selects travel-time estimation, `false`
+/// selects ranking. The model's `params` field is empty for the duration of
+/// training (the engine owns the live copy); `route_repr` never reads it.
+struct HmtrlTrainable<'a> {
+    model: &'a Hmtrl,
+    tte: &'a [RegressionExample],
+    rank: &'a [RegressionExample],
+}
+
+impl Trainable for HmtrlTrainable<'_> {
+    type Batch = (bool, usize);
+
+    fn epoch_batches(&mut self, _epoch: u64, rng: &mut StdRng) -> Vec<(bool, usize)> {
+        // Interleave the two tasks: (task, index).
+        let mut schedule: Vec<(bool, usize)> = (0..self.tte.len())
+            .map(|i| (true, i))
+            .chain((0..self.rank.len()).map(|i| (false, i)))
+            .collect();
+        schedule.shuffle(rng);
+        schedule
+    }
+
+    fn build_loss(
+        &self,
+        g: &mut Graph<'_>,
+        &(is_tte, i): &(bool, usize),
+        _rng: &mut StdRng,
+    ) -> Option<NodeId> {
+        let (ex, std) = if is_tte {
+            (&self.tte[i], &self.model.std_tte)
+        } else {
+            (&self.rank[i], &self.model.std_rank)
+        };
+        Some(self.model.task_loss(g, ex, std, is_tte))
     }
 }
 

@@ -10,9 +10,9 @@ use rand::{RngExt, SeedableRng};
 
 use wsccl_datagen::TemporalPathSample;
 use wsccl_nn::layers::Lstm;
-use wsccl_nn::optim::Adam;
-use wsccl_nn::{Graph, Parameters, Tensor};
+use wsccl_nn::{Graph, NodeId, Parameters, Tensor};
 use wsccl_roadnet::RoadNetwork;
+use wsccl_train::{NoopObserver, TrainObserver, TrainSpec, Trainable, Trainer};
 
 use crate::common::{EdgeFeaturizer, FnRepresenter};
 
@@ -30,7 +30,15 @@ pub struct MbConfig {
 
 impl Default for MbConfig {
     fn default() -> Self {
-        Self { dim: 24, epochs: 3, lr: 3e-3, temperature: 0.3, negatives: 16, momentum: 0.5, seed: 0 }
+        Self {
+            dim: 24,
+            epochs: 3,
+            lr: 3e-3,
+            temperature: 0.3,
+            negatives: 16,
+            momentum: 0.5,
+            seed: 0,
+        }
     }
 }
 
@@ -41,82 +49,120 @@ fn normalize(v: &mut [f64]) {
     }
 }
 
+/// Encode one path into its mean-pooled LSTM representation.
+fn encode_path(
+    g: &mut Graph<'_>,
+    lstm: &Lstm,
+    ef: &EdgeFeaturizer,
+    sample: &TemporalPathSample,
+) -> NodeId {
+    let inputs: Vec<_> =
+        ef.path(&sample.path).into_iter().map(|f| g.input(Tensor::row(f))).collect();
+    let hs = lstm.forward(g, &inputs);
+    let stacked = g.concat_rows(&hs);
+    g.mean_rows(stacked)
+}
+
+/// Instance discrimination against the memory bank, as seen by the engine.
+/// The Trainable owns the bank: `build_loss` reads prototypes, and the EMA
+/// update runs in [`Trainable::after_step`] with the freshly stepped
+/// parameters.
+struct MbTrainable<'a> {
+    lstm: &'a Lstm,
+    ef: &'a EdgeFeaturizer,
+    pool: &'a [TemporalPathSample],
+    bank: Vec<Vec<f64>>,
+    temperature: f64,
+    negatives: usize,
+    momentum: f64,
+}
+
+impl Trainable for MbTrainable<'_> {
+    type Batch = usize;
+
+    fn epoch_batches(&mut self, _epoch: u64, _rng: &mut StdRng) -> Vec<usize> {
+        (0..self.pool.len()).collect()
+    }
+
+    fn build_loss(&self, g: &mut Graph<'_>, &i: &usize, rng: &mut StdRng) -> Option<NodeId> {
+        let z = encode_path(g, self.lstm, self.ef, &self.pool[i]);
+
+        // Scores against own prototype (positive) and sampled negatives.
+        let vi = g.input(Tensor::row(self.bank[i].clone()));
+        let pos = g.cos_sim(z, vi);
+        let pos_t = g.scale(pos, 1.0 / self.temperature);
+        let mut all = vec![pos_t];
+        for _ in 0..self.negatives {
+            let j = rng.random_range(0..self.pool.len());
+            if j == i {
+                continue;
+            }
+            let vj = g.input(Tensor::row(self.bank[j].clone()));
+            let s = g.cos_sim(z, vj);
+            all.push(g.scale(s, 1.0 / self.temperature));
+        }
+        let lse = g.log_sum_exp(&all);
+        Some(g.sub(lse, pos_t))
+    }
+
+    fn after_step(&mut self, params: &Parameters, &i: &usize) {
+        // EMA bank update with the (detached) new representation.
+        let z_val = {
+            let mut g = Graph::new(params);
+            let z = encode_path(&mut g, self.lstm, self.ef, &self.pool[i]);
+            g.value(z).data().to_vec()
+        };
+        for (b, v) in self.bank[i].iter_mut().zip(&z_val) {
+            *b = self.momentum * *b + (1.0 - self.momentum) * v;
+        }
+        normalize(&mut self.bank[i]);
+    }
+}
+
 /// Train the MB baseline on the unlabeled pool.
 pub fn train(net: &RoadNetwork, pool: &[TemporalPathSample], cfg: &MbConfig) -> FnRepresenter {
+    train_observed(net, pool, cfg, &mut NoopObserver)
+}
+
+/// [`train`] with a [`TrainObserver`] receiving per-step records.
+pub fn train_observed(
+    net: &RoadNetwork,
+    pool: &[TemporalPathSample],
+    cfg: &MbConfig,
+    observer: &mut dyn TrainObserver,
+) -> FnRepresenter {
     assert!(!pool.is_empty(), "MB needs a non-empty pool");
     let ef = EdgeFeaturizer::new(net);
     let mut params = Parameters::new();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x3B);
     let lstm = Lstm::new(&mut params, &mut rng, "mb.lstm", ef.dim(), cfg.dim, 1);
-    let mut opt = Adam::new(cfg.lr);
 
     // Bank initialized with unit random vectors.
-    let mut bank: Vec<Vec<f64>> = (0..pool.len())
+    let bank: Vec<Vec<f64>> = (0..pool.len())
         .map(|_| {
-            let mut v: Vec<f64> =
-                (0..cfg.dim).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let mut v: Vec<f64> = (0..cfg.dim).map(|_| rng.random_range(-1.0..1.0)).collect();
             normalize(&mut v);
             v
         })
         .collect();
 
-    for _ in 0..cfg.epochs {
-        for i in 0..pool.len() {
-            let mut g = Graph::new(&params);
-            let inputs: Vec<_> = ef
-                .path(&pool[i].path)
-                .into_iter()
-                .map(|f| g.input(Tensor::row(f)))
-                .collect();
-            let hs = lstm.forward(&mut g, &inputs);
-            let stacked = g.concat_rows(&hs);
-            let z = g.mean_rows(stacked);
-
-            // Scores against own prototype (positive) and sampled negatives.
-            let vi = g.input(Tensor::row(bank[i].clone()));
-            let pos = g.cos_sim(z, vi);
-            let pos_t = g.scale(pos, 1.0 / cfg.temperature);
-            let mut all = vec![pos_t];
-            for _ in 0..cfg.negatives {
-                let j = rng.random_range(0..pool.len());
-                if j == i {
-                    continue;
-                }
-                let vj = g.input(Tensor::row(bank[j].clone()));
-                let s = g.cos_sim(z, vj);
-                all.push(g.scale(s, 1.0 / cfg.temperature));
-            }
-            let lse = g.log_sum_exp(&all);
-            let nll = g.sub(lse, pos_t);
-            g.backward(nll);
-            let grads = g.into_grads();
-            opt.step(&mut params, &grads);
-
-            // EMA bank update with the (detached) new representation.
-            let z_val = {
-                let mut g2 = Graph::new(&params);
-                let inputs: Vec<_> = ef
-                    .path(&pool[i].path)
-                    .into_iter()
-                    .map(|f| g2.input(Tensor::row(f)))
-                    .collect();
-                let hs = lstm.forward(&mut g2, &inputs);
-                let stacked = g2.concat_rows(&hs);
-                let z = g2.mean_rows(stacked);
-                g2.value(z).data().to_vec()
-            };
-            for (b, v) in bank[i].iter_mut().zip(&z_val) {
-                *b = cfg.momentum * *b + (1.0 - cfg.momentum) * v;
-            }
-            normalize(&mut bank[i]);
-        }
-    }
+    let mut trainer = Trainer::new(TrainSpec::adam(cfg.lr, cfg.epochs, cfg.seed));
+    let mut t = MbTrainable {
+        lstm: &lstm,
+        ef: &ef,
+        pool,
+        bank,
+        temperature: cfg.temperature,
+        negatives: cfg.negatives,
+        momentum: cfg.momentum,
+    };
+    trainer.run(&mut t, &mut params, cfg.epochs, observer);
+    drop(t);
 
     let dim = cfg.dim;
     FnRepresenter::new("MB", dim, move |_net, path, _dep| {
         let mut g = Graph::new(&params);
-        let inputs: Vec<_> =
-            ef.path(path).into_iter().map(|f| g.input(Tensor::row(f))).collect();
+        let inputs: Vec<_> = ef.path(path).into_iter().map(|f| g.input(Tensor::row(f))).collect();
         let hs = lstm.forward(&mut g, &inputs);
         let stacked = g.concat_rows(&hs);
         let z = g.mean_rows(stacked);

@@ -1,6 +1,10 @@
 //! Node2vec baseline: unsupervised graph embeddings of the road network;
 //! a path's representation is the average of its edges' representations
 //! (the paper's aggregation for all graph-node baselines).
+//!
+//! This is the one baseline outside the `wsccl-train` engine: SGNS training
+//! lives in `wsccl-graphembed` on raw arrays (no autodiff tape), so there is
+//! no per-step loss node for the engine to drive or observe.
 
 use wsccl_graphembed::{Node2VecConfig, RoadEmbeddings};
 use wsccl_roadnet::{EdgeId, RoadNetwork};

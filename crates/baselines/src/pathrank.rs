@@ -15,10 +15,10 @@ use serde::{Deserialize, Serialize};
 
 use wsccl_core::encoder::{EncoderWeights, TemporalPathEncoder};
 use wsccl_nn::layers::{Gru, Linear};
-use wsccl_nn::optim::Adam;
-use wsccl_nn::{Graph, Parameters, Tensor};
+use wsccl_nn::{Graph, NodeId, Parameters, Tensor};
 use wsccl_roadnet::{Path, RoadNetwork};
 use wsccl_traffic::SimTime;
+use wsccl_train::{NoopObserver, TrainObserver, TrainSpec, Trainable, Trainer};
 
 use crate::common::{time_features, EdgeFeaturizer, FnRepresenter, TIME_DIM};
 
@@ -36,12 +36,14 @@ pub struct PathRankConfig {
     pub dim: usize,
     pub epochs: usize,
     pub lr: f64,
+    /// Max L2 norm of each step's gradient.
+    pub grad_clip: f64,
     pub seed: u64,
 }
 
 impl Default for PathRankConfig {
     fn default() -> Self {
-        Self { dim: 24, epochs: 6, lr: 3e-3, seed: 0 }
+        Self { dim: 24, epochs: 6, lr: 3e-3, grad_clip: 5.0, seed: 0 }
     }
 }
 
@@ -84,44 +86,68 @@ pub struct PathRank {
     dim: usize,
 }
 
+/// Per-example regression over the GRU encoder, as seen by the engine.
+struct PathRankTrainable<'a> {
+    gru: &'a Gru,
+    head: &'a Linear,
+    ef: &'a EdgeFeaturizer,
+    std: Standardizer,
+    examples: &'a [RegressionExample],
+}
+
+impl Trainable for PathRankTrainable<'_> {
+    type Batch = usize;
+
+    fn epoch_batches(&mut self, _epoch: u64, rng: &mut StdRng) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.examples.len()).collect();
+        order.shuffle(rng);
+        order
+    }
+
+    fn build_loss(&self, g: &mut Graph<'_>, &i: &usize, _rng: &mut StdRng) -> Option<NodeId> {
+        let ex = &self.examples[i];
+        let tf = time_features(ex.departure);
+        let inputs: Vec<_> = self
+            .ef
+            .path(&ex.path)
+            .into_iter()
+            .map(|mut f| {
+                f.extend_from_slice(&tf);
+                g.input(Tensor::row(f))
+            })
+            .collect();
+        let h = self.gru.forward_last(g, &inputs);
+        let pred = self.head.forward(g, h);
+        let target = Tensor::scalar(self.std.forward(ex.target));
+        Some(g.mse_to_const(pred, &target))
+    }
+}
+
 impl PathRank {
     /// Train on regression examples (travel times or ranking scores).
     pub fn train(net: &RoadNetwork, examples: &[RegressionExample], cfg: &PathRankConfig) -> Self {
+        Self::train_observed(net, examples, cfg, &mut NoopObserver)
+    }
+
+    /// [`Self::train`] with a [`TrainObserver`] receiving per-step records.
+    pub fn train_observed(
+        net: &RoadNetwork,
+        examples: &[RegressionExample],
+        cfg: &PathRankConfig,
+        observer: &mut dyn TrainObserver,
+    ) -> Self {
         assert!(!examples.is_empty(), "PathRank needs labeled examples");
         let ef = EdgeFeaturizer::new(net);
         let std = Standardizer::fit(examples.iter().map(|e| e.target));
         let mut params = Parameters::new();
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9A7);
-        let gru =
-            Gru::new(&mut params, &mut rng, "pr.gru", ef.dim() + TIME_DIM, cfg.dim);
+        let gru = Gru::new(&mut params, &mut rng, "pr.gru", ef.dim() + TIME_DIM, cfg.dim);
         let head = Linear::new(&mut params, &mut rng, "pr.head", cfg.dim, 1);
-        let mut opt = Adam::new(cfg.lr);
 
-        let mut order: Vec<usize> = (0..examples.len()).collect();
-        for _ in 0..cfg.epochs {
-            order.shuffle(&mut rng);
-            for &i in &order {
-                let ex = &examples[i];
-                let mut g = Graph::new(&params);
-                let tf = time_features(ex.departure);
-                let inputs: Vec<_> = ef
-                    .path(&ex.path)
-                    .into_iter()
-                    .map(|mut f| {
-                        f.extend_from_slice(&tf);
-                        g.input(Tensor::row(f))
-                    })
-                    .collect();
-                let h = gru.forward_last(&mut g, &inputs);
-                let pred = head.forward(&mut g, h);
-                let target = Tensor::scalar(std.forward(ex.target));
-                let loss = g.mse_to_const(pred, &target);
-                g.backward(loss);
-                let mut grads = g.into_grads();
-                grads.clip_norm(5.0);
-                opt.step(&mut params, &grads);
-            }
-        }
+        let spec = TrainSpec::adam(cfg.lr, cfg.epochs, cfg.seed).with_grad_clip(cfg.grad_clip);
+        let mut trainer = Trainer::new(spec);
+        let mut t = PathRankTrainable { gru: &gru, head: &head, ef: &ef, std, examples };
+        trainer.run(&mut t, &mut params, cfg.epochs, observer);
         Self { params, gru, head, ef, std, dim: cfg.dim }
     }
 
@@ -146,10 +172,8 @@ impl PathRank {
     /// Mean absolute error on held-out examples.
     pub fn evaluate_mae(&mut self, examples: &[RegressionExample]) -> f64 {
         assert!(!examples.is_empty());
-        let total: f64 = examples
-            .iter()
-            .map(|e| (self.predict(&e.path, e.departure) - e.target).abs())
-            .sum();
+        let total: f64 =
+            examples.iter().map(|e| (self.predict(&e.path, e.departure) - e.target).abs()).sum();
         total / examples.len() as f64
     }
 
@@ -187,6 +211,33 @@ pub struct PathRankOverEncoder {
     std: Standardizer,
 }
 
+/// Fine-tuning over the (possibly pre-trained) WSCCL encoder.
+struct OverEncoderTrainable<'a> {
+    encoder: &'a TemporalPathEncoder,
+    weights: &'a EncoderWeights,
+    head: &'a Linear,
+    std: Standardizer,
+    examples: &'a [RegressionExample],
+}
+
+impl Trainable for OverEncoderTrainable<'_> {
+    type Batch = usize;
+
+    fn epoch_batches(&mut self, _epoch: u64, rng: &mut StdRng) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.examples.len()).collect();
+        order.shuffle(rng);
+        order
+    }
+
+    fn build_loss(&self, g: &mut Graph<'_>, &i: &usize, _rng: &mut StdRng) -> Option<NodeId> {
+        let ex = &self.examples[i];
+        let (tpr, _) = self.encoder.forward(g, self.weights, &ex.path, ex.departure);
+        let pred = self.head.forward(g, tpr);
+        let target = Tensor::scalar(self.std.forward(ex.target));
+        Some(g.mse_to_const(pred, &target))
+    }
+}
+
 impl PathRankOverEncoder {
     pub fn train(
         encoder: Arc<TemporalPathEncoder>,
@@ -195,6 +246,19 @@ impl PathRankOverEncoder {
         epochs: usize,
         lr: f64,
         seed: u64,
+    ) -> Self {
+        Self::train_observed(encoder, init, examples, epochs, lr, seed, &mut NoopObserver)
+    }
+
+    /// [`Self::train`] with a [`TrainObserver`] receiving per-step records.
+    pub fn train_observed(
+        encoder: Arc<TemporalPathEncoder>,
+        init: Option<(&Parameters, &EncoderWeights)>,
+        examples: &[RegressionExample],
+        epochs: usize,
+        lr: f64,
+        seed: u64,
+        observer: &mut dyn TrainObserver,
     ) -> Self {
         assert!(!examples.is_empty(), "needs labeled examples");
         let std = Standardizer::fit(examples.iter().map(|e| e.target));
@@ -208,23 +272,17 @@ impl PathRankOverEncoder {
             }
         };
         let head = Linear::new(&mut params, &mut rng, "pr.head", encoder.out_dim(), 1);
-        let mut opt = Adam::new(lr);
-        let mut order: Vec<usize> = (0..examples.len()).collect();
-        for _ in 0..epochs {
-            order.shuffle(&mut rng);
-            for &i in &order {
-                let ex = &examples[i];
-                let mut g = Graph::new(&params);
-                let (tpr, _) = encoder.forward(&mut g, &weights, &ex.path, ex.departure);
-                let pred = head.forward(&mut g, tpr);
-                let target = Tensor::scalar(std.forward(ex.target));
-                let loss = g.mse_to_const(pred, &target);
-                g.backward(loss);
-                let mut grads = g.into_grads();
-                grads.clip_norm(5.0);
-                opt.step(&mut params, &grads);
-            }
-        }
+        let spec =
+            TrainSpec::adam(lr, epochs, seed).with_grad_clip(PathRankConfig::default().grad_clip);
+        let mut trainer = Trainer::new(spec);
+        let mut t = OverEncoderTrainable {
+            encoder: &encoder,
+            weights: &weights,
+            head: &head,
+            std,
+            examples,
+        };
+        trainer.run(&mut t, &mut params, epochs, observer);
         Self { encoder, params, weights, head, std }
     }
 
@@ -237,10 +295,8 @@ impl PathRankOverEncoder {
 
     pub fn evaluate_mae(&mut self, examples: &[RegressionExample]) -> f64 {
         assert!(!examples.is_empty());
-        let total: f64 = examples
-            .iter()
-            .map(|e| (self.predict(&e.path, e.departure) - e.target).abs())
-            .sum();
+        let total: f64 =
+            examples.iter().map(|e| (self.predict(&e.path, e.departure) - e.target).abs()).sum();
         total / examples.len() as f64
     }
 }
@@ -274,10 +330,9 @@ mod tests {
             &PathRankConfig { epochs: 8, ..Default::default() },
         );
         let mae_model = model.evaluate_mae(&train_ex);
-        let mean: f64 =
-            train_ex.iter().map(|e| e.target).sum::<f64>() / train_ex.len() as f64;
-        let mae_mean: f64 = train_ex.iter().map(|e| (e.target - mean).abs()).sum::<f64>()
-            / train_ex.len() as f64;
+        let mean: f64 = train_ex.iter().map(|e| e.target).sum::<f64>() / train_ex.len() as f64;
+        let mae_mean: f64 =
+            train_ex.iter().map(|e| (e.target - mean).abs()).sum::<f64>() / train_ex.len() as f64;
         assert!(
             mae_model < 0.9 * mae_mean,
             "PathRank {mae_model:.1} should beat mean baseline {mae_mean:.1}"
@@ -310,8 +365,7 @@ mod tests {
             wsccl_core::encoder::EncoderConfig::tiny(),
             14,
         ));
-        let mut fresh =
-            PathRankOverEncoder::train(Arc::clone(&enc), None, &train_ex, 2, 3e-3, 1);
+        let mut fresh = PathRankOverEncoder::train(Arc::clone(&enc), None, &train_ex, 2, 3e-3, 1);
         let mae = fresh.evaluate_mae(&train_ex);
         assert!(mae.is_finite() && mae > 0.0);
     }

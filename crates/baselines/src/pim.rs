@@ -17,9 +17,9 @@ use rand::{RngExt, SeedableRng};
 use wsccl_datagen::TemporalPathSample;
 use wsccl_graphembed::{Node2VecConfig, TemporalEmbeddings};
 use wsccl_nn::layers::Lstm;
-use wsccl_nn::optim::Adam;
 use wsccl_nn::{Graph, NodeId, Parameters, Tensor};
 use wsccl_roadnet::RoadNetwork;
+use wsccl_train::{NoopObserver, TrainObserver, TrainSpec, Trainable, Trainer};
 
 use crate::common::{EdgeFeaturizer, FnRepresenter};
 
@@ -48,65 +48,101 @@ fn edge_overlap(a: &wsccl_roadnet::Path, b: &wsccl_roadnet::Path) -> f64 {
     inter as f64 / union.max(1) as f64
 }
 
+/// Encode a path into `(global, per-edge locals)`.
+fn encode(g: &mut Graph<'_>, lstm: &Lstm, feats: &[Vec<f64>]) -> (NodeId, Vec<NodeId>) {
+    let inputs: Vec<NodeId> = feats.iter().map(|f| g.input(Tensor::row(f.clone()))).collect();
+    let hs = lstm.forward(g, &inputs);
+    let stacked = g.concat_rows(&hs);
+    (g.mean_rows(stacked), hs)
+}
+
+/// Global–local MI with curriculum negatives, as seen by the engine. The
+/// hardness fraction is refreshed from the global epoch counter each time an
+/// epoch's batch list is built; negative candidates come from the per-step
+/// shard RNG.
+struct PimTrainable<'a> {
+    lstm: &'a Lstm,
+    ef: &'a EdgeFeaturizer,
+    pool: &'a [TemporalPathSample],
+    samples: usize,
+    total_epochs: usize,
+    hardness: f64,
+}
+
+impl Trainable for PimTrainable<'_> {
+    type Batch = usize;
+
+    fn epoch_batches(&mut self, epoch: u64, _rng: &mut StdRng) -> Vec<usize> {
+        // Curriculum hardness: fraction of training completed.
+        self.hardness = epoch as f64 / self.total_epochs.max(1) as f64;
+        (0..self.pool.len()).collect()
+    }
+
+    fn build_loss(&self, g: &mut Graph<'_>, &i: &usize, rng: &mut StdRng) -> Option<NodeId> {
+        // Negative path: sample a handful of candidates and pick by the
+        // curriculum — most dissimilar early, most similar late.
+        let mut best: Option<(f64, usize)> = None;
+        for _ in 0..5 {
+            let j = rng.random_range(0..self.pool.len());
+            if j == i {
+                continue;
+            }
+            let ov = edge_overlap(&self.pool[i].path, &self.pool[j].path);
+            let score = if self.hardness < 0.5 { -ov } else { ov };
+            if best.map_or(true, |(s, _)| score > s) {
+                best = Some((score, j));
+            }
+        }
+        let (_, j) = best?;
+        let (global, own_locals) = encode(g, self.lstm, &self.ef.path(&self.pool[i].path));
+        let (_, neg_locals) = encode(g, self.lstm, &self.ef.path(&self.pool[j].path));
+
+        let mut terms = Vec::new();
+        for _ in 0..self.samples {
+            let own = own_locals[rng.random_range(0..own_locals.len())];
+            let pos = g.dot(global, own);
+            let pos_sig = g.sigmoid(pos);
+            terms.push(g.ln(pos_sig));
+            let other = neg_locals[rng.random_range(0..neg_locals.len())];
+            let neg = g.dot(global, other);
+            let neg_arg = g.scale(neg, -1.0);
+            let neg_sig = g.sigmoid(neg_arg);
+            terms.push(g.ln(neg_sig));
+        }
+        let mean = g.mean_scalars(&terms);
+        Some(g.scale(mean, -1.0))
+    }
+}
+
 /// Train PIM on the unlabeled pool.
 pub fn train(net: &RoadNetwork, pool: &[TemporalPathSample], cfg: &PimConfig) -> FnRepresenter {
+    train_observed(net, pool, cfg, &mut NoopObserver)
+}
+
+/// [`train`] with a [`TrainObserver`] receiving per-step records.
+pub fn train_observed(
+    net: &RoadNetwork,
+    pool: &[TemporalPathSample],
+    cfg: &PimConfig,
+    observer: &mut dyn TrainObserver,
+) -> FnRepresenter {
     assert!(pool.len() >= 2, "PIM needs at least two paths");
     let ef = EdgeFeaturizer::new(net);
     let mut params = Parameters::new();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x916);
     let lstm = Lstm::new(&mut params, &mut rng, "pim.lstm", ef.dim(), cfg.dim, 1);
-    let mut opt = Adam::new(cfg.lr);
 
-    let encode = |g: &mut Graph<'_>, lstm: &Lstm, feats: &[Vec<f64>]| -> (NodeId, Vec<NodeId>) {
-        let inputs: Vec<NodeId> =
-            feats.iter().map(|f| g.input(Tensor::row(f.clone()))).collect();
-        let hs = lstm.forward(g, &inputs);
-        let stacked = g.concat_rows(&hs);
-        (g.mean_rows(stacked), hs)
+    let mut trainer = Trainer::new(TrainSpec::adam(cfg.lr, cfg.epochs, cfg.seed));
+    let mut t = PimTrainable {
+        lstm: &lstm,
+        ef: &ef,
+        pool,
+        samples: cfg.samples,
+        total_epochs: cfg.epochs,
+        hardness: 0.0,
     };
-
-    for epoch in 0..cfg.epochs {
-        // Curriculum hardness: fraction of training completed.
-        let hardness = epoch as f64 / cfg.epochs.max(1) as f64;
-        for i in 0..pool.len() {
-            // Negative path: sample a handful of candidates and pick by the
-            // curriculum — most dissimilar early, most similar late.
-            let mut best: Option<(f64, usize)> = None;
-            for _ in 0..5 {
-                let j = rng.random_range(0..pool.len());
-                if j == i {
-                    continue;
-                }
-                let ov = edge_overlap(&pool[i].path, &pool[j].path);
-                let score = if hardness < 0.5 { -ov } else { ov };
-                if best.map_or(true, |(s, _)| score > s) {
-                    best = Some((score, j));
-                }
-            }
-            let Some((_, j)) = best else { continue };
-            let mut g = Graph::new(&params);
-            let (global, own_locals) = encode(&mut g, &lstm, &ef.path(&pool[i].path));
-            let (_, neg_locals) = encode(&mut g, &lstm, &ef.path(&pool[j].path));
-
-            let mut terms = Vec::new();
-            for _ in 0..cfg.samples {
-                let own = own_locals[rng.random_range(0..own_locals.len())];
-                let pos = g.dot(global, own);
-                let pos_sig = g.sigmoid(pos);
-                terms.push(g.ln(pos_sig));
-                let other = neg_locals[rng.random_range(0..neg_locals.len())];
-                let neg = g.dot(global, other);
-                let neg_arg = g.scale(neg, -1.0);
-                let neg_sig = g.sigmoid(neg_arg);
-                terms.push(g.ln(neg_sig));
-            }
-            let mean = g.mean_scalars(&terms);
-            let loss = g.scale(mean, -1.0);
-            g.backward(loss);
-            let grads = g.into_grads();
-            opt.step(&mut params, &grads);
-        }
-    }
+    trainer.run(&mut t, &mut params, cfg.epochs, observer);
+    drop(t);
 
     let dim = cfg.dim;
     FnRepresenter::new("PIM", dim, move |_net, path, _dep| {
@@ -132,7 +168,19 @@ pub fn train_temporal(
     cfg: &PimConfig,
     d_tem: usize,
 ) -> FnRepresenter {
-    let pim = train(net, pool, cfg);
+    train_temporal_observed(net, pool, cfg, d_tem, &mut NoopObserver)
+}
+
+/// [`train_temporal`] with a [`TrainObserver`] watching the PIM part (the
+/// frozen node2vec temporal embedding has no engine loop).
+pub fn train_temporal_observed(
+    net: &RoadNetwork,
+    pool: &[TemporalPathSample],
+    cfg: &PimConfig,
+    d_tem: usize,
+    observer: &mut dyn TrainObserver,
+) -> FnRepresenter {
+    let pim = train_observed(net, pool, cfg, observer);
     let temporal = TemporalEmbeddings::train(&Node2VecConfig {
         dim: d_tem,
         walks_per_node: 6,
@@ -171,8 +219,7 @@ mod tests {
     fn pim_temporal_depends_on_time() {
         let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 12));
         let pool: Vec<_> = ds.unlabeled.iter().take(10).cloned().collect();
-        let rep =
-            train_temporal(&ds.net, &pool, &PimConfig { epochs: 1, ..Default::default() }, 8);
+        let rep = train_temporal(&ds.net, &pool, &PimConfig { epochs: 1, ..Default::default() }, 8);
         let a = rep.represent(&ds.net, &pool[0].path, SimTime::from_hm(0, 8, 0));
         let b = rep.represent(&ds.net, &pool[0].path, SimTime::from_hm(4, 20, 0));
         assert_eq!(a.len(), rep.dim());

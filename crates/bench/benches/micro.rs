@@ -106,9 +106,8 @@ fn bench_map_matching(c: &mut Criterion) {
 fn bench_gbdt(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
     use rand::RngExt;
-    let x: Vec<Vec<f64>> = (0..400)
-        .map(|_| (0..32).map(|_| rng.random_range(-1.0..1.0)).collect())
-        .collect();
+    let x: Vec<Vec<f64>> =
+        (0..400).map(|_| (0..32).map(|_| rng.random_range(-1.0..1.0)).collect()).collect();
     let y: Vec<f64> = x.iter().map(|r| r.iter().sum::<f64>()).collect();
     c.bench_function("gbr_fit_400x32", |b| {
         b.iter(|| GbRegressor::fit(&x, &y, &GbConfig { n_trees: 40, ..Default::default() }))

@@ -9,16 +9,17 @@
 
 use std::sync::Arc;
 
+use wsccl_baselines::pathrank::{PathRankOverEncoder, RegressionExample};
 use wsccl_bench::methods::{rank_train_examples, tte_train_examples};
 use wsccl_bench::report::Table;
 use wsccl_bench::runner::{load_city, WORLD_SEED};
 use wsccl_bench::Scale;
-use wsccl_baselines::pathrank::{PathRankOverEncoder, RegressionExample};
 use wsccl_core::encoder::TemporalPathEncoder;
 use wsccl_core::wsc::WscModel;
 use wsccl_datagen::train_test_split;
 use wsccl_roadnet::CityProfile;
 use wsccl_traffic::PopLabeler;
+use wsccl_train::LossCurve;
 
 fn held_out(examples: &[RegressionExample]) -> (Vec<RegressionExample>, Vec<RegressionExample>) {
     let (tr, te) = train_test_split(examples.len(), 0.8, 0xF16);
@@ -38,11 +39,17 @@ fn main() {
         // Pre-train a WSC model (weak labels only) whose weights seed
         // PathRank's encoder.
         let cfg = scale.wsccl(WORLD_SEED);
-        let encoder =
-            Arc::new(TemporalPathEncoder::new(&ds.net, cfg.encoder.clone(), cfg.seed));
+        let encoder = Arc::new(TemporalPathEncoder::new(&ds.net, cfg.encoder.clone(), cfg.seed));
         eprintln!("[pretrain] WSC encoder on {}", ds.name);
         let mut pretrained = WscModel::new(Arc::clone(&encoder), cfg.clone(), cfg.seed);
-        pretrained.train(&ds.unlabeled, &PopLabeler, cfg.epochs.max(2));
+        let mut curve = LossCurve::new();
+        pretrained.train_observed(&ds.unlabeled, &PopLabeler, cfg.epochs.max(2), &mut curve);
+        if let Ok(json) = serde_json::to_string(&curve) {
+            let dir = std::path::Path::new("results").join("loss_curves");
+            if std::fs::create_dir_all(&dir).is_ok() {
+                let _ = std::fs::write(dir.join(format!("wsccl_pretrain_{}.json", ds.name)), json);
+            }
+        }
 
         let mut table = Table::new(
             format!(

@@ -9,7 +9,15 @@ fn main() {
     let scale = Scale::from_env();
     let mut table = Table::new(
         format!("Table II — dataset statistics (scale {})", scale.name()),
-        &["DataSet", "Unlabeled Paths", "Labeled TTE", "Candidate Groups", "#Nodes", "#Edges", "Mean |p|"],
+        &[
+            "DataSet",
+            "Unlabeled Paths",
+            "Labeled TTE",
+            "Candidate Groups",
+            "#Nodes",
+            "#Edges",
+            "Mean |p|",
+        ],
     );
     for profile in CityProfile::ALL {
         let ds = load_city(profile, scale);

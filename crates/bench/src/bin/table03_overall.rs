@@ -56,12 +56,15 @@ fn main() {
                     (m.display_name().to_string(), res.tte, res.rank)
                 }
                 Row::PerTask(label, mt, mr) => {
-                    let rt = run_method(*mt, &ds, scale, Tasks { tte: true, rank: false, rec: false });
-                    let rr = run_method(*mr, &ds, scale, Tasks { tte: false, rank: true, rec: false });
+                    let rt =
+                        run_method(*mt, &ds, scale, Tasks { tte: true, rank: false, rec: false });
+                    let rr =
+                        run_method(*mr, &ds, scale, Tasks { tte: false, rank: true, rec: false });
                     (label.to_string(), rt.tte, rr.rank)
                 }
                 Row::TteOnly(m) => {
-                    let res = run_method(*m, &ds, scale, Tasks { tte: true, rank: false, rec: false });
+                    let res =
+                        run_method(*m, &ds, scale, Tasks { tte: true, rank: false, rec: false });
                     (m.display_name().to_string(), res.tte, None)
                 }
             };

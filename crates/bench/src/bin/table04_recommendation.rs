@@ -35,10 +35,7 @@ fn main() {
         for &method in &lineup {
             let res = run_method(method, &ds, scale, Tasks::REC_ONLY);
             let c = rec_cells(&res.rec);
-            let label = method
-                .display_name()
-                .trim_end_matches("(PR)")
-                .to_string();
+            let label = method.display_name().trim_end_matches("(PR)").to_string();
             table.row(vec![label, c[0].clone(), c[1].clone()]);
         }
         table.emit(&format!("table04_recommendation_{}.txt", profile.name()));

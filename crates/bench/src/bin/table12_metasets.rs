@@ -17,7 +17,11 @@ fn main() {
     for profile in [CityProfile::Aalborg, CityProfile::Harbin] {
         let ds = load_city(profile, scale);
         let mut table = Table::new(
-            format!("Table XII — effect of N meta-sets, {} (scale {})", profile.name(), scale.name()),
+            format!(
+                "Table XII — effect of N meta-sets, {} (scale {})",
+                profile.name(),
+                scale.name()
+            ),
             &["N", "MAE", "MARE", "MAPE", "Rank MAE", "tau", "rho"],
         );
         for n in [2usize, 3, 4, 6, 8] {

@@ -190,11 +190,8 @@ fn cmd_embed(
     let ds = load_or_generate(flags, profile, scale, seed)?;
     let model_path = flags.get("model").ok_or("embed requires --model")?;
     let cp = Checkpoint::load(model_path).map_err(|e| e.to_string())?;
-    let encoder = Arc::new(TemporalPathEncoder::new(
-        &ds.net,
-        cp.encoder_config.clone(),
-        cp.encoder_seed,
-    ));
+    let encoder =
+        Arc::new(TemporalPathEncoder::new(&ds.net, cp.encoder_config.clone(), cp.encoder_seed));
     let rep =
         wsccl_core::wsc::TrainedRepresenter::from_parts(encoder, cp.params, cp.weights, "WSCCL");
     let index: usize = flags.get("index").and_then(|s| s.parse().ok()).unwrap_or(0);

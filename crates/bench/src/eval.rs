@@ -15,10 +15,8 @@ use wsccl_downstream::{GbClassifier, GbConfig, GbRegressor};
 /// Map `f` over `items` across scoped worker threads, preserving input order.
 /// Falls back to a plain serial map when only one worker is useful.
 fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len());
+    let workers =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(items.len());
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
@@ -32,10 +30,7 @@ fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> 
             })
             .collect();
         // Joining in spawn order concatenates chunks back in input order.
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("eval worker panicked"))
-            .collect()
+        handles.into_iter().flat_map(|h| h.join().expect("eval worker panicked")).collect()
     })
     .expect("eval scope")
 }
@@ -150,10 +145,7 @@ pub fn evaluate_ranking(rep: &(dyn PathRepresenter + Sync), ds: &CityDataset) ->
 
 /// Path recommendation: representation → GBC on used/unused labels; accuracy
 /// and hit rate over held-out candidates (§VII-A.2c).
-pub fn evaluate_recommendation(
-    rep: &(dyn PathRepresenter + Sync),
-    ds: &CityDataset,
-) -> RecMetrics {
+pub fn evaluate_recommendation(rep: &(dyn PathRepresenter + Sync), ds: &CityDataset) -> RecMetrics {
     let (train_groups, test_groups) = train_test_split(ds.groups.len(), 0.8, SPLIT_SEED);
     let mut train_items = Vec::new();
     let mut yt = Vec::new();

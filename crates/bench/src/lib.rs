@@ -18,7 +18,7 @@ pub mod report;
 pub mod runner;
 pub mod scale;
 
-pub use eval::{evaluate_recommendation, evaluate_ranking, evaluate_tte, evaluate_tte_predictor};
+pub use eval::{evaluate_ranking, evaluate_recommendation, evaluate_tte, evaluate_tte_predictor};
 pub use eval::{RankMetrics, RecMetrics, TteMetrics};
 pub use methods::{train_method, Method, MethodKind};
 pub use report::Table;

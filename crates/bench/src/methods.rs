@@ -2,13 +2,16 @@
 
 use wsccl_baselines::gcn::{GcnConfig, GcnPredictor, GcnTtePredictor};
 use wsccl_baselines::pathrank::{PathRank, PathRankConfig, RegressionExample};
-use wsccl_baselines::{bert, deepgtt, dgi, gmi, hmtrl, infograph, mb, node2vec_path, pim};
 use wsccl_baselines::TravelTimePredictor;
-use wsccl_core::curriculum::{train_wsccl_with_strategy, CurriculumStrategy};
+use wsccl_baselines::{bert, deepgtt, dgi, gmi, hmtrl, infograph, mb, node2vec_path, pim};
+use wsccl_core::curriculum::{
+    train_wsccl_with_strategy, train_wsccl_with_strategy_observed, CurriculumStrategy,
+};
 use wsccl_core::encoder::EncoderConfig;
 use wsccl_core::{PathRepresenter, WscclConfig};
 use wsccl_datagen::{train_test_split, CityDataset};
 use wsccl_traffic::{PopLabeler, TciLabeler, WeakLabeler};
+use wsccl_train::{NoopObserver, TrainObserver};
 
 use crate::scale::Scale;
 
@@ -122,178 +125,234 @@ pub fn train_wsccl_variant(
     Box::new(train_wsccl_with_strategy(&ds.net, &ds.unlabeled, labeler, cfg, strategy, name))
 }
 
+/// [`train_wsccl_variant`] with a [`TrainObserver`] watching the main model.
+pub fn train_wsccl_variant_observed(
+    ds: &CityDataset,
+    cfg: &WscclConfig,
+    strategy: CurriculumStrategy,
+    labeler: &(dyn WeakLabeler + Sync),
+    name: &str,
+    observer: &mut dyn TrainObserver,
+) -> Box<dyn PathRepresenter + Send + Sync> {
+    Box::new(train_wsccl_with_strategy_observed(
+        &ds.net,
+        &ds.unlabeled,
+        labeler,
+        cfg,
+        strategy,
+        name,
+        observer,
+    ))
+}
+
 /// Train a method on a dataset at the given scale.
 pub fn train_method(method: Method, ds: &CityDataset, scale: Scale, seed: u64) -> MethodKind {
+    train_method_observed(method, ds, scale, seed, &mut NoopObserver)
+}
+
+/// [`train_method`] with a [`TrainObserver`] receiving every training step of
+/// the method's main model (curriculum experts and frozen auxiliary
+/// embeddings are not observed; Node2vec has no engine loop and reports
+/// nothing).
+pub fn train_method_observed(
+    method: Method,
+    ds: &CityDataset,
+    scale: Scale,
+    seed: u64,
+    observer: &mut dyn TrainObserver,
+) -> MethodKind {
     let epochs = scale.baseline_epochs();
     match method {
-        Method::Wsccl => MethodKind::Repr(train_wsccl_variant(
+        Method::Wsccl => MethodKind::Repr(train_wsccl_variant_observed(
             ds,
             &scale.wsccl(seed),
             CurriculumStrategy::Learned,
             &PopLabeler,
             "WSCCL",
+            observer,
         )),
         Method::WscclTci => {
             let tci = TciLabeler::new(&ds.net, &ds.congestion);
-            MethodKind::Repr(train_wsccl_variant(
+            MethodKind::Repr(train_wsccl_variant_observed(
                 ds,
                 &scale.wsccl(seed),
                 CurriculumStrategy::Learned,
                 &tci,
                 "WSCCL-TCI",
+                observer,
             ))
         }
-        Method::WscclHeuristic => MethodKind::Repr(train_wsccl_variant(
+        Method::WscclHeuristic => MethodKind::Repr(train_wsccl_variant_observed(
             ds,
             &scale.wsccl(seed),
             CurriculumStrategy::Heuristic,
             &PopLabeler,
             "Heuristic",
+            observer,
         )),
-        Method::WscclNoCl => MethodKind::Repr(train_wsccl_variant(
+        Method::WscclNoCl => MethodKind::Repr(train_wsccl_variant_observed(
             ds,
             &scale.wsccl(seed),
             CurriculumStrategy::None,
             &PopLabeler,
             "w/o CL",
+            observer,
         )),
         Method::WscclNoGlobal => {
             let cfg = WscclConfig { lambda: 0.0, ..scale.wsccl(seed) };
-            MethodKind::Repr(train_wsccl_variant(
+            MethodKind::Repr(train_wsccl_variant_observed(
                 ds,
                 &cfg,
                 CurriculumStrategy::Learned,
                 &PopLabeler,
                 "w/o Global",
+                observer,
             ))
         }
         Method::WscclNoLocal => {
             let cfg = WscclConfig { lambda: 1.0, ..scale.wsccl(seed) };
-            MethodKind::Repr(train_wsccl_variant(
+            MethodKind::Repr(train_wsccl_variant_observed(
                 ds,
                 &cfg,
                 CurriculumStrategy::Learned,
                 &PopLabeler,
                 "w/o Local",
+                observer,
             ))
         }
         Method::WscclNt => {
             let mut cfg = scale.wsccl(seed);
             cfg.encoder = EncoderConfig { use_temporal: false, ..cfg.encoder };
-            MethodKind::Repr(train_wsccl_variant(
+            MethodKind::Repr(train_wsccl_variant_observed(
                 ds,
                 &cfg,
                 CurriculumStrategy::Learned,
                 &PopLabeler,
                 "WSCCL-NT",
+                observer,
             ))
         }
         Method::Node2vec => MethodKind::Repr(Box::new(node2vec_path::train(&ds.net, 16, seed))),
-        Method::Dgi => MethodKind::Repr(Box::new(dgi::train(
+        Method::Dgi => MethodKind::Repr(Box::new(dgi::train_observed(
             &ds.net,
             &dgi::DgiConfig { epochs: 15 * epochs, seed, ..Default::default() },
+            observer,
         ))),
-        Method::Gmi => MethodKind::Repr(Box::new(gmi::train(
+        Method::Gmi => MethodKind::Repr(Box::new(gmi::train_observed(
             &ds.net,
             &gmi::GmiConfig { epochs: 15 * epochs, seed, ..Default::default() },
+            observer,
         ))),
-        Method::Mb => MethodKind::Repr(Box::new(mb::train(
+        Method::Mb => MethodKind::Repr(Box::new(mb::train_observed(
             &ds.net,
             &ds.unlabeled,
             &mb::MbConfig { epochs, seed, ..Default::default() },
+            observer,
         ))),
-        Method::Bert => MethodKind::Repr(Box::new(bert::train(
+        Method::Bert => MethodKind::Repr(Box::new(bert::train_observed(
             &ds.net,
             &ds.unlabeled,
             &bert::BertConfig { epochs, seed, ..Default::default() },
+            observer,
         ))),
-        Method::InfoGraph => MethodKind::Repr(Box::new(infograph::train(
+        Method::InfoGraph => MethodKind::Repr(Box::new(infograph::train_observed(
             &ds.net,
             &ds.unlabeled,
             &infograph::InfoGraphConfig { epochs, seed, ..Default::default() },
+            observer,
         ))),
-        Method::Pim => MethodKind::Repr(Box::new(pim::train(
+        Method::Pim => MethodKind::Repr(Box::new(pim::train_observed(
             &ds.net,
             &ds.unlabeled,
             &pim::PimConfig { epochs, seed, ..Default::default() },
+            observer,
         ))),
-        Method::PimTemporal => MethodKind::Repr(Box::new(pim::train_temporal(
+        Method::PimTemporal => MethodKind::Repr(Box::new(pim::train_temporal_observed(
             &ds.net,
             &ds.unlabeled,
             &pim::PimConfig { epochs, seed, ..Default::default() },
             16,
+            observer,
         ))),
         Method::PathRankTte => {
             let ex = tte_train_examples(ds);
-            let model = PathRank::train(
+            let model = PathRank::train_observed(
                 &ds.net,
                 &ex,
                 &PathRankConfig { epochs: 2 * epochs, seed, ..Default::default() },
+                observer,
             );
             MethodKind::Repr(Box::new(model.into_representer("PathRank(TTE)")))
         }
         Method::PathRankRank => {
             let ex = rank_train_examples(ds);
-            let model = PathRank::train(
+            let model = PathRank::train_observed(
                 &ds.net,
                 &ex,
                 &PathRankConfig { epochs: 2 * epochs, seed, ..Default::default() },
+                observer,
             );
             MethodKind::Repr(Box::new(model.into_representer("PathRank(PR)")))
         }
         Method::DeepGttTte => {
             let ex = tte_train_examples(ds);
-            let model = deepgtt::DeepGtt::train(
+            let model = deepgtt::DeepGtt::train_observed(
                 &ds.net,
                 &ex,
                 &deepgtt::DeepGttConfig { epochs: 2 * epochs, seed, ..Default::default() },
+                observer,
             );
             MethodKind::Repr(Box::new(model.into_representer("DeepGTT(TTE)")))
         }
         Method::DeepGttRank => {
             let ex = rank_train_examples(ds);
-            let model = deepgtt::DeepGtt::train(
+            let model = deepgtt::DeepGtt::train_observed(
                 &ds.net,
                 &ex,
                 &deepgtt::DeepGttConfig { epochs: 2 * epochs, seed, ..Default::default() },
+                observer,
             );
             MethodKind::Repr(Box::new(model.into_representer("DeepGTT(PR)")))
         }
         Method::HmtrlTte => {
             let ex = tte_train_examples(ds);
-            let model = hmtrl::Hmtrl::train(
+            let model = hmtrl::Hmtrl::train_observed(
                 &ds.net,
                 &ex,
                 &[],
                 &hmtrl::HmtrlConfig { epochs, seed, ..Default::default() },
+                observer,
             );
             MethodKind::Repr(Box::new(model.into_representer("HMTRL(TTE)")))
         }
         Method::HmtrlRank => {
             let ex = rank_train_examples(ds);
-            let model = hmtrl::Hmtrl::train(
+            let model = hmtrl::Hmtrl::train_observed(
                 &ds.net,
                 &[],
                 &ex,
                 &hmtrl::HmtrlConfig { epochs, seed, ..Default::default() },
+                observer,
             );
             MethodKind::Repr(Box::new(model.into_representer("HMTRL(PR)")))
         }
         Method::Gcn => {
             let ex = tte_train_examples(ds);
-            let model = GcnPredictor::train(
+            let model = GcnPredictor::train_observed(
                 &ds.net,
                 &ex,
                 &GcnConfig { epochs, seed, ..Default::default() },
+                observer,
             );
             MethodKind::Tte(Box::new(GcnTtePredictor::new(model)))
         }
         Method::Stgcn => {
             let ex = tte_train_examples(ds);
-            let model = GcnPredictor::train(
+            let model = GcnPredictor::train_observed(
                 &ds.net,
                 &ex,
                 &GcnConfig { epochs, temporal: true, seed, ..Default::default() },
+                observer,
             );
             MethodKind::Tte(Box::new(GcnTtePredictor::new(model)))
         }

@@ -1,15 +1,17 @@
 //! Shared experiment driver used by the per-table binaries.
 
+use std::path::Path;
 use std::time::Instant;
 
 use wsccl_datagen::CityDataset;
 use wsccl_roadnet::CityProfile;
+use wsccl_train::LossCurve;
 
 use crate::eval::{
-    evaluate_ranking, evaluate_recommendation, evaluate_tte, evaluate_tte_predictor,
-    RankMetrics, RecMetrics, TteMetrics,
+    evaluate_ranking, evaluate_recommendation, evaluate_tte, evaluate_tte_predictor, RankMetrics,
+    RecMetrics, TteMetrics,
 };
-use crate::methods::{train_method, Method, MethodKind};
+use crate::methods::{train_method_observed, Method, MethodKind};
 use crate::scale::Scale;
 
 /// Master seed for all experiment binaries; change to re-draw the synthetic
@@ -47,12 +49,38 @@ impl Tasks {
     pub const REC_ONLY: Tasks = Tasks { tte: false, rank: false, rec: true };
 }
 
-/// Train one method and evaluate the requested tasks.
+/// Write a method's recorded loss curve to `results/loss_curves/`, mirroring
+/// how tables land in `results/`. Methods without an engine loop (Node2vec)
+/// record nothing and get no file.
+fn save_loss_curve(method: Method, city: &str, curve: &LossCurve) {
+    if curve.step_losses.is_empty() {
+        return;
+    }
+    let dir = Path::new("results").join("loss_curves");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let slug: String = method
+        .display_name()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect();
+    let file = dir.join(format!("{slug}_{city}.json"));
+    if let Ok(json) = serde_json::to_string(curve) {
+        let _ = std::fs::write(&file, json);
+    }
+}
+
+/// Train one method and evaluate the requested tasks. The training loss curve
+/// (per-step losses and gradient norms from the engine's observer) is saved
+/// under `results/loss_curves/<method>_<city>.json`.
 pub fn run_method(method: Method, ds: &CityDataset, scale: Scale, tasks: Tasks) -> MethodResult {
     let t = Instant::now();
     eprintln!("[train] {} on {}", method.display_name(), ds.name);
-    let trained = train_method(method, ds, scale, WORLD_SEED);
+    let mut curve = LossCurve::new();
+    let trained = train_method_observed(method, ds, scale, WORLD_SEED, &mut curve);
     eprintln!("[train] {} done in {:.1?}", method.display_name(), t.elapsed());
+    save_loss_curve(method, &ds.name, &curve);
     match trained {
         MethodKind::Repr(rep) => MethodResult {
             method,

@@ -58,13 +58,7 @@ impl Scale {
             Scale::Small => (3, 4, 1),
             Scale::Full => (4, 4, 2),
         };
-        WscclConfig {
-            epochs,
-            num_meta_sets: meta,
-            expert_epochs,
-            seed,
-            ..WscclConfig::default()
-        }
+        WscclConfig { epochs, num_meta_sets: meta, expert_epochs, seed, ..WscclConfig::default() }
     }
 
     /// Epoch budget for the neural baselines at this scale.

@@ -65,9 +65,7 @@ pub fn difficulty_scores(
             .iter()
             .map(|expert| {
                 scope.spawn(move |_| {
-                    data.iter()
-                        .map(|s| expert.embed(&s.path, s.departure))
-                        .collect::<Vec<_>>()
+                    data.iter().map(|s| expert.embed(&s.path, s.departure)).collect::<Vec<_>>()
                 })
             })
             .collect();
@@ -89,11 +87,7 @@ pub fn difficulty_scores(
 
 /// Partition sample indices into `m` stages, easiest (highest score) first,
 /// shuffling within each stage (§VI-C).
-pub fn curriculum_stages(
-    scores: &[f64],
-    m: usize,
-    rng: &mut StdRng,
-) -> Vec<Vec<usize>> {
+pub fn curriculum_stages(scores: &[f64], m: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
     assert!(m >= 1 && m <= scores.len(), "need 1 ≤ M ≤ |D|");
     let mut order: Vec<usize> = (0..scores.len()).collect();
     // Descending score = ascending difficulty.
@@ -121,6 +115,30 @@ pub fn train_wsccl_with_strategy(
     cfg: &WscclConfig,
     strategy: CurriculumStrategy,
     name: &str,
+) -> TrainedRepresenter {
+    train_wsccl_with_strategy_observed(
+        net,
+        data,
+        labeler,
+        cfg,
+        strategy,
+        name,
+        &mut wsccl_train::NoopObserver,
+    )
+}
+
+/// [`train_wsccl_with_strategy`] with a [`wsccl_train::TrainObserver`]
+/// receiving the *main* model's training records (curriculum stages plus the
+/// final full-data stage). Expert models train unobserved on their own
+/// threads.
+pub fn train_wsccl_with_strategy_observed(
+    net: &RoadNetwork,
+    data: &[TemporalPathSample],
+    labeler: &(dyn WeakLabeler + Sync),
+    cfg: &WscclConfig,
+    strategy: CurriculumStrategy,
+    name: &str,
+    observer: &mut dyn wsccl_train::TrainObserver,
 ) -> TrainedRepresenter {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
     let encoder = Arc::new(TemporalPathEncoder::new(net, cfg.encoder.clone(), cfg.seed));
@@ -178,11 +196,11 @@ pub fn train_wsccl_with_strategy(
     // Curriculum phase: one epoch per stage, easy → hard.
     for stage in &stages {
         let subset: Vec<TemporalPathSample> = stage.iter().map(|&i| data[i].clone()).collect();
-        model.train(&subset, labeler, 1);
+        model.train_observed(&subset, labeler, 1, observer);
     }
     // Final stage S_{M+1}: the whole training set until convergence
     // (cfg.epochs at reproduction scale).
-    model.train(data, labeler, cfg.epochs);
+    model.train_observed(data, labeler, cfg.epochs, observer);
     model.into_representer(name)
 }
 
@@ -266,21 +284,15 @@ mod tests {
                 "variant",
             );
             let s = &ds.unlabeled[1];
-            assert!(rep
-                .represent(&ds.net, &s.path, s.departure)
-                .iter()
-                .all(|x| x.is_finite()));
+            assert!(rep.represent(&ds.net, &s.path, s.departure).iter().all(|x| x.is_finite()));
         }
     }
 
     #[test]
     fn difficulty_scores_are_bounded_by_expert_count() {
         let ds = tiny_data();
-        let encoder = Arc::new(TemporalPathEncoder::new(
-            &ds.net,
-            crate::encoder::EncoderConfig::tiny(),
-            1,
-        ));
+        let encoder =
+            Arc::new(TemporalPathEncoder::new(&ds.net, crate::encoder::EncoderConfig::tiny(), 1));
         let sets = meta_sets(&ds.unlabeled, 2);
         let mut membership = vec![0usize; ds.unlabeled.len()];
         for (j, set) in sets.iter().enumerate() {

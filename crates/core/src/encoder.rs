@@ -30,7 +30,9 @@ use wsccl_traffic::SimTime;
 pub enum SeqArch {
     Lstm,
     /// Pre-norm Transformer encoder with the given number of blocks.
-    Transformer { blocks: usize },
+    Transformer {
+        blocks: usize,
+    },
 }
 
 /// Encoder architecture parameters.
@@ -113,9 +115,7 @@ impl EncoderConfig {
 
     /// Width of each LSTM input `x_e = [t_all, s_all, phys]`.
     pub fn input_dim(&self) -> usize {
-        self.spatial_dim()
-            + PHYS_DIM
-            + if self.use_temporal { self.d_tem } else { 0 }
+        self.spatial_dim() + PHYS_DIM + if self.use_temporal { self.d_tem } else { 0 }
     }
 }
 
@@ -278,10 +278,8 @@ impl TemporalPathEncoder {
     ) -> (NodeId, Vec<NodeId>) {
         assert!(!path.is_empty(), "cannot encode an empty path");
         // Frozen temporal embedding, shared across the path's edges.
-        let t_all = self
-            .temporal
-            .as_ref()
-            .map(|t| g.input(Tensor::row(t.embed(departure).to_vec())));
+        let t_all =
+            self.temporal.as_ref().map(|t| g.input(Tensor::row(t.embed(departure).to_vec())));
 
         let mut inputs = Vec::with_capacity(path.len());
         for &e in path.edges() {
@@ -382,8 +380,7 @@ mod tests {
         let path = some_path(&net, 6);
         let morning = enc.embed(&mut params, &w, &path, SimTime::from_hm(0, 8, 0));
         let night = enc.embed(&mut params, &w, &path, SimTime::from_hm(0, 2, 0));
-        let diff: f64 =
-            morning.iter().zip(&night).map(|(a, b)| (a - b).abs()).sum();
+        let diff: f64 = morning.iter().zip(&night).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 1e-6, "temporal input should affect the TPR");
     }
 
@@ -413,7 +410,9 @@ mod tests {
         g.backward(loss);
         let touched = params
             .ids()
-            .filter(|&id| g.grads().grad(id).is_some_and(|t| t.data().iter().any(|v| v.abs() > 0.0)))
+            .filter(|&id| {
+                g.grads().grad(id).is_some_and(|t| t.data().iter().any(|v| v.abs() > 0.0))
+            })
             .count();
         assert!(touched > 0, "backward should reach trainable weights");
     }
@@ -451,10 +450,8 @@ mod transformer_tests {
     #[test]
     fn transformer_encoder_produces_valid_tprs() {
         let net = CityProfile::Aalborg.generate(2);
-        let cfg = EncoderConfig {
-            seq_arch: SeqArch::Transformer { blocks: 1 },
-            ..EncoderConfig::tiny()
-        };
+        let cfg =
+            EncoderConfig { seq_arch: SeqArch::Transformer { blocks: 1 }, ..EncoderConfig::tiny() };
         let enc = TemporalPathEncoder::new(&net, cfg, 2);
         let mut params = Parameters::new();
         let w = enc.init_weights(&mut params, 1);
@@ -470,10 +467,8 @@ mod transformer_tests {
     #[test]
     fn transformer_gradients_flow_end_to_end() {
         let net = CityProfile::Aalborg.generate(2);
-        let cfg = EncoderConfig {
-            seq_arch: SeqArch::Transformer { blocks: 2 },
-            ..EncoderConfig::tiny()
-        };
+        let cfg =
+            EncoderConfig { seq_arch: SeqArch::Transformer { blocks: 2 }, ..EncoderConfig::tiny() };
         let enc = TemporalPathEncoder::new(&net, cfg, 2);
         let mut params = Parameters::new();
         let w = enc.init_weights(&mut params, 1);
@@ -485,7 +480,9 @@ mod transformer_tests {
         g.backward(loss);
         let touched = params
             .ids()
-            .filter(|&id| g.grads().grad(id).is_some_and(|t| t.data().iter().any(|v| v.abs() > 0.0)))
+            .filter(|&id| {
+                g.grads().grad(id).is_some_and(|t| t.data().iter().any(|v| v.abs() > 0.0))
+            })
             .count();
         assert!(touched > params.len() / 2, "{touched} of {}", params.len());
     }

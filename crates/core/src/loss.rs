@@ -46,17 +46,15 @@ pub fn global_wsc_with_temperature(
 
     let mut per_query = Vec::new();
     for i in 0..n {
-        let positives: Vec<usize> = (0..n)
-            .filter(|&j| j != i && batch.items[i].is_positive_for(&batch.items[j]))
-            .collect();
+        let positives: Vec<usize> =
+            (0..n).filter(|&j| j != i && batch.items[i].is_positive_for(&batch.items[j])).collect();
         let negatives: Vec<usize> = (0..n)
             .filter(|&j| j != i && !batch.items[i].is_positive_for(&batch.items[j]))
             .collect();
         if positives.is_empty() || negatives.is_empty() {
             continue;
         }
-        let neg_sims: Vec<NodeId> =
-            negatives.iter().map(|&k| sim(g, &mut sims, i, k)).collect();
+        let neg_sims: Vec<NodeId> = negatives.iter().map(|&k| sim(g, &mut sims, i, k)).collect();
         let lse = g.log_sum_exp(&neg_sims);
         let mut terms = Vec::with_capacity(positives.len());
         for &j in &positives {
@@ -110,9 +108,7 @@ pub fn local_wsc(
             continue;
         }
         let draw = |rng: &mut StdRng, pool: &[(usize, usize)], k: usize| -> Vec<(usize, usize)> {
-            (0..k.min(pool.len()))
-                .map(|_| pool[rng.random_range(0..pool.len())])
-                .collect()
+            (0..k.min(pool.len())).map(|_| pool[rng.random_range(0..pool.len())]).collect()
         };
         let pos = draw(rng, &pos_pool, edges_per_side);
         let neg = draw(rng, &neg_pool, edges_per_side);
@@ -180,9 +176,9 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use wsccl_nn::{Parameters, Tensor};
+    use wsccl_roadnet::EdgeId;
     use wsccl_roadnet::Path;
     use wsccl_traffic::{SimTime, WeakLabel};
-    use wsccl_roadnet::EdgeId;
 
     /// Build a fake batch whose TPRs are parameters, to inspect loss behavior.
     fn fake_batch_items() -> Vec<BatchItem> {
@@ -257,10 +253,7 @@ mod tests {
         let v_good = global_wsc(&mut g, &enc).map(|n| g.value(n).item()).unwrap();
         let enc = encode_with_vectors(&mut g, &items, &bad);
         let v_bad = global_wsc(&mut g, &enc).map(|n| g.value(n).item()).unwrap();
-        assert!(
-            v_good > v_bad,
-            "aligned positives should score higher: {v_good:.4} vs {v_bad:.4}"
-        );
+        assert!(v_good > v_bad, "aligned positives should score higher: {v_good:.4} vs {v_bad:.4}");
     }
 
     #[test]

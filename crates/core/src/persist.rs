@@ -1,21 +1,31 @@
 //! Model persistence: save a trained WSC model's weights and reload them
 //! into a compatible encoder.
 //!
-//! Only the *trainable* state is serialized (parameter tensors plus the layer
-//! handles that index into them). The frozen node2vec tables are rebuilt
-//! deterministically from the same seed, so a checkpoint is
-//! `(encoder config, seed, weights)`.
+//! Two formats share one version number:
+//!
+//! * [`Checkpoint`] — weights only. The frozen node2vec tables are rebuilt
+//!   deterministically from the same seed, so a checkpoint is
+//!   `(encoder config, seed, weights)`.
+//! * [`EngineCheckpoint`] — weights *plus* the training-engine state
+//!   (optimizer moments, step/epoch counters, RNG stream), sufficient for
+//!   [`crate::wsc::WscModel::resume`] to continue a run bit-for-bit.
+//!
+//! The plain reader refuses engine checkpoints (and vice versa an engine
+//! read of a plain file fails on the missing trainer state), so a file is
+//! never silently loaded with half its state dropped.
 
 use std::io::{Read, Write};
 use std::path::Path as FsPath;
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use wsccl_nn::Parameters;
+use wsccl_train::TrainerState;
 
+use crate::config::WscclConfig;
 use crate::encoder::{EncoderConfig, EncoderWeights};
 
-/// A serializable WSC checkpoint.
+/// A serializable weights-only WSC checkpoint.
 #[derive(Debug, Serialize, Deserialize)]
 pub struct Checkpoint {
     /// Format version, bumped on breaking layout changes.
@@ -30,8 +40,9 @@ pub struct Checkpoint {
     pub weights: EncoderWeights,
 }
 
-/// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Current checkpoint format version. Version 2 introduced the engine
+/// checkpoint (trainer state alongside the weights).
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Errors from checkpoint I/O.
 #[derive(Debug)]
@@ -39,7 +50,13 @@ pub enum PersistError {
     Io(std::io::Error),
     Encode(String),
     /// The file's version does not match [`CHECKPOINT_VERSION`].
-    VersionMismatch { found: u32 },
+    VersionMismatch {
+        found: u32,
+    },
+    /// An engine checkpoint (carrying trainer state) was handed to the plain
+    /// weights-only reader, which would silently drop the optimizer moments
+    /// and RNG stream. Load it with [`EngineCheckpoint::load`] instead.
+    EngineCheckpointRequiresEngineReader,
 }
 
 impl std::fmt::Display for PersistError {
@@ -49,6 +66,13 @@ impl std::fmt::Display for PersistError {
             PersistError::Encode(e) => write!(f, "checkpoint encoding error: {e}"),
             PersistError::VersionMismatch { found } => {
                 write!(f, "checkpoint version {found} != supported {CHECKPOINT_VERSION}")
+            }
+            PersistError::EngineCheckpointRequiresEngineReader => {
+                write!(
+                    f,
+                    "file is an engine checkpoint (has trainer state); \
+                     load it with EngineCheckpoint, not Checkpoint"
+                )
             }
         }
     }
@@ -60,6 +84,27 @@ impl From<std::io::Error> for PersistError {
     fn from(e: std::io::Error) -> Self {
         PersistError::Io(e)
     }
+}
+
+/// Header-level look at a checkpoint file: version plus whether it carries
+/// engine state. Deserialized manually so it tolerates (and ignores) every
+/// other field of either format.
+struct CheckpointProbe {
+    version: u32,
+    has_trainer: bool,
+}
+
+impl Deserialize for CheckpointProbe {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v.as_object("checkpoint")?;
+        let version = u32::from_value(serde::field(obj, "version", "checkpoint")?)?;
+        let has_trainer = obj.iter().any(|(k, _)| k == "trainer");
+        Ok(Self { version, has_trainer })
+    }
+}
+
+fn probe(buf: &str) -> Result<CheckpointProbe, PersistError> {
+    serde_json::from_str(buf).map_err(|e| PersistError::Encode(e.to_string()))
 }
 
 impl Checkpoint {
@@ -79,16 +124,90 @@ impl Checkpoint {
         Ok(())
     }
 
+    /// Deserialize from a reader, validating the version and rejecting
+    /// engine checkpoints (which need [`EngineCheckpoint::read_from`]).
+    pub fn read_from(r: &mut impl Read) -> Result<Self, PersistError> {
+        let mut buf = String::new();
+        r.read_to_string(&mut buf)?;
+        let head = probe(&buf)?;
+        if head.version != CHECKPOINT_VERSION {
+            return Err(PersistError::VersionMismatch { found: head.version });
+        }
+        if head.has_trainer {
+            return Err(PersistError::EngineCheckpointRequiresEngineReader);
+        }
+        serde_json::from_str(&buf).map_err(|e| PersistError::Encode(e.to_string()))
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: impl AsRef<FsPath>) -> Result<(), PersistError> {
+        let mut f = std::fs::File::create(path)?;
+        self.write_to(&mut f)
+    }
+
+    /// Load from a file.
+    pub fn load(path: impl AsRef<FsPath>) -> Result<Self, PersistError> {
+        let mut f = std::fs::File::open(path)?;
+        Self::read_from(&mut f)
+    }
+}
+
+/// A full training-run checkpoint: everything in [`Checkpoint`] plus the
+/// model config, the engine state, and the loss history so far.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct EngineCheckpoint {
+    pub version: u32,
+    pub encoder_config: EncoderConfig,
+    pub encoder_seed: u64,
+    /// The model's training config (loss hyper-parameters etc.).
+    pub config: WscclConfig,
+    pub params: Parameters,
+    pub weights: EncoderWeights,
+    /// Optimizer moments, step/epoch counters, and engine RNG state.
+    pub trainer: TrainerState,
+    /// Mean training loss per completed epoch.
+    pub loss_history: Vec<f64>,
+}
+
+impl EngineCheckpoint {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        encoder_config: EncoderConfig,
+        encoder_seed: u64,
+        config: WscclConfig,
+        params: Parameters,
+        weights: EncoderWeights,
+        trainer: TrainerState,
+        loss_history: Vec<f64>,
+    ) -> Self {
+        Self {
+            version: CHECKPOINT_VERSION,
+            encoder_config,
+            encoder_seed,
+            config,
+            params,
+            weights,
+            trainer,
+            loss_history,
+        }
+    }
+
+    /// Serialize to a writer as JSON.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), PersistError> {
+        let json = serde_json::to_string(self).map_err(|e| PersistError::Encode(e.to_string()))?;
+        w.write_all(json.as_bytes())?;
+        Ok(())
+    }
+
     /// Deserialize from a reader, validating the version.
     pub fn read_from(r: &mut impl Read) -> Result<Self, PersistError> {
         let mut buf = String::new();
         r.read_to_string(&mut buf)?;
-        let cp: Checkpoint =
-            serde_json::from_str(&buf).map_err(|e| PersistError::Encode(e.to_string()))?;
-        if cp.version != CHECKPOINT_VERSION {
-            return Err(PersistError::VersionMismatch { found: cp.version });
+        let head = probe(&buf)?;
+        if head.version != CHECKPOINT_VERSION {
+            return Err(PersistError::VersionMismatch { found: head.version });
         }
-        Ok(cp)
+        serde_json::from_str(&buf).map_err(|e| PersistError::Encode(e.to_string()))
     }
 
     /// Save to a file.
@@ -138,7 +257,8 @@ mod tests {
         let restored = Checkpoint::read_from(&mut buf.as_slice()).expect("read");
 
         // Rebuild the frozen encoder from (config, seed) and compare.
-        let enc2 = TemporalPathEncoder::new(&net, restored.encoder_config.clone(), restored.encoder_seed);
+        let enc2 =
+            TemporalPathEncoder::new(&net, restored.encoder_config.clone(), restored.encoder_seed);
         let mut params2 = restored.params;
         let after = enc2.embed(&mut params2, &restored.weights, &path, t);
         assert_eq!(before, after, "checkpoint roundtrip must be exact");
@@ -160,6 +280,38 @@ mod tests {
             Err(PersistError::VersionMismatch { found: 99 }) => {}
             other => panic!("expected version mismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn engine_checkpoint_is_rejected_by_plain_reader() {
+        // The engine layout is a superset of the plain layout, so a naive
+        // field-by-field read would "succeed" while dropping the optimizer
+        // moments and RNG stream. The plain reader must refuse instead.
+        let net = CityProfile::Aalborg.generate(3);
+        let cfg = EncoderConfig::tiny();
+        let enc = TemporalPathEncoder::new(&net, cfg.clone(), 3);
+        let mut params = Parameters::new();
+        let weights = enc.init_weights(&mut params, 9);
+        let trainer = wsccl_train::Trainer::new(wsccl_train::TrainSpec::adam(1e-3, 1, 3));
+        let cp = EngineCheckpoint::new(
+            cfg,
+            3,
+            WscclConfig::tiny(),
+            params,
+            weights,
+            trainer.state(),
+            vec![1.0, 0.5],
+        );
+        let mut buf = Vec::new();
+        cp.write_to(&mut buf).expect("write");
+        match Checkpoint::read_from(&mut buf.as_slice()) {
+            Err(PersistError::EngineCheckpointRequiresEngineReader) => {}
+            other => panic!("expected engine-checkpoint rejection, got {other:?}"),
+        }
+        // The engine reader accepts the same bytes.
+        let restored = EngineCheckpoint::read_from(&mut buf.as_slice()).expect("engine read");
+        assert_eq!(restored.loss_history, vec![1.0, 0.5]);
+        assert_eq!(restored.trainer.step, 0);
     }
 }
 

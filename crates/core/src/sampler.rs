@@ -84,11 +84,7 @@ pub fn build_batch(
     for _ in 0..blocks {
         let anchor = &pool[rng.random_range(0..pool.len())];
         let label = labeler.label(anchor.departure);
-        batch.push(BatchItem {
-            path: anchor.path.clone(),
-            departure: anchor.departure,
-            label,
-        });
+        batch.push(BatchItem { path: anchor.path.clone(), departure: anchor.departure, label });
         // Positive: same path, same label, (almost surely) different time.
         if let Some(t) = sample_time_with_label(rng, labeler, label, 200) {
             batch.push(BatchItem { path: anchor.path.clone(), departure: t, label });
@@ -145,11 +141,8 @@ mod tests {
         // For each item, count positives/negatives among others.
         let mut anchors_with_pos = 0;
         for (i, a) in batch.iter().enumerate() {
-            let pos = batch
-                .iter()
-                .enumerate()
-                .filter(|&(j, b)| j != i && a.is_positive_for(b))
-                .count();
+            let pos =
+                batch.iter().enumerate().filter(|&(j, b)| j != i && a.is_positive_for(b)).count();
             if pos > 0 {
                 anchors_with_pos += 1;
             }
@@ -165,9 +158,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let batch = build_batch(&mut rng, &pool, &PopLabeler, 16);
         let has_hard_negative = batch.iter().enumerate().any(|(i, a)| {
-            batch.iter().enumerate().any(|(j, b)| {
-                i != j && a.path.edges() == b.path.edges() && a.label != b.label
-            })
+            batch
+                .iter()
+                .enumerate()
+                .any(|(j, b)| i != j && a.path.edges() == b.path.edges() && a.label != b.label)
         });
         assert!(has_hard_negative, "expected same-path different-label pairs");
     }

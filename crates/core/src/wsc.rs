@@ -1,4 +1,5 @@
-//! The WSC base model (Fig. 5): temporal path encoder + WSC losses + Adam.
+//! The WSC base model (Fig. 5): temporal path encoder + WSC losses, trained
+//! through the shared [`wsccl_train`] engine.
 //!
 //! Training is data-parallel: each step draws `cfg.shards` independent
 //! sub-batches, runs forward + backward for every shard on its own tape over
@@ -6,22 +7,25 @@
 //! and applies a single optimizer step. The shard count is part of the math
 //! (it determines which negatives each query sees); the thread count is not —
 //! for a fixed seed and shard count, training is bit-for-bit identical at any
-//! `cfg.threads`.
+//! `cfg.threads`. All of that now lives in [`wsccl_train::Trainer`]; this
+//! module only knows how to build one shard's loss.
 
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 use wsccl_datagen::TemporalPathSample;
-use wsccl_nn::optim::Adam;
-use wsccl_nn::{GradStore, Graph, Parameters};
+use wsccl_nn::{Graph, NodeId, Parameters};
 use wsccl_roadnet::{Path, RoadNetwork};
 use wsccl_traffic::{SimTime, WeakLabeler};
+use wsccl_train::{
+    LrSchedule, NoopObserver, OptimizerKind, TrainObserver, TrainSpec, Trainable, Trainer,
+};
 
 use crate::config::WscclConfig;
 use crate::encoder::{EncoderWeights, TemporalPathEncoder};
 use crate::loss::{wsc_loss_with_temperature, EncodedBatch};
+use crate::persist::EngineCheckpoint;
 use crate::represent::PathRepresenter;
 use crate::sampler::build_batch;
 
@@ -31,64 +35,93 @@ pub struct WscModel {
     encoder: Arc<TemporalPathEncoder>,
     params: Parameters,
     weights: EncoderWeights,
-    optimizer: Adam,
+    trainer: Trainer,
     cfg: WscclConfig,
-    rng: StdRng,
     /// Mean training loss per epoch, for diagnostics and tests.
     pub loss_history: Vec<f64>,
 }
 
-/// Forward + loss + backward for one shard on its own tape. Runs against the
-/// shared read-only parameter values; everything this computes is a pure
-/// function of `(params, weights, cfg, seed)`, which is what makes the
-/// thread schedule irrelevant to the result.
-fn run_shard(
-    encoder: &TemporalPathEncoder,
-    params: &Parameters,
-    weights: &EncoderWeights,
-    cfg: &WscclConfig,
-    pool: &[TemporalPathSample],
-    labeler: &dyn WeakLabeler,
-    batch_size: usize,
-    seed: u64,
-) -> Option<(f64, GradStore)> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let items = build_batch(&mut rng, pool, labeler, batch_size);
-    let mut g = Graph::new(params);
-    let mut tprs = Vec::with_capacity(items.len());
-    let mut sters = Vec::with_capacity(items.len());
-    for item in &items {
-        let (tpr, st) = encoder.forward(&mut g, weights, &item.path, item.departure);
-        tprs.push(tpr);
-        sters.push(st);
+/// Map the model config onto an engine spec: Adam at a constant rate with
+/// clipping, shard/thread knobs passed straight through.
+fn train_spec(cfg: &WscclConfig, seed: u64) -> TrainSpec {
+    TrainSpec {
+        epochs: cfg.epochs,
+        optimizer: OptimizerKind::Adam,
+        lr: cfg.lr,
+        schedule: LrSchedule::Constant,
+        grad_clip: Some(cfg.grad_clip),
+        seed,
+        shards: cfg.shards,
+        threads: cfg.threads,
     }
-    let batch = EncodedBatch { items: &items, tprs, sters };
-    let loss = wsc_loss_with_temperature(
-        &mut g,
-        &batch,
-        &mut rng,
-        cfg.lambda,
-        cfg.local_edges,
-        cfg.temperature,
-    )?;
-    let (value, grads) = g.finish(loss);
-    value.is_finite().then_some((value, grads))
+}
+
+/// WSC as seen by the engine. Every batch is a unit marker: the actual
+/// sub-batch is sampled inside the shard from the shard RNG, so each of the
+/// `cfg.shards` shards sees its own independently drawn sub-batch. Everything
+/// a shard computes is a pure function of `(params, weights, cfg, shard
+/// seed)`, which is what makes the thread schedule irrelevant to the result.
+struct WscTrainable<'a> {
+    encoder: &'a TemporalPathEncoder,
+    weights: &'a EncoderWeights,
+    cfg: &'a WscclConfig,
+    pool: &'a [TemporalPathSample],
+    labeler: &'a (dyn WeakLabeler + Sync),
+    /// Per-shard batch size; `build_batch` clamps to at least one anchor
+    /// block, so over-sharding degrades gracefully.
+    per_shard: usize,
+    /// Steps per epoch.
+    steps: usize,
+}
+
+impl<'a> WscTrainable<'a> {
+    fn new(
+        encoder: &'a TemporalPathEncoder,
+        weights: &'a EncoderWeights,
+        cfg: &'a WscclConfig,
+        pool: &'a [TemporalPathSample],
+        labeler: &'a (dyn WeakLabeler + Sync),
+        steps: usize,
+    ) -> Self {
+        let per_shard = (cfg.batch_size / cfg.shards.max(1)).max(1);
+        Self { encoder, weights, cfg, pool, labeler, per_shard, steps }
+    }
+}
+
+impl Trainable for WscTrainable<'_> {
+    type Batch = ();
+
+    fn epoch_batches(&mut self, _epoch: u64, _rng: &mut StdRng) -> Vec<()> {
+        vec![(); self.steps]
+    }
+
+    fn build_loss(&self, g: &mut Graph<'_>, _batch: &(), rng: &mut StdRng) -> Option<NodeId> {
+        let items = build_batch(rng, self.pool, self.labeler, self.per_shard);
+        let mut tprs = Vec::with_capacity(items.len());
+        let mut sters = Vec::with_capacity(items.len());
+        for item in &items {
+            let (tpr, st) = self.encoder.forward(g, self.weights, &item.path, item.departure);
+            tprs.push(tpr);
+            sters.push(st);
+        }
+        let batch = EncodedBatch { items: &items, tprs, sters };
+        wsc_loss_with_temperature(
+            g,
+            &batch,
+            rng,
+            self.cfg.lambda,
+            self.cfg.local_edges,
+            self.cfg.temperature,
+        )
+    }
 }
 
 impl WscModel {
     pub fn new(encoder: Arc<TemporalPathEncoder>, cfg: WscclConfig, seed: u64) -> Self {
         let mut params = Parameters::new();
         let weights = encoder.init_weights(&mut params, seed);
-        let optimizer = Adam::new(cfg.lr);
-        Self {
-            encoder,
-            params,
-            weights,
-            optimizer,
-            cfg,
-            rng: StdRng::seed_from_u64(seed ^ 0x5C3A),
-            loss_history: Vec::new(),
-        }
+        let trainer = Trainer::new(train_spec(&cfg, seed));
+        Self { encoder, params, weights, trainer, cfg, loss_history: Vec::new() }
     }
 
     pub fn encoder(&self) -> &TemporalPathEncoder {
@@ -107,82 +140,9 @@ impl WscModel {
         pool: &[TemporalPathSample],
         labeler: &(dyn WeakLabeler + Sync),
     ) -> Option<f64> {
-        let shards = self.cfg.shards.max(1);
-        // Per-shard batch size; `build_batch` clamps to at least one anchor
-        // block, so over-sharding degrades gracefully.
-        let per_shard = (self.cfg.batch_size / shards).max(1);
-        // Draw every shard's seed upfront, in shard order, so shard work is
-        // independent of execution interleaving.
-        let seeds: Vec<u64> = (0..shards).map(|_| self.rng.random()).collect();
-
-        let threads = self.cfg.threads.max(1).min(shards);
-        let results: Vec<Option<(f64, GradStore)>> = if threads == 1 {
-            seeds
-                .iter()
-                .map(|&seed| {
-                    run_shard(
-                        &self.encoder,
-                        &self.params,
-                        &self.weights,
-                        &self.cfg,
-                        pool,
-                        labeler,
-                        per_shard,
-                        seed,
-                    )
-                })
-                .collect()
-        } else {
-            let (encoder, params, weights, cfg) =
-                (&*self.encoder, &self.params, &self.weights, &self.cfg);
-            let mut results: Vec<Option<(f64, GradStore)>> = (0..shards).map(|_| None).collect();
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|t| {
-                        let seeds = &seeds;
-                        scope.spawn(move |_| {
-                            // Worker `t` owns shards t, t+threads, … — a fixed
-                            // partition, so results carry their shard index.
-                            (t..shards)
-                                .step_by(threads)
-                                .map(|s| {
-                                    let r = run_shard(
-                                        encoder, params, weights, cfg, pool, labeler,
-                                        per_shard, seeds[s],
-                                    );
-                                    (s, r)
-                                })
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    for (s, r) in h.join().expect("shard worker panicked") {
-                        results[s] = r;
-                    }
-                }
-            })
-            .expect("shard scope");
-            results
-        };
-
-        // Reduce in ascending shard order (results is shard-indexed), average,
-        // clip, and take one optimizer step.
-        let mut total = GradStore::new();
-        let mut loss_sum = 0.0;
-        let mut used = 0usize;
-        for (value, grads) in results.into_iter().flatten() {
-            total.accumulate(&grads);
-            loss_sum += value;
-            used += 1;
-        }
-        if used == 0 {
-            return None;
-        }
-        total.scale(1.0 / used as f64);
-        total.clip_norm(self.cfg.grad_clip);
-        self.optimizer.step(&mut self.params, &total);
-        Some(loss_sum / used as f64)
+        let Self { encoder, params, weights, trainer, cfg, .. } = self;
+        let mut t = WscTrainable::new(encoder, weights, cfg, pool, labeler, 1);
+        trainer.step(&mut t, params, &()).map(|o| o.loss)
     }
 
     /// Train for `epochs` passes of `pool.len() / batch_size` steps each.
@@ -192,18 +152,59 @@ impl WscModel {
         labeler: &(dyn WeakLabeler + Sync),
         epochs: usize,
     ) {
+        self.train_observed(pool, labeler, epochs, &mut NoopObserver);
+    }
+
+    /// [`Self::train`] with a [`TrainObserver`] receiving per-step and
+    /// per-epoch records.
+    pub fn train_observed(
+        &mut self,
+        pool: &[TemporalPathSample],
+        labeler: &(dyn WeakLabeler + Sync),
+        epochs: usize,
+        observer: &mut dyn TrainObserver,
+    ) {
         assert!(!pool.is_empty(), "cannot train on an empty pool");
-        let steps = (pool.len() / self.cfg.batch_size).max(1);
-        for _ in 0..epochs {
-            let mut total = 0.0;
-            let mut n = 0usize;
-            for _ in 0..steps {
-                if let Some(l) = self.train_step(pool, labeler) {
-                    total += l;
-                    n += 1;
-                }
-            }
-            self.loss_history.push(if n > 0 { total / n as f64 } else { f64::NAN });
+        let Self { encoder, params, weights, trainer, cfg, loss_history } = self;
+        let steps = (pool.len() / cfg.batch_size).max(1);
+        let mut t = WscTrainable::new(encoder, weights, cfg, pool, labeler, steps);
+        let history = trainer.run(&mut t, params, epochs, observer);
+        loss_history.extend(history);
+    }
+
+    /// Snapshot the full training run (weights + optimizer moments + engine
+    /// RNG + counters). `encoder_seed` is the seed the frozen encoder tables
+    /// were built from, so [`Self::resume`] can rebuild them.
+    pub fn checkpoint(&self, encoder_seed: u64) -> EngineCheckpoint {
+        EngineCheckpoint::new(
+            self.encoder.config().clone(),
+            encoder_seed,
+            self.cfg.clone(),
+            self.params.clone(),
+            self.weights.clone(),
+            self.trainer.state(),
+            self.loss_history.clone(),
+        )
+    }
+
+    /// Continue a checkpointed run, rebuilding the frozen encoder tables
+    /// from `(encoder_config, encoder_seed)`. The resumed model's trajectory
+    /// is bit-for-bit the one the checkpointed model would have produced.
+    pub fn resume(net: &RoadNetwork, cp: EngineCheckpoint) -> Self {
+        let encoder =
+            Arc::new(TemporalPathEncoder::new(net, cp.encoder_config.clone(), cp.encoder_seed));
+        Self::resume_with_encoder(encoder, cp)
+    }
+
+    /// [`Self::resume`] with an already-built (shared) encoder.
+    pub fn resume_with_encoder(encoder: Arc<TemporalPathEncoder>, cp: EngineCheckpoint) -> Self {
+        Self {
+            encoder,
+            params: cp.params,
+            weights: cp.weights,
+            trainer: Trainer::from_state(cp.trainer),
+            cfg: cp.config,
+            loss_history: cp.loss_history,
         }
     }
 
@@ -277,14 +278,12 @@ mod tests {
     use wsccl_datagen::{CityDataset, DatasetConfig};
     use wsccl_roadnet::CityProfile;
     use wsccl_traffic::PopLabeler;
+    use wsccl_train::LossCurve;
 
     fn quick_setup() -> (CityDataset, Arc<TemporalPathEncoder>) {
         let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 11));
-        let enc = Arc::new(TemporalPathEncoder::new(
-            &ds.net,
-            crate::encoder::EncoderConfig::tiny(),
-            11,
-        ));
+        let enc =
+            Arc::new(TemporalPathEncoder::new(&ds.net, crate::encoder::EncoderConfig::tiny(), 11));
         (ds, enc)
     }
 
@@ -302,10 +301,7 @@ mod tests {
         assert!(losses.len() >= 25, "most steps should produce a loss");
         let head: f64 = losses[..5].iter().sum::<f64>() / 5.0;
         let tail: f64 = losses[losses.len() - 5..].iter().sum::<f64>() / 5.0;
-        assert!(
-            tail < head,
-            "contrastive loss should fall during training: {head:.4} → {tail:.4}"
-        );
+        assert!(tail < head, "contrastive loss should fall during training: {head:.4} → {tail:.4}");
     }
 
     #[test]
@@ -333,10 +329,7 @@ mod tests {
             n += 1;
         }
         let (same, diff) = (same_sum / n as f64, diff_sum / n as f64);
-        assert!(
-            same > diff,
-            "same weak label should be closer: same {same:.4} vs diff {diff:.4}"
-        );
+        assert!(same > diff, "same weak label should be closer: same {same:.4} vs diff {diff:.4}");
     }
 
     #[test]
@@ -391,18 +384,15 @@ mod tests {
     fn thread_count_does_not_change_training() {
         // `threads` is an execution knob only: for a fixed seed and shard
         // count, every thread count must produce bit-for-bit identical
-        // training trajectories and final embeddings.
+        // training trajectories and final embeddings. This now exercises the
+        // engine's shard-parallel path end to end.
         let (ds, enc) = quick_setup();
         let train = |threads: usize| {
             let cfg = WscclConfig { shards: 4, threads, ..WscclConfig::tiny() };
             let mut model = WscModel::new(Arc::clone(&enc), cfg, 7);
             model.train(&ds.unlabeled, &PopLabeler, 2);
-            let emb: Vec<Vec<f64>> = ds
-                .unlabeled
-                .iter()
-                .take(5)
-                .map(|s| model.embed(&s.path, s.departure))
-                .collect();
+            let emb: Vec<Vec<f64>> =
+                ds.unlabeled.iter().take(5).map(|s| model.embed(&s.path, s.departure)).collect();
             (model.loss_history.clone(), emb)
         };
         let (hist1, emb1) = train(1);
@@ -426,5 +416,51 @@ mod tests {
         let head: f64 = losses[..5].iter().sum::<f64>() / 5.0;
         let tail: f64 = losses[losses.len() - 5..].iter().sum::<f64>() / 5.0;
         assert!(tail < head, "sharded loss should fall: {head:.4} → {tail:.4}");
+    }
+
+    #[test]
+    fn observer_sees_every_step_and_epoch() {
+        let (ds, enc) = quick_setup();
+        let mut model = WscModel::new(enc, WscclConfig::tiny(), 2);
+        let mut curve = LossCurve::new();
+        let epochs = 3;
+        let steps = (ds.unlabeled.len() / model.config().batch_size).max(1);
+        model.train_observed(&ds.unlabeled, &PopLabeler, epochs, &mut curve);
+        assert_eq!(curve.step_losses.len(), epochs * steps);
+        assert_eq!(curve.epoch_losses.len(), epochs);
+        assert_eq!(curve.epoch_losses, model.loss_history);
+    }
+
+    #[test]
+    fn kill_and_resume_matches_uninterrupted_run() {
+        // The acceptance test for engine checkpointing: train A for 4 epochs
+        // straight; train B for 2 epochs, checkpoint through bytes (as a
+        // killed and restarted process would), resume, train 2 more. Loss
+        // histories and final embeddings must agree bit for bit.
+        let (ds, enc) = quick_setup();
+        let cfg = WscclConfig { shards: 2, ..WscclConfig::tiny() };
+
+        let mut a = WscModel::new(Arc::clone(&enc), cfg.clone(), 9);
+        a.train(&ds.unlabeled, &PopLabeler, 4);
+
+        let mut b = WscModel::new(Arc::clone(&enc), cfg, 9);
+        b.train(&ds.unlabeled, &PopLabeler, 2);
+        let mut buf = Vec::new();
+        b.checkpoint(11).write_to(&mut buf).expect("write checkpoint");
+        drop(b);
+        let cp = EngineCheckpoint::read_from(&mut buf.as_slice()).expect("read checkpoint");
+        // The encoder tables are deterministic per (config, seed); sharing
+        // the Arc here mirrors `resume` without re-running node2vec.
+        let mut b = WscModel::resume_with_encoder(Arc::clone(&enc), cp);
+        b.train(&ds.unlabeled, &PopLabeler, 2);
+
+        assert_eq!(a.loss_history, b.loss_history, "resumed loss history must match");
+        for s in ds.unlabeled.iter().take(5) {
+            assert_eq!(
+                a.embed(&s.path, s.departure),
+                b.embed(&s.path, s.departure),
+                "resumed embeddings must match"
+            );
+        }
     }
 }

@@ -98,18 +98,15 @@ pub struct CityDataset {
 /// strengths chosen so the three cities differ in congestion severity).
 fn city_params(profile: CityProfile) -> (f64, TripConfig) {
     match profile {
-        CityProfile::Aalborg => (
-            1.2,
-            TripConfig { gps_noise: 8.0, sample_interval: 5.0, ..Default::default() },
-        ),
-        CityProfile::Harbin => (
-            1.6,
-            TripConfig { gps_noise: 15.0, sample_interval: 30.0, ..Default::default() },
-        ),
-        CityProfile::Chengdu => (
-            1.8,
-            TripConfig { gps_noise: 12.0, sample_interval: 3.0, ..Default::default() },
-        ),
+        CityProfile::Aalborg => {
+            (1.2, TripConfig { gps_noise: 8.0, sample_interval: 5.0, ..Default::default() })
+        }
+        CityProfile::Harbin => {
+            (1.6, TripConfig { gps_noise: 15.0, sample_interval: 30.0, ..Default::default() })
+        }
+        CityProfile::Chengdu => {
+            (1.8, TripConfig { gps_noise: 12.0, sample_interval: 3.0, ..Default::default() })
+        }
     }
 }
 
@@ -173,8 +170,7 @@ impl CityDataset {
             let mut all: Vec<Path> = candidates;
             let pos = rng.random_range(0..=all.len());
             all.insert(pos, truth.clone());
-            let scores: Vec<f64> =
-                all.iter().map(|p| p.weighted_jaccard(&truth, &net)).collect();
+            let scores: Vec<f64> = all.iter().map(|p| p.weighted_jaccard(&truth, &net)).collect();
             let labels: Vec<bool> = all.iter().map(|p| p.edges() == truth.edges()).collect();
             // Re-order so index 0 is the truth (consumers rely on it).
             let truth_ix = labels.iter().position(|&b| b).expect("truth present");
@@ -186,14 +182,7 @@ impl CityDataset {
             groups.push(CandidateGroup { departure: trip.departure, candidates, scores, labels });
         }
 
-        Self {
-            name: cfg.profile.name().to_string(),
-            net,
-            congestion,
-            unlabeled,
-            tte,
-            groups,
-        }
+        Self { name: cfg.profile.name().to_string(), net, congestion, unlabeled, tte, groups }
     }
 
     /// Dataset statistics row (the Table II analog).
@@ -255,8 +244,7 @@ mod tests {
             // Exactly one positive label.
             assert_eq!(g.labels.iter().filter(|&&b| b).count(), 1);
             // All candidates share the truth's endpoints.
-            let (s, d) =
-                (g.candidates[0].source(&ds.net), g.candidates[0].destination(&ds.net));
+            let (s, d) = (g.candidates[0].source(&ds.net), g.candidates[0].destination(&ds.net));
             for c in &g.candidates {
                 assert_eq!(c.source(&ds.net), s);
                 assert_eq!(c.destination(&ds.net), d);

@@ -19,7 +19,5 @@
 pub mod dataset;
 pub mod split;
 
-pub use dataset::{
-    CandidateGroup, CityDataset, DatasetConfig, TemporalPathSample, TteExample,
-};
+pub use dataset::{CandidateGroup, CityDataset, DatasetConfig, TemporalPathSample, TteExample};
 pub use split::train_test_split;

@@ -115,14 +115,15 @@ mod tests {
     #[test]
     fn regressor_beats_the_mean_baseline() {
         let mut rng = StdRng::seed_from_u64(1);
-        let x: Vec<Vec<f64>> =
-            (0..300).map(|_| vec![rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)]).collect();
-        let y: Vec<f64> =
-            x.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 0.5 * r[0] * r[1]).collect();
+        let x: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 0.5 * r[0] * r[1]).collect();
         let model = GbRegressor::fit(&x, &y, &GbConfig::default());
         let mean = y.iter().sum::<f64>() / y.len() as f64;
         let mse_model: f64 =
-            x.iter().zip(&y).map(|(r, t)| (model.predict(r) - t).powi(2)).sum::<f64>() / y.len() as f64;
+            x.iter().zip(&y).map(|(r, t)| (model.predict(r) - t).powi(2)).sum::<f64>()
+                / y.len() as f64;
         let mse_mean: f64 = y.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / y.len() as f64;
         assert!(mse_model < 0.15 * mse_mean, "model {mse_model:.4} vs mean {mse_mean:.4}");
     }
@@ -139,8 +140,9 @@ mod tests {
     #[test]
     fn classifier_learns_a_nonlinear_boundary() {
         let mut rng = StdRng::seed_from_u64(2);
-        let x: Vec<Vec<f64>> =
-            (0..400).map(|_| vec![rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)]).collect();
+        let x: Vec<Vec<f64>> = (0..400)
+            .map(|_| vec![rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)])
+            .collect();
         // XOR-ish quadrant labels — linearly inseparable.
         let y: Vec<bool> = x.iter().map(|r| (r[0] > 0.0) ^ (r[1] > 0.0)).collect();
         let model = GbClassifier::fit(&x, &y, &GbConfig::default());
@@ -192,8 +194,7 @@ mod importance_tests {
     #[test]
     fn importance_concentrates_on_the_informative_feature() {
         // y depends only on feature 1; feature 0 is noise-free constant-ish.
-        let x: Vec<Vec<f64>> =
-            (0..200).map(|i| vec![(i % 7) as f64, i as f64]).collect();
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 7) as f64, i as f64]).collect();
         let y: Vec<f64> = (0..200).map(|i| if i < 100 { 0.0 } else { 5.0 }).collect();
         let model = GbRegressor::fit(&x, &y, &GbConfig::default());
         let imp = model.feature_importance(2);

@@ -56,7 +56,14 @@ impl RegressionTree {
     }
 
     /// Grow a subtree over `idx`; returns the new node's index.
-    fn grow(&mut self, x: &[Vec<f64>], y: &[f64], idx: &[usize], depth: usize, cfg: &TreeConfig) -> usize {
+    fn grow(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &[usize],
+        depth: usize,
+        cfg: &TreeConfig,
+    ) -> usize {
         let leaf = |tree: &mut Self| {
             tree.nodes.push(Node::Leaf { value: Self::mean(y, idx) });
             tree.nodes.len() - 1

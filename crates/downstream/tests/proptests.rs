@@ -1,9 +1,7 @@
 //! Property-based tests for trees, boosting, and metrics.
 
 use proptest::prelude::*;
-use wsccl_downstream::metrics::{
-    accuracy, hit_rate, kendall_tau, mae, mape, mare, spearman_rho,
-};
+use wsccl_downstream::metrics::{accuracy, hit_rate, kendall_tau, mae, mape, mare, spearman_rho};
 use wsccl_downstream::tree::{RegressionTree, TreeConfig};
 use wsccl_downstream::{GbConfig, GbRegressor};
 

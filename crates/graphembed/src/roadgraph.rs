@@ -60,7 +60,14 @@ mod tests {
     use wsccl_roadnet::{CityProfile, NodeId};
 
     fn quick_cfg() -> Node2VecConfig {
-        Node2VecConfig { dim: 16, walk_len: 15, walks_per_node: 3, epochs: 1, seed: 3, ..Default::default() }
+        Node2VecConfig {
+            dim: 16,
+            walk_len: 15,
+            walks_per_node: 3,
+            epochs: 1,
+            seed: 3,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -91,9 +98,8 @@ mod tests {
             }
         }
         assert!(!near.is_empty() && !far.is_empty());
-        let avg = |xs: &[usize]| {
-            xs.iter().map(|&v| emb.node_cosine(0, v)).sum::<f64>() / xs.len() as f64
-        };
+        let avg =
+            |xs: &[usize]| xs.iter().map(|&v| emb.node_cosine(0, v)).sum::<f64>() / xs.len() as f64;
         let (n, f) = (avg(&near), avg(&far));
         assert!(n > f, "near {n:.3} should exceed far {f:.3}");
     }

@@ -64,8 +64,7 @@ impl SkipGram {
             if neg == context {
                 continue;
             }
-            let dot: f64 =
-                self.w_in[center].iter().zip(&self.w_out[neg]).map(|(a, b)| a * b).sum();
+            let dot: f64 = self.w_in[center].iter().zip(&self.w_out[neg]).map(|(a, b)| a * b).sum();
             let s = sigmoid(dot);
             loss -= (1.0 - s).max(1e-12).ln();
             let g = s; // d loss / d dot

@@ -51,12 +51,7 @@ impl EdgeSpatialIndex {
     }
 
     /// Edges whose geometry is within `radius` of `p`, with their distances.
-    pub fn edges_near(
-        &self,
-        net: &RoadNetwork,
-        p: (f64, f64),
-        radius: f64,
-    ) -> Vec<(EdgeId, f64)> {
+    pub fn edges_near(&self, net: &RoadNetwork, p: (f64, f64), radius: f64) -> Vec<(EdgeId, f64)> {
         let span = (radius / self.cell).ceil() as i64 + 1;
         let cc = ((p.0 - self.min_x) / self.cell) as i64;
         let cr = ((p.1 - self.min_y) / self.cell) as i64;

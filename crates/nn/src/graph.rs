@@ -720,8 +720,7 @@ impl<'p> Graph<'p> {
                             let n = x.cols() as f64;
                             let xrow = x.row_slice(r);
                             let mean = xrow.iter().sum::<f64>() / n;
-                            let var =
-                                xrow.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+                            let var = xrow.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
                             let inv = 1.0 / (var + eps).sqrt();
                             let grow = g.row_slice(r);
                             let hrow = xhat.row_slice(r);
@@ -851,8 +850,7 @@ mod tests {
 
     #[test]
     fn embed_lookup_scatter_grad() {
-        let (p, ids) =
-            params_with(&[("e", Tensor::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]))]);
+        let (p, ids) = params_with(&[("e", Tensor::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]))]);
         let mut g = Graph::new(&p);
         let e = g.embed_lookup(ids[0], &[2, 0, 2]);
         assert_eq!(g.value(e).row_slice(0), &[5.0, 6.0]);

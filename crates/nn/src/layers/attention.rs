@@ -82,7 +82,9 @@ mod tests {
         g.backward(loss);
         let nonzero = params
             .ids()
-            .filter(|&id| g.grads().grad(id).is_some_and(|t| t.data().iter().any(|v| v.abs() > 1e-12)))
+            .filter(|&id| {
+                g.grads().grad(id).is_some_and(|t| t.data().iter().any(|v| v.abs() > 1e-12))
+            })
             .count();
         // All weight matrices should get gradient; the output bias always does.
         assert!(nonzero >= 4, "only {nonzero} of {} params got gradient", params.len());

@@ -29,8 +29,10 @@ impl Gru {
         in_dim: usize,
         hidden: usize,
     ) -> Self {
-        let wx = params.register(format!("{name}.wx"), init::xavier_uniform(rng, in_dim, 3 * hidden));
-        let wh = params.register(format!("{name}.wh"), init::xavier_uniform(rng, hidden, 3 * hidden));
+        let wx =
+            params.register(format!("{name}.wx"), init::xavier_uniform(rng, in_dim, 3 * hidden));
+        let wh =
+            params.register(format!("{name}.wh"), init::xavier_uniform(rng, hidden, 3 * hidden));
         let b = params.register(format!("{name}.b"), Tensor::zeros(1, 3 * hidden));
         Self { wx, wh, b, in_dim, hidden }
     }
@@ -128,7 +130,9 @@ mod tests {
         g.backward(loss);
         let nonzero = params
             .ids()
-            .filter(|&id| g.grads().grad(id).is_some_and(|t| t.data().iter().any(|v| v.abs() > 0.0)))
+            .filter(|&id| {
+                g.grads().grad(id).is_some_and(|t| t.data().iter().any(|v| v.abs() > 0.0))
+            })
             .count();
         assert_eq!(nonzero, params.len());
     }

@@ -25,8 +25,10 @@ impl LstmLayer {
         in_dim: usize,
         hidden: usize,
     ) -> Self {
-        let wx = params.register(format!("{name}.wx"), init::xavier_uniform(rng, in_dim, 4 * hidden));
-        let wh = params.register(format!("{name}.wh"), init::xavier_uniform(rng, hidden, 4 * hidden));
+        let wx =
+            params.register(format!("{name}.wx"), init::xavier_uniform(rng, in_dim, 4 * hidden));
+        let wh =
+            params.register(format!("{name}.wh"), init::xavier_uniform(rng, hidden, 4 * hidden));
         // Forget-gate bias initialized to 1 (standard trick for gradient flow).
         let mut bias = Tensor::zeros(1, 4 * hidden);
         for c in hidden..2 * hidden {
@@ -37,13 +39,7 @@ impl LstmLayer {
     }
 
     /// One step. `x` is `(n, in_dim)`, `h`/`c` are `(n, hidden)`.
-    fn step(
-        &self,
-        g: &mut Graph<'_>,
-        x: NodeId,
-        h: NodeId,
-        c: NodeId,
-    ) -> (NodeId, NodeId) {
+    fn step(&self, g: &mut Graph<'_>, x: NodeId, h: NodeId, c: NodeId) -> (NodeId, NodeId) {
         let wx = g.param(self.wx);
         let wh = g.param(self.wh);
         let b = g.param(self.b);
@@ -162,8 +158,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let lstm = Lstm::new(&mut params, &mut rng, "lstm", 2, 4, 1);
         let mut g = Graph::new(&params);
-        let xs: Vec<NodeId> =
-            (0..50).map(|_| g.input(Tensor::row(vec![100.0, -100.0]))).collect();
+        let xs: Vec<NodeId> = (0..50).map(|_| g.input(Tensor::row(vec![100.0, -100.0]))).collect();
         let hs = lstm.forward(&mut g, &xs);
         let last = g.value(*hs.last().unwrap());
         assert!(!last.has_non_finite());
@@ -182,7 +177,9 @@ mod tests {
         g.backward(loss);
         let nonzero = params
             .ids()
-            .filter(|&id| g.grads().grad(id).is_some_and(|t| t.data().iter().any(|v| v.abs() > 0.0)))
+            .filter(|&id| {
+                g.grads().grad(id).is_some_and(|t| t.data().iter().any(|v| v.abs() > 0.0))
+            })
             .count();
         assert_eq!(nonzero, params.len(), "every LSTM parameter should receive gradient");
     }

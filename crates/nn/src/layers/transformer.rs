@@ -85,7 +85,9 @@ mod tests {
         g.backward(l);
         let touched = params
             .ids()
-            .filter(|&id| g.grads().grad(id).is_some_and(|t| t.data().iter().any(|v| v.abs() > 1e-14)))
+            .filter(|&id| {
+                g.grads().grad(id).is_some_and(|t| t.data().iter().any(|v| v.abs() > 1e-14))
+            })
             .count();
         // All weight matrices receive gradient (the final ff2 bias always does).
         assert!(touched >= params.len() - 1, "{touched} of {}", params.len());

@@ -11,7 +11,7 @@ use crate::params::{GradStore, Parameters};
 use crate::tensor::Tensor;
 
 /// Stochastic gradient descent with optional momentum.
-#[derive(Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Sgd {
     lr: f64,
     momentum: f64,
@@ -67,7 +67,7 @@ impl Sgd {
 }
 
 /// Adam optimizer (Kingma & Ba). Defaults: β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Adam {
     lr: f64,
     beta1: f64,

@@ -118,10 +118,7 @@ impl GradStore {
 
     /// Iterate over all allocated (non-zero-capable) gradient slots.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> + '_ {
-        self.grads
-            .iter()
-            .enumerate()
-            .filter_map(|(i, g)| g.as_ref().map(|t| (ParamId(i), t)))
+        self.grads.iter().enumerate().filter_map(|(i, g)| g.as_ref().map(|t| (ParamId(i), t)))
     }
 
     /// Number of allocated gradient slots.
@@ -155,10 +152,7 @@ impl GradStore {
 
     /// Global L2 norm over all accumulated gradients.
     pub fn norm(&self) -> f64 {
-        self.iter()
-            .map(|(_, g)| g.data().iter().map(|v| v * v).sum::<f64>())
-            .sum::<f64>()
-            .sqrt()
+        self.iter().map(|(_, g)| g.data().iter().map(|v| v * v).sum::<f64>()).sum::<f64>().sqrt()
     }
 
     /// Scale all gradients so the global norm does not exceed `max_norm`.

@@ -110,7 +110,8 @@ impl Tensor {
     /// Panics on an inner-dimension mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             other.shape()
@@ -137,7 +138,8 @@ impl Tensor {
     /// Matrix product `self · otherᵀ`.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.cols,
+            self.cols,
+            other.cols,
             "matmul_nt shape mismatch: {:?} x {:?}ᵀ",
             self.shape(),
             other.shape()
@@ -160,7 +162,8 @@ impl Tensor {
     /// Matrix product `selfᵀ · other`.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.rows, other.rows,
+            self.rows,
+            other.rows,
             "matmul_tn shape mismatch: {:?}ᵀ x {:?}",
             self.shape(),
             other.shape()

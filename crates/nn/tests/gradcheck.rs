@@ -442,9 +442,8 @@ fn contrastive_composite_grad() {
     let mut rng = rng();
     let mut p = Parameters::new();
     let lstm = Lstm::new(&mut p, &mut rng, "lstm", 2, 3, 1);
-    let seqs: Vec<Vec<Tensor>> = (0..3)
-        .map(|_| (0..2).map(|_| rand_tensor(&mut rng, 1, 2)).collect())
-        .collect();
+    let seqs: Vec<Vec<Tensor>> =
+        (0..3).map(|_| (0..2).map(|_| rand_tensor(&mut rng, 1, 2)).collect()).collect();
     assert_gradients_close(
         &mut p,
         |p| {

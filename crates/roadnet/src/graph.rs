@@ -279,12 +279,7 @@ mod tests {
     #[test]
     fn one_way_chain_is_not_strongly_connected() {
         let positions = vec![(0.0, 0.0), (1.0, 0.0)];
-        let e = Edge {
-            from: NodeId(0),
-            to: NodeId(1),
-            length: 1.0,
-            features: tiny_features(),
-        };
+        let e = Edge { from: NodeId(0), to: NodeId(1), length: 1.0, features: tiny_features() };
         let net = RoadNetwork::new("chain", positions, vec![e]);
         assert!(!net.is_strongly_connected());
     }

@@ -50,7 +50,8 @@ pub enum CityProfile {
 }
 
 impl CityProfile {
-    pub const ALL: [CityProfile; 3] = [CityProfile::Aalborg, CityProfile::Harbin, CityProfile::Chengdu];
+    pub const ALL: [CityProfile; 3] =
+        [CityProfile::Aalborg, CityProfile::Harbin, CityProfile::Chengdu];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -182,8 +183,10 @@ pub fn generate(cfg: &SynthConfig) -> RoadNetwork {
     // Feature assignment helpers.
     let is_arterial_node = |i: usize| -> (bool, bool) {
         let (x, y) = (i % cfg.grid_w, i / cfg.grid_w);
-        (y % cfg.arterial_spacing == cfg.arterial_spacing / 2,
-         x % cfg.arterial_spacing == cfg.arterial_spacing / 2)
+        (
+            y % cfg.arterial_spacing == cfg.arterial_spacing / 2,
+            x % cfg.arterial_spacing == cfg.arterial_spacing / 2,
+        )
     };
 
     let mut edges: Vec<Edge> = Vec::new();
@@ -198,7 +201,11 @@ pub fn generate(cfg: &SynthConfig) -> RoadNetwork {
         let (row_b, col_b) = is_arterial_node(c.b);
         let arterial = (row_a && row_b) || (col_a && col_b);
         let road_type = if arterial {
-            if rng.random::<f64>() < 0.12 { RoadType::Motorway } else { RoadType::Primary }
+            if rng.random::<f64>() < 0.12 {
+                RoadType::Motorway
+            } else {
+                RoadType::Primary
+            }
         } else if c.diagonal {
             RoadType::Secondary
         } else {
@@ -228,16 +235,10 @@ pub fn generate(cfg: &SynthConfig) -> RoadNetwork {
         let (pa, pb) = (positions[c.a], positions[c.b]);
         let length = ((pa.0 - pb.0).powi(2) + (pa.1 - pb.1).powi(2)).sqrt().max(10.0);
         let features = EdgeFeatures { road_type, lanes, one_way, signals };
-        let (from, to) =
-            if one_way && rng.random::<f64>() < 0.5 { (c.b, c.a) } else { (c.a, c.b) };
+        let (from, to) = if one_way && rng.random::<f64>() < 0.5 { (c.b, c.a) } else { (c.a, c.b) };
         edges.push(Edge { from: NodeId(from as u32), to: NodeId(to as u32), length, features });
         if !one_way {
-            edges.push(Edge {
-                from: NodeId(to as u32),
-                to: NodeId(from as u32),
-                length,
-                features,
-            });
+            edges.push(Edge { from: NodeId(to as u32), to: NodeId(from as u32), length, features });
         }
     }
 
@@ -288,7 +289,8 @@ mod tests {
     #[test]
     fn feature_mix_is_plausible() {
         let net = CityProfile::Chengdu.generate(5);
-        let types: HashSet<usize> = net.edges().iter().map(|e| e.features.road_type.index()).collect();
+        let types: HashSet<usize> =
+            net.edges().iter().map(|e| e.features.road_type.index()).collect();
         assert!(types.len() >= 4, "expected diverse road types, got {types:?}");
         let one_way = net.edges().iter().filter(|e| e.features.one_way).count();
         assert!(one_way > 0, "expected some one-way streets");

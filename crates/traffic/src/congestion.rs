@@ -92,8 +92,7 @@ impl CongestionModel {
         // More lanes flow slightly better under load.
         let lane_factor = 0.9 + 0.05 * edge.features.lanes as f64;
         let pos = net.edge_midpoint(e);
-        (base * lane_factor * self.edge_factor[e.index()] / self.congestion_factor(t, pos))
-            .max(1.0)
+        (base * lane_factor * self.edge_factor[e.index()] / self.congestion_factor(t, pos)).max(1.0)
     }
 
     /// Expected traversal time of an edge entered at time `t`, seconds,

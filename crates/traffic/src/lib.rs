@@ -23,4 +23,4 @@ pub mod trajectory;
 pub use congestion::CongestionModel;
 pub use labels::{PopLabeler, TciLabeler, WeakLabel, WeakLabeler};
 pub use time::SimTime;
-pub use trajectory::{GpsFix, Trajectory, TripConfig, TripGenerator, Trip};
+pub use trajectory::{GpsFix, Trajectory, Trip, TripConfig, TripGenerator};

@@ -128,8 +128,7 @@ impl<'a> TripGenerator<'a> {
             // edge by exp(N(0, route_noise)) to model driver preference noise.
             let mut perturb = vec![0.0f64; self.net.num_edges()];
             for p in perturb.iter_mut() {
-                let z: f64 =
-                    self.rng.random_range(-1.0..1.0) + self.rng.random_range(-1.0..1.0);
+                let z: f64 = self.rng.random_range(-1.0..1.0) + self.rng.random_range(-1.0..1.0);
                 *p = (self.cfg.route_noise * z).exp();
             }
             let model = self.model;
@@ -242,8 +241,12 @@ mod tests {
     #[test]
     fn peak_trips_are_slower_on_the_same_path() {
         let (net, model) = setup();
-        let mut generator =
-            TripGenerator::new(&net, &model, TripConfig { time_noise: 0.0, ..Default::default() }, 9);
+        let mut generator = TripGenerator::new(
+            &net,
+            &model,
+            TripConfig { time_noise: 0.0, ..Default::default() },
+            9,
+        );
         let trip = generator.generate_trip_at(SimTime::from_hm(1, 8, 0));
         let (_, peak_time) = generator.traverse(&trip.path, SimTime::from_hm(1, 8, 0));
         let (_, night_time) = generator.traverse(&trip.path, SimTime::from_hm(1, 3, 0));

@@ -1,0 +1,25 @@
+//! Serializable trainer state: everything beyond the parameter values that a
+//! resumed run needs to continue bit-for-bit (optimizer moments, counters,
+//! and the engine RNG stream).
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::Optimizer;
+use crate::spec::TrainSpec;
+
+/// Snapshot of a [`crate::Trainer`] mid-run. Combined with the parameter
+/// values (which persist separately, next to the model), this is sufficient
+/// for [`crate::Trainer::from_state`] to continue a run as if it had never
+/// been interrupted.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainerState {
+    pub spec: TrainSpec,
+    /// Attempted optimizer steps so far.
+    pub step: u64,
+    /// Completed epochs so far.
+    pub epoch: u64,
+    /// Raw xoshiro256** state of the engine RNG.
+    pub rng: [u64; 4],
+    /// Optimizer with its moment estimates and internal step counter.
+    pub optimizer: Optimizer,
+}

@@ -1,0 +1,422 @@
+//! The generic optimization driver: shard-parallel steps, fixed shard-order
+//! reduction, schedules, clipping, and observer dispatch.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use wsccl_nn::optim::{Adam, Sgd};
+use wsccl_nn::{GradStore, Graph, NodeId, Parameters};
+
+use crate::checkpoint::TrainerState;
+use crate::observe::{EpochRecord, StepRecord, TrainObserver};
+use crate::spec::{OptimizerKind, TrainSpec};
+
+/// A model the engine can train. Implementations own everything the loss
+/// needs except the parameter values, which the driver passes in so it can
+/// hand them read-only to shard workers and mutably to the optimizer.
+///
+/// Determinism contract: `epoch_batches` and `build_loss` must derive all
+/// randomness from the RNG they are given (epoch RNG and per-shard RNG
+/// respectively) — never from ambient state — so a fixed [`TrainSpec::seed`]
+/// fixes the whole trajectory regardless of thread count.
+pub trait Trainable {
+    /// One unit of work for one optimizer step. Shard workers read batches
+    /// concurrently, hence `Sync`.
+    type Batch: Sync;
+
+    /// The (ordered) batch list for one epoch. `epoch` is the global epoch
+    /// counter, which keeps counting across multiple `run` calls on the same
+    /// trainer (curriculum stages, resumed runs).
+    fn epoch_batches(&mut self, epoch: u64, rng: &mut StdRng) -> Vec<Self::Batch>;
+
+    /// Build one shard's loss node on the tape, drawing any in-step sampling
+    /// from `rng` (seeded per shard by the driver). Returning `None` skips
+    /// the shard (e.g. a batch with no usable contrastive structure).
+    fn build_loss(
+        &self,
+        g: &mut Graph<'_>,
+        batch: &Self::Batch,
+        rng: &mut StdRng,
+    ) -> Option<NodeId>;
+
+    /// Called after the optimizer applied a step for `batch`, with the
+    /// freshly updated parameters (e.g. to update an EMA memory bank).
+    fn after_step(&mut self, _params: &Parameters, _batch: &Self::Batch) {}
+}
+
+/// The optimizer instantiated from [`OptimizerKind`], checkpointable as part
+/// of [`TrainerState`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Optimizer {
+    Sgd(Sgd),
+    Adam(Adam),
+}
+
+impl Optimizer {
+    pub fn new(kind: OptimizerKind, lr: f64) -> Self {
+        match kind {
+            OptimizerKind::Sgd { momentum } => Optimizer::Sgd(Sgd::with_momentum(lr, momentum)),
+            OptimizerKind::Adam => Optimizer::Adam(Adam::new(lr)),
+        }
+    }
+
+    pub fn set_lr(&mut self, lr: f64) {
+        match self {
+            Optimizer::Sgd(o) => o.set_lr(lr),
+            Optimizer::Adam(o) => o.set_lr(lr),
+        }
+    }
+
+    pub fn step(&mut self, params: &mut Parameters, grads: &GradStore) {
+        match self {
+            Optimizer::Sgd(o) => o.step(params, grads),
+            Optimizer::Adam(o) => o.step(params, grads),
+        }
+    }
+}
+
+/// What one applied optimizer step produced.
+#[derive(Clone, Copy, Debug)]
+pub struct StepOutcome {
+    /// Mean loss over the shards that contributed.
+    pub loss: f64,
+    /// L2 norm of the reduced (averaged) gradient before clipping.
+    pub grad_norm: f64,
+    /// Learning rate applied at this step.
+    pub lr: f64,
+}
+
+/// The stateful training driver. One `Trainer` lives as long as its model:
+/// repeated [`Trainer::run`] calls (curriculum stages) keep advancing the
+/// same optimizer moments, RNG stream, and step/epoch counters, exactly as
+/// the bespoke loops it replaced did.
+pub struct Trainer {
+    spec: TrainSpec,
+    optimizer: Optimizer,
+    rng: StdRng,
+    step: u64,
+    epoch: u64,
+}
+
+impl Trainer {
+    /// The engine RNG is salted so a model seeded `s` and trained by an
+    /// engine seeded `s` do not share a stream (this matches the historical
+    /// `wsc.rs` seeding, keeping pre-engine WSC trajectories reproducible).
+    const SEED_SALT: u64 = 0x5C3A;
+
+    pub fn new(spec: TrainSpec) -> Self {
+        let optimizer = Optimizer::new(spec.optimizer, spec.lr);
+        let rng = StdRng::seed_from_u64(spec.seed ^ Self::SEED_SALT);
+        Self { spec, optimizer, rng, step: 0, epoch: 0 }
+    }
+
+    pub fn spec(&self) -> &TrainSpec {
+        &self.spec
+    }
+
+    /// Attempted optimizer steps so far (including skipped ones).
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Completed epochs so far, across all `run` calls.
+    pub fn epoch_count(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Snapshot everything needed to continue this run elsewhere.
+    pub fn state(&self) -> TrainerState {
+        TrainerState {
+            spec: self.spec.clone(),
+            step: self.step,
+            epoch: self.epoch,
+            rng: self.rng.state(),
+            optimizer: self.optimizer.clone(),
+        }
+    }
+
+    /// Rebuild a trainer mid-run from a [`TrainerState`]. The resumed
+    /// trajectory is bit-for-bit the one the snapshotted trainer would have
+    /// produced.
+    pub fn from_state(state: TrainerState) -> Self {
+        Self {
+            spec: state.spec,
+            optimizer: state.optimizer,
+            rng: StdRng::from_state(state.rng),
+            step: state.step,
+            epoch: state.epoch,
+        }
+    }
+
+    /// One optimizer step over `spec.shards` data-parallel shards. Shard
+    /// seeds are drawn upfront in shard order from the engine RNG; shard
+    /// gradients are reduced in ascending shard index; the averaged gradient
+    /// is clipped and applied once. Returns `None` (after still advancing
+    /// RNG and step counter) when every shard was skipped.
+    pub fn step<T: Trainable + Sync>(
+        &mut self,
+        model: &mut T,
+        params: &mut Parameters,
+        batch: &T::Batch,
+    ) -> Option<StepOutcome> {
+        let shards = self.spec.shards.max(1);
+        let seeds: Vec<u64> = (0..shards).map(|_| self.rng.random()).collect();
+        let threads = self.spec.threads.max(1).min(shards);
+        let step_index = self.step;
+        self.step += 1;
+
+        let results: Vec<Option<(f64, GradStore)>> = {
+            let shared: &T = model;
+            let params: &Parameters = params;
+            let run_shard = |seed: u64| -> Option<(f64, GradStore)> {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut g = Graph::new(params);
+                let loss = shared.build_loss(&mut g, batch, &mut rng)?;
+                let (value, grads) = g.finish(loss);
+                value.is_finite().then_some((value, grads))
+            };
+            if threads == 1 {
+                seeds.iter().map(|&s| run_shard(s)).collect()
+            } else {
+                let mut results: Vec<Option<(f64, GradStore)>> =
+                    (0..shards).map(|_| None).collect();
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|t| {
+                            let seeds = &seeds;
+                            let run_shard = &run_shard;
+                            scope.spawn(move |_| {
+                                // Worker `t` owns shards t, t+threads, … — a
+                                // fixed partition, so results carry their
+                                // shard index.
+                                (t..shards)
+                                    .step_by(threads)
+                                    .map(|s| (s, run_shard(seeds[s])))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        for (s, r) in h.join().expect("shard worker panicked") {
+                            results[s] = r;
+                        }
+                    }
+                })
+                .expect("shard scope");
+                results
+            }
+        };
+
+        // Reduce in ascending shard order, average, clip, one optimizer step.
+        let mut total = GradStore::new();
+        let mut loss_sum = 0.0;
+        let mut used = 0usize;
+        for (value, grads) in results.into_iter().flatten() {
+            total.accumulate(&grads);
+            loss_sum += value;
+            used += 1;
+        }
+        if used == 0 {
+            return None;
+        }
+        total.scale(1.0 / used as f64);
+        let grad_norm = total.norm();
+        if let Some(clip) = self.spec.grad_clip {
+            if grad_norm > clip && grad_norm > 0.0 {
+                total.scale(clip / grad_norm);
+            }
+        }
+        let lr = self.spec.lr * self.spec.schedule.factor(step_index);
+        self.optimizer.set_lr(lr);
+        self.optimizer.step(params, &total);
+        model.after_step(params, batch);
+        Some(StepOutcome { loss: loss_sum / used as f64, grad_norm, lr })
+    }
+
+    /// Train for `epochs` epochs, returning the mean loss per epoch. Fires
+    /// `observer.on_step` exactly once per batch and `on_epoch` once per
+    /// epoch.
+    pub fn run<T: Trainable + Sync>(
+        &mut self,
+        model: &mut T,
+        params: &mut Parameters,
+        epochs: usize,
+        observer: &mut dyn TrainObserver,
+    ) -> Vec<f64> {
+        let mut history = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let epoch = self.epoch;
+            let epoch_start = Instant::now();
+            let batches = model.epoch_batches(epoch, &mut self.rng);
+            let mut loss_sum = 0.0;
+            let mut applied = 0usize;
+            for batch in &batches {
+                let step = self.step;
+                let step_start = Instant::now();
+                let outcome = self.step(model, params, batch);
+                let (loss, grad_norm, lr) = match outcome {
+                    Some(o) => {
+                        loss_sum += o.loss;
+                        applied += 1;
+                        (o.loss, o.grad_norm, o.lr)
+                    }
+                    None => (f64::NAN, 0.0, 0.0),
+                };
+                observer.on_step(&StepRecord {
+                    epoch,
+                    step,
+                    loss,
+                    grad_norm,
+                    lr,
+                    elapsed: step_start.elapsed(),
+                });
+            }
+            let mean_loss = if applied > 0 { loss_sum / applied as f64 } else { f64::NAN };
+            observer.on_epoch(&EpochRecord {
+                epoch,
+                steps: batches.len(),
+                mean_loss,
+                elapsed: epoch_start.elapsed(),
+            });
+            self.epoch += 1;
+            history.push(mean_loss);
+        }
+        history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::{LossCurve, NoopObserver};
+    use crate::spec::LrSchedule;
+    use wsccl_nn::Tensor;
+
+    /// Minimal trainable: minimize ‖w − target‖² where the per-step target is
+    /// drawn from the shard RNG (exercising both RNG channels).
+    struct Quadratic {
+        w: wsccl_nn::ParamId,
+        noisy: bool,
+    }
+
+    impl Trainable for Quadratic {
+        type Batch = usize;
+
+        fn epoch_batches(&mut self, _epoch: u64, rng: &mut StdRng) -> Vec<usize> {
+            let mut order: Vec<usize> = (0..4).collect();
+            use rand::seq::SliceRandom;
+            order.shuffle(rng);
+            order
+        }
+
+        fn build_loss(
+            &self,
+            g: &mut Graph<'_>,
+            _batch: &usize,
+            rng: &mut StdRng,
+        ) -> Option<NodeId> {
+            let jitter = if self.noisy { rng.random_range(0.0..0.1) } else { 0.0 };
+            let w = g.param(self.w);
+            let t = g.input(Tensor::scalar(5.0 + jitter));
+            let d = g.sub(w, t);
+            Some(g.mul(d, d))
+        }
+    }
+
+    fn setup() -> (Parameters, Quadratic) {
+        let mut params = Parameters::new();
+        let w = params.register("w", Tensor::scalar(0.0));
+        (params, Quadratic { w, noisy: true })
+    }
+
+    #[test]
+    fn engine_minimizes_quadratic() {
+        let (mut params, mut model) = setup();
+        let mut trainer = Trainer::new(TrainSpec::adam(0.1, 40, 1));
+        trainer.run(&mut model, &mut params, 40, &mut NoopObserver);
+        let w = params.value(model.w).item();
+        assert!((w - 5.0).abs() < 0.2, "w = {w}");
+    }
+
+    #[test]
+    fn observer_fires_once_per_step_and_epoch() {
+        let (mut params, mut model) = setup();
+        let mut trainer = Trainer::new(TrainSpec::adam(0.05, 3, 2));
+        let mut curve = LossCurve::new();
+        let history = trainer.run(&mut model, &mut params, 3, &mut curve);
+        assert_eq!(curve.step_losses.len(), 3 * 4);
+        assert_eq!(curve.epoch_losses.len(), 3);
+        assert!(curve.step_losses.iter().all(|l| l.is_finite()));
+        assert_eq!(history, curve.epoch_losses);
+    }
+
+    #[test]
+    fn thread_count_is_invisible_to_training() {
+        let run = |threads: usize| {
+            let (mut params, mut model) = setup();
+            let spec = TrainSpec { shards: 4, threads, ..TrainSpec::adam(0.05, 2, 9) };
+            let mut trainer = Trainer::new(spec);
+            let hist = trainer.run(&mut model, &mut params, 2, &mut NoopObserver);
+            (hist, params.value(model.w).item())
+        };
+        assert_eq!(run(1), run(3));
+    }
+
+    #[test]
+    fn resume_from_state_is_bit_identical() {
+        // Uninterrupted: 6 epochs straight through.
+        let (mut params_a, mut model_a) = setup();
+        let mut trainer_a = Trainer::new(TrainSpec::adam(0.05, 6, 7));
+        let hist_a = trainer_a.run(&mut model_a, &mut params_a, 6, &mut NoopObserver);
+
+        // Interrupted: 2 epochs, snapshot, rebuild, 4 more.
+        let (mut params_b, mut model_b) = setup();
+        let mut trainer_b = Trainer::new(TrainSpec::adam(0.05, 6, 7));
+        let mut hist_b = trainer_b.run(&mut model_b, &mut params_b, 2, &mut NoopObserver);
+        let state = trainer_b.state();
+        drop(trainer_b);
+        let mut resumed = Trainer::from_state(state);
+        hist_b.extend(resumed.run(&mut model_b, &mut params_b, 4, &mut NoopObserver));
+
+        assert_eq!(hist_a, hist_b);
+        assert_eq!(
+            params_a.value(model_a.w).item().to_bits(),
+            params_b.value(model_b.w).item().to_bits()
+        );
+    }
+
+    #[test]
+    fn trainer_state_roundtrips_through_json() {
+        let (mut params, mut model) = setup();
+        let spec = TrainSpec {
+            optimizer: OptimizerKind::Sgd { momentum: 0.9 },
+            schedule: LrSchedule::LinearWarmupDecay {
+                warmup_steps: 2,
+                decay_steps: 8,
+                final_factor: 0.1,
+            },
+            grad_clip: Some(1.0),
+            ..TrainSpec::adam(0.05, 4, 3)
+        };
+        let mut trainer = Trainer::new(spec);
+        trainer.run(&mut model, &mut params, 2, &mut NoopObserver);
+        let state = trainer.state();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: TrainerState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.step, state.step);
+        assert_eq!(back.epoch, state.epoch);
+        assert_eq!(back.rng, state.rng);
+
+        // And the deserialized state continues identically.
+        let mut p2 = params.clone();
+        let mut t1 = Trainer::from_state(state);
+        let mut t2 = Trainer::from_state(back);
+        let h1 = t1.run(&mut model, &mut params, 2, &mut NoopObserver);
+        let mut model2 = Quadratic { w: model.w, noisy: true };
+        let h2 = t2.run(&mut model2, &mut p2, 2, &mut NoopObserver);
+        assert_eq!(h1, h2);
+    }
+}

@@ -1,0 +1,34 @@
+//! Shared training engine for WSCCL and every baseline.
+//!
+//! Before this crate existed, `wsc.rs` and all twelve baselines hand-rolled
+//! epoch iteration, minibatch shuffling, optimizer construction, gradient
+//! clipping, and seeding — thirteen near-identical loops with zero shared
+//! instrumentation. The engine factors the loop out:
+//!
+//! * [`Trainable`] — a model exposes its epoch batch list (deterministic from
+//!   the engine RNG) and builds one step's loss node on a fresh tape.
+//! * [`TrainSpec`] — epochs, optimizer choice, LR schedule, gradient clipping,
+//!   seed, and the `shards`/`threads` data-parallel knobs.
+//! * [`Trainer`] — the stateful driver: shard-parallel steps with fixed
+//!   shard-order reduction (bit-for-bit identical across thread counts),
+//!   a step/epoch counter, and the engine RNG. Its full state round-trips
+//!   through [`TrainerState`], so a resumed run provably matches an
+//!   uninterrupted one.
+//! * [`TrainObserver`] — per-step / per-epoch hooks carrying loss, gradient
+//!   norm, learning rate, and elapsed time.
+//!
+//! Determinism rules: every stochastic choice is drawn either from the engine
+//! RNG (epoch shuffles, per-step shard seeds — always on the driver thread,
+//! in a fixed order) or from a per-shard RNG seeded by a driver-drawn seed
+//! (in-step sampling). Thread scheduling can therefore never influence the
+//! math.
+
+pub mod checkpoint;
+pub mod engine;
+pub mod observe;
+pub mod spec;
+
+pub use checkpoint::TrainerState;
+pub use engine::{Optimizer, StepOutcome, Trainable, Trainer};
+pub use observe::{EpochRecord, LossCurve, NoopObserver, StepRecord, TrainObserver};
+pub use spec::{LrSchedule, OptimizerKind, TrainSpec};

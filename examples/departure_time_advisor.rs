@@ -51,10 +51,8 @@ fn main() {
     let mut best_overall = (f64::INFINITY, 0u32, 0usize);
     for hour in 6..=20u32 {
         let t = SimTime::from_hm(1, hour, 0); // Tuesday
-        let etas: Vec<f64> = routes
-            .iter()
-            .map(|r| head.predict(&rep.represent(&ds.net, r, t)) / 60.0)
-            .collect();
+        let etas: Vec<f64> =
+            routes.iter().map(|r| head.predict(&rep.represent(&ds.net, r, t)) / 60.0).collect();
         let (best_ix, best_eta) = etas
             .iter()
             .enumerate()

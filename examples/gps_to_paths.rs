@@ -25,10 +25,13 @@ fn main() {
 
     // Three sampling regimes, mirroring the paper's three fleets
     // (Aalborg 1 Hz, Chengdu ~1/3 Hz, Harbin 1/30 Hz).
-    for (label, interval, noise) in
-        [("dense (1 fix/5s)", 5.0, 8.0), ("medium (1 fix/15s)", 15.0, 12.0), ("sparse (1 fix/30s)", 30.0, 15.0)]
-    {
-        let trip_cfg = TripConfig { sample_interval: interval, gps_noise: noise, ..Default::default() };
+    for (label, interval, noise) in [
+        ("dense (1 fix/5s)", 5.0, 8.0),
+        ("medium (1 fix/15s)", 15.0, 12.0),
+        ("sparse (1 fix/30s)", 30.0, 15.0),
+    ] {
+        let trip_cfg =
+            TripConfig { sample_interval: interval, gps_noise: noise, ..Default::default() };
         let mut generator = TripGenerator::new(&net, &congestion, trip_cfg, 31);
         let mut matched = 0usize;
         let mut overlap_sum = 0.0;

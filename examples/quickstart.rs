@@ -40,10 +40,7 @@ fn main() {
         let nb: f64 = off.iter().map(|v| v * v).sum::<f64>().sqrt();
         dot / (na * nb)
     };
-    println!(
-        "TPR dim = {}; cosine(same path @ 8:00 vs @ 13:00) = {cos:.4}",
-        rep.dim()
-    );
+    println!("TPR dim = {}; cosine(same path @ 8:00 vs @ 13:00) = {cos:.4}", rep.dim());
 
     // 4. Downstream: frozen representations + gradient-boosted heads.
     let tte = evaluate_tte(&rep, &ds);

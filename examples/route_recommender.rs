@@ -71,10 +71,8 @@ fn main() {
             100.0 * peak_hits as f64 / peak_total as f64
         );
     }
-    let random_baseline: f64 = test_groups
-        .iter()
-        .map(|&gi| 1.0 / ds.groups[gi].candidates.len() as f64)
-        .sum::<f64>()
-        / test_groups.len() as f64;
+    let random_baseline: f64 =
+        test_groups.iter().map(|&gi| 1.0 / ds.groups[gi].candidates.len() as f64).sum::<f64>()
+            / test_groups.len() as f64;
     println!("random-guess baseline: {:.0}%", 100.0 * random_baseline);
 }

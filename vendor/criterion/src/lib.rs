@@ -167,9 +167,7 @@ mod tests {
 
     #[test]
     fn bench_function_runs_and_times() {
-        let mut c = Criterion::default()
-            .sample_size(3)
-            .measurement_time(Duration::from_millis(20));
+        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(20));
         let mut count = 0u64;
         c.bench_function("noop_sum", |b| b.iter(|| count = count.wrapping_add(1)));
         assert!(count > 0);

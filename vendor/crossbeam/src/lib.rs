@@ -57,10 +57,8 @@ mod tests {
     fn scope_joins_and_returns() {
         let data = vec![1, 2, 3, 4];
         let total: i32 = crate::thread::scope(|s| {
-            let handles: Vec<_> = data
-                .chunks(2)
-                .map(|c| s.spawn(move |_| c.iter().sum::<i32>()))
-                .collect();
+            let handles: Vec<_> =
+                data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<i32>())).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()
         })
         .unwrap();

@@ -151,6 +151,18 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// Raw xoshiro256** state, for checkpoint/resume of a generator.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Restore a generator from a previously captured [`Self::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            Self { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;

@@ -199,7 +199,9 @@ impl Deserialize for char {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
             Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
-            other => Err(DeError::new(format!("expected single-char string, got {}", other.kind()))),
+            other => {
+                Err(DeError::new(format!("expected single-char string, got {}", other.kind())))
+            }
         }
     }
 }

@@ -36,7 +36,8 @@ fn is_punct(t: &TokenTree, c: char) -> bool {
 fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
     while *i < tokens.len() && is_punct(&tokens[*i], '#') {
         *i += 1; // '#'
-        if *i < tokens.len() && matches!(&tokens[*i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+        if *i < tokens.len()
+            && matches!(&tokens[*i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
         {
             *i += 1;
         }
@@ -230,9 +231,8 @@ fn gen_serialize(item: &Item) -> String {
                 }
                 Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
                 Fields::Tuple(n) => {
-                    let items: Vec<String> = (0..*n)
-                        .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
-                        .collect();
+                    let items: Vec<String> =
+                        (0..*n).map(|k| format!("serde::Serialize::to_value(&self.{k})")).collect();
                     format!("serde::Value::Array(vec![{}])", items.join(", "))
                 }
                 Fields::Unit => "serde::Value::Null".to_string(),
@@ -271,9 +271,7 @@ fn gen_serialize(item: &Item) -> String {
                         let pushes: Vec<String> = fs
                             .iter()
                             .map(|f| {
-                                format!(
-                                    "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
-                                )
+                                format!("(\"{f}\".to_string(), serde::Serialize::to_value({f}))")
                             })
                             .collect();
                         arms.push_str(&format!(
@@ -297,9 +295,7 @@ fn gen_named_ctor(ty_path: &str, ctx: &str, fields: &[String]) -> String {
     let inits: Vec<String> = fields
         .iter()
         .map(|f| {
-            format!(
-                "{f}: serde::Deserialize::from_value(serde::field(o, \"{f}\", \"{ctx}\")?)?"
-            )
+            format!("{f}: serde::Deserialize::from_value(serde::field(o, \"{f}\", \"{ctx}\")?)?")
         })
         .collect();
     format!("{ty_path} {{ {} }}", inits.join(", "))
@@ -342,9 +338,7 @@ fn gen_deserialize(item: &Item) -> String {
             for v in variants {
                 let vn = &v.name;
                 match &v.fields {
-                    Fields::Unit => {
-                        str_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"))
-                    }
+                    Fields::Unit => str_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n")),
                     Fields::Tuple(n) => {
                         let body = if *n == 1 {
                             format!("Ok({name}::{vn}(serde::Deserialize::from_value(inner)?))")

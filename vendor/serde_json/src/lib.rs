@@ -269,9 +269,8 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    let esc = self
-                        .peek()
-                        .ok_or_else(|| Error::new("unterminated escape sequence"))?;
+                    let esc =
+                        self.peek().ok_or_else(|| Error::new("unterminated escape sequence"))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -306,10 +305,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -356,9 +352,7 @@ impl<'a> Parser<'a> {
                 return Ok(Value::Int(n));
             }
         }
-        s.parse::<f64>()
-            .map(Value::Float)
-            .map_err(|_| Error::new(format!("invalid number `{s}`")))
+        s.parse::<f64>().map(Value::Float).map_err(|_| Error::new(format!("invalid number `{s}`")))
     }
 }
 
