@@ -1,16 +1,24 @@
 //! Serial-vs-parallel timing harness for the data-parallel training and
-//! lock-free inference paths. Writes `BENCH_parallel.json` in the working
-//! directory (see `scripts/bench.sh`).
+//! lock-free inference paths. Writes `BENCH_parallel.json` and
+//! `BENCH_kernels.json` in the working directory (see `scripts/bench.sh`).
 //!
 //! For each shard count the *same logical step* (fixed seed, fixed shard
 //! count) is timed at `threads = 1` and `threads = shards`; because the shard
 //! count is part of the math, this isolates the execution knob. The host core
 //! count is recorded alongside — on a single-core host the parallel numbers
 //! legitimately match the serial ones.
+//!
+//! The kernels report compares pooled vs unpooled tape execution (same fused
+//! kernels both ways — pooling only recycles buffers) for the WSCCL model and
+//! a PIM-style LSTM baseline, recording per-step time plus the tape's
+//! allocation counters during the timed window. A pooled steady state must
+//! show zero fresh tensor allocations.
 
 use std::sync::Arc;
 use std::time::Instant;
 
+use rand::rngs::StdRng;
+use rand::RngExt;
 use serde::Serialize;
 
 use wsccl_core::config::WscclConfig;
@@ -18,8 +26,11 @@ use wsccl_core::encoder::{EncoderConfig, TemporalPathEncoder};
 use wsccl_core::wsc::WscModel;
 use wsccl_core::PathRepresenter;
 use wsccl_datagen::{CityDataset, DatasetConfig};
+use wsccl_nn::layers::Lstm;
+use wsccl_nn::{Graph, NodeId, Parameters};
 use wsccl_roadnet::CityProfile;
 use wsccl_traffic::PopLabeler;
+use wsccl_train::{TrainSpec, Trainable, Trainer};
 
 #[derive(Serialize)]
 struct TrainTiming {
@@ -42,6 +53,148 @@ struct Report {
     host_cores: usize,
     train_step: Vec<TrainTiming>,
     eval_embed: EmbedTiming,
+}
+
+#[derive(Serialize)]
+struct KernelTiming {
+    model: &'static str,
+    pooled: bool,
+    steps: usize,
+    ms_per_step: f64,
+    /// Fresh tensor allocations during the timed (post-warmup) window.
+    steady_fresh_allocs: u64,
+    /// Pool reuses during the timed window.
+    steady_reuses: u64,
+    /// Peak simultaneously-live pooled tensors over the whole run.
+    peak_live: usize,
+}
+
+#[derive(Serialize)]
+struct KernelReport {
+    host_cores: usize,
+    train_step: Vec<KernelTiming>,
+}
+
+/// PIM-style LSTM baseline: encode a feature sequence, score the pooled
+/// global representation against one of its own step states. Exercises the
+/// fused LSTM cell through the shared engine without the WSCCL sampler.
+struct LstmBench {
+    lstm: Lstm,
+    seqs: Vec<Vec<Vec<f64>>>,
+}
+
+impl Trainable for LstmBench {
+    type Batch = usize;
+
+    fn epoch_batches(&mut self, _epoch: u64, _rng: &mut StdRng) -> Vec<usize> {
+        (0..self.seqs.len()).collect()
+    }
+
+    fn build_loss(&self, g: &mut Graph<'_>, &i: &usize, rng: &mut StdRng) -> Option<NodeId> {
+        let feats = &self.seqs[i];
+        let inputs: Vec<NodeId> = feats.iter().map(|f| g.input_row(f)).collect();
+        let hs = self.lstm.forward(g, &inputs);
+        let stacked = g.concat_rows(&hs);
+        let global = g.mean_rows(stacked);
+        let own = hs[rng.random_range(0..hs.len())];
+        let score = g.dot(global, own);
+        let sig = g.sigmoid(score);
+        let ln = g.ln(sig);
+        Some(g.scale_inplace(ln, -1.0))
+    }
+}
+
+fn time_wsccl_kernels(
+    enc: &Arc<TemporalPathEncoder>,
+    ds: &CityDataset,
+    pooled: bool,
+    steps: usize,
+) -> KernelTiming {
+    let cfg = WscclConfig { pooling: pooled, ..WscclConfig::default() };
+    let mut model = WscModel::new(Arc::clone(enc), cfg, 1);
+    // Adaptive warm-up: each step samples a fresh batch, and tensor sizes
+    // depend on path length, so keep stepping until the pool has seen the
+    // whole size spectrum — including the worst simultaneous demand per size
+    // — i.e. a long calm streak without a single fresh alloc.
+    let mut calm = 0;
+    let mut last = model.pool_stats().fresh_allocs;
+    for _ in 0..1000 {
+        model.train_step(&ds.unlabeled, &PopLabeler);
+        let now = model.pool_stats().fresh_allocs;
+        calm = if now == last { calm + 1 } else { 0 };
+        last = now;
+        if calm >= 50 {
+            break;
+        }
+    }
+    let warm = model.pool_stats();
+    let t = Instant::now();
+    for _ in 0..steps {
+        model.train_step(&ds.unlabeled, &PopLabeler);
+    }
+    let ms_per_step = t.elapsed().as_secs_f64() * 1000.0 / steps as f64;
+    let after = model.pool_stats();
+    let row = KernelTiming {
+        model: "WSCCL",
+        pooled,
+        steps,
+        ms_per_step,
+        steady_fresh_allocs: after.fresh_allocs - warm.fresh_allocs,
+        steady_reuses: after.reuses - warm.reuses,
+        peak_live: after.peak_live,
+    };
+    println!(
+        "kernels WSCCL pooled={pooled}: {ms_per_step:.2} ms/step, \
+         {} fresh allocs steady-state",
+        row.steady_fresh_allocs
+    );
+    row
+}
+
+fn time_lstm_kernels(ds: &CityDataset, pooled: bool, steps: usize) -> KernelTiming {
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut params = Parameters::new();
+    let lstm = Lstm::new(&mut params, &mut rng, "bench.lstm", 8, 24, 1);
+    let seqs: Vec<Vec<Vec<f64>>> = ds
+        .unlabeled
+        .iter()
+        .take(16)
+        .map(|s| {
+            (0..s.path.len().max(2))
+                .map(|_| (0..8).map(|_| rng.random_range(-1.0..1.0)).collect())
+                .collect()
+        })
+        .collect();
+    let mut bench = LstmBench { lstm, seqs };
+    let n_seqs = bench.seqs.len();
+    let spec = TrainSpec { pool_buffers: pooled, ..TrainSpec::adam(3e-3, 1, 9) };
+    let mut trainer = Trainer::new(spec);
+    for i in 0..n_seqs {
+        trainer.step(&mut bench, &mut params, &i);
+    }
+    let warm = trainer.pool_stats();
+    let t = Instant::now();
+    for i in 0..steps {
+        trainer.step(&mut bench, &mut params, &(i % n_seqs));
+    }
+    let ms_per_step = t.elapsed().as_secs_f64() * 1000.0 / steps as f64;
+    let after = trainer.pool_stats();
+    let row = KernelTiming {
+        model: "PIM-LSTM",
+        pooled,
+        steps,
+        ms_per_step,
+        steady_fresh_allocs: after.fresh_allocs - warm.fresh_allocs,
+        steady_reuses: after.reuses - warm.reuses,
+        peak_live: after.peak_live,
+    };
+    println!(
+        "kernels PIM-LSTM pooled={pooled}: {ms_per_step:.2} ms/step, \
+         {} fresh allocs steady-state",
+        row.steady_fresh_allocs
+    );
+    row
 }
 
 fn time_train(
@@ -131,4 +284,17 @@ fn main() {
     let json = serde_json::to_string(&report).expect("serialize report");
     std::fs::write("BENCH_parallel.json", json).expect("write BENCH_parallel.json");
     println!("wrote BENCH_parallel.json");
+
+    let kernels = KernelReport {
+        host_cores,
+        train_step: vec![
+            time_wsccl_kernels(&enc, &ds, false, 20),
+            time_wsccl_kernels(&enc, &ds, true, 20),
+            time_lstm_kernels(&ds, false, 40),
+            time_lstm_kernels(&ds, true, 40),
+        ],
+    };
+    let json = serde_json::to_string(&kernels).expect("serialize kernel report");
+    std::fs::write("BENCH_kernels.json", json).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
 }

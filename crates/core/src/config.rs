@@ -47,7 +47,17 @@ pub struct WscclConfig {
     /// Purely an execution detail — any value produces bit-for-bit identical
     /// training for a fixed seed and shard count.
     pub threads: usize,
+    /// Recycle tape buffers across training steps (see `wsccl_nn::TensorPool`).
+    /// Execution detail only: pooled and unpooled training are bit-for-bit
+    /// identical. Defaults to on; configs written before this knob existed
+    /// load as on.
+    #[serde(default = "default_pooling")]
+    pub pooling: bool,
     pub seed: u64,
+}
+
+fn default_pooling() -> bool {
+    true
 }
 
 impl Default for WscclConfig {
@@ -65,6 +75,7 @@ impl Default for WscclConfig {
             grad_clip: 5.0,
             shards: 1,
             threads: 1,
+            pooling: true,
             seed: 0,
         }
     }

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use wsccl_graphembed::{Node2VecConfig, RoadEmbeddings, TemporalEmbeddings};
 use wsccl_nn::layers::{Embedding, Linear, Lstm, TransformerBlock};
-use wsccl_nn::{Graph, NodeId, ParamId, Parameters, Tensor};
+use wsccl_nn::{Graph, NodeId, ParamId, Parameters};
 use wsccl_roadnet::{EdgeFeatures, Path, RoadNetwork, RoadType};
 use wsccl_traffic::SimTime;
 
@@ -277,9 +277,10 @@ impl TemporalPathEncoder {
         departure: SimTime,
     ) -> (NodeId, Vec<NodeId>) {
         assert!(!path.is_empty(), "cannot encode an empty path");
-        // Frozen temporal embedding, shared across the path's edges.
-        let t_all =
-            self.temporal.as_ref().map(|t| g.input(Tensor::row(t.embed(departure).to_vec())));
+        // Frozen temporal embedding, shared across the path's edges. All
+        // constant inputs go through `input_row`, drawing pooled buffers on
+        // the training hot path instead of per-edge heap allocations.
+        let t_all = self.temporal.as_ref().map(|t| g.input_row(t.embed(departure)));
 
         let mut inputs = Vec::with_capacity(path.len());
         for &e in path.edges() {
@@ -288,8 +289,8 @@ impl TemporalPathEncoder {
             let l = w.emb_l.forward(g, &[f.lanes_index()]);
             let o = w.emb_o.forward(g, &[f.one_way as usize]);
             let ts = w.emb_ts.forward(g, &[f.signals as usize]);
-            let topo = g.input(Tensor::row(self.topo[e.index()].clone()));
-            let phys = g.input(Tensor::row(self.phys[e.index()].to_vec()));
+            let topo = g.input_row(&self.topo[e.index()]);
+            let phys = g.input_row(&self.phys[e.index()]);
             let x = match t_all {
                 Some(t) => g.concat_cols(&[t, topo, rt, l, o, ts, phys]),
                 None => g.concat_cols(&[topo, rt, l, o, ts, phys]),

@@ -37,7 +37,7 @@ pub fn global_wsc_with_temperature(
     let sim = |g: &mut Graph<'_>, sims: &mut Vec<Vec<Option<NodeId>>>, i: usize, j: usize| {
         if sims[i][j].is_none() {
             let c = g.cos_sim(batch.tprs[i], batch.tprs[j]);
-            let s = g.scale(c, 1.0 / temperature);
+            let s = g.scale_inplace(c, 1.0 / temperature);
             sims[i][j] = Some(s);
             sims[j][i] = Some(s);
         }
@@ -119,8 +119,8 @@ pub fn local_wsc(
             neg.iter().map(|&(j, s)| g.cos_sim(batch.tprs[i], batch.sters[j][s])).collect();
         let lse_pos = g.log_sum_exp(&pos_sims);
         let lse_neg = g.log_sum_exp(&neg_sims);
-        let diff = g.sub(lse_pos, lse_neg);
-        let scaled = g.scale(diff, 1.0 / pos_sims.len() as f64);
+        let diff = g.sub_inplace(lse_pos, lse_neg);
+        let scaled = g.scale_inplace(diff, 1.0 / pos_sims.len() as f64);
         per_query.push(scaled);
     }
     if per_query.is_empty() {
@@ -160,15 +160,15 @@ pub fn wsc_loss_with_temperature(
     let local = if lambda < 1.0 { local_wsc(g, batch, rng, edges_per_side) } else { None };
     let objective = match (global, local) {
         (Some(gl), Some(lo)) => {
-            let a = g.scale(gl, lambda);
-            let b = g.scale(lo, 1.0 - lambda);
-            Some(g.add(a, b))
+            let a = g.scale_inplace(gl, lambda);
+            let b = g.scale_inplace(lo, 1.0 - lambda);
+            Some(g.add_inplace(a, b))
         }
-        (Some(gl), None) => Some(g.scale(gl, lambda)),
-        (None, Some(lo)) => Some(g.scale(lo, 1.0 - lambda)),
+        (Some(gl), None) => Some(g.scale_inplace(gl, lambda)),
+        (None, Some(lo)) => Some(g.scale_inplace(lo, 1.0 - lambda)),
         (None, None) => None,
     }?;
-    Some(g.scale(objective, -1.0))
+    Some(g.scale_inplace(objective, -1.0))
 }
 
 #[cfg(test)]

@@ -53,6 +53,7 @@ fn train_spec(cfg: &WscclConfig, seed: u64) -> TrainSpec {
         seed,
         shards: cfg.shards,
         threads: cfg.threads,
+        pool_buffers: cfg.pooling,
     }
 }
 
@@ -130,6 +131,12 @@ impl WscModel {
 
     pub fn config(&self) -> &WscclConfig {
         &self.cfg
+    }
+
+    /// Tape buffer-pool statistics accumulated by the training engine (all
+    /// zeros when `cfg.pooling` is off).
+    pub fn pool_stats(&self) -> wsccl_nn::PoolStats {
+        self.trainer.pool_stats()
     }
 
     /// One optimization step over `cfg.shards` data-parallel sub-batches.

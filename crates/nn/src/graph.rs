@@ -8,18 +8,56 @@
 //! graph is built per training step, which naturally supports the
 //! variable-length paths this paper operates on.
 //!
+//! # Memory
+//!
+//! A tape built with [`Graph::new_in`] draws every tensor buffer — node
+//! values, adjoints, and parameter-gradient slots — from a caller-owned
+//! [`TensorPool`], and returns all of them when the tape is dropped. In steady
+//! state (same batch shapes step over step) a training step therefore performs
+//! zero tensor heap allocations. [`Graph::new`] keeps the plain allocating
+//! behaviour; both paths run the exact same arithmetic, so pooled and unpooled
+//! training are bit-for-bit identical.
+//!
 //! Node gradient buffers are allocated lazily, on first accumulation: nodes
 //! that never receive an adjoint (constants, dead branches) cost no memory.
+//!
+//! The backward pass never clones an operand value: every propagation rule is
+//! written against the accumulating kernels in [`crate::tensor`]
+//! (`matmul_*_acc`, `axpy`, fused loops) and writes straight into the
+//! destination adjoint buffer.
+//!
+//! # Fused ops
+//!
+//! The hot compositions the models emit have single-node fused forms:
+//! [`Graph::affine`] (matmul + row bias + activation) and
+//! [`Graph::lstm_cell`] (all four LSTM gates against the pre-packed weight
+//! block, one node per timestep). Both read their weights directly from the
+//! parameter store by [`ParamId`], eliminating the per-step parameter-clone
+//! nodes the composed forms needed. The `*_inplace` elementwise variants
+//! additionally steal the operand's value buffer when the tape's refcount
+//! proves no one else will read it.
 //!
 //! Every op's gradient is verified against central finite differences in the
 //! test suite (see `tests/gradcheck.rs` and [`crate::gradcheck`]).
 
+use std::mem;
+
 use crate::params::{GradStore, ParamId, Parameters};
+use crate::pool::TensorPool;
 use crate::tensor::Tensor;
 
 /// Handle to a node on the tape.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct NodeId(usize);
+
+/// Activation fused into an [`Graph::affine`] node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    Identity,
+    Sigmoid,
+    Tanh,
+    Relu,
+}
 
 #[derive(Debug)]
 enum Op {
@@ -75,14 +113,55 @@ enum Op {
     LayerNormRows(NodeId, f64),
     /// Row slice `A[start..end, :]`.
     SliceRows(NodeId, usize, usize),
+    /// Fused `act(x · W + 1·b)` reading `W`/`b` straight from the store.
+    Affine { x: NodeId, w: ParamId, b: Option<ParamId>, act: Activation },
+    /// Fused LSTM cell: value is `[h_new | c_new]` (`n × 2h`); `saved` holds
+    /// the post-activation gates `[i | f | g | o | tanh(c_new)]` (`n × 5h`)
+    /// for the closed-form backward.
+    LstmCell {
+        x: NodeId,
+        h: NodeId,
+        c: NodeId,
+        wx: ParamId,
+        wh: ParamId,
+        b: ParamId,
+        hidden: usize,
+        saved: Tensor,
+    },
+}
+
+impl Op {
+    /// Whether this op's backward rule reads its **own output** value. The
+    /// value buffer of such a node must never be stolen by an in-place op.
+    fn backward_reads_own_value(&self) -> bool {
+        matches!(
+            self,
+            Op::Sigmoid(_)
+                | Op::Tanh(_)
+                | Op::Relu(_)
+                | Op::SoftmaxRows(_)
+                | Op::LogSumExp(_)
+                | Op::LayerNormRows(_, _)
+                | Op::Affine { .. }
+                | Op::LstmCell { .. }
+        )
+    }
 }
 
 struct Node {
     op: Op,
     value: Tensor,
+    /// Value shape, kept separately so adjoints stay sizable after the value
+    /// buffer has been stolen by an in-place op.
+    shape: (usize, usize),
     /// Adjoint buffer, allocated lazily on first accumulation.
     grad: Option<Tensor>,
     needs_grad: bool,
+    /// How many later tape nodes consume this node as an operand.
+    uses: u32,
+    /// Value buffer was recycled into a later node by an `*_inplace` op;
+    /// reading it is a bug and panics.
+    stolen: bool,
 }
 
 /// Reverse-mode autodiff tape over a shared, read-only parameter store.
@@ -90,12 +169,75 @@ pub struct Graph<'p> {
     params: &'p Parameters,
     grads: GradStore,
     nodes: Vec<Node>,
+    pool: Option<&'p mut TensorPool>,
+}
+
+// -------------------------------------------------------------- pool helpers
+//
+// Free functions over the destructured fields, so the backward pass can hold
+// an owned adjoint buffer while borrowing other nodes immutably.
+
+fn pool_take_zero(pool: &mut Option<&mut TensorPool>, rows: usize, cols: usize) -> Tensor {
+    match pool.as_deref_mut() {
+        Some(p) => p.take(rows, cols),
+        None => Tensor::zeros(rows, cols),
+    }
+}
+
+fn pool_take_raw(pool: &mut Option<&mut TensorPool>, rows: usize, cols: usize) -> Tensor {
+    match pool.as_deref_mut() {
+        Some(p) => p.take_raw(rows, cols),
+        None => Tensor::zeros(rows, cols),
+    }
+}
+
+fn pool_put(pool: &mut Option<&mut TensorPool>, t: Tensor) {
+    if let Some(p) = pool.as_deref_mut() {
+        p.put(t);
+    }
+}
+
+/// Take a node's adjoint buffer out (allocating zeros on first touch) so it
+/// can be written while other nodes are borrowed. Put it back with
+/// `nodes[id].grad = Some(...)`.
+fn take_grad(nodes: &mut [Node], pool: &mut Option<&mut TensorPool>, id: NodeId) -> Tensor {
+    match nodes[id.0].grad.take() {
+        Some(g) => g,
+        None => {
+            let (r, c) = nodes[id.0].shape;
+            pool_take_zero(pool, r, c)
+        }
+    }
+}
+
+impl Drop for Graph<'_> {
+    /// Return every node value, saved fused-op buffer, and adjoint to the
+    /// pool. Without a pool this is a plain drop.
+    fn drop(&mut self) {
+        let Some(pool) = self.pool.as_deref_mut() else { return };
+        for node in self.nodes.drain(..) {
+            pool.put(node.value);
+            if let Some(g) = node.grad {
+                pool.put(g);
+            }
+            if let Op::LstmCell { saved, .. } = node.op {
+                pool.put(saved);
+            }
+        }
+    }
 }
 
 impl<'p> Graph<'p> {
-    /// Start a fresh tape over the given parameter store.
+    /// Start a fresh tape over the given parameter store, allocating every
+    /// tensor buffer from the global heap.
     pub fn new(params: &'p Parameters) -> Self {
-        Self { params, grads: GradStore::new(), nodes: Vec::with_capacity(256) }
+        Self { params, grads: GradStore::new(), nodes: Vec::with_capacity(256), pool: None }
+    }
+
+    /// Start a fresh tape that draws all tensor buffers from `pool` and
+    /// returns them when dropped. Arithmetic is identical to [`Graph::new`].
+    pub fn new_in(params: &'p Parameters, pool: &'p mut TensorPool) -> Self {
+        Self { params, grads: GradStore::new(), nodes: Vec::with_capacity(256), pool: Some(pool) }
     }
 
     /// Read-only access to the underlying parameters.
@@ -109,8 +251,10 @@ impl<'p> Graph<'p> {
     }
 
     /// Consume the tape, keeping only the accumulated parameter gradients.
-    pub fn into_grads(self) -> GradStore {
-        self.grads
+    /// With a pool, all node buffers are recycled here; the returned store's
+    /// buffers are released separately (see [`GradStore::release_into`]).
+    pub fn into_grads(mut self) -> GradStore {
+        mem::take(&mut self.grads)
     }
 
     /// Run backward from `loss` and return `(loss value, parameter grads)`,
@@ -118,12 +262,15 @@ impl<'p> Graph<'p> {
     pub fn finish(mut self, loss: NodeId) -> (f64, GradStore) {
         let value = self.value(loss).item();
         self.backward(loss);
-        (value, self.grads)
+        (value, mem::take(&mut self.grads))
     }
 
     /// Value of a node.
+    ///
+    /// # Panics
+    /// Panics if the node's buffer was recycled by an `*_inplace` op.
     pub fn value(&self, id: NodeId) -> &Tensor {
-        &self.nodes[id.0].value
+        self.val(id)
     }
 
     /// Adjoint accumulated at a node, if any (valid after [`Graph::backward`];
@@ -136,8 +283,19 @@ impl<'p> Graph<'p> {
         self.nodes.len()
     }
 
+    fn val(&self, id: NodeId) -> &Tensor {
+        let node = &self.nodes[id.0];
+        assert!(
+            !node.stolen,
+            "value of node {} was recycled by an in-place op and must not be read",
+            id.0
+        );
+        &node.value
+    }
+
     fn push(&mut self, op: Op, value: Tensor, needs_grad: bool) -> NodeId {
-        self.nodes.push(Node { op, value, grad: None, needs_grad });
+        let shape = value.shape();
+        self.nodes.push(Node { op, value, shape, grad: None, needs_grad, uses: 0, stolen: false });
         NodeId(self.nodes.len() - 1)
     }
 
@@ -145,31 +303,56 @@ impl<'p> Graph<'p> {
         self.nodes[id.0].needs_grad
     }
 
-    /// Node adjoint buffer, allocated as zeros on first touch.
-    fn grad_entry(&mut self, id: NodeId) -> &mut Tensor {
-        let node = &mut self.nodes[id.0];
-        let (rows, cols) = node.value.shape();
-        node.grad.get_or_insert_with(|| Tensor::zeros(rows, cols))
+    /// Record that a new node consumes `id` as an operand.
+    fn bump(&mut self, id: NodeId) {
+        self.nodes[id.0].uses += 1;
+    }
+
+    fn alloc_zero(&mut self, rows: usize, cols: usize) -> Tensor {
+        pool_take_zero(&mut self.pool, rows, cols)
+    }
+
+    /// A buffer with **stale contents** — callers overwrite every element.
+    fn alloc_raw(&mut self, rows: usize, cols: usize) -> Tensor {
+        pool_take_raw(&mut self.pool, rows, cols)
     }
 
     // ---------------------------------------------------------------- inputs
 
-    /// Constant input tensor (no gradient).
+    /// Constant input tensor (no gradient). The buffer is caller-allocated;
+    /// prefer [`Graph::input_row`]/[`Graph::input_zeros`] on hot paths so it
+    /// comes from the pool instead.
     pub fn input(&mut self, value: Tensor) -> NodeId {
         self.push(Op::Input, value, false)
     }
 
-    /// Reference a trainable parameter.
+    /// Constant `1 × d` input copied from a slice into a pooled buffer.
+    pub fn input_row(&mut self, data: &[f64]) -> NodeId {
+        let mut v = self.alloc_raw(1, data.len());
+        v.data_mut().copy_from_slice(data);
+        self.push(Op::Input, v, false)
+    }
+
+    /// Constant all-zeros input from the pool (LSTM initial states).
+    pub fn input_zeros(&mut self, rows: usize, cols: usize) -> NodeId {
+        let v = self.alloc_zero(rows, cols);
+        self.push(Op::Input, v, false)
+    }
+
+    /// Reference a trainable parameter (the value is copied into a pooled
+    /// buffer; fused ops avoid even that copy by reading the store directly).
     pub fn param(&mut self, id: ParamId) -> NodeId {
-        let value = self.params.value(id).clone();
-        self.push(Op::Param(id), value, true)
+        let (r, c) = self.params.value(id).shape();
+        let mut v = self.alloc_raw(r, c);
+        v.copy_from(self.params.value(id));
+        self.push(Op::Param(id), v, true)
     }
 
     /// Embedding lookup: gather `indices` rows of the parameter matrix.
     pub fn embed_lookup(&mut self, id: ParamId, indices: &[usize]) -> NodeId {
+        let cols = self.params.value(id).cols();
+        let mut out = self.alloc_raw(indices.len(), cols);
         let table = self.params.value(id);
-        let cols = table.cols();
-        let mut out = Tensor::zeros(indices.len(), cols);
         for (r, &ix) in indices.iter().enumerate() {
             assert!(ix < table.rows(), "embedding index {ix} out of range {}", table.rows());
             out.row_slice_mut(r).copy_from_slice(table.row_slice(ix));
@@ -180,112 +363,266 @@ impl<'p> Graph<'p> {
     // ------------------------------------------------------------------- ops
 
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let (ar, _) = self.val(a).shape();
+        let (_, bc) = self.val(b).shape();
+        let mut v = self.alloc_zero(ar, bc);
+        self.nodes[a.0].value.matmul_acc(&self.nodes[b.0].value, &mut v);
         let ng = self.needs(a) || self.needs(b);
+        self.bump(a);
+        self.bump(b);
         self.push(Op::MatMul(a, b), v, ng)
     }
 
     /// `a · bᵀ`.
     pub fn matmul_nt(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.matmul_nt(&self.nodes[b.0].value);
+        let ar = self.val(a).rows();
+        let br = self.val(b).rows();
+        let mut v = self.alloc_zero(ar, br);
+        self.nodes[a.0].value.matmul_nt_acc(&self.nodes[b.0].value, &mut v);
         let ng = self.needs(a) || self.needs(b);
+        self.bump(a);
+        self.bump(b);
         self.push(Op::MatMulNt(a, b), v, ng)
     }
 
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        let (r, c) = self.val(a).shape();
+        let _ = self.val(b);
+        let mut v = self.alloc_raw(r, c);
+        self.nodes[a.0].value.add_into(&self.nodes[b.0].value, &mut v);
         let ng = self.needs(a) || self.needs(b);
+        self.bump(a);
+        self.bump(b);
         self.push(Op::Add(a, b), v, ng)
+    }
+
+    /// Like [`Graph::add`], but steals `a`'s (or `b`'s) value buffer for the
+    /// result when the tape proves no one else reads it; falls back to a fresh
+    /// buffer otherwise. Semantically identical to `add`.
+    pub fn add_inplace(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if let Some(mut v) = self.try_steal(a) {
+            v.add_assign(&self.nodes[b.0].value);
+            let ng = self.needs(a) || self.needs(b);
+            self.bump(a);
+            self.bump(b);
+            return self.push(Op::Add(a, b), v, ng);
+        }
+        if let Some(mut v) = self.try_steal(b) {
+            v.add_assign(&self.nodes[a.0].value);
+            let ng = self.needs(a) || self.needs(b);
+            self.bump(a);
+            self.bump(b);
+            return self.push(Op::Add(a, b), v, ng);
+        }
+        self.add(a, b)
     }
 
     /// Add a `1 × d` row vector to every row of `a`.
     pub fn add_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let (r, c) = self.val(a).shape();
+        let rv_shape = self.val(row).shape();
+        assert_eq!(rv_shape.0, 1, "add_row: rhs must be a row vector");
+        assert_eq!(c, rv_shape.1, "add_row: col mismatch");
+        let mut v = self.alloc_raw(r, c);
         let (av, rv) = (&self.nodes[a.0].value, &self.nodes[row.0].value);
-        assert_eq!(rv.rows(), 1, "add_row: rhs must be a row vector");
-        assert_eq!(av.cols(), rv.cols(), "add_row: col mismatch");
-        let mut v = av.clone();
-        for r in 0..v.rows() {
-            for (x, y) in v.row_slice_mut(r).iter_mut().zip(rv.data()) {
-                *x += y;
+        for rr in 0..r {
+            for ((o, x), y) in v.row_slice_mut(rr).iter_mut().zip(av.row_slice(rr)).zip(rv.data()) {
+                *o = x + y;
             }
         }
         let ng = self.needs(a) || self.needs(row);
+        self.bump(a);
+        self.bump(row);
         self.push(Op::AddRow(a, row), v, ng)
     }
 
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
+        let (r, c) = self.val(a).shape();
+        let _ = self.val(b);
+        let mut v = self.alloc_raw(r, c);
+        self.nodes[a.0].value.sub_into(&self.nodes[b.0].value, &mut v);
         let ng = self.needs(a) || self.needs(b);
+        self.bump(a);
+        self.bump(b);
         self.push(Op::Sub(a, b), v, ng)
     }
 
+    /// In-place variant of [`Graph::sub`] (steals `a`'s buffer when allowed).
+    pub fn sub_inplace(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if let Some(mut v) = self.try_steal(a) {
+            let bv = &self.nodes[b.0].value;
+            assert_eq!(v.shape(), bv.shape(), "elementwise shape mismatch");
+            for (x, y) in v.data_mut().iter_mut().zip(bv.data()) {
+                *x -= y;
+            }
+            let ng = self.needs(a) || self.needs(b);
+            self.bump(a);
+            self.bump(b);
+            return self.push(Op::Sub(a, b), v, ng);
+        }
+        self.sub(a, b)
+    }
+
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.mul(&self.nodes[b.0].value);
+        let (r, c) = self.val(a).shape();
+        let _ = self.val(b);
+        let mut v = self.alloc_raw(r, c);
+        self.nodes[a.0].value.mul_into(&self.nodes[b.0].value, &mut v);
         let ng = self.needs(a) || self.needs(b);
+        self.bump(a);
+        self.bump(b);
         self.push(Op::Mul(a, b), v, ng)
     }
 
     pub fn scale(&mut self, a: NodeId, c: f64) -> NodeId {
-        let v = self.nodes[a.0].value.scale(c);
+        let (rows, cols) = self.val(a).shape();
+        let mut v = self.alloc_raw(rows, cols);
+        for (o, x) in v.data_mut().iter_mut().zip(self.nodes[a.0].value.data()) {
+            *o = x * c;
+        }
         let ng = self.needs(a);
+        self.bump(a);
         self.push(Op::Scale(a, c), v, ng)
     }
 
+    /// In-place variant of [`Graph::scale`] (steals `a`'s buffer when allowed).
+    pub fn scale_inplace(&mut self, a: NodeId, c: f64) -> NodeId {
+        if let Some(mut v) = self.try_steal(a) {
+            v.scale_assign(c);
+            let ng = self.needs(a);
+            self.bump(a);
+            return self.push(Op::Scale(a, c), v, ng);
+        }
+        self.scale(a, c)
+    }
+
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let (r, c) = self.val(a).shape();
+        let mut v = self.alloc_raw(r, c);
+        for (o, x) in v.data_mut().iter_mut().zip(self.nodes[a.0].value.data()) {
+            *o = 1.0 / (1.0 + (-x).exp());
+        }
         let ng = self.needs(a);
+        self.bump(a);
         self.push(Op::Sigmoid(a), v, ng)
     }
 
+    /// In-place variant of [`Graph::sigmoid`]. Sound because the sigmoid
+    /// backward only needs its own output, never the pre-activation input.
+    pub fn sigmoid_inplace(&mut self, a: NodeId) -> NodeId {
+        if let Some(mut v) = self.try_steal(a) {
+            v.data_mut().iter_mut().for_each(|x| *x = 1.0 / (1.0 + (-*x).exp()));
+            let ng = self.needs(a);
+            self.bump(a);
+            return self.push(Op::Sigmoid(a), v, ng);
+        }
+        self.sigmoid(a)
+    }
+
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.map(f64::tanh);
+        let (r, c) = self.val(a).shape();
+        let mut v = self.alloc_raw(r, c);
+        for (o, x) in v.data_mut().iter_mut().zip(self.nodes[a.0].value.data()) {
+            *o = x.tanh();
+        }
         let ng = self.needs(a);
+        self.bump(a);
         self.push(Op::Tanh(a), v, ng)
     }
 
+    /// In-place variant of [`Graph::tanh`].
+    pub fn tanh_inplace(&mut self, a: NodeId) -> NodeId {
+        if let Some(mut v) = self.try_steal(a) {
+            v.data_mut().iter_mut().for_each(|x| *x = x.tanh());
+            let ng = self.needs(a);
+            self.bump(a);
+            return self.push(Op::Tanh(a), v, ng);
+        }
+        self.tanh(a)
+    }
+
     pub fn relu(&mut self, a: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let (r, c) = self.val(a).shape();
+        let mut v = self.alloc_raw(r, c);
+        for (o, x) in v.data_mut().iter_mut().zip(self.nodes[a.0].value.data()) {
+            *o = x.max(0.0);
+        }
         let ng = self.needs(a);
+        self.bump(a);
         self.push(Op::Relu(a), v, ng)
+    }
+
+    /// In-place variant of [`Graph::relu`] (the backward uses the output sign,
+    /// which equals the input sign for ReLU, so the input is never needed).
+    pub fn relu_inplace(&mut self, a: NodeId) -> NodeId {
+        if let Some(mut v) = self.try_steal(a) {
+            v.data_mut().iter_mut().for_each(|x| *x = x.max(0.0));
+            let ng = self.needs(a);
+            self.bump(a);
+            return self.push(Op::Relu(a), v, ng);
+        }
+        self.relu(a)
     }
 
     /// Elementwise natural log. Caller must guarantee strictly positive inputs.
     pub fn ln(&mut self, a: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.map(f64::ln);
+        let (r, c) = self.val(a).shape();
+        let mut v = self.alloc_raw(r, c);
+        for (o, x) in v.data_mut().iter_mut().zip(self.nodes[a.0].value.data()) {
+            *o = x.ln();
+        }
         let ng = self.needs(a);
+        self.bump(a);
         self.push(Op::Ln(a), v, ng)
+    }
+
+    /// Steal `a`'s value buffer for reuse by a new node, if the tape allows:
+    /// nothing has consumed `a` yet, and `a`'s own backward rule never reads
+    /// its output. Marks the node stolen so stray reads panic.
+    fn try_steal(&mut self, a: NodeId) -> Option<Tensor> {
+        let node = &mut self.nodes[a.0];
+        if node.uses == 0 && !node.stolen && !node.op.backward_reads_own_value() {
+            node.stolen = true;
+            Some(mem::take(&mut node.value))
+        } else {
+            None
+        }
     }
 
     /// Row slice `a[start..end, :]`.
     pub fn slice_rows(&mut self, a: NodeId, start: usize, end: usize) -> NodeId {
+        let (rows, cols) = self.val(a).shape();
+        assert!(start < end && end <= rows, "slice_rows out of range");
+        let mut v = self.alloc_raw(end - start, cols);
         let av = &self.nodes[a.0].value;
-        assert!(start < end && end <= av.rows(), "slice_rows out of range");
-        let mut v = Tensor::zeros(end - start, av.cols());
         for r in start..end {
             v.row_slice_mut(r - start).copy_from_slice(av.row_slice(r));
         }
         let ng = self.needs(a);
+        self.bump(a);
         self.push(Op::SliceRows(a, start, end), v, ng)
     }
 
     /// Column slice `a[:, start..end]`.
     pub fn slice_cols(&mut self, a: NodeId, start: usize, end: usize) -> NodeId {
+        let (rows, cols) = self.val(a).shape();
+        assert!(start < end && end <= cols, "slice_cols out of range");
+        let mut v = self.alloc_raw(rows, end - start);
         let av = &self.nodes[a.0].value;
-        assert!(start < end && end <= av.cols(), "slice_cols out of range");
-        let mut v = Tensor::zeros(av.rows(), end - start);
-        for r in 0..av.rows() {
+        for r in 0..rows {
             v.row_slice_mut(r).copy_from_slice(&av.row_slice(r)[start..end]);
         }
         let ng = self.needs(a);
+        self.bump(a);
         self.push(Op::SliceCols(a, start, end), v, ng)
     }
 
     /// Horizontal concatenation of the given nodes.
     pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
         assert!(!parts.is_empty(), "concat_cols of nothing");
-        let rows = self.nodes[parts[0].0].value.rows();
-        let cols: usize = parts.iter().map(|p| self.nodes[p.0].value.cols()).sum();
-        let mut v = Tensor::zeros(rows, cols);
+        let rows = self.val(parts[0]).rows();
+        let cols: usize = parts.iter().map(|&p| self.val(p).cols()).sum();
+        let mut v = self.alloc_raw(rows, cols);
         for r in 0..rows {
             let mut off = 0;
             for p in parts {
@@ -297,29 +634,59 @@ impl<'p> Graph<'p> {
             }
         }
         let ng = parts.iter().any(|&p| self.needs(p));
+        for &p in parts {
+            self.bump(p);
+        }
         self.push(Op::ConcatCols(parts.to_vec()), v, ng)
     }
 
     /// Vertical stack of the given nodes.
     pub fn concat_rows(&mut self, parts: &[NodeId]) -> NodeId {
         assert!(!parts.is_empty(), "concat_rows of nothing");
-        let refs: Vec<&Tensor> = parts.iter().map(|p| &self.nodes[p.0].value).collect();
-        let v = Tensor::stack_rows(&refs);
+        let cols = self.val(parts[0]).cols();
+        let rows: usize = parts.iter().map(|&p| self.val(p).rows()).sum();
+        let mut v = self.alloc_raw(rows, cols);
+        let mut off = 0;
+        for p in parts {
+            let pv = &self.nodes[p.0].value;
+            assert_eq!(pv.cols(), cols, "concat_rows col mismatch");
+            for r in 0..pv.rows() {
+                v.row_slice_mut(off + r).copy_from_slice(pv.row_slice(r));
+            }
+            off += pv.rows();
+        }
         let ng = parts.iter().any(|&p| self.needs(p));
+        for &p in parts {
+            self.bump(p);
+        }
         self.push(Op::ConcatRows(parts.to_vec()), v, ng)
     }
 
     /// `1 × d` mean over rows.
     pub fn mean_rows(&mut self, a: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.mean_rows();
+        let (rows, cols) = self.val(a).shape();
+        assert!(rows > 0, "mean_rows of empty tensor");
+        let mut v = self.alloc_zero(1, cols);
+        let av = &self.nodes[a.0].value;
+        for r in 0..rows {
+            for (o, x) in v.data_mut().iter_mut().zip(av.row_slice(r)) {
+                *o += x;
+            }
+        }
+        let inv = 1.0 / rows as f64;
+        v.data_mut().iter_mut().for_each(|x| *x *= inv);
         let ng = self.needs(a);
+        self.bump(a);
         self.push(Op::MeanRows(a), v, ng)
     }
 
     /// `1 × 1` sum of every element.
     pub fn sum_all(&mut self, a: NodeId) -> NodeId {
-        let v = Tensor::scalar(self.nodes[a.0].value.sum());
+        let s = self.val(a).sum();
+        let mut v = self.alloc_raw(1, 1);
+        v.data_mut()[0] = s;
         let ng = self.needs(a);
+        self.bump(a);
         self.push(Op::SumAll(a), v, ng)
     }
 
@@ -327,9 +694,10 @@ impl<'p> Graph<'p> {
     /// scaled to unit variance (`eps` stabilizes near-constant rows). Affine
     /// parameters, when wanted, compose via [`Graph::mul`]/[`Graph::add_row`].
     pub fn layer_norm_rows(&mut self, a: NodeId, eps: f64) -> NodeId {
-        let av = &self.nodes[a.0].value;
-        let mut v = av.clone();
-        for r in 0..v.rows() {
+        let (rows, cols) = self.val(a).shape();
+        let mut v = self.alloc_raw(rows, cols);
+        v.copy_from(&self.nodes[a.0].value);
+        for r in 0..rows {
             let row = v.row_slice_mut(r);
             let n = row.len() as f64;
             let mean = row.iter().sum::<f64>() / n;
@@ -340,14 +708,16 @@ impl<'p> Graph<'p> {
             }
         }
         let ng = self.needs(a);
+        self.bump(a);
         self.push(Op::LayerNormRows(a, eps), v, ng)
     }
 
     /// Row-wise softmax.
     pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
-        let av = &self.nodes[a.0].value;
-        let mut v = av.clone();
-        for r in 0..v.rows() {
+        let (rows, cols) = self.val(a).shape();
+        let mut v = self.alloc_raw(rows, cols);
+        v.copy_from(&self.nodes[a.0].value);
+        for r in 0..rows {
             let row = v.row_slice_mut(r);
             let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let mut z = 0.0;
@@ -360,56 +730,176 @@ impl<'p> Graph<'p> {
             }
         }
         let ng = self.needs(a);
+        self.bump(a);
         self.push(Op::SoftmaxRows(a), v, ng)
     }
 
     /// Cosine similarity of two same-shaped tensors (flattened) → `1 × 1`.
     pub fn cos_sim(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = Tensor::scalar(self.nodes[a.0].value.cosine(&self.nodes[b.0].value));
+        let s = self.val(a).cosine(self.val(b));
+        let mut v = self.alloc_raw(1, 1);
+        v.data_mut()[0] = s;
         let ng = self.needs(a) || self.needs(b);
+        self.bump(a);
+        self.bump(b);
         self.push(Op::CosSim(a, b), v, ng)
     }
 
     /// Flat dot product → `1 × 1`.
     pub fn dot(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = Tensor::scalar(self.nodes[a.0].value.flat_dot(&self.nodes[b.0].value));
+        let s = self.val(a).flat_dot(self.val(b));
+        let mut v = self.alloc_raw(1, 1);
+        v.data_mut()[0] = s;
         let ng = self.needs(a) || self.needs(b);
+        self.bump(a);
+        self.bump(b);
         self.push(Op::Dot(a, b), v, ng)
     }
 
     /// Numerically stable `log Σᵢ exp(xᵢ)` over `1 × 1` scalar nodes → `1 × 1`.
     pub fn log_sum_exp(&mut self, xs: &[NodeId]) -> NodeId {
         assert!(!xs.is_empty(), "log_sum_exp of nothing");
-        let vals: Vec<f64> = xs.iter().map(|&x| self.nodes[x.0].value.item()).collect();
-        let m = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let s: f64 = vals.iter().map(|v| (v - m).exp()).sum();
-        let v = Tensor::scalar(m + s.ln());
+        let m = xs.iter().map(|&x| self.val(x).item()).fold(f64::NEG_INFINITY, f64::max);
+        let s: f64 = xs.iter().map(|&x| (self.nodes[x.0].value.item() - m).exp()).sum();
+        let mut v = self.alloc_raw(1, 1);
+        v.data_mut()[0] = m + s.ln();
         let ng = xs.iter().any(|&x| self.needs(x));
+        for &x in xs {
+            self.bump(x);
+        }
         self.push(Op::LogSumExp(xs.to_vec()), v, ng)
     }
 
     /// Softmax cross-entropy of `1 × k` logits vs. class index → `1 × 1`.
     pub fn cross_entropy(&mut self, logits: NodeId, target: usize) -> NodeId {
-        let lv = &self.nodes[logits.0].value;
+        let lv = self.val(logits);
         assert_eq!(lv.rows(), 1, "cross_entropy expects 1 x k logits");
         assert!(target < lv.cols(), "cross_entropy target out of range");
         let row = lv.row_slice(0);
         let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let lse = m + row.iter().map(|v| (v - m).exp()).sum::<f64>().ln();
-        let v = Tensor::scalar(lse - row[target]);
+        let s = lse - row[target];
+        let mut v = self.alloc_raw(1, 1);
+        v.data_mut()[0] = s;
         let ng = self.needs(logits);
+        self.bump(logits);
         self.push(Op::CrossEntropy(logits, target), v, ng)
+    }
+
+    // ------------------------------------------------------------- fused ops
+
+    /// Fused `act(x · W [+ 1·b])` in one tape node.
+    ///
+    /// `W` and `b` are read directly from the parameter store — no
+    /// parameter-clone nodes on the tape — and the backward computes `dx`,
+    /// `dW`, `db` in closed form with accumulating kernels.
+    pub fn affine(&mut self, x: NodeId, w: ParamId, b: Option<ParamId>, act: Activation) -> NodeId {
+        let (n, din) = self.val(x).shape();
+        let (wr, dout) = self.params.value(w).shape();
+        assert_eq!(din, wr, "affine: input cols {din} != weight rows {wr}");
+        if let Some(bid) = b {
+            assert_eq!(self.params.value(bid).shape(), (1, dout), "affine: bias shape mismatch");
+        }
+        let mut z = self.alloc_zero(n, dout);
+        self.nodes[x.0].value.matmul_acc(self.params.value(w), &mut z);
+        if let Some(bid) = b {
+            let bias = self.params.value(bid);
+            for r in 0..n {
+                for (o, v) in z.row_slice_mut(r).iter_mut().zip(bias.data()) {
+                    *o += v;
+                }
+            }
+        }
+        match act {
+            Activation::Identity => {}
+            Activation::Sigmoid => {
+                z.data_mut().iter_mut().for_each(|v| *v = 1.0 / (1.0 + (-*v).exp()))
+            }
+            Activation::Tanh => z.data_mut().iter_mut().for_each(|v| *v = v.tanh()),
+            Activation::Relu => z.data_mut().iter_mut().for_each(|v| *v = v.max(0.0)),
+        }
+        self.bump(x);
+        self.push(Op::Affine { x, w, b, act }, z, true)
+    }
+
+    /// Fused four-gate LSTM cell in one tape node.
+    ///
+    /// `x` is `(n, in_dim)`, `h`/`c` are `(n, hidden)`; `wx`/`wh`/`b` are the
+    /// layer's pre-packed `[i | f | g | o]` gate blocks. The node value is
+    /// `[h_new | c_new]` (`n × 2·hidden`); callers split it with
+    /// [`Graph::slice_cols`]. Post-activation gates are saved inside the node
+    /// for the closed-form backward.
+    #[allow(clippy::too_many_arguments)]
+    pub fn lstm_cell(
+        &mut self,
+        x: NodeId,
+        h: NodeId,
+        c: NodeId,
+        wx: ParamId,
+        wh: ParamId,
+        b: ParamId,
+        hidden: usize,
+    ) -> NodeId {
+        let (n, din) = self.val(x).shape();
+        assert_eq!(self.val(h).shape(), (n, hidden), "lstm_cell: h shape mismatch");
+        assert_eq!(self.val(c).shape(), (n, hidden), "lstm_cell: c shape mismatch");
+        assert_eq!(self.params.value(wx).shape(), (din, 4 * hidden), "lstm_cell: wx shape");
+        assert_eq!(self.params.value(wh).shape(), (hidden, 4 * hidden), "lstm_cell: wh shape");
+        assert_eq!(self.params.value(b).shape(), (1, 4 * hidden), "lstm_cell: b shape");
+
+        // z = x·Wx + h·Wh + 1·b, all four gate blocks at once.
+        let mut z = self.alloc_zero(n, 4 * hidden);
+        let mut saved = self.alloc_raw(n, 5 * hidden);
+        let mut out = self.alloc_raw(n, 2 * hidden);
+        self.nodes[x.0].value.matmul_acc(self.params.value(wx), &mut z);
+        self.nodes[h.0].value.matmul_acc(self.params.value(wh), &mut z);
+        let bias = self.params.value(b);
+        for r in 0..n {
+            for (o, v) in z.row_slice_mut(r).iter_mut().zip(bias.data()) {
+                *o += v;
+            }
+        }
+        let cv = &self.nodes[c.0].value;
+        for r in 0..n {
+            let zrow = z.row_slice(r);
+            let crow = cv.row_slice(r);
+            let srow = saved.row_slice_mut(r);
+            let orow = out.row_slice_mut(r);
+            for k in 0..hidden {
+                let i = 1.0 / (1.0 + (-zrow[k]).exp());
+                let f = 1.0 / (1.0 + (-zrow[hidden + k]).exp());
+                let g = zrow[2 * hidden + k].tanh();
+                let o = 1.0 / (1.0 + (-zrow[3 * hidden + k]).exp());
+                let c_new = f * crow[k] + i * g;
+                let tc = c_new.tanh();
+                srow[k] = i;
+                srow[hidden + k] = f;
+                srow[2 * hidden + k] = g;
+                srow[3 * hidden + k] = o;
+                srow[4 * hidden + k] = tc;
+                orow[k] = o * tc;
+                orow[hidden + k] = c_new;
+            }
+        }
+        pool_put(&mut self.pool, z);
+        self.bump(x);
+        self.bump(h);
+        self.bump(c);
+        self.push(Op::LstmCell { x, h, c, wx, wh, b, hidden, saved }, out, true)
     }
 
     // ----------------------------------------------------------- composites
 
     /// Mean squared error between a prediction node and a constant target.
     pub fn mse_to_const(&mut self, pred: NodeId, target: &Tensor) -> NodeId {
-        let t = self.input(target.clone());
+        let (r, c) = target.shape();
+        let mut tv = self.alloc_raw(r, c);
+        tv.copy_from(target);
+        let t = self.push(Op::Input, tv, false);
         let d = self.sub(pred, t);
         let sq = self.mul(d, d);
         let s = self.sum_all(sq);
-        self.scale(s, 1.0 / target.len() as f64)
+        self.scale_inplace(s, 1.0 / target.len() as f64)
     }
 
     /// Mean of several `1 × 1` scalar nodes.
@@ -417,7 +907,7 @@ impl<'p> Graph<'p> {
         assert!(!xs.is_empty(), "mean_scalars of nothing");
         let stacked = self.concat_rows(xs);
         let s = self.sum_all(stacked);
-        self.scale(s, 1.0 / xs.len() as f64)
+        self.scale_inplace(s, 1.0 / xs.len() as f64)
     }
 
     // ------------------------------------------------------------- backward
@@ -427,295 +917,356 @@ impl<'p> Graph<'p> {
     /// Parameter gradients are **accumulated** into the tape's [`GradStore`]
     /// (see [`Graph::grads`] / [`Graph::into_grads`] / [`Graph::finish`]).
     pub fn backward(&mut self, loss: NodeId) {
-        assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "backward from non-scalar");
-        *self.grad_entry(loss) = Tensor::scalar(1.0);
+        assert_eq!(self.nodes[loss.0].shape, (1, 1), "backward from non-scalar");
+        let Self { params, grads, nodes, pool } = self;
+        let params: &Parameters = params;
 
-        for i in (0..self.nodes.len()).rev() {
-            if !self.nodes[i].needs_grad {
+        let mut seed = take_grad(nodes, pool, loss);
+        seed.data_mut()[0] = 1.0;
+        nodes[loss.0].grad = Some(seed);
+
+        for i in (0..nodes.len()).rev() {
+            if !nodes[i].needs_grad {
                 continue;
             }
-            // Take the node's grad out to satisfy the borrow checker while we
-            // mutate predecessor grads; a node never touched has zero adjoint.
-            let Some(g) = self.nodes[i].grad.take() else { continue };
-            match &self.nodes[i].op {
+            // Take the adjoint and the op out of the node so predecessor
+            // buffers can be borrowed freely; both are restored below.
+            let Some(g) = nodes[i].grad.take() else { continue };
+            let op = mem::replace(&mut nodes[i].op, Op::Input);
+            match &op {
                 Op::Input => {}
                 Op::Param(pid) => {
-                    let pid = *pid;
-                    let (rows, cols) = self.params.value(pid).shape();
-                    self.grads.entry(pid, rows, cols).add_assign(&g);
+                    let (rows, cols) = params.value(*pid).shape();
+                    grads.entry_pooled(*pid, rows, cols, pool.as_deref_mut()).add_assign(&g);
                 }
                 Op::MatMul(a, b) => {
                     let (a, b) = (*a, *b);
-                    if self.needs(a) {
-                        let da = g.matmul_nt(&self.nodes[b.0].value);
-                        self.grad_entry(a).add_assign(&da);
+                    if nodes[a.0].needs_grad {
+                        let mut ga = take_grad(nodes, pool, a);
+                        g.matmul_nt_acc(&nodes[b.0].value, &mut ga);
+                        nodes[a.0].grad = Some(ga);
                     }
-                    if self.needs(b) {
-                        let db = self.nodes[a.0].value.matmul_tn(&g);
-                        self.grad_entry(b).add_assign(&db);
+                    if nodes[b.0].needs_grad {
+                        let mut gb = take_grad(nodes, pool, b);
+                        nodes[a.0].value.matmul_tn_acc(&g, &mut gb);
+                        nodes[b.0].grad = Some(gb);
                     }
                 }
                 Op::MatMulNt(a, b) => {
                     // C = A·Bᵀ  ⇒  dA = dC·B ; dB = dCᵀ·A.
                     let (a, b) = (*a, *b);
-                    if self.needs(a) {
-                        let da = g.matmul(&self.nodes[b.0].value);
-                        self.grad_entry(a).add_assign(&da);
+                    if nodes[a.0].needs_grad {
+                        let mut ga = take_grad(nodes, pool, a);
+                        g.matmul_acc(&nodes[b.0].value, &mut ga);
+                        nodes[a.0].grad = Some(ga);
                     }
-                    if self.needs(b) {
-                        let db = g.matmul_tn(&self.nodes[a.0].value);
-                        self.grad_entry(b).add_assign(&db);
+                    if nodes[b.0].needs_grad {
+                        let mut gb = take_grad(nodes, pool, b);
+                        g.matmul_tn_acc(&nodes[a.0].value, &mut gb);
+                        nodes[b.0].grad = Some(gb);
                     }
                 }
                 Op::Add(a, b) => {
-                    let (a, b) = (*a, *b);
-                    if self.needs(a) {
-                        self.grad_entry(a).add_assign(&g);
-                    }
-                    if self.needs(b) {
-                        self.grad_entry(b).add_assign(&g);
+                    for &n in &[*a, *b] {
+                        if nodes[n.0].needs_grad {
+                            let mut gn = take_grad(nodes, pool, n);
+                            gn.add_assign(&g);
+                            nodes[n.0].grad = Some(gn);
+                        }
                     }
                 }
                 Op::AddRow(a, row) => {
                     let (a, row) = (*a, *row);
-                    if self.needs(a) {
-                        self.grad_entry(a).add_assign(&g);
+                    if nodes[a.0].needs_grad {
+                        let mut ga = take_grad(nodes, pool, a);
+                        ga.add_assign(&g);
+                        nodes[a.0].grad = Some(ga);
                     }
-                    if self.needs(row) {
-                        let cols = g.cols();
-                        let mut dr = Tensor::zeros(1, cols);
+                    if nodes[row.0].needs_grad {
+                        let mut gr = take_grad(nodes, pool, row);
                         for r in 0..g.rows() {
-                            for (d, v) in dr.data_mut().iter_mut().zip(g.row_slice(r)) {
+                            for (d, v) in gr.data_mut().iter_mut().zip(g.row_slice(r)) {
                                 *d += v;
                             }
                         }
-                        self.grad_entry(row).add_assign(&dr);
+                        nodes[row.0].grad = Some(gr);
                     }
                 }
                 Op::Sub(a, b) => {
                     let (a, b) = (*a, *b);
-                    if self.needs(a) {
-                        self.grad_entry(a).add_assign(&g);
+                    if nodes[a.0].needs_grad {
+                        let mut ga = take_grad(nodes, pool, a);
+                        ga.add_assign(&g);
+                        nodes[a.0].grad = Some(ga);
                     }
-                    if self.needs(b) {
-                        self.grad_entry(b).axpy(-1.0, &g);
+                    if nodes[b.0].needs_grad {
+                        let mut gb = take_grad(nodes, pool, b);
+                        gb.axpy(-1.0, &g);
+                        nodes[b.0].grad = Some(gb);
                     }
                 }
                 Op::Mul(a, b) => {
                     let (a, b) = (*a, *b);
-                    if self.needs(a) {
-                        let da = g.mul(&self.nodes[b.0].value);
-                        self.grad_entry(a).add_assign(&da);
+                    if nodes[a.0].needs_grad {
+                        let mut ga = take_grad(nodes, pool, a);
+                        ga.add_prod(&g, &nodes[b.0].value);
+                        nodes[a.0].grad = Some(ga);
                     }
-                    if self.needs(b) {
-                        let db = g.mul(&self.nodes[a.0].value);
-                        self.grad_entry(b).add_assign(&db);
+                    if nodes[b.0].needs_grad {
+                        let mut gb = take_grad(nodes, pool, b);
+                        gb.add_prod(&g, &nodes[a.0].value);
+                        nodes[b.0].grad = Some(gb);
                     }
                 }
                 Op::Scale(a, c) => {
                     let (a, c) = (*a, *c);
-                    if self.needs(a) {
-                        self.grad_entry(a).axpy(c, &g);
+                    if nodes[a.0].needs_grad {
+                        let mut ga = take_grad(nodes, pool, a);
+                        ga.axpy(c, &g);
+                        nodes[a.0].grad = Some(ga);
                     }
                 }
                 Op::Sigmoid(a) => {
                     let a = *a;
-                    if self.needs(a) {
-                        let y = &self.nodes[i].value;
-                        let da = g.zip_with(y, |gv, yv| gv * yv * (1.0 - yv));
-                        self.grad_entry(a).add_assign(&da);
+                    if nodes[a.0].needs_grad {
+                        let mut ga = take_grad(nodes, pool, a);
+                        let y = &nodes[i].value;
+                        for ((d, &gv), &yv) in ga.data_mut().iter_mut().zip(g.data()).zip(y.data())
+                        {
+                            *d += gv * yv * (1.0 - yv);
+                        }
+                        nodes[a.0].grad = Some(ga);
                     }
                 }
                 Op::Tanh(a) => {
                     let a = *a;
-                    if self.needs(a) {
-                        let y = &self.nodes[i].value;
-                        let da = g.zip_with(y, |gv, yv| gv * (1.0 - yv * yv));
-                        self.grad_entry(a).add_assign(&da);
+                    if nodes[a.0].needs_grad {
+                        let mut ga = take_grad(nodes, pool, a);
+                        let y = &nodes[i].value;
+                        for ((d, &gv), &yv) in ga.data_mut().iter_mut().zip(g.data()).zip(y.data())
+                        {
+                            *d += gv * (1.0 - yv * yv);
+                        }
+                        nodes[a.0].grad = Some(ga);
                     }
                 }
                 Op::Relu(a) => {
+                    // y = max(x, 0), so y > 0 ⇔ x > 0: the backward can use
+                    // its own output, keeping the op in-place-eligible.
                     let a = *a;
-                    if self.needs(a) {
-                        let x = &self.nodes[a.0].value;
-                        let da = g.zip_with(x, |gv, xv| if xv > 0.0 { gv } else { 0.0 });
-                        self.grad_entry(a).add_assign(&da);
+                    if nodes[a.0].needs_grad {
+                        let mut ga = take_grad(nodes, pool, a);
+                        let y = &nodes[i].value;
+                        for ((d, &gv), &yv) in ga.data_mut().iter_mut().zip(g.data()).zip(y.data())
+                        {
+                            if yv > 0.0 {
+                                *d += gv;
+                            }
+                        }
+                        nodes[a.0].grad = Some(ga);
                     }
                 }
                 Op::Ln(a) => {
                     let a = *a;
-                    if self.needs(a) {
-                        let x = &self.nodes[a.0].value;
-                        let da = g.zip_with(x, |gv, xv| gv / xv);
-                        self.grad_entry(a).add_assign(&da);
+                    if nodes[a.0].needs_grad {
+                        let mut ga = take_grad(nodes, pool, a);
+                        let x = &nodes[a.0].value;
+                        for ((d, &gv), &xv) in ga.data_mut().iter_mut().zip(g.data()).zip(x.data())
+                        {
+                            *d += gv / xv;
+                        }
+                        nodes[a.0].grad = Some(ga);
                     }
                 }
                 Op::SliceCols(a, start, _end) => {
                     let (a, start) = (*a, *start);
-                    if self.needs(a) {
-                        let target = self.grad_entry(a);
+                    if nodes[a.0].needs_grad {
+                        let mut ga = take_grad(nodes, pool, a);
                         for r in 0..g.rows() {
-                            let dst = &mut target.row_slice_mut(r)[start..start + g.cols()];
+                            let dst = &mut ga.row_slice_mut(r)[start..start + g.cols()];
                             for (d, v) in dst.iter_mut().zip(g.row_slice(r)) {
                                 *d += v;
                             }
                         }
+                        nodes[a.0].grad = Some(ga);
                     }
                 }
                 Op::ConcatCols(parts) => {
-                    let parts = parts.clone();
                     let mut off = 0;
-                    for p in parts {
-                        let w = self.nodes[p.0].value.cols();
-                        if self.needs(p) {
-                            let target = self.grad_entry(p);
+                    for &p in parts {
+                        let w = nodes[p.0].shape.1;
+                        if nodes[p.0].needs_grad {
+                            let mut gp = take_grad(nodes, pool, p);
                             for r in 0..g.rows() {
                                 let src = &g.row_slice(r)[off..off + w];
-                                for (d, v) in target.row_slice_mut(r).iter_mut().zip(src) {
+                                for (d, v) in gp.row_slice_mut(r).iter_mut().zip(src) {
                                     *d += v;
                                 }
                             }
+                            nodes[p.0].grad = Some(gp);
                         }
                         off += w;
                     }
                 }
                 Op::ConcatRows(parts) => {
-                    let parts = parts.clone();
                     let mut off = 0;
-                    for p in parts {
-                        let nr = self.nodes[p.0].value.rows();
-                        if self.needs(p) {
-                            let target = self.grad_entry(p);
+                    for &p in parts {
+                        let nr = nodes[p.0].shape.0;
+                        if nodes[p.0].needs_grad {
+                            let mut gp = take_grad(nodes, pool, p);
                             for r in 0..nr {
-                                let src = g.row_slice(off + r);
-                                for (d, v) in target.row_slice_mut(r).iter_mut().zip(src) {
+                                for (d, v) in
+                                    gp.row_slice_mut(r).iter_mut().zip(g.row_slice(off + r))
+                                {
                                     *d += v;
                                 }
                             }
+                            nodes[p.0].grad = Some(gp);
                         }
                         off += nr;
                     }
                 }
                 Op::MeanRows(a) => {
                     let a = *a;
-                    if self.needs(a) {
-                        let n = self.nodes[a.0].value.rows();
+                    if nodes[a.0].needs_grad {
+                        let n = nodes[a.0].shape.0;
                         let inv = 1.0 / n as f64;
-                        let target = self.grad_entry(a);
+                        let mut ga = take_grad(nodes, pool, a);
                         for r in 0..n {
-                            for (d, v) in target.row_slice_mut(r).iter_mut().zip(g.row_slice(0)) {
+                            for (d, v) in ga.row_slice_mut(r).iter_mut().zip(g.row_slice(0)) {
                                 *d += v * inv;
                             }
                         }
+                        nodes[a.0].grad = Some(ga);
                     }
                 }
                 Op::SumAll(a) => {
                     let a = *a;
-                    if self.needs(a) {
+                    if nodes[a.0].needs_grad {
                         let gv = g.item();
-                        self.grad_entry(a).data_mut().iter_mut().for_each(|d| *d += gv);
+                        let mut ga = take_grad(nodes, pool, a);
+                        ga.data_mut().iter_mut().for_each(|d| *d += gv);
+                        nodes[a.0].grad = Some(ga);
                     }
                 }
                 Op::SoftmaxRows(a) => {
                     let a = *a;
-                    if self.needs(a) {
-                        let y = self.nodes[i].value.clone();
-                        let target = self.grad_entry(a);
+                    if nodes[a.0].needs_grad {
+                        let mut ga = take_grad(nodes, pool, a);
+                        let y = &nodes[i].value;
                         for r in 0..y.rows() {
                             let yrow = y.row_slice(r);
                             let grow = g.row_slice(r);
                             let dotgy: f64 = yrow.iter().zip(grow).map(|(yv, gv)| yv * gv).sum();
                             for ((d, &yv), &gv) in
-                                target.row_slice_mut(r).iter_mut().zip(yrow).zip(grow)
+                                ga.row_slice_mut(r).iter_mut().zip(yrow).zip(grow)
                             {
                                 *d += yv * (gv - dotgy);
                             }
                         }
+                        nodes[a.0].grad = Some(ga);
                     }
                 }
                 Op::CosSim(a, b) => {
                     let (a, b) = (*a, *b);
                     let gv = g.item();
-                    let av = self.nodes[a.0].value.clone();
-                    let bv = self.nodes[b.0].value.clone();
-                    let na = av.norm();
-                    let nb = bv.norm();
+                    let na = nodes[a.0].value.norm();
+                    let nb = nodes[b.0].value.norm();
                     if na < 1e-12 || nb < 1e-12 {
                         // Value was defined as 0; treat gradient as 0 too.
                     } else {
-                        let c = av.flat_dot(&bv) / (na * nb);
-                        if self.needs(a) {
+                        let c = nodes[a.0].value.flat_dot(&nodes[b.0].value) / (na * nb);
+                        if nodes[a.0].needs_grad {
                             // d/da = b/(|a||b|) − c · a/|a|²
-                            let mut da = bv.scale(1.0 / (na * nb));
-                            da.axpy(-c / (na * na), &av);
-                            self.grad_entry(a).axpy(gv, &da);
+                            let mut ga = take_grad(nodes, pool, a);
+                            let (s1, s2) = (1.0 / (na * nb), -c / (na * na));
+                            for ((d, &xb), &xa) in ga
+                                .data_mut()
+                                .iter_mut()
+                                .zip(nodes[b.0].value.data())
+                                .zip(nodes[a.0].value.data())
+                            {
+                                *d += gv * (xb * s1 + xa * s2);
+                            }
+                            nodes[a.0].grad = Some(ga);
                         }
-                        if self.needs(b) {
-                            let mut db = av.scale(1.0 / (na * nb));
-                            db.axpy(-c / (nb * nb), &bv);
-                            self.grad_entry(b).axpy(gv, &db);
+                        if nodes[b.0].needs_grad {
+                            let mut gb = take_grad(nodes, pool, b);
+                            let (s1, s2) = (1.0 / (na * nb), -c / (nb * nb));
+                            for ((d, &xa), &xb) in gb
+                                .data_mut()
+                                .iter_mut()
+                                .zip(nodes[a.0].value.data())
+                                .zip(nodes[b.0].value.data())
+                            {
+                                *d += gv * (xa * s1 + xb * s2);
+                            }
+                            nodes[b.0].grad = Some(gb);
                         }
                     }
                 }
                 Op::Dot(a, b) => {
                     let (a, b) = (*a, *b);
                     let gv = g.item();
-                    if self.needs(a) {
-                        let bv = self.nodes[b.0].value.clone();
-                        self.grad_entry(a).axpy(gv, &bv);
+                    if nodes[a.0].needs_grad {
+                        let mut ga = take_grad(nodes, pool, a);
+                        ga.axpy(gv, &nodes[b.0].value);
+                        nodes[a.0].grad = Some(ga);
                     }
-                    if self.needs(b) {
-                        let av = self.nodes[a.0].value.clone();
-                        self.grad_entry(b).axpy(gv, &av);
+                    if nodes[b.0].needs_grad {
+                        let mut gb = take_grad(nodes, pool, b);
+                        gb.axpy(gv, &nodes[a.0].value);
+                        nodes[b.0].grad = Some(gb);
                     }
                 }
                 Op::LogSumExp(xs) => {
-                    let xs = xs.clone();
                     let gv = g.item();
-                    let out = self.nodes[i].value.item();
-                    for x in xs {
-                        if self.needs(x) {
-                            let w = (self.nodes[x.0].value.item() - out).exp();
-                            self.grad_entry(x).data_mut()[0] += gv * w;
+                    let out = nodes[i].value.item();
+                    for &x in xs {
+                        if nodes[x.0].needs_grad {
+                            let w = (nodes[x.0].value.item() - out).exp();
+                            let mut gx = take_grad(nodes, pool, x);
+                            gx.data_mut()[0] += gv * w;
+                            nodes[x.0].grad = Some(gx);
                         }
                     }
                 }
                 Op::CrossEntropy(logits, target) => {
                     let (logits, target) = (*logits, *target);
-                    if self.needs(logits) {
+                    if nodes[logits.0].needs_grad {
                         let gv = g.item();
-                        let lv = self.nodes[logits.0].value.clone();
-                        let row = lv.row_slice(0);
+                        let mut gl = take_grad(nodes, pool, logits);
+                        let row = nodes[logits.0].value.row_slice(0);
                         let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                         let z: f64 = row.iter().map(|v| (v - m).exp()).sum();
-                        let dst = self.grad_entry(logits).row_slice_mut(0);
-                        for (j, (d, &v)) in dst.iter_mut().zip(row).enumerate() {
+                        for (j, (d, &v)) in gl.row_slice_mut(0).iter_mut().zip(row).enumerate() {
                             let p = (v - m).exp() / z;
                             *d += gv * (p - if j == target { 1.0 } else { 0.0 });
                         }
+                        nodes[logits.0].grad = Some(gl);
                     }
                 }
                 Op::SliceRows(a, start, _end) => {
                     let (a, start) = (*a, *start);
-                    if self.needs(a) {
-                        let target = self.grad_entry(a);
+                    if nodes[a.0].needs_grad {
+                        let mut ga = take_grad(nodes, pool, a);
                         for r in 0..g.rows() {
-                            for (d, v) in
-                                target.row_slice_mut(start + r).iter_mut().zip(g.row_slice(r))
+                            for (d, v) in ga.row_slice_mut(start + r).iter_mut().zip(g.row_slice(r))
                             {
                                 *d += v;
                             }
                         }
+                        nodes[a.0].grad = Some(ga);
                     }
                 }
                 Op::LayerNormRows(a, eps) => {
                     let (a, eps) = (*a, *eps);
-                    if self.needs(a) {
+                    if nodes[a.0].needs_grad {
                         // With x̂ = (x − μ)/σ:
                         // dx = (1/σ) · (dy − mean(dy) − x̂ · mean(dy ⊙ x̂)).
-                        let x = self.nodes[a.0].value.clone();
-                        let xhat = self.nodes[i].value.clone();
-                        let target = self.grad_entry(a);
+                        let mut ga = take_grad(nodes, pool, a);
+                        let x = &nodes[a.0].value;
+                        let xhat = &nodes[i].value;
                         for r in 0..x.rows() {
                             let n = x.cols() as f64;
                             let xrow = x.row_slice(r);
@@ -727,27 +1278,146 @@ impl<'p> Graph<'p> {
                             let mean_dy = grow.iter().sum::<f64>() / n;
                             let mean_dyh: f64 =
                                 grow.iter().zip(hrow).map(|(d, h)| d * h).sum::<f64>() / n;
-                            for ((t, &dy), &h) in
-                                target.row_slice_mut(r).iter_mut().zip(grow).zip(hrow)
+                            for ((t, &dy), &h) in ga.row_slice_mut(r).iter_mut().zip(grow).zip(hrow)
                             {
                                 *t += inv * (dy - mean_dy - h * mean_dyh);
                             }
                         }
+                        nodes[a.0].grad = Some(ga);
                     }
                 }
                 Op::EmbedLookup(pid, indices) => {
-                    let pid = *pid;
-                    let indices = indices.clone();
-                    let (rows, cols) = self.params.value(pid).shape();
-                    let table_grad = self.grads.entry(pid, rows, cols);
-                    for (r, ix) in indices.into_iter().enumerate() {
+                    let (rows, cols) = params.value(*pid).shape();
+                    let table_grad = grads.entry_pooled(*pid, rows, cols, pool.as_deref_mut());
+                    for (r, &ix) in indices.iter().enumerate() {
                         for (d, v) in table_grad.row_slice_mut(ix).iter_mut().zip(g.row_slice(r)) {
                             *d += v;
                         }
                     }
                 }
+                Op::Affine { x, w, b, act } => {
+                    let (x, w, b, act) = (*x, *w, *b, *act);
+                    let (n, dout) = nodes[i].shape;
+                    // dz = dL/d(pre-activation), derived from the node's own
+                    // output for every activation (ReLU via the sign trick).
+                    let mut dz = pool_take_raw(pool, n, dout);
+                    {
+                        let y = &nodes[i].value;
+                        match act {
+                            Activation::Identity => dz.copy_from(&g),
+                            Activation::Sigmoid => {
+                                for ((d, &gv), &yv) in
+                                    dz.data_mut().iter_mut().zip(g.data()).zip(y.data())
+                                {
+                                    *d = gv * yv * (1.0 - yv);
+                                }
+                            }
+                            Activation::Tanh => {
+                                for ((d, &gv), &yv) in
+                                    dz.data_mut().iter_mut().zip(g.data()).zip(y.data())
+                                {
+                                    *d = gv * (1.0 - yv * yv);
+                                }
+                            }
+                            Activation::Relu => {
+                                for ((d, &gv), &yv) in
+                                    dz.data_mut().iter_mut().zip(g.data()).zip(y.data())
+                                {
+                                    *d = if yv > 0.0 { gv } else { 0.0 };
+                                }
+                            }
+                        }
+                    }
+                    if nodes[x.0].needs_grad {
+                        let mut gx = take_grad(nodes, pool, x);
+                        dz.matmul_nt_acc(params.value(w), &mut gx);
+                        nodes[x.0].grad = Some(gx);
+                    }
+                    let (din, _) = params.value(w).shape();
+                    let gw = grads.entry_pooled(w, din, dout, pool.as_deref_mut());
+                    nodes[x.0].value.matmul_tn_acc(&dz, gw);
+                    if let Some(bid) = b {
+                        let gb = grads.entry_pooled(bid, 1, dout, pool.as_deref_mut());
+                        for r in 0..n {
+                            for (d, v) in gb.data_mut().iter_mut().zip(dz.row_slice(r)) {
+                                *d += v;
+                            }
+                        }
+                    }
+                    pool_put(pool, dz);
+                }
+                Op::LstmCell { x, h, c, wx, wh, b, hidden, saved } => {
+                    let (x, h, c) = (*x, *h, *c);
+                    let (wx, wh, b, hidden) = (*wx, *wh, *b, *hidden);
+                    let n = nodes[i].shape.0;
+                    // Adjoint g is n × 2h over [h_new | c_new]. Push it back
+                    // through the gates into dz (n × 4h, pre-activation) and
+                    // dc_old (n × h).
+                    let mut dz = pool_take_raw(pool, n, 4 * hidden);
+                    let mut dc_old = pool_take_raw(pool, n, hidden);
+                    {
+                        let c_old = &nodes[c.0].value;
+                        for r in 0..n {
+                            let srow = saved.row_slice(r);
+                            let grow = g.row_slice(r);
+                            let crow = c_old.row_slice(r);
+                            let dzrow = dz.row_slice_mut(r);
+                            let dcrow = dc_old.row_slice_mut(r);
+                            for k in 0..hidden {
+                                let iv = srow[k];
+                                let fv = srow[hidden + k];
+                                let gtv = srow[2 * hidden + k];
+                                let ov = srow[3 * hidden + k];
+                                let tc = srow[4 * hidden + k];
+                                let gh = grow[k];
+                                let gc = grow[hidden + k];
+                                // c_new receives gradient directly and through
+                                // h_new = o ⊙ tanh(c_new).
+                                let dct = gc + gh * ov * (1.0 - tc * tc);
+                                dcrow[k] = dct * fv;
+                                let dgo = gh * tc;
+                                dzrow[3 * hidden + k] = dgo * ov * (1.0 - ov);
+                                let di = dct * gtv;
+                                dzrow[k] = di * iv * (1.0 - iv);
+                                let df = dct * crow[k];
+                                dzrow[hidden + k] = df * fv * (1.0 - fv);
+                                let dg = dct * iv;
+                                dzrow[2 * hidden + k] = dg * (1.0 - gtv * gtv);
+                            }
+                        }
+                    }
+                    if nodes[x.0].needs_grad {
+                        let mut gx = take_grad(nodes, pool, x);
+                        dz.matmul_nt_acc(params.value(wx), &mut gx);
+                        nodes[x.0].grad = Some(gx);
+                    }
+                    if nodes[h.0].needs_grad {
+                        let mut gh = take_grad(nodes, pool, h);
+                        dz.matmul_nt_acc(params.value(wh), &mut gh);
+                        nodes[h.0].grad = Some(gh);
+                    }
+                    if nodes[c.0].needs_grad {
+                        let mut gc = take_grad(nodes, pool, c);
+                        gc.add_assign(&dc_old);
+                        nodes[c.0].grad = Some(gc);
+                    }
+                    let (din, _) = params.value(wx).shape();
+                    let gwx = grads.entry_pooled(wx, din, 4 * hidden, pool.as_deref_mut());
+                    nodes[x.0].value.matmul_tn_acc(&dz, gwx);
+                    let gwh = grads.entry_pooled(wh, hidden, 4 * hidden, pool.as_deref_mut());
+                    nodes[h.0].value.matmul_tn_acc(&dz, gwh);
+                    let gb = grads.entry_pooled(b, 1, 4 * hidden, pool.as_deref_mut());
+                    for r in 0..n {
+                        for (d, v) in gb.data_mut().iter_mut().zip(dz.row_slice(r)) {
+                            *d += v;
+                        }
+                    }
+                    pool_put(pool, dz);
+                    pool_put(pool, dc_old);
+                }
             }
-            self.nodes[i].grad = Some(g);
+            nodes[i].op = op;
+            nodes[i].grad = Some(g);
         }
     }
 }
@@ -912,5 +1582,227 @@ mod tests {
         let mut g = Graph::new(&p);
         let x = g.input(Tensor::zeros(2, 2));
         g.backward(x);
+    }
+
+    // ------------------------------------------------------ pool integration
+
+    #[test]
+    fn pooled_tape_reuses_buffers_across_steps() {
+        let (p, ids) = params_with(&[("w", Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]))]);
+        let mut pool = TensorPool::new();
+        let run = |pool: &mut TensorPool| {
+            let mut g = Graph::new_in(&p, pool);
+            let x = g.input_row(&[1.0, -1.0]);
+            let y = g.affine(x, ids[0], None, Activation::Tanh);
+            let s = g.sum_all(y);
+            let loss = g.mul(s, s);
+            let (v, grads) = g.finish(loss);
+            grads.release_into(pool);
+            v
+        };
+        let v1 = run(&mut pool);
+        let after_warmup = pool.stats().fresh_allocs;
+        assert!(after_warmup > 0);
+        let v2 = run(&mut pool);
+        assert_eq!(v1, v2);
+        assert_eq!(
+            pool.stats().fresh_allocs,
+            after_warmup,
+            "steady-state step must allocate nothing"
+        );
+        assert!(pool.stats().reuses > 0);
+        assert_eq!(pool.live(), 0, "all buffers must come home after the tape drops");
+    }
+
+    #[test]
+    fn pooled_and_unpooled_runs_are_bit_identical() {
+        let (p, ids) = params_with(&[
+            ("w", Tensor::from_vec(2, 3, vec![0.3, -1.0, 0.5, 2.0, 0.1, -0.7])),
+            ("b", Tensor::row(vec![0.1, -0.2, 0.3])),
+        ]);
+        let build = |g: &mut Graph<'_>| {
+            let x = g.input_row(&[1.5, -2.5]);
+            let y = g.affine(x, ids[0], Some(ids[1]), Activation::Sigmoid);
+            let s = g.sum_all(y);
+            g.mul(s, s)
+        };
+        let mut g1 = Graph::new(&p);
+        let l1 = build(&mut g1);
+        let (v1, gr1) = g1.finish(l1);
+
+        let mut pool = TensorPool::new();
+        // Dirty the pool so reuse actually exercises stale buffers.
+        for _ in 0..3 {
+            let mut g = Graph::new_in(&p, &mut pool);
+            let l = build(&mut g);
+            let (_, grads) = g.finish(l);
+            grads.release_into(&mut pool);
+        }
+        let mut g2 = Graph::new_in(&p, &mut pool);
+        let l2 = build(&mut g2);
+        let (v2, gr2) = g2.finish(l2);
+
+        assert_eq!(v1.to_bits(), v2.to_bits());
+        for id in [ids[0], ids[1]] {
+            let (a, b) = (gr1.grad(id).unwrap(), gr2.grad(id).unwrap());
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn affine_matches_composed_ops() {
+        let (p, ids) = params_with(&[
+            ("w", Tensor::from_vec(3, 2, vec![0.5, -0.2, 1.0, 0.3, -0.4, 0.8])),
+            ("b", Tensor::row(vec![0.25, -0.5])),
+        ]);
+        let x_data = Tensor::from_vec(2, 3, vec![1.0, -1.0, 2.0, 0.5, 0.0, -2.0]);
+
+        let mut g1 = Graph::new(&p);
+        let x1 = g1.input(x_data.clone());
+        let y1 = g1.affine(x1, ids[0], Some(ids[1]), Activation::Tanh);
+        let s1 = g1.sum_all(y1);
+        let (v1, gr1) = g1.finish(s1);
+
+        let mut g2 = Graph::new(&p);
+        let x2 = g2.input(x_data);
+        let w = g2.param(ids[0]);
+        let b = g2.param(ids[1]);
+        let xw = g2.matmul(x2, w);
+        let z = g2.add_row(xw, b);
+        let y2 = g2.tanh(z);
+        let s2 = g2.sum_all(y2);
+        let (v2, gr2) = g2.finish(s2);
+
+        assert!((v1 - v2).abs() < 1e-12);
+        for id in [ids[0], ids[1]] {
+            let (a, b) = (gr1.grad(id).unwrap(), gr2.grad(id).unwrap());
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert!((x - y).abs() < 1e-12, "affine grad mismatch: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn lstm_cell_matches_composed_gates() {
+        let hidden = 3;
+        let din = 2;
+        let mk = |seed: usize, n: usize| {
+            (0..n).map(|i| ((i + seed) as f64 * 0.37).sin() * 0.8).collect::<Vec<_>>()
+        };
+        let (p, ids) = params_with(&[
+            ("wx", Tensor::from_vec(din, 4 * hidden, mk(1, din * 4 * hidden))),
+            ("wh", Tensor::from_vec(hidden, 4 * hidden, mk(2, hidden * 4 * hidden))),
+            ("b", Tensor::from_vec(1, 4 * hidden, mk(3, 4 * hidden))),
+        ]);
+        let xd = Tensor::from_vec(1, din, vec![0.7, -1.2]);
+        let hd = Tensor::from_vec(1, hidden, vec![0.1, -0.3, 0.6]);
+        let cd = Tensor::from_vec(1, hidden, vec![-0.5, 0.2, 0.9]);
+
+        // Fused cell.
+        let mut g1 = Graph::new(&p);
+        let (x, h, c) = (g1.input(xd.clone()), g1.input(hd.clone()), g1.input(cd.clone()));
+        let hc = g1.lstm_cell(x, h, c, ids[0], ids[1], ids[2], hidden);
+        let h_new = g1.slice_cols(hc, 0, hidden);
+        let s1 = g1.sum_all(h_new);
+        let (v1, gr1) = g1.finish(s1);
+
+        // Composed reference (the pre-fusion LstmLayer::step).
+        let mut g2 = Graph::new(&p);
+        let (x, h, c) = (g2.input(xd), g2.input(hd), g2.input(cd));
+        let wx = g2.param(ids[0]);
+        let wh = g2.param(ids[1]);
+        let b = g2.param(ids[2]);
+        let xw = g2.matmul(x, wx);
+        let hw = g2.matmul(h, wh);
+        let pre0 = g2.add(xw, hw);
+        let pre = g2.add_row(pre0, b);
+        let i_pre = g2.slice_cols(pre, 0, hidden);
+        let f_pre = g2.slice_cols(pre, hidden, 2 * hidden);
+        let g_pre = g2.slice_cols(pre, 2 * hidden, 3 * hidden);
+        let o_pre = g2.slice_cols(pre, 3 * hidden, 4 * hidden);
+        let i = g2.sigmoid(i_pre);
+        let f = g2.sigmoid(f_pre);
+        let cand = g2.tanh(g_pre);
+        let o = g2.sigmoid(o_pre);
+        let fc = g2.mul(f, c);
+        let ig = g2.mul(i, cand);
+        let c_new = g2.add(fc, ig);
+        let c_tanh = g2.tanh(c_new);
+        let h_new = g2.mul(o, c_tanh);
+        let s2 = g2.sum_all(h_new);
+        let (v2, gr2) = g2.finish(s2);
+
+        assert!((v1 - v2).abs() < 1e-12, "forward mismatch: {v1} vs {v2}");
+        for id in [ids[0], ids[1], ids[2]] {
+            let (a, b) = (gr1.grad(id).unwrap(), gr2.grad(id).unwrap());
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert!((x - y).abs() < 1e-10, "lstm_cell grad mismatch: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn inplace_ops_steal_only_when_sole_consumer() {
+        let (p, ids) = params_with(&[("w", Tensor::row(vec![2.0, -1.0]))]);
+        let mut g = Graph::new(&p);
+        let w = g.param(ids[0]);
+        let a = g.scale(w, 2.0);
+        // `a` has no consumers yet → in-place steal is allowed.
+        let b = g.tanh_inplace(a);
+        assert!(g.node_grad(a).is_none());
+        assert_eq!(g.value(b).data(), &[4.0f64.tanh(), (-2.0f64).tanh()]);
+        // `b` now consumed by `s`, so an in-place op on `b` must fall back.
+        let s = g.sum_all(b);
+        let _also_uses_b = g.scale(b, 3.0);
+        let d = g.scale_inplace(b, 5.0);
+        assert_eq!(g.value(b).data(), &[4.0f64.tanh(), (-2.0f64).tanh()], "fallback must copy");
+        assert_eq!(g.value(d).data()[0], 4.0f64.tanh() * 5.0);
+        let loss = g.mul(s, s);
+        g.backward(loss);
+        assert!(g.grads().grad(ids[0]).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "recycled by an in-place op")]
+    fn reading_a_stolen_value_panics() {
+        let (p, ids) = params_with(&[("w", Tensor::row(vec![1.0, 2.0]))]);
+        let mut g = Graph::new(&p);
+        let w = g.param(ids[0]);
+        let a = g.scale(w, 2.0);
+        let _b = g.sigmoid_inplace(a);
+        let _ = g.value(a);
+    }
+
+    #[test]
+    fn inplace_chain_matches_plain_ops() {
+        let (p, ids) = params_with(&[("w", Tensor::row(vec![0.5, -1.5, 2.0]))]);
+        let run = |inplace: bool| {
+            let mut g = Graph::new(&p);
+            let w = g.param(ids[0]);
+            let x = g.input_row(&[1.0, 2.0, 3.0]);
+            let t = g.mul(w, x);
+            let (sc, ac, rl) = if inplace {
+                let sc = g.scale_inplace(t, -0.5);
+                let ac = g.add_inplace(sc, w);
+                (sc, ac, g.relu_inplace(ac))
+            } else {
+                let sc = g.scale(t, -0.5);
+                let ac = g.add(sc, w);
+                (sc, ac, g.relu(ac))
+            };
+            let _ = (sc, ac);
+            let su = g.sum_all(rl);
+            let loss = g.mul(su, su);
+            g.finish(loss)
+        };
+        let (v1, gr1) = run(false);
+        let (v2, gr2) = run(true);
+        assert_eq!(v1.to_bits(), v2.to_bits());
+        let (a, b) = (gr1.grad(ids[0]).unwrap(), gr2.grad(ids[0]).unwrap());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 }

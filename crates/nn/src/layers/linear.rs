@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
-use crate::graph::{Graph, NodeId};
+use crate::graph::{Activation, Graph, NodeId};
 use crate::init;
 use crate::params::{ParamId, Parameters};
 use crate::tensor::Tensor;
@@ -60,15 +60,19 @@ impl Linear {
             g.value(x).cols(),
             self.in_dim
         );
-        let w = g.param(self.w);
-        let xw = g.matmul(x, w);
-        match self.b {
-            Some(b) => {
-                let bn = g.param(b);
-                g.add_row(xw, bn)
-            }
-            None => xw,
-        }
+        g.affine(x, self.w, self.b, Activation::Identity)
+    }
+
+    /// Fused `act(x·W + b)` — one tape node instead of four.
+    pub fn forward_act(&self, g: &mut Graph<'_>, x: NodeId, act: Activation) -> NodeId {
+        assert_eq!(
+            g.value(x).cols(),
+            self.in_dim,
+            "Linear: input cols {} != in_dim {}",
+            g.value(x).cols(),
+            self.in_dim
+        );
+        g.affine(x, self.w, self.b, act)
     }
 }
 

@@ -39,28 +39,15 @@ impl LstmLayer {
     }
 
     /// One step. `x` is `(n, in_dim)`, `h`/`c` are `(n, hidden)`.
+    ///
+    /// All four gates run as one fused [`Graph::lstm_cell`] node — the gate
+    /// matmuls hit the pre-packed `[i|f|g|o]` weight blocks directly, and the
+    /// backward is closed-form instead of 15 composed-op adjoints.
     fn step(&self, g: &mut Graph<'_>, x: NodeId, h: NodeId, c: NodeId) -> (NodeId, NodeId) {
-        let wx = g.param(self.wx);
-        let wh = g.param(self.wh);
-        let b = g.param(self.b);
-        let xw = g.matmul(x, wx);
-        let hw = g.matmul(h, wh);
-        let pre0 = g.add(xw, hw);
-        let pre = g.add_row(pre0, b);
         let hsz = self.hidden;
-        let i_pre = g.slice_cols(pre, 0, hsz);
-        let f_pre = g.slice_cols(pre, hsz, 2 * hsz);
-        let g_pre = g.slice_cols(pre, 2 * hsz, 3 * hsz);
-        let o_pre = g.slice_cols(pre, 3 * hsz, 4 * hsz);
-        let i = g.sigmoid(i_pre);
-        let f = g.sigmoid(f_pre);
-        let cand = g.tanh(g_pre);
-        let o = g.sigmoid(o_pre);
-        let fc = g.mul(f, c);
-        let ig = g.mul(i, cand);
-        let c_new = g.add(fc, ig);
-        let c_tanh = g.tanh(c_new);
-        let h_new = g.mul(o, c_tanh);
+        let hc = g.lstm_cell(x, h, c, self.wx, self.wh, self.b, hsz);
+        let h_new = g.slice_cols(hc, 0, hsz);
+        let c_new = g.slice_cols(hc, hsz, 2 * hsz);
         (h_new, c_new)
     }
 }
@@ -111,8 +98,8 @@ impl Lstm {
         let n = g.value(inputs[0]).rows();
         let mut seq: Vec<NodeId> = inputs.to_vec();
         for layer in &self.layers {
-            let mut h = g.input(Tensor::zeros(n, self.hidden));
-            let mut c = g.input(Tensor::zeros(n, self.hidden));
+            let mut h = g.input_zeros(n, self.hidden);
+            let mut c = g.input_zeros(n, self.hidden);
             let mut out = Vec::with_capacity(seq.len());
             for &x in &seq {
                 let (h_new, c_new) = layer.step(g, x, h, c);

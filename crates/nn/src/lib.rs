@@ -22,8 +22,10 @@ pub mod init;
 pub mod layers;
 pub mod optim;
 pub mod params;
+pub mod pool;
 pub mod tensor;
 
-pub use graph::{Graph, NodeId};
+pub use graph::{Activation, Graph, NodeId};
 pub use params::{GradStore, ParamId, Parameters};
+pub use pool::{PoolStats, TensorPool};
 pub use tensor::Tensor;

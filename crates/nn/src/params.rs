@@ -11,6 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::pool::TensorPool;
 use crate::tensor::Tensor;
 
 /// Handle to one parameter tensor inside a [`Parameters`] store.
@@ -114,6 +115,56 @@ impl GradStore {
         let g = slot.get_or_insert_with(|| Tensor::zeros(rows, cols));
         debug_assert_eq!(g.shape(), (rows, cols), "gradient shape mismatch");
         g
+    }
+
+    /// Like [`GradStore::entry`], but the lazy zero-buffer comes from `pool`
+    /// when one is supplied. Pool handouts are zeroed, so semantics are
+    /// identical to `entry`.
+    pub fn entry_pooled(
+        &mut self,
+        id: ParamId,
+        rows: usize,
+        cols: usize,
+        pool: Option<&mut TensorPool>,
+    ) -> &mut Tensor {
+        if self.grads.len() <= id.0 {
+            self.grads.resize(id.0 + 1, None);
+        }
+        let slot = &mut self.grads[id.0];
+        let g = slot.get_or_insert_with(|| match pool {
+            Some(p) => p.take(rows, cols),
+            None => Tensor::zeros(rows, cols),
+        });
+        debug_assert_eq!(g.shape(), (rows, cols), "gradient shape mismatch");
+        g
+    }
+
+    /// Return every allocated gradient buffer to `pool`, leaving the store
+    /// empty. The end of a pooled training step for shard grad stores.
+    pub fn release_into(mut self, pool: &mut TensorPool) {
+        for g in self.grads.drain(..).flatten() {
+            pool.put(g);
+        }
+    }
+
+    /// Like [`GradStore::accumulate`], but drains `other`, recycling its
+    /// buffers: slots missing from `self` take the buffer over directly, and
+    /// already-present slots are summed with `other`'s buffer returned to the
+    /// pool.
+    pub fn accumulate_pooled(&mut self, other: GradStore, pool: &mut TensorPool) {
+        for (i, g) in other.grads.into_iter().enumerate() {
+            let Some(g) = g else { continue };
+            if self.grads.len() <= i {
+                self.grads.resize(i + 1, None);
+            }
+            match &mut self.grads[i] {
+                Some(dst) => {
+                    dst.add_assign(&g);
+                    pool.put(g);
+                }
+                slot @ None => *slot = Some(g),
+            }
+        }
     }
 
     /// Iterate over all allocated (non-zero-capable) gradient slots.

@@ -14,6 +14,14 @@ pub struct Tensor {
     data: Vec<f64>,
 }
 
+impl Default for Tensor {
+    /// An empty `0 × 0` tensor — the placeholder left behind when a buffer is
+    /// taken out of a tape node (`mem::take`) for recycling.
+    fn default() -> Self {
+        Self { rows: 0, cols: 0, data: Vec::new() }
+    }
+}
+
 impl Tensor {
     /// All-zeros tensor of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -71,6 +79,17 @@ impl Tensor {
 
     pub fn data_mut(&mut self) -> &mut [f64] {
         &mut self.data
+    }
+
+    /// Consume the tensor, yielding its backing buffer (for pool recycling).
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Overwrite every element with `other`'s contents (shapes must match).
+    pub fn copy_from(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&other.data);
     }
 
     /// Extract the single element of a `1 × 1` tensor.
@@ -135,8 +154,46 @@ impl Tensor {
         out
     }
 
+    /// `out += self · other` — the allocation-free core of [`Tensor::matmul`],
+    /// used by the backward pass to accumulate straight into adjoint buffers.
+    pub fn matmul_acc(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.cols,
+            other.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul output shape mismatch");
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (c, o) in crow.iter_mut().zip(orow) {
+                    *c += a * o;
+                }
+            }
+        }
+    }
+
     /// Matrix product `self · otherᵀ`.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        self.matmul_nt_acc(other, &mut out);
+        out
+    }
+
+    /// `out += self · otherᵀ`, blocked four output columns at a time.
+    ///
+    /// `other` is stored row-major, so its rows are contiguous and row-dot-row
+    /// needs no transpose pack; the 4-way block reuses each loaded `self` row
+    /// element across four independent accumulators, which is the difference
+    /// between memory-bound and ALU-bound on the LSTM-sized operands.
+    pub fn matmul_nt_acc(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols,
             other.cols,
@@ -144,23 +201,51 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        let mut out = Tensor::zeros(self.rows, other.rows);
+        assert_eq!(out.shape(), (self.rows, other.rows), "matmul_nt output shape mismatch");
+        let n = other.rows;
         for i in 0..self.rows {
             let arow = self.row_slice(i);
-            for j in 0..other.rows {
+            let crow = &mut out.data[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j + 4 <= n {
+                let b0 = other.row_slice(j);
+                let b1 = other.row_slice(j + 1);
+                let b2 = other.row_slice(j + 2);
+                let b3 = other.row_slice(j + 3);
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                for (k, &a) in arow.iter().enumerate() {
+                    s0 += a * b0[k];
+                    s1 += a * b1[k];
+                    s2 += a * b2[k];
+                    s3 += a * b3[k];
+                }
+                crow[j] += s0;
+                crow[j + 1] += s1;
+                crow[j + 2] += s2;
+                crow[j + 3] += s3;
+                j += 4;
+            }
+            while j < n {
                 let brow = other.row_slice(j);
                 let mut s = 0.0;
                 for (a, b) in arow.iter().zip(brow) {
                     s += a * b;
                 }
-                out.data[i * other.rows + j] = s;
+                crow[j] += s;
+                j += 1;
             }
         }
-        out
     }
 
     /// Matrix product `selfᵀ · other`.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        self.matmul_tn_acc(other, &mut out);
+        out
+    }
+
+    /// `out += selfᵀ · other` — accumulating form used for weight gradients.
+    pub fn matmul_tn_acc(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.rows,
             other.rows,
@@ -168,7 +253,7 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        let mut out = Tensor::zeros(self.cols, other.cols);
+        assert_eq!(out.shape(), (self.cols, other.cols), "matmul_tn output shape mismatch");
         for k in 0..self.rows {
             let arow = self.row_slice(k);
             let brow = other.row_slice(k);
@@ -182,22 +267,70 @@ impl Tensor {
                 }
             }
         }
-        out
     }
 
-    /// Elementwise `self + other`.
+    /// Elementwise `self + other` (direct loop, not `zip_with` — this is on
+    /// the tape hot path and the closure-generic form doesn't reliably
+    /// vectorize).
     pub fn add(&self, other: &Tensor) -> Tensor {
-        self.zip_with(other, |a, b| a + b)
+        assert_eq!(self.shape(), other.shape(), "elementwise shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Tensor { rows: self.rows, cols: self.cols, data }
     }
 
     /// Elementwise `self - other`.
     pub fn sub(&self, other: &Tensor) -> Tensor {
-        self.zip_with(other, |a, b| a - b)
+        assert_eq!(self.shape(), other.shape(), "elementwise shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Tensor { rows: self.rows, cols: self.cols, data }
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&self, other: &Tensor) -> Tensor {
-        self.zip_with(other, |a, b| a * b)
+        assert_eq!(self.shape(), other.shape(), "elementwise shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
+        Tensor { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// `out = self + other`, overwriting a caller-provided buffer.
+    pub fn add_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.shape(), other.shape(), "elementwise shape mismatch");
+        assert_eq!(out.shape(), self.shape(), "elementwise output shape mismatch");
+        for ((o, a), b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = a + b;
+        }
+    }
+
+    /// `out = self - other`, overwriting a caller-provided buffer.
+    pub fn sub_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.shape(), other.shape(), "elementwise shape mismatch");
+        assert_eq!(out.shape(), self.shape(), "elementwise output shape mismatch");
+        for ((o, a), b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = a - b;
+        }
+    }
+
+    /// `out = self ⊙ other`, overwriting a caller-provided buffer.
+    pub fn mul_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.shape(), other.shape(), "elementwise shape mismatch");
+        assert_eq!(out.shape(), self.shape(), "elementwise output shape mismatch");
+        for ((o, a), b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = a * b;
+        }
+    }
+
+    /// In-place `self ⊙= other` — the backward pass reuses the incoming
+    /// adjoint buffer instead of allocating the product.
+    pub fn mul_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "mul_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+    }
+
+    /// In-place `self *= c`.
+    pub fn scale_assign(&mut self, c: f64) {
+        self.data.iter_mut().for_each(|v| *v *= c);
     }
 
     /// Elementwise combine with the same-shaped `other`.
@@ -212,9 +345,11 @@ impl Tensor {
         Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&a| f(a)).collect() }
     }
 
-    /// Multiply every element by `c`.
+    /// Multiply every element by `c` (direct loop — hot in `GradStore::scale`
+    /// and the scalar loss chains).
     pub fn scale(&self, c: f64) -> Tensor {
-        self.map(|a| a * c)
+        let data = self.data.iter().map(|a| a * c).collect();
+        Tensor { rows: self.rows, cols: self.cols, data }
     }
 
     /// In-place `self += other`.
@@ -230,6 +365,16 @@ impl Tensor {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += c * b;
+        }
+    }
+
+    /// In-place `self += x ⊙ y` — the Hadamard-product accumulate the
+    /// backward pass of `Mul` needs, without materializing the product.
+    pub fn add_prod(&mut self, x: &Tensor, y: &Tensor) {
+        assert_eq!(self.shape(), x.shape(), "add_prod shape mismatch");
+        assert_eq!(self.shape(), y.shape(), "add_prod shape mismatch");
+        for ((a, b), c) in self.data.iter_mut().zip(&x.data).zip(&y.data) {
+            *a += b * c;
         }
     }
 
@@ -390,5 +535,70 @@ mod tests {
         let a = Tensor::zeros(2, 3);
         let b = Tensor::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn acc_kernels_accumulate_on_top() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let mut out = Tensor::full(2, 2, 1.0);
+        a.matmul_acc(&b, &mut out);
+        assert_eq!(out.data(), &[59.0, 65.0, 140.0, 155.0]);
+
+        let mut nt = Tensor::full(2, 2, 0.5);
+        let mut expect = a.matmul_nt(&a);
+        a.matmul_nt_acc(&a, &mut nt);
+        expect.data_mut().iter_mut().for_each(|v| *v += 0.5);
+        assert_eq!(nt, expect);
+
+        let mut tn = Tensor::zeros(3, 3);
+        a.matmul_tn_acc(&a, &mut tn);
+        assert_eq!(tn, a.matmul_tn(&a));
+    }
+
+    #[test]
+    fn blocked_nt_matches_naive_for_odd_widths() {
+        // 4-way column blocking must handle n % 4 != 0 remainders.
+        for n in 1..=9 {
+            let a = Tensor::from_vec(3, 5, (0..15).map(|v| v as f64 * 0.3 - 2.0).collect());
+            let b = Tensor::from_vec(n, 5, (0..5 * n).map(|v| (v as f64).sin()).collect());
+            let bt = {
+                let mut t = Tensor::zeros(5, n);
+                for r in 0..n {
+                    for c in 0..5 {
+                        t.set(c, r, b.get(r, c));
+                    }
+                }
+                t
+            };
+            assert_eq!(a.matmul_nt(&b), a.matmul(&bt), "n={n}");
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, -2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(2, 2, vec![0.5, 2.0, -1.0, 3.0]);
+        let mut out = Tensor::zeros(2, 2);
+        a.add_into(&b, &mut out);
+        assert_eq!(out, a.add(&b));
+        a.sub_into(&b, &mut out);
+        assert_eq!(out, a.sub(&b));
+        a.mul_into(&b, &mut out);
+        assert_eq!(out, a.mul(&b));
+        let mut c = a.clone();
+        c.mul_assign(&b);
+        assert_eq!(c, a.mul(&b));
+        let mut d = a.clone();
+        d.scale_assign(2.5);
+        assert_eq!(d, a.scale(2.5));
+    }
+
+    #[test]
+    fn into_data_roundtrip() {
+        let t = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let buf = t.into_data();
+        assert_eq!(buf, vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(Tensor::default().is_empty());
     }
 }

@@ -4,7 +4,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wsccl_nn::gradcheck::assert_gradients_close;
 use wsccl_nn::layers::{Embedding, Gru, Linear, Lstm, SelfAttention};
-use wsccl_nn::{Graph, Parameters, Tensor};
+use wsccl_nn::{Activation, Graph, Parameters, Tensor, TensorPool};
 
 const EPS: f64 = 1e-5;
 const TOL: f64 = 1e-5;
@@ -489,6 +489,167 @@ fn layer_norm_grad() {
         EPS,
         TOL,
     );
+}
+
+#[test]
+fn affine_grad_all_activations() {
+    for act in [Activation::Identity, Activation::Sigmoid, Activation::Tanh, Activation::Relu] {
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let w = p.register("w", rand_tensor(&mut rng, 3, 2));
+        let b = p.register("b", rand_tensor(&mut rng, 1, 2));
+        let x = p.register("x", rand_tensor(&mut rng, 4, 3));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let xn = g.param(x);
+                let y = g.affine(xn, w, Some(b), act);
+                let sq = g.mul(y, y);
+                let l = g.sum_all(sq);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+}
+
+#[test]
+fn affine_grad_without_bias() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let w = p.register("w", rand_tensor(&mut rng, 3, 2));
+    let x = p.register("x", rand_tensor(&mut rng, 4, 3));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let xn = g.param(x);
+            let y = g.affine(xn, w, None, Activation::Tanh);
+            let l = g.sum_all(y);
+            g.finish(l)
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn lstm_cell_grad() {
+    let (in_dim, hidden) = (2, 3);
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let wx = p.register("wx", rand_tensor(&mut rng, in_dim, 4 * hidden));
+    let wh = p.register("wh", rand_tensor(&mut rng, hidden, 4 * hidden));
+    let b = p.register("b", rand_tensor(&mut rng, 1, 4 * hidden));
+    let x = p.register("x", rand_tensor(&mut rng, 2, in_dim));
+    let h = p.register("h", rand_tensor(&mut rng, 2, hidden));
+    let c = p.register("c", rand_tensor(&mut rng, 2, hidden));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let xn = g.param(x);
+            let hn = g.param(h);
+            let cn = g.param(c);
+            let hc = g.lstm_cell(xn, hn, cn, wx, wh, b, hidden);
+            // Square so both the h and c halves feed the loss nonlinearly.
+            let sq = g.mul(hc, hc);
+            let l = g.sum_all(sq);
+            g.finish(l)
+        },
+        EPS,
+        TOL,
+    );
+}
+
+/// Two chained LSTM cells: the recurrent path (dh, dc flowing into the
+/// previous cell) is what the closed-form backward most easily gets wrong.
+#[test]
+fn lstm_cell_chained_grad() {
+    let (in_dim, hidden) = (2, 2);
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let wx = p.register("wx", rand_tensor(&mut rng, in_dim, 4 * hidden));
+    let wh = p.register("wh", rand_tensor(&mut rng, hidden, 4 * hidden));
+    let b = p.register("b", rand_tensor(&mut rng, 1, 4 * hidden));
+    let x0 = p.register("x0", rand_tensor(&mut rng, 1, in_dim));
+    let x1 = p.register("x1", rand_tensor(&mut rng, 1, in_dim));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let x0n = g.param(x0);
+            let x1n = g.param(x1);
+            let h0 = g.input_zeros(1, hidden);
+            let c0 = g.input_zeros(1, hidden);
+            let hc1 = g.lstm_cell(x0n, h0, c0, wx, wh, b, hidden);
+            let h1 = g.slice_cols(hc1, 0, hidden);
+            let c1 = g.slice_cols(hc1, hidden, 2 * hidden);
+            let hc2 = g.lstm_cell(x1n, h1, c1, wx, wh, b, hidden);
+            let h2 = g.slice_cols(hc2, 0, hidden);
+            let sq = g.mul(h2, h2);
+            let l = g.sum_all(sq);
+            g.finish(l)
+        },
+        EPS,
+        TOL,
+    );
+}
+
+/// In-place variants must be gradient-identical to their allocating forms,
+/// both when the steal succeeds (fresh single-consumer operands) and when it
+/// falls back (operand op whose backward reads its own output).
+#[test]
+fn inplace_elementwise_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let a = p.register("a", rand_tensor(&mut rng, 3, 4));
+    let b = p.register("b", rand_tensor(&mut rng, 3, 4));
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new(p);
+            let an = g.param(a);
+            let bn = g.param(b);
+            let s = g.add(an, bn);
+            let sc = g.scale_inplace(s, 0.7); // steals s (Add)
+            let t = g.tanh_inplace(sc); // steals sc (Scale)
+            let d = g.sub_inplace(t, bn); // falls back: Tanh reads own value
+            let sg = g.sigmoid_inplace(d); // steals d (Sub)
+            let l = g.sum_all(sg);
+            g.finish(l)
+        },
+        EPS,
+        TOL,
+    );
+}
+
+/// The pooled tape must produce the same gradients as the fresh-alloc tape —
+/// run the same gradcheck through a dirtied pool.
+#[test]
+fn pooled_graph_grad() {
+    let mut rng = rng();
+    let mut p = Parameters::new();
+    let w = p.register("w", rand_tensor(&mut rng, 3, 2));
+    let b = p.register("b", rand_tensor(&mut rng, 1, 2));
+    let x = p.register("x", rand_tensor(&mut rng, 4, 3));
+    let mut pool = TensorPool::new();
+    assert_gradients_close(
+        &mut p,
+        |p| {
+            let mut g = Graph::new_in(p, &mut pool);
+            let xn = g.param(x);
+            let y = g.affine(xn, w, Some(b), Activation::Sigmoid);
+            let sq = g.mul(y, y);
+            let l = g.sum_all(sq);
+            g.finish(l)
+        },
+        EPS,
+        TOL,
+    );
+    assert!(pool.stats().reuses > 0, "pool was never reused across gradcheck evaluations");
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! The generic optimization driver: shard-parallel steps, fixed shard-order
 //! reduction, schedules, clipping, and observer dispatch.
 
+use std::sync::mpsc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -8,11 +9,12 @@ use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use wsccl_nn::optim::{Adam, Sgd};
-use wsccl_nn::{GradStore, Graph, NodeId, Parameters};
+use wsccl_nn::{GradStore, Graph, NodeId, Parameters, TensorPool};
 
 use crate::checkpoint::TrainerState;
 use crate::observe::{EpochRecord, StepRecord, TrainObserver};
 use crate::spec::{OptimizerKind, TrainSpec};
+use crate::worker::WorkerPool;
 
 /// A model the engine can train. Implementations own everything the loss
 /// needs except the parameter values, which the driver passes in so it can
@@ -89,6 +91,33 @@ pub struct StepOutcome {
     pub lr: f64,
 }
 
+/// Execute one shard: fresh tape (pooled when a pool is supplied), build the
+/// loss, backprop. Identical math with and without a pool.
+fn run_shard<T: Trainable>(
+    model: &T,
+    params: &Parameters,
+    batch: &T::Batch,
+    seed: u64,
+    mut pool: Option<&mut TensorPool>,
+) -> Option<(f64, GradStore)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = match pool.as_deref_mut() {
+        Some(p) => Graph::new_in(params, p),
+        None => Graph::new(params),
+    };
+    let loss = model.build_loss(&mut g, batch, &mut rng)?;
+    let (value, grads) = g.finish(loss);
+    if value.is_finite() {
+        Some((value, grads))
+    } else {
+        // Skipped shard: still hand the gradient buffers home.
+        if let Some(p) = pool.as_deref_mut() {
+            grads.release_into(p);
+        }
+        None
+    }
+}
+
 /// The stateful training driver. One `Trainer` lives as long as its model:
 /// repeated [`Trainer::run`] calls (curriculum stages) keep advancing the
 /// same optimizer moments, RNG stream, and step/epoch counters, exactly as
@@ -99,6 +128,15 @@ pub struct Trainer {
     rng: StdRng,
     step: u64,
     epoch: u64,
+    /// One buffer pool per shard (lazily sized). Shard `s` always draws from
+    /// `pools[s]`, whichever worker runs it, and the driver returns reduced
+    /// gradient buffers to the same pools — so after one warmup epoch the
+    /// step loop allocates no tensors. Pure execution state: not part of
+    /// [`TrainerState`].
+    pools: Vec<TensorPool>,
+    /// Persistent shard workers, started on the first `threads > 1` step.
+    /// Replaces the old spawn-per-step scoped threads (see DESIGN.md §8).
+    workers: Option<WorkerPool>,
 }
 
 impl Trainer {
@@ -110,7 +148,7 @@ impl Trainer {
     pub fn new(spec: TrainSpec) -> Self {
         let optimizer = Optimizer::new(spec.optimizer, spec.lr);
         let rng = StdRng::seed_from_u64(spec.seed ^ Self::SEED_SALT);
-        Self { spec, optimizer, rng, step: 0, epoch: 0 }
+        Self { spec, optimizer, rng, step: 0, epoch: 0, pools: Vec::new(), workers: None }
     }
 
     pub fn spec(&self) -> &TrainSpec {
@@ -148,7 +186,23 @@ impl Trainer {
             rng: StdRng::from_state(state.rng),
             step: state.step,
             epoch: state.epoch,
+            pools: Vec::new(),
+            workers: None,
         }
+    }
+
+    /// Combined allocation counters over all shard pools — the hook the
+    /// allocation-counting tests and kernel benchmarks use to assert the
+    /// zero-allocs-per-step contract.
+    pub fn pool_stats(&self) -> wsccl_nn::PoolStats {
+        let mut total = wsccl_nn::PoolStats::default();
+        for p in &self.pools {
+            let s = p.stats();
+            total.fresh_allocs += s.fresh_allocs;
+            total.reuses += s.reuses;
+            total.peak_live += s.peak_live;
+        }
+        total
     }
 
     /// One optimizer step over `spec.shards` data-parallel shards. Shard
@@ -165,57 +219,81 @@ impl Trainer {
         let shards = self.spec.shards.max(1);
         let seeds: Vec<u64> = (0..shards).map(|_| self.rng.random()).collect();
         let threads = self.spec.threads.max(1).min(shards);
+        let pooling = self.spec.pool_buffers;
         let step_index = self.step;
         self.step += 1;
 
-        let results: Vec<Option<(f64, GradStore)>> = {
+        if pooling && self.pools.len() < shards {
+            self.pools.resize_with(shards, TensorPool::new);
+        }
+
+        let results: Vec<Option<(f64, GradStore)>> = if threads == 1 {
+            let shared: &T = model;
+            seeds
+                .iter()
+                .enumerate()
+                .map(|(s, &seed)| {
+                    let pool = if pooling { self.pools.get_mut(s) } else { None };
+                    run_shard(shared, params, batch, seed, pool)
+                })
+                .collect()
+        } else {
+            let workers = match &mut self.workers {
+                Some(w) if w.len() >= threads => w,
+                slot => {
+                    // First parallel step (or thread count grew): start the
+                    // persistent workers. They outlive this step.
+                    *slot = Some(WorkerPool::new(threads));
+                    slot.as_mut().unwrap()
+                }
+            };
             let shared: &T = model;
             let params: &Parameters = params;
-            let run_shard = |seed: u64| -> Option<(f64, GradStore)> {
-                let mut rng = StdRng::seed_from_u64(seed);
-                let mut g = Graph::new(params);
-                let loss = shared.build_loss(&mut g, batch, &mut rng)?;
-                let (value, grads) = g.finish(loss);
-                value.is_finite().then_some((value, grads))
-            };
-            if threads == 1 {
-                seeds.iter().map(|&s| run_shard(s)).collect()
+            // Hand each worker its fixed shard partition t, t+threads, …
+            // together with exclusive &mut access to those shards' pools.
+            let mut pool_slots: Vec<Option<&mut TensorPool>> = if pooling {
+                self.pools.iter_mut().take(shards).map(Some).collect()
             } else {
-                let mut results: Vec<Option<(f64, GradStore)>> =
-                    (0..shards).map(|_| None).collect();
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..threads)
-                        .map(|t| {
-                            let seeds = &seeds;
-                            let run_shard = &run_shard;
-                            scope.spawn(move |_| {
-                                // Worker `t` owns shards t, t+threads, … — a
-                                // fixed partition, so results carry their
-                                // shard index.
-                                (t..shards)
-                                    .step_by(threads)
-                                    .map(|s| (s, run_shard(seeds[s])))
-                                    .collect::<Vec<_>>()
-                            })
-                        })
-                        .collect();
-                    for h in handles {
-                        for (s, r) in h.join().expect("shard worker panicked") {
-                            results[s] = r;
-                        }
+                (0..shards).map(|_| None).collect()
+            };
+            let (res_tx, res_rx) = mpsc::channel::<(usize, Option<(f64, GradStore)>)>();
+            let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let mut my_shards: Vec<(usize, u64, Option<&mut TensorPool>)> = (t..shards)
+                    .step_by(threads)
+                    .map(|s| (s, seeds[s], pool_slots[s].take()))
+                    .collect();
+                let tx = res_tx.clone();
+                jobs.push(Box::new(move || {
+                    for (s, seed, pool) in my_shards.iter_mut() {
+                        let r = run_shard(shared, params, batch, *seed, pool.as_deref_mut());
+                        let _ = tx.send((*s, r));
                     }
-                })
-                .expect("shard scope");
-                results
+                }));
             }
+            drop(res_tx);
+            workers.scoped_run(jobs);
+            let mut results: Vec<Option<(f64, GradStore)>> = (0..shards).map(|_| None).collect();
+            for (s, r) in res_rx.try_iter() {
+                results[s] = r;
+            }
+            results
         };
 
         // Reduce in ascending shard order, average, clip, one optimizer step.
+        // With pooling, every shard-store buffer either moves into `total` or
+        // goes straight back to its shard's pool; `total`'s own buffers are
+        // released after the optimizer applies them.
         let mut total = GradStore::new();
         let mut loss_sum = 0.0;
         let mut used = 0usize;
-        for (value, grads) in results.into_iter().flatten() {
-            total.accumulate(&grads);
+        for (s, result) in results.into_iter().enumerate() {
+            let Some((value, grads)) = result else { continue };
+            if pooling {
+                total.accumulate_pooled(grads, &mut self.pools[s]);
+            } else {
+                total.accumulate(&grads);
+            }
             loss_sum += value;
             used += 1;
         }
@@ -232,6 +310,9 @@ impl Trainer {
         let lr = self.spec.lr * self.spec.schedule.factor(step_index);
         self.optimizer.set_lr(lr);
         self.optimizer.step(params, &total);
+        if pooling {
+            total.release_into(&mut self.pools[0]);
+        }
         model.after_step(params, batch);
         Some(StepOutcome { loss: loss_sum / used as f64, grad_norm, lr })
     }
@@ -363,6 +444,55 @@ mod tests {
             (hist, params.value(model.w).item())
         };
         assert_eq!(run(1), run(3));
+    }
+
+    #[test]
+    fn pooling_is_invisible_to_training() {
+        // Same seed with and without buffer recycling → bit-identical losses
+        // and final parameters (the pool's determinism contract).
+        let run = |pool_buffers: bool| {
+            let (mut params, mut model) = setup();
+            let spec = TrainSpec { shards: 2, pool_buffers, ..TrainSpec::adam(0.05, 3, 11) };
+            let mut trainer = Trainer::new(spec);
+            let hist = trainer.run(&mut model, &mut params, 3, &mut NoopObserver);
+            let bits: Vec<u64> = hist.iter().map(|l| l.to_bits()).collect();
+            (bits, params.value(model.w).item().to_bits())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn steady_state_steps_allocate_no_tensors() {
+        let (mut params, mut model) = setup();
+        let mut trainer = Trainer::new(TrainSpec::adam(0.05, 8, 5));
+        // Warmup: one epoch visits every batch shape once.
+        trainer.run(&mut model, &mut params, 1, &mut NoopObserver);
+        let warm = trainer.pool_stats().fresh_allocs;
+        assert!(warm > 0, "pooled training must route buffers through the pool");
+        trainer.run(&mut model, &mut params, 7, &mut NoopObserver);
+        let after = trainer.pool_stats();
+        assert_eq!(after.fresh_allocs, warm, "steady-state steps must not heap-allocate tensors");
+        assert!(after.reuses > 0);
+    }
+
+    #[test]
+    fn persistent_workers_survive_across_steps() {
+        // Multi-thread training over many steps exercises worker reuse; the
+        // trajectory must match the serial one and the pool books must
+        // balance (every buffer handed to a worker comes back to the driver).
+        let serial = {
+            let (mut params, mut model) = setup();
+            let spec = TrainSpec { shards: 3, threads: 1, ..TrainSpec::adam(0.05, 4, 13) };
+            let mut t = Trainer::new(spec);
+            let hist = t.run(&mut model, &mut params, 4, &mut NoopObserver);
+            (hist, params.value(model.w).item().to_bits())
+        };
+        let (mut params, mut model) = setup();
+        let spec = TrainSpec { shards: 3, threads: 2, ..TrainSpec::adam(0.05, 4, 13) };
+        let mut t = Trainer::new(spec);
+        let hist = t.run(&mut model, &mut params, 4, &mut NoopObserver);
+        assert_eq!(serial, (hist, params.value(model.w).item().to_bits()));
+        assert!(t.pool_stats().reuses > 0);
     }
 
     #[test]

@@ -27,8 +27,10 @@ pub mod checkpoint;
 pub mod engine;
 pub mod observe;
 pub mod spec;
+pub mod worker;
 
 pub use checkpoint::TrainerState;
 pub use engine::{Optimizer, StepOutcome, Trainable, Trainer};
 pub use observe::{EpochRecord, LossCurve, NoopObserver, StepRecord, TrainObserver};
 pub use spec::{LrSchedule, OptimizerKind, TrainSpec};
+pub use worker::WorkerPool;

@@ -65,6 +65,16 @@ pub struct TrainSpec {
     /// Worker threads executing the shards. Execution knob only — any value
     /// yields bit-for-bit identical training.
     pub threads: usize,
+    /// Recycle tape buffers through per-shard [`wsccl_nn::TensorPool`]s so
+    /// steady-state steps allocate no tensors. Execution knob only — pooled
+    /// and unpooled runs are bit-for-bit identical (defaults to `true`;
+    /// absent in pre-pool checkpoints, hence the serde default).
+    #[serde(default = "default_pool_buffers")]
+    pub pool_buffers: bool,
+}
+
+fn default_pool_buffers() -> bool {
+    true
 }
 
 impl TrainSpec {
@@ -80,6 +90,7 @@ impl TrainSpec {
             seed,
             shards: 1,
             threads: 1,
+            pool_buffers: true,
         }
     }
 

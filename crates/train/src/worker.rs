@@ -1,0 +1,163 @@
+//! Persistent shard-worker threads.
+//!
+//! The engine used to spawn a fresh scoped thread per worker *per optimizer
+//! step*; at WSCCL step granularity (~10 ms) the spawn/join cost rivaled the
+//! useful work and made `threads > 1` a net loss (see BENCH_parallel.json
+//! history and DESIGN.md §8). A [`WorkerPool`] starts its threads once and
+//! feeds them per-step closures over channels, so a step costs two channel
+//! round-trips per worker instead of a thread spawn.
+//!
+//! Determinism is unchanged: [`WorkerPool::scoped_run`] executes job `t` on
+//! worker thread `t` — a fixed worker→shard partition — and blocks until
+//! every job has finished, so the caller can keep reducing shard gradients in
+//! ascending shard order on its own thread.
+
+use std::mem;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Worker {
+    tx: Sender<Job>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A fixed set of long-lived worker threads executing borrowed closures.
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+}
+
+impl WorkerPool {
+    /// Start `threads` worker threads. They idle on a channel until
+    /// [`WorkerPool::scoped_run`] feeds them work, and exit when the pool is
+    /// dropped.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "WorkerPool needs at least one thread");
+        let workers = (0..threads)
+            .map(|t| {
+                let (tx, rx): (Sender<Job>, Receiver<Job>) = mpsc::channel();
+                let handle = std::thread::Builder::new()
+                    .name(format!("wsccl-shard-{t}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn shard worker");
+                Worker { tx, handle: Some(handle) }
+            })
+            .collect();
+        Self { workers }
+    }
+
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Run `jobs[t]` on worker thread `t` and return once **all** jobs have
+    /// completed. At most [`WorkerPool::len`] jobs are accepted.
+    ///
+    /// The jobs may borrow from the caller's stack: completion is awaited
+    /// before this function returns, so no borrow escapes.
+    ///
+    /// # Panics
+    /// Panics if a job panicked on its worker (the pool is poisoned for
+    /// further use, matching the old spawn-per-step behaviour of propagating
+    /// worker panics).
+    pub fn scoped_run<'a>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'a>>) {
+        assert!(jobs.len() <= self.workers.len(), "more jobs than workers");
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let n = jobs.len();
+        for (worker, job) in self.workers.iter().zip(jobs) {
+            // SAFETY: the transmute only erases the `'a` bound. We block on
+            // `done_rx` below until every job has run (or unwound), so all
+            // borrows captured by the job strictly outlive its execution.
+            let job: Job = unsafe {
+                mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Box<dyn FnOnce() + Send + 'static>>(
+                    job,
+                )
+            };
+            let done = done_tx.clone();
+            worker
+                .tx
+                .send(Box::new(move || {
+                    job();
+                    let _ = done.send(());
+                }))
+                .expect("shard worker thread is gone");
+        }
+        // Drop our sender so a dead worker (dropped its `done` clone while
+        // unwinding) turns into a recv error instead of a hang.
+        drop(done_tx);
+        for _ in 0..n {
+            done_rx.recv().expect("shard worker panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels lets the threads fall out of their loops.
+        for w in &mut self.workers {
+            let (dead_tx, _) = mpsc::channel();
+            drop(mem::replace(&mut w.tx, dead_tx));
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_run_on_their_assigned_worker_and_all_complete() {
+        let pool = WorkerPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        for _round in 0..5 {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = hits
+                .iter()
+                .map(|h| {
+                    Box::new(move || {
+                        h.fetch_add(1, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.scoped_run(jobs);
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::SeqCst), 5);
+        }
+    }
+
+    #[test]
+    fn scoped_run_borrows_local_state_mutably() {
+        let pool = WorkerPool::new(2);
+        let mut a = 0usize;
+        let mut b = 0usize;
+        {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> =
+                vec![Box::new(|| a += 41), Box::new(|| b += 1)];
+            pool.scoped_run(jobs);
+        }
+        assert_eq!(a + b, 42);
+    }
+
+    #[test]
+    fn fewer_jobs_than_workers_is_fine() {
+        let pool = WorkerPool::new(4);
+        let mut x = 0;
+        pool.scoped_run(vec![Box::new(|| x = 7)]);
+        assert_eq!(x, 7);
+    }
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Record serial-vs-parallel timings for data-parallel WSC training and
-# lock-free batched inference. Writes BENCH_parallel.json at the repo root.
+# lock-free batched inference, plus pooled-vs-unpooled kernel timings.
+# Writes BENCH_parallel.json and BENCH_kernels.json at the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,3 +10,6 @@ cargo run --release --quiet --bin bench_parallel
 echo
 echo "BENCH_parallel.json:"
 cat BENCH_parallel.json
+echo
+echo "BENCH_kernels.json:"
+cat BENCH_kernels.json

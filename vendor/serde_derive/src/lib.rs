@@ -9,9 +9,18 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field, plus its `#[serde(default)]` setting when present:
+/// `None` = required, `Some("")` = `Default::default()`, `Some(path)` = call
+/// the named function.
+#[derive(Debug)]
+struct NamedField {
+    name: String,
+    default: Option<String>,
+}
+
 #[derive(Debug)]
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<NamedField>),
     Tuple(usize),
     Unit,
 }
@@ -56,26 +65,65 @@ fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// Parse named fields out of a brace group: returns the field names in order.
-fn parse_named_fields(group: TokenStream) -> Vec<String> {
+/// Recognize `#[serde(default)]` / `#[serde(default = "path")]` in an
+/// attribute bracket group. Other serde attributes are rejected loudly rather
+/// than silently changing the wire format.
+fn parse_serde_attr(group: &TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            g.stream().into_iter().collect::<Vec<TokenTree>>()
+        }
+        _ => panic!("serde_derive: malformed #[serde(...)] attribute"),
+    };
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        other => panic!("serde_derive (vendored): only `default` is supported, found `{other:?}`"),
+    }
+    match inner.get(2) {
+        // #[serde(default = "path::to::fn")]
+        Some(TokenTree::Literal(lit)) => Some(lit.to_string().trim_matches('"').to_string()),
+        // #[serde(default)]
+        None => Some(String::new()),
+        other => panic!("serde_derive: malformed serde default: `{other:?}`"),
+    }
+}
+
+/// Parse named fields out of a brace group: returns the fields in order.
+fn parse_named_fields(group: TokenStream) -> Vec<NamedField> {
     let tokens: Vec<TokenTree> = group.into_iter().collect();
-    let mut names = Vec::new();
+    let mut names: Vec<NamedField> = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs(&tokens, &mut i);
+        let mut default = None;
+        while i < tokens.len() && is_punct(&tokens[i], '#') {
+            i += 1; // '#'
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Bracket {
+                    if let Some(d) = parse_serde_attr(&g.stream()) {
+                        default = Some(d);
+                    }
+                    i += 1;
+                }
+            }
+        }
         skip_vis(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
         match &tokens[i] {
-            TokenTree::Ident(id) => names.push(id.to_string()),
+            TokenTree::Ident(id) => names.push(NamedField { name: id.to_string(), default }),
             other => panic!("serde_derive: expected field name, found `{other}`"),
         }
         i += 1;
         assert!(
             i < tokens.len() && is_punct(&tokens[i], ':'),
             "serde_derive: expected `:` after field `{}`",
-            names.last().unwrap()
+            names.last().unwrap().name
         );
         i += 1;
         // Skip the type: consume until a comma at angle-bracket depth zero.
@@ -222,6 +270,7 @@ fn gen_serialize(item: &Item) -> String {
                 Fields::Named(names) => {
                     let mut s = String::from("let mut o = Vec::new();\n");
                     for f in names {
+                        let f = &f.name;
                         s.push_str(&format!(
                             "o.push((\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})));\n"
                         ));
@@ -268,7 +317,8 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     Fields::Named(fs) => {
-                        let pushes: Vec<String> = fs
+                        let binds: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = binds
                             .iter()
                             .map(|f| {
                                 format!("(\"{f}\".to_string(), serde::Serialize::to_value({f}))")
@@ -276,7 +326,7 @@ fn gen_serialize(item: &Item) -> String {
                             .collect();
                         arms.push_str(&format!(
                             "{name}::{vn} {{ {} }} => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Object(vec![{}]))]),\n",
-                            fs.join(", "),
+                            binds.join(", "),
                             pushes.join(", ")
                         ));
                     }
@@ -291,11 +341,31 @@ fn gen_serialize(item: &Item) -> String {
     }
 }
 
-fn gen_named_ctor(ty_path: &str, ctx: &str, fields: &[String]) -> String {
+fn gen_named_ctor(ty_path: &str, ctx: &str, fields: &[NamedField]) -> String {
     let inits: Vec<String> = fields
         .iter()
-        .map(|f| {
-            format!("{f}: serde::Deserialize::from_value(serde::field(o, \"{f}\", \"{ctx}\")?)?")
+        .map(|field| {
+            let f = &field.name;
+            match &field.default {
+                // Defaulted fields tolerate absence — that is how new config
+                // knobs stay loadable from checkpoints written before them.
+                Some(path) => {
+                    let fallback = if path.is_empty() {
+                        "Default::default()".to_string()
+                    } else {
+                        format!("{path}()")
+                    };
+                    format!(
+                        "{f}: match serde::field(o, \"{f}\", \"{ctx}\") {{ \
+                           Ok(v) => serde::Deserialize::from_value(v)?, \
+                           Err(_) => {fallback}, \
+                         }}"
+                    )
+                }
+                None => format!(
+                    "{f}: serde::Deserialize::from_value(serde::field(o, \"{f}\", \"{ctx}\")?)?"
+                ),
+            }
         })
         .collect();
     format!("{ty_path} {{ {} }}", inits.join(", "))
@@ -389,13 +459,13 @@ fn gen_deserialize(item: &Item) -> String {
     }
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
