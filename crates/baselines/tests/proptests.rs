@@ -1,0 +1,94 @@
+//! Property-based coverage for the supervised baselines (PathRank, DeepGTT,
+//! HMTRL): for arbitrary in-distribution paths and departure times, a trained
+//! model's representation must have the advertised width, be finite, and be
+//! bit-for-bit deterministic across repeated calls.
+//!
+//! Training is the expensive part, so each model is trained exactly once (at
+//! tiny scale) in a shared fixture and every proptest case only runs forward
+//! passes against it.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use wsccl_baselines::deepgtt::{DeepGtt, DeepGttConfig};
+use wsccl_baselines::hmtrl::{Hmtrl, HmtrlConfig};
+use wsccl_baselines::pathrank::{PathRank, PathRankConfig, RegressionExample};
+use wsccl_baselines::FnRepresenter;
+use wsccl_core::PathRepresenter;
+use wsccl_datagen::{CityDataset, DatasetConfig};
+use wsccl_roadnet::CityProfile;
+use wsccl_traffic::SimTime;
+
+struct Fixture {
+    ds: CityDataset,
+    pathrank: FnRepresenter,
+    deepgtt: FnRepresenter,
+    hmtrl: FnRepresenter,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 23));
+        let tte: Vec<RegressionExample> = ds
+            .tte
+            .iter()
+            .take(10)
+            .map(|t| RegressionExample {
+                path: t.path.clone(),
+                departure: t.departure,
+                target: t.travel_time,
+            })
+            .collect();
+        let pathrank =
+            PathRank::train(&ds.net, &tte, &PathRankConfig { epochs: 1, ..Default::default() })
+                .into_representer("PathRank");
+        let deepgtt =
+            DeepGtt::train(&ds.net, &tte, &DeepGttConfig { epochs: 1, ..Default::default() })
+                .into_representer("DeepGTT");
+        let hmtrl =
+            Hmtrl::train(&ds.net, &tte, &[], &HmtrlConfig { epochs: 1, ..Default::default() })
+                .into_representer("HMTRL");
+        Fixture { ds, pathrank, deepgtt, hmtrl }
+    })
+}
+
+/// Shape + finiteness + repeat-call determinism for one representer.
+fn check_representer(rep: &FnRepresenter, sample: usize, day: u32, hour: u32, minute: u32) {
+    let fx = fixture();
+    let s = &fx.ds.unlabeled[sample % fx.ds.unlabeled.len()];
+    let dep = SimTime::from_hm(day, hour, minute);
+    let a = rep.represent(&fx.ds.net, &s.path, dep);
+    prop_assert_eq!(a.len(), rep.dim(), "representation width must match dim()");
+    prop_assert!(a.iter().all(|x| x.is_finite()), "representation must be finite: {:?}", a);
+    let b = rep.represent(&fx.ds.net, &s.path, dep);
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    prop_assert_eq!(bits(&a), bits(&b), "repeat calls must be bit-identical");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn pathrank_forward_shape_and_determinism(
+        sample in 0usize..64, day in 0u32..7, hour in 0u32..24, minute in 0u32..60
+    ) {
+        check_representer(&fixture().pathrank, sample, day, hour, minute);
+    }
+
+    #[test]
+    fn deepgtt_forward_shape_and_determinism(
+        sample in 0usize..64, day in 0u32..7, hour in 0u32..24, minute in 0u32..60
+    ) {
+        check_representer(&fixture().deepgtt, sample, day, hour, minute);
+    }
+
+    #[test]
+    fn hmtrl_forward_shape_and_determinism(
+        sample in 0usize..64, day in 0u32..7, hour in 0u32..24, minute in 0u32..60
+    ) {
+        check_representer(&fixture().hmtrl, sample, day, hour, minute);
+    }
+}

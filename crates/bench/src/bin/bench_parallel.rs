@@ -1,6 +1,7 @@
 //! Serial-vs-parallel timing harness for the data-parallel training and
-//! lock-free inference paths. Writes `BENCH_parallel.json` and
-//! `BENCH_kernels.json` in the working directory (see `scripts/bench.sh`).
+//! lock-free inference paths. Writes `BENCH_parallel.json`,
+//! `BENCH_kernels.json`, and `results/profile.json` in the working directory
+//! (see `scripts/bench.sh`).
 //!
 //! For each shard count the *same logical step* (fixed seed, fixed shard
 //! count) is timed at `threads = 1` and `threads = shards`; because the shard
@@ -73,6 +74,27 @@ struct KernelTiming {
 struct KernelReport {
     host_cores: usize,
     train_step: Vec<KernelTiming>,
+}
+
+#[derive(Serialize)]
+struct OpRow {
+    op: String,
+    count: u64,
+    forward_ms: f64,
+    backward_ms: f64,
+}
+
+/// `results/profile.json`: metrics-on-vs-off step-time overhead for the
+/// pooled WSCCL model, plus the per-op tape breakdown from a profiled run.
+#[derive(Serialize)]
+struct ProfileReport {
+    host_cores: usize,
+    steps: usize,
+    metrics_off_ms_per_step: f64,
+    metrics_on_ms_per_step: f64,
+    /// `(on − off) / off`, percent. Negative values are timing noise.
+    metrics_overhead_pct: f64,
+    ops: Vec<OpRow>,
 }
 
 /// PIM-style LSTM baseline: encode a feature sequence, score the pooled
@@ -197,6 +219,80 @@ fn time_lstm_kernels(ds: &CityDataset, pooled: bool, steps: usize) -> KernelTimi
     row
 }
 
+/// Warm a pooled WSCCL model until the tape pool reaches steady state (no
+/// fresh allocations for a calm streak), mirroring `time_wsccl_kernels`.
+fn warm_pooled_model(enc: &Arc<TemporalPathEncoder>, ds: &CityDataset) -> WscModel {
+    let mut model = WscModel::new(Arc::clone(enc), WscclConfig::default(), 1);
+    let mut calm = 0;
+    let mut last = model.pool_stats().fresh_allocs;
+    for _ in 0..1000 {
+        model.train_step(&ds.unlabeled, &PopLabeler);
+        let now = model.pool_stats().fresh_allocs;
+        calm = if now == last { calm + 1 } else { 0 };
+        last = now;
+        if calm >= 50 {
+            break;
+        }
+    }
+    model
+}
+
+/// Metrics overhead (registry on vs off on the *same* warmed model) plus the
+/// per-op tape breakdown from a separately profiled run. Profiling is timed
+/// apart from the overhead comparison because the per-node clock reads are
+/// themselves a cost.
+fn profile_report(enc: &Arc<TemporalPathEncoder>, ds: &CityDataset, steps: usize) -> ProfileReport {
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let registry = wsccl_obs::global();
+    let mut model = warm_pooled_model(enc, ds);
+
+    let time_steps = |model: &mut WscModel| {
+        let t = Instant::now();
+        for _ in 0..steps {
+            model.train_step(&ds.unlabeled, &PopLabeler);
+        }
+        t.elapsed().as_secs_f64() * 1000.0 / steps as f64
+    };
+    registry.set_enabled(false);
+    let metrics_off_ms_per_step = time_steps(&mut model);
+    registry.set_enabled(true);
+    let metrics_on_ms_per_step = time_steps(&mut model);
+    registry.set_enabled(false);
+    registry.reset();
+    let metrics_overhead_pct =
+        (metrics_on_ms_per_step - metrics_off_ms_per_step) / metrics_off_ms_per_step * 100.0;
+    println!(
+        "metrics overhead: off {metrics_off_ms_per_step:.2} ms/step, \
+         on {metrics_on_ms_per_step:.2} ms/step ({metrics_overhead_pct:+.1}%)"
+    );
+
+    let mut model = warm_pooled_model(enc, ds);
+    model.enable_profiling();
+    for _ in 0..steps {
+        model.train_step(&ds.unlabeled, &PopLabeler);
+    }
+    let profile = model.profile();
+    let ops = profile
+        .ops
+        .iter()
+        .map(|o| OpRow {
+            op: o.op.to_string(),
+            count: o.count,
+            forward_ms: o.forward_ns as f64 / 1e6,
+            backward_ms: o.backward_ns as f64 / 1e6,
+        })
+        .collect();
+
+    ProfileReport {
+        host_cores,
+        steps,
+        metrics_off_ms_per_step,
+        metrics_on_ms_per_step,
+        metrics_overhead_pct,
+        ops,
+    }
+}
+
 fn time_train(
     enc: &Arc<TemporalPathEncoder>,
     ds: &CityDataset,
@@ -297,4 +393,17 @@ fn main() {
     let json = serde_json::to_string(&kernels).expect("serialize kernel report");
     std::fs::write("BENCH_kernels.json", json).expect("write BENCH_kernels.json");
     println!("wrote BENCH_kernels.json");
+
+    let profile = profile_report(&enc, &ds, 30);
+    let top = profile.ops.iter().take(5);
+    for o in top {
+        println!(
+            "profile {:>14}: {:>8} calls, fwd {:>8.2} ms, bwd {:>8.2} ms",
+            o.op, o.count, o.forward_ms, o.backward_ms
+        );
+    }
+    std::fs::create_dir_all("results").expect("create results dir");
+    let json = serde_json::to_string(&profile).expect("serialize profile report");
+    std::fs::write("results/profile.json", json).expect("write results/profile.json");
+    println!("wrote results/profile.json");
 }

@@ -8,7 +8,9 @@
 //! ```
 //!
 //! `--scale tiny|small|full` (or `WSCCL_SCALE`) controls dataset/training
-//! sizes throughout.
+//! sizes throughout. `wsccl train --run-log NAME` additionally streams a
+//! structured JSONL run log (per-step loss terms, timings, periodic metric
+//! snapshots) to `results/runs/NAME.jsonl`.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -28,7 +30,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: wsccl <generate|train|evaluate|embed> [--city aalborg|harbin|chengdu] \
          [--seed N] [--scale tiny|small|full] [--data FILE] [--model FILE] [--out FILE] \
-         [--index N]"
+         [--index N] [--run-log NAME]"
     );
     ExitCode::from(2)
 }
@@ -133,7 +135,18 @@ fn cmd_train(
     eprintln!("training WSC on {} unlabeled paths ({} epochs)...", ds.unlabeled.len(), cfg.epochs);
     let encoder = Arc::new(TemporalPathEncoder::new(&ds.net, cfg.encoder.clone(), cfg.seed));
     let mut model = WscModel::new(Arc::clone(&encoder), cfg.clone(), cfg.seed);
-    model.train(&ds.unlabeled, &PopLabeler, cfg.epochs);
+    if let Some(name) = flags.get("run-log") {
+        wsccl_obs::global().set_enabled(true);
+        let mut log = wsccl_train::JsonlObserver::to_file(name)
+            .map_err(|e| format!("open run log '{name}': {e}"))?
+            .with_metrics_every(50);
+        log.set_phase("train");
+        model.train_observed(&ds.unlabeled, &PopLabeler, cfg.epochs, &mut log);
+        log.flush().map_err(|e| format!("flush run log '{name}': {e}"))?;
+        eprintln!("run log: {}", wsccl_train::run_log_path(name).display());
+    } else {
+        model.train(&ds.unlabeled, &PopLabeler, cfg.epochs);
+    }
     if let Some(loss) = model.loss_history.last() {
         eprintln!("final epoch loss: {loss:.4}");
     }

@@ -194,12 +194,14 @@ pub fn train_wsccl_with_strategy_observed(
     };
 
     // Curriculum phase: one epoch per stage, easy → hard.
-    for stage in &stages {
+    for (i, stage) in stages.iter().enumerate() {
+        observer.on_phase(&format!("curriculum/stage-{}", i + 1));
         let subset: Vec<TemporalPathSample> = stage.iter().map(|&i| data[i].clone()).collect();
         model.train_observed(&subset, labeler, 1, observer);
     }
     // Final stage S_{M+1}: the whole training set until convergence
     // (cfg.epochs at reproduction scale).
+    observer.on_phase("final");
     model.train_observed(data, labeler, cfg.epochs, observer);
     model.into_representer(name)
 }

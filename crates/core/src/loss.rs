@@ -158,6 +158,15 @@ pub fn wsc_loss_with_temperature(
     let global =
         if lambda > 0.0 { global_wsc_with_temperature(g, batch, temperature) } else { None };
     let local = if lambda < 1.0 { local_wsc(g, batch, rng, edges_per_side) } else { None };
+    // Expose the raw objective terms to observers. Must happen before the
+    // in-place combination below recycles these nodes' buffers; tracking is
+    // read-only and leaves the tape untouched.
+    if let Some(gl) = global {
+        g.track_scalar("wsc/global", gl);
+    }
+    if let Some(lo) = local {
+        g.track_scalar("wsc/local", lo);
+    }
     let objective = match (global, local) {
         (Some(gl), Some(lo)) => {
             let a = g.scale_inplace(gl, lambda);

@@ -139,6 +139,33 @@ impl WscModel {
         self.trainer.pool_stats()
     }
 
+    /// Start per-op tape profiling for every subsequent training step.
+    /// Profiling observes timing only and never changes the math.
+    pub fn enable_profiling(&mut self) {
+        self.trainer.enable_profiling();
+    }
+
+    /// Merged per-op forward/backward timings across all shards.
+    pub fn profile(&self) -> wsccl_obs::TapeProfile {
+        self.trainer.profile()
+    }
+
+    /// Discard accumulated profile data (profiling stays enabled).
+    pub fn reset_profile(&mut self) {
+        self.trainer.reset_profile();
+    }
+
+    /// Install a numeric anomaly guard on the underlying trainer. The guard
+    /// watches every step's loss and gradient norm.
+    pub fn set_anomaly_guard(&mut self, guard: wsccl_obs::AnomalyGuard) {
+        self.trainer.set_anomaly_guard(guard);
+    }
+
+    /// The installed anomaly guard, if any, with its recorded events.
+    pub fn anomaly_guard(&self) -> Option<&wsccl_obs::AnomalyGuard> {
+        self.trainer.anomaly_guard()
+    }
+
     /// One optimization step over `cfg.shards` data-parallel sub-batches.
     /// Returns the mean shard loss, or `None` if no shard had usable
     /// contrastive structure.
@@ -443,15 +470,20 @@ mod tests {
         // The acceptance test for engine checkpointing: train A for 4 epochs
         // straight; train B for 2 epochs, checkpoint through bytes (as a
         // killed and restarted process would), resume, train 2 more. Loss
-        // histories and final embeddings must agree bit for bit.
+        // histories and final embeddings must agree bit for bit. B logs both
+        // halves through a JSONL observer — run logging must neither perturb
+        // the math nor break across a kill/resume boundary.
+        use wsccl_train::JsonlObserver;
         let (ds, enc) = quick_setup();
         let cfg = WscclConfig { shards: 2, ..WscclConfig::tiny() };
 
         let mut a = WscModel::new(Arc::clone(&enc), cfg.clone(), 9);
         a.train(&ds.unlabeled, &PopLabeler, 4);
 
+        let mut log = JsonlObserver::new(Vec::new());
+        log.set_phase("before-kill");
         let mut b = WscModel::new(Arc::clone(&enc), cfg, 9);
-        b.train(&ds.unlabeled, &PopLabeler, 2);
+        b.train_observed(&ds.unlabeled, &PopLabeler, 2, &mut log);
         let mut buf = Vec::new();
         b.checkpoint(11).write_to(&mut buf).expect("write checkpoint");
         drop(b);
@@ -459,7 +491,22 @@ mod tests {
         // The encoder tables are deterministic per (config, seed); sharing
         // the Arc here mirrors `resume` without re-running node2vec.
         let mut b = WscModel::resume_with_encoder(Arc::clone(&enc), cp);
-        b.train(&ds.unlabeled, &PopLabeler, 2);
+        log.set_phase("after-resume");
+        b.train_observed(&ds.unlabeled, &PopLabeler, 2, &mut log);
+
+        // The log spans the kill: step records in both phases, step counters
+        // continuing (not restarting) after resume.
+        let text = String::from_utf8(log.into_inner()).expect("utf8 log");
+        let steps: Vec<wsccl_train::StepLine> = text
+            .lines()
+            .filter_map(|l| serde_json::from_str(l).ok())
+            .filter(|s: &wsccl_train::StepLine| s.record == "step")
+            .collect();
+        assert!(steps.iter().any(|s| s.phase == "before-kill"));
+        assert!(steps.iter().any(|s| s.phase == "after-resume"));
+        for w in steps.windows(2) {
+            assert!(w[1].step > w[0].step, "step counter must survive the resume");
+        }
 
         assert_eq!(a.loss_history, b.loss_history, "resumed loss history must match");
         for s in ds.unlabeled.iter().take(5) {

@@ -41,6 +41,9 @@
 //! test suite (see `tests/gradcheck.rs` and [`crate::gradcheck`]).
 
 use std::mem;
+use std::time::Instant;
+
+use wsccl_obs::TapeProfiler;
 
 use crate::params::{GradStore, ParamId, Parameters};
 use crate::pool::TensorPool;
@@ -130,7 +133,145 @@ enum Op {
     },
 }
 
+/// Discriminant-only view of [`Op`](self), public so tooling can reason about
+/// the full op vocabulary: the tape profiler keys its per-op timings on
+/// [`OpKind::name`], and the gradcheck sweep (`tests/gradcheck.rs`) enumerates
+/// [`OpKind::ALL`] to prove every op has a finite-difference check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    Input,
+    Param,
+    MatMul,
+    MatMulNt,
+    Add,
+    AddRow,
+    Sub,
+    Mul,
+    Scale,
+    Sigmoid,
+    Tanh,
+    Relu,
+    SliceCols,
+    ConcatCols,
+    ConcatRows,
+    MeanRows,
+    SumAll,
+    SoftmaxRows,
+    CosSim,
+    Dot,
+    LogSumExp,
+    CrossEntropy,
+    EmbedLookup,
+    Ln,
+    LayerNormRows,
+    SliceRows,
+    Affine,
+    LstmCell,
+}
+
+impl OpKind {
+    /// Every op kind the tape supports, in declaration order. Keep in sync
+    /// with [`Op`](self) — `op_kind` fails to compile on a missing arm, and
+    /// the gradcheck sweep fails on a missing entry here.
+    pub const ALL: [OpKind; 28] = [
+        OpKind::Input,
+        OpKind::Param,
+        OpKind::MatMul,
+        OpKind::MatMulNt,
+        OpKind::Add,
+        OpKind::AddRow,
+        OpKind::Sub,
+        OpKind::Mul,
+        OpKind::Scale,
+        OpKind::Sigmoid,
+        OpKind::Tanh,
+        OpKind::Relu,
+        OpKind::SliceCols,
+        OpKind::ConcatCols,
+        OpKind::ConcatRows,
+        OpKind::MeanRows,
+        OpKind::SumAll,
+        OpKind::SoftmaxRows,
+        OpKind::CosSim,
+        OpKind::Dot,
+        OpKind::LogSumExp,
+        OpKind::CrossEntropy,
+        OpKind::EmbedLookup,
+        OpKind::Ln,
+        OpKind::LayerNormRows,
+        OpKind::SliceRows,
+        OpKind::Affine,
+        OpKind::LstmCell,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Input => "Input",
+            OpKind::Param => "Param",
+            OpKind::MatMul => "MatMul",
+            OpKind::MatMulNt => "MatMulNt",
+            OpKind::Add => "Add",
+            OpKind::AddRow => "AddRow",
+            OpKind::Sub => "Sub",
+            OpKind::Mul => "Mul",
+            OpKind::Scale => "Scale",
+            OpKind::Sigmoid => "Sigmoid",
+            OpKind::Tanh => "Tanh",
+            OpKind::Relu => "Relu",
+            OpKind::SliceCols => "SliceCols",
+            OpKind::ConcatCols => "ConcatCols",
+            OpKind::ConcatRows => "ConcatRows",
+            OpKind::MeanRows => "MeanRows",
+            OpKind::SumAll => "SumAll",
+            OpKind::SoftmaxRows => "SoftmaxRows",
+            OpKind::CosSim => "CosSim",
+            OpKind::Dot => "Dot",
+            OpKind::LogSumExp => "LogSumExp",
+            OpKind::CrossEntropy => "CrossEntropy",
+            OpKind::EmbedLookup => "EmbedLookup",
+            OpKind::Ln => "Ln",
+            OpKind::LayerNormRows => "LayerNormRows",
+            OpKind::SliceRows => "SliceRows",
+            OpKind::Affine => "Affine",
+            OpKind::LstmCell => "LstmCell",
+        }
+    }
+}
+
 impl Op {
+    fn kind(&self) -> OpKind {
+        match self {
+            Op::Input => OpKind::Input,
+            Op::Param(_) => OpKind::Param,
+            Op::MatMul(..) => OpKind::MatMul,
+            Op::MatMulNt(..) => OpKind::MatMulNt,
+            Op::Add(..) => OpKind::Add,
+            Op::AddRow(..) => OpKind::AddRow,
+            Op::Sub(..) => OpKind::Sub,
+            Op::Mul(..) => OpKind::Mul,
+            Op::Scale(..) => OpKind::Scale,
+            Op::Sigmoid(_) => OpKind::Sigmoid,
+            Op::Tanh(_) => OpKind::Tanh,
+            Op::Relu(_) => OpKind::Relu,
+            Op::SliceCols(..) => OpKind::SliceCols,
+            Op::ConcatCols(_) => OpKind::ConcatCols,
+            Op::ConcatRows(_) => OpKind::ConcatRows,
+            Op::MeanRows(_) => OpKind::MeanRows,
+            Op::SumAll(_) => OpKind::SumAll,
+            Op::SoftmaxRows(_) => OpKind::SoftmaxRows,
+            Op::CosSim(..) => OpKind::CosSim,
+            Op::Dot(..) => OpKind::Dot,
+            Op::LogSumExp(_) => OpKind::LogSumExp,
+            Op::CrossEntropy(..) => OpKind::CrossEntropy,
+            Op::EmbedLookup(..) => OpKind::EmbedLookup,
+            Op::Ln(_) => OpKind::Ln,
+            Op::LayerNormRows(..) => OpKind::LayerNormRows,
+            Op::SliceRows(..) => OpKind::SliceRows,
+            Op::Affine { .. } => OpKind::Affine,
+            Op::LstmCell { .. } => OpKind::LstmCell,
+        }
+    }
+
     /// Whether this op's backward rule reads its **own output** value. The
     /// value buffer of such a node must never be stolen by an in-place op.
     fn backward_reads_own_value(&self) -> bool {
@@ -170,6 +311,14 @@ pub struct Graph<'p> {
     grads: GradStore,
     nodes: Vec<Node>,
     pool: Option<&'p mut TensorPool>,
+    /// Optional per-op timing sink (see [`Graph::set_profiler`]). Like the
+    /// pool, pure execution state: attaching one never changes the math.
+    profiler: Option<&'p mut TapeProfiler>,
+    /// Timestamp of the previous node push while profiling, so forward time
+    /// is attributed per op without instrumenting every op method.
+    fwd_mark: Option<Instant>,
+    /// Named scalar values recorded via [`Graph::track_scalar`] (loss terms).
+    tracked: Vec<(&'static str, f64)>,
 }
 
 // -------------------------------------------------------------- pool helpers
@@ -231,13 +380,58 @@ impl<'p> Graph<'p> {
     /// Start a fresh tape over the given parameter store, allocating every
     /// tensor buffer from the global heap.
     pub fn new(params: &'p Parameters) -> Self {
-        Self { params, grads: GradStore::new(), nodes: Vec::with_capacity(256), pool: None }
+        Self {
+            params,
+            grads: GradStore::new(),
+            nodes: Vec::with_capacity(256),
+            pool: None,
+            profiler: None,
+            fwd_mark: None,
+            tracked: Vec::new(),
+        }
     }
 
     /// Start a fresh tape that draws all tensor buffers from `pool` and
     /// returns them when dropped. Arithmetic is identical to [`Graph::new`].
     pub fn new_in(params: &'p Parameters, pool: &'p mut TensorPool) -> Self {
-        Self { params, grads: GradStore::new(), nodes: Vec::with_capacity(256), pool: Some(pool) }
+        Self {
+            params,
+            grads: GradStore::new(),
+            nodes: Vec::with_capacity(256),
+            pool: Some(pool),
+            profiler: None,
+            fwd_mark: None,
+            tracked: Vec::new(),
+        }
+    }
+
+    /// Attach a per-op timing profiler for this tape's lifetime. Forward time
+    /// is attributed at node-push (so host-side glue between two pushes bills
+    /// to the later op); backward time is measured per node in
+    /// [`Graph::backward`]. Observability only — the computed values are
+    /// bit-identical with or without a profiler.
+    pub fn set_profiler(&mut self, profiler: &'p mut TapeProfiler) {
+        self.fwd_mark = Some(Instant::now());
+        self.profiler = Some(profiler);
+    }
+
+    /// Record the current value of a `1 × 1` node under a stable name —
+    /// the hook loss functions use to expose their individual terms to
+    /// observers. Read-only: tracking a node never changes the tape.
+    pub fn track_scalar(&mut self, name: &'static str, id: NodeId) {
+        assert_eq!(self.nodes[id.0].shape, (1, 1), "track_scalar on non-scalar `{name}`");
+        let value = self.val(id).item();
+        self.tracked.push((name, value));
+    }
+
+    /// Scalars recorded by [`Graph::track_scalar`], in recording order.
+    pub fn tracked(&self) -> &[(&'static str, f64)] {
+        &self.tracked
+    }
+
+    /// Take the tracked scalars out of the tape (e.g. before `finish`).
+    pub fn take_tracked(&mut self) -> Vec<(&'static str, f64)> {
+        mem::take(&mut self.tracked)
     }
 
     /// Read-only access to the underlying parameters.
@@ -294,6 +488,12 @@ impl<'p> Graph<'p> {
     }
 
     fn push(&mut self, op: Op, value: Tensor, needs_grad: bool) -> NodeId {
+        if let Some(p) = self.profiler.as_deref_mut() {
+            let now = Instant::now();
+            if let Some(mark) = self.fwd_mark.replace(now) {
+                p.record_forward(op.kind().name(), (now - mark).as_nanos() as u64);
+            }
+        }
         let shape = value.shape();
         self.nodes.push(Node { op, value, shape, grad: None, needs_grad, uses: 0, stolen: false });
         NodeId(self.nodes.len() - 1)
@@ -918,7 +1118,7 @@ impl<'p> Graph<'p> {
     /// (see [`Graph::grads`] / [`Graph::into_grads`] / [`Graph::finish`]).
     pub fn backward(&mut self, loss: NodeId) {
         assert_eq!(self.nodes[loss.0].shape, (1, 1), "backward from non-scalar");
-        let Self { params, grads, nodes, pool } = self;
+        let Self { params, grads, nodes, pool, profiler, .. } = self;
         let params: &Parameters = params;
 
         let mut seed = take_grad(nodes, pool, loss);
@@ -933,6 +1133,7 @@ impl<'p> Graph<'p> {
             // buffers can be borrowed freely; both are restored below.
             let Some(g) = nodes[i].grad.take() else { continue };
             let op = mem::replace(&mut nodes[i].op, Op::Input);
+            let bwd_mark = profiler.as_ref().map(|_| Instant::now());
             match &op {
                 Op::Input => {}
                 Op::Param(pid) => {
@@ -1415,6 +1616,9 @@ impl<'p> Graph<'p> {
                     pool_put(pool, dz);
                     pool_put(pool, dc_old);
                 }
+            }
+            if let (Some(p), Some(mark)) = (profiler.as_deref_mut(), bwd_mark) {
+                p.record_backward(op.kind().name(), mark.elapsed().as_nanos() as u64);
             }
             nodes[i].op = op;
             nodes[i].grad = Some(g);

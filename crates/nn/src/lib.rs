@@ -25,7 +25,7 @@ pub mod params;
 pub mod pool;
 pub mod tensor;
 
-pub use graph::{Activation, Graph, NodeId};
+pub use graph::{Activation, Graph, NodeId, OpKind};
 pub use params::{GradStore, ParamId, Parameters};
 pub use pool::{PoolStats, TensorPool};
 pub use tensor::Tensor;

@@ -652,6 +652,504 @@ fn pooled_graph_grad() {
     assert!(pool.stats().reuses > 0, "pool was never reused across gradcheck evaluations");
 }
 
+/// Completeness sweep: every [`OpKind`] the tape can record must map to a
+/// registered finite-difference check, so adding a new op without a gradcheck
+/// fails this test rather than silently shipping an unverified backward.
+mod sweep {
+    use super::*;
+    use wsccl_nn::OpKind;
+
+    /// Param, Mul, SumAll.
+    fn params_square() {
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let a = p.register("a", rand_tensor(&mut rng, 2, 3));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let an = g.param(a);
+                let sq = g.mul(an, an);
+                let l = g.sum_all(sq);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// Input (constant operand mixed into a param-dependent loss).
+    fn input_times_param() {
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let a = p.register("a", rand_tensor(&mut rng, 2, 3));
+        let x = rand_tensor(&mut rng, 2, 3);
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let an = g.param(a);
+                let xn = g.input(x.clone());
+                let m = g.mul(an, xn);
+                let l = g.sum_all(m);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// MatMul.
+    fn matmul() {
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let a = p.register("a", rand_tensor(&mut rng, 2, 3));
+        let b = p.register("b", rand_tensor(&mut rng, 3, 4));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let (an, bn) = (g.param(a), g.param(b));
+                let c = g.matmul(an, bn);
+                let l = g.sum_all(c);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// MatMulNt.
+    fn matmul_nt() {
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let a = p.register("a", rand_tensor(&mut rng, 2, 3));
+        let b = p.register("b", rand_tensor(&mut rng, 4, 3));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let (an, bn) = (g.param(a), g.param(b));
+                let c = g.matmul_nt(an, bn);
+                let sq = g.mul(c, c);
+                let l = g.sum_all(sq);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// Add, Sub, Scale.
+    fn elementwise() {
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let a = p.register("a", rand_tensor(&mut rng, 3, 3));
+        let b = p.register("b", rand_tensor(&mut rng, 3, 3));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let (an, bn) = (g.param(a), g.param(b));
+                let s = g.add(an, bn);
+                let d = g.sub(s, bn);
+                let sc = g.scale(d, 0.7);
+                let m = g.mul(sc, bn);
+                let l = g.sum_all(m);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// AddRow.
+    fn add_row() {
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let a = p.register("a", rand_tensor(&mut rng, 3, 4));
+        let r = p.register("r", rand_tensor(&mut rng, 1, 4));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let (an, rn) = (g.param(a), g.param(r));
+                let s = g.add_row(an, rn);
+                let sq = g.mul(s, s);
+                let l = g.sum_all(sq);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// Sigmoid, Tanh.
+    fn activations() {
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let a = p.register("a", rand_tensor(&mut rng, 2, 4));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let an = g.param(a);
+                let s = g.sigmoid(an);
+                let t = g.tanh(s);
+                let l = g.sum_all(t);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// Relu, at points away from the kink.
+    fn relu() {
+        let mut p = Parameters::new();
+        let a = p.register("a", Tensor::from_vec(1, 4, vec![0.5, -0.5, 1.5, -2.0]));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let an = g.param(a);
+                let r = g.relu(an);
+                let sq = g.mul(r, r);
+                let l = g.sum_all(sq);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// Ln, on strictly positive values.
+    fn ln() {
+        let mut p = Parameters::new();
+        let a = p.register("a", Tensor::from_vec(1, 3, vec![0.5, 1.5, 2.5]));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let an = g.param(a);
+                let l0 = g.ln(an);
+                let l = g.sum_all(l0);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// SliceCols, ConcatCols.
+    fn slice_concat_cols() {
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let a = p.register("a", rand_tensor(&mut rng, 2, 6));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let an = g.param(a);
+                let left = g.slice_cols(an, 0, 3);
+                let right = g.slice_cols(an, 3, 6);
+                let m = g.mul(left, right);
+                let back = g.concat_cols(&[m, left]);
+                let l = g.sum_all(back);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// SliceRows, ConcatRows (with overlapping slices).
+    fn slice_concat_rows() {
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let a = p.register("a", rand_tensor(&mut rng, 5, 3));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let an = g.param(a);
+                let top = g.slice_rows(an, 0, 2);
+                let mid = g.slice_rows(an, 1, 4);
+                let tail = g.slice_rows(an, 3, 4);
+                let joined = g.concat_rows(&[top, tail]);
+                let prod = g.mul(mid, joined);
+                let l = g.sum_all(prod);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// MeanRows.
+    fn mean_rows() {
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let a = p.register("a", rand_tensor(&mut rng, 4, 3));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let an = g.param(a);
+                let m = g.mean_rows(an);
+                let sq = g.mul(m, m);
+                let l = g.sum_all(sq);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// SoftmaxRows.
+    fn softmax() {
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let a = p.register("a", rand_tensor(&mut rng, 3, 4));
+        let w = p.register("w", rand_tensor(&mut rng, 3, 4));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let (an, wn) = (g.param(a), g.param(w));
+                let s = g.softmax_rows(an);
+                let m = g.mul(s, wn);
+                let l = g.sum_all(m);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// CosSim.
+    fn cos_sim() {
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let a = p.register("a", rand_tensor(&mut rng, 1, 5));
+        let b = p.register("b", rand_tensor(&mut rng, 1, 5));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let (an, bn) = (g.param(a), g.param(b));
+                let c = g.cos_sim(an, bn);
+                g.finish(c)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// Dot.
+    fn dot() {
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let a = p.register("a", rand_tensor(&mut rng, 1, 5));
+        let b = p.register("b", rand_tensor(&mut rng, 1, 5));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let (an, bn) = (g.param(a), g.param(b));
+                let d = g.dot(an, bn);
+                let sq = g.mul(d, d);
+                g.finish(sq)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// LogSumExp.
+    fn log_sum_exp() {
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let a = p.register("a", rand_tensor(&mut rng, 1, 1));
+        let b = p.register("b", rand_tensor(&mut rng, 1, 1));
+        let c = p.register("c", rand_tensor(&mut rng, 1, 1));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let (an, bn, cn) = (g.param(a), g.param(b), g.param(c));
+                let l = g.log_sum_exp(&[an, bn, cn]);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// CrossEntropy.
+    fn cross_entropy() {
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let a = p.register("logits", rand_tensor(&mut rng, 1, 5));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let an = g.param(a);
+                let l = g.cross_entropy(an, 2);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// EmbedLookup, with a repeated index so gradients accumulate per row.
+    fn embed_lookup() {
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let table = p.register("table", rand_tensor(&mut rng, 5, 3));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let e = g.embed_lookup(table, &[0, 2, 2, 4]);
+                let sq = g.mul(e, e);
+                let l = g.sum_all(sq);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// LayerNormRows.
+    fn layer_norm() {
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let a = p.register("a", rand_tensor(&mut rng, 3, 5));
+        let w = p.register("w", rand_tensor(&mut rng, 3, 5));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let (an, wn) = (g.param(a), g.param(w));
+                let ln = g.layer_norm_rows(an, 1e-5);
+                let m = g.mul(ln, wn);
+                let l = g.sum_all(m);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// Affine (fused matmul + bias + activation).
+    fn affine() {
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let w = p.register("w", rand_tensor(&mut rng, 3, 2));
+        let b = p.register("b", rand_tensor(&mut rng, 1, 2));
+        let x = p.register("x", rand_tensor(&mut rng, 4, 3));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let xn = g.param(x);
+                let y = g.affine(xn, w, Some(b), Activation::Tanh);
+                let sq = g.mul(y, y);
+                let l = g.sum_all(sq);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// LstmCell (fused step, both halves of the h‖c output in the loss).
+    fn lstm_cell() {
+        let (in_dim, hidden) = (2, 3);
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let wx = p.register("wx", rand_tensor(&mut rng, in_dim, 4 * hidden));
+        let wh = p.register("wh", rand_tensor(&mut rng, hidden, 4 * hidden));
+        let b = p.register("b", rand_tensor(&mut rng, 1, 4 * hidden));
+        let x = p.register("x", rand_tensor(&mut rng, 2, in_dim));
+        let h = p.register("h", rand_tensor(&mut rng, 2, hidden));
+        let c = p.register("c", rand_tensor(&mut rng, 2, hidden));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let (xn, hn, cn) = (g.param(x), g.param(h), g.param(c));
+                let hc = g.lstm_cell(xn, hn, cn, wx, wh, b, hidden);
+                let sq = g.mul(hc, hc);
+                let l = g.sum_all(sq);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
+    /// The registry: every tape op kind → the check that exercises it. A
+    /// check may cover several kinds, but every kind must appear.
+    fn registry() -> Vec<(OpKind, fn())> {
+        vec![
+            (OpKind::Input, input_times_param),
+            (OpKind::Param, params_square),
+            (OpKind::MatMul, matmul),
+            (OpKind::MatMulNt, matmul_nt),
+            (OpKind::Add, elementwise),
+            (OpKind::AddRow, add_row),
+            (OpKind::Sub, elementwise),
+            (OpKind::Mul, params_square),
+            (OpKind::Scale, elementwise),
+            (OpKind::Sigmoid, activations),
+            (OpKind::Tanh, activations),
+            (OpKind::Relu, relu),
+            (OpKind::SliceCols, slice_concat_cols),
+            (OpKind::ConcatCols, slice_concat_cols),
+            (OpKind::ConcatRows, slice_concat_rows),
+            (OpKind::MeanRows, mean_rows),
+            (OpKind::SumAll, params_square),
+            (OpKind::SoftmaxRows, softmax),
+            (OpKind::CosSim, cos_sim),
+            (OpKind::Dot, dot),
+            (OpKind::LogSumExp, log_sum_exp),
+            (OpKind::CrossEntropy, cross_entropy),
+            (OpKind::EmbedLookup, embed_lookup),
+            (OpKind::Ln, ln),
+            (OpKind::LayerNormRows, layer_norm),
+            (OpKind::SliceRows, slice_concat_rows),
+            (OpKind::Affine, affine),
+            (OpKind::LstmCell, lstm_cell),
+        ]
+    }
+
+    #[test]
+    fn every_op_kind_has_a_registered_gradcheck() {
+        let checks = registry();
+        let missing: Vec<&str> = OpKind::ALL
+            .iter()
+            .filter(|kind| !checks.iter().any(|(k, _)| k == *kind))
+            .map(|kind| kind.name())
+            .collect();
+        assert!(
+            missing.is_empty(),
+            "op kinds without a finite-difference gradcheck: {missing:?} — \
+             register one in sweep::registry()"
+        );
+        // Run each distinct check once.
+        let mut fns: Vec<fn()> = checks.iter().map(|&(_, f)| f).collect();
+        fns.sort_by_key(|f| *f as usize);
+        fns.dedup_by_key(|f| *f as usize);
+        for f in fns {
+            f();
+        }
+    }
+}
+
 #[test]
 fn slice_rows_grad() {
     let mut rng = rng();

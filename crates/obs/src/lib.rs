@@ -1,0 +1,28 @@
+//! Observability primitives for the WSCCL stack: a lock-free metrics
+//! registry, scoped tracing spans, a tape profiler for the autodiff graph,
+//! and numeric anomaly guards.
+//!
+//! Design constraints (see DESIGN.md §9):
+//!
+//! * **Zero dependencies.** This crate sits below `wsccl-nn`; everything is
+//!   `std`-only so instrumentation never drags a dependency into the math.
+//! * **Near-no-op when disabled.** Metric handles are `Arc`-backed atomics
+//!   guarded by one relaxed load; the [`Registry`] mutex is touched only at
+//!   registration. The global registry starts *disabled* — an uninstrumented
+//!   run pays a branch per recording site and nothing else.
+//! * **Bit-for-bit invisible to training.** Nothing in this crate feeds back
+//!   into model math: profilers and guards observe values, they never alter
+//!   them. The obs-invariance tests in `tests/observability.rs` enforce
+//!   identical loss/parameter streams with observability on vs off.
+
+mod anomaly;
+mod metrics;
+mod profile;
+mod span;
+
+pub use anomaly::{AnomalyEvent, AnomalyGuard, AnomalyKind, AnomalyPolicy};
+pub use metrics::{
+    global, Counter, Gauge, Histogram, HistogramSample, MetricsSnapshot, Registry, Sample,
+};
+pub use profile::{OpProfile, OpTiming, TapeProfile, TapeProfiler};
+pub use span::Span;

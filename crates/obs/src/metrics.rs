@@ -1,0 +1,395 @@
+//! Lock-free metrics: counters, gauges, and fixed-bucket histograms.
+//!
+//! A [`Registry`] owns the name → metric table behind a mutex that is locked
+//! only at registration; the handles it returns ([`Counter`], [`Gauge`],
+//! [`Histogram`]) are `Arc`-backed atomics that threads update without any
+//! lock. Every handle shares the registry's enabled flag, so disabling a
+//! registry turns every recording site into a relaxed load plus a branch.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The process-wide default registry, **disabled** until someone calls
+/// `global().set_enabled(true)`. Library code records into it
+/// unconditionally; uninstrumented runs pay one branch per site.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::disabled)
+}
+
+struct CounterInner {
+    enabled: Arc<AtomicBool>,
+    value: AtomicU64,
+}
+
+/// Monotonically increasing integer metric.
+#[derive(Clone)]
+pub struct Counter(Arc<CounterInner>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        if self.0.enabled.load(Ordering::Relaxed) {
+            self.0.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.value.load(Ordering::Relaxed)
+    }
+}
+
+struct GaugeInner {
+    enabled: Arc<AtomicBool>,
+    /// `f64` bits; a gauge is a last-write-wins sample, not an accumulator.
+    bits: AtomicU64,
+}
+
+/// Last-write-wins floating-point metric.
+#[derive(Clone)]
+pub struct Gauge(Arc<GaugeInner>);
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        if self.0.enabled.load(Ordering::Relaxed) {
+            self.0.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.bits.load(Ordering::Relaxed))
+    }
+}
+
+struct HistogramInner {
+    enabled: Arc<AtomicBool>,
+    /// Upper bounds of the finite buckets, ascending. `counts` has one extra
+    /// slot at the end for values above the last bound.
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Running sum as `f64` bits, updated with a CAS loop (no float atomics
+    /// on stable).
+    sum_bits: AtomicU64,
+}
+
+/// Fixed-bucket histogram. Bucket bounds are set at registration and never
+/// change; recording is a binary search plus two relaxed atomic updates.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    pub fn record(&self, v: f64) {
+        let h = &*self.0;
+        if !h.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let idx = h.bounds.partition_point(|&b| b < v);
+        h.counts[idx].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = h.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match h.sum_bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Default bucket bounds for millisecond latencies (spans, step times).
+pub(crate) const TIME_MS_BUCKETS: &[f64] =
+    &[0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 5000.0];
+
+#[derive(Default)]
+struct Tables {
+    counters: HashMap<String, Counter>,
+    gauges: HashMap<String, Gauge>,
+    histograms: HashMap<String, Histogram>,
+}
+
+/// Named metric registry. Cheap handles, one mutex hit per registration.
+pub struct Registry {
+    enabled: Arc<AtomicBool>,
+    tables: Mutex<Tables>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// A registry that records from the start.
+    pub fn new() -> Self {
+        Self { enabled: Arc::new(AtomicBool::new(true)), tables: Mutex::new(Tables::default()) }
+    }
+
+    /// A registry whose handles are no-ops until [`Registry::set_enabled`].
+    pub fn disabled() -> Self {
+        let r = Self::new();
+        r.set_enabled(false);
+        r
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Flip recording on or off for every handle this registry ever issued.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut t = self.tables.lock().expect("metrics registry poisoned");
+        t.counters
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Counter(Arc::new(CounterInner {
+                    enabled: Arc::clone(&self.enabled),
+                    value: AtomicU64::new(0),
+                }))
+            })
+            .clone()
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut t = self.tables.lock().expect("metrics registry poisoned");
+        t.gauges
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Gauge(Arc::new(GaugeInner {
+                    enabled: Arc::clone(&self.enabled),
+                    bits: AtomicU64::new(f64::NAN.to_bits()),
+                }))
+            })
+            .clone()
+    }
+
+    /// Get or create the histogram `name`. Bounds are fixed by whoever
+    /// registers first; later callers share the existing buckets.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let mut t = self.tables.lock().expect("metrics registry poisoned");
+        t.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                debug_assert!(
+                    bounds.windows(2).all(|w| w[0] < w[1]),
+                    "histogram bounds must be strictly ascending"
+                );
+                Histogram(Arc::new(HistogramInner {
+                    enabled: Arc::clone(&self.enabled),
+                    bounds: bounds.to_vec(),
+                    counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                    count: AtomicU64::new(0),
+                    sum_bits: AtomicU64::new(0f64.to_bits()),
+                }))
+            })
+            .clone()
+    }
+
+    /// Histogram with the default millisecond-latency buckets.
+    pub fn latency_ms(&self, name: &str) -> Histogram {
+        self.histogram(name, TIME_MS_BUCKETS)
+    }
+
+    /// Time a scope into the `latency_ms` histogram `name`; see [`crate::Span`].
+    pub fn span(&self, name: &str) -> crate::Span {
+        crate::Span::enter(self, name)
+    }
+
+    /// Zero every registered metric (handles stay valid). For benchmarks and
+    /// tests that want per-window readings.
+    pub fn reset(&self) {
+        let t = self.tables.lock().expect("metrics registry poisoned");
+        for c in t.counters.values() {
+            c.0.value.store(0, Ordering::Relaxed);
+        }
+        for g in t.gauges.values() {
+            g.0.bits.store(f64::NAN.to_bits(), Ordering::Relaxed);
+        }
+        for h in t.histograms.values() {
+            for c in &h.0.counts {
+                c.store(0, Ordering::Relaxed);
+            }
+            h.0.count.store(0, Ordering::Relaxed);
+            h.0.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Consistent-enough point-in-time read of every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let t = self.tables.lock().expect("metrics registry poisoned");
+        let mut counters: Vec<Sample<u64>> =
+            t.counters.iter().map(|(n, c)| Sample { name: n.clone(), value: c.get() }).collect();
+        let mut gauges: Vec<Sample<f64>> =
+            t.gauges.iter().map(|(n, g)| Sample { name: n.clone(), value: g.get() }).collect();
+        let mut histograms: Vec<HistogramSample> = t
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                let buckets =
+                    h.0.bounds
+                        .iter()
+                        .zip(&h.0.counts)
+                        .map(|(&le, c)| (le, c.load(Ordering::Relaxed)))
+                        .collect();
+                HistogramSample {
+                    name: n.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets,
+                    overflow: h.0.counts[h.0.bounds.len()].load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+}
+
+/// Point-in-time view of every metric in a registry, sorted by name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<Sample<u64>>,
+    pub gauges: Vec<Sample<f64>>,
+    pub histograms: Vec<HistogramSample>,
+}
+
+/// One named metric reading.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample<T> {
+    pub name: String,
+    pub value: T,
+}
+
+/// Point-in-time histogram reading. `buckets` pairs each finite upper bound
+/// with the count of values at or below it (non-cumulative); `overflow`
+/// counts values above the last bound.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSample {
+    pub name: String,
+    pub count: u64,
+    pub sum: f64,
+    pub buckets: Vec<(f64, u64)>,
+    pub overflow: u64,
+}
+
+impl HistogramSample {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_record_when_enabled() {
+        let r = Registry::new();
+        let c = r.counter("steps");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = r.gauge("loss");
+        g.set(0.25);
+        assert_eq!(g.get(), 0.25);
+        // Re-registration returns the same underlying metric.
+        assert_eq!(r.counter("steps").get(), 5);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::disabled();
+        let c = r.counter("steps");
+        let g = r.gauge("loss");
+        let h = r.latency_ms("step_ms");
+        c.inc();
+        g.set(1.0);
+        h.record(3.0);
+        assert_eq!(c.get(), 0);
+        assert!(g.get().is_nan());
+        assert_eq!(h.count(), 0);
+        r.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let r = Registry::new();
+        let h = r.histogram("h", &[1.0, 10.0]);
+        for v in [0.5, 1.0, 2.0, 50.0] {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        let hs = &snap.histograms[0];
+        assert_eq!(hs.count, 4);
+        assert_eq!(hs.sum, 53.5);
+        // `le` is inclusive: 0.5 and 1.0 land in the first bucket.
+        assert_eq!(hs.buckets, vec![(1.0, 2), (10.0, 1)]);
+        assert_eq!(hs.overflow, 1);
+        assert_eq!(hs.mean(), 53.5 / 4.0);
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let r = Registry::new();
+        let h = r.histogram("h", &[10.0]);
+        let c = r.counter("c");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.record(i as f64 % 7.0);
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.count(), 4000);
+        let expected: f64 = (0..1000).map(|i| (i % 7) as f64).sum::<f64>() * 4.0;
+        assert!((h.sum() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_reset_zeroes() {
+        let r = Registry::new();
+        r.counter("b").inc();
+        r.counter("a").add(2);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        r.reset();
+        assert_eq!(r.counter("a").get(), 0);
+        assert_eq!(r.counter("b").get(), 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Scoped tracing spans: time a lexical scope into a latency histogram.
+
+use std::time::Instant;
+
+use crate::metrics::Registry;
+
+/// Times the scope between [`Span::enter`] and drop, recording the elapsed
+/// milliseconds into the registry's `latency_ms` histogram of the same name.
+///
+/// Against a disabled registry the span is inert — it does not even read the
+/// clock — so wrapping hot scopes is safe.
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    live: Option<(crate::Histogram, Instant)>,
+}
+
+impl Span {
+    pub fn enter(registry: &Registry, name: &str) -> Self {
+        let live = registry.enabled().then(|| (registry.latency_ms(name), Instant::now()));
+        Span { live }
+    }
+
+    /// End the span early (identical to dropping it).
+    pub fn exit(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((hist, start)) = self.live.take() {
+            hist.record(start.elapsed().as_secs_f64() * 1000.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_latency_histogram() {
+        let r = Registry::new();
+        {
+            let _s = r.span("stage");
+            std::hint::black_box(0);
+        }
+        r.span("stage").exit();
+        let snap = r.snapshot();
+        assert_eq!(snap.histograms[0].name, "stage");
+        assert_eq!(snap.histograms[0].count, 2);
+        assert!(snap.histograms[0].sum >= 0.0);
+    }
+
+    #[test]
+    fn span_against_disabled_registry_is_inert() {
+        let r = Registry::disabled();
+        r.span("stage").exit();
+        assert!(r.snapshot().histograms.is_empty());
+    }
+}

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use wsccl_nn::optim::{Adam, Sgd};
 use wsccl_nn::{GradStore, Graph, NodeId, Parameters, TensorPool};
+use wsccl_obs::{AnomalyGuard, AnomalyKind, Counter, Gauge, Histogram, TapeProfile, TapeProfiler};
 
 use crate::checkpoint::TrainerState;
 use crate::observe::{EpochRecord, StepRecord, TrainObserver};
@@ -81,7 +82,7 @@ impl Optimizer {
 }
 
 /// What one applied optimizer step produced.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct StepOutcome {
     /// Mean loss over the shards that contributed.
     pub loss: f64,
@@ -89,32 +90,90 @@ pub struct StepOutcome {
     pub grad_norm: f64,
     /// Learning rate applied at this step.
     pub lr: f64,
+    /// Tracked loss terms, averaged over contributing shards in ascending
+    /// shard order (empty when the model tracks nothing).
+    pub terms: Vec<(&'static str, f64)>,
+    /// Wall time per shard in milliseconds, indexed by shard.
+    pub shard_ms: Vec<f64>,
 }
 
+/// What one shard's tape produced: loss value, parameter gradients, and any
+/// scalars the loss builder tracked.
+type ShardResult = Option<(f64, GradStore, Vec<(&'static str, f64)>)>;
+
 /// Execute one shard: fresh tape (pooled when a pool is supplied), build the
-/// loss, backprop. Identical math with and without a pool.
+/// loss, backprop. Identical math with and without a pool or profiler.
+/// Returns the result plus the shard's wall time in milliseconds.
 fn run_shard<T: Trainable>(
     model: &T,
     params: &Parameters,
     batch: &T::Batch,
     seed: u64,
     mut pool: Option<&mut TensorPool>,
-) -> Option<(f64, GradStore)> {
+    profiler: Option<&mut TapeProfiler>,
+) -> (ShardResult, f64) {
+    let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = match pool.as_deref_mut() {
         Some(p) => Graph::new_in(params, p),
         None => Graph::new(params),
     };
-    let loss = model.build_loss(&mut g, batch, &mut rng)?;
+    if let Some(pr) = profiler {
+        g.set_profiler(pr);
+    }
+    let Some(loss) = model.build_loss(&mut g, batch, &mut rng) else {
+        return (None, start.elapsed().as_secs_f64() * 1000.0);
+    };
+    let terms = g.take_tracked();
     let (value, grads) = g.finish(loss);
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
     if value.is_finite() {
-        Some((value, grads))
+        (Some((value, grads, terms)), elapsed_ms)
     } else {
         // Skipped shard: still hand the gradient buffers home.
         if let Some(p) = pool.as_deref_mut() {
             grads.release_into(p);
         }
-        None
+        (None, elapsed_ms)
+    }
+}
+
+/// Name the first parameter whose gradient holds a non-finite element, for
+/// anomaly-event context. Only runs after an anomaly was detected.
+fn non_finite_grad_context(params: &Parameters, grads: &GradStore) -> String {
+    for id in params.ids() {
+        if let Some(g) = grads.grad(id) {
+            if let Some(v) = g.data().iter().find(|v| !v.is_finite()) {
+                return format!("param `{}` gradient element is {v}", params.name(id));
+            }
+        }
+    }
+    "no single offending parameter (non-finite arose in reduction)".to_string()
+}
+
+/// Cached handles into the global metrics registry ([`wsccl_obs::global`]).
+/// Registered once per trainer; recording is a relaxed atomic op, and a
+/// no-op while the global registry is disabled (the default).
+struct EngineMetrics {
+    steps: Counter,
+    skipped_steps: Counter,
+    step_ms: Histogram,
+    loss: Gauge,
+    grad_norm: Gauge,
+    lr: Gauge,
+}
+
+impl EngineMetrics {
+    fn new() -> Self {
+        let r = wsccl_obs::global();
+        Self {
+            steps: r.counter("train.steps"),
+            skipped_steps: r.counter("train.skipped_steps"),
+            step_ms: r.latency_ms("train.step_ms"),
+            loss: r.gauge("train.loss"),
+            grad_norm: r.gauge("train.grad_norm"),
+            lr: r.gauge("train.lr"),
+        }
     }
 }
 
@@ -137,6 +196,14 @@ pub struct Trainer {
     /// Persistent shard workers, started on the first `threads > 1` step.
     /// Replaces the old spawn-per-step scoped threads (see DESIGN.md §8).
     workers: Option<WorkerPool>,
+    /// Per-shard tape profilers, populated when profiling is enabled. Like
+    /// `pools`, pure execution state: shard `s` always writes `profilers[s]`.
+    profilers: Vec<TapeProfiler>,
+    profiling: bool,
+    /// Optional numeric anomaly guard watching losses and gradients.
+    guard: Option<AnomalyGuard>,
+    /// Handles into the global metrics registry (no-ops while it's disabled).
+    metrics: EngineMetrics,
 }
 
 impl Trainer {
@@ -148,7 +215,19 @@ impl Trainer {
     pub fn new(spec: TrainSpec) -> Self {
         let optimizer = Optimizer::new(spec.optimizer, spec.lr);
         let rng = StdRng::seed_from_u64(spec.seed ^ Self::SEED_SALT);
-        Self { spec, optimizer, rng, step: 0, epoch: 0, pools: Vec::new(), workers: None }
+        Self {
+            spec,
+            optimizer,
+            rng,
+            step: 0,
+            epoch: 0,
+            pools: Vec::new(),
+            workers: None,
+            profilers: Vec::new(),
+            profiling: false,
+            guard: None,
+            metrics: EngineMetrics::new(),
+        }
     }
 
     pub fn spec(&self) -> &TrainSpec {
@@ -188,6 +267,10 @@ impl Trainer {
             epoch: state.epoch,
             pools: Vec::new(),
             workers: None,
+            profilers: Vec::new(),
+            profiling: false,
+            guard: None,
+            metrics: EngineMetrics::new(),
         }
     }
 
@@ -205,6 +288,46 @@ impl Trainer {
         total
     }
 
+    /// Start recording per-op tape timings for every subsequent step. Pure
+    /// observability — the training trajectory is unchanged (test-enforced).
+    pub fn enable_profiling(&mut self) {
+        self.profiling = true;
+    }
+
+    pub fn profiling_enabled(&self) -> bool {
+        self.profiling
+    }
+
+    /// Merged per-op forward/backward timings across all shard profilers.
+    pub fn profile(&self) -> TapeProfile {
+        let mut merged = TapeProfiler::new();
+        for p in &self.profilers {
+            merged.merge(p);
+        }
+        merged.snapshot()
+    }
+
+    /// Zero the accumulated per-op timings (e.g. after a warmup window).
+    pub fn reset_profile(&mut self) {
+        for p in &mut self.profilers {
+            p.clear();
+        }
+    }
+
+    /// Attach a numeric anomaly guard. Under `Record`/`Warn` policies the
+    /// guard never alters the trajectory; `Abort` panics with context.
+    pub fn set_anomaly_guard(&mut self, guard: AnomalyGuard) {
+        self.guard = Some(guard);
+    }
+
+    pub fn anomaly_guard(&self) -> Option<&AnomalyGuard> {
+        self.guard.as_ref()
+    }
+
+    pub fn take_anomaly_guard(&mut self) -> Option<AnomalyGuard> {
+        self.guard.take()
+    }
+
     /// One optimizer step over `spec.shards` data-parallel shards. Shard
     /// seeds are drawn upfront in shard order from the engine RNG; shard
     /// gradients are reduced in ascending shard index; the averaged gradient
@@ -216,25 +339,36 @@ impl Trainer {
         params: &mut Parameters,
         batch: &T::Batch,
     ) -> Option<StepOutcome> {
+        let step_start = Instant::now();
         let shards = self.spec.shards.max(1);
         let seeds: Vec<u64> = (0..shards).map(|_| self.rng.random()).collect();
         let threads = self.spec.threads.max(1).min(shards);
         let pooling = self.spec.pool_buffers;
+        let profiling = self.profiling;
         let step_index = self.step;
         self.step += 1;
 
         if pooling && self.pools.len() < shards {
             self.pools.resize_with(shards, TensorPool::new);
         }
+        if profiling && self.profilers.len() < shards {
+            self.profilers.resize_with(shards, TapeProfiler::new);
+        }
 
-        let results: Vec<Option<(f64, GradStore)>> = if threads == 1 {
+        let mut shard_ms = vec![0.0f64; shards];
+        let results: Vec<ShardResult> = if threads == 1 {
             let shared: &T = model;
+            let pools = &mut self.pools;
+            let profilers = &mut self.profilers;
             seeds
                 .iter()
                 .enumerate()
                 .map(|(s, &seed)| {
-                    let pool = if pooling { self.pools.get_mut(s) } else { None };
-                    run_shard(shared, params, batch, seed, pool)
+                    let pool = if pooling { pools.get_mut(s) } else { None };
+                    let prof = if profiling { profilers.get_mut(s) } else { None };
+                    let (r, ms) = run_shard(shared, params, batch, seed, pool, prof);
+                    shard_ms[s] = ms;
+                    r
                 })
                 .collect()
         } else {
@@ -250,32 +384,51 @@ impl Trainer {
             let shared: &T = model;
             let params: &Parameters = params;
             // Hand each worker its fixed shard partition t, t+threads, …
-            // together with exclusive &mut access to those shards' pools.
+            // together with exclusive &mut access to those shards' pools
+            // and profilers.
             let mut pool_slots: Vec<Option<&mut TensorPool>> = if pooling {
                 self.pools.iter_mut().take(shards).map(Some).collect()
             } else {
                 (0..shards).map(|_| None).collect()
             };
-            let (res_tx, res_rx) = mpsc::channel::<(usize, Option<(f64, GradStore)>)>();
+            let mut prof_slots: Vec<Option<&mut TapeProfiler>> = if profiling {
+                self.profilers.iter_mut().take(shards).map(Some).collect()
+            } else {
+                (0..shards).map(|_| None).collect()
+            };
+            let (res_tx, res_rx) = mpsc::channel::<(usize, ShardResult, f64)>();
             let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(threads);
             for t in 0..threads {
-                let mut my_shards: Vec<(usize, u64, Option<&mut TensorPool>)> = (t..shards)
+                let mut my_shards: Vec<(
+                    usize,
+                    u64,
+                    Option<&mut TensorPool>,
+                    Option<&mut TapeProfiler>,
+                )> = (t..shards)
                     .step_by(threads)
-                    .map(|s| (s, seeds[s], pool_slots[s].take()))
+                    .map(|s| (s, seeds[s], pool_slots[s].take(), prof_slots[s].take()))
                     .collect();
                 let tx = res_tx.clone();
                 jobs.push(Box::new(move || {
-                    for (s, seed, pool) in my_shards.iter_mut() {
-                        let r = run_shard(shared, params, batch, *seed, pool.as_deref_mut());
-                        let _ = tx.send((*s, r));
+                    for (s, seed, pool, prof) in my_shards.iter_mut() {
+                        let (r, ms) = run_shard(
+                            shared,
+                            params,
+                            batch,
+                            *seed,
+                            pool.as_deref_mut(),
+                            prof.as_deref_mut(),
+                        );
+                        let _ = tx.send((*s, r, ms));
                     }
                 }));
             }
             drop(res_tx);
             workers.scoped_run(jobs);
-            let mut results: Vec<Option<(f64, GradStore)>> = (0..shards).map(|_| None).collect();
-            for (s, r) in res_rx.try_iter() {
+            let mut results: Vec<ShardResult> = (0..shards).map(|_| None).collect();
+            for (s, r, ms) in res_rx.try_iter() {
                 results[s] = r;
+                shard_ms[s] = ms;
             }
             results
         };
@@ -287,21 +440,54 @@ impl Trainer {
         let mut total = GradStore::new();
         let mut loss_sum = 0.0;
         let mut used = 0usize;
+        let mut terms: Vec<(&'static str, f64)> = Vec::new();
+        let mut term_counts: Vec<u32> = Vec::new();
         for (s, result) in results.into_iter().enumerate() {
-            let Some((value, grads)) = result else { continue };
+            let Some((value, grads, shard_terms)) = result else { continue };
             if pooling {
                 total.accumulate_pooled(grads, &mut self.pools[s]);
             } else {
                 total.accumulate(&grads);
             }
+            // Sum tracked terms in ascending shard order (deterministic).
+            for (name, v) in shard_terms {
+                match terms.iter().position(|(n, _)| *n == name) {
+                    Some(i) => {
+                        terms[i].1 += v;
+                        term_counts[i] += 1;
+                    }
+                    None => {
+                        terms.push((name, v));
+                        term_counts.push(1);
+                    }
+                }
+            }
             loss_sum += value;
             used += 1;
         }
+        self.metrics.steps.inc();
         if used == 0 {
+            self.metrics.skipped_steps.inc();
+            self.metrics.step_ms.record(step_start.elapsed().as_secs_f64() * 1000.0);
+            if let Some(guard) = self.guard.as_mut() {
+                // Every shard's loss came out non-finite (or no shard ran).
+                guard.observe_loss(step_index, f64::NAN);
+            }
             return None;
+        }
+        for ((_, v), n) in terms.iter_mut().zip(&term_counts) {
+            *v /= f64::from(*n);
         }
         total.scale(1.0 / used as f64);
         let grad_norm = total.norm();
+        let loss = loss_sum / used as f64;
+        if let Some(guard) = self.guard.as_mut() {
+            guard.observe_loss(step_index, loss);
+            if !grad_norm.is_finite() {
+                let context = non_finite_grad_context(params, &total);
+                guard.report(step_index, AnomalyKind::NonFiniteGradient, grad_norm, context);
+            }
+        }
         if let Some(clip) = self.spec.grad_clip {
             if grad_norm > clip && grad_norm > 0.0 {
                 total.scale(clip / grad_norm);
@@ -314,7 +500,11 @@ impl Trainer {
             total.release_into(&mut self.pools[0]);
         }
         model.after_step(params, batch);
-        Some(StepOutcome { loss: loss_sum / used as f64, grad_norm, lr })
+        self.metrics.loss.set(loss);
+        self.metrics.grad_norm.set(grad_norm);
+        self.metrics.lr.set(lr);
+        self.metrics.step_ms.record(step_start.elapsed().as_secs_f64() * 1000.0);
+        Some(StepOutcome { loss, grad_norm, lr, terms, shard_ms })
     }
 
     /// Train for `epochs` epochs, returning the mean loss per epoch. Fires
@@ -338,13 +528,13 @@ impl Trainer {
                 let step = self.step;
                 let step_start = Instant::now();
                 let outcome = self.step(model, params, batch);
-                let (loss, grad_norm, lr) = match outcome {
+                let (loss, grad_norm, lr, terms, shard_ms) = match outcome {
                     Some(o) => {
                         loss_sum += o.loss;
                         applied += 1;
-                        (o.loss, o.grad_norm, o.lr)
+                        (o.loss, o.grad_norm, o.lr, o.terms, o.shard_ms)
                     }
-                    None => (f64::NAN, 0.0, 0.0),
+                    None => (f64::NAN, 0.0, 0.0, Vec::new(), Vec::new()),
                 };
                 observer.on_step(&StepRecord {
                     epoch,
@@ -353,6 +543,8 @@ impl Trainer {
                     grad_norm,
                     lr,
                     elapsed: step_start.elapsed(),
+                    terms,
+                    shard_ms,
                 });
             }
             let mean_loss = if applied > 0 { loss_sum / applied as f64 } else { f64::NAN };
@@ -516,6 +708,131 @@ mod tests {
             params_a.value(model_a.w).item().to_bits(),
             params_b.value(model_b.w).item().to_bits()
         );
+    }
+
+    #[test]
+    fn profiling_and_guard_are_invisible_to_training() {
+        // Observability fully on (per-op profiler + anomaly guard) vs fully
+        // off: bit-identical losses and final parameters.
+        let run = |observed: bool| {
+            let (mut params, mut model) = setup();
+            let spec = TrainSpec { shards: 2, ..TrainSpec::adam(0.05, 3, 21) };
+            let mut trainer = Trainer::new(spec);
+            if observed {
+                trainer.enable_profiling();
+                trainer.set_anomaly_guard(AnomalyGuard::new(wsccl_obs::AnomalyPolicy::Record));
+            }
+            let hist = trainer.run(&mut model, &mut params, 3, &mut NoopObserver);
+            if observed {
+                let profile = trainer.profile();
+                assert!(!profile.ops.is_empty(), "profiler must have seen ops");
+                assert!(profile.get("Mul").is_some(), "quadratic loss uses Mul");
+                assert!(trainer.anomaly_guard().unwrap().events().is_empty());
+            }
+            let bits: Vec<u64> = hist.iter().map(|l| l.to_bits()).collect();
+            (bits, params.value(model.w).item().to_bits())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn tracked_terms_are_averaged_across_shards() {
+        struct Tracked {
+            w: wsccl_nn::ParamId,
+        }
+        impl Trainable for Tracked {
+            type Batch = usize;
+            fn epoch_batches(&mut self, _epoch: u64, _rng: &mut StdRng) -> Vec<usize> {
+                vec![0]
+            }
+            fn build_loss(
+                &self,
+                g: &mut Graph<'_>,
+                _batch: &usize,
+                rng: &mut StdRng,
+            ) -> Option<NodeId> {
+                let jitter = rng.random_range(0.0..1.0);
+                let w = g.param(self.w);
+                let t = g.input(wsccl_nn::Tensor::scalar(jitter));
+                let d = g.sub(w, t);
+                let sq = g.mul(d, d);
+                g.track_scalar("loss/sq", sq);
+                let scaled = g.scale(sq, 0.5);
+                g.track_scalar("loss/scaled", scaled);
+                Some(scaled)
+            }
+        }
+        let mut params = Parameters::new();
+        let w = params.register("w", Tensor::scalar(1.0));
+        let mut model = Tracked { w };
+        let mut trainer = Trainer::new(TrainSpec { shards: 3, ..TrainSpec::adam(0.01, 1, 4) });
+        let outcome = trainer.step(&mut model, &mut params, &0).expect("step applies");
+        assert_eq!(outcome.terms.len(), 2);
+        assert_eq!(outcome.terms[0].0, "loss/sq");
+        assert_eq!(outcome.terms[1].0, "loss/scaled");
+        // The mean of the scaled term over shards is half the mean sq term,
+        // and the scaled term *is* the loss.
+        assert!((outcome.terms[1].1 - outcome.terms[0].1 * 0.5).abs() < 1e-12);
+        assert_eq!(outcome.terms[1].1.to_bits(), outcome.loss.to_bits());
+        assert_eq!(outcome.shard_ms.len(), 3);
+        assert!(outcome.shard_ms.iter().all(|&ms| ms >= 0.0));
+    }
+
+    #[test]
+    fn guard_names_offending_param_on_non_finite_gradient() {
+        // ln(w) at the smallest subnormal: the loss is finite (≈ −744.44) but
+        // d/dw ln(w) = 1/w overflows to +inf — a real non-finite gradient
+        // from finite arithmetic, caught by the guard with the param's name.
+        struct LnLoss {
+            w: wsccl_nn::ParamId,
+        }
+        impl Trainable for LnLoss {
+            type Batch = usize;
+            fn epoch_batches(&mut self, _epoch: u64, _rng: &mut StdRng) -> Vec<usize> {
+                vec![0]
+            }
+            fn build_loss(
+                &self,
+                g: &mut Graph<'_>,
+                _batch: &usize,
+                _rng: &mut StdRng,
+            ) -> Option<NodeId> {
+                let w = g.param(self.w);
+                Some(g.ln(w))
+            }
+        }
+        let mut params = Parameters::new();
+        let w = params.register("enc.tiny", Tensor::scalar(f64::MIN_POSITIVE * f64::EPSILON));
+        assert!(params.value(w).item() > 0.0, "weight must be a positive subnormal");
+        let mut model = LnLoss { w };
+        let mut trainer = Trainer::new(TrainSpec::adam(0.1, 1, 1));
+        trainer.set_anomaly_guard(AnomalyGuard::new(wsccl_obs::AnomalyPolicy::Record));
+        let outcome = trainer.step(&mut model, &mut params, &0).expect("loss is finite");
+        assert!(outcome.loss.is_finite());
+        assert!(!outcome.grad_norm.is_finite());
+        let events = trainer.anomaly_guard().unwrap().events();
+        let grad_event = events
+            .iter()
+            .find(|e| e.kind == AnomalyKind::NonFiniteGradient)
+            .expect("guard must flag the gradient");
+        assert!(
+            grad_event.context.contains("enc.tiny"),
+            "event must name the offending param, got: {}",
+            grad_event.context
+        );
+    }
+
+    #[test]
+    fn injected_nan_gradient_is_attributed_to_its_param() {
+        let mut params = Parameters::new();
+        let a = params.register("layer.ok", Tensor::scalar(1.0));
+        let b = params.register("layer.bad", Tensor::scalar(2.0));
+        let mut grads = GradStore::new();
+        grads.entry(a, 1, 1).data_mut()[0] = 0.5;
+        grads.entry(b, 1, 1).data_mut()[0] = f64::NAN;
+        let ctx = non_finite_grad_context(&params, &grads);
+        assert!(ctx.contains("layer.bad"), "context was: {ctx}");
+        assert!(!ctx.contains("layer.ok"));
     }
 
     #[test]

@@ -25,12 +25,16 @@
 
 pub mod checkpoint;
 pub mod engine;
+pub mod jsonl;
 pub mod observe;
 pub mod spec;
 pub mod worker;
 
 pub use checkpoint::TrainerState;
 pub use engine::{Optimizer, StepOutcome, Trainable, Trainer};
+pub use jsonl::{
+    run_log_path, EpochLine, HistogramLine, JsonlObserver, MetricsLine, PhaseLine, StepLine,
+};
 pub use observe::{EpochRecord, LossCurve, NoopObserver, StepRecord, TrainObserver};
 pub use spec::{LrSchedule, OptimizerKind, TrainSpec};
 pub use worker::WorkerPool;

@@ -5,7 +5,7 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 
 /// Everything the engine knows about one optimizer step.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct StepRecord {
     /// Global epoch counter (across multiple `run` calls on one trainer).
     pub epoch: u64,
@@ -19,6 +19,13 @@ pub struct StepRecord {
     /// Learning rate actually applied (base rate × schedule factor).
     pub lr: f64,
     pub elapsed: Duration,
+    /// Named loss terms the loss builder exposed via
+    /// `Graph::track_scalar`, averaged over contributing shards in ascending
+    /// shard order (empty when the model tracks nothing).
+    pub terms: Vec<(&'static str, f64)>,
+    /// Wall time per shard in milliseconds, indexed by shard (includes
+    /// skipped shards — they still ran their tape).
+    pub shard_ms: Vec<f64>,
 }
 
 impl StepRecord {
@@ -45,6 +52,9 @@ pub struct EpochRecord {
 pub trait TrainObserver {
     fn on_step(&mut self, _record: &StepRecord) {}
     fn on_epoch(&mut self, _record: &EpochRecord) {}
+    /// A named training phase began (curriculum stage, expert pre-training,
+    /// final stage, …). Fired by multi-stage drivers, not by the engine.
+    fn on_phase(&mut self, _name: &str) {}
 }
 
 /// Observer that ignores everything.
@@ -87,5 +97,9 @@ impl<T: TrainObserver + ?Sized> TrainObserver for &mut T {
 
     fn on_epoch(&mut self, record: &EpochRecord) {
         (**self).on_epoch(record);
+    }
+
+    fn on_phase(&mut self, name: &str) {
+        (**self).on_phase(name);
     }
 }
