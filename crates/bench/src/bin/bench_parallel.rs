@@ -28,7 +28,9 @@ use wsccl_core::wsc::WscModel;
 use wsccl_core::PathRepresenter;
 use wsccl_datagen::{CityDataset, DatasetConfig};
 use wsccl_nn::layers::Lstm;
-use wsccl_nn::{Graph, NodeId, Parameters};
+use wsccl_nn::{
+    kernels, Graph, KernelBackend, Kernels, NodeId, Parameters, ScalarKernels, SimdKernels,
+};
 use wsccl_roadnet::CityProfile;
 use wsccl_traffic::PopLabeler;
 use wsccl_train::{TrainSpec, Trainable, Trainer};
@@ -70,10 +72,55 @@ struct KernelTiming {
     peak_live: usize,
 }
 
+/// Raw per-backend throughput for one matmul kernel shape (logical output
+/// `m×n`, inner dimension `k`; the `nt`/`tn` variants are the LSTM backward
+/// shapes of the same logical product).
+#[derive(Serialize)]
+struct MatmulRate {
+    op: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    scalar_gflops: f64,
+    simd_gflops: f64,
+    speedup: f64,
+}
+
+/// WSCCL train-step time with the kernel backend pinned.
+#[derive(Serialize)]
+struct BackendStep {
+    backend: &'static str,
+    steps: usize,
+    ms_per_step: f64,
+}
+
+/// Single-path embedding latency: the f64 tape oracle vs the frozen f32
+/// inference path under each backend.
+#[derive(Serialize)]
+struct EmbedLatency {
+    path_len: usize,
+    reps: usize,
+    f64_tape_us: f64,
+    f32_scalar_us: f64,
+    f32_simd_us: f64,
+}
+
+/// The `kernels` section of `BENCH_kernels.json`: scalar-vs-SIMD backend
+/// comparison (microkernel GFLOP/s, pinned-backend train steps, and the f32
+/// inference fast path).
+#[derive(Serialize)]
+struct KernelsSection {
+    simd_available: bool,
+    matmul: Vec<MatmulRate>,
+    wsccl_step: Vec<BackendStep>,
+    embed: EmbedLatency,
+}
+
 #[derive(Serialize)]
 struct KernelReport {
     host_cores: usize,
     train_step: Vec<KernelTiming>,
+    kernels: KernelsSection,
 }
 
 #[derive(Serialize)]
@@ -124,6 +171,115 @@ impl Trainable for LstmBench {
         let ln = g.ln(sig);
         Some(g.scale_inplace(ln, -1.0))
     }
+}
+
+/// GFLOP/s for one matmul shape under both backends. `m`/`k`/`n` describe the
+/// logical `m×n = m×k · k×n` product; the `nt`/`tn` rows time the transposed
+/// layouts the LSTM backward pass uses for the same product.
+fn matmul_rate(op: &'static str, m: usize, k: usize, n: usize) -> MatmulRate {
+    // Non-zero inputs: `matmul_acc` skips a == 0.0, which would flatter both
+    // backends equally but measure the wrong thing.
+    let a: Vec<f64> = (0..m * k).map(|i| 0.5 + (i % 13) as f64 * 0.07).collect();
+    let b: Vec<f64> = (0..k * n).map(|i| 0.25 + (i % 11) as f64 * 0.05).collect();
+    let flops = (2 * m * k * n) as f64;
+    let time_backend = |kn: &dyn Kernels| -> f64 {
+        let mut out = vec![0.0f64; m * n];
+        // ~2e8 flops per measurement keeps even the 1-row shapes over ~50 ms.
+        let reps = ((2e8 / flops) as usize).clamp(100, 2_000_000);
+        let run = |out: &mut [f64]| match op {
+            "matmul_acc" => kn.matmul_acc(m, k, n, &a, &b, out),
+            "matmul_nt_acc" => kn.matmul_nt_acc(m, k, n, &a, &b, out),
+            "matmul_tn_acc" => kn.matmul_tn_acc(k, m, n, &a, &b, out),
+            _ => unreachable!("unknown matmul op {op}"),
+        };
+        for _ in 0..reps / 10 {
+            run(&mut out);
+        }
+        out.fill(0.0);
+        let t = Instant::now();
+        for _ in 0..reps {
+            run(&mut out);
+        }
+        let secs = t.elapsed().as_secs_f64();
+        std::hint::black_box(&out);
+        flops * reps as f64 / secs / 1e9
+    };
+    let scalar_gflops = time_backend(&ScalarKernels);
+    let simd_gflops = time_backend(&SimdKernels);
+    let row = MatmulRate {
+        op,
+        m,
+        k,
+        n,
+        scalar_gflops,
+        simd_gflops,
+        speedup: simd_gflops / scalar_gflops,
+    };
+    println!(
+        "matmul {op:>13} {m}x{k}*{k}x{n}: scalar {scalar_gflops:.2} GFLOP/s, \
+         simd {simd_gflops:.2} GFLOP/s ({:.2}x)",
+        row.speedup
+    );
+    row
+}
+
+/// WSCCL train-step time with the backend pinned via `kernels::force` (sound:
+/// the f64 backends are bit-identical, so swapping mid-process cannot change
+/// the training trajectory). Reports the best of several timed repetitions —
+/// the standard min-of-k estimator for a noisy shared host, where every
+/// slowdown is external interference rather than the code under test.
+fn time_wsccl_backend(
+    enc: &Arc<TemporalPathEncoder>,
+    ds: &CityDataset,
+    backend: KernelBackend,
+    steps: usize,
+) -> BackendStep {
+    let name = kernels::force(backend);
+    let mut model = warm_pooled_model(enc, ds);
+    let mut ms_per_step = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..steps {
+            model.train_step(&ds.unlabeled, &PopLabeler);
+        }
+        ms_per_step = ms_per_step.min(t.elapsed().as_secs_f64() * 1000.0 / steps as f64);
+    }
+    println!("kernels WSCCL backend={name}: {ms_per_step:.2} ms/step");
+    BackendStep { backend: name, steps, ms_per_step }
+}
+
+/// Single-path embedding latency: f64 tape oracle vs the frozen f32 path
+/// under each backend, on the longest TTE path (worst case).
+fn embed_latency(enc: &Arc<TemporalPathEncoder>, ds: &CityDataset) -> EmbedLatency {
+    let mut model = WscModel::new(Arc::clone(enc), WscclConfig::tiny(), 1);
+    for _ in 0..3 {
+        model.train_step(&ds.unlabeled, &PopLabeler);
+    }
+    let rep = model.into_representer("WSCCL");
+    assert!(rep.has_frozen_path(), "LSTM encoder must freeze to an f32 inference path");
+    let s = ds.tte.iter().max_by_key(|s| s.path.len()).expect("TTE set non-empty");
+    let reps = 2000;
+    let time_us = |f: &dyn Fn() -> Vec<f64>| -> f64 {
+        for _ in 0..reps / 10 {
+            std::hint::black_box(f());
+        }
+        let t = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(f());
+        }
+        t.elapsed().as_secs_f64() * 1e6 / reps as f64
+    };
+    let f64_tape_us = time_us(&|| rep.represent(&ds.net, &s.path, s.departure));
+    kernels::force(KernelBackend::Scalar);
+    let f32_scalar_us = time_us(&|| rep.embed(&s.path, s.departure));
+    kernels::force(KernelBackend::Simd);
+    let f32_simd_us = time_us(&|| rep.embed(&s.path, s.departure));
+    println!(
+        "embed 1 path (len {}): f64 tape {f64_tape_us:.1} us, \
+         f32 scalar {f32_scalar_us:.1} us, f32 simd {f32_simd_us:.1} us",
+        s.path.len()
+    );
+    EmbedLatency { path_len: s.path.len(), reps, f64_tape_us, f32_scalar_us, f32_simd_us }
 }
 
 fn time_wsccl_kernels(
@@ -381,6 +537,23 @@ fn main() {
     std::fs::write("BENCH_parallel.json", json).expect("write BENCH_parallel.json");
     println!("wrote BENCH_parallel.json");
 
+    // Backend comparison. The LSTM matmul shapes at reproduction scale: the
+    // forward `x·Wx` products plus the `nt`/`tn` transposed layouts of the
+    // backward pass, at batch 1 (the per-edge LSTM cell) and batch 16.
+    let matmul = vec![
+        matmul_rate("matmul_acc", 1, 51, 128),
+        matmul_rate("matmul_acc", 1, 32, 128),
+        matmul_rate("matmul_nt_acc", 1, 51, 128),
+        matmul_rate("matmul_tn_acc", 1, 51, 128),
+        matmul_rate("matmul_acc", 16, 51, 128),
+    ];
+    let wsccl_step = vec![
+        time_wsccl_backend(&enc, &ds, KernelBackend::Scalar, 20),
+        time_wsccl_backend(&enc, &ds, KernelBackend::Simd, 20),
+    ];
+    let embed = embed_latency(&enc, &ds);
+    kernels::force(KernelBackend::Auto);
+
     let kernels = KernelReport {
         host_cores,
         train_step: vec![
@@ -389,6 +562,12 @@ fn main() {
             time_lstm_kernels(&ds, false, 40),
             time_lstm_kernels(&ds, true, 40),
         ],
+        kernels: KernelsSection {
+            simd_available: wsccl_nn::kernels::simd_available(),
+            matmul,
+            wsccl_step,
+            embed,
+        },
     };
     let json = serde_json::to_string(&kernels).expect("serialize kernel report");
     std::fs::write("BENCH_kernels.json", json).expect("write BENCH_kernels.json");

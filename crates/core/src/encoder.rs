@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use wsccl_graphembed::{Node2VecConfig, RoadEmbeddings, TemporalEmbeddings};
 use wsccl_nn::layers::{Embedding, Linear, Lstm, TransformerBlock};
-use wsccl_nn::{Graph, NodeId, ParamId, Parameters};
+use wsccl_nn::{kernels, GatherPart, Graph, InferTensor, NodeId, ParamId, Parameters};
 use wsccl_roadnet::{EdgeFeatures, Path, RoadNetwork, RoadType};
 use wsccl_traffic::SimTime;
 
@@ -277,25 +277,27 @@ impl TemporalPathEncoder {
         departure: SimTime,
     ) -> (NodeId, Vec<NodeId>) {
         assert!(!path.is_empty(), "cannot encode an empty path");
-        // Frozen temporal embedding, shared across the path's edges. All
-        // constant inputs go through `input_row`, drawing pooled buffers on
-        // the training hot path instead of per-edge heap allocations.
-        let t_all = self.temporal.as_ref().map(|t| g.input_row(t.embed(departure)));
+        // Frozen temporal embedding, shared across the path's edges. Each
+        // edge's input row `[t | topo | rt | l | o | ts | phys]` is assembled
+        // by one fused `gather_concat_row` node — constant rows and the four
+        // categorical table rows in a single tape op instead of a per-part
+        // `EmbedLookup`/`Input` chain plus a `ConcatCols`.
+        let t_all = self.temporal.as_ref().map(|t| t.embed(departure));
 
         let mut inputs = Vec::with_capacity(path.len());
         for &e in path.edges() {
             let f = &self.feat[e.index()];
-            let rt = w.emb_rt.forward(g, &[f.road_type.index()]);
-            let l = w.emb_l.forward(g, &[f.lanes_index()]);
-            let o = w.emb_o.forward(g, &[f.one_way as usize]);
-            let ts = w.emb_ts.forward(g, &[f.signals as usize]);
-            let topo = g.input_row(&self.topo[e.index()]);
-            let phys = g.input_row(&self.phys[e.index()]);
-            let x = match t_all {
-                Some(t) => g.concat_cols(&[t, topo, rt, l, o, ts, phys]),
-                None => g.concat_cols(&[topo, rt, l, o, ts, phys]),
-            };
-            inputs.push(x);
+            let mut parts = Vec::with_capacity(7);
+            if let Some(t) = t_all {
+                parts.push(GatherPart::Const(t));
+            }
+            parts.push(GatherPart::Const(&self.topo[e.index()]));
+            parts.push(GatherPart::Row(w.emb_rt.param_id(), f.road_type.index()));
+            parts.push(GatherPart::Row(w.emb_l.param_id(), f.lanes_index()));
+            parts.push(GatherPart::Row(w.emb_o.param_id(), f.one_way as usize));
+            parts.push(GatherPart::Row(w.emb_ts.param_id(), f.signals as usize));
+            parts.push(GatherPart::Const(&self.phys[e.index()]));
+            inputs.push(g.gather_concat_row(&parts));
         }
         let sters = match &w.seq {
             SeqWeights::Lstm(lstm) => lstm.forward(g, &inputs),
@@ -336,6 +338,156 @@ impl TemporalPathEncoder {
             v.iter_mut().for_each(|x| *x *= n);
         }
         v
+    }
+
+    /// Freeze trained weights into the f32 inference representation used by
+    /// the tape-free [`TemporalPathEncoder::embed_frozen`] fast path.
+    ///
+    /// The per-edge input row is constant once training ends (topology,
+    /// categorical embeddings, and physical features don't depend on the
+    /// departure time), so it is precomputed per edge — inference then only
+    /// prepends the temporal row. Returns `None` for the Transformer
+    /// architecture, which keeps using the f64 tape.
+    pub fn freeze(&self, params: &Parameters, w: &EncoderWeights) -> Option<FrozenEncoder> {
+        let SeqWeights::Lstm(lstm) = &w.seq else { return None };
+        let t_dim = if self.cfg.use_temporal { self.cfg.d_tem } else { 0 };
+        let input_dim = self.cfg.input_dim();
+        let s_dim = input_dim - t_dim;
+        let num_edges = self.feat.len();
+
+        let emb_row = |emb: &Embedding, idx: usize| -> Vec<f64> {
+            params.value(emb.param_id()).row_slice(idx).to_vec()
+        };
+        let mut static_rows = Vec::with_capacity(num_edges * s_dim);
+        for e in 0..num_edges {
+            let f = &self.feat[e];
+            static_rows.extend(self.topo[e].iter().map(|&v| v as f32));
+            static_rows.extend(emb_row(&w.emb_rt, f.road_type.index()).iter().map(|&v| v as f32));
+            static_rows.extend(emb_row(&w.emb_l, f.lanes_index()).iter().map(|&v| v as f32));
+            static_rows.extend(emb_row(&w.emb_o, f.one_way as usize).iter().map(|&v| v as f32));
+            static_rows.extend(emb_row(&w.emb_ts, f.signals as usize).iter().map(|&v| v as f32));
+            static_rows.extend(self.phys[e].iter().map(|&v| v as f32));
+        }
+        debug_assert_eq!(static_rows.len(), num_edges * s_dim);
+
+        let layers = lstm
+            .layer_params()
+            .iter()
+            .map(|&(wx, wh, b)| FrozenLstmLayer {
+                in_dim: params.value(wx).rows(),
+                wx: InferTensor::from_tensor(params.value(wx)),
+                wh: InferTensor::from_tensor(params.value(wh)),
+                b: params.value(b).data().iter().map(|&v| v as f32).collect(),
+            })
+            .collect();
+
+        Some(FrozenEncoder {
+            hidden: self.cfg.hidden,
+            input_dim,
+            t_dim,
+            s_dim,
+            sum_inference: self.cfg.sum_inference,
+            static_rows,
+            layers,
+        })
+    }
+
+    /// Tape-free f32 inference: one path embedding entirely through the
+    /// active [`wsccl_nn::kernels`] backend's f32 kernels.
+    ///
+    /// Matches [`TemporalPathEncoder::embed`] up to f32 rounding — the drift
+    /// bound is asserted by the `f32_embedding_drift` test and documented in
+    /// DESIGN.md.
+    pub fn embed_frozen(
+        &self,
+        frozen: &FrozenEncoder,
+        path: &Path,
+        departure: SimTime,
+    ) -> Vec<f64> {
+        assert!(!path.is_empty(), "cannot encode an empty path");
+        let kn = kernels::active();
+        let (hidden, t_dim, s_dim) = (frozen.hidden, frozen.t_dim, frozen.s_dim);
+        let nl = frozen.layers.len();
+
+        let t_row: Vec<f32> = match self.temporal.as_ref() {
+            Some(t) => t.embed(departure).iter().map(|&v| v as f32).collect(),
+            None => Vec::new(),
+        };
+
+        // Flat per-layer state, plus one input row reused across layers.
+        let mut h = vec![0f32; nl * hidden];
+        let mut c = vec![0f32; nl * hidden];
+        let mut z = vec![0f32; 4 * hidden];
+        let mut cur = vec![0f32; frozen.input_dim.max(hidden)];
+        let mut acc = vec![0f32; hidden];
+
+        for &e in path.edges() {
+            let idx = e.index();
+            cur[..t_dim].copy_from_slice(&t_row[..t_dim]);
+            cur[t_dim..t_dim + s_dim]
+                .copy_from_slice(&frozen.static_rows[idx * s_dim..(idx + 1) * s_dim]);
+            let mut in_dim = frozen.input_dim;
+            for (li, layer) in frozen.layers.iter().enumerate() {
+                debug_assert_eq!(layer.in_dim, in_dim);
+                z.copy_from_slice(&layer.b);
+                kn.matmul_acc_f32(1, in_dim, 4 * hidden, &cur[..in_dim], layer.wx.data(), &mut z);
+                kn.matmul_acc_f32(
+                    1,
+                    hidden,
+                    4 * hidden,
+                    &h[li * hidden..(li + 1) * hidden],
+                    layer.wh.data(),
+                    &mut z,
+                );
+                kn.lstm_gates_infer_f32(
+                    hidden,
+                    &z,
+                    &mut c[li * hidden..(li + 1) * hidden],
+                    &mut h[li * hidden..(li + 1) * hidden],
+                );
+                cur[..hidden].copy_from_slice(&h[li * hidden..(li + 1) * hidden]);
+                in_dim = hidden;
+            }
+            kn.add_assign_f32(&mut acc, &h[(nl - 1) * hidden..nl * hidden]);
+        }
+
+        // Mean over steps (Eq. 8); the sum view is mean × len, i.e. no scale.
+        if !frozen.sum_inference {
+            kn.scale_assign_f32(&mut acc, 1.0 / path.len() as f32);
+        }
+        acc.iter().map(|&v| f64::from(v)).collect()
+    }
+}
+
+/// One LSTM layer's weights, narrowed to f32 (`[i|f|g|o]` gate packing
+/// unchanged).
+struct FrozenLstmLayer {
+    in_dim: usize,
+    wx: InferTensor,
+    wh: InferTensor,
+    b: Vec<f32>,
+}
+
+/// Trained encoder state narrowed to f32 for tape-free single-path inference
+/// (see [`TemporalPathEncoder::freeze`]). Immutable and `Sync`: any number of
+/// threads can embed concurrently through a shared reference.
+pub struct FrozenEncoder {
+    hidden: usize,
+    input_dim: usize,
+    /// Temporal prefix width (0 for the WSCCL-NT ablation).
+    t_dim: usize,
+    /// Static per-edge suffix width: `[topo | rt | l | o | ts | phys]`.
+    s_dim: usize,
+    sum_inference: bool,
+    /// `num_edges × s_dim` precomputed static input rows.
+    static_rows: Vec<f32>,
+    layers: Vec<FrozenLstmLayer>,
+}
+
+impl FrozenEncoder {
+    /// TPR dimensionality.
+    pub fn dim(&self) -> usize {
+        self.hidden
     }
 }
 

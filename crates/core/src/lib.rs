@@ -31,6 +31,6 @@ pub mod wsc;
 
 pub use config::WscclConfig;
 pub use curriculum::train_wsccl;
-pub use encoder::{EncoderConfig, TemporalPathEncoder};
+pub use encoder::{EncoderConfig, FrozenEncoder, TemporalPathEncoder};
 pub use represent::PathRepresenter;
-pub use wsc::WscModel;
+pub use wsc::{TrainedRepresenter, WscModel};

@@ -23,7 +23,7 @@ use wsccl_train::{
 };
 
 use crate::config::WscclConfig;
-use crate::encoder::{EncoderWeights, TemporalPathEncoder};
+use crate::encoder::{EncoderWeights, FrozenEncoder, TemporalPathEncoder};
 use crate::loss::{wsc_loss_with_temperature, EncodedBatch};
 use crate::persist::EngineCheckpoint;
 use crate::represent::PathRepresenter;
@@ -54,6 +54,7 @@ fn train_spec(cfg: &WscclConfig, seed: u64) -> TrainSpec {
         shards: cfg.shards,
         threads: cfg.threads,
         pool_buffers: cfg.pooling,
+        kernels: cfg.kernels,
     }
 }
 
@@ -254,12 +255,7 @@ impl WscModel {
 
     /// Freeze into a shareable [`PathRepresenter`].
     pub fn into_representer(self, name: impl Into<String>) -> TrainedRepresenter {
-        TrainedRepresenter {
-            encoder: self.encoder,
-            params: self.params,
-            weights: self.weights,
-            name: name.into(),
-        }
+        TrainedRepresenter::from_parts(self.encoder, self.params, self.weights, name)
     }
 
     /// Borrow the trained weights (for transfer, e.g. pre-training PathRank).
@@ -273,10 +269,15 @@ impl WscModel {
 /// `represent` is lock-free: inference builds a throwaway tape over shared
 /// read-only state, so any number of threads can embed concurrently through a
 /// plain `&TrainedRepresenter` without synchronization or weight copies.
+///
+/// Construction additionally freezes an f32 copy of the trained weights
+/// (LSTM arch only) so [`TrainedRepresenter::embed`] can skip the tape
+/// entirely; `represent` stays on the f64 path as the precision oracle.
 pub struct TrainedRepresenter {
     encoder: Arc<TemporalPathEncoder>,
     params: Parameters,
     weights: EncoderWeights,
+    frozen: Option<FrozenEncoder>,
     name: String,
 }
 
@@ -288,7 +289,33 @@ impl TrainedRepresenter {
         weights: EncoderWeights,
         name: impl Into<String>,
     ) -> Self {
-        Self { encoder, params, weights, name: name.into() }
+        let frozen = encoder.freeze(&params, &weights);
+        Self { encoder, params, weights, frozen, name: name.into() }
+    }
+
+    /// Fast single-path embedding: the f32 inference path through the active
+    /// SIMD kernel backend (falls back to the f64 tape for the Transformer
+    /// arch, which has no frozen form). Differs from
+    /// [`PathRepresenter::represent`] only by f32 rounding; records a
+    /// per-backend `embed_us.<backend>` latency histogram.
+    pub fn embed(&self, path: &Path, departure: SimTime) -> Vec<f64> {
+        let start = std::time::Instant::now();
+        let v = match &self.frozen {
+            Some(f) => self.encoder.embed_frozen(f, path, departure),
+            None => self.encoder.embed(&self.params, &self.weights, path, departure),
+        };
+        let us = start.elapsed().as_nanos() as f64 / 1e3;
+        let name = match wsccl_nn::kernels::active_name() {
+            "simd" => "embed_us.simd",
+            _ => "embed_us.scalar",
+        };
+        wsccl_obs::global().latency_us(name).record(us);
+        v
+    }
+
+    /// Whether the f32 frozen fast path is available (LSTM arch).
+    pub fn has_frozen_path(&self) -> bool {
+        self.frozen.is_some()
     }
 }
 
@@ -433,6 +460,57 @@ mod tests {
         let (hist4, emb4) = train(4);
         assert_eq!(hist1, hist4, "loss history must not depend on thread count");
         assert_eq!(emb1, emb4, "final embeddings must not depend on thread count");
+    }
+
+    #[test]
+    fn kernel_backend_does_not_change_training() {
+        // The f64 kernel contract: scalar and SIMD backends are bit-identical,
+        // so the full training trajectory — loss history and final embeddings —
+        // must not depend on which backend is active.
+        use wsccl_nn::kernels::{self, KernelBackend};
+        let (ds, enc) = quick_setup();
+        let train = |backend: KernelBackend| {
+            kernels::force(backend);
+            let mut model = WscModel::new(Arc::clone(&enc), WscclConfig::tiny(), 7);
+            model.train(&ds.unlabeled, &PopLabeler, 2);
+            let emb: Vec<Vec<f64>> =
+                ds.unlabeled.iter().take(5).map(|s| model.embed(&s.path, s.departure)).collect();
+            (model.loss_history.clone(), emb)
+        };
+        let (hist_s, emb_s) = train(KernelBackend::Scalar);
+        let (hist_v, emb_v) = train(KernelBackend::Simd);
+        kernels::force(KernelBackend::Auto);
+        assert_eq!(hist_s, hist_v, "loss history must not depend on the kernel backend");
+        assert_eq!(emb_s, emb_v, "embeddings must not depend on the kernel backend");
+    }
+
+    #[test]
+    fn f32_embedding_drift() {
+        // The frozen f32 inference path may drift from the f64 tape oracle
+        // only by f32 rounding. Stated bound (also in DESIGN.md): relative
+        // L2 drift below 1e-4 per path, under both kernel backends.
+        use wsccl_nn::kernels::{self, KernelBackend};
+        let (ds, enc) = quick_setup();
+        let mut model = WscModel::new(Arc::clone(&enc), WscclConfig::tiny(), 3);
+        model.train(&ds.unlabeled, &PopLabeler, 1);
+        let rep = model.into_representer("WSCCL");
+        assert!(rep.has_frozen_path(), "LSTM encoder must freeze to an f32 path");
+        for backend in [KernelBackend::Scalar, KernelBackend::Simd] {
+            kernels::force(backend);
+            for s in ds.unlabeled.iter().take(10) {
+                let oracle = rep.represent(&ds.net, &s.path, s.departure);
+                let fast = rep.embed(&s.path, s.departure);
+                let norm: f64 = oracle.iter().map(|v| v * v).sum::<f64>().sqrt();
+                let drift: f64 =
+                    oracle.iter().zip(&fast).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+                assert!(
+                    drift <= 1e-4 * norm.max(1e-8),
+                    "f32 drift {drift:.3e} vs ‖oracle‖ {norm:.3e} under {}",
+                    kernels::active_name()
+                );
+            }
+        }
+        kernels::force(KernelBackend::Auto);
     }
 
     #[test]

@@ -45,6 +45,7 @@ use std::time::Instant;
 
 use wsccl_obs::TapeProfiler;
 
+use crate::kernels;
 use crate::params::{GradStore, ParamId, Parameters};
 use crate::pool::TensorPool;
 use crate::tensor::Tensor;
@@ -110,6 +111,12 @@ enum Op {
     CrossEntropy(NodeId, usize),
     /// Row gather from a parameter matrix (embedding lookup).
     EmbedLookup(ParamId, Vec<usize>),
+    /// Fused constant/embedding-row gather into one `1 × d` row: each entry
+    /// splices one embedding-table row in at a column offset
+    /// `(table, row, offset)`. Constant segments were copied at build time
+    /// and need no backward. Replaces a per-edge chain of `EmbedLookup` +
+    /// `Input` + `ConcatCols` nodes on the encoder hot path.
+    GatherRow(Vec<(ParamId, usize, usize)>),
     /// Elementwise natural log (inputs must be positive).
     Ln(NodeId),
     /// Row-wise layer normalization (zero mean, unit variance per row).
@@ -131,6 +138,15 @@ enum Op {
         hidden: usize,
         saved: Tensor,
     },
+}
+
+/// One part of a fused [`Graph::gather_concat_row`] input row.
+#[derive(Clone, Copy, Debug)]
+pub enum GatherPart<'a> {
+    /// Constant columns, copied at build time; no gradient flows back.
+    Const(&'a [f64]),
+    /// One row of an embedding-table parameter: `(table, row_index)`.
+    Row(ParamId, usize),
 }
 
 /// Discriminant-only view of [`Op`](self), public so tooling can reason about
@@ -162,6 +178,7 @@ pub enum OpKind {
     LogSumExp,
     CrossEntropy,
     EmbedLookup,
+    GatherRow,
     Ln,
     LayerNormRows,
     SliceRows,
@@ -173,7 +190,7 @@ impl OpKind {
     /// Every op kind the tape supports, in declaration order. Keep in sync
     /// with [`Op`](self) — `op_kind` fails to compile on a missing arm, and
     /// the gradcheck sweep fails on a missing entry here.
-    pub const ALL: [OpKind; 28] = [
+    pub const ALL: [OpKind; 29] = [
         OpKind::Input,
         OpKind::Param,
         OpKind::MatMul,
@@ -197,6 +214,7 @@ impl OpKind {
         OpKind::LogSumExp,
         OpKind::CrossEntropy,
         OpKind::EmbedLookup,
+        OpKind::GatherRow,
         OpKind::Ln,
         OpKind::LayerNormRows,
         OpKind::SliceRows,
@@ -229,6 +247,7 @@ impl OpKind {
             OpKind::LogSumExp => "LogSumExp",
             OpKind::CrossEntropy => "CrossEntropy",
             OpKind::EmbedLookup => "EmbedLookup",
+            OpKind::GatherRow => "GatherRow",
             OpKind::Ln => "Ln",
             OpKind::LayerNormRows => "LayerNormRows",
             OpKind::SliceRows => "SliceRows",
@@ -264,6 +283,7 @@ impl Op {
             Op::LogSumExp(_) => OpKind::LogSumExp,
             Op::CrossEntropy(..) => OpKind::CrossEntropy,
             Op::EmbedLookup(..) => OpKind::EmbedLookup,
+            Op::GatherRow(_) => OpKind::GatherRow,
             Op::Ln(_) => OpKind::Ln,
             Op::LayerNormRows(..) => OpKind::LayerNormRows,
             Op::SliceRows(..) => OpKind::SliceRows,
@@ -558,6 +578,42 @@ impl<'p> Graph<'p> {
             out.row_slice_mut(r).copy_from_slice(table.row_slice(ix));
         }
         self.push(Op::EmbedLookup(id, indices.to_vec()), out, true)
+    }
+
+    /// Fused gather of constant slices and single embedding-table rows into
+    /// one `1 × d` node — the per-edge encoder input assembled in one tape op
+    /// instead of an `EmbedLookup`/`Input` node per part plus a `ConcatCols`.
+    /// Values and backward accumulation are bit-identical to that chain (pure
+    /// copies forward, slice adds into the table gradients backward).
+    pub fn gather_concat_row(&mut self, parts: &[GatherPart<'_>]) -> NodeId {
+        let width: usize = parts
+            .iter()
+            .map(|p| match p {
+                GatherPart::Const(s) => s.len(),
+                GatherPart::Row(id, _) => self.params.value(*id).cols(),
+            })
+            .sum();
+        let mut out = self.alloc_raw(1, width);
+        let mut segs = Vec::new();
+        let mut off = 0;
+        let data = out.data_mut();
+        for p in parts {
+            match p {
+                GatherPart::Const(s) => {
+                    data[off..off + s.len()].copy_from_slice(s);
+                    off += s.len();
+                }
+                GatherPart::Row(id, ix) => {
+                    let table = self.params.value(*id);
+                    assert!(*ix < table.rows(), "gather row {ix} out of range {}", table.rows());
+                    let cols = table.cols();
+                    data[off..off + cols].copy_from_slice(table.row_slice(*ix));
+                    segs.push((*id, *ix, off));
+                    off += cols;
+                }
+            }
+        }
+        self.push(Op::GatherRow(segs), out, true)
     }
 
     // ------------------------------------------------------------------- ops
@@ -1001,22 +1057,16 @@ impl<'p> Graph<'p> {
             assert_eq!(self.params.value(bid).shape(), (1, dout), "affine: bias shape mismatch");
         }
         let mut z = self.alloc_zero(n, dout);
+        let kn = kernels::active();
         self.nodes[x.0].value.matmul_acc(self.params.value(w), &mut z);
         if let Some(bid) = b {
-            let bias = self.params.value(bid);
-            for r in 0..n {
-                for (o, v) in z.row_slice_mut(r).iter_mut().zip(bias.data()) {
-                    *o += v;
-                }
-            }
+            kn.add_row_assign(n, dout, z.data_mut(), self.params.value(bid).data());
         }
         match act {
             Activation::Identity => {}
-            Activation::Sigmoid => {
-                z.data_mut().iter_mut().for_each(|v| *v = 1.0 / (1.0 + (-*v).exp()))
-            }
-            Activation::Tanh => z.data_mut().iter_mut().for_each(|v| *v = v.tanh()),
-            Activation::Relu => z.data_mut().iter_mut().for_each(|v| *v = v.max(0.0)),
+            Activation::Sigmoid => kn.sigmoid_inplace(z.data_mut()),
+            Activation::Tanh => kn.tanh_inplace(z.data_mut()),
+            Activation::Relu => kn.relu_inplace(z.data_mut()),
         }
         self.bump(x);
         self.push(Op::Affine { x, w, b, act }, z, true)
@@ -1051,36 +1101,12 @@ impl<'p> Graph<'p> {
         let mut z = self.alloc_zero(n, 4 * hidden);
         let mut saved = self.alloc_raw(n, 5 * hidden);
         let mut out = self.alloc_raw(n, 2 * hidden);
+        let kn = kernels::active();
         self.nodes[x.0].value.matmul_acc(self.params.value(wx), &mut z);
         self.nodes[h.0].value.matmul_acc(self.params.value(wh), &mut z);
-        let bias = self.params.value(b);
-        for r in 0..n {
-            for (o, v) in z.row_slice_mut(r).iter_mut().zip(bias.data()) {
-                *o += v;
-            }
-        }
+        kn.add_row_assign(n, 4 * hidden, z.data_mut(), self.params.value(b).data());
         let cv = &self.nodes[c.0].value;
-        for r in 0..n {
-            let zrow = z.row_slice(r);
-            let crow = cv.row_slice(r);
-            let srow = saved.row_slice_mut(r);
-            let orow = out.row_slice_mut(r);
-            for k in 0..hidden {
-                let i = 1.0 / (1.0 + (-zrow[k]).exp());
-                let f = 1.0 / (1.0 + (-zrow[hidden + k]).exp());
-                let g = zrow[2 * hidden + k].tanh();
-                let o = 1.0 / (1.0 + (-zrow[3 * hidden + k]).exp());
-                let c_new = f * crow[k] + i * g;
-                let tc = c_new.tanh();
-                srow[k] = i;
-                srow[hidden + k] = f;
-                srow[2 * hidden + k] = g;
-                srow[3 * hidden + k] = o;
-                srow[4 * hidden + k] = tc;
-                orow[k] = o * tc;
-                orow[hidden + k] = c_new;
-            }
-        }
+        kn.lstm_gates(n, hidden, z.data(), cv.data(), saved.data_mut(), out.data_mut());
         pool_put(&mut self.pool, z);
         self.bump(x);
         self.bump(h);
@@ -1496,6 +1522,15 @@ impl<'p> Graph<'p> {
                         }
                     }
                 }
+                Op::GatherRow(segs) => {
+                    let adj = g.row_slice(0);
+                    for &(pid, ix, off) in segs.iter() {
+                        let (rows, cols) = params.value(pid).shape();
+                        let table_grad = grads.entry_pooled(pid, rows, cols, pool.as_deref_mut());
+                        kernels::active()
+                            .add_assign(table_grad.row_slice_mut(ix), &adj[off..off + cols]);
+                    }
+                }
                 Op::Affine { x, w, b, act } => {
                     let (x, w, b, act) = (*x, *w, *b, *act);
                     let (n, dout) = nodes[i].shape;
@@ -1539,11 +1574,7 @@ impl<'p> Graph<'p> {
                     nodes[x.0].value.matmul_tn_acc(&dz, gw);
                     if let Some(bid) = b {
                         let gb = grads.entry_pooled(bid, 1, dout, pool.as_deref_mut());
-                        for r in 0..n {
-                            for (d, v) in gb.data_mut().iter_mut().zip(dz.row_slice(r)) {
-                                *d += v;
-                            }
-                        }
+                        kernels::active().add_rows_acc(n, dout, dz.data(), gb.data_mut());
                     }
                     pool_put(pool, dz);
                 }
@@ -1556,37 +1587,15 @@ impl<'p> Graph<'p> {
                     // dc_old (n × h).
                     let mut dz = pool_take_raw(pool, n, 4 * hidden);
                     let mut dc_old = pool_take_raw(pool, n, hidden);
-                    {
-                        let c_old = &nodes[c.0].value;
-                        for r in 0..n {
-                            let srow = saved.row_slice(r);
-                            let grow = g.row_slice(r);
-                            let crow = c_old.row_slice(r);
-                            let dzrow = dz.row_slice_mut(r);
-                            let dcrow = dc_old.row_slice_mut(r);
-                            for k in 0..hidden {
-                                let iv = srow[k];
-                                let fv = srow[hidden + k];
-                                let gtv = srow[2 * hidden + k];
-                                let ov = srow[3 * hidden + k];
-                                let tc = srow[4 * hidden + k];
-                                let gh = grow[k];
-                                let gc = grow[hidden + k];
-                                // c_new receives gradient directly and through
-                                // h_new = o ⊙ tanh(c_new).
-                                let dct = gc + gh * ov * (1.0 - tc * tc);
-                                dcrow[k] = dct * fv;
-                                let dgo = gh * tc;
-                                dzrow[3 * hidden + k] = dgo * ov * (1.0 - ov);
-                                let di = dct * gtv;
-                                dzrow[k] = di * iv * (1.0 - iv);
-                                let df = dct * crow[k];
-                                dzrow[hidden + k] = df * fv * (1.0 - fv);
-                                let dg = dct * iv;
-                                dzrow[2 * hidden + k] = dg * (1.0 - gtv * gtv);
-                            }
-                        }
-                    }
+                    kernels::active().lstm_gates_backward(
+                        n,
+                        hidden,
+                        saved.data(),
+                        g.data(),
+                        nodes[c.0].value.data(),
+                        dz.data_mut(),
+                        dc_old.data_mut(),
+                    );
                     if nodes[x.0].needs_grad {
                         let mut gx = take_grad(nodes, pool, x);
                         dz.matmul_nt_acc(params.value(wx), &mut gx);
@@ -1608,11 +1617,7 @@ impl<'p> Graph<'p> {
                     let gwh = grads.entry_pooled(wh, hidden, 4 * hidden, pool.as_deref_mut());
                     nodes[h.0].value.matmul_tn_acc(&dz, gwh);
                     let gb = grads.entry_pooled(b, 1, 4 * hidden, pool.as_deref_mut());
-                    for r in 0..n {
-                        for (d, v) in gb.data_mut().iter_mut().zip(dz.row_slice(r)) {
-                            *d += v;
-                        }
-                    }
+                    kernels::active().add_rows_acc(n, 4 * hidden, dz.data(), gb.data_mut());
                     pool_put(pool, dz);
                     pool_put(pool, dc_old);
                 }

@@ -1,0 +1,118 @@
+//! Frozen f32 inference tensors.
+//!
+//! Training is strictly `f64` ([`crate::Tensor`]); serving-style inference
+//! (single-path embeddings at query time) doesn't need f64 precision and does
+//! need latency. An [`InferTensor`] is a dense row-major `f32` matrix
+//! converted **once** from trained f64 parameters; its kernels route through
+//! [`crate::kernels::active`], so the same backend switch covers both
+//! precisions. There is no autodiff here — inference only.
+
+use crate::kernels;
+use crate::tensor::Tensor;
+
+/// Dense row-major `f32` matrix for the inference fast path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InferTensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl InferTensor {
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Narrow a trained f64 tensor to f32 (round-to-nearest per element).
+    pub fn from_tensor(t: &Tensor) -> Self {
+        let (rows, cols) = t.shape();
+        Self { rows, cols, data: t.data().iter().map(|&v| v as f32).collect() }
+    }
+
+    /// Build from a flat row-major f64 slice.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_f64(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape {rows}x{cols} != data len {}", data.len());
+        Self { rows, cols, data: data.iter().map(|&v| v as f32).collect() }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `out += self · other` through the active kernel backend.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn matmul_acc(&self, other: &InferTensor, out: &mut InferTensor) {
+        assert_eq!(
+            self.cols,
+            other.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul output shape mismatch");
+        kernels::active().matmul_acc_f32(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrows_and_multiplies_like_f64() {
+        let a64 = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b64 = Tensor::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let expect = a64.matmul(&b64);
+
+        let a = InferTensor::from_tensor(&a64);
+        let b = InferTensor::from_tensor(&b64);
+        let mut out = InferTensor::zeros(2, 2);
+        a.matmul_acc(&b, &mut out);
+        for (got, want) in out.data().iter().zip(expect.data()) {
+            assert!((f64::from(*got) - want).abs() < 1e-4, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn matmul_acc_accumulates() {
+        let a = InferTensor::from_f64(1, 2, &[1.0, 2.0]);
+        let b = InferTensor::from_f64(2, 3, &[1.0, 0.0, 1.0, 0.0, 1.0, 1.0]);
+        let mut out = InferTensor::from_f64(1, 3, &[10.0, 10.0, 10.0]);
+        a.matmul_acc(&b, &mut out);
+        assert_eq!(out.data(), &[11.0, 12.0, 13.0]);
+    }
+}

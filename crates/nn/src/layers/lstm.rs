@@ -91,6 +91,13 @@ impl Lstm {
         self.layers.len()
     }
 
+    /// Per-layer `(wx, wh, b)` parameter ids, bottom layer first — lets an
+    /// inference path freeze the trained weights without going through the
+    /// tape (see `wsccl_nn::infer`).
+    pub fn layer_params(&self) -> Vec<(ParamId, ParamId, ParamId)> {
+        self.layers.iter().map(|l| (l.wx, l.wh, l.b)).collect()
+    }
+
     /// Run the stack over a sequence of `(1, in_dim)` (or `(n, in_dim)`)
     /// timestep nodes; returns the top layer's hidden state per step.
     pub fn forward(&self, g: &mut Graph<'_>, inputs: &[NodeId]) -> Vec<NodeId> {

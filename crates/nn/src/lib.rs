@@ -12,20 +12,27 @@
 //!   self-attention, all expressed in terms of graph ops so gradients are exact.
 //! * [`gradcheck`] — finite-difference gradient verification used heavily by the
 //!   test suite; every op and layer in this crate is gradient-checked.
+//! * [`kernels`] — the pluggable compute backend (scalar oracle vs. AVX2 SIMD)
+//!   every blocked loop above routes through, and [`infer`] — the frozen f32
+//!   inference tensors built on its f32 kernels.
 //!
 //! The API is deliberately small: WSCCL and all twelve baselines in
 //! `wsccl-baselines` are built exclusively from these pieces.
 
 pub mod gradcheck;
 pub mod graph;
+pub mod infer;
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod optim;
 pub mod params;
 pub mod pool;
 pub mod tensor;
 
-pub use graph::{Activation, Graph, NodeId, OpKind};
+pub use graph::{Activation, GatherPart, Graph, NodeId, OpKind};
+pub use infer::InferTensor;
+pub use kernels::{KernelBackend, Kernels, ScalarKernels, SimdKernels};
 pub use params::{GradStore, ParamId, Parameters};
 pub use pool::{PoolStats, TensorPool};
 pub use tensor::Tensor;

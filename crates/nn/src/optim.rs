@@ -76,11 +76,26 @@ pub struct Adam {
     t: u64,
     m: Vec<Tensor>,
     v: Vec<Tensor>,
+    /// Whether a parameter has ever received a gradient. While false its
+    /// moments are exactly zero and the Adam update is a bitwise no-op
+    /// (`p − lr·(0/bc₁)/(√(0/bc₂)+ε) ≡ p`), so the dense scan can skip it —
+    /// important for frozen embedding tables that dominate the scalar count.
+    #[serde(default)]
+    touched: Vec<bool>,
 }
 
 impl Adam {
     pub fn new(lr: f64) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+            touched: Vec::new(),
+        }
     }
 
     pub fn lr(&self) -> f64 {
@@ -104,6 +119,12 @@ impl Adam {
             self.m = zeros(params);
             self.v = zeros(params);
             self.t = 0;
+            self.touched = vec![false; params.len()];
+        }
+        if self.touched.len() != self.m.len() {
+            // State deserialized from before `touched` existed: assume every
+            // parameter has live moments (conservative, preserves behavior).
+            self.touched = vec![true; self.m.len()];
         }
     }
 
@@ -113,32 +134,33 @@ impl Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let kernels = crate::kernels::active();
         for id in params.ids().collect::<Vec<_>>() {
             let ix = id.index();
             match grads.grad(id) {
                 Some(g) => {
-                    let m = &mut self.m[ix];
-                    for (mv, gv) in m.data_mut().iter_mut().zip(g.data()) {
-                        *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
-                    }
-                    let v = &mut self.v[ix];
-                    for (vv, gv) in v.data_mut().iter_mut().zip(g.data()) {
-                        *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
-                    }
+                    self.touched[ix] = true;
+                    kernels.adam_moments(
+                        self.m[ix].data_mut(),
+                        self.v[ix].data_mut(),
+                        g.data(),
+                        self.beta1,
+                        self.beta2,
+                    );
                 }
+                // Never-touched parameter: moments are exactly zero, decay
+                // keeps them zero, and the update below would subtract an
+                // exact +0.0 — a bitwise no-op. Skip the whole scan.
+                None if !self.touched[ix] => continue,
                 None => {
                     // Zero gradient: moments decay exactly as dense zeros would.
-                    self.m[ix].data_mut().iter_mut().for_each(|mv| *mv *= self.beta1);
-                    self.v[ix].data_mut().iter_mut().for_each(|vv| *vv *= self.beta2);
+                    kernels.scale_assign(self.m[ix].data_mut(), self.beta1);
+                    kernels.scale_assign(self.v[ix].data_mut(), self.beta2);
                 }
             }
             let (m, v) = (&self.m[ix], &self.v[ix]);
             let value = params.value_mut(id);
-            for ((p, mv), vv) in value.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
-                let mhat = mv / bc1;
-                let vhat = vv / bc2;
-                *p -= self.lr * mhat / (vhat.sqrt() + self.eps);
-            }
+            kernels.adam_update(value.data_mut(), m.data(), v.data(), self.lr, bc1, bc2, self.eps);
         }
     }
 }

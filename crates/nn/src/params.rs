@@ -196,24 +196,26 @@ impl GradStore {
     /// Multiply every accumulated gradient by `factor` (e.g. `1/K` after
     /// reducing `K` shard stores whose losses should be averaged).
     pub fn scale(&mut self, factor: f64) {
+        let kernels = crate::kernels::active();
         for g in self.grads.iter_mut().flatten() {
-            g.data_mut().iter_mut().for_each(|v| *v *= factor);
+            kernels.scale_assign(g.data_mut(), factor);
         }
     }
 
     /// Global L2 norm over all accumulated gradients.
+    ///
+    /// Each tensor's sum of squares uses the backend-shared [`Kernels::dot`]
+    /// reduction, so the value is identical under scalar and SIMD backends.
     pub fn norm(&self) -> f64 {
-        self.iter().map(|(_, g)| g.data().iter().map(|v| v * v).sum::<f64>()).sum::<f64>().sqrt()
+        let kernels = crate::kernels::active();
+        self.iter().map(|(_, g)| kernels.dot(g.data(), g.data())).sum::<f64>().sqrt()
     }
 
     /// Scale all gradients so the global norm does not exceed `max_norm`.
     pub fn clip_norm(&mut self, max_norm: f64) {
         let norm = self.norm();
         if norm > max_norm && norm > 0.0 {
-            let s = max_norm / norm;
-            for g in self.grads.iter_mut().flatten() {
-                g.data_mut().iter_mut().for_each(|v| *v *= s);
-            }
+            self.scale(max_norm / norm);
         }
     }
 }

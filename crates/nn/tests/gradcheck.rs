@@ -1023,6 +1023,34 @@ mod sweep {
         );
     }
 
+    /// GatherRow: fused const/table-row gather, with one row spliced in twice
+    /// so its gradient must accumulate.
+    fn gather_row() {
+        use wsccl_nn::GatherPart;
+        let mut rng = rng();
+        let mut p = Parameters::new();
+        let t1 = p.register("t1", rand_tensor(&mut rng, 4, 3));
+        let t2 = p.register("t2", rand_tensor(&mut rng, 2, 2));
+        assert_gradients_close(
+            &mut p,
+            |p| {
+                let mut g = Graph::new(p);
+                let konst = [0.3, -0.7];
+                let x = g.gather_concat_row(&[
+                    GatherPart::Row(t1, 2),
+                    GatherPart::Const(&konst),
+                    GatherPart::Row(t2, 0),
+                    GatherPart::Row(t1, 2),
+                ]);
+                let sq = g.mul(x, x);
+                let l = g.sum_all(sq);
+                g.finish(l)
+            },
+            EPS,
+            TOL,
+        );
+    }
+
     /// LayerNormRows.
     fn layer_norm() {
         let mut rng = rng();
@@ -1119,6 +1147,7 @@ mod sweep {
             (OpKind::LogSumExp, log_sum_exp),
             (OpKind::CrossEntropy, cross_entropy),
             (OpKind::EmbedLookup, embed_lookup),
+            (OpKind::GatherRow, gather_row),
             (OpKind::Ln, ln),
             (OpKind::LayerNormRows, layer_norm),
             (OpKind::SliceRows, slice_concat_rows),
@@ -1140,13 +1169,19 @@ mod sweep {
             "op kinds without a finite-difference gradcheck: {missing:?} — \
              register one in sweep::registry()"
         );
-        // Run each distinct check once.
+        // Run each distinct check once per kernel backend: the finite
+        // differences must validate the scalar oracle AND the SIMD kernels.
         let mut fns: Vec<fn()> = checks.iter().map(|&(_, f)| f).collect();
         fns.sort_by_key(|f| *f as usize);
         fns.dedup_by_key(|f| *f as usize);
-        for f in fns {
-            f();
+        use wsccl_nn::kernels::{self, KernelBackend};
+        for backend in [KernelBackend::Scalar, KernelBackend::Simd] {
+            kernels::force(backend);
+            for f in &fns {
+                f();
+            }
         }
+        kernels::force(KernelBackend::Auto);
     }
 }
 

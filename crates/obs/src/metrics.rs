@@ -115,6 +115,11 @@ impl Histogram {
 pub(crate) const TIME_MS_BUCKETS: &[f64] =
     &[0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 5000.0];
 
+/// Default bucket bounds for microsecond latencies (per-query inference, e.g.
+/// the `embed_us.<backend>` single-path embedding histograms).
+pub(crate) const TIME_US_BUCKETS: &[f64] =
+    &[10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 50000.0];
+
 #[derive(Default)]
 struct Tables {
     counters: HashMap<String, Counter>,
@@ -209,6 +214,11 @@ impl Registry {
     /// Histogram with the default millisecond-latency buckets.
     pub fn latency_ms(&self, name: &str) -> Histogram {
         self.histogram(name, TIME_MS_BUCKETS)
+    }
+
+    /// Histogram with the default microsecond-latency buckets.
+    pub fn latency_us(&self, name: &str) -> Histogram {
+        self.histogram(name, TIME_US_BUCKETS)
     }
 
     /// Time a scope into the `latency_ms` histogram `name`; see [`crate::Span`].
