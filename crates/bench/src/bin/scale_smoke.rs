@@ -1,0 +1,145 @@
+//! `scale_smoke` — release-mode CI gate for the streaming data pipeline.
+//!
+//! Streams a 100k+-edge metro tier end-to-end (generate → `.wsccl-ds` on disk
+//! → mmap → a few training steps) and *asserts* bounded memory: peak RSS after
+//! writing `WSCCL_SMOKE_TRAJ` trajectories (default 1M) may exceed the peak
+//! after a 2k-trajectory warmup tier by at most a fixed budget, i.e. the
+//! pipeline's working set is independent of the trajectory count. A
+//! materializing pipeline (1M records × ~100 B) would blow through the budget
+//! by an order of magnitude. Also checks that batches built from the mmap
+//! pool are identical to batches built from the same records in memory.
+//!
+//! Any violated invariant panics, so a nonzero exit fails CI.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wsccl_bench::metro_dataset;
+use wsccl_bench::runner::WORLD_SEED;
+use wsccl_core::encoder::{EncoderConfig, TemporalPathEncoder};
+use wsccl_core::sampler::build_batch;
+use wsccl_core::wsc::WscModel;
+use wsccl_core::WscclConfig;
+use wsccl_datagen::{write_dataset, DatasetSource, StreamConfig};
+use wsccl_traffic::PopLabeler;
+
+/// Datagen working set is threads × channel bound; everything beyond that is
+/// overhead we allow for allocator slack, mmap'd index pages, and stats.
+const DATAGEN_GROWTH_BUDGET: u64 = 96 * 1024 * 1024;
+/// Training adds encoder tables, Adam moments, and tape buffers — still
+/// record-count-independent.
+const TRAIN_GROWTH_BUDGET: u64 = 256 * 1024 * 1024;
+
+fn peak_rss() -> u64 {
+    wsccl_obs::peak_rss_bytes().unwrap_or(0)
+}
+
+fn main() {
+    let n: usize =
+        std::env::var("WSCCL_SMOKE_TRAJ").ok().and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+    let stream = StreamConfig::auto();
+    let dir = std::env::temp_dir();
+    let small_path = dir.join("scale_smoke_warmup.wsccl-ds");
+    let big_path = dir.join("scale_smoke_metro.wsccl-ds");
+    eprintln!("[smoke] metro tier, {n} trajectories, {} producer threads", stream.threads);
+
+    // Phase A: warmup tier. Its peak RSS already includes the dominant fixed
+    // costs (metro road network + congestion model construction).
+    let t = Instant::now();
+    let warm_stats = write_dataset(&metro_dataset(WORLD_SEED, 2_000), &stream, &small_path)
+        .expect("warmup tier write failed");
+    let baseline = peak_rss();
+    eprintln!(
+        "[smoke] warmup: {} records in {:.1?}; baseline peak RSS {} MiB",
+        warm_stats.unlabeled_paths + warm_stats.labeled_tte,
+        t.elapsed(),
+        baseline >> 20
+    );
+    assert!(warm_stats.num_edges >= 100_000, "metro tier must be 100k+ edges");
+
+    // Phase B: the full tier. Peak RSS growth over the warmup run must stay
+    // within a fixed, count-independent budget.
+    let t = Instant::now();
+    let stats = write_dataset(&metro_dataset(WORLD_SEED, n), &stream, &big_path)
+        .expect("tier write failed");
+    let secs = t.elapsed().as_secs_f64();
+    let peak_after_write = peak_rss();
+    let growth = peak_after_write.saturating_sub(baseline);
+    let records = stats.unlabeled_paths + stats.labeled_tte;
+    eprintln!(
+        "[smoke] wrote {records} records in {secs:.1}s ({:.0} paths/s); peak RSS {} MiB \
+         (+{} MiB over warmup)",
+        records as f64 / secs.max(1e-9),
+        peak_after_write >> 20,
+        growth >> 20
+    );
+    assert_eq!(stats.unlabeled_paths, n, "every requested trajectory must be generated");
+    assert!(
+        baseline == 0 || growth < DATAGEN_GROWTH_BUDGET,
+        "datagen peak RSS grew {} MiB over the warmup baseline (budget {} MiB): \
+         the pipeline is not streaming",
+        growth >> 20,
+        DATAGEN_GROWTH_BUDGET >> 20
+    );
+
+    // Phase C: mmap the tier back and train a few steps on the disk pool.
+    let src = DatasetSource::open(&big_path).expect("mmap open failed");
+    assert_eq!(src.num_unlabeled(), n);
+    let mut cfg = WscclConfig::default();
+    cfg.encoder = EncoderConfig::tiny();
+    cfg.encoder.node2vec_walks = 1;
+    cfg.batch_size = 16;
+    let t = Instant::now();
+    let encoder = Arc::new(TemporalPathEncoder::new(src.net(), cfg.encoder.clone(), WORLD_SEED));
+    let mut model = WscModel::new(encoder, cfg, WORLD_SEED);
+    let mut losses = Vec::new();
+    for _ in 0..3 {
+        if let Some(loss) = model.train_step(src.unlabeled_pool(), &PopLabeler) {
+            losses.push(loss);
+        }
+    }
+    let peak_after_train = peak_rss();
+    let train_growth = peak_after_train.saturating_sub(baseline);
+    eprintln!(
+        "[smoke] {} training steps on the mmap pool in {:.1?}; losses {losses:.3?}; \
+         peak RSS {} MiB",
+        losses.len(),
+        t.elapsed(),
+        peak_after_train >> 20
+    );
+    assert!(!losses.is_empty(), "training on the mmap pool produced no usable step");
+    assert!(
+        baseline == 0 || train_growth < TRAIN_GROWTH_BUDGET,
+        "training peak RSS grew {} MiB over the warmup baseline (budget {} MiB)",
+        train_growth >> 20,
+        TRAIN_GROWTH_BUDGET >> 20
+    );
+
+    // Phase D: batches from the mmap pool must be bit-identical to batches
+    // from the same records materialized in memory (same seed).
+    let disk = DatasetSource::open(&small_path).expect("reopen warmup tier");
+    let mem = DatasetSource::open(&small_path).expect("reopen warmup tier").materialize();
+    let from_disk =
+        build_batch(&mut StdRng::seed_from_u64(7), disk.unlabeled_pool(), &PopLabeler, 32);
+    let from_mem = build_batch(&mut StdRng::seed_from_u64(7), &mem.unlabeled, &PopLabeler, 32);
+    assert_eq!(from_disk.len(), from_mem.len(), "batch sizes differ between mmap and memory");
+    for (d, m) in from_disk.iter().zip(&from_mem) {
+        assert_eq!(d.path.edges(), m.path.edges(), "batch paths differ between mmap and memory");
+        assert_eq!(d.departure, m.departure, "batch departures differ between mmap and memory");
+        assert_eq!(d.label, m.label, "batch labels differ between mmap and memory");
+    }
+    eprintln!("[smoke] mmap and in-memory batches identical ({} items)", from_disk.len());
+
+    let file_bytes = std::fs::metadata(&big_path).map(|m| m.len()).unwrap_or(0);
+    let _ = std::fs::remove_file(&small_path);
+    let _ = std::fs::remove_file(&big_path);
+    println!(
+        "{{\"trajectories\":{n},\"edges\":{},\"seconds\":{secs:.2},\"paths_per_sec\":{:.0},\
+         \"file_bytes\":{file_bytes},\"baseline_rss\":{baseline},\
+         \"peak_rss\":{peak_after_write},\"rss_growth\":{growth},\"ok\":true}}",
+        stats.num_edges,
+        records as f64 / secs.max(1e-9),
+    );
+}

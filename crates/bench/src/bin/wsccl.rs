@@ -2,15 +2,19 @@
 //!
 //! ```text
 //! wsccl generate --city aalborg --seed 7 --out city.json
-//! wsccl train    --city aalborg --seed 7 --out model.json   [--data city.json]
+//! wsccl datagen  --city metro   --seed 7 --out metro.wsccl-ds [--threads N]
+//! wsccl train    --city aalborg --seed 7 --out model.json   [--data city.json | --dataset f.wsccl-ds]
 //! wsccl evaluate --city aalborg --seed 7 --model model.json [--data city.json]
 //! wsccl embed    --model model.json --data city.json --index 0
 //! ```
 //!
 //! `--scale tiny|small|full` (or `WSCCL_SCALE`) controls dataset/training
-//! sizes throughout. `wsccl train --run-log NAME` additionally streams a
-//! structured JSONL run log (per-step loss terms, timings, periodic metric
-//! snapshots) to `results/runs/NAME.jsonl`.
+//! sizes throughout. `wsccl datagen` streams records straight to the
+//! versioned on-disk `.wsccl-ds` format in bounded memory; `wsccl train
+//! --dataset` memory-maps such a file instead of generating in memory.
+//! `wsccl train --run-log NAME` additionally streams a structured JSONL run
+//! log (per-step loss terms, timings, periodic metric snapshots) to
+//! `results/runs/NAME.jsonl`.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -22,15 +26,16 @@ use wsccl_core::encoder::TemporalPathEncoder;
 use wsccl_core::persist::Checkpoint;
 use wsccl_core::wsc::WscModel;
 use wsccl_core::PathRepresenter;
-use wsccl_datagen::CityDataset;
+use wsccl_datagen::{CityDataset, DatasetSource, StreamConfig};
 use wsccl_roadnet::CityProfile;
 use wsccl_traffic::PopLabeler;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: wsccl <generate|train|evaluate|embed> [--city aalborg|harbin|chengdu] \
-         [--seed N] [--scale tiny|small|full] [--data FILE] [--model FILE] [--out FILE] \
-         [--index N] [--run-log NAME]"
+        "usage: wsccl <generate|datagen|train|evaluate|embed> \
+         [--city aalborg|harbin|chengdu|metro] [--seed N] [--scale tiny|small|full] \
+         [--data FILE] [--dataset FILE.wsccl-ds] [--model FILE] [--out FILE] [--index N] \
+         [--threads N] [--unlabeled N] [--tte N] [--groups N] [--run-log NAME]"
     );
     ExitCode::from(2)
 }
@@ -51,6 +56,7 @@ fn parse_city(flags: &HashMap<String, String>) -> Option<CityProfile> {
         "aalborg" => Some(CityProfile::Aalborg),
         "harbin" => Some(CityProfile::Harbin),
         "chengdu" => Some(CityProfile::Chengdu),
+        "metro" => Some(CityProfile::Metro),
         other => {
             eprintln!("unknown city '{other}'");
             None
@@ -91,6 +97,7 @@ fn main() -> ExitCode {
 
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&flags, profile, scale, seed),
+        "datagen" => cmd_datagen(&flags, profile, scale, seed),
         "train" => cmd_train(&flags, profile, scale, seed),
         "evaluate" => cmd_evaluate(&flags, profile, scale, seed),
         "embed" => cmd_embed(&flags, profile, scale, seed),
@@ -123,6 +130,59 @@ fn cmd_generate(
     Ok(())
 }
 
+/// Stream a dataset straight to the versioned `.wsccl-ds` on-disk format in
+/// bounded memory. For `--city metro` (100k+ edges) the record counts default
+/// to the metro tier; otherwise the scale preset applies. `--unlabeled`,
+/// `--tte`, and `--groups` override counts; `--threads` sets the producer
+/// thread count (the file is byte-identical at any value).
+fn cmd_datagen(
+    flags: &HashMap<String, String>,
+    profile: CityProfile,
+    scale: Scale,
+    seed: u64,
+) -> Result<(), String> {
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| format!("{}.{}", profile.name(), wsccl_datagen::disk::EXTENSION));
+    let mut cfg = if profile == CityProfile::Metro {
+        wsccl_bench::metro_dataset(seed, 20_000)
+    } else {
+        scale.dataset(profile, seed)
+    };
+    if let Some(n) = flags.get("unlabeled").and_then(|s| s.parse().ok()) {
+        cfg.num_unlabeled = n;
+    }
+    if let Some(n) = flags.get("tte").and_then(|s| s.parse().ok()) {
+        cfg.num_tte = n;
+    }
+    if let Some(n) = flags.get("groups").and_then(|s| s.parse().ok()) {
+        cfg.num_groups = n;
+    }
+    let stream = match flags.get("threads").and_then(|s| s.parse().ok()) {
+        Some(n) => StreamConfig::with_threads(n),
+        None => StreamConfig::auto(),
+    };
+    let t = std::time::Instant::now();
+    let stats = wsccl_datagen::write_dataset(&cfg, &stream, std::path::Path::new(&out))
+        .map_err(|e| format!("write {out}: {e}"))?;
+    let secs = t.elapsed().as_secs_f64();
+    let records = stats.unlabeled_paths + stats.labeled_tte + stats.labeled_groups;
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {out}: {} ({} nodes, {} edges, {} unlabeled paths, {} TTE labels, {} groups; \
+         {bytes} bytes, {:.0} records/s)",
+        stats.name,
+        stats.num_nodes,
+        stats.num_edges,
+        stats.unlabeled_paths,
+        stats.labeled_tte,
+        stats.labeled_groups,
+        records as f64 / secs.max(1e-9),
+    );
+    Ok(())
+}
+
 fn cmd_train(
     flags: &HashMap<String, String>,
     profile: CityProfile,
@@ -130,22 +190,30 @@ fn cmd_train(
     seed: u64,
 ) -> Result<(), String> {
     let out = flags.get("out").cloned().unwrap_or_else(|| "model.json".into());
-    let ds = load_or_generate(flags, profile, scale, seed)?;
+    let src = match flags.get("dataset") {
+        Some(path) => {
+            eprintln!("memory-mapping dataset {path}");
+            DatasetSource::open(std::path::Path::new(path))
+                .map_err(|e| format!("open {path}: {e}"))?
+        }
+        None => DatasetSource::Memory(load_or_generate(flags, profile, scale, seed)?),
+    };
     let cfg = scale.wsccl(seed);
-    eprintln!("training WSC on {} unlabeled paths ({} epochs)...", ds.unlabeled.len(), cfg.epochs);
-    let encoder = Arc::new(TemporalPathEncoder::new(&ds.net, cfg.encoder.clone(), cfg.seed));
+    eprintln!("training WSC on {} unlabeled paths ({} epochs)...", src.num_unlabeled(), cfg.epochs);
+    let encoder = Arc::new(TemporalPathEncoder::new(src.net(), cfg.encoder.clone(), cfg.seed));
     let mut model = WscModel::new(Arc::clone(&encoder), cfg.clone(), cfg.seed);
+    let pool = src.unlabeled_pool();
     if let Some(name) = flags.get("run-log") {
         wsccl_obs::global().set_enabled(true);
         let mut log = wsccl_train::JsonlObserver::to_file(name)
             .map_err(|e| format!("open run log '{name}': {e}"))?
             .with_metrics_every(50);
         log.set_phase("train");
-        model.train_observed(&ds.unlabeled, &PopLabeler, cfg.epochs, &mut log);
+        model.train_observed(pool, &PopLabeler, cfg.epochs, &mut log);
         log.flush().map_err(|e| format!("flush run log '{name}': {e}"))?;
         eprintln!("run log: {}", wsccl_train::run_log_path(name).display());
     } else {
-        model.train(&ds.unlabeled, &PopLabeler, cfg.epochs);
+        model.train(pool, &PopLabeler, cfg.epochs);
     }
     if let Some(loss) = model.loss_history.last() {
         eprintln!("final epoch loss: {loss:.4}");

@@ -1,0 +1,45 @@
+//! Schema and I/O for `BENCH_datagen.json`, the recorded generation
+//! throughput of the streaming data pipeline. Written by the `bench_datagen`
+//! binary; read by [`crate::runner::check_datagen_bench`] to warn when the
+//! recorded numbers no longer match the `wsccl-datagen` version in the tree.
+
+use serde::{Deserialize, Serialize};
+
+pub const BENCH_DATAGEN_PATH: &str = "BENCH_datagen.json";
+
+/// One measured tier.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatagenTierResult {
+    pub tier: String,
+    pub city: String,
+    pub threads: usize,
+    /// Accepted records across all sections.
+    pub records: usize,
+    pub seconds: f64,
+    pub paths_per_sec: f64,
+    /// Peak process RSS after the tier ran (0 when the platform can't say).
+    pub peak_rss_bytes: u64,
+    /// Size of the written `.wsccl-ds` file.
+    pub file_bytes: u64,
+}
+
+/// The whole benchmark file.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatagenBench {
+    /// `wsccl-datagen` crate version the numbers were recorded against.
+    pub datagen_version: String,
+    pub tiers: Vec<DatagenTierResult>,
+}
+
+impl DatagenBench {
+    pub fn load() -> Option<Self> {
+        let text = std::fs::read_to_string(BENCH_DATAGEN_PATH).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    pub fn save(&self) -> std::io::Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(BENCH_DATAGEN_PATH, json)
+    }
+}

@@ -11,6 +11,7 @@
 //! Experiment scale is controlled by the `WSCCL_SCALE` environment variable:
 //! `tiny` (smoke test), `small` (default), or `full`.
 
+pub mod datagen_bench;
 pub mod eval;
 pub mod kfold;
 pub mod methods;
@@ -18,8 +19,9 @@ pub mod report;
 pub mod runner;
 pub mod scale;
 
+pub use datagen_bench::{DatagenBench, DatagenTierResult};
 pub use eval::{evaluate_ranking, evaluate_recommendation, evaluate_tte, evaluate_tte_predictor};
 pub use eval::{RankMetrics, RecMetrics, TteMetrics};
 pub use methods::{train_method, Method, MethodKind};
 pub use report::Table;
-pub use scale::Scale;
+pub use scale::{datagen_tiers, metro_dataset, Scale};

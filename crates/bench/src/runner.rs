@@ -20,11 +20,40 @@ pub const WORLD_SEED: u64 = 2022;
 
 /// Generate (deterministically) the dataset for one city at a scale.
 pub fn load_city(profile: CityProfile, scale: Scale) -> CityDataset {
+    check_datagen_bench();
     eprintln!("[gen] {} dataset at scale {}", profile.name(), scale.name());
     let t = Instant::now();
     let ds = CityDataset::generate(&scale.dataset(profile, WORLD_SEED));
     eprintln!("[gen] {} ready in {:.1?}", profile.name(), t.elapsed());
     ds
+}
+
+/// Warn (once per process) when `BENCH_datagen.json` is missing or was
+/// recorded by a different `wsccl-datagen` version than the one linked into
+/// this binary — stale generation-throughput numbers silently misrepresent
+/// the current pipeline. Run `cargo run --release --bin bench_datagen` to
+/// refresh it.
+pub fn check_datagen_bench() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| match std::fs::read_to_string("BENCH_datagen.json") {
+        Err(_) => eprintln!(
+            "[warn] BENCH_datagen.json not found; run `cargo run --release --bin \
+             bench_datagen` to record datagen throughput for this tree"
+        ),
+        Ok(text) => match serde_json::from_str::<crate::datagen_bench::DatagenBench>(&text) {
+            Ok(bench) if bench.datagen_version == wsccl_datagen::VERSION => {}
+            Ok(bench) => eprintln!(
+                "[warn] BENCH_datagen.json is stale: recorded by wsccl-datagen {}, this binary \
+                 links {}; re-run `cargo run --release --bin bench_datagen`",
+                bench.datagen_version,
+                wsccl_datagen::VERSION
+            ),
+            Err(_) => eprintln!(
+                "[warn] BENCH_datagen.json is unreadable; re-run `cargo run --release --bin \
+                 bench_datagen`"
+            ),
+        },
+    });
 }
 
 /// Results of evaluating one trained method on one city.

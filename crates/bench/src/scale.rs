@@ -71,6 +71,37 @@ impl Scale {
     }
 }
 
+/// Dataset configuration for the `metro` profile (100k+ edges): unlabeled
+/// trajectories dominate; candidate groups are disabled because Yen's
+/// k-shortest search is O(city) per group and the metro tier exists to
+/// exercise the *streaming* path, not ranking labels.
+pub fn metro_dataset(seed: u64, num_unlabeled: usize) -> DatasetConfig {
+    DatasetConfig {
+        profile: CityProfile::Metro,
+        seed,
+        num_unlabeled,
+        num_tte: (num_unlabeled / 20).min(5_000),
+        num_groups: 0,
+        candidates_per_group: 5,
+        use_map_matching: false,
+    }
+}
+
+/// The tiers measured by the `bench_datagen` binary and recorded in
+/// `BENCH_datagen.json`. Two paper-city tiers always run; the metro tier is
+/// added at `Scale::Full` (it generates a 100k+-edge network first, which
+/// dominates the tier's wall time at small record counts).
+pub fn datagen_tiers(scale: Scale, seed: u64) -> Vec<(String, DatasetConfig)> {
+    let mut tiers = vec![
+        ("aalborg-small".to_string(), Scale::Small.dataset(CityProfile::Aalborg, seed)),
+        ("chengdu-small".to_string(), Scale::Small.dataset(CityProfile::Chengdu, seed)),
+    ];
+    if scale == Scale::Full {
+        tiers.push(("metro-20k".to_string(), metro_dataset(seed, 20_000)));
+    }
+    tiers
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,7 +17,7 @@
 use rand::rngs::StdRng;
 use rand::RngExt;
 
-use wsccl_datagen::TemporalPathSample;
+use wsccl_datagen::SamplePool;
 use wsccl_roadnet::Path;
 use wsccl_traffic::time::WEEK_SECONDS;
 use wsccl_traffic::{SimTime, WeakLabel, WeakLabeler};
@@ -72,9 +72,13 @@ pub fn sample_time_with_other_label(
 }
 
 /// Build one batch of ~`batch_size` items from the unlabeled pool.
-pub fn build_batch(
+///
+/// Generic over [`SamplePool`], so the pool can be an in-memory slice or a
+/// memory-mapped `.wsccl-ds` dataset; at equal seeds the batch is identical
+/// either way (the RNG draw sequence depends only on `pool.len()`).
+pub fn build_batch<P: SamplePool + ?Sized>(
     rng: &mut StdRng,
-    pool: &[TemporalPathSample],
+    pool: &P,
     labeler: &dyn WeakLabeler,
     batch_size: usize,
 ) -> Vec<BatchItem> {
@@ -82,7 +86,7 @@ pub fn build_batch(
     let blocks = (batch_size / 4).max(1);
     let mut batch = Vec::with_capacity(blocks * 4);
     for _ in 0..blocks {
-        let anchor = &pool[rng.random_range(0..pool.len())];
+        let anchor = pool.get(rng.random_range(0..pool.len()));
         let label = labeler.label(anchor.departure);
         batch.push(BatchItem { path: anchor.path.clone(), departure: anchor.departure, label });
         // Positive: same path, same label, (almost surely) different time.
@@ -91,16 +95,12 @@ pub fn build_batch(
         }
         // Hard negative: same path, different label.
         if let Some(t) = sample_time_with_other_label(rng, labeler, label, 200) {
-            batch.push(BatchItem {
-                path: anchor.path.clone(),
-                departure: t,
-                label: labeler.label(t),
-            });
+            batch.push(BatchItem { path: anchor.path, departure: t, label: labeler.label(t) });
         }
         // Random other sample: different path.
-        let other = &pool[rng.random_range(0..pool.len())];
+        let other = pool.get(rng.random_range(0..pool.len()));
         batch.push(BatchItem {
-            path: other.path.clone(),
+            path: other.path,
             departure: other.departure,
             label: labeler.label(other.departure),
         });
@@ -112,7 +112,7 @@ pub fn build_batch(
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use wsccl_datagen::{CityDataset, DatasetConfig};
+    use wsccl_datagen::{CityDataset, DatasetConfig, TemporalPathSample};
     use wsccl_roadnet::CityProfile;
     use wsccl_traffic::PopLabeler;
 
@@ -164,6 +164,29 @@ mod tests {
                 .any(|(j, b)| i != j && a.path.edges() == b.path.edges() && a.label != b.label)
         });
         assert!(has_hard_negative, "expected same-path different-label pairs");
+    }
+
+    #[test]
+    fn batches_are_identical_between_memory_and_mmap_pools() {
+        let cfg = DatasetConfig::tiny(CityProfile::Aalborg, 5);
+        let path = std::env::temp_dir().join("wsccl_sampler_pool_eq.wsccl-ds");
+        wsccl_datagen::write_dataset(&cfg, &wsccl_datagen::StreamConfig::serial(), &path)
+            .expect("write dataset");
+        let disk = wsccl_datagen::DiskDataset::open(&path).expect("open dataset");
+        let mem: Vec<TemporalPathSample> =
+            (0..wsccl_datagen::SamplePool::len(&disk)).map(|i| disk.get(i)).collect();
+        for seed in [0u64, 9, 77] {
+            let a = build_batch(&mut StdRng::seed_from_u64(seed), &disk, &PopLabeler, 32);
+            let b = build_batch(&mut StdRng::seed_from_u64(seed), &mem, &PopLabeler, 32);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.path.edges(), y.path.edges());
+                assert_eq!(x.departure, y.departure);
+                assert_eq!(x.label, y.label);
+            }
+        }
+        drop(disk);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
-use wsccl_datagen::TemporalPathSample;
+use wsccl_datagen::SamplePool;
 use wsccl_nn::{Graph, NodeId, Parameters};
 use wsccl_roadnet::{Path, RoadNetwork};
 use wsccl_traffic::{SimTime, WeakLabeler};
@@ -63,11 +63,11 @@ fn train_spec(cfg: &WscclConfig, seed: u64) -> TrainSpec {
 /// `cfg.shards` shards sees its own independently drawn sub-batch. Everything
 /// a shard computes is a pure function of `(params, weights, cfg, shard
 /// seed)`, which is what makes the thread schedule irrelevant to the result.
-struct WscTrainable<'a> {
+struct WscTrainable<'a, P: SamplePool + ?Sized> {
     encoder: &'a TemporalPathEncoder,
     weights: &'a EncoderWeights,
     cfg: &'a WscclConfig,
-    pool: &'a [TemporalPathSample],
+    pool: &'a P,
     labeler: &'a (dyn WeakLabeler + Sync),
     /// Per-shard batch size; `build_batch` clamps to at least one anchor
     /// block, so over-sharding degrades gracefully.
@@ -76,12 +76,12 @@ struct WscTrainable<'a> {
     steps: usize,
 }
 
-impl<'a> WscTrainable<'a> {
+impl<'a, P: SamplePool + ?Sized> WscTrainable<'a, P> {
     fn new(
         encoder: &'a TemporalPathEncoder,
         weights: &'a EncoderWeights,
         cfg: &'a WscclConfig,
-        pool: &'a [TemporalPathSample],
+        pool: &'a P,
         labeler: &'a (dyn WeakLabeler + Sync),
         steps: usize,
     ) -> Self {
@@ -90,7 +90,7 @@ impl<'a> WscTrainable<'a> {
     }
 }
 
-impl Trainable for WscTrainable<'_> {
+impl<P: SamplePool + ?Sized> Trainable for WscTrainable<'_, P> {
     type Batch = ();
 
     fn epoch_batches(&mut self, _epoch: u64, _rng: &mut StdRng) -> Vec<()> {
@@ -169,10 +169,11 @@ impl WscModel {
 
     /// One optimization step over `cfg.shards` data-parallel sub-batches.
     /// Returns the mean shard loss, or `None` if no shard had usable
-    /// contrastive structure.
-    pub fn train_step(
+    /// contrastive structure. The pool may live in memory or be an
+    /// mmap-backed [`wsccl_datagen::DiskDataset`]; the math is identical.
+    pub fn train_step<P: SamplePool + ?Sized>(
         &mut self,
-        pool: &[TemporalPathSample],
+        pool: &P,
         labeler: &(dyn WeakLabeler + Sync),
     ) -> Option<f64> {
         let Self { encoder, params, weights, trainer, cfg, .. } = self;
@@ -181,9 +182,9 @@ impl WscModel {
     }
 
     /// Train for `epochs` passes of `pool.len() / batch_size` steps each.
-    pub fn train(
+    pub fn train<P: SamplePool + ?Sized>(
         &mut self,
-        pool: &[TemporalPathSample],
+        pool: &P,
         labeler: &(dyn WeakLabeler + Sync),
         epochs: usize,
     ) {
@@ -192,9 +193,9 @@ impl WscModel {
 
     /// [`Self::train`] with a [`TrainObserver`] receiving per-step and
     /// per-epoch records.
-    pub fn train_observed(
+    pub fn train_observed<P: SamplePool + ?Sized>(
         &mut self,
-        pool: &[TemporalPathSample],
+        pool: &P,
         labeler: &(dyn WeakLabeler + Sync),
         epochs: usize,
         observer: &mut dyn TrainObserver,

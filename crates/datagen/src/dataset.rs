@@ -1,13 +1,9 @@
 //! City dataset generation.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use wsccl_mapmatch::{map_match, EdgeSpatialIndex, MatchConfig};
-use wsccl_roadnet::yen::k_shortest_paths;
 use wsccl_roadnet::{CityProfile, Path, RoadNetwork};
-use wsccl_traffic::{CongestionModel, SimTime, TripConfig, TripGenerator};
+use wsccl_traffic::{CongestionModel, SimTime, TripConfig};
 
 /// One unlabeled temporal path `tp = (p, t)` (paper Definition 4).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -96,7 +92,7 @@ pub struct CityDataset {
 
 /// Per-city traffic realism parameters (sampling rates from §VII-A.1; peak
 /// strengths chosen so the three cities differ in congestion severity).
-fn city_params(profile: CityProfile) -> (f64, TripConfig) {
+pub(crate) fn city_params(profile: CityProfile) -> (f64, TripConfig) {
     match profile {
         CityProfile::Aalborg => {
             (1.2, TripConfig { gps_noise: 8.0, sample_interval: 5.0, ..Default::default() })
@@ -107,86 +103,35 @@ fn city_params(profile: CityProfile) -> (f64, TripConfig) {
         CityProfile::Chengdu => {
             (1.8, TripConfig { gps_noise: 12.0, sample_interval: 3.0, ..Default::default() })
         }
+        CityProfile::Metro => {
+            (1.7, TripConfig { gps_noise: 10.0, sample_interval: 10.0, ..Default::default() })
+        }
     }
 }
 
 impl CityDataset {
-    /// Generate a dataset. Deterministic per config.
+    /// Generate a dataset in memory. Deterministic per config; equivalent to
+    /// [`crate::stream::generate_streamed`] at any thread count — `generate`
+    /// is simply the serial driver of the streaming pipeline.
     pub fn generate(cfg: &DatasetConfig) -> Self {
-        let net = cfg.profile.generate(cfg.seed);
-        let (peak_strength, trip_cfg) = city_params(cfg.profile);
-        let congestion = CongestionModel::new(&net, peak_strength, cfg.seed);
-        let mut generator = TripGenerator::new(&net, &congestion, trip_cfg, cfg.seed);
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xDA7A_6E4);
-
-        // Unlabeled temporal paths (optionally via GPS + map matching).
-        let index = cfg.use_map_matching.then(|| EdgeSpatialIndex::new(&net, 200.0));
-        let match_cfg = MatchConfig::default();
-        let mut unlabeled = Vec::with_capacity(cfg.num_unlabeled);
-        while unlabeled.len() < cfg.num_unlabeled {
-            let trip = generator.generate_trip();
-            let path = match &index {
-                Some(ix) => {
-                    let traj = generator.trip_to_trajectory(&trip);
-                    match map_match(&net, ix, &traj, &match_cfg) {
-                        Some(p) => p,
-                        None => continue,
-                    }
-                }
-                None => trip.path.clone(),
-            };
-            unlabeled.push(TemporalPathSample { path, departure: trip.departure });
-        }
-
-        // Labeled travel-time examples.
-        let tte: Vec<TteExample> = (0..cfg.num_tte)
-            .map(|_| {
-                let trip = generator.generate_trip();
-                TteExample {
-                    path: trip.path,
-                    departure: trip.departure,
-                    travel_time: trip.total_time,
-                }
-            })
-            .collect();
-
-        // Candidate groups for ranking and recommendation.
-        let mut groups = Vec::with_capacity(cfg.num_groups);
-        while groups.len() < cfg.num_groups {
-            let trip = generator.generate_trip();
-            let truth = trip.path;
-            let (src, dst) = (truth.source(&net), truth.destination(&net));
-            let weight = |e| net.edge(e).length;
-            let mut candidates =
-                k_shortest_paths(&net, src, dst, cfg.candidates_per_group + 2, &weight);
-            // Drop any duplicate of the trajectory path, keep it in front.
-            candidates.retain(|p| p.edges() != truth.edges());
-            candidates.truncate(cfg.candidates_per_group - 1);
-            if candidates.len() + 1 < 3 {
-                continue; // need at least 3 candidates for meaningful ranking
-            }
-            // Shuffle alternatives so position carries no signal, then insert
-            // the truth at a random slot.
-            let mut all: Vec<Path> = candidates;
-            let pos = rng.random_range(0..=all.len());
-            all.insert(pos, truth.clone());
-            let scores: Vec<f64> = all.iter().map(|p| p.weighted_jaccard(&truth, &net)).collect();
-            let labels: Vec<bool> = all.iter().map(|p| p.edges() == truth.edges()).collect();
-            // Re-order so index 0 is the truth (consumers rely on it).
-            let truth_ix = labels.iter().position(|&b| b).expect("truth present");
-            let mut order: Vec<usize> = (0..all.len()).collect();
-            order.swap(0, truth_ix);
-            let candidates: Vec<Path> = order.iter().map(|&i| all[i].clone()).collect();
-            let scores: Vec<f64> = order.iter().map(|&i| scores[i]).collect();
-            let labels: Vec<bool> = order.iter().map(|&i| labels[i]).collect();
-            groups.push(CandidateGroup { departure: trip.departure, candidates, scores, labels });
-        }
-
-        Self { name: cfg.profile.name().to_string(), net, congestion, unlabeled, tte, groups }
+        crate::stream::generate_streamed(cfg, &crate::stream::StreamConfig::serial())
     }
 
     /// Dataset statistics row (the Table II analog).
+    ///
+    /// Panics if candidate groups are not all the same size: the generator
+    /// guarantees exactly `candidates_per_group` candidates per group, and a
+    /// ragged dataset indicates corruption.
     pub fn statistics(&self) -> DatasetStatistics {
+        let group_size = self.groups.first().map_or(0, |g| g.candidates.len());
+        for (k, g) in self.groups.iter().enumerate() {
+            assert_eq!(
+                g.candidates.len(),
+                group_size,
+                "candidate group {k} has {} candidates, expected {group_size}",
+                g.candidates.len()
+            );
+        }
         DatasetStatistics {
             name: self.name.clone(),
             num_nodes: self.net.num_nodes(),
@@ -194,6 +139,7 @@ impl CityDataset {
             unlabeled_paths: self.unlabeled.len(),
             labeled_tte: self.tte.len(),
             labeled_groups: self.groups.len(),
+            group_size,
             mean_path_len: self.unlabeled.iter().map(|s| s.path.len()).sum::<usize>() as f64
                 / self.unlabeled.len().max(1) as f64,
         }
@@ -209,6 +155,8 @@ pub struct DatasetStatistics {
     pub unlabeled_paths: usize,
     pub labeled_tte: usize,
     pub labeled_groups: usize,
+    /// Candidates per group (uniform across the dataset; 0 when no groups).
+    pub group_size: usize,
     pub mean_path_len: f64,
 }
 

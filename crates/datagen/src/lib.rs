@@ -16,8 +16,27 @@
 //! — be recovered from simulated noisy GPS traces by HMM map matching
 //! (`use_map_matching`).
 
-pub mod dataset;
-pub mod split;
+//! Generation streams record-by-record through the bounded-memory pipeline
+//! in [`stream`]; datasets either stay in memory ([`CityDataset`]) or stream
+//! to the versioned `.wsccl-ds` on-disk format ([`disk`]) and come back as a
+//! memory-mapped view ([`disk::DiskDataset`]). Consumers go through
+//! [`DatasetSource`] / [`SamplePool`] and never care which one they got.
 
-pub use dataset::{CandidateGroup, CityDataset, DatasetConfig, TemporalPathSample, TteExample};
+pub mod dataset;
+pub mod disk;
+pub mod source;
+pub mod split;
+pub mod stream;
+
+/// Crate version, recorded in every `.wsccl-ds` file and in
+/// `BENCH_datagen.json` so benchmark results can be matched to the generator
+/// that produced them.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+pub use dataset::{
+    CandidateGroup, CityDataset, DatasetConfig, DatasetStatistics, TemporalPathSample, TteExample,
+};
+pub use disk::{DatasetWriter, DiskDataset, DiskError};
+pub use source::{DatasetSource, SamplePool};
 pub use split::train_test_split;
+pub use stream::{generate_streamed, write_dataset, GenContext, StreamConfig};

@@ -1,0 +1,535 @@
+//! Streaming dataset generation: bounded-memory, index-addressed, parallel.
+//!
+//! The monolithic `CityDataset::generate` loop drew every record from one
+//! sequential RNG, which made parallel generation impossible (record *i*
+//! depended on records `0..i`) and forced the whole dataset to live in
+//! memory. This module decomposes generation into three *record producers* —
+//! one per dataset section — where record `i` is a pure function of
+//! `(config, section, i)` (see [`wsccl_traffic::IndexedTripGen`]). On top of
+//! them, [`stream_section`] drives either a serial loop or a pool of strided
+//! producer threads feeding bounded channels, and delivers *accepted* records
+//! to the sink in ascending index order. Three consequences:
+//!
+//! * **Determinism is thread-count independent.** The consumer visits indices
+//!   `0, 1, 2, …` and skips rejected ones (failed map match, too few route
+//!   alternatives) identically at any thread count, so the accepted stream —
+//!   and everything built from it — is bit-identical.
+//! * **Memory is O(threads × channel capacity)**, not O(dataset). The sink
+//!   decides whether records accumulate in RAM ([`generate_streamed`]) or go
+//!   straight to disk ([`crate::disk::DatasetWriter`]).
+//! * **Backpressure is free.** A slow sink (disk writer) blocks producers at
+//!   the channel bound instead of ballooning a queue.
+//!
+//! Generation publishes progress through `wsccl-obs` when the global metrics
+//! registry is enabled: counters `datagen.accepted` / `datagen.rejected` and
+//! gauges `datagen.paths_per_sec` / `datagen.rss_bytes`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+use rand::RngExt;
+
+use wsccl_mapmatch::{map_match, EdgeSpatialIndex, MatchConfig};
+use wsccl_roadnet::yen::k_shortest_paths;
+use wsccl_roadnet::RoadNetwork;
+use wsccl_traffic::{CongestionModel, IndexedTripGen, TripConfig};
+
+use crate::dataset::{
+    city_params, CandidateGroup, CityDataset, DatasetConfig, TemporalPathSample, TteExample,
+};
+
+/// Per-section seed tags: the three record streams of one dataset must be
+/// independent even though they share `DatasetConfig::seed`.
+const TAG_UNLABELED: u64 = 0x11AB_E1ED;
+const TAG_TTE: u64 = 0x77E0_0717;
+const TAG_GROUPS: u64 = 0x6409_0B55;
+
+/// How the stream driver runs: producer thread count and the per-producer
+/// channel bound. Total buffered records never exceed
+/// `threads × channel_capacity`, which is the pipeline's entire
+/// dataset-size-independent working set.
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    pub threads: usize,
+    pub channel_capacity: usize,
+}
+
+impl StreamConfig {
+    /// Single-threaded in-place generation (no channels, no threads).
+    pub fn serial() -> Self {
+        Self { threads: 1, channel_capacity: 64 }
+    }
+
+    /// `threads` producers with a default channel bound.
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads: threads.max(1), channel_capacity: 64 }
+    }
+
+    /// One producer per available core.
+    pub fn auto() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::with_threads(threads)
+    }
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+/// Everything needed to produce any record of a dataset by `(section, index)`:
+/// the road network, congestion model, trip parameters, and (when map
+/// matching is on) the shared spatial index. Immutable after construction, so
+/// producer threads borrow it freely.
+pub struct GenContext {
+    cfg: DatasetConfig,
+    net: RoadNetwork,
+    congestion: CongestionModel,
+    trip_cfg: TripConfig,
+    match_index: Option<EdgeSpatialIndex>,
+    match_cfg: MatchConfig,
+}
+
+impl GenContext {
+    pub fn new(cfg: &DatasetConfig) -> Self {
+        assert!(
+            cfg.num_groups == 0 || cfg.candidates_per_group >= 3,
+            "candidates_per_group must be >= 3 (got {})",
+            cfg.candidates_per_group
+        );
+        let net = cfg.profile.generate(cfg.seed);
+        let (peak_strength, trip_cfg) = city_params(cfg.profile);
+        let congestion = CongestionModel::new(&net, peak_strength, cfg.seed);
+        let match_index = cfg.use_map_matching.then(|| EdgeSpatialIndex::new(&net, 200.0));
+        Self {
+            cfg: cfg.clone(),
+            net,
+            congestion,
+            trip_cfg,
+            match_index,
+            match_cfg: MatchConfig::default(),
+        }
+    }
+
+    pub fn config(&self) -> &DatasetConfig {
+        &self.cfg
+    }
+
+    pub fn net(&self) -> &RoadNetwork {
+        &self.net
+    }
+
+    pub fn congestion(&self) -> &CongestionModel {
+        &self.congestion
+    }
+
+    /// Surrender the city so the caller can assemble a [`CityDataset`]
+    /// without cloning the network.
+    pub fn into_city(self) -> (RoadNetwork, CongestionModel) {
+        (self.net, self.congestion)
+    }
+
+    fn gen(&self, tag: u64) -> IndexedTripGen<'_> {
+        IndexedTripGen::new(&self.net, &self.congestion, self.trip_cfg.clone(), self.cfg.seed ^ tag)
+    }
+
+    /// Unlabeled record `i`: a trip, optionally pushed through GPS synthesis
+    /// and HMM map matching. `None` when the map matcher cannot recover a
+    /// path (the index is skipped; the accepted stream closes over it).
+    pub fn unlabeled_at(&self, i: u64) -> Option<TemporalPathSample> {
+        let gen = self.gen(TAG_UNLABELED);
+        let mut rng = gen.rng(i);
+        let trip = gen.trip_with(&mut rng);
+        match &self.match_index {
+            Some(ix) => {
+                let traj = gen.trajectory(&mut rng, &trip);
+                let path = map_match(&self.net, ix, &traj, &self.match_cfg)?;
+                Some(TemporalPathSample { path, departure: trip.departure })
+            }
+            // No clone: the trip is consumed, its path moves into the sample.
+            None => Some(TemporalPathSample { path: trip.path, departure: trip.departure }),
+        }
+    }
+
+    /// Labeled travel-time record `i`. Never rejected.
+    pub fn tte_at(&self, i: u64) -> Option<TteExample> {
+        let trip = self.gen(TAG_TTE).trip(i);
+        Some(TteExample {
+            path: trip.path,
+            departure: trip.departure,
+            travel_time: trip.total_time,
+        })
+    }
+
+    /// Candidate-group record `i`: the trip's path plus Yen k-shortest
+    /// alternatives, always exactly `candidates_per_group` candidates.
+    /// `None` when the graph cannot supply enough distinct alternatives for
+    /// this origin–destination pair (deterministic rejection).
+    pub fn group_at(&self, i: u64) -> Option<CandidateGroup> {
+        let cpg = self.cfg.candidates_per_group;
+        let gen = self.gen(TAG_GROUPS);
+        let mut rng = gen.rng(i);
+        let trip = gen.trip_with(&mut rng);
+        let truth = trip.path;
+        let (src, dst) = (truth.source(&self.net), truth.destination(&self.net));
+        let weight = |e| self.net.edge(e).length;
+        let mut alternatives = k_shortest_paths(&self.net, src, dst, cpg + 2, &weight);
+        alternatives.retain(|p| p.edges() != truth.edges());
+        if alternatives.len() < cpg - 1 {
+            // One deeper retry before rejecting; keeps groups exact without
+            // unbounded search on sparse OD pairs.
+            alternatives = k_shortest_paths(&self.net, src, dst, cpg + 6, &weight);
+            alternatives.retain(|p| p.edges() != truth.edges());
+        }
+        alternatives.truncate(cpg - 1);
+        if alternatives.len() + 1 < cpg {
+            return None;
+        }
+        // Insert the truth at a random slot so scoring position carries no
+        // signal, score/label everything, then swap it back to index 0
+        // (consumers rely on candidate 0 being the trajectory path). Swaps,
+        // not an `order` permutation: no candidate is ever cloned.
+        let mut all = alternatives;
+        let pos = rng.random_range(0..=all.len());
+        all.insert(pos, truth);
+        let truth_ref = &all[pos];
+        let mut scores: Vec<f64> =
+            all.iter().map(|p| p.weighted_jaccard(truth_ref, &self.net)).collect();
+        let mut labels: Vec<bool> = all.iter().map(|p| p.edges() == truth_ref.edges()).collect();
+        all.swap(0, pos);
+        scores.swap(0, pos);
+        labels.swap(0, pos);
+        Some(CandidateGroup { departure: trip.departure, candidates: all, scores, labels })
+    }
+}
+
+/// Drive one section: call `produce(i)` for `i = 0, 1, 2, …`, deliver the
+/// `target` accepted records to `sink` in index order, and report
+/// `(accepted, rejected)`.
+///
+/// With `stream.threads > 1`, thread `t` produces indices `t, t+T, t+2T, …`
+/// into its own bounded channel and the consumer reads channel `i mod T` for
+/// ascending `i` — exactly the serial order, with at most
+/// `threads × channel_capacity` records in flight.
+pub fn stream_section<R, F>(
+    target: usize,
+    stream: &StreamConfig,
+    produce: F,
+    mut sink: impl FnMut(R),
+) -> (usize, usize)
+where
+    R: Send,
+    F: Fn(u64) -> Option<R> + Sync,
+{
+    stream_section_until(target, stream, produce, |r| {
+        sink(r);
+        true
+    })
+}
+
+/// Like [`stream_section`], but the sink returns `false` to abort early
+/// (e.g. the disk writer hit an I/O error). Producers are stopped and
+/// drained; the counts reflect records delivered before the abort.
+pub fn stream_section_until<R, F>(
+    target: usize,
+    stream: &StreamConfig,
+    produce: F,
+    mut sink: impl FnMut(R) -> bool,
+) -> (usize, usize)
+where
+    R: Send,
+    F: Fn(u64) -> Option<R> + Sync,
+{
+    if target == 0 {
+        return (0, 0);
+    }
+    let threads = stream.threads.max(1);
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    if threads == 1 {
+        let mut i = 0u64;
+        while accepted < target {
+            match produce(i) {
+                Some(r) => {
+                    accepted += 1;
+                    if !sink(r) {
+                        break;
+                    }
+                }
+                None => rejected += 1,
+            }
+            i += 1;
+        }
+        return (accepted, rejected);
+    }
+
+    let cap = stream.channel_capacity.max(1);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let produce = &produce;
+        let stop = &stop;
+        let mut rxs = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let (tx, rx) = mpsc::sync_channel::<Option<R>>(cap);
+            rxs.push(rx);
+            scope.spawn(move || {
+                let mut i = t as u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // A full channel blocks here: backpressure, not memory.
+                    if tx.send(produce(i)).is_err() {
+                        break;
+                    }
+                    i += threads as u64;
+                }
+            });
+        }
+        let mut i = 0u64;
+        while accepted < target {
+            let rec =
+                rxs[(i % threads as u64) as usize].recv().expect("datagen producer thread died");
+            match rec {
+                Some(r) => {
+                    accepted += 1;
+                    if !sink(r) {
+                        break;
+                    }
+                }
+                None => rejected += 1,
+            }
+            i += 1;
+        }
+        stop.store(true, Ordering::Relaxed);
+        // Dropping the receivers unblocks producers stuck in `send`.
+        drop(rxs);
+    });
+    (accepted, rejected)
+}
+
+/// Obs instrumentation shared by the in-memory and on-disk drivers: counts
+/// accepted/rejected records and publishes throughput and RSS gauges.
+pub(crate) struct SectionMetrics {
+    accepted: wsccl_obs::Counter,
+    rejected: wsccl_obs::Counter,
+    paths_per_sec: wsccl_obs::Gauge,
+    rss: wsccl_obs::Gauge,
+    started: Instant,
+    count: u64,
+}
+
+impl SectionMetrics {
+    pub(crate) fn new() -> Self {
+        let reg = wsccl_obs::global();
+        Self {
+            accepted: reg.counter("datagen.accepted"),
+            rejected: reg.counter("datagen.rejected"),
+            paths_per_sec: reg.gauge("datagen.paths_per_sec"),
+            rss: reg.gauge("datagen.rss_bytes"),
+            started: Instant::now(),
+            count: 0,
+        }
+    }
+
+    pub(crate) fn record(&mut self, accepted: usize, rejected: usize) {
+        self.accepted.add(accepted as u64);
+        self.rejected.add(rejected as u64);
+        self.count += accepted as u64;
+        let secs = self.started.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            self.paths_per_sec.set(self.count as f64 / secs);
+        }
+        if let Some(rss) = wsccl_obs::rss_bytes() {
+            self.rss.set(rss as f64);
+        }
+    }
+}
+
+/// Generate a full in-memory [`CityDataset`] through the streaming pipeline.
+/// Bit-identical to any other thread count at the same config, including
+/// `StreamConfig::serial()`.
+pub fn generate_streamed(cfg: &DatasetConfig, stream: &StreamConfig) -> CityDataset {
+    let ctx = GenContext::new(cfg);
+    let mut metrics = SectionMetrics::new();
+
+    let mut unlabeled = Vec::with_capacity(cfg.num_unlabeled);
+    let (a, r) =
+        stream_section(cfg.num_unlabeled, stream, |i| ctx.unlabeled_at(i), |s| unlabeled.push(s));
+    metrics.record(a, r);
+
+    let mut tte = Vec::with_capacity(cfg.num_tte);
+    let (a, r) = stream_section(cfg.num_tte, stream, |i| ctx.tte_at(i), |s| tte.push(s));
+    metrics.record(a, r);
+
+    let mut groups = Vec::with_capacity(cfg.num_groups);
+    let (a, r) = stream_section(cfg.num_groups, stream, |i| ctx.group_at(i), |g| groups.push(g));
+    metrics.record(a, r);
+
+    let name = cfg.profile.name().to_string();
+    let (net, congestion) = ctx.into_city();
+    CityDataset { name, net, congestion, unlabeled, tte, groups }
+}
+
+/// Generate a dataset straight to a `.wsccl-ds` file without ever holding
+/// more than the in-flight channel records in memory. Returns the written
+/// dataset's statistics row. The produced file is byte-identical at any
+/// thread count.
+pub fn write_dataset(
+    cfg: &DatasetConfig,
+    stream: &StreamConfig,
+    path: &std::path::Path,
+) -> std::io::Result<crate::dataset::DatasetStatistics> {
+    let ctx = GenContext::new(cfg);
+    let mut metrics = SectionMetrics::new();
+    let mut writer = crate::disk::DatasetWriter::create(
+        path,
+        cfg.profile.name(),
+        cfg,
+        ctx.net(),
+        ctx.congestion(),
+    )?;
+    let mut io_err: Option<std::io::Error> = None;
+
+    {
+        let (w, e) = (&mut writer, &mut io_err);
+        let (a, r) = stream_section_until(
+            cfg.num_unlabeled,
+            stream,
+            |i| ctx.unlabeled_at(i),
+            |s| match w.put_unlabeled(&s) {
+                Ok(()) => true,
+                Err(err) => {
+                    *e = Some(err);
+                    false
+                }
+            },
+        );
+        w.set_rejected(0, r as u64);
+        metrics.record(a, r);
+    }
+    if let Some(err) = io_err {
+        return Err(err);
+    }
+
+    {
+        let (w, e) = (&mut writer, &mut io_err);
+        let (a, r) = stream_section_until(
+            cfg.num_tte,
+            stream,
+            |i| ctx.tte_at(i),
+            |t| match w.put_tte(&t) {
+                Ok(()) => true,
+                Err(err) => {
+                    *e = Some(err);
+                    false
+                }
+            },
+        );
+        w.set_rejected(1, r as u64);
+        metrics.record(a, r);
+    }
+    if let Some(err) = io_err {
+        return Err(err);
+    }
+
+    {
+        let (w, e) = (&mut writer, &mut io_err);
+        let (a, r) = stream_section_until(
+            cfg.num_groups,
+            stream,
+            |i| ctx.group_at(i),
+            |g| match w.put_group(&g) {
+                Ok(()) => true,
+                Err(err) => {
+                    *e = Some(err);
+                    false
+                }
+            },
+        );
+        w.set_rejected(2, r as u64);
+        metrics.record(a, r);
+    }
+    if let Some(err) = io_err {
+        return Err(err);
+    }
+
+    writer.finish()?;
+    crate::disk::DiskDataset::open(path)
+        .map(|ds| ds.statistics())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsccl_roadnet::CityProfile;
+
+    #[test]
+    fn stream_section_orders_and_skips_identically_across_thread_counts() {
+        // Producer accepts even indices only; value = index.
+        let produce = |i: u64| (i % 2 == 0).then_some(i);
+        let mut serial = Vec::new();
+        let (a, r) = stream_section(10, &StreamConfig::serial(), produce, |v| serial.push(v));
+        assert_eq!((a, r), (10, 9));
+        assert_eq!(serial, (0..10).map(|k| 2 * k).collect::<Vec<u64>>());
+        for threads in [2, 3, 5] {
+            let mut par = Vec::new();
+            let sc = StreamConfig { threads, channel_capacity: 2 };
+            let (a, r) = stream_section(10, &sc, produce, |v| par.push(v));
+            assert_eq!((a, r), (10, 9), "threads={threads}");
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn streamed_generation_is_thread_count_invariant() {
+        let cfg = DatasetConfig::tiny(CityProfile::Aalborg, 13);
+        let a = generate_streamed(&cfg, &StreamConfig::serial());
+        let b = generate_streamed(&cfg, &StreamConfig { threads: 3, channel_capacity: 4 });
+        assert_eq!(a.unlabeled.len(), b.unlabeled.len());
+        for (x, y) in a.unlabeled.iter().zip(&b.unlabeled) {
+            assert_eq!(x.path.edges(), y.path.edges());
+            assert_eq!(x.departure, y.departure);
+        }
+        for (x, y) in a.tte.iter().zip(&b.tte) {
+            assert_eq!(x.path.edges(), y.path.edges());
+            assert_eq!(x.travel_time.to_bits(), y.travel_time.to_bits());
+        }
+        for (x, y) in a.groups.iter().zip(&b.groups) {
+            assert_eq!(x.candidates.len(), y.candidates.len());
+            for (p, q) in x.candidates.iter().zip(&y.candidates) {
+                assert_eq!(p.edges(), q.edges());
+            }
+            assert_eq!(x.scores, y.scores);
+            assert_eq!(x.labels, y.labels);
+        }
+    }
+
+    #[test]
+    fn groups_have_exactly_cpg_candidates() {
+        let cfg = DatasetConfig::tiny(CityProfile::Harbin, 21);
+        let ds = generate_streamed(&cfg, &StreamConfig::serial());
+        assert_eq!(ds.groups.len(), cfg.num_groups);
+        for g in &ds.groups {
+            assert_eq!(g.candidates.len(), cfg.candidates_per_group);
+            assert!(g.labels[0]);
+            assert!((g.scores[0] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn map_matched_streaming_rejects_and_refills() {
+        let cfg = DatasetConfig {
+            use_map_matching: true,
+            num_tte: 0,
+            num_groups: 0,
+            ..DatasetConfig::tiny(CityProfile::Aalborg, 4)
+        };
+        let a = generate_streamed(&cfg, &StreamConfig::serial());
+        let b = generate_streamed(&cfg, &StreamConfig { threads: 2, channel_capacity: 3 });
+        assert_eq!(a.unlabeled.len(), cfg.num_unlabeled);
+        for (x, y) in a.unlabeled.iter().zip(&b.unlabeled) {
+            assert_eq!(x.path.edges(), y.path.edges());
+        }
+    }
+}

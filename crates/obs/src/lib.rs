@@ -17,6 +17,7 @@
 
 mod anomaly;
 mod metrics;
+mod process;
 mod profile;
 mod span;
 
@@ -24,5 +25,6 @@ pub use anomaly::{AnomalyEvent, AnomalyGuard, AnomalyKind, AnomalyPolicy};
 pub use metrics::{
     global, Counter, Gauge, Histogram, HistogramSample, MetricsSnapshot, Registry, Sample,
 };
+pub use process::{peak_rss_bytes, rss_bytes};
 pub use profile::{OpProfile, OpTiming, TapeProfile, TapeProfiler};
 pub use span::Span;

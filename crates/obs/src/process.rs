@@ -1,0 +1,54 @@
+//! Process-level resource readings (resident set size).
+//!
+//! The streaming data pipeline's bounded-memory contract is expressed in
+//! terms of peak RSS; these helpers read it from `/proc/self/status` so both
+//! the `datagen.rss_bytes` gauge and the scale smoke-test assertions share
+//! one definition. On non-Linux targets the readings are `None` and callers
+//! degrade to not reporting memory.
+
+/// Current resident set size in bytes (`VmRSS`), if the platform exposes it.
+pub fn rss_bytes() -> Option<u64> {
+    read_status_kb("VmRSS:").map(|kb| kb * 1024)
+}
+
+/// Peak resident set size in bytes (`VmHWM`) — the high-water mark since
+/// process start. Monotone: suitable for "generating 4× the records must not
+/// move the peak" assertions only when measured across separate runs or
+/// phases of one process.
+pub fn peak_rss_bytes() -> Option<u64> {
+    read_status_kb("VmHWM:").map(|kb| kb * 1024)
+}
+
+#[cfg(target_os = "linux")]
+fn read_status_kb(field: &str) -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(field) {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb);
+        }
+    }
+    None
+}
+
+#[cfg(not(target_os = "linux"))]
+fn read_status_kb(_field: &str) -> Option<u64> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn rss_readings_are_sane() {
+        let rss = rss_bytes().expect("VmRSS readable on linux");
+        let peak = peak_rss_bytes().expect("VmHWM readable on linux");
+        // A running test binary occupies at least a few hundred KB and less
+        // than a terabyte; the peak can never be below the current value.
+        assert!(rss > 100 * 1024, "rss {rss}");
+        assert!(rss < 1 << 40, "rss {rss}");
+        assert!(peak >= rss, "peak {peak} < rss {rss}");
+    }
+}

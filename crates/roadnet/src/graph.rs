@@ -7,7 +7,12 @@ use serde::{Deserialize, Serialize};
 pub struct NodeId(pub u32);
 
 /// Edge (road segment) handle.
+///
+/// `repr(transparent)` over `u32` is a stable layout guarantee: the on-disk
+/// dataset format (`wsccl-datagen`) reinterprets 4-byte-aligned little-endian
+/// record bytes as `&[EdgeId]` without copying.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct EdgeId(pub u32);
 
 impl NodeId {

@@ -105,6 +105,64 @@ pub fn dijkstra(
     ShortestPaths { dist, prev_edge }
 }
 
+/// Dijkstra that stops as soon as `target` is settled.
+///
+/// Returns the same path as a full [`dijkstra`] run would, but only explores
+/// the ball of nodes closer than the target — the difference between O(city)
+/// and O(trip) work per query on 100k+-edge networks, which is what keeps
+/// streaming trip generation tractable at metro scale.
+pub fn dijkstra_to(
+    net: &RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    weight: &dyn Fn(EdgeId) -> f64,
+) -> Option<Path> {
+    use std::collections::HashMap;
+    // Sparse state: allocations scale with the explored ball, not the city,
+    // so a short trip on a 100k-edge network costs O(trip).
+    let mut dist: HashMap<NodeId, f64> = HashMap::new();
+    let mut prev_edge: HashMap<NodeId, EdgeId> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    dist.insert(source, 0.0);
+    heap.push(HeapEntry { cost: 0.0, node: source });
+
+    let mut reached = false;
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if cost > dist.get(&node).copied().unwrap_or(f64::INFINITY) {
+            continue; // stale heap entry
+        }
+        if node == target {
+            reached = true;
+            break;
+        }
+        for &e in net.out_edges(node) {
+            let to = net.edge(e).to;
+            let w = weight(e);
+            debug_assert!(w > 0.0 && w.is_finite(), "edge weight must be positive and finite");
+            let nd = cost + w;
+            if nd < dist.get(&to).copied().unwrap_or(f64::INFINITY) {
+                dist.insert(to, nd);
+                prev_edge.insert(to, e);
+                heap.push(HeapEntry { cost: nd, node: to });
+            }
+        }
+    }
+    if !reached {
+        return None;
+    }
+    let mut edges = Vec::new();
+    let mut cur = target;
+    while let Some(&e) = prev_edge.get(&cur) {
+        edges.push(e);
+        cur = net.edge(e).from;
+    }
+    if edges.is_empty() {
+        return None; // target == source
+    }
+    edges.reverse();
+    Some(Path::new_unchecked(edges))
+}
+
 /// Shortest path by physical edge length.
 pub fn shortest_path_by_length(net: &RoadNetwork, from: NodeId, to: NodeId) -> Option<Path> {
     let sp = dijkstra(net, from, &|e| net.edge(e).length, &[], &[]);
@@ -185,6 +243,18 @@ mod tests {
         let sp = dijkstra(&net, NodeId(0), &|e| net.edge(e).length, &[], &banned);
         let p = sp.path_to(&net, NodeId(3)).unwrap();
         assert_eq!(p.edges(), &[EdgeId(4)]);
+    }
+
+    #[test]
+    fn early_exit_matches_full_dijkstra() {
+        let net = diamond();
+        for target in 1..net.num_nodes() as u32 {
+            let full = shortest_path_by_length(&net, NodeId(0), NodeId(target));
+            let fast = dijkstra_to(&net, NodeId(0), NodeId(target), &|e| net.edge(e).length);
+            assert_eq!(full.map(|p| p.edges().to_vec()), fast.map(|p| p.edges().to_vec()));
+        }
+        assert!(dijkstra_to(&net, NodeId(0), NodeId(0), &|e| net.edge(e).length).is_none());
+        assert!(dijkstra_to(&net, NodeId(3), NodeId(0), &|e| net.edge(e).length).is_none());
     }
 
     #[test]

@@ -47,9 +47,16 @@ pub enum CityProfile {
     Harbin,
     /// Dense Chinese city (paper: 6,632 nodes / 17,038 edges).
     Chengdu,
+    /// Paper-scale synthetic metropolis (100k+ edges). Not part of the three
+    /// evaluation cities ([`CityProfile::ALL`]); it exists for the streaming
+    /// data pipeline and the scale benchmarks, where datasets no longer fit
+    /// in memory.
+    Metro,
 }
 
 impl CityProfile {
+    /// The three evaluation cities of the paper's tables. `Metro` is
+    /// deliberately excluded: it is a scale tier, not an evaluation target.
     pub const ALL: [CityProfile; 3] =
         [CityProfile::Aalborg, CityProfile::Harbin, CityProfile::Chengdu];
 
@@ -58,6 +65,7 @@ impl CityProfile {
             CityProfile::Aalborg => "aalborg",
             CityProfile::Harbin => "harbin",
             CityProfile::Chengdu => "chengdu",
+            CityProfile::Metro => "metro",
         }
     }
 
@@ -101,6 +109,21 @@ impl CityProfile {
                 one_way_frac: 0.30,
                 signal_prob: 0.35,
                 arterial_spacing: 4,
+                seed,
+            },
+            // ~34k nodes, >100k directed edges: the first tier where the
+            // dataset has to stream rather than materialize.
+            CityProfile::Metro => SynthConfig {
+                name: self.name().into(),
+                grid_w: 190,
+                grid_h: 180,
+                spacing: 140.0,
+                jitter: 0.2,
+                keep_prob: 0.7,
+                diag_prob: 0.10,
+                one_way_frac: 0.20,
+                signal_prob: 0.25,
+                arterial_spacing: 5,
                 seed,
             },
         }
@@ -249,6 +272,13 @@ pub fn generate(cfg: &SynthConfig) -> RoadNetwork {
 mod tests {
     use super::*;
     use std::collections::HashSet;
+
+    #[test]
+    fn metro_profile_reaches_paper_scale() {
+        let net = CityProfile::Metro.generate(1);
+        assert!(net.num_edges() >= 100_000, "metro has only {} edges", net.num_edges());
+        assert!(net.is_strongly_connected(), "metro not strongly connected");
+    }
 
     #[test]
     fn all_profiles_are_strongly_connected() {

@@ -1,0 +1,207 @@
+//! Index-addressed trip generation for the streaming data pipeline.
+//!
+//! The sequential [`crate::TripGenerator`] draws every trip from one RNG
+//! stream, so trip *i* depends on trips `0..i` — fine in memory, fatal for a
+//! parallel streaming pipeline, where determinism must not depend on which
+//! producer thread generates which trip. [`IndexedTripGen`] makes each trip a
+//! *pure function of `(seed, index)`*: any thread can generate trip `i`
+//! independently and the result is bit-identical at any thread count.
+//!
+//! Two further changes make generation O(trip) instead of O(city), which is
+//! what lets the `metro` tier (100k+ edges) stream millions of trajectories:
+//!
+//! * **Route-choice perturbation is hashed, not drawn.** The sequential
+//!   generator fills an O(num_edges) perturbation vector per trip; here each
+//!   edge's perturbation comes from a SplitMix64 hash of `(trip key, edge)`,
+//!   evaluated lazily for the edges Dijkstra actually relaxes.
+//! * **Destinations are sampled locally.** A bounded random walk from the
+//!   origin picks the destination, and the route query uses the early-exit
+//!   [`dijkstra_to`], so the explored ball scales with trip length, not city
+//!   size.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use wsccl_roadnet::shortest::dijkstra_to;
+use wsccl_roadnet::{EdgeId, NodeId, Path, RoadNetwork};
+
+use crate::congestion::CongestionModel;
+use crate::time::SimTime;
+use crate::trajectory::{
+    emit_trajectory, sample_departure_with, traverse_with, Trajectory, Trip, TripConfig,
+};
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function used to derive
+/// per-index RNG seeds and per-(trip, edge) route perturbations.
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Route-choice perturbation for one edge of one trip: `exp(noise * z)` with
+/// `z` an approximate normal (sum of two uniforms on `[-1, 1)`) derived from
+/// the hash of `(trip key, edge)`.
+fn route_perturb(trip_key: u64, e: EdgeId, noise: f64) -> f64 {
+    let h1 = mix64(trip_key ^ (e.0 as u64).wrapping_mul(0xA24BAED4963EE407));
+    let h2 = mix64(h1);
+    let u = |h: u64| (h >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0;
+    (noise * (u(h1) + u(h2))).exp()
+}
+
+/// Seeded, index-addressed trip generator: `trip(i)` is a pure function of
+/// `(seed, i)`, independent of every other index.
+pub struct IndexedTripGen<'a> {
+    net: &'a RoadNetwork,
+    model: &'a CongestionModel,
+    cfg: TripConfig,
+    base: u64,
+}
+
+impl<'a> IndexedTripGen<'a> {
+    pub fn new(
+        net: &'a RoadNetwork,
+        model: &'a CongestionModel,
+        cfg: TripConfig,
+        seed: u64,
+    ) -> Self {
+        // Mixed so the stream differs from other components at the same seed.
+        Self { net, model, cfg, base: mix64(seed ^ 0x57EEA11_7419) }
+    }
+
+    pub fn config(&self) -> &TripConfig {
+        &self.cfg
+    }
+
+    /// The RNG for record `index`; every random choice for that record —
+    /// trip, traversal noise, GPS noise, labels — draws from this stream.
+    pub fn rng(&self, index: u64) -> StdRng {
+        StdRng::seed_from_u64(mix64(self.base ^ mix64(index)))
+    }
+
+    /// Generate trip `index`.
+    pub fn trip(&self, index: u64) -> Trip {
+        let mut rng = self.rng(index);
+        self.trip_with(&mut rng)
+    }
+
+    /// Generate a trip from an already-positioned per-record RNG (use
+    /// [`Self::rng`]); lets callers keep drawing from the same stream for
+    /// GPS emission or labeling stages.
+    pub fn trip_with(&self, rng: &mut StdRng) -> Trip {
+        let departure = sample_departure_with(rng);
+        let path = self.sample_route(rng, departure);
+        let (edge_times, total_time) =
+            traverse_with(self.net, self.model, self.cfg.time_noise, rng, &path, departure);
+        Trip { path, departure, edge_times, total_time }
+    }
+
+    /// Emit the noisy GPS trajectory for a trip, continuing `rng`'s stream.
+    pub fn trajectory(&self, rng: &mut StdRng, trip: &Trip) -> Trajectory {
+        emit_trajectory(self.net, &self.cfg, rng, trip)
+    }
+
+    /// Sample an origin, a locally reachable destination (bounded random
+    /// walk), and the perturbed-cost route between them, retrying until the
+    /// route satisfies the configured length band.
+    fn sample_route(&self, rng: &mut StdRng, departure: SimTime) -> Path {
+        let n = self.net.num_nodes() as u32;
+        loop {
+            let src = NodeId(rng.random_range(0..n));
+            // Random walk bounds the OD distance to the trip length band.
+            let steps = rng.random_range(self.cfg.min_edges..=self.cfg.max_edges);
+            let mut node = src;
+            for _ in 0..steps {
+                let outs = self.net.out_edges(node);
+                if outs.is_empty() {
+                    break;
+                }
+                let e = outs[rng.random_range(0..outs.len())];
+                node = self.net.edge(e).to;
+            }
+            if node == src {
+                continue;
+            }
+            let trip_key = rng.random::<u64>();
+            let (net, model, noise) = (self.net, self.model, self.cfg.route_noise);
+            let weight = move |e: EdgeId| {
+                model.edge_travel_time(net, e, departure).max(0.1)
+                    * route_perturb(trip_key, e, noise)
+            };
+            let Some(path) = dijkstra_to(self.net, src, node, &weight) else {
+                continue;
+            };
+            if (self.cfg.min_edges..=self.cfg.max_edges).contains(&path.len()) {
+                return path;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsccl_roadnet::CityProfile;
+
+    fn setup() -> (RoadNetwork, CongestionModel) {
+        let net = CityProfile::Aalborg.generate(3);
+        let model = CongestionModel::new(&net, 1.5, 3);
+        (net, model)
+    }
+
+    #[test]
+    fn trips_are_pure_functions_of_seed_and_index() {
+        let (net, model) = setup();
+        let g1 = IndexedTripGen::new(&net, &model, TripConfig::default(), 7);
+        let g2 = IndexedTripGen::new(&net, &model, TripConfig::default(), 7);
+        // Generate in different orders; index determines content.
+        let a: Vec<Trip> = [5u64, 0, 9].iter().map(|&i| g1.trip(i)).collect();
+        let b: Vec<Trip> = [9u64, 5, 0].iter().map(|&i| g2.trip(i)).collect();
+        assert_eq!(a[0].path.edges(), b[1].path.edges());
+        assert_eq!(a[1].path.edges(), b[2].path.edges());
+        assert_eq!(a[2].path.edges(), b[0].path.edges());
+        assert_eq!(a[0].departure, b[1].departure);
+        assert_eq!(a[0].edge_times, b[1].edge_times);
+    }
+
+    #[test]
+    fn different_indices_differ_and_respect_length_band() {
+        let (net, model) = setup();
+        let cfg = TripConfig::default();
+        let gen = IndexedTripGen::new(&net, &model, cfg.clone(), 11);
+        let mut distinct = 0;
+        let first = gen.trip(0);
+        for i in 0..20u64 {
+            let t = gen.trip(i);
+            assert!((cfg.min_edges..=cfg.max_edges).contains(&t.path.len()));
+            assert!(Path::new(&net, t.path.edges().to_vec()).is_some(), "invalid path");
+            assert_eq!(t.edge_times.len(), t.path.len());
+            assert!((t.edge_times.iter().sum::<f64>() - t.total_time).abs() < 1e-9);
+            if t.path.edges() != first.path.edges() {
+                distinct += 1;
+            }
+        }
+        assert!(distinct >= 15, "only {distinct} of 20 trips differed from trip 0");
+    }
+
+    #[test]
+    fn trajectory_stage_continues_the_record_stream() {
+        let (net, model) = setup();
+        let gen = IndexedTripGen::new(&net, &model, TripConfig::default(), 5);
+        let mut rng = gen.rng(3);
+        let trip = gen.trip_with(&mut rng);
+        let traj = gen.trajectory(&mut rng, &trip);
+        assert!(traj.fixes.len() >= 2);
+        for w in traj.fixes.windows(2) {
+            assert!(w[0].t <= w[1].t);
+        }
+        // Replaying the whole record from its index reproduces both stages.
+        let mut rng2 = gen.rng(3);
+        let trip2 = gen.trip_with(&mut rng2);
+        let traj2 = gen.trajectory(&mut rng2, &trip2);
+        assert_eq!(trip.path.edges(), trip2.path.edges());
+        assert_eq!(traj.fixes.len(), traj2.fixes.len());
+        assert_eq!(traj.fixes[0].x, traj2.fixes[0].x);
+    }
+}

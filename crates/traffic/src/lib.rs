@@ -16,11 +16,13 @@
 //!   fix emission at per-city sampling rates (§VII-A.1).
 
 pub mod congestion;
+pub mod gen;
 pub mod labels;
 pub mod time;
 pub mod trajectory;
 
 pub use congestion::CongestionModel;
+pub use gen::IndexedTripGen;
 pub use labels::{PopLabeler, TciLabeler, WeakLabel, WeakLabeler};
 pub use time::SimTime;
 pub use trajectory::{GpsFix, Trajectory, Trip, TripConfig, TripGenerator};

@@ -98,20 +98,7 @@ impl<'a> TripGenerator<'a> {
     /// Sample a departure time: weekdays weighted toward the two peaks, plus a
     /// uniform background over waking hours.
     pub fn sample_departure(&mut self) -> SimTime {
-        let day = self.rng.random_range(0..7u32);
-        let r: f64 = self.rng.random();
-        let hour: f64 = if day < 5 && r < 0.3 {
-            // Morning peak cluster.
-            8.0 + self.rng.random_range(-1.0..1.0)
-        } else if day < 5 && r < 0.6 {
-            // Afternoon peak cluster.
-            17.5 + self.rng.random_range(-1.5..1.5)
-        } else {
-            // Background traffic, 6:00–23:00.
-            self.rng.random_range(6.0..23.0)
-        };
-        let secs = ((hour.clamp(0.0, 23.99)) * 3600.0) as u32 % DAY_SECONDS;
-        SimTime::from_day_time(day, secs)
+        sample_departure_with(&mut self.rng)
     }
 
     /// Sample an origin–destination pair and route, retrying until the route
@@ -160,56 +147,99 @@ impl<'a> TripGenerator<'a> {
 
     /// Realize traversal times for a given path and departure time.
     pub fn traverse(&mut self, path: &Path, departure: SimTime) -> (Vec<f64>, f64) {
-        let mut t = departure;
-        let mut total = 0.0;
-        let mut edge_times = Vec::with_capacity(path.len());
-        for &e in path.edges() {
-            let expected = self.model.edge_travel_time(self.net, e, t);
-            let z: f64 = self.rng.random_range(-1.0..1.0) + self.rng.random_range(-1.0..1.0);
-            let realized = (expected * (self.cfg.time_noise * z).exp()).max(0.5);
-            edge_times.push(realized);
-            total += realized;
-            t = t.advance(realized);
-        }
-        (edge_times, total)
+        traverse_with(self.net, self.model, self.cfg.time_noise, &mut self.rng, path, departure)
     }
 
     /// Emit a noisy GPS trajectory for a trip.
     pub fn trip_to_trajectory(&mut self, trip: &Trip) -> Trajectory {
-        let mut fixes = Vec::new();
-        let mut next_sample = 0.0f64;
-        let mut elapsed = 0.0f64;
-        for (i, &e) in trip.path.edges().iter().enumerate() {
-            let dur = trip.edge_times[i];
-            while next_sample <= elapsed + dur {
-                let frac = ((next_sample - elapsed) / dur).clamp(0.0, 1.0);
-                let (x, y) = self.net.edge_point_at(e, frac);
-                let nx = x + self.gauss() * self.cfg.gps_noise;
-                let ny = y + self.gauss() * self.cfg.gps_noise;
-                fixes.push(GpsFix { x: nx, y: ny, t: next_sample });
-                next_sample += self.cfg.sample_interval;
-            }
-            elapsed += dur;
-        }
-        // Always include the final position.
-        let last_edge = *trip.path.edges().last().expect("non-empty path");
-        let (x, y) = self.net.edge_point_at(last_edge, 1.0);
-        fixes.push(GpsFix {
-            x: x + self.gauss() * self.cfg.gps_noise,
-            y: y + self.gauss() * self.cfg.gps_noise,
-            t: elapsed,
-        });
-        Trajectory { fixes, departure: trip.departure }
+        emit_trajectory(self.net, &self.cfg, &mut self.rng, trip)
     }
+}
 
-    /// Approximate standard normal (sum of uniforms, variance-corrected).
-    fn gauss(&mut self) -> f64 {
-        let mut s = 0.0;
-        for _ in 0..6 {
-            s += self.rng.random_range(-1.0..1.0f64);
-        }
-        s * (3.0f64 / 6.0).sqrt() * (2.0f64 / 3.0).sqrt() * 1.22
+/// Departure-time sampling shared by the sequential [`TripGenerator`] and the
+/// per-index streaming generator ([`crate::gen::IndexedTripGen`]): weekdays
+/// weighted toward the two peaks, plus a uniform background over waking hours.
+pub fn sample_departure_with(rng: &mut StdRng) -> SimTime {
+    let day = rng.random_range(0..7u32);
+    let r: f64 = rng.random();
+    let hour: f64 = if day < 5 && r < 0.3 {
+        // Morning peak cluster.
+        8.0 + rng.random_range(-1.0..1.0)
+    } else if day < 5 && r < 0.6 {
+        // Afternoon peak cluster.
+        17.5 + rng.random_range(-1.5..1.5)
+    } else {
+        // Background traffic, 6:00–23:00.
+        rng.random_range(6.0..23.0)
+    };
+    let secs = ((hour.clamp(0.0, 23.99)) * 3600.0) as u32 % DAY_SECONDS;
+    SimTime::from_day_time(day, secs)
+}
+
+/// Traversal simulation shared by both generators: realize per-edge travel
+/// times under the congestion model with multiplicative noise.
+pub fn traverse_with(
+    net: &RoadNetwork,
+    model: &CongestionModel,
+    time_noise: f64,
+    rng: &mut StdRng,
+    path: &Path,
+    departure: SimTime,
+) -> (Vec<f64>, f64) {
+    let mut t = departure;
+    let mut total = 0.0;
+    let mut edge_times = Vec::with_capacity(path.len());
+    for &e in path.edges() {
+        let expected = model.edge_travel_time(net, e, t);
+        let z: f64 = rng.random_range(-1.0..1.0) + rng.random_range(-1.0..1.0);
+        let realized = (expected * (time_noise * z).exp()).max(0.5);
+        edge_times.push(realized);
+        total += realized;
+        t = t.advance(realized);
     }
+    (edge_times, total)
+}
+
+/// GPS fix emission shared by both generators.
+pub fn emit_trajectory(
+    net: &RoadNetwork,
+    cfg: &TripConfig,
+    rng: &mut StdRng,
+    trip: &Trip,
+) -> Trajectory {
+    let mut fixes = Vec::new();
+    let mut next_sample = 0.0f64;
+    let mut elapsed = 0.0f64;
+    for (i, &e) in trip.path.edges().iter().enumerate() {
+        let dur = trip.edge_times[i];
+        while next_sample <= elapsed + dur {
+            let frac = ((next_sample - elapsed) / dur).clamp(0.0, 1.0);
+            let (x, y) = net.edge_point_at(e, frac);
+            let nx = x + gauss(rng) * cfg.gps_noise;
+            let ny = y + gauss(rng) * cfg.gps_noise;
+            fixes.push(GpsFix { x: nx, y: ny, t: next_sample });
+            next_sample += cfg.sample_interval;
+        }
+        elapsed += dur;
+    }
+    // Always include the final position.
+    let last_edge = *trip.path.edges().last().expect("non-empty path");
+    let (x, y) = net.edge_point_at(last_edge, 1.0);
+    fixes.push(GpsFix {
+        x: x + gauss(rng) * cfg.gps_noise,
+        y: y + gauss(rng) * cfg.gps_noise,
+        t: elapsed,
+    });
+    Trajectory { fixes, departure: trip.departure }
+}
+
+/// Approximate standard normal (sum of uniforms, variance-corrected).
+pub(crate) fn gauss(rng: &mut StdRng) -> f64 {
+    let mut s = 0.0;
+    for _ in 0..6 {
+        s += rng.random_range(-1.0..1.0f64);
+    }
+    s * (3.0f64 / 6.0).sqrt() * (2.0f64 / 3.0).sqrt() * 1.22
 }
 
 #[cfg(test)]
