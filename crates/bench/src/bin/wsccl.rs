@@ -6,6 +6,8 @@
 //! wsccl train    --city aalborg --seed 7 --out model.json   [--data city.json | --dataset f.wsccl-ds]
 //! wsccl evaluate --city aalborg --seed 7 --model model.json [--data city.json]
 //! wsccl embed    --model model.json --data city.json --index 0
+//! wsccl serve    --city aalborg --seed 7 [--model model.json] [--requests N] [--clients N]
+//!                [--batch N] [--watch ckpt.json] [--assert-p99-us US]
 //! ```
 //!
 //! `--scale tiny|small|full` (or `WSCCL_SCALE`) controls dataset/training
@@ -32,10 +34,11 @@ use wsccl_traffic::PopLabeler;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: wsccl <generate|datagen|train|evaluate|embed> \
+        "usage: wsccl <generate|datagen|train|evaluate|embed|serve> \
          [--city aalborg|harbin|chengdu|metro] [--seed N] [--scale tiny|small|full] \
          [--data FILE] [--dataset FILE.wsccl-ds] [--model FILE] [--out FILE] [--index N] \
-         [--threads N] [--unlabeled N] [--tte N] [--groups N] [--run-log NAME]"
+         [--threads N] [--unlabeled N] [--tte N] [--groups N] [--run-log NAME] \
+         [--requests N] [--clients N] [--batch N] [--watch CKPT] [--assert-p99-us US]"
     );
     ExitCode::from(2)
 }
@@ -101,6 +104,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&flags, profile, scale, seed),
         "evaluate" => cmd_evaluate(&flags, profile, scale, seed),
         "embed" => cmd_embed(&flags, profile, scale, seed),
+        "serve" => cmd_serve(&flags, profile, scale, seed),
         _ => return usage(),
     };
     match result {
@@ -259,6 +263,124 @@ fn cmd_evaluate(
     println!("city {}  (scale {})", ds.name, scale.name());
     println!("travel time: MAE {:.2} s | MARE {:.3} | MAPE {:.1}%", t.mae, t.mare, t.mape);
     println!("ranking:     MAE {:.3}   | tau {:.3} | rho {:.3}", r.mae, r.tau, r.rho);
+    Ok(())
+}
+
+/// Stand up a `wsccl-serve` server over a trained (or freshly-trained)
+/// model, fit an ETA head on the labeled split, fire a measured request
+/// burst from client threads, and report latency percentiles + cache stats.
+/// `--watch CKPT` enables hot checkpoint reload; `--assert-p99-us BOUND`
+/// turns the run into a smoke test (nonzero exit when p99 exceeds it).
+fn cmd_serve(
+    flags: &HashMap<String, String>,
+    profile: CityProfile,
+    scale: Scale,
+    seed: u64,
+) -> Result<(), String> {
+    wsccl_bench::runner::check_serve_bench();
+    let ds = load_or_generate(flags, profile, scale, seed)?;
+    let rep = match flags.get("model") {
+        Some(path) => {
+            let cp = Checkpoint::load(path).map_err(|e| e.to_string())?;
+            let encoder = Arc::new(TemporalPathEncoder::new(
+                &ds.net,
+                cp.encoder_config.clone(),
+                cp.encoder_seed,
+            ));
+            wsccl_core::wsc::TrainedRepresenter::from_parts(encoder, cp.params, cp.weights, "WSCCL")
+        }
+        None => {
+            let cfg = scale.wsccl(seed);
+            eprintln!("no --model given; training WSC for {} epochs first", cfg.epochs);
+            let encoder =
+                Arc::new(TemporalPathEncoder::new(&ds.net, cfg.encoder.clone(), cfg.seed));
+            let mut model = WscModel::new(Arc::clone(&encoder), cfg.clone(), cfg.seed);
+            model.train(&ds.unlabeled, &PopLabeler, cfg.epochs);
+            model.into_representer("WSCCL")
+        }
+    };
+
+    // Fit the ETA head on (a slice of) the labeled TTE split.
+    let head = {
+        let take = ds.tte.len().min(512);
+        let queries: Vec<(&wsccl_roadnet::Path, wsccl_traffic::SimTime)> =
+            ds.tte.iter().take(take).map(|e| (&e.path, e.departure)).collect();
+        let x = rep.embed_batch(&queries);
+        let y: Vec<f64> = ds.tte.iter().take(take).map(|e| e.travel_time).collect();
+        wsccl_downstream::GbRegressor::fit(&x, &y, &wsccl_downstream::GbConfig::default())
+    };
+
+    let max_batch: usize = flags.get("batch").and_then(|s| s.parse().ok()).unwrap_or(16);
+    let server = wsccl_serve::Server::spawn(
+        rep,
+        wsccl_serve::ServeConfig {
+            max_batch,
+            watch: flags.get("watch").map(std::path::PathBuf::from),
+            ..wsccl_serve::ServeConfig::default()
+        },
+    );
+    server.client().set_eta_head(head).map_err(|e| e.to_string())?;
+
+    let requests: u64 = flags.get("requests").and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let clients: usize =
+        flags.get("clients").and_then(|s| s.parse().ok()).unwrap_or(4).clamp(1, 64);
+    let per_client = (requests / clients as u64).max(1);
+    eprintln!(
+        "serving: {clients} clients x {per_client} requests, max_batch {max_batch}{}",
+        flags.get("watch").map(|w| format!(", watching {w}")).unwrap_or_default()
+    );
+    let t0 = std::time::Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let client = server.client();
+                let samples = &ds.unlabeled;
+                s.spawn(move || {
+                    let mut lats = Vec::with_capacity(per_client as usize);
+                    for i in 0..per_client {
+                        let sm = &samples[(c * 127 + i as usize) % samples.len()];
+                        let t1 = std::time::Instant::now();
+                        // Mix embeds and ETAs 3:1, like a routing frontend.
+                        let ok = if i % 4 == 3 {
+                            client.eta(&sm.path, sm.departure).is_ok()
+                        } else {
+                            client.embed(&sm.path, sm.departure).is_ok()
+                        };
+                        assert!(ok, "request dropped");
+                        lats.push(t1.elapsed().as_nanos() as f64 / 1e3);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    let seconds = t0.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let p50 = wsccl_bench::serve_bench::percentile_us(&latencies, 0.50);
+    let p99 = wsccl_bench::serve_bench::percentile_us(&latencies, 0.99);
+    let stats = server.shutdown();
+
+    let served = per_client * clients as u64;
+    println!(
+        "served {served} requests in {seconds:.2}s = {:.0} req/s | p50 {p50:.1}us p99 {p99:.1}us",
+        served as f64 / seconds.max(1e-9)
+    );
+    println!(
+        "batches {} (max size seen {}) | cache: {} hits / {} misses / {} evictions | reloads {}",
+        stats.batches,
+        stats.max_batch_seen,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.evictions,
+        stats.reloads
+    );
+    if let Some(bound) = flags.get("assert-p99-us").and_then(|s| s.parse::<f64>().ok()) {
+        if p99 > bound {
+            return Err(format!("p99 {p99:.1}us exceeds bound {bound:.1}us"));
+        }
+        println!("p99 within bound ({p99:.1}us <= {bound:.1}us); shutdown clean");
+    }
     Ok(())
 }
 

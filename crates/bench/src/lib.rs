@@ -18,6 +18,7 @@ pub mod methods;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod serve_bench;
 
 pub use datagen_bench::{DatagenBench, DatagenTierResult};
 pub use eval::{evaluate_ranking, evaluate_recommendation, evaluate_tte, evaluate_tte_predictor};
@@ -25,3 +26,4 @@ pub use eval::{RankMetrics, RecMetrics, TteMetrics};
 pub use methods::{train_method, Method, MethodKind};
 pub use report::Table;
 pub use scale::{datagen_tiers, metro_dataset, Scale};
+pub use serve_bench::{EmbedPathResult, ServeBench, ServeWorkloadResult};

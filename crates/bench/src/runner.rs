@@ -56,6 +56,34 @@ pub fn check_datagen_bench() {
     });
 }
 
+/// Warn (once per process) when `BENCH_serve.json` is missing or was
+/// recorded by a different `wsccl-serve` version than the one linked into
+/// this binary — stale serving latency/throughput numbers silently
+/// misrepresent the current batcher. Run `cargo run --release --bin
+/// bench_serve` to refresh it.
+pub fn check_serve_bench() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| match std::fs::read_to_string(crate::serve_bench::BENCH_SERVE_PATH) {
+        Err(_) => eprintln!(
+            "[warn] BENCH_serve.json not found; run `cargo run --release --bin bench_serve` to \
+             record serving latency/throughput for this tree"
+        ),
+        Ok(text) => match serde_json::from_str::<crate::serve_bench::ServeBench>(&text) {
+            Ok(bench) if bench.serve_version == wsccl_serve::VERSION => {}
+            Ok(bench) => eprintln!(
+                "[warn] BENCH_serve.json is stale: recorded by wsccl-serve {}, this binary links \
+                 {}; re-run `cargo run --release --bin bench_serve`",
+                bench.serve_version,
+                wsccl_serve::VERSION
+            ),
+            Err(_) => eprintln!(
+                "[warn] BENCH_serve.json is unreadable; re-run `cargo run --release --bin \
+                 bench_serve`"
+            ),
+        },
+    });
+}
+
 /// Results of evaluating one trained method on one city.
 pub struct MethodResult {
     pub method: Method,

@@ -370,7 +370,7 @@ impl TemporalPathEncoder {
         }
         debug_assert_eq!(static_rows.len(), num_edges * s_dim);
 
-        let layers = lstm
+        let layers: Vec<FrozenLstmLayer> = lstm
             .layer_params()
             .iter()
             .map(|&(wx, wh, b)| FrozenLstmLayer {
@@ -381,13 +381,29 @@ impl TemporalPathEncoder {
             })
             .collect();
 
+        // The layer-0 input transform `x(e)·Wₓ` depends only on the edge —
+        // the static feature row is fixed per edge once the weights freeze —
+        // so it is precomputed here for every edge in one matmul. Inference
+        // then replaces a per-timestep `s_dim × 4h` matmul with a 4h-wide
+        // vector add. Costs `num_edges × 4h` f32 of memory (vs
+        // `num_edges × s_dim` for the raw rows), a deliberate serving-side
+        // trade.
+        let gates = 4 * self.cfg.hidden;
+        let mut edge_gates = vec![0f32; num_edges * gates];
+        kernels::active().matmul_acc_f32(
+            num_edges,
+            s_dim,
+            gates,
+            &static_rows,
+            &layers[0].wx.data()[t_dim * gates..],
+            &mut edge_gates,
+        );
+
         Some(FrozenEncoder {
             hidden: self.cfg.hidden,
-            input_dim,
             t_dim,
-            s_dim,
             sum_inference: self.cfg.sum_inference,
-            static_rows,
+            edge_gates,
             layers,
         })
     }
@@ -406,47 +422,69 @@ impl TemporalPathEncoder {
     ) -> Vec<f64> {
         assert!(!path.is_empty(), "cannot encode an empty path");
         let kn = kernels::active();
-        let (hidden, t_dim, s_dim) = (frozen.hidden, frozen.t_dim, frozen.s_dim);
+        let (hidden, t_dim) = (frozen.hidden, frozen.t_dim);
         let nl = frozen.layers.len();
+        let gates = 4 * hidden;
 
-        let t_row: Vec<f32> = match self.temporal.as_ref() {
-            Some(t) => t.embed(departure).iter().map(|&v| v as f32).collect(),
-            None => Vec::new(),
-        };
+        // The temporal row is constant over the whole path, so its gate
+        // contribution is folded into the layer-0 bias once — `z₀ = b + t·Wₜ`
+        // (Wₜ is the first `t_dim` rows of wx) — instead of re-multiplied at
+        // every edge.
+        let mut z0 = frozen.layers[0].b.clone();
+        if t_dim > 0 {
+            let t_row: Vec<f32> = self
+                .temporal
+                .as_ref()
+                .expect("t_dim > 0 implies temporal table")
+                .embed(departure)
+                .iter()
+                .map(|&v| v as f32)
+                .collect();
+            kn.matmul_acc_f32(1, t_dim, gates, &t_row, frozen.layers[0].wx.data(), &mut z0);
+        }
 
         // Flat per-layer state, plus one input row reused across layers.
         let mut h = vec![0f32; nl * hidden];
         let mut c = vec![0f32; nl * hidden];
-        let mut z = vec![0f32; 4 * hidden];
-        let mut cur = vec![0f32; frozen.input_dim.max(hidden)];
+        let mut z = vec![0f32; gates];
+        let mut cur = vec![0f32; hidden];
         let mut acc = vec![0f32; hidden];
 
-        for &e in path.edges() {
+        for (t, &e) in path.edges().iter().enumerate() {
             let idx = e.index();
-            cur[..t_dim].copy_from_slice(&t_row[..t_dim]);
-            cur[t_dim..t_dim + s_dim]
-                .copy_from_slice(&frozen.static_rows[idx * s_dim..(idx + 1) * s_dim]);
-            let mut in_dim = frozen.input_dim;
             for (li, layer) in frozen.layers.iter().enumerate() {
-                debug_assert_eq!(layer.in_dim, in_dim);
-                z.copy_from_slice(&layer.b);
-                kn.matmul_acc_f32(1, in_dim, 4 * hidden, &cur[..in_dim], layer.wx.data(), &mut z);
-                kn.matmul_acc_f32(
-                    1,
-                    hidden,
-                    4 * hidden,
-                    &h[li * hidden..(li + 1) * hidden],
-                    layer.wh.data(),
-                    &mut z,
-                );
+                if li == 0 {
+                    // Layer-0 input transform is a table row (baked at
+                    // freeze time): z = z₀ + x(e)·Wₓ.
+                    z.copy_from_slice(&z0);
+                    kn.add_assign_f32(&mut z, &frozen.edge_gates[idx * gates..(idx + 1) * gates]);
+                } else {
+                    debug_assert_eq!(layer.in_dim, hidden);
+                    z.copy_from_slice(&layer.b);
+                    kn.matmul_acc_f32(1, hidden, gates, &cur, layer.wx.data(), &mut z);
+                }
+                // h is exactly zero at the first step, so the recurrent
+                // matmul contributes nothing; skipped identically in the
+                // batched path (bitwise parity).
+                if t > 0 {
+                    kn.matmul_acc_f32(
+                        1,
+                        hidden,
+                        gates,
+                        &h[li * hidden..(li + 1) * hidden],
+                        layer.wh.data(),
+                        &mut z,
+                    );
+                }
                 kn.lstm_gates_infer_f32(
                     hidden,
                     &z,
                     &mut c[li * hidden..(li + 1) * hidden],
                     &mut h[li * hidden..(li + 1) * hidden],
                 );
-                cur[..hidden].copy_from_slice(&h[li * hidden..(li + 1) * hidden]);
-                in_dim = hidden;
+                if li + 1 < nl {
+                    cur.copy_from_slice(&h[li * hidden..(li + 1) * hidden]);
+                }
             }
             kn.add_assign_f32(&mut acc, &h[(nl - 1) * hidden..nl * hidden]);
         }
@@ -457,6 +495,192 @@ impl TemporalPathEncoder {
         }
         acc.iter().map(|&v| f64::from(v)).collect()
     }
+
+    /// Batched [`TemporalPathEncoder::embed_frozen`]: `B` temporal paths
+    /// through **one** fused f32 forward pass per timestep instead of `B`
+    /// strided ones.
+    ///
+    /// Queries are processed in descending path-length order so the active
+    /// set at every timestep is a contiguous prefix — the per-layer matmuls
+    /// then run over `(n_active × dim)` row blocks with no gather/scatter.
+    /// Every kernel involved computes each output row independently of the
+    /// batch height, so each returned embedding is **bitwise identical** to
+    /// the corresponding single-query [`TemporalPathEncoder::embed_frozen`]
+    /// call under either backend (asserted by the `embed_batch` parity test).
+    ///
+    /// `scratch` holds the reusable batch buffers; a long-running server
+    /// allocates it once and feeds every batch through it.
+    pub fn embed_frozen_batch(
+        &self,
+        frozen: &FrozenEncoder,
+        queries: &[(&Path, SimTime)],
+        scratch: &mut BatchScratch,
+    ) -> Vec<Vec<f64>> {
+        let b = queries.len();
+        if b == 0 {
+            return Vec::new();
+        }
+        for (path, _) in queries {
+            assert!(!path.is_empty(), "cannot encode an empty path");
+        }
+        let kn = kernels::active();
+        let (hidden, t_dim) = (frozen.hidden, frozen.t_dim);
+        let nl = frozen.layers.len();
+        let gates = 4 * hidden;
+
+        let s = scratch;
+        // Descending length; stable, so equal-length queries keep their order.
+        s.order.clear();
+        s.order.extend(0..b);
+        s.order.sort_by_key(|&i| std::cmp::Reverse(queries[i].0.len()));
+
+        // Frozen temporal rows, one per query (narrowed once, like
+        // `embed_frozen`), folded straight into the per-query layer-0 bias:
+        // `z₀[r] = b + t[r]·Wₜ` in one batched matmul, so the temporal part
+        // of wx is never touched again inside the timestep loop.
+        s.t_rows.clear();
+        s.z0.clear();
+        for _ in 0..b {
+            s.z0.extend_from_slice(&frozen.layers[0].b);
+        }
+        if t_dim > 0 {
+            let temporal = self.temporal.as_ref().expect("t_dim > 0 implies temporal table");
+            for &qi in &s.order {
+                s.t_rows.extend(temporal.embed(queries[qi].1).iter().map(|&v| v as f32));
+            }
+            kn.matmul_acc_f32(b, t_dim, gates, &s.t_rows, frozen.layers[0].wx.data(), &mut s.z0);
+        }
+
+        s.z.clear();
+        s.z.resize(if nl > 1 { b * gates } else { 0 }, 0.0);
+        s.h.clear();
+        s.h.resize(nl * b * hidden, 0.0);
+        s.c.clear();
+        s.c.resize(nl * b * hidden, 0.0);
+        s.acc.clear();
+        s.acc.resize(b * hidden, 0.0);
+
+        let max_len = queries[s.order[0]].0.len();
+
+        // Pre-assemble the layer-0 pre-activations for the whole timestep ×
+        // row plane: `z = z₀[r] + edge_gates[e]` — a copy plus a 4h-wide
+        // vector add per (step, row) pair, since the input transform was
+        // baked into the frozen per-edge table. Rows are laid out step-major
+        // (step t's active prefix starts at `row_off[t]`); the per-element
+        // arithmetic (z₀ init, then the same adds) is exactly what
+        // `embed_frozen` computes, keeping bitwise parity. Only the
+        // recurrent h·Wh term, which depends on the previous step's output,
+        // stays in the loop.
+        s.row_off.clear();
+        s.zpre.clear();
+        {
+            let mut n_act = b;
+            for t in 0..max_len {
+                while n_act > 0 && queries[s.order[n_act - 1]].0.len() <= t {
+                    n_act -= 1;
+                }
+                s.row_off.push(s.zpre.len() / gates);
+                for (r, &qi) in s.order[..n_act].iter().enumerate() {
+                    let e = queries[qi].0.edges()[t].index();
+                    let at = s.zpre.len();
+                    s.zpre.extend_from_slice(&s.z0[r * gates..(r + 1) * gates]);
+                    kn.add_assign_f32(
+                        &mut s.zpre[at..],
+                        &frozen.edge_gates[e * gates..(e + 1) * gates],
+                    );
+                }
+            }
+        }
+
+        let mut n_active = b;
+        for t in 0..max_len {
+            // Shrink the active prefix: orders are length-sorted, so paths
+            // retire from the back.
+            while n_active > 0 && queries[s.order[n_active - 1]].0.len() <= t {
+                n_active -= 1;
+            }
+            debug_assert!(n_active > 0);
+
+            for (li, layer) in frozen.layers.iter().enumerate() {
+                let z_t: &mut [f32] = if li == 0 {
+                    // Input-side pre-activations were fused above; step t's
+                    // rows start at row_off[t].
+                    let r0 = s.row_off[t] * gates;
+                    &mut s.zpre[r0..r0 + n_active * gates]
+                } else {
+                    debug_assert_eq!(layer.in_dim, hidden);
+                    for r in 0..n_active {
+                        s.z[r * gates..(r + 1) * gates].copy_from_slice(&layer.b);
+                    }
+                    kn.matmul_acc_f32(
+                        n_active,
+                        hidden,
+                        gates,
+                        &s.h[(li - 1) * b * hidden..(li - 1) * b * hidden + n_active * hidden],
+                        layer.wx.data(),
+                        &mut s.z[..n_active * gates],
+                    );
+                    &mut s.z[..n_active * gates]
+                };
+                let (h_l, c_l) = (
+                    &mut s.h[li * b * hidden..li * b * hidden + n_active * hidden],
+                    &mut s.c[li * b * hidden..li * b * hidden + n_active * hidden],
+                );
+                // h ≡ 0 at the first step; skipped identically in
+                // `embed_frozen` (bitwise parity).
+                if t > 0 {
+                    kn.matmul_acc_f32(n_active, hidden, gates, h_l, layer.wh.data(), z_t);
+                }
+                kn.lstm_gates_infer_batch_f32(n_active, hidden, z_t, c_l, h_l);
+            }
+            kn.add_assign_f32(
+                &mut s.acc[..n_active * hidden],
+                &s.h[(nl - 1) * b * hidden..(nl - 1) * b * hidden + n_active * hidden],
+            );
+        }
+
+        // Unsort and widen; the mean view scales each row by its own length.
+        let mut out = vec![Vec::new(); b];
+        for (r, &qi) in s.order.iter().enumerate() {
+            let row = &mut s.acc[r * hidden..(r + 1) * hidden];
+            if !frozen.sum_inference {
+                kn.scale_assign_f32(row, 1.0 / queries[qi].0.len() as f32);
+            }
+            out[qi] = row.iter().map(|&v| f64::from(v)).collect();
+        }
+        out
+    }
+}
+
+/// Reusable buffers for [`TemporalPathEncoder::embed_frozen_batch`]. One
+/// instance per serving loop; every field is length-reset per batch, so the
+/// steady state allocates nothing.
+#[derive(Default)]
+pub struct BatchScratch {
+    /// Query indices in descending path-length order.
+    order: Vec<usize>,
+    /// Per-query narrowed temporal rows (`B × t_dim`), in `order`.
+    t_rows: Vec<f32>,
+    /// Per-query layer-0 gate bias with the temporal contribution folded in
+    /// (`B × 4h`), in `order`.
+    z0: Vec<f32>,
+    /// Fused-row start (in rows) of each timestep's active block within
+    /// `zpre`.
+    row_off: Vec<usize>,
+    /// Layer-0 gate pre-activations for every (timestep, active row) pair
+    /// (`Σ lengths × 4h`): z₀ + the frozen per-edge input row, the
+    /// recurrent term accumulated in-place per step. Peak scratch memory is
+    /// `≈ Σ lengths × 16h` bytes — a 16 × 200-edge batch at h = 32 is ~1.6 MB.
+    zpre: Vec<f32>,
+    /// Gate pre-activations for layers above 0 (`B × 4h`; empty when the
+    /// stack is a single layer).
+    z: Vec<f32>,
+    /// Hidden state per layer (`layers × B × h`, layer-major).
+    h: Vec<f32>,
+    /// Cell state per layer (`layers × B × h`).
+    c: Vec<f32>,
+    /// Running TPR sums (`B × h`).
+    acc: Vec<f32>,
 }
 
 /// One LSTM layer's weights, narrowed to f32 (`[i|f|g|o]` gate packing
@@ -473,14 +697,14 @@ struct FrozenLstmLayer {
 /// threads can embed concurrently through a shared reference.
 pub struct FrozenEncoder {
     hidden: usize,
-    input_dim: usize,
     /// Temporal prefix width (0 for the WSCCL-NT ablation).
     t_dim: usize,
-    /// Static per-edge suffix width: `[topo | rt | l | o | ts | phys]`.
-    s_dim: usize,
     sum_inference: bool,
-    /// `num_edges × s_dim` precomputed static input rows.
-    static_rows: Vec<f32>,
+    /// `num_edges × 4h` precomputed layer-0 input pre-activations
+    /// `x(e)·Wₓ` — the static feature row of an edge never changes once
+    /// frozen, so its whole gate contribution is baked at freeze time (see
+    /// [`TemporalPathEncoder::freeze`]).
+    edge_gates: Vec<f32>,
     layers: Vec<FrozenLstmLayer>,
 }
 

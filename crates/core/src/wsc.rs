@@ -318,6 +318,49 @@ impl TrainedRepresenter {
     pub fn has_frozen_path(&self) -> bool {
         self.frozen.is_some()
     }
+
+    /// The shared frozen encoder tables backing this representer. Hot
+    /// checkpoint reload reuses these via
+    /// [`EngineCheckpoint`](crate::persist::EngineCheckpoint) +
+    /// [`TrainedRepresenter::from_parts`] instead of regenerating them.
+    pub fn encoder_arc(&self) -> Arc<TemporalPathEncoder> {
+        Arc::clone(&self.encoder)
+    }
+
+    /// The name given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Batched [`TrainedRepresenter::embed`]: `N` queries through one fused
+    /// f32 forward pass per timestep (see
+    /// [`TemporalPathEncoder::embed_frozen_batch`]). Each returned embedding
+    /// is bitwise identical to the corresponding single `embed` call; the
+    /// Transformer arch (no frozen form) falls back to the embed loop.
+    ///
+    /// `scratch` carries the reusable batch buffers; the serving loop holds
+    /// one across its lifetime so steady-state batches allocate nothing.
+    pub fn embed_batch_with(
+        &self,
+        queries: &[(&Path, SimTime)],
+        scratch: &mut crate::encoder::BatchScratch,
+    ) -> Vec<Vec<f64>> {
+        match &self.frozen {
+            Some(f) => {
+                let start = std::time::Instant::now();
+                let out = self.encoder.embed_frozen_batch(f, queries, scratch);
+                let us = start.elapsed().as_nanos() as f64 / 1e3;
+                wsccl_obs::global().latency_us("embed_batch_us").record(us);
+                out
+            }
+            None => queries.iter().map(|&(p, t)| self.embed(p, t)).collect(),
+        }
+    }
+
+    /// [`TrainedRepresenter::embed_batch_with`] with a throwaway scratch.
+    pub fn embed_batch(&self, queries: &[(&Path, SimTime)]) -> Vec<Vec<f64>> {
+        self.embed_batch_with(queries, &mut crate::encoder::BatchScratch::default())
+    }
 }
 
 impl PathRepresenter for TrainedRepresenter {
@@ -507,6 +550,44 @@ mod tests {
                 assert!(
                     drift <= 1e-4 * norm.max(1e-8),
                     "f32 drift {drift:.3e} vs ‖oracle‖ {norm:.3e} under {}",
+                    kernels::active_name()
+                );
+            }
+        }
+        kernels::force(KernelBackend::Auto);
+    }
+
+    #[test]
+    fn embed_batch_is_bitwise_equal_to_looped_embed() {
+        // The serving contract: batched f32 embeddings are **bitwise** equal
+        // to looped single `embed()` calls for every batch size 1..=17 (odd
+        // tails included), under both kernel backends. The batch mixes path
+        // lengths and departure slots so the active-prefix shrink logic and
+        // the per-query temporal rows are both exercised.
+        use wsccl_nn::kernels::{self, KernelBackend};
+        let (ds, enc) = quick_setup();
+        let mut model = WscModel::new(Arc::clone(&enc), WscclConfig::tiny(), 8);
+        model.train(&ds.unlabeled, &PopLabeler, 1);
+        let rep = model.into_representer("WSCCL");
+        assert!(rep.has_frozen_path(), "LSTM encoder must freeze to an f32 path");
+        let mut scratch = crate::encoder::BatchScratch::default();
+        for backend in [KernelBackend::Scalar, KernelBackend::Simd] {
+            kernels::force(backend);
+            for n in 1..=17usize {
+                let queries: Vec<(&Path, SimTime)> = ds
+                    .unlabeled
+                    .iter()
+                    .cycle()
+                    .take(n)
+                    .enumerate()
+                    .map(|(i, s)| (&s.path, SimTime::new(s.departure.seconds() + 700 * i as u32)))
+                    .collect();
+                let single: Vec<Vec<f64>> = queries.iter().map(|&(p, t)| rep.embed(p, t)).collect();
+                let batched = rep.embed_batch_with(&queries, &mut scratch);
+                assert_eq!(
+                    batched,
+                    single,
+                    "batch size {n} must be bitwise equal under {}",
                     kernels::active_name()
                 );
             }

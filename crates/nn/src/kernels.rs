@@ -203,6 +203,29 @@ pub trait Kernels: Send + Sync {
     fn lstm_gates_infer_f32(&self, hidden: usize, z: &[f32], c: &mut [f32], h: &mut [f32]) {
         scalar::lstm_gates_infer_f32(hidden, z, c, h);
     }
+
+    /// Batched [`Kernels::lstm_gates_infer_f32`]: `n` independent rows of
+    /// `z (n×4h)`, `c (n×h)`, `h (n×h)`. Defined as the row loop over the
+    /// single-row kernel, so each batched row is **bitwise identical** to the
+    /// corresponding one-at-a-time call on either backend — the batched
+    /// serving path relies on this for its parity-with-`embed` contract.
+    fn lstm_gates_infer_batch_f32(
+        &self,
+        n: usize,
+        hidden: usize,
+        z: &[f32],
+        c: &mut [f32],
+        h: &mut [f32],
+    ) {
+        for r in 0..n {
+            self.lstm_gates_infer_f32(
+                hidden,
+                &z[r * 4 * hidden..(r + 1) * 4 * hidden],
+                &mut c[r * hidden..(r + 1) * hidden],
+                &mut h[r * hidden..(r + 1) * hidden],
+            );
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1389,6 +1412,17 @@ mod avx2 {
 
     /// f32 matmul accumulate with FMA, 8 lanes wide. Inference only — not
     /// bit-comparable to the scalar f32 kernel (FMA rounds once).
+    ///
+    /// Rows are processed in blocks of four so each weight vector is loaded
+    /// once and fused into all four rows — at batch height the weight matrix
+    /// is streamed `m/4` times instead of `m` times, which is what makes the
+    /// batched serving path beat one-at-a-time on matrices that spill L1/L2.
+    /// Per-row `kk` order is identical to the single-row loop below, so every
+    /// output row is bitwise equal to an `m = 1` call (the batched-embed
+    /// parity contract). Unlike the training kernels there is no `a == 0`
+    /// skip: inference inputs are dense (learned embeddings, LSTM states), so
+    /// the per-element test only cost ports — and both row paths must agree
+    /// on it anyway for the parity contract.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn matmul_acc_f32(
         m: usize,
@@ -1399,7 +1433,58 @@ mod avx2 {
         out: &mut [f32],
     ) {
         let bp = b.as_ptr();
-        for i in 0..m {
+        let mut i = 0;
+        while i + 4 <= m {
+            let a0 = a.as_ptr().add(i * k);
+            let (a1, a2, a3) = (a0.add(k), a0.add(2 * k), a0.add(3 * k));
+            let c0 = out.as_mut_ptr().add(i * n);
+            let (c1, c2, c3) = (c0.add(n), c0.add(2 * n), c0.add(3 * n));
+            let mut j = 0;
+            while j + 16 <= n {
+                let mut acc00 = _mm256_loadu_ps(c0.add(j));
+                let mut acc01 = _mm256_loadu_ps(c0.add(j + 8));
+                let mut acc10 = _mm256_loadu_ps(c1.add(j));
+                let mut acc11 = _mm256_loadu_ps(c1.add(j + 8));
+                let mut acc20 = _mm256_loadu_ps(c2.add(j));
+                let mut acc21 = _mm256_loadu_ps(c2.add(j + 8));
+                let mut acc30 = _mm256_loadu_ps(c3.add(j));
+                let mut acc31 = _mm256_loadu_ps(c3.add(j + 8));
+                for kk in 0..k {
+                    let brow = bp.add(kk * n + j);
+                    let b0 = _mm256_loadu_ps(brow);
+                    let b1 = _mm256_loadu_ps(brow.add(8));
+                    let v = _mm256_set1_ps(*a0.add(kk));
+                    acc00 = _mm256_fmadd_ps(v, b0, acc00);
+                    acc01 = _mm256_fmadd_ps(v, b1, acc01);
+                    let v = _mm256_set1_ps(*a1.add(kk));
+                    acc10 = _mm256_fmadd_ps(v, b0, acc10);
+                    acc11 = _mm256_fmadd_ps(v, b1, acc11);
+                    let v = _mm256_set1_ps(*a2.add(kk));
+                    acc20 = _mm256_fmadd_ps(v, b0, acc20);
+                    acc21 = _mm256_fmadd_ps(v, b1, acc21);
+                    let v = _mm256_set1_ps(*a3.add(kk));
+                    acc30 = _mm256_fmadd_ps(v, b0, acc30);
+                    acc31 = _mm256_fmadd_ps(v, b1, acc31);
+                }
+                _mm256_storeu_ps(c0.add(j), acc00);
+                _mm256_storeu_ps(c0.add(j + 8), acc01);
+                _mm256_storeu_ps(c1.add(j), acc10);
+                _mm256_storeu_ps(c1.add(j + 8), acc11);
+                _mm256_storeu_ps(c2.add(j), acc20);
+                _mm256_storeu_ps(c2.add(j + 8), acc21);
+                _mm256_storeu_ps(c3.add(j), acc30);
+                _mm256_storeu_ps(c3.add(j + 8), acc31);
+                j += 16;
+            }
+            if j < n {
+                matmul_acc_f32_row_cols(k, n, j, a0, bp, c0);
+                matmul_acc_f32_row_cols(k, n, j, a1, bp, c1);
+                matmul_acc_f32_row_cols(k, n, j, a2, bp, c2);
+                matmul_acc_f32_row_cols(k, n, j, a3, bp, c3);
+            }
+            i += 4;
+        }
+        for i in i..m {
             let arow = a.as_ptr().add(i * k);
             let crow = out.as_mut_ptr().add(i * n);
             let mut j = 0;
@@ -1409,11 +1494,7 @@ mod avx2 {
                 let mut acc2 = _mm256_loadu_ps(crow.add(j + 16));
                 let mut acc3 = _mm256_loadu_ps(crow.add(j + 24));
                 for kk in 0..k {
-                    let av = *arow.add(kk);
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let va = _mm256_set1_ps(av);
+                    let va = _mm256_set1_ps(*arow.add(kk));
                     let brow = bp.add(kk * n + j);
                     acc0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(brow), acc0);
                     acc1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(brow.add(8)), acc1);
@@ -1429,12 +1510,8 @@ mod avx2 {
             while j + 8 <= n {
                 let mut acc = _mm256_loadu_ps(crow.add(j));
                 for kk in 0..k {
-                    let av = *arow.add(kk);
-                    if av == 0.0 {
-                        continue;
-                    }
                     acc = _mm256_fmadd_ps(
-                        _mm256_set1_ps(av),
+                        _mm256_set1_ps(*arow.add(kk)),
                         _mm256_loadu_ps(bp.add(kk * n + j)),
                         acc,
                     );
@@ -1445,11 +1522,7 @@ mod avx2 {
             while j < n {
                 let mut s = *crow.add(j);
                 for kk in 0..k {
-                    let av = *arow.add(kk);
-                    if av == 0.0 {
-                        continue;
-                    }
-                    s += av * *bp.add(kk * n + j);
+                    s += *arow.add(kk) * *bp.add(kk * n + j);
                 }
                 *crow.add(j) = s;
                 j += 1;
@@ -1457,16 +1530,129 @@ mod avx2 {
         }
     }
 
-    /// f32 LSTM gate inference: four lanes widened to f64, run through the
-    /// shared [`vmath`](super::vmath) pipeline, and rounded back once. More
-    /// accurate than the scalar f32 libm path; differs from it only within
-    /// the inference error budget.
+    /// One output row over columns `j0..n` — the column remainder of a
+    /// 4-row block. Same 8-lane/scalar tails (and zero-skip) as the
+    /// single-row loop in [`matmul_acc_f32`]. Also the column-remainder
+    /// helper for the AVX-512 blocks, which produce the same per-element
+    /// results at any vector width.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn matmul_acc_f32_row_cols(
+        k: usize,
+        n: usize,
+        j0: usize,
+        arow: *const f32,
+        bp: *const f32,
+        crow: *mut f32,
+    ) {
+        let mut j = j0;
+        while j + 8 <= n {
+            let mut acc = _mm256_loadu_ps(crow.add(j));
+            for kk in 0..k {
+                acc = _mm256_fmadd_ps(
+                    _mm256_set1_ps(*arow.add(kk)),
+                    _mm256_loadu_ps(bp.add(kk * n + j)),
+                    acc,
+                );
+            }
+            _mm256_storeu_ps(crow.add(j), acc);
+            j += 8;
+        }
+        while j < n {
+            let mut s = *crow.add(j);
+            for kk in 0..k {
+                s += *arow.add(kk) * *bp.add(kk * n + j);
+            }
+            *crow.add(j) = s;
+            j += 1;
+        }
+    }
+
+    /// 8-lane f32 exp: clamp, range reduction, degree-5 Horner (Cephes
+    /// `expf` coefficients), exponent reassembly. ~2 f32 ULP — inference
+    /// only; the f64 [`vexp`] remains the training-path oracle.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn vexp_f32(x: __m256) -> __m256 {
+        let x = _mm256_max_ps(_mm256_min_ps(x, _mm256_set1_ps(88.376_26)), _mm256_set1_ps(-87.0));
+        let n = _mm256_floor_ps(_mm256_fmadd_ps(
+            x,
+            _mm256_set1_ps(std::f32::consts::LOG2_E),
+            _mm256_set1_ps(0.5),
+        ));
+        let r = _mm256_fnmadd_ps(n, _mm256_set1_ps(0.693_359_4), x);
+        let r = _mm256_fnmadd_ps(n, _mm256_set1_ps(-2.121_944_4e-4), r);
+        let mut p = _mm256_set1_ps(1.987_569_1e-4);
+        for &coef in &[1.398_2e-3f32, 8.333_452e-3, 4.166_579_6e-2, 1.666_666_5e-1, 5.000_000_2e-1]
+        {
+            p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(coef));
+        }
+        let r2 = _mm256_mul_ps(r, r);
+        let y = _mm256_add_ps(_mm256_fmadd_ps(p, r2, r), _mm256_set1_ps(1.0));
+        let bits = _mm256_slli_epi32::<23>(_mm256_add_epi32(
+            _mm256_cvtps_epi32(n),
+            _mm256_set1_epi32(127),
+        ));
+        _mm256_mul_ps(y, _mm256_castsi256_ps(bits))
+    }
+
+    /// 8-lane f32 `1 / (1 + e^{-x})`.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn vsigmoid_f32(x: __m256) -> __m256 {
+        let one = _mm256_set1_ps(1.0);
+        let e = vexp_f32(_mm256_xor_ps(x, _mm256_set1_ps(-0.0)));
+        _mm256_div_ps(one, _mm256_add_ps(one, e))
+    }
+
+    /// 8-lane f32 `tanh` via `(e^{2x} - 1) / (e^{2x} + 1)`.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn vtanh_f32(x: __m256) -> __m256 {
+        let one = _mm256_set1_ps(1.0);
+        let e = vexp_f32(_mm256_mul_ps(_mm256_set1_ps(2.0), x));
+        _mm256_div_ps(_mm256_sub_ps(e, one), _mm256_add_ps(e, one))
+    }
+
+    /// f32 LSTM gate inference: eight lanes evaluated natively in f32
+    /// (short-polynomial exp, see [`vexp_f32`]); the `hidden % 8` remainder
+    /// widens to f64 through the shared [`vmath`](super::vmath) pipeline as
+    /// before. Both forms sit well inside the inference error budget against
+    /// the scalar f32 libm path (`lstm_infer_f32_ulp`), and single-query and
+    /// batched embeds share this one kernel, so batch-vs-single bitwise
+    /// parity is preserved by construction.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn lstm_gates_infer_f32(hidden: usize, z: &[f32], c: &mut [f32], h: &mut [f32]) {
+        lstm_gates_infer_f32_from(0, hidden, z, c, h);
+    }
+
+    /// [`lstm_gates_infer_f32`] starting at lane `k0` — the `hidden % 16`
+    /// remainder entry point for the AVX-512 kernel (same 8-lane body, f64
+    /// 4-lane and scalar tails).
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn lstm_gates_infer_f32_from(
+        k0: usize,
+        hidden: usize,
+        z: &[f32],
+        c: &mut [f32],
+        h: &mut [f32],
+    ) {
         let zp = z.as_ptr();
         let cp = c.as_mut_ptr();
         let hp = h.as_mut_ptr();
-        let mut k = 0;
+        let mut k = k0;
+        while k + 8 <= hidden {
+            let iv = vsigmoid_f32(_mm256_loadu_ps(zp.add(k)));
+            let fv = vsigmoid_f32(_mm256_loadu_ps(zp.add(hidden + k)));
+            let gv = vtanh_f32(_mm256_loadu_ps(zp.add(2 * hidden + k)));
+            let ov = vsigmoid_f32(_mm256_loadu_ps(zp.add(3 * hidden + k)));
+            let cv = _mm256_loadu_ps(cp.add(k));
+            let c_new = _mm256_fmadd_ps(fv, cv, _mm256_mul_ps(iv, gv));
+            let tc = vtanh_f32(c_new);
+            _mm256_storeu_ps(cp.add(k), c_new);
+            _mm256_storeu_ps(hp.add(k), _mm256_mul_ps(ov, tc));
+            k += 8;
+        }
         while k + 4 <= hidden {
             let iv = vsigmoid(_mm256_cvtps_pd(_mm_loadu_ps(zp.add(k))));
             let fv = vsigmoid(_mm256_cvtps_pd(_mm_loadu_ps(zp.add(hidden + k))));
@@ -1523,6 +1709,254 @@ mod avx2 {
         while i < len {
             *pd.add(i) *= c;
             i += 1;
+        }
+    }
+}
+
+/// Cached `avx512f` (plus the avx2+fma baseline the shared remainder helpers
+/// need). Always false off x86_64.
+#[inline]
+pub fn avx512_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // 0 = unknown, 1 = no, 2 = yes.
+        static CACHE: AtomicU8 = AtomicU8::new(0);
+        match CACHE.load(Ordering::Relaxed) {
+            2 => true,
+            1 => false,
+            _ => {
+                let ok = std::arch::is_x86_feature_detected!("avx512f") && simd_available();
+                CACHE.store(if ok { 2 } else { 1 }, Ordering::Relaxed);
+                ok
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    //! AVX-512 bodies for the f32 inference hot path (batched serving).
+    //!
+    //! Vector lanes map to *independent* output elements (matmul columns,
+    //! gate units), and each element still sees the exact same scalar-order
+    //! `k` contraction / polynomial, one FMA per product — widening the
+    //! registers from 8 to 16 lanes changes which elements share a register,
+    //! never the arithmetic any single element observes. The matmul is
+    //! therefore bitwise identical to [`super::avx2`]'s; the gate
+    //! activations deviate from it by ~2 ulp where divisions become
+    //! Newton-refined `rcp14` (see [`vrecip_mul_f32`]), well inside the
+    //! `lstm_infer_f32_ulp` envelope. Batched-vs-single bitwise parity is
+    //! untouched either way: both embed paths dispatch to the *same* kernel.
+    //! Remainders (columns `% 32`, lanes `% 16`) fall through to the AVX2
+    //! helpers themselves.
+    use core::arch::x86_64::*;
+
+    use super::avx2;
+
+    /// `out += a · b`, 4 rows × 32 columns per block: eight zmm accumulators,
+    /// two B-row loads and four broadcasts per `kk`, 128 MACs per iteration.
+    /// The weight panel is read once per 4-row block instead of once per row,
+    /// which is where the batched-embed speedup over single-query calls
+    /// comes from.
+    #[target_feature(enable = "avx512f,avx2,fma")]
+    pub unsafe fn matmul_acc_f32(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+    ) {
+        let bp = b.as_ptr();
+        let mut i = 0;
+        while i + 4 <= m {
+            let a0 = a.as_ptr().add(i * k);
+            let (a1, a2, a3) = (a0.add(k), a0.add(2 * k), a0.add(3 * k));
+            let c0 = out.as_mut_ptr().add(i * n);
+            let (c1, c2, c3) = (c0.add(n), c0.add(2 * n), c0.add(3 * n));
+            let mut j = 0;
+            while j + 32 <= n {
+                let mut acc00 = _mm512_loadu_ps(c0.add(j));
+                let mut acc01 = _mm512_loadu_ps(c0.add(j + 16));
+                let mut acc10 = _mm512_loadu_ps(c1.add(j));
+                let mut acc11 = _mm512_loadu_ps(c1.add(j + 16));
+                let mut acc20 = _mm512_loadu_ps(c2.add(j));
+                let mut acc21 = _mm512_loadu_ps(c2.add(j + 16));
+                let mut acc30 = _mm512_loadu_ps(c3.add(j));
+                let mut acc31 = _mm512_loadu_ps(c3.add(j + 16));
+                for kk in 0..k {
+                    let brow = bp.add(kk * n + j);
+                    let b0 = _mm512_loadu_ps(brow);
+                    let b1 = _mm512_loadu_ps(brow.add(16));
+                    let v = _mm512_set1_ps(*a0.add(kk));
+                    acc00 = _mm512_fmadd_ps(v, b0, acc00);
+                    acc01 = _mm512_fmadd_ps(v, b1, acc01);
+                    let v = _mm512_set1_ps(*a1.add(kk));
+                    acc10 = _mm512_fmadd_ps(v, b0, acc10);
+                    acc11 = _mm512_fmadd_ps(v, b1, acc11);
+                    let v = _mm512_set1_ps(*a2.add(kk));
+                    acc20 = _mm512_fmadd_ps(v, b0, acc20);
+                    acc21 = _mm512_fmadd_ps(v, b1, acc21);
+                    let v = _mm512_set1_ps(*a3.add(kk));
+                    acc30 = _mm512_fmadd_ps(v, b0, acc30);
+                    acc31 = _mm512_fmadd_ps(v, b1, acc31);
+                }
+                _mm512_storeu_ps(c0.add(j), acc00);
+                _mm512_storeu_ps(c0.add(j + 16), acc01);
+                _mm512_storeu_ps(c1.add(j), acc10);
+                _mm512_storeu_ps(c1.add(j + 16), acc11);
+                _mm512_storeu_ps(c2.add(j), acc20);
+                _mm512_storeu_ps(c2.add(j + 16), acc21);
+                _mm512_storeu_ps(c3.add(j), acc30);
+                _mm512_storeu_ps(c3.add(j + 16), acc31);
+                j += 32;
+            }
+            if j < n {
+                avx2::matmul_acc_f32_row_cols(k, n, j, a0, bp, c0);
+                avx2::matmul_acc_f32_row_cols(k, n, j, a1, bp, c1);
+                avx2::matmul_acc_f32_row_cols(k, n, j, a2, bp, c2);
+                avx2::matmul_acc_f32_row_cols(k, n, j, a3, bp, c3);
+            }
+            i += 4;
+        }
+        for i in i..m {
+            let arow = a.as_ptr().add(i * k);
+            let crow = out.as_mut_ptr().add(i * n);
+            let mut j = 0;
+            while j + 32 <= n {
+                let mut acc0 = _mm512_loadu_ps(crow.add(j));
+                let mut acc1 = _mm512_loadu_ps(crow.add(j + 16));
+                for kk in 0..k {
+                    let va = _mm512_set1_ps(*arow.add(kk));
+                    let brow = bp.add(kk * n + j);
+                    acc0 = _mm512_fmadd_ps(va, _mm512_loadu_ps(brow), acc0);
+                    acc1 = _mm512_fmadd_ps(va, _mm512_loadu_ps(brow.add(16)), acc1);
+                }
+                _mm512_storeu_ps(crow.add(j), acc0);
+                _mm512_storeu_ps(crow.add(j + 16), acc1);
+                j += 32;
+            }
+            if j < n {
+                avx2::matmul_acc_f32_row_cols(k, n, j, arow, bp, crow);
+            }
+        }
+    }
+
+    /// 16-lane f32 exp — the same clamp, two-step Cody–Waite reduction,
+    /// degree-5 Horner, and exponent reassembly as the AVX2
+    /// [`vexp_f32`](super::avx2), lane for lane.
+    #[inline]
+    #[target_feature(enable = "avx512f,avx2,fma")]
+    unsafe fn vexp_f32(x: __m512) -> __m512 {
+        let x = _mm512_max_ps(_mm512_min_ps(x, _mm512_set1_ps(88.376_26)), _mm512_set1_ps(-87.0));
+        let n = _mm512_roundscale_ps::<0x09>(_mm512_fmadd_ps(
+            x,
+            _mm512_set1_ps(std::f32::consts::LOG2_E),
+            _mm512_set1_ps(0.5),
+        ));
+        let r = _mm512_fnmadd_ps(n, _mm512_set1_ps(0.693_359_4), x);
+        let r = _mm512_fnmadd_ps(n, _mm512_set1_ps(-2.121_944_4e-4), r);
+        let mut p = _mm512_set1_ps(1.987_569_1e-4);
+        for &coef in &[1.398_2e-3f32, 8.333_452e-3, 4.166_579_6e-2, 1.666_666_5e-1, 5.000_000_2e-1]
+        {
+            p = _mm512_fmadd_ps(p, r, _mm512_set1_ps(coef));
+        }
+        let r2 = _mm512_mul_ps(r, r);
+        let y = _mm512_add_ps(_mm512_fmadd_ps(p, r2, r), _mm512_set1_ps(1.0));
+        let bits = _mm512_slli_epi32::<23>(_mm512_add_epi32(
+            _mm512_cvtps_epi32(n),
+            _mm512_set1_epi32(127),
+        ));
+        _mm512_mul_ps(y, _mm512_castsi512_ps(bits))
+    }
+
+    /// 16-lane `a / d` as `a · rcp(d)`: `rcp14` seed refined by one Newton
+    /// step (`r₁ = r₀·(2 − d·r₀)`), good to ~2 ulp of the exact quotient.
+    /// `vdivps` on a zmm monopolizes the divider for ~10 cycles and each
+    /// gate evaluation needs five of them; the refinement runs on the FMA
+    /// ports instead and pipelines with the surrounding polynomial work.
+    #[inline]
+    #[target_feature(enable = "avx512f,avx2,fma")]
+    unsafe fn vrecip_mul_f32(a: __m512, d: __m512) -> __m512 {
+        let r0 = _mm512_rcp14_ps(d);
+        let r = _mm512_mul_ps(r0, _mm512_fnmadd_ps(d, r0, _mm512_set1_ps(2.0)));
+        _mm512_mul_ps(a, r)
+    }
+
+    /// 16-lane f32 `1 / (1 + e^{-x})`.
+    #[inline]
+    #[target_feature(enable = "avx512f,avx2,fma")]
+    unsafe fn vsigmoid_f32(x: __m512) -> __m512 {
+        let one = _mm512_set1_ps(1.0);
+        let neg = _mm512_castsi512_ps(_mm512_xor_epi32(
+            _mm512_castps_si512(x),
+            _mm512_set1_epi32(i32::MIN),
+        ));
+        vrecip_mul_f32(one, _mm512_add_ps(one, vexp_f32(neg)))
+    }
+
+    /// 16-lane f32 `tanh` via `(e^{2x} - 1) / (e^{2x} + 1)`.
+    #[inline]
+    #[target_feature(enable = "avx512f,avx2,fma")]
+    unsafe fn vtanh_f32(x: __m512) -> __m512 {
+        let one = _mm512_set1_ps(1.0);
+        let e = vexp_f32(_mm512_mul_ps(_mm512_set1_ps(2.0), x));
+        vrecip_mul_f32(_mm512_sub_ps(e, one), _mm512_add_ps(e, one))
+    }
+
+    /// f32 LSTM gate inference, 16 units per iteration; the `hidden % 16`
+    /// remainder runs the AVX2 kernel from where this loop stopped.
+    #[target_feature(enable = "avx512f,avx2,fma")]
+    pub unsafe fn lstm_gates_infer_f32(hidden: usize, z: &[f32], c: &mut [f32], h: &mut [f32]) {
+        let zp = z.as_ptr();
+        let cp = c.as_mut_ptr();
+        let hp = h.as_mut_ptr();
+        let mut k = 0;
+        while k + 16 <= hidden {
+            let iv = vsigmoid_f32(_mm512_loadu_ps(zp.add(k)));
+            let fv = vsigmoid_f32(_mm512_loadu_ps(zp.add(hidden + k)));
+            let gv = vtanh_f32(_mm512_loadu_ps(zp.add(2 * hidden + k)));
+            let ov = vsigmoid_f32(_mm512_loadu_ps(zp.add(3 * hidden + k)));
+            let cv = _mm512_loadu_ps(cp.add(k));
+            let c_new = _mm512_fmadd_ps(fv, cv, _mm512_mul_ps(iv, gv));
+            let tc = vtanh_f32(c_new);
+            _mm512_storeu_ps(cp.add(k), c_new);
+            _mm512_storeu_ps(hp.add(k), _mm512_mul_ps(ov, tc));
+            k += 16;
+        }
+        if k < hidden {
+            avx2::lstm_gates_infer_f32_from(k, hidden, z, c, h);
+        }
+    }
+
+    /// Batched [`lstm_gates_infer_f32`]: the row loop lives *inside* one
+    /// `target_feature` function so the per-row kernel inlines and the
+    /// out-of-order core overlaps the exp/tanh latency chains of
+    /// *independent rows*. A single row is latency-bound on those chains
+    /// (the five activations of one lane group form one dependence tree);
+    /// with the rows visible in one instruction stream the backend runs at
+    /// throughput instead. Arithmetic per row is exactly the single-row
+    /// kernel's, so batched rows stay bitwise equal to one-at-a-time calls.
+    #[target_feature(enable = "avx512f,avx2,fma")]
+    pub unsafe fn lstm_gates_infer_batch_f32(
+        n: usize,
+        hidden: usize,
+        z: &[f32],
+        c: &mut [f32],
+        h: &mut [f32],
+    ) {
+        let gates = 4 * hidden;
+        for r in 0..n {
+            lstm_gates_infer_f32(
+                hidden,
+                &z[r * gates..(r + 1) * gates],
+                &mut c[r * hidden..(r + 1) * hidden],
+                &mut h[r * hidden..(r + 1) * hidden],
+            );
         }
     }
 }
@@ -1673,13 +2107,50 @@ impl Kernels for SimdKernels {
     }
 
     fn lstm_gates_infer_f32(&self, hidden: usize, z: &[f32], c: &mut [f32], h: &mut [f32]) {
+        #[cfg(target_arch = "x86_64")]
+        if avx512_available() {
+            // SAFETY: `avx512_available()` checked avx512f (and avx2 + fma
+            // for the remainder helpers) at runtime.
+            unsafe { avx512::lstm_gates_infer_f32(hidden, z, c, h) };
+            return;
+        }
         simd_or_scalar!(
             avx2::lstm_gates_infer_f32(hidden, z, c, h),
             scalar::lstm_gates_infer_f32(hidden, z, c, h)
         );
     }
 
+    fn lstm_gates_infer_batch_f32(
+        &self,
+        n: usize,
+        hidden: usize,
+        z: &[f32],
+        c: &mut [f32],
+        h: &mut [f32],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if avx512_available() {
+            // SAFETY: as above.
+            unsafe { avx512::lstm_gates_infer_batch_f32(n, hidden, z, c, h) };
+            return;
+        }
+        for r in 0..n {
+            self.lstm_gates_infer_f32(
+                hidden,
+                &z[r * 4 * hidden..(r + 1) * 4 * hidden],
+                &mut c[r * hidden..(r + 1) * hidden],
+                &mut h[r * hidden..(r + 1) * hidden],
+            );
+        }
+    }
+
     fn matmul_acc_f32(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        #[cfg(target_arch = "x86_64")]
+        if avx512_available() {
+            // SAFETY: as above.
+            unsafe { avx512::matmul_acc_f32(m, k, n, a, b, out) };
+            return;
+        }
         simd_or_scalar!(
             avx2::matmul_acc_f32(m, k, n, a, b, out),
             scalar::matmul_acc_f32(m, k, n, a, b, out)

@@ -313,6 +313,34 @@ impl HistogramSample {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`0.0 ≤ q ≤ 1.0`) by linear interpolation
+    /// within the bucket holding the target rank — the standard
+    /// fixed-bucket estimator (Prometheus' `histogram_quantile`). Values in
+    /// the overflow bucket report the last finite bound (a lower bound on
+    /// the true quantile). `NaN` when the histogram is empty.
+    ///
+    /// Serving dashboards read p50/p99 latency through this; exact
+    /// percentiles (e.g. `BENCH_serve.json`) come from raw samples instead.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0u64;
+        let mut lower = 0.0;
+        for &(le, n) in &self.buckets {
+            let upto = seen + n;
+            if (upto as f64) >= rank && n > 0 {
+                let into = (rank - seen as f64) / n as f64;
+                return lower + into.clamp(0.0, 1.0) * (le - lower);
+            }
+            seen = upto;
+            lower = le;
+        }
+        // Target rank lies in the overflow bucket.
+        self.buckets.last().map_or(f64::NAN, |&(le, _)| le)
+    }
 }
 
 #[cfg(test)]
@@ -365,6 +393,34 @@ mod tests {
         assert_eq!(hs.buckets, vec![(1.0, 2), (10.0, 1)]);
         assert_eq!(hs.overflow, 1);
         assert_eq!(hs.mean(), 53.5 / 4.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("q", &[10.0, 20.0, 40.0]);
+        // 10 values in (0,10], 10 in (10,20], none beyond.
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+            h.record(10.0 + i as f64 + 0.5);
+        }
+        let hs = &r.snapshot().histograms[0];
+        // p50 sits exactly at the first bucket's upper bound.
+        assert!((hs.quantile(0.5) - 10.0).abs() < 1e-9, "{}", hs.quantile(0.5));
+        // p75 is halfway through the second bucket.
+        assert!((hs.quantile(0.75) - 15.0).abs() < 1e-9, "{}", hs.quantile(0.75));
+        assert!(hs.quantile(0.0) <= hs.quantile(1.0));
+        // Empty histogram → NaN; overflow-only → last finite bound.
+        let e = r.histogram("empty", &[1.0]);
+        let _ = e;
+        let snap = r.snapshot();
+        let empty = snap.histograms.iter().find(|s| s.name == "empty").unwrap();
+        assert!(empty.quantile(0.5).is_nan());
+        let o = r.histogram("over", &[1.0]);
+        o.record(100.0);
+        let snap = r.snapshot();
+        let over = snap.histograms.iter().find(|s| s.name == "over").unwrap();
+        assert_eq!(over.quantile(0.99), 1.0);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Channel primitives wiring sync clients to the single-threaded server.
+//!
+//! - [`mpsc`]: unbounded multi-producer channel whose receiver is an async
+//!   future polled on the [`localexec`] executor. Senders live on client
+//!   threads; a send wakes the executor through the registered [`Waker`]
+//!   (cross-thread wakes are safe — `localexec` wakers only push a task id
+//!   onto a mutex-guarded ready queue and notify a condvar).
+//! - [`oneshot`]: blocking single-value reply slot. The server completes it
+//!   synchronously inside a batch; the client thread parks on a condvar.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use parking_lot::{Condvar, Mutex};
+
+struct MpscInner<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// Waker of the (single) receiver task, registered when a recv pends.
+    waker: Mutex<Option<Waker>>,
+    senders: AtomicUsize,
+}
+
+pub struct Sender<T> {
+    inner: Arc<MpscInner<T>>,
+}
+
+pub struct Receiver<T> {
+    inner: Arc<MpscInner<T>>,
+}
+
+/// Unbounded mpsc with an async receiver. `T: Send` because senders hand
+/// values across threads to the executor thread.
+pub fn mpsc<T: Send>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(MpscInner {
+        queue: Mutex::new(VecDeque::new()),
+        waker: Mutex::new(None),
+        senders: AtomicUsize::new(1),
+    });
+    (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.senders.fetch_add(1, Ordering::Relaxed);
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.inner.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: wake the receiver so recv() resolves to None.
+            if let Some(w) = self.inner.waker.lock().take() {
+                w.wake();
+            }
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueue and wake the receiver. Never blocks, never fails (the queue
+    /// is unbounded; a dropped receiver just leaves values unread).
+    pub fn send(&self, value: T) {
+        self.inner.queue.lock().push_back(value);
+        if let Some(w) = self.inner.waker.lock().take() {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Pop without waiting; used by the batcher to drain a burst after the
+    /// awaited first element.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.queue.lock().pop_front()
+    }
+
+    /// Await the next value; resolves to `None` once every sender has
+    /// dropped and the queue is drained.
+    pub fn recv(&self) -> Recv<'_, T> {
+        Recv { rx: self }
+    }
+}
+
+pub struct Recv<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> std::future::Future for Recv<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let inner = &self.rx.inner;
+        if let Some(v) = inner.queue.lock().pop_front() {
+            return Poll::Ready(Some(v));
+        }
+        // Register before the closed re-check to avoid a lost wake: a sender
+        // that enqueues between our pop and this store will find the waker.
+        *inner.waker.lock() = Some(cx.waker().clone());
+        if let Some(v) = inner.queue.lock().pop_front() {
+            inner.waker.lock().take();
+            return Poll::Ready(Some(v));
+        }
+        if inner.senders.load(Ordering::Acquire) == 0 {
+            inner.waker.lock().take();
+            return Poll::Ready(None);
+        }
+        Poll::Pending
+    }
+}
+
+struct OneshotInner<T> {
+    slot: Mutex<OneshotSlot<T>>,
+    cv: Condvar,
+}
+
+enum OneshotSlot<T> {
+    Empty,
+    Full(T),
+    /// Sender dropped without sending.
+    Closed,
+}
+
+pub struct OneSender<T> {
+    inner: Arc<OneshotInner<T>>,
+    sent: bool,
+}
+
+pub struct OneReceiver<T> {
+    inner: Arc<OneshotInner<T>>,
+}
+
+/// Single-value reply slot: the server sends, the client thread blocks.
+pub fn oneshot<T: Send>() -> (OneSender<T>, OneReceiver<T>) {
+    let inner = Arc::new(OneshotInner { slot: Mutex::new(OneshotSlot::Empty), cv: Condvar::new() });
+    (OneSender { inner: Arc::clone(&inner), sent: false }, OneReceiver { inner })
+}
+
+impl<T> OneSender<T> {
+    pub fn send(mut self, value: T) {
+        *self.inner.slot.lock() = OneshotSlot::Full(value);
+        self.sent = true;
+        self.inner.cv.notify_one();
+    }
+}
+
+impl<T> Drop for OneSender<T> {
+    fn drop(&mut self) {
+        if !self.sent {
+            *self.inner.slot.lock() = OneshotSlot::Closed;
+            self.inner.cv.notify_one();
+        }
+    }
+}
+
+impl<T> OneReceiver<T> {
+    /// Block until the value arrives; `None` if the sender dropped first
+    /// (e.g. the server shut down with the request undeliverable — the
+    /// serving loop itself drains everything, so this means the process is
+    /// tearing down).
+    pub fn recv(self) -> Option<T> {
+        let mut slot = self.inner.slot.lock();
+        loop {
+            match std::mem::replace(&mut *slot, OneshotSlot::Empty) {
+                OneshotSlot::Full(v) => return Some(v),
+                OneshotSlot::Closed => return None,
+                OneshotSlot::Empty => slot = self.inner.cv.wait(slot),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpsc_delivers_in_order_and_closes_on_sender_drop() {
+        let (tx, rx) = mpsc::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1);
+        tx2.send(2);
+        drop(tx);
+        drop(tx2);
+        let got = localexec::block_on(async {
+            let mut out = Vec::new();
+            while let Some(v) = rx.recv().await {
+                out.push(v);
+            }
+            out
+        });
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn mpsc_cross_thread_send_wakes_pending_receiver() {
+        let (tx, rx) = mpsc::<u32>();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            tx.send(7);
+        });
+        let got = localexec::block_on(async { rx.recv().await });
+        t.join().unwrap();
+        assert_eq!(got, Some(7));
+    }
+
+    #[test]
+    fn oneshot_roundtrip_and_drop_closes() {
+        let (tx, rx) = oneshot::<u32>();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tx.send(42);
+        });
+        assert_eq!(rx.recv(), Some(42));
+        t.join().unwrap();
+
+        let (tx, rx) = oneshot::<u32>();
+        drop(tx);
+        assert_eq!(rx.recv(), None);
+    }
+}

@@ -1,0 +1,35 @@
+//! `wsccl-serve` — batched low-latency embedding/ETA serving.
+//!
+//! A [`Server`] owns one dedicated thread running a minimal single-threaded
+//! async executor ([`localexec`]) with a request batcher and an optional
+//! checkpoint watcher. Any number of threads hold cheap [`Client`] handles;
+//! their embed/ETA calls are coalesced into batched f32 forward passes
+//! through the active SIMD kernel backend, answered from a sharded LRU
+//! path-embedding cache when warm, and keep flowing across hot checkpoint
+//! reloads (atomic `Arc` swap; zero dropped requests).
+//!
+//! ```no_run
+//! # use wsccl_serve::{Server, ServeConfig};
+//! # fn demo(rep: wsccl_core::TrainedRepresenter,
+//! #         path: wsccl_roadnet::Path, dep: wsccl_traffic::SimTime) {
+//! let server = Server::spawn(rep, ServeConfig::default());
+//! let client = server.client();
+//! let embedding = client.embed(&path, dep).unwrap();
+//! let stats = server.shutdown();
+//! # let _ = (embedding, stats);
+//! # }
+//! ```
+//!
+//! See DESIGN.md §12 for the architecture (executor, batcher, cache key
+//! semantics, reload protocol, error budget).
+
+pub mod cache;
+pub mod channel;
+pub mod server;
+
+pub use cache::{path_hash, CacheKey, CacheStats, EmbeddingCache};
+pub use server::{Client, ServeConfig, ServeError, ServeStats, Server};
+
+/// Crate version baked into `BENCH_serve.json`; the bench runner warns when
+/// the recorded numbers come from a different version than the tree.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,558 @@
+//! The serving loop: a dedicated thread running a [`localexec`] executor
+//! with two tasks — the request batcher and (optionally) a checkpoint
+//! watcher for hot reload.
+//!
+//! # Batching
+//!
+//! The batcher awaits the first queued request, then drains up to
+//! `max_batch - 1` more without waiting (natural batching: under load the
+//! queue is never empty, so batches fill; at low load requests are served
+//! solo with no added latency — there is no artificial batch timer). Cache
+//! misses in a batch go through one
+//! [`TrainedRepresenter::embed_batch_with`] call over a long-lived
+//! [`BatchScratch`], so steady-state batches allocate nothing beyond the
+//! result vectors.
+//!
+//! # Hot reload
+//!
+//! The model lives in an `Arc<TrainedRepresenter>`. Reload (from a watched
+//! [`EngineCheckpoint`] file or an explicit [`Client::reload`]) builds the
+//! replacement off the old Arc's shared encoder tables, then atomically
+//! swaps the Arc and clears the cache. In-flight requests are never dropped:
+//! they sit in the queue during the swap and are served by the new model.
+//! The cache's epoch fence guarantees a batch computed against the old model
+//! can never repopulate the cache after the swap (see
+//! [`EmbeddingCache::insert`]).
+
+use std::cell::RefCell;
+use std::path::PathBuf as FsPathBuf;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime};
+
+use wsccl_core::encoder::BatchScratch;
+use wsccl_core::persist::EngineCheckpoint;
+use wsccl_core::TrainedRepresenter;
+use wsccl_downstream::GbRegressor;
+use wsccl_roadnet::Path;
+use wsccl_traffic::SimTime;
+
+use crate::cache::{CacheStats, EmbeddingCache};
+use crate::channel::{mpsc, oneshot, OneSender, Receiver, Sender};
+
+/// Serving configuration; `Default` is tuned for one core.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Max requests fused into one forward pass (and one response sweep).
+    pub max_batch: usize,
+    /// Total LRU entries across shards; 0 disables the cache.
+    pub cache_capacity: usize,
+    pub cache_shards: usize,
+    /// Checkpoint file to poll for hot reload (an [`EngineCheckpoint`]).
+    /// Writers should save to a temp file and rename into place.
+    pub watch: Option<FsPathBuf>,
+    pub reload_poll: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 16,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            watch: None,
+            reload_poll: Duration::from_millis(100),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The server has shut down; the request was not served.
+    Closed,
+    /// ETA requested but no ETA head is installed.
+    NoEtaHead,
+    /// Empty paths have no embedding.
+    EmptyPath,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Closed => write!(f, "server closed"),
+            ServeError::NoEtaHead => write!(f, "no ETA head installed"),
+            ServeError::EmptyPath => write!(f, "empty path"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Snapshot of server counters, returned by [`Client::stats`] and as the
+/// final word of [`Server::shutdown`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeStats {
+    /// Embedding/ETA items answered (an `embed_many` of k counts k).
+    pub served: u64,
+    /// Forward-pass batches executed (cache-complete batches run none).
+    pub batches: u64,
+    /// Embeddings computed through the batched forward pass.
+    pub batched_embeds: u64,
+    pub reloads: u64,
+    /// Reloads rejected (load error or encoder-config mismatch).
+    pub reload_errors: u64,
+    pub max_batch_seen: usize,
+    pub cache: CacheStats,
+}
+
+enum Request {
+    Embed {
+        path: Path,
+        departure: SimTime,
+        enq: Instant,
+        resp: OneSender<Result<Arc<Vec<f64>>, ServeError>>,
+    },
+    /// One round trip for several queries (e.g. the k candidate routes of a
+    /// ranking request): one queue wake and one reply wake regardless of
+    /// `queries.len()`, and the items land in the same fused forward pass.
+    EmbedMany {
+        queries: Vec<(Path, SimTime)>,
+        enq: Instant,
+        resp: OneSender<Vec<Result<Arc<Vec<f64>>, ServeError>>>,
+    },
+    Eta {
+        path: Path,
+        departure: SimTime,
+        enq: Instant,
+        resp: OneSender<Result<f64, ServeError>>,
+    },
+    SetEtaHead {
+        head: Box<GbRegressor>,
+        resp: OneSender<()>,
+    },
+    Reload {
+        rep: Box<TrainedRepresenter>,
+        resp: OneSender<()>,
+    },
+    Stats {
+        resp: OneSender<ServeStats>,
+    },
+    Shutdown {
+        resp: OneSender<ServeStats>,
+    },
+}
+
+struct State {
+    model: Arc<TrainedRepresenter>,
+    eta_head: Option<Arc<GbRegressor>>,
+    cache: Arc<EmbeddingCache>,
+    scratch: BatchScratch,
+    stats: ServeStats,
+    shutting_down: bool,
+}
+
+impl State {
+    fn swap_model(&mut self, rep: TrainedRepresenter) {
+        self.model = Arc::new(rep);
+        self.stats.reloads += 1;
+        wsccl_obs::global().counter("serve.reloads").inc();
+        // Clear *after* the swap: the single-threaded executor runs this
+        // whole section without yielding, so no batch can interleave; the
+        // epoch bump fences any conceptually-older insert regardless.
+        self.cache.clear();
+    }
+}
+
+/// A handle to a running server thread. Cloneable request access goes
+/// through [`Server::client`]; dropping the `Server` shuts it down.
+pub struct Server {
+    tx: Sender<Request>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Cheap cloneable client handle; safe to use from any thread. Calls block
+/// until the server responds.
+#[derive(Clone)]
+pub struct Client {
+    tx: Sender<Request>,
+}
+
+impl Server {
+    /// Spawn the serving thread around a trained representer.
+    pub fn spawn(rep: TrainedRepresenter, cfg: ServeConfig) -> Server {
+        let (tx, rx) = mpsc::<Request>();
+        let handle = std::thread::Builder::new()
+            .name("wsccl-serve".into())
+            .spawn(move || run_server(rep, cfg, rx))
+            .expect("spawn serve thread");
+        Server { tx, handle: Some(handle) }
+    }
+
+    pub fn client(&self) -> Client {
+        Client { tx: self.tx.clone() }
+    }
+
+    /// Drain every queued request, stop the thread, and return final stats.
+    pub fn shutdown(mut self) -> ServeStats {
+        let stats = self.shutdown_inner();
+        self.handle.take().map(|h| h.join().ok());
+        stats
+    }
+
+    fn shutdown_inner(&self) -> ServeStats {
+        let (stx, srx) = oneshot();
+        self.tx.send(Request::Shutdown { resp: stx });
+        srx.recv().unwrap_or_default()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            self.shutdown_inner();
+            h.join().ok();
+        }
+    }
+}
+
+impl Client {
+    /// Embedding for `path` departing at `departure`; served from the LRU
+    /// cache when warm, otherwise computed in the next batch.
+    pub fn embed(&self, path: &Path, departure: SimTime) -> Result<Arc<Vec<f64>>, ServeError> {
+        let (rtx, rrx) = oneshot();
+        self.tx.send(Request::Embed {
+            path: path.clone(),
+            departure,
+            enq: Instant::now(),
+            resp: rtx,
+        });
+        rrx.recv().ok_or(ServeError::Closed)?
+    }
+
+    /// Embeddings for several `(path, departure)` queries in one round trip
+    /// — the bulk shape for route ranking, where each user query carries k
+    /// candidate paths. The whole group shares one queue wake and one reply
+    /// wake, and its cache misses are fused into the same batched forward
+    /// pass, so per-embedding overhead is `1/k` of [`Client::embed`]'s.
+    /// Results come back in query order, each `Err(EmptyPath)` only for an
+    /// empty path.
+    pub fn embed_many(
+        &self,
+        queries: &[(&Path, SimTime)],
+    ) -> Result<Vec<Result<Arc<Vec<f64>>, ServeError>>, ServeError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (rtx, rrx) = oneshot();
+        self.tx.send(Request::EmbedMany {
+            queries: queries.iter().map(|&(p, t)| (p.clone(), t)).collect(),
+            enq: Instant::now(),
+            resp: rtx,
+        });
+        rrx.recv().ok_or(ServeError::Closed)
+    }
+
+    /// Estimated travel time (seconds) via the installed ETA head over the
+    /// (possibly cached) embedding.
+    pub fn eta(&self, path: &Path, departure: SimTime) -> Result<f64, ServeError> {
+        let (rtx, rrx) = oneshot();
+        self.tx.send(Request::Eta {
+            path: path.clone(),
+            departure,
+            enq: Instant::now(),
+            resp: rtx,
+        });
+        rrx.recv().ok_or(ServeError::Closed)?
+    }
+
+    /// Install (or replace) the ETA regression head.
+    pub fn set_eta_head(&self, head: GbRegressor) -> Result<(), ServeError> {
+        let (rtx, rrx) = oneshot();
+        self.tx.send(Request::SetEtaHead { head: Box::new(head), resp: rtx });
+        rrx.recv().ok_or(ServeError::Closed)
+    }
+
+    /// Hot-swap the model in-process (the push-style alternative to the
+    /// checkpoint watcher). Returns once the swap is visible.
+    pub fn reload(&self, rep: TrainedRepresenter) -> Result<(), ServeError> {
+        let (rtx, rrx) = oneshot();
+        self.tx.send(Request::Reload { rep: Box::new(rep), resp: rtx });
+        rrx.recv().ok_or(ServeError::Closed)
+    }
+
+    pub fn stats(&self) -> Result<ServeStats, ServeError> {
+        let (rtx, rrx) = oneshot();
+        self.tx.send(Request::Stats { resp: rtx });
+        rrx.recv().ok_or(ServeError::Closed)
+    }
+}
+
+fn run_server(rep: TrainedRepresenter, cfg: ServeConfig, rx: Receiver<Request>) {
+    let state = Rc::new(RefCell::new(State {
+        model: Arc::new(rep),
+        eta_head: None,
+        cache: Arc::new(EmbeddingCache::new(cfg.cache_capacity, cfg.cache_shards)),
+        scratch: BatchScratch::default(),
+        stats: ServeStats::default(),
+        shutting_down: false,
+    }));
+    let max_batch = cfg.max_batch.max(1);
+
+    let mut exec = localexec::LocalExecutor::new();
+    if let Some(watch) = cfg.watch.clone() {
+        exec.spawn(watch_checkpoint(Rc::clone(&state), watch, cfg.reload_poll));
+    }
+    exec.spawn(request_loop(Rc::clone(&state), rx, max_batch));
+    exec.run();
+}
+
+/// Embedding items a request contributes toward `max_batch` (control
+/// requests pass through regardless).
+fn request_items(req: &Request) -> usize {
+    match req {
+        Request::EmbedMany { queries, .. } => queries.len().max(1),
+        _ => 1,
+    }
+}
+
+async fn request_loop(state: Rc<RefCell<State>>, rx: Receiver<Request>, max_batch: usize) {
+    let mut batch = Vec::with_capacity(max_batch);
+    loop {
+        let Some(first) = rx.recv().await else { break };
+        let mut size = request_items(&first);
+        batch.push(first);
+        while size < max_batch {
+            match rx.try_recv() {
+                Some(r) => {
+                    size += request_items(&r);
+                    batch.push(r);
+                }
+                None => break,
+            }
+        }
+        let shutdown = process_batch(&state, &mut batch);
+        if let Some(resp) = shutdown {
+            // Drain-on-shutdown: everything enqueued before the Shutdown is
+            // still served; nothing is dropped.
+            let mut rest: Vec<Request> = Vec::new();
+            while let Some(r) = rx.try_recv() {
+                rest.push(r);
+            }
+            let mut rest = rest.into_iter();
+            loop {
+                batch.extend(rest.by_ref().take(max_batch));
+                if batch.is_empty() {
+                    break;
+                }
+                process_batch(&state, &mut batch);
+            }
+            let mut st = state.borrow_mut();
+            st.shutting_down = true;
+            let mut stats = st.stats;
+            stats.cache = st.cache.stats();
+            drop(st);
+            resp.send(stats);
+            break;
+        }
+    }
+    state.borrow_mut().shutting_down = true;
+}
+
+/// Handle one batch; returns the shutdown responder if a shutdown was
+/// requested. Control requests (stats/reload/set-head) execute before the
+/// embedding work of the same batch.
+fn process_batch(
+    state: &Rc<RefCell<State>>,
+    batch: &mut Vec<Request>,
+) -> Option<OneSender<ServeStats>> {
+    let started = Instant::now();
+    let mut shutdown = None;
+    let mut work: Vec<Request> = Vec::with_capacity(batch.len());
+    for req in batch.drain(..) {
+        match req {
+            Request::SetEtaHead { head, resp } => {
+                state.borrow_mut().eta_head = Some(Arc::from(head));
+                resp.send(());
+            }
+            Request::Reload { rep, resp } => {
+                state.borrow_mut().swap_model(*rep);
+                resp.send(());
+            }
+            Request::Stats { resp } => {
+                let st = state.borrow();
+                let mut stats = st.stats;
+                stats.cache = st.cache.stats();
+                drop(st);
+                resp.send(stats);
+            }
+            Request::Shutdown { resp } => shutdown = Some(resp),
+            other => work.push(other),
+        }
+    }
+    if work.is_empty() {
+        return shutdown;
+    }
+
+    let mut st = state.borrow_mut();
+    let st = &mut *st;
+    let obs = wsccl_obs::global();
+    let queue_us = obs.latency_us("serve.queue_us");
+    for req in &work {
+        let enq = match req {
+            Request::Embed { enq, .. }
+            | Request::Eta { enq, .. }
+            | Request::EmbedMany { enq, .. } => *enq,
+            _ => unreachable!("control requests were split off"),
+        };
+        queue_us.record(enq.elapsed().as_nanos() as f64 / 1e3);
+    }
+
+    // Resolve each embedding item (an Embed/Eta carries one, an EmbedMany
+    // several) against the cache; batch the misses through one fused pass.
+    // Items are flattened in request order so the reply sweep below walks
+    // them with a cursor.
+    let epoch = st.cache.epoch();
+    let mut embeddings: Vec<Option<Arc<Vec<f64>>>> = Vec::new();
+    {
+        let mut items: Vec<(&Path, SimTime)> = Vec::with_capacity(work.len());
+        for req in &work {
+            match req {
+                Request::Embed { path, departure, .. } | Request::Eta { path, departure, .. } => {
+                    items.push((path, *departure))
+                }
+                Request::EmbedMany { queries, .. } => {
+                    items.extend(queries.iter().map(|(p, t)| (p, *t)))
+                }
+                _ => unreachable!(),
+            }
+        }
+        embeddings.resize(items.len(), None);
+        let cache_on = st.cache.enabled();
+        let mut miss_idx: Vec<usize> = Vec::with_capacity(items.len());
+        for (i, &(path, departure)) in items.iter().enumerate() {
+            if path.is_empty() {
+                continue; // answered with EmptyPath below
+            }
+            if !cache_on {
+                // Disabled cache: don't even hash the path.
+                miss_idx.push(i);
+                continue;
+            }
+            let key = EmbeddingCache::key(path, departure);
+            match st.cache.get(&key, path) {
+                Some(v) => embeddings[i] = Some(v),
+                None => miss_idx.push(i),
+            }
+        }
+        if !miss_idx.is_empty() {
+            let queries: Vec<(&Path, SimTime)> = miss_idx.iter().map(|&i| items[i]).collect();
+            let computed = st.model.embed_batch_with(&queries, &mut st.scratch);
+            st.stats.batches += 1;
+            st.stats.batched_embeds += miss_idx.len() as u64;
+            st.stats.max_batch_seen = st.stats.max_batch_seen.max(miss_idx.len());
+            obs.histogram("serve.batch_size", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0])
+                .record(miss_idx.len() as f64);
+            for (&i, emb) in miss_idx.iter().zip(computed) {
+                let emb = Arc::new(emb);
+                if cache_on {
+                    let (path, departure) = items[i];
+                    st.cache.insert(
+                        EmbeddingCache::key(path, departure),
+                        path,
+                        Arc::clone(&emb),
+                        epoch,
+                    );
+                }
+                embeddings[i] = Some(emb);
+            }
+        }
+        st.stats.served += items.len() as u64;
+    }
+
+    let mut results = embeddings.into_iter();
+    for req in work {
+        match req {
+            Request::Embed { resp, .. } => {
+                resp.send(
+                    results.next().expect("one result per item").ok_or(ServeError::EmptyPath),
+                );
+            }
+            Request::EmbedMany { queries, resp, .. } => {
+                resp.send(
+                    results
+                        .by_ref()
+                        .take(queries.len())
+                        .map(|e| e.ok_or(ServeError::EmptyPath))
+                        .collect(),
+                );
+            }
+            Request::Eta { resp, .. } => {
+                match (&st.eta_head, results.next().expect("one result per item")) {
+                    (_, None) => resp.send(Err(ServeError::EmptyPath)),
+                    (None, Some(_)) => resp.send(Err(ServeError::NoEtaHead)),
+                    (Some(head), Some(emb)) => resp.send(Ok(head.predict(&emb))),
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+    obs.latency_us("serve.batch_us").record(started.elapsed().as_nanos() as f64 / 1e3);
+    shutdown
+}
+
+fn checkpoint_fingerprint(path: &FsPathBuf) -> Option<(SystemTime, u64)> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some((meta.modified().ok()?, meta.len()))
+}
+
+/// Poll the watched checkpoint file; on change, wait one tick for the write
+/// to quiesce, then load + validate + swap. A load failure (partial write,
+/// version/config mismatch) is counted and skipped; the old model keeps
+/// serving.
+async fn watch_checkpoint(state: Rc<RefCell<State>>, path: FsPathBuf, poll: Duration) {
+    let mut last_seen = checkpoint_fingerprint(&path);
+    let mut pending = false;
+    loop {
+        localexec::sleep(poll).await;
+        if state.borrow().shutting_down {
+            break;
+        }
+        let cur = checkpoint_fingerprint(&path);
+        if cur != last_seen {
+            last_seen = cur;
+            pending = cur.is_some();
+            continue; // debounce: re-check next tick before loading
+        }
+        if !pending {
+            continue;
+        }
+        pending = false;
+        match try_reload(&state, &path) {
+            Ok(()) => {}
+            Err(err) => {
+                state.borrow_mut().stats.reload_errors += 1;
+                wsccl_obs::global().counter("serve.reload.errors").inc();
+                eprintln!("wsccl-serve: checkpoint reload from {} failed: {err}", path.display());
+            }
+        }
+    }
+}
+
+fn try_reload(state: &Rc<RefCell<State>>, path: &FsPathBuf) -> Result<(), String> {
+    let cp = EngineCheckpoint::load(path).map_err(|e| e.to_string())?;
+    let (encoder, name) = {
+        let st = state.borrow();
+        (st.model.encoder_arc(), st.model.name().to_string())
+    };
+    // The swapped-in weights must match the shared frozen encoder tables.
+    // Configs are compared structurally (via their canonical JSON); the
+    // encoder seed is the operator's contract — see DESIGN.md §12.
+    let current = serde_json::to_string(encoder.config()).map_err(|e| e.to_string())?;
+    let incoming = serde_json::to_string(&cp.encoder_config).map_err(|e| e.to_string())?;
+    if current != incoming {
+        return Err("encoder config mismatch; restart to change architecture".into());
+    }
+    let rep = TrainedRepresenter::from_parts(encoder, cp.params, cp.weights, name);
+    state.borrow_mut().swap_model(rep);
+    Ok(())
+}

@@ -1,0 +1,266 @@
+//! End-to-end serving tests: correctness against direct embedding, batching
+//! under concurrent load, and hot checkpoint reload with zero dropped
+//! requests.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use wsccl_core::encoder::{EncoderConfig, TemporalPathEncoder};
+use wsccl_core::{TrainedRepresenter, WscModel, WscclConfig};
+use wsccl_datagen::{CityDataset, DatasetConfig};
+use wsccl_downstream::{GbConfig, GbRegressor};
+use wsccl_roadnet::CityProfile;
+use wsccl_serve::{ServeConfig, ServeError, Server};
+use wsccl_traffic::{PopLabeler, SimTime};
+
+fn setup(seed: u64, epochs: usize) -> (CityDataset, WscModel, Arc<TemporalPathEncoder>) {
+    let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 11));
+    let enc = Arc::new(TemporalPathEncoder::new(&ds.net, EncoderConfig::tiny(), 11));
+    let mut model = WscModel::new(Arc::clone(&enc), WscclConfig::tiny(), seed);
+    model.train(&ds.unlabeled, &PopLabeler, epochs);
+    (ds, model, enc)
+}
+
+#[test]
+fn served_embeddings_match_direct_and_cache_hits_are_identical() {
+    let (ds, model, enc) = setup(8, 1);
+    // A second representer from the same weights (via checkpoint round-trip)
+    // serves as the direct, unserved baseline.
+    let cp = model.checkpoint(11);
+    let direct = TrainedRepresenter::from_parts(
+        Arc::clone(&enc),
+        cp.params.clone(),
+        cp.weights.clone(),
+        "direct",
+    );
+    let rep = model.into_representer("WSCCL");
+
+    let server = Server::spawn(rep, ServeConfig { max_batch: 8, ..ServeConfig::default() });
+    let client = server.client();
+    for (i, s) in ds.unlabeled.iter().take(24).enumerate() {
+        let dep = SimTime::new(s.departure.seconds() + 211 * i as u32);
+        let served = client.embed(&s.path, dep).expect("serve");
+        assert_eq!(*served, direct.embed(&s.path, dep), "served must equal direct embed");
+        // Second call is a cache hit and must return the identical value.
+        let again = client.embed(&s.path, dep).expect("serve");
+        assert_eq!(again, served);
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 48);
+    assert!(stats.cache.hits >= 24, "second pass must hit: {:?}", stats.cache);
+}
+
+#[test]
+fn embed_many_matches_embed_in_order_and_counts_items() {
+    let (ds, model, _enc) = setup(14, 1);
+    let server = Server::spawn(
+        model.into_representer("WSCCL"),
+        ServeConfig { max_batch: 16, ..ServeConfig::default() },
+    );
+    let client = server.client();
+    assert_eq!(client.embed_many(&[]).unwrap(), Vec::new());
+
+    let queries: Vec<_> = ds
+        .unlabeled
+        .iter()
+        .take(9)
+        .enumerate()
+        .map(|(i, s)| (s.path.clone(), SimTime::new(s.departure.seconds() + 97 * i as u32)))
+        .collect();
+    // Constructors reject empty paths, but deserialized input can carry one;
+    // the server must fail that slot alone, not the whole group.
+    let empty: wsccl_roadnet::Path =
+        serde_json::from_str(r#"{"edges":[]}"#).expect("empty path via serde");
+    let mut bulk: Vec<(&wsccl_roadnet::Path, SimTime)> =
+        queries.iter().map(|(p, t)| (p, *t)).collect();
+    bulk.insert(4, (&empty, SimTime::new(0)));
+
+    let got = client.embed_many(&bulk).unwrap();
+    assert_eq!(got.len(), bulk.len());
+    assert_eq!(got[4], Err(ServeError::EmptyPath), "empty path fails only its own slot");
+    for (j, (p, t)) in bulk.iter().enumerate() {
+        if j == 4 {
+            continue;
+        }
+        let direct = client.embed(p, *t).expect("single embed");
+        assert_eq!(
+            *got[j].as_ref().expect("bulk item served"),
+            direct,
+            "bulk result {j} must match the single-query path (cache-identical)"
+        );
+    }
+    let stats = server.shutdown();
+    // 10 bulk items + 9 follow-up singles; the empty path never hits the pass.
+    assert_eq!(stats.served, 19);
+    assert_eq!(stats.batched_embeds, 9);
+    assert!(stats.max_batch_seen >= 2, "the bulk group must fuse: {stats:?}");
+}
+
+#[test]
+fn eta_requests_flow_through_installed_head() {
+    let (ds, model, _enc) = setup(9, 1);
+    let rep = model.into_representer("WSCCL");
+    let x: Vec<Vec<f64>> =
+        ds.tte.iter().take(64).map(|e| rep.embed(&e.path, e.departure)).collect();
+    let y: Vec<f64> = ds.tte.iter().take(64).map(|e| e.travel_time).collect();
+    let head = GbRegressor::fit(&x, &y, &GbConfig { n_trees: 10, ..GbConfig::default() });
+
+    let server = Server::spawn(rep, ServeConfig::default());
+    let client = server.client();
+    let e = &ds.tte[0];
+    assert_eq!(client.eta(&e.path, e.departure), Err(ServeError::NoEtaHead));
+    client.set_eta_head(head.clone()).unwrap();
+    let eta = client.eta(&e.path, e.departure).unwrap();
+    let direct = head.predict(&client.embed(&e.path, e.departure).unwrap());
+    assert_eq!(eta, direct);
+    assert!(eta.is_finite() && eta > 0.0, "eta should be a positive travel time: {eta}");
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_are_batched() {
+    let (ds, model, _enc) = setup(10, 1);
+    let server = Server::spawn(
+        model.into_representer("WSCCL"),
+        // Cache off so every request exercises the batched forward pass.
+        ServeConfig { max_batch: 16, cache_capacity: 0, ..ServeConfig::default() },
+    );
+    let samples: Vec<_> = ds.unlabeled.iter().take(16).cloned().collect();
+    std::thread::scope(|s| {
+        for t in 0..8usize {
+            let client = server.client();
+            let samples = &samples;
+            s.spawn(move || {
+                for i in 0..50usize {
+                    let sm = &samples[(t * 7 + i) % samples.len()];
+                    let dep = SimTime::new(sm.departure.seconds() + (i as u32) * 313);
+                    client.embed(&sm.path, dep).expect("request must be served");
+                }
+            });
+        }
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 400);
+    assert_eq!(stats.batched_embeds, 400);
+    assert!(
+        stats.batches < 400,
+        "8 hammering clients must produce some multi-request batches: {stats:?}"
+    );
+    assert!(stats.max_batch_seen > 1);
+}
+
+#[test]
+fn hot_reload_hammer_drops_nothing_and_swaps_model() {
+    let (ds, model, enc) = setup(12, 1);
+    let rep = model.into_representer("v1");
+
+    // A second, differently-trained model over the same encoder tables.
+    let mut model2 = WscModel::new(Arc::clone(&enc), WscclConfig::tiny(), 99);
+    model2.train(&ds.unlabeled, &PopLabeler, 2);
+    let rep2 = model2.into_representer("v2");
+    let probe = ds.unlabeled[0].clone();
+    let before = rep.embed(&probe.path, probe.departure);
+    let after = rep2.embed(&probe.path, probe.departure);
+    assert_ne!(before, after, "the two models must embed differently");
+
+    let server = Server::spawn(rep, ServeConfig { max_batch: 8, ..ServeConfig::default() });
+    let stop = AtomicBool::new(false);
+    let dropped = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let client = server.client();
+            let (stop, dropped) = (&stop, &dropped);
+            let samples = &ds.unlabeled;
+            s.spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let sm = &samples[(t * 13 + i) % samples.len().min(32)];
+                    match client.embed(&sm.path, sm.departure) {
+                        Ok(e) => assert!(e.iter().all(|v| v.is_finite())),
+                        Err(_) => {
+                            dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    i += 1;
+                }
+            });
+        }
+        // Let the hammer warm the cache, then swap models mid-flight.
+        std::thread::sleep(Duration::from_millis(50));
+        server.client().reload(rep2).expect("reload");
+        std::thread::sleep(Duration::from_millis(50));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Post-reload, served embeddings come from the *new* model — including
+    // for keys that were cached before the swap (invalidation).
+    let served = server.client().embed(&probe.path, probe.departure).unwrap();
+    assert_eq!(*served, after, "stale pre-reload embedding survived the swap");
+    let stats = server.shutdown();
+    assert_eq!(dropped.load(Ordering::Relaxed), 0, "no request may be dropped across reload");
+    assert_eq!(stats.reloads, 1);
+    assert!(stats.served > 0);
+}
+
+#[test]
+fn watcher_reloads_from_checkpoint_file() {
+    let (ds, mut model, enc) = setup(13, 1);
+    let cp0 = model.checkpoint(11);
+    let rep = TrainedRepresenter::from_parts(
+        Arc::clone(&enc),
+        cp0.params.clone(),
+        cp0.weights.clone(),
+        "v1",
+    );
+    let probe = ds.unlabeled[1].clone();
+    let before = rep.embed(&probe.path, probe.departure);
+
+    let dir = std::env::temp_dir().join(format!("wsccl-serve-watch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cp_path = dir.join("model.ckpt");
+
+    let server = Server::spawn(
+        rep,
+        ServeConfig {
+            watch: Some(cp_path.clone()),
+            reload_poll: Duration::from_millis(20),
+            ..ServeConfig::default()
+        },
+    );
+    let client = server.client();
+    assert_eq!(*client.embed(&probe.path, probe.departure).unwrap(), before);
+
+    // Train further and publish a checkpoint (write-temp + rename, as the
+    // watcher's docs prescribe).
+    model.train(&ds.unlabeled, &PopLabeler, 2);
+    let cp2 = model.checkpoint(11);
+    // Expected post-reload value through the same frozen f32 path the
+    // server uses (WscModel::embed itself stays on the f64 tape).
+    let after = TrainedRepresenter::from_parts(
+        Arc::clone(&enc),
+        cp2.params.clone(),
+        cp2.weights.clone(),
+        "v2",
+    )
+    .embed(&probe.path, probe.departure);
+    assert_ne!(before, after);
+    let tmp = dir.join("model.ckpt.tmp");
+    cp2.save(&tmp).unwrap();
+    std::fs::rename(&tmp, &cp_path).unwrap();
+
+    // Poll until the watcher has picked it up (debounce = 2 ticks min).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let got = client.embed(&probe.path, probe.departure).unwrap();
+        if *got == after {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "watcher never reloaded");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.reloads, 1);
+    assert_eq!(stats.reload_errors, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

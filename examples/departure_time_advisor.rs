@@ -1,9 +1,11 @@
 //! Departure-time advisor — the paper's Fig. 1 motivation as a program.
 //!
 //! For one origin–destination pair, estimate travel times for candidate
-//! routes across departure times (weekday 6:00–20:00) using WSCCL
-//! representations plus a gradient-boosted travel-time head, and report when
-//! to leave and which route to take.
+//! routes across departure times (weekday 6:00–20:00) and report when to
+//! leave and which route to take. The trained WSCCL model runs behind a
+//! `wsccl-serve` server with a gradient-boosted ETA head installed, so every
+//! estimate below is one `client.eta(path, departure)` call: batched f32
+//! forward pass on miss, LRU path-embedding cache on repeat.
 //!
 //! Run with:
 //! ```sh
@@ -11,11 +13,12 @@
 //! ```
 
 use wsccl_bench::Scale;
-use wsccl_core::{train_wsccl, PathRepresenter};
+use wsccl_core::train_wsccl;
 use wsccl_datagen::CityDataset;
 use wsccl_downstream::{GbConfig, GbRegressor};
 use wsccl_roadnet::yen::k_shortest_paths;
 use wsccl_roadnet::{CityProfile, NodeId};
+use wsccl_serve::{ServeConfig, Server};
 use wsccl_traffic::{PopLabeler, SimTime};
 
 fn main() {
@@ -24,11 +27,16 @@ fn main() {
     println!("training WSCCL on {} unlabeled temporal paths ...", ds.unlabeled.len());
     let rep = train_wsccl(&ds.net, &ds.unlabeled, &PopLabeler, &scale.wsccl(21));
 
-    // Fit a travel-time head on the labeled examples.
-    let x: Vec<Vec<f64>> =
-        ds.tte.iter().map(|t| rep.represent(&ds.net, &t.path, t.departure)).collect();
+    // Fit a travel-time head on the labeled examples (one batched embed
+    // pass), then serve model + head together.
+    let queries: Vec<_> = ds.tte.iter().map(|t| (&t.path, t.departure)).collect();
+    let x = rep.embed_batch(&queries);
     let y: Vec<f64> = ds.tte.iter().map(|t| t.travel_time).collect();
     let head = GbRegressor::fit(&x, &y, &GbConfig::default());
+
+    let server = Server::spawn(rep, ServeConfig::default());
+    let client = server.client();
+    client.set_eta_head(head).expect("install ETA head");
 
     // An OD pair with a few route options.
     let (src, dst) = (NodeId(0), NodeId(200));
@@ -52,7 +60,7 @@ fn main() {
     for hour in 6..=20u32 {
         let t = SimTime::from_hm(1, hour, 0); // Tuesday
         let etas: Vec<f64> =
-            routes.iter().map(|r| head.predict(&rep.represent(&ds.net, r, t)) / 60.0).collect();
+            routes.iter().map(|r| client.eta(r, t).expect("serve eta") / 60.0).collect();
         let (best_ix, best_eta) = etas
             .iter()
             .enumerate()
@@ -73,5 +81,11 @@ fn main() {
         best_overall.1,
         best_overall.2 + 1,
         best_overall.0
+    );
+
+    let stats = server.shutdown();
+    println!(
+        "served {} ETA requests ({} cache hits, {} misses)",
+        stats.served, stats.cache.hits, stats.cache.misses
     );
 }

@@ -1,7 +1,12 @@
-//! Route recommender: train WSCCL, fit a recommendation head on historical
-//! route choices, then recommend routes for unseen origin–destination queries
-//! and measure how often the recommendation matches the route a driver
-//! actually took (the paper's path-recommendation task, §VII-A.2c).
+//! Route recommender: train WSCCL, stand up a `wsccl-serve` embedding
+//! server, fit a recommendation head on historical route choices, then
+//! recommend routes for unseen origin–destination queries and measure how
+//! often the recommendation matches the route a driver actually took (the
+//! paper's path-recommendation task, §VII-A.2c).
+//!
+//! All representations are fetched through the serve API: concurrent client
+//! threads hammer the server, which coalesces their requests into batched
+//! f32 forward passes and answers repeats from the LRU path-embedding cache.
 //!
 //! Run with:
 //! ```sh
@@ -9,10 +14,11 @@
 //! ```
 
 use wsccl_bench::Scale;
-use wsccl_core::{train_wsccl, PathRepresenter};
+use wsccl_core::train_wsccl;
 use wsccl_datagen::{train_test_split, CityDataset};
 use wsccl_downstream::{GbClassifier, GbConfig};
 use wsccl_roadnet::CityProfile;
+use wsccl_serve::{ServeConfig, Server};
 use wsccl_traffic::{PopLabeler, WeakLabel, WeakLabeler};
 
 fn main() {
@@ -25,21 +31,51 @@ fn main() {
     );
     let rep = train_wsccl(&ds.net, &ds.unlabeled, &PopLabeler, &scale.wsccl(5));
 
-    // Fit the recommendation head on historical choices (train groups).
+    // Serve the trained model; every representation below comes from here.
+    let server = Server::spawn(rep, ServeConfig::default());
+
+    // Fit the recommendation head on historical choices (train groups),
+    // fetching embeddings through concurrent serve clients so the server
+    // batches them.
     let (train_groups, test_groups) = train_test_split(ds.groups.len(), 0.8, 99);
     let mut x = Vec::new();
     let mut y = Vec::new();
-    for &gi in &train_groups {
-        let g = &ds.groups[gi];
-        for (p, &label) in g.candidates.iter().zip(&g.labels) {
-            x.push(rep.represent(&ds.net, p, g.departure));
-            y.push(label);
+    {
+        let queries: Vec<_> = train_groups
+            .iter()
+            .flat_map(|&gi| {
+                let g = &ds.groups[gi];
+                g.candidates.iter().zip(&g.labels).map(|(p, &l)| (p, g.departure, l))
+            })
+            .collect();
+        let workers = 4;
+        let chunk = queries.len().div_ceil(workers);
+        let embedded: Vec<Vec<(Vec<f64>, bool)>> = std::thread::scope(|s| {
+            queries
+                .chunks(chunk.max(1))
+                .map(|part| {
+                    let client = server.client();
+                    s.spawn(move || {
+                        part.iter()
+                            .map(|&(p, t, l)| ((*client.embed(p, t).expect("serve")).clone(), l))
+                            .collect()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("embed worker"))
+                .collect()
+        });
+        for (e, l) in embedded.into_iter().flatten() {
+            x.push(e);
+            y.push(l);
         }
     }
     let head = GbClassifier::fit(&x, &y, &GbConfig::default());
 
     // Recommend for unseen queries: pick the candidate with the highest
     // predicted probability of being the driver's choice.
+    let client = server.client();
     let mut hits = 0usize;
     let mut peak_hits = 0usize;
     let mut peak_total = 0usize;
@@ -49,7 +85,10 @@ fn main() {
             .candidates
             .iter()
             .enumerate()
-            .map(|(i, p)| (i, head.predict_proba(&rep.represent(&ds.net, p, g.departure))))
+            .map(|(i, p)| {
+                let emb = client.embed(p, g.departure).expect("serve");
+                (i, head.predict_proba(&emb))
+            })
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
             .map(|(i, _)| i)
             .expect("non-empty group");
@@ -75,4 +114,10 @@ fn main() {
         test_groups.iter().map(|&gi| 1.0 / ds.groups[gi].candidates.len() as f64).sum::<f64>()
             / test_groups.len() as f64;
     println!("random-guess baseline: {:.0}%", 100.0 * random_baseline);
+
+    let stats = server.shutdown();
+    println!(
+        "\nserved {} embed requests in {} batches (max batch {}); cache {} hits / {} misses",
+        stats.served, stats.batches, stats.max_batch_seen, stats.cache.hits, stats.cache.misses
+    );
 }

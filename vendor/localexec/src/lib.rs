@@ -1,0 +1,442 @@
+//! Offline vendored stand-in for a minimal futures executor.
+//!
+//! A **single-threaded** cooperative executor: every future is polled on the
+//! thread that calls [`LocalExecutor::run`], so tasks can share state through
+//! `Rc<RefCell<_>>` without locks. Wakers are `Send + Sync` and may be called
+//! from *other* threads (e.g. a client pushing a request into a queue); a
+//! wake just marks the task ready and unparks the executor, never touching
+//! the future itself.
+//!
+//! Provided pieces, in the spirit of `futures::executor::LocalPool`:
+//!
+//! * [`LocalExecutor`] — task set + ready queue + condvar park/unpark loop;
+//! * [`Spawner`] — clonable handle for spawning further tasks from inside a
+//!   running task (same thread only);
+//! * [`sleep`] — a timer future served by the executor's park timeout;
+//! * [`yield_now`] — reschedule the current task behind the ready queue;
+//! * [`block_on`] — drive one future on the current thread, parking between
+//!   polls.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::{Duration, Instant};
+
+type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Cross-thread wakeable state shared by every task's waker.
+struct Shared {
+    /// Indices of tasks marked ready since the last sweep.
+    ready: Mutex<VecDeque<usize>>,
+    parked: Condvar,
+}
+
+impl Shared {
+    fn wake_task(&self, id: usize) {
+        let mut q = self.ready.lock().unwrap_or_else(|e| e.into_inner());
+        if !q.contains(&id) {
+            q.push_back(id);
+        }
+        self.parked.notify_one();
+    }
+}
+
+/// One task's waker: marks the task ready and unparks the executor. Safe to
+/// call from any thread — it never touches the (non-`Send`) future.
+struct TaskWaker {
+    shared: Arc<Shared>,
+    id: usize,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.shared.wake_task(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.shared.wake_task(self.id);
+    }
+}
+
+/// Tasks spawned from inside a running task, staged until the next sweep.
+/// Same-thread only (`Rc`), so spawning never races the poll loop.
+#[derive(Default)]
+struct Injector {
+    incoming: Vec<LocalFuture>,
+}
+
+/// Clonable same-thread spawn handle (see [`LocalExecutor::spawner`]).
+#[derive(Clone)]
+pub struct Spawner {
+    injector: Rc<RefCell<Injector>>,
+}
+
+impl Spawner {
+    /// Queue a future for execution; it is adopted at the next executor sweep.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) {
+        self.injector.borrow_mut().incoming.push(Box::pin(fut));
+    }
+}
+
+/// A minimal single-threaded executor. Runs every spawned task to completion;
+/// [`LocalExecutor::run`] returns when no task remains.
+pub struct LocalExecutor {
+    shared: Arc<Shared>,
+    injector: Rc<RefCell<Injector>>,
+    /// Slot per task; `None` once completed.
+    tasks: Vec<Option<LocalFuture>>,
+}
+
+impl Default for LocalExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalExecutor {
+    pub fn new() -> Self {
+        Self {
+            shared: Arc::new(Shared { ready: Mutex::new(VecDeque::new()), parked: Condvar::new() }),
+            injector: Rc::new(RefCell::new(Injector::default())),
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Spawn a task before (or between) runs.
+    pub fn spawn(&mut self, fut: impl Future<Output = ()> + 'static) {
+        let id = self.tasks.len();
+        self.tasks.push(Some(Box::pin(fut)));
+        self.shared.wake_task(id);
+    }
+
+    /// Handle for spawning from inside tasks.
+    pub fn spawner(&self) -> Spawner {
+        Spawner { injector: Rc::clone(&self.injector) }
+    }
+
+    /// Adopt injected tasks, marking them ready.
+    fn adopt_injected(&mut self) {
+        let incoming = std::mem::take(&mut self.injector.borrow_mut().incoming);
+        for fut in incoming {
+            let id = self.tasks.len();
+            self.tasks.push(Some(fut));
+            self.shared.wake_task(id);
+        }
+    }
+
+    /// Poll ready tasks until every task has completed. Parks on a condvar
+    /// when nothing is ready; timer futures ([`sleep`]) bound the park so the
+    /// earliest deadline is honored without a dedicated timer thread.
+    pub fn run(&mut self) {
+        loop {
+            self.adopt_injected();
+            // Drain the ready set into a local batch so wakes issued during
+            // polling (including self-wakes from `yield_now`) land in the
+            // next sweep instead of livelocking this one.
+            let batch: Vec<usize> = {
+                let mut q = self.shared.ready.lock().unwrap_or_else(|e| e.into_inner());
+                q.drain(..).collect()
+            };
+            for id in batch {
+                let Some(slot) = self.tasks.get_mut(id) else { continue };
+                let Some(fut) = slot.as_mut() else { continue };
+                let waker =
+                    Waker::from(Arc::new(TaskWaker { shared: Arc::clone(&self.shared), id }));
+                let mut cx = Context::from_waker(&waker);
+                if let Poll::Ready(()) = fut.as_mut().poll(&mut cx) {
+                    *slot = None;
+                }
+            }
+            self.adopt_injected();
+            if self.tasks.iter().all(Option::is_none) {
+                return;
+            }
+            // Park until a waker fires or the nearest timer deadline passes.
+            // Timer wakers go through `wake_task`, which takes the ready
+            // lock — so the lock must be *released* before `fire_timers`.
+            loop {
+                let q = self.shared.ready.lock().unwrap_or_else(|e| e.into_inner());
+                if !q.is_empty() {
+                    break;
+                }
+                match next_deadline() {
+                    Some(deadline) => {
+                        let now = Instant::now();
+                        if deadline > now {
+                            drop(
+                                self.shared
+                                    .parked
+                                    .wait_timeout(q, deadline - now)
+                                    .unwrap_or_else(|e| e.into_inner()),
+                            );
+                        } else {
+                            drop(q);
+                        }
+                        fire_timers(Instant::now());
+                    }
+                    None => {
+                        drop(self.shared.parked.wait(q).unwrap_or_else(|e| e.into_inner()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Pending `(deadline, waker)` pairs for this thread's executor.
+    static TIMERS: RefCell<Vec<(Instant, Waker)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn next_deadline() -> Option<Instant> {
+    TIMERS.with(|t| t.borrow().iter().map(|(d, _)| *d).min())
+}
+
+/// Wake every timer at or past `now`.
+fn fire_timers(now: Instant) {
+    let due: Vec<Waker> = TIMERS.with(|t| {
+        let mut timers = t.borrow_mut();
+        let mut due = Vec::new();
+        timers.retain(|(d, w)| {
+            if *d <= now {
+                due.push(w.clone());
+                false
+            } else {
+                true
+            }
+        });
+        due
+    });
+    for w in due {
+        w.wake();
+    }
+}
+
+/// Sleep until a deadline has passed. Resolution is whatever the executor's
+/// park timeout delivers — good enough for polling loops, not for audio.
+pub struct Sleep {
+    deadline: Instant,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        // Re-register every poll: wakers are task-scoped and cheap to clone.
+        let deadline = self.deadline;
+        TIMERS.with(|t| t.borrow_mut().push((deadline, cx.waker().clone())));
+        self.registered = true;
+        Poll::Pending
+    }
+}
+
+/// A future that completes `dur` from now.
+pub fn sleep(dur: Duration) -> Sleep {
+    Sleep { deadline: Instant::now() + dur, registered: false }
+}
+
+/// Yield once: reschedules the current task behind everything already ready.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// block_on
+// ---------------------------------------------------------------------------
+
+struct ParkWaker {
+    woken: AtomicBool,
+    parked: Condvar,
+    lock: Mutex<()>,
+}
+
+impl Wake for ParkWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.woken.store(true, Ordering::SeqCst);
+        self.parked.notify_one();
+    }
+}
+
+/// Drive a single future to completion on the current thread. Timer futures
+/// created inside it are honored via the same thread-local timer table the
+/// executor uses.
+pub fn block_on<T>(fut: impl Future<Output = T>) -> T {
+    let parker = Arc::new(ParkWaker {
+        woken: AtomicBool::new(false),
+        parked: Condvar::new(),
+        lock: Mutex::new(()),
+    });
+    let waker = Waker::from(Arc::clone(&parker));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        if let Poll::Ready(v) = fut.as_mut().poll(&mut cx) {
+            return v;
+        }
+        let mut guard = parker.lock.lock().unwrap_or_else(|e| e.into_inner());
+        while !parker.woken.swap(false, Ordering::SeqCst) {
+            match next_deadline() {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if deadline <= now {
+                        fire_timers(now);
+                        continue;
+                    }
+                    let (g, _) = parker
+                        .parked
+                        .wait_timeout(guard, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    guard = g;
+                    fire_timers(Instant::now());
+                }
+                None => {
+                    guard = parker.parked.wait(guard).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+        drop(guard);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_on_returns_value() {
+        assert_eq!(block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn tasks_interleave_and_share_state() {
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        let mut ex = LocalExecutor::new();
+        for id in 0..3u32 {
+            let log = Rc::clone(&log);
+            ex.spawn(async move {
+                for _ in 0..3 {
+                    log.borrow_mut().push(id);
+                    yield_now().await;
+                }
+            });
+        }
+        ex.run();
+        let got = log.borrow();
+        assert_eq!(got.len(), 9);
+        for id in 0..3 {
+            assert_eq!(got.iter().filter(|&&x| x == id).count(), 3);
+        }
+    }
+
+    #[test]
+    fn spawner_injects_mid_run() {
+        let done = Rc::new(RefCell::new(false));
+        let mut ex = LocalExecutor::new();
+        let sp = ex.spawner();
+        let done2 = Rc::clone(&done);
+        ex.spawn(async move {
+            let done3 = Rc::clone(&done2);
+            sp.spawn(async move {
+                *done3.borrow_mut() = true;
+            });
+        });
+        ex.run();
+        assert!(*done.borrow());
+    }
+
+    #[test]
+    fn sleep_actually_waits() {
+        let t = Instant::now();
+        block_on(async {
+            sleep(Duration::from_millis(30)).await;
+        });
+        assert!(t.elapsed() >= Duration::from_millis(25), "slept {:?}", t.elapsed());
+    }
+
+    #[test]
+    fn timers_fire_inside_executor_run() {
+        // Regression: `run()` must release the ready lock before firing
+        // timers — timer wakers re-take it (this used to self-deadlock).
+        let t = Instant::now();
+        let ticks = Rc::new(RefCell::new(0));
+        let mut ex = LocalExecutor::new();
+        let t2 = Rc::clone(&ticks);
+        ex.spawn(async move {
+            for _ in 0..3 {
+                sleep(Duration::from_millis(10)).await;
+                *t2.borrow_mut() += 1;
+            }
+        });
+        ex.run();
+        assert_eq!(*ticks.borrow(), 3);
+        assert!(t.elapsed() >= Duration::from_millis(25), "ran in {:?}", t.elapsed());
+    }
+
+    #[test]
+    fn cross_thread_wake_unparks_executor() {
+        use std::sync::mpsc;
+        // A task pending on a hand-rolled future that a foreign thread wakes.
+        struct WaitFlag {
+            flag: Arc<AtomicBool>,
+            waker_tx: mpsc::Sender<Waker>,
+        }
+        impl Future for WaitFlag {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                if self.flag.load(Ordering::SeqCst) {
+                    Poll::Ready(())
+                } else {
+                    let _ = self.waker_tx.send(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+        let flag = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel();
+        let mut ex = LocalExecutor::new();
+        ex.spawn(WaitFlag { flag: Arc::clone(&flag), waker_tx: tx });
+        let setter = std::thread::spawn(move || {
+            let waker: Waker = rx.recv().expect("waker");
+            std::thread::sleep(Duration::from_millis(20));
+            flag.store(true, Ordering::SeqCst);
+            waker.wake();
+        });
+        ex.run();
+        setter.join().expect("setter thread");
+    }
+}

@@ -5,8 +5,10 @@
 //! parking_lot has no poisoning concept).
 
 use std::sync::{
-    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard,
+    RwLockWriteGuard,
 };
+use std::time::Duration;
 
 /// Non-poisoning mutex mirroring `parking_lot::Mutex`.
 #[derive(Debug, Default)]
@@ -72,6 +74,48 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// Non-poisoning condition variable. Unlike real parking_lot (which mutates
+/// the guard in place), `wait` takes and returns the guard std-style — the
+/// guard type here *is* `std::sync::MutexGuard`, which can't be re-seated
+/// through a `&mut` without unsafe code.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Self { inner: StdCondvar::new() }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns the reacquired guard and whether the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        match self.inner.wait_timeout(guard, dur) {
+            Ok((g, t)) => (g, t.timed_out()),
+            Err(e) => {
+                let (g, t) = e.into_inner();
+                (g, t.timed_out())
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +141,23 @@ mod tests {
             }
         });
         assert_eq!(*m.lock(), 400);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let m = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let m2 = std::sync::Arc::clone(&m);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            *m2.0.lock() = true;
+            m2.1.notify_one();
+        });
+        let mut g = m.0.lock();
+        while !*g {
+            g = m.1.wait(g);
+        }
+        drop(g);
+        t.join().unwrap();
     }
 
     #[test]
