@@ -1,0 +1,257 @@
+//! `bench_drift` — the continual-learning drift dashboard. Simulates a short
+//! drift episode and records, per day, embedding-quality decay vs. re-training
+//! cadence in `BENCH_drift.json` (schema: [`wsccl_bench::DriftBench`]).
+//!
+//! Two tracks run over the same deterministic drift episode:
+//!
+//! * **incremental** — a [`ContinualTrainer`]: warm-start from yesterday's
+//!   weights, curriculum-restarted re-training on that day's fresh samples
+//!   mixed with the bounded replay reservoir (pinned weak labels).
+//! * **full** — the ceiling: a scratch model re-trained from random init on
+//!   the entire accumulated corpus (original pre-training data plus every
+//!   day's fresh samples so far) under the current day's labeler.
+//!
+//! Both tracks are scored with the repo's standard embedding-quality probe
+//! shape (representation → GBR head, as in `eval::evaluate_tte`): the day's
+//! held-out eval paths get noise-free expected travel times under that day's
+//! drifted congestion, a small GBR is fit on each model's embeddings over
+//! the train split, and quality is the ETA MAE on the test split (lower is
+//! better). Drift moves the true travel times, so a stale embedding's MAE
+//! rises; re-training pulls it back down.
+//! `recovery = (mae_before - mae_after) / (mae_before - mae_full)` (capped
+//! at 1, and defined as 1 when the full re-train finds no error to recover);
+//! `step_cost = retrain_steps / full_steps`. The contract — warm-start +
+//! replay recovers ≥ 80% of the drift-induced drop at ≤ 30% of the full
+//! re-train step cost — is asserted on the episode means; override with
+//! `WSCCL_DRIFT_MIN_RECOVERY` / `WSCCL_DRIFT_MAX_COST`. Episode length
+//! defaults to 3 days (`WSCCL_DRIFT_DAYS`).
+//!
+//! The episode's JSONL run log (drift/retrain phases, per-step records)
+//! lands in `results/runs/drift-bench.jsonl`; the dashboard table in
+//! `results/drift_dashboard.txt`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use wsccl_bench::runner::WORLD_SEED;
+use wsccl_bench::{DriftBench, DriftDayRow, Scale, Table};
+use wsccl_core::encoder::{EncoderConfig, TemporalPathEncoder};
+use wsccl_core::{ContinualConfig, ContinualTrainer, WscModel, WscclConfig};
+use wsccl_datagen::{CityDataset, TemporalPathSample};
+use wsccl_downstream::{metrics, GbConfig, GbRegressor};
+use wsccl_obs::{AnomalyGuard, AnomalyPolicy};
+use wsccl_roadnet::{CityProfile, Path, RoadNetwork};
+use wsccl_traffic::{CongestionModel, SimTime, TciLabeler};
+use wsccl_train::{run_log_path, JsonlObserver};
+
+/// Epochs of the scratch full re-train each day (`WSCCL_DRIFT_FULL_EPOCHS`).
+/// Together with the growing corpus this sets the step budget the
+/// incremental track is measured against.
+const FULL_EPOCHS: usize = 8;
+/// Epochs of the day-0 base pre-train (`WSCCL_DRIFT_BASE_EPOCHS`).
+const BASE_EPOCHS: usize = 8;
+/// Incremental re-training learning rate as a fraction of the from-scratch
+/// rate (`WSCCL_DRIFT_LR_SCALE`).
+const LR_SCALE: f64 = 0.25;
+/// Incremental full-pool re-train epochs per day (`WSCCL_DRIFT_RETRAIN_EPOCHS`).
+const RETRAIN_EPOCHS: usize = 2;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Noise-free expected travel time of `path` departing at `departure` under
+/// `model` — the traversal recurrence of `traverse_with` minus its
+/// multiplicative noise.
+fn expected_time(
+    net: &RoadNetwork,
+    model: &CongestionModel,
+    path: &Path,
+    departure: SimTime,
+) -> f64 {
+    let mut t = departure;
+    let mut total = 0.0;
+    for &e in path.edges() {
+        let dt = model.edge_travel_time(net, e, t);
+        total += dt;
+        t = t.advance(dt);
+    }
+    total
+}
+
+/// Embedding-quality probe: 4-fold cross-validated MAE of a GBR head fit on
+/// the model's embeddings against that day's true expected travel times.
+/// Mirrors `eval::evaluate_tte` / `kfold::kfold_tte_mae`, but against the
+/// drifted day's ground truth; the folds use every eval sample as test once,
+/// which keeps the probe variance well below the drift effect.
+fn tte_probe_mae(
+    model: &WscModel,
+    net: &RoadNetwork,
+    day_model: &CongestionModel,
+    samples: &[TemporalPathSample],
+) -> f64 {
+    const K: usize = 4;
+    let x: Vec<Vec<f64>> = samples.iter().map(|s| model.embed(&s.path, s.departure)).collect();
+    let y: Vec<f64> =
+        samples.iter().map(|s| expected_time(net, day_model, &s.path, s.departure)).collect();
+    let mut maes = Vec::with_capacity(K);
+    for fold in 0..K {
+        let (mut xt, mut yt, mut truth, mut pred_x) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for i in 0..x.len() {
+            if i % K == fold {
+                truth.push(y[i]);
+                pred_x.push(&x[i]);
+            } else {
+                xt.push(x[i].clone());
+                yt.push(y[i]);
+            }
+        }
+        let head = GbRegressor::fit(&xt, &yt, &GbConfig::default());
+        let pred: Vec<f64> = pred_x.iter().map(|xi| head.predict(xi)).collect();
+        maes.push(metrics::mae(&truth, &pred));
+    }
+    maes.iter().sum::<f64>() / K as f64
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let days: u64 =
+        std::env::var("WSCCL_DRIFT_DAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+    let min_recovery = env_f64("WSCCL_DRIFT_MIN_RECOVERY", 0.8);
+    let max_cost = env_f64("WSCCL_DRIFT_MAX_COST", 0.3);
+
+    eprintln!("[bench_drift] {days}-day episode, seed {WORLD_SEED}");
+    let t0 = Instant::now();
+    let ds = CityDataset::generate(&Scale::Tiny.dataset(CityProfile::Aalborg, WORLD_SEED));
+    let encoder = Arc::new(TemporalPathEncoder::new(&ds.net, EncoderConfig::default(), WORLD_SEED));
+    let cfg = WscclConfig::default();
+
+    // Day-0 base model: pre-trained on the original corpus under the
+    // un-drifted congestion, then handed to the continual trainer.
+    let base_labeler = TciLabeler::new(&ds.net, &ds.congestion);
+    let mut model = WscModel::new(Arc::clone(&encoder), cfg.clone(), WORLD_SEED);
+    model.train(&ds.unlabeled, &base_labeler, env_usize("WSCCL_DRIFT_BASE_EPOCHS", BASE_EPOCHS));
+    let episode = ContinualConfig {
+        fresh_per_day: 128,
+        eval_per_day: 128,
+        replay_capacity: 128,
+        retrain_epochs: env_usize("WSCCL_DRIFT_RETRAIN_EPOCHS", RETRAIN_EPOCHS),
+        retrain_lr_scale: env_f64("WSCCL_DRIFT_LR_SCALE", LR_SCALE),
+        ..ContinualConfig::tiny(WORLD_SEED)
+    };
+    let mut ct = ContinualTrainer::new(model, WORLD_SEED, ds.congestion.clone(), episode);
+
+    let mut observer = JsonlObserver::to_file("drift-bench").expect("create run log");
+    let mut guard = AnomalyGuard::new(AnomalyPolicy::Record);
+    let mut corpus = ds.unlabeled.clone();
+    let mut rows: Vec<DriftDayRow> = Vec::new();
+    let mut table = Table::new(
+        "Continual learning under drift — recovery vs. re-training cadence".to_string(),
+        &[
+            "Day",
+            "Incid",
+            "Works",
+            "Shift",
+            "MAE-stale",
+            "MAE-incr",
+            "MAE-full",
+            "Steps",
+            "FullSteps",
+            "Recovery",
+            "Cost",
+            "Anom",
+        ],
+    );
+
+    for day in 0..days {
+        // Full-retrain ceiling: scratch weights, accumulated corpus (incl.
+        // today's fresh collection), current day's labeler, same eval set.
+        let (fresh, eval) = ct.day_samples(&ds.net, day);
+        let day_model = ct.day_model(&ds.net, day);
+        let day_labeler = TciLabeler::new(&ds.net, &day_model);
+        corpus.extend(fresh.iter().cloned());
+        let mut full = WscModel::new(Arc::clone(&encoder), cfg.clone(), WORLD_SEED ^ day);
+        full.train(&corpus, &day_labeler, env_usize("WSCCL_DRIFT_FULL_EPOCHS", FULL_EPOCHS));
+        let quality_full = tte_probe_mae(&full, &ds.net, &day_model, &eval);
+        let full_steps = full.global_step();
+
+        let quality_before = tte_probe_mae(ct.model(), &ds.net, &day_model, &eval);
+        let r = ct.run_day(&ds.net, &mut observer, &mut guard);
+        let quality_after = tte_probe_mae(ct.model(), &ds.net, &day_model, &eval);
+        // Quality is an error (MAE): the drift-induced drop is how far the
+        // stale model sits above the full-retrain ceiling.
+        let drop = quality_before - quality_full;
+        let recovery =
+            if drop <= 1e-9 { 1.0 } else { ((quality_before - quality_after) / drop).min(1.0) };
+        let step_cost = r.retrain_steps as f64 / full_steps.max(1) as f64;
+        eprintln!(
+            "[bench_drift] day {day}: before {:.4} after {:.4} full {:.4} | {} vs {} steps | \
+             recovery {recovery:.2} cost {step_cost:.2}",
+            quality_before, quality_after, quality_full, r.retrain_steps, full_steps
+        );
+        table.row(vec![
+            day.to_string(),
+            r.drift.incidents.to_string(),
+            r.drift.works_edges.to_string(),
+            format!("{:+.2}h", r.drift.peak_shift),
+            format!("{:.1}s", quality_before),
+            format!("{:.1}s", quality_after),
+            format!("{:.1}s", quality_full),
+            r.retrain_steps.to_string(),
+            full_steps.to_string(),
+            format!("{recovery:.2}"),
+            format!("{step_cost:.2}"),
+            r.anomalies.to_string(),
+        ]);
+        rows.push(DriftDayRow {
+            day,
+            incidents: r.drift.incidents,
+            works_edges: r.drift.works_edges,
+            peak_shift: r.drift.peak_shift,
+            quality_before,
+            quality_after,
+            quality_full,
+            retrain_steps: r.retrain_steps,
+            full_steps,
+            recovery,
+            step_cost,
+            anomalies: r.anomalies,
+        });
+    }
+    let _ = observer.flush();
+    table.emit("drift_dashboard.txt");
+
+    let n = rows.len().max(1) as f64;
+    let mean_recovery = rows.iter().map(|r| r.recovery).sum::<f64>() / n;
+    let mean_step_cost = rows.iter().map(|r| r.step_cost).sum::<f64>() / n;
+    let bench = DriftBench {
+        traffic_version: wsccl_traffic::VERSION.to_string(),
+        days: rows,
+        mean_recovery,
+        mean_step_cost,
+        run_log: run_log_path("drift-bench").display().to_string(),
+    };
+    if let Err(e) = bench.save() {
+        eprintln!("[bench_drift] failed to write BENCH_drift.json: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote BENCH_drift.json: mean recovery {mean_recovery:.2}, mean step cost \
+         {mean_step_cost:.2} over {days} days in {:.1?}",
+        t0.elapsed()
+    );
+    if mean_recovery < min_recovery {
+        eprintln!(
+            "[bench_drift] FAIL: mean recovery {mean_recovery:.2} < required {min_recovery:.2}"
+        );
+        std::process::exit(1);
+    }
+    if mean_step_cost > max_cost {
+        eprintln!("[bench_drift] FAIL: mean step cost {mean_step_cost:.2} > allowed {max_cost:.2}");
+        std::process::exit(1);
+    }
+}

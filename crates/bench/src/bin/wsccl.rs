@@ -8,6 +8,7 @@
 //! wsccl embed    --model model.json --data city.json --index 0
 //! wsccl serve    --city aalborg --seed 7 [--model model.json] [--requests N] [--clients N]
 //!                [--batch N] [--watch ckpt.json] [--assert-p99-us US]
+//! wsccl drift-demo --city aalborg --seed 7 [--days N] [--run-log NAME]
 //! ```
 //!
 //! `--scale tiny|small|full` (or `WSCCL_SCALE`) controls dataset/training
@@ -34,11 +35,12 @@ use wsccl_traffic::PopLabeler;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: wsccl <generate|datagen|train|evaluate|embed|serve> \
+        "usage: wsccl <generate|datagen|train|evaluate|embed|serve|drift-demo> \
          [--city aalborg|harbin|chengdu|metro] [--seed N] [--scale tiny|small|full] \
          [--data FILE] [--dataset FILE.wsccl-ds] [--model FILE] [--out FILE] [--index N] \
          [--threads N] [--unlabeled N] [--tte N] [--groups N] [--run-log NAME] \
-         [--requests N] [--clients N] [--batch N] [--watch CKPT] [--assert-p99-us US]"
+         [--requests N] [--clients N] [--batch N] [--watch CKPT] [--assert-p99-us US] \
+         [--days N]"
     );
     ExitCode::from(2)
 }
@@ -105,6 +107,7 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&flags, profile, scale, seed),
         "embed" => cmd_embed(&flags, profile, scale, seed),
         "serve" => cmd_serve(&flags, profile, scale, seed),
+        "drift-demo" => cmd_drift_demo(&flags, profile, scale, seed),
         _ => return usage(),
     };
     match result {
@@ -380,6 +383,163 @@ fn cmd_serve(
             return Err(format!("p99 {p99:.1}us exceeds bound {bound:.1}us"));
         }
         println!("p99 within bound ({p99:.1}us <= {bound:.1}us); shutdown clean");
+    }
+    Ok(())
+}
+
+/// Train-while-serve demo of the continual-learning loop: a server hot-
+/// watches a checkpoint file while a [`ContinualTrainer`] runs a drift
+/// episode next to it, publishing a re-trained checkpoint after every
+/// simulated day (save to temp + rename, per the watcher protocol). A
+/// background client hammers the server throughout — every request must be
+/// served across every swap — and after each day the demo waits until the
+/// served embedding matches the freshly published model before moving on.
+fn cmd_drift_demo(
+    flags: &HashMap<String, String>,
+    profile: CityProfile,
+    scale: Scale,
+    seed: u64,
+) -> Result<(), String> {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use wsccl_core::wsc::TrainedRepresenter;
+    use wsccl_core::{ContinualConfig, ContinualTrainer};
+
+    wsccl_bench::runner::check_drift_bench();
+    let days: u64 = flags.get("days").and_then(|s| s.parse().ok()).unwrap_or(3);
+    let ds = CityDataset::generate(&scale.dataset(profile, seed));
+    let cfg = scale.wsccl(seed);
+    let labeler = wsccl_traffic::TciLabeler::new(&ds.net, &ds.congestion);
+
+    eprintln!("pre-training base model ({} epochs)...", cfg.epochs);
+    let encoder = Arc::new(TemporalPathEncoder::new(&ds.net, cfg.encoder.clone(), cfg.seed));
+    let mut model = WscModel::new(Arc::clone(&encoder), cfg.clone(), cfg.seed);
+    model.train(&ds.unlabeled, &labeler, cfg.epochs);
+
+    let episode = ContinualConfig {
+        retrain_epochs: 2,
+        retrain_lr_scale: 0.25,
+        ..ContinualConfig::tiny(seed)
+    };
+    let (params, weights) = model.weights();
+    let rep = TrainedRepresenter::from_parts(
+        Arc::clone(&encoder),
+        params.clone(),
+        weights.clone(),
+        "WSCCL-day0",
+    );
+    let mut ct = ContinualTrainer::new(model, cfg.seed, ds.congestion.clone(), episode);
+
+    let dir = std::env::temp_dir().join(format!("wsccl-drift-demo-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let ckpt = dir.join("model.ckpt");
+    let server = wsccl_serve::Server::spawn(
+        rep,
+        wsccl_serve::ServeConfig {
+            watch: Some(ckpt.clone()),
+            reload_poll: std::time::Duration::from_millis(20),
+            ..wsccl_serve::ServeConfig::default()
+        },
+    );
+
+    // Background traffic across the whole episode: every request must be
+    // served regardless of how many hot swaps happen under it.
+    let done = AtomicBool::new(false);
+    let served = AtomicU64::new(0);
+    let probe = ds.unlabeled[0].clone();
+    let outcome = std::thread::scope(|scope| -> Result<(), String> {
+        for c in 0..2usize {
+            let client = server.client();
+            let samples = &ds.unlabeled;
+            let (done, served) = (&done, &served);
+            scope.spawn(move || {
+                let mut i = c * 131;
+                while !done.load(Ordering::Relaxed) {
+                    let sm = &samples[i % samples.len()];
+                    client.embed(&sm.path, sm.departure).expect("request dropped during swap");
+                    served.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+
+        // Everything below must release the hammer threads on any exit path,
+        // or the scope would never join.
+        let episode_result = (|| -> Result<(), String> {
+            let mut guard = wsccl_core::continual::AnomalyGuard::new(
+                wsccl_core::continual::AnomalyPolicy::Record,
+            );
+            let mut log = match flags.get("run-log") {
+                Some(name) => {
+                    Some(wsccl_train::JsonlObserver::to_file(name).map_err(|e| e.to_string())?)
+                }
+                None => None,
+            };
+            let client = server.client();
+            for _ in 0..days {
+                let r = match log.as_mut() {
+                    Some(log) => ct.run_day(&ds.net, log, &mut guard),
+                    None => ct.run_day_quiet(&ds.net),
+                };
+                // Publish: write-temp + rename, as the watcher protocol requires.
+                let cp = ct.checkpoint();
+                let tmp = dir.join("model.ckpt.tmp");
+                cp.save(&tmp).map_err(|e| e.to_string())?;
+                std::fs::rename(&tmp, &ckpt).map_err(|e| e.to_string())?;
+                // Expected served value through the same frozen inference path.
+                let expected = TrainedRepresenter::from_parts(
+                    Arc::clone(&encoder),
+                    cp.params.clone(),
+                    cp.weights.clone(),
+                    "probe",
+                )
+                .embed(&probe.path, probe.departure);
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+                loop {
+                    let got = client
+                        .embed(&probe.path, probe.departure)
+                        .map_err(|e| format!("probe request failed: {e:?}"))?;
+                    if *got == expected {
+                        break;
+                    }
+                    if std::time::Instant::now() > deadline {
+                        return Err(format!("day {} checkpoint was not picked up in 20s", r.day));
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                println!(
+                    "day {}: {} incidents, peak shift {:+.2}h | margin {:+.4} -> {:+.4} | \
+                 {} retrain steps | model live",
+                    r.day,
+                    r.drift.incidents,
+                    r.drift.peak_shift,
+                    r.quality_before,
+                    r.quality_after,
+                    r.retrain_steps
+                );
+            }
+            if let Some(log) = log.as_mut() {
+                log.flush().map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        })();
+        done.store(true, Ordering::Relaxed);
+        episode_result
+    });
+    let stats = server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    outcome?;
+    println!(
+        "episode complete: {days} days trained while serving {} requests | {} reloads, {} \
+         reload errors, 0 dropped",
+        served.load(std::sync::atomic::Ordering::Relaxed),
+        stats.reloads,
+        stats.reload_errors
+    );
+    if stats.reloads != days || stats.reload_errors != 0 {
+        return Err(format!(
+            "expected {days} clean reloads, saw {} ({} errors)",
+            stats.reloads, stats.reload_errors
+        ));
     }
     Ok(())
 }

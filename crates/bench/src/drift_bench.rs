@@ -1,0 +1,102 @@
+//! Schema and I/O for `BENCH_drift.json`, the continual-learning drift
+//! dashboard: per-day embedding-quality decay vs. re-training cadence.
+//! Written by the `bench_drift` binary; read by
+//! [`crate::runner::check_drift_bench`] to warn when the recorded numbers no
+//! longer match the `wsccl-traffic` version in the tree.
+
+use serde::{Deserialize, Serialize};
+
+pub const BENCH_DRIFT_PATH: &str = "BENCH_drift.json";
+
+/// One simulated day of the drift episode.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DriftDayRow {
+    pub day: u64,
+    /// Incidents placed that day.
+    pub incidents: usize,
+    /// Edges under roadworks that day.
+    pub works_edges: usize,
+    /// Seasonal peak shift, hours.
+    pub peak_shift: f64,
+    /// Label margin of the stale model on that day's data (decayed).
+    pub quality_before: f64,
+    /// Label margin after incremental re-training (warm-start + replay).
+    pub quality_after: f64,
+    /// Label margin of a scratch full re-train on the same pool (ceiling).
+    pub quality_full: f64,
+    /// Optimizer steps of the incremental re-train.
+    pub retrain_steps: u64,
+    /// Optimizer steps of the scratch full re-train.
+    pub full_steps: u64,
+    /// `(after - before) / (full - before)`, clamped to 1 when the full
+    /// re-train shows no drop to recover.
+    pub recovery: f64,
+    /// `retrain_steps / full_steps`.
+    pub step_cost: f64,
+    /// Anomaly-guard events raised during re-training.
+    pub anomalies: usize,
+}
+
+/// The whole benchmark file.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DriftBench {
+    /// `wsccl-traffic` crate version (owner of the drift model) the numbers
+    /// were recorded against.
+    pub traffic_version: String,
+    /// Simulated days in the episode.
+    pub days: Vec<DriftDayRow>,
+    /// Mean recovery across days (the headline: ≥ 0.8 is the acceptance
+    /// bar — warm-start + replay recovers ≥ 80% of the drift-induced drop).
+    pub mean_recovery: f64,
+    /// Mean step cost across days (≤ 0.3 of a full re-train).
+    pub mean_step_cost: f64,
+    /// JSONL run log of the episode (drift/retrain phases, step records).
+    pub run_log: String,
+}
+
+impl DriftBench {
+    pub fn load() -> Option<Self> {
+        let text = std::fs::read_to_string(BENCH_DRIFT_PATH).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    pub fn save(&self) -> std::io::Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(BENCH_DRIFT_PATH, json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_json() {
+        let b = DriftBench {
+            traffic_version: "0.1.0".into(),
+            days: vec![DriftDayRow {
+                day: 0,
+                incidents: 2,
+                works_edges: 31,
+                peak_shift: 0.0,
+                quality_before: 0.011,
+                quality_after: 0.034,
+                quality_full: 0.036,
+                retrain_steps: 24,
+                full_steps: 120,
+                recovery: 0.92,
+                step_cost: 0.2,
+                anomalies: 0,
+            }],
+            mean_recovery: 0.92,
+            mean_step_cost: 0.2,
+            run_log: "results/runs/drift-bench.jsonl".into(),
+        };
+        let json = serde_json::to_string(&b).unwrap();
+        let back: DriftBench = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.days.len(), 1);
+        assert_eq!(back.mean_recovery, 0.92);
+        assert_eq!(back.days[0].full_steps, 120);
+    }
+}

@@ -12,6 +12,7 @@
 //! `tiny` (smoke test), `small` (default), or `full`.
 
 pub mod datagen_bench;
+pub mod drift_bench;
 pub mod eval;
 pub mod kfold;
 pub mod methods;
@@ -21,6 +22,7 @@ pub mod scale;
 pub mod serve_bench;
 
 pub use datagen_bench::{DatagenBench, DatagenTierResult};
+pub use drift_bench::{DriftBench, DriftDayRow};
 pub use eval::{evaluate_ranking, evaluate_recommendation, evaluate_tte, evaluate_tte_predictor};
 pub use eval::{RankMetrics, RecMetrics, TteMetrics};
 pub use methods::{train_method, Method, MethodKind};

@@ -84,6 +84,34 @@ pub fn check_serve_bench() {
     });
 }
 
+/// Warn (once per process) when `BENCH_drift.json` is missing or was
+/// recorded by a different `wsccl-traffic` version than the one linked into
+/// this binary — the traffic crate owns the drift model, so stale
+/// continual-learning recovery numbers silently misrepresent the current
+/// simulation. Run `cargo run --release --bin bench_drift` to refresh it.
+pub fn check_drift_bench() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| match std::fs::read_to_string(crate::drift_bench::BENCH_DRIFT_PATH) {
+        Err(_) => eprintln!(
+            "[warn] BENCH_drift.json not found; run `cargo run --release --bin bench_drift` to \
+             record continual-learning recovery for this tree"
+        ),
+        Ok(text) => match serde_json::from_str::<crate::drift_bench::DriftBench>(&text) {
+            Ok(bench) if bench.traffic_version == wsccl_traffic::VERSION => {}
+            Ok(bench) => eprintln!(
+                "[warn] BENCH_drift.json is stale: recorded by wsccl-traffic {}, this binary \
+                 links {}; re-run `cargo run --release --bin bench_drift`",
+                bench.traffic_version,
+                wsccl_traffic::VERSION
+            ),
+            Err(_) => eprintln!(
+                "[warn] BENCH_drift.json is unreadable; re-run `cargo run --release --bin \
+                 bench_drift`"
+            ),
+        },
+    });
+}
+
 /// Results of evaluating one trained method on one city.
 pub struct MethodResult {
     pub method: Method,

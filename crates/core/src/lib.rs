@@ -19,8 +19,12 @@
 //! * [`represent`] — the [`represent::PathRepresenter`] trait every method in
 //!   the evaluation (WSCCL and all baselines) implements, so downstream tasks
 //!   are method-agnostic.
+//! * [`continual`] — incremental re-training under day-over-day traffic
+//!   drift: weak-label replay, curriculum restarts, and checkpointable
+//!   episode state (the train-while-serve production loop).
 
 pub mod config;
+pub mod continual;
 pub mod curriculum;
 pub mod encoder;
 pub mod loss;
@@ -30,6 +34,9 @@ pub mod sampler;
 pub mod wsc;
 
 pub use config::WscclConfig;
+pub use continual::{
+    label_margin, ContinualConfig, ContinualState, ContinualTrainer, DayReport, ReplaySample,
+};
 pub use curriculum::train_wsccl;
 pub use encoder::{EncoderConfig, FrozenEncoder, TemporalPathEncoder};
 pub use represent::PathRepresenter;

@@ -23,6 +23,7 @@ use wsccl_nn::Parameters;
 use wsccl_train::TrainerState;
 
 use crate::config::WscclConfig;
+use crate::continual::ContinualState;
 use crate::encoder::{EncoderConfig, EncoderWeights};
 
 /// A serializable weights-only WSC checkpoint.
@@ -167,6 +168,12 @@ pub struct EngineCheckpoint {
     pub trainer: TrainerState,
     /// Mean training loss per completed epoch.
     pub loss_history: Vec<f64>,
+    /// Continual-learning episode state (drift day counter + replay buffer);
+    /// `None` for plain training runs. `#[serde(default)]` keeps checkpoints
+    /// written before this field existed loadable, and the probe ignores it,
+    /// so the version number stays at 2.
+    #[serde(default)]
+    pub continual: Option<ContinualState>,
 }
 
 impl EngineCheckpoint {
@@ -189,7 +196,14 @@ impl EngineCheckpoint {
             weights,
             trainer,
             loss_history,
+            continual: None,
         }
+    }
+
+    /// Attach continual-learning episode state (builder style).
+    pub fn with_continual(mut self, state: ContinualState) -> Self {
+        self.continual = Some(state);
+        self
     }
 
     /// Serialize to a writer as JSON.

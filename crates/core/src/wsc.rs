@@ -134,6 +134,13 @@ impl WscModel {
         &self.cfg
     }
 
+    /// Override the base learning rate for subsequent training (fine-tuning
+    /// a warm-started model at a fraction of the from-scratch rate). Does not
+    /// touch `config().lr`, which stays the from-scratch rate.
+    pub fn set_lr(&mut self, lr: f64) {
+        self.trainer.set_base_lr(lr);
+    }
+
     /// Tape buffer-pool statistics accumulated by the training engine (all
     /// zeros when `cfg.pooling` is off).
     pub fn pool_stats(&self) -> wsccl_nn::PoolStats {
@@ -262,6 +269,18 @@ impl WscModel {
     /// Borrow the trained weights (for transfer, e.g. pre-training PathRank).
     pub fn weights(&self) -> (&Parameters, &EncoderWeights) {
         (&self.params, &self.weights)
+    }
+
+    /// Global optimizer step counter (survives checkpoint/resume).
+    pub fn global_step(&self) -> u64 {
+        self.trainer.step_count()
+    }
+
+    /// Mutable access to the trainable parameters. Intended for test
+    /// instrumentation (e.g. fault injection); mutating mid-run forfeits the
+    /// bit-reproducibility guarantees.
+    pub fn params_mut(&mut self) -> &mut Parameters {
+        &mut self.params
     }
 }
 

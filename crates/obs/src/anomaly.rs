@@ -23,6 +23,9 @@ pub enum AnomalyPolicy {
 pub enum AnomalyKind {
     NonFiniteLoss,
     NonFiniteGradient,
+    /// A parameter tensor itself went non-finite (caught by post-hoc sweeps,
+    /// e.g. the continual-learning loop's per-day parameter health check).
+    NonFiniteParam,
     LossSpike,
 }
 
@@ -31,6 +34,7 @@ impl AnomalyKind {
         match self {
             AnomalyKind::NonFiniteLoss => "non-finite-loss",
             AnomalyKind::NonFiniteGradient => "non-finite-gradient",
+            AnomalyKind::NonFiniteParam => "non-finite-param",
             AnomalyKind::LossSpike => "loss-spike",
         }
     }

@@ -203,6 +203,98 @@ fn hot_reload_hammer_drops_nothing_and_swaps_model() {
     assert!(stats.served > 0);
 }
 
+/// Hot reload during a drift episode: a [`ContinualTrainer`] re-trains the
+/// model day over day while the server keeps answering — the watcher picks up
+/// each published checkpoint, the epoch-fenced cache stops serving the stale
+/// pre-drift embedding, and the hammer clients never see a dropped request.
+#[test]
+fn drift_episode_reload_swaps_model_without_drops() {
+    use wsccl_core::{ContinualConfig, ContinualTrainer};
+
+    let (ds, model, enc) = setup(21, 1);
+    let cp0 = model.checkpoint(11);
+    let rep = TrainedRepresenter::from_parts(
+        Arc::clone(&enc),
+        cp0.params.clone(),
+        cp0.weights.clone(),
+        "day0",
+    );
+    let probe = ds.unlabeled[2].clone();
+    let before = rep.embed(&probe.path, probe.departure);
+
+    let mut ct = ContinualTrainer::new(model, 11, ds.congestion.clone(), ContinualConfig::tiny(7));
+
+    let dir = std::env::temp_dir().join(format!("wsccl-serve-drift-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cp_path = dir.join("model.ckpt");
+    let server = Server::spawn(
+        rep,
+        ServeConfig {
+            watch: Some(cp_path.clone()),
+            reload_poll: Duration::from_millis(20),
+            ..ServeConfig::default()
+        },
+    );
+    // Seed the cache with the pre-drift embedding so the post-reload check
+    // also proves the swap fenced the cache.
+    assert_eq!(*server.client().embed(&probe.path, probe.departure).unwrap(), before);
+
+    let stop = AtomicBool::new(false);
+    let dropped = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..2usize {
+            let client = server.client();
+            let (stop, dropped) = (&stop, &dropped);
+            let samples = &ds.unlabeled;
+            s.spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let sm = &samples[(t * 17 + i) % samples.len().min(32)];
+                    if client.embed(&sm.path, sm.departure).is_err() {
+                        dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    i += 1;
+                }
+            });
+        }
+
+        // One drift day of incremental re-training, then publish the new
+        // weights the way the watcher's docs prescribe (write-temp + rename).
+        ct.run_day_quiet(&ds.net);
+        let cp = ct.checkpoint();
+        let after = TrainedRepresenter::from_parts(
+            Arc::clone(&enc),
+            cp.params.clone(),
+            cp.weights.clone(),
+            "day1",
+        )
+        .embed(&probe.path, probe.departure);
+        assert_ne!(before, after, "a drift day of re-training must move the weights");
+        let tmp = dir.join("model.ckpt.tmp");
+        cp.save(&tmp).unwrap();
+        std::fs::rename(&tmp, &cp_path).unwrap();
+
+        let client = server.client();
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        loop {
+            let got = client.embed(&probe.path, probe.departure).unwrap();
+            if *got == after {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "watcher never served day-1 weights");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let stats = server.shutdown();
+    assert_eq!(dropped.load(Ordering::Relaxed), 0, "no request may drop during the episode");
+    assert_eq!(stats.reloads, 1);
+    assert_eq!(stats.reload_errors, 0);
+    assert!(stats.served > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn watcher_reloads_from_checkpoint_file() {
     let (ds, mut model, enc) = setup(13, 1);

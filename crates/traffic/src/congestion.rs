@@ -14,7 +14,36 @@ use wsccl_roadnet::{EdgeId, RoadNetwork};
 
 use crate::time::SimTime;
 
+/// A transient traffic incident: while `t` falls inside `[start, end)`
+/// (seconds into the week cycle), speed on `edge` is divided by `severity`.
+///
+/// Incidents are placed by [`crate::drift::DriftModel`] as part of a day's
+/// drifted congestion; a freshly built [`CongestionModel`] has none.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Incident {
+    /// Affected edge index.
+    pub edge: u32,
+    /// Window start, seconds into the week cycle.
+    pub start: u32,
+    /// Window end (exclusive), seconds into the week cycle.
+    pub end: u32,
+    /// Speed divisor while active, ≥ 1.
+    pub severity: f64,
+}
+
+impl Incident {
+    /// Whether this incident slows `e` at time `t`.
+    pub fn active(&self, e: EdgeId, t: SimTime) -> bool {
+        self.edge == e.index() as u32 && self.start <= t.seconds() && t.seconds() < self.end
+    }
+}
+
 /// City-level congestion parameters plus per-edge heterogeneity.
+///
+/// The two drift fields (`peak_shift`, `incidents`) default to inert values
+/// and are `#[serde(default)]`, so datasets serialized before they existed
+/// load unchanged — and a model with zero shift and no incidents is
+/// arithmetically bit-identical to the pre-drift formulation.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CongestionModel {
     /// Multiplicative per-edge speed heterogeneity (≈ lognormal around 1).
@@ -25,6 +54,12 @@ pub struct CongestionModel {
     radius: f64,
     /// Peak congestion severity (0 = flat traffic; ~1.5 = heavy peaks).
     pub peak_strength: f64,
+    /// Seasonal shift of the daily peaks, hours (0 = canonical profile).
+    #[serde(default)]
+    peak_shift: f64,
+    /// Active incidents, sorted as generated; empty outside drift episodes.
+    #[serde(default)]
+    incidents: Vec<Incident>,
 }
 
 impl CongestionModel {
@@ -57,13 +92,21 @@ impl CongestionModel {
             let d = ((x - center.0).powi(2) + (y - center.1).powi(2)).sqrt();
             max_d = max_d.max(d);
         }
-        Self { edge_factor, center, radius: max_d / 2.0, peak_strength }
+        Self {
+            edge_factor,
+            center,
+            radius: max_d / 2.0,
+            peak_strength,
+            peak_shift: 0.0,
+            incidents: Vec::new(),
+        }
     }
 
     /// Time-of-day congestion intensity in `[0, 1]` (before peak scaling).
     ///
     /// Weekdays have Gaussian bumps at 08:00 (σ = 1h) and 17:30 (σ = 1.5h);
-    /// weekends a mild midday bump.
+    /// weekends a mild midday bump. This is the canonical (zero-shift)
+    /// profile; models inside a drift episode use [`Self::profile`].
     pub fn time_profile(t: SimTime) -> f64 {
         let h = t.hour_f();
         let bump = |center: f64, sigma: f64| (-((h - center) / sigma).powi(2) / 2.0).exp();
@@ -71,6 +114,67 @@ impl CongestionModel {
             (bump(8.0, 1.0) + bump(17.5, 1.5)).min(1.0)
         } else {
             0.35 * bump(13.0, 3.0)
+        }
+    }
+
+    /// This model's time profile: [`Self::time_profile`] with the seasonal
+    /// `peak_shift` applied (peaks move later for positive shifts). At zero
+    /// shift the arithmetic is bit-identical to the static profile, so
+    /// undrifted models are unchanged.
+    pub fn profile(&self, t: SimTime) -> f64 {
+        let h = t.hour_f() - self.peak_shift;
+        let bump = |center: f64, sigma: f64| (-((h - center) / sigma).powi(2) / 2.0).exp();
+        if t.is_weekday() {
+            (bump(8.0, 1.0) + bump(17.5, 1.5)).min(1.0)
+        } else {
+            0.35 * bump(13.0, 3.0)
+        }
+    }
+
+    /// Seasonal peak shift in hours (0 outside drift episodes).
+    pub fn peak_shift(&self) -> f64 {
+        self.peak_shift
+    }
+
+    /// Active incidents (empty outside drift episodes).
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    /// Combined speed divisor of incidents affecting `e` at `t` (1 if none).
+    fn incident_factor(&self, e: EdgeId, t: SimTime) -> f64 {
+        let mut f = 1.0;
+        for inc in &self.incidents {
+            if inc.active(e, t) {
+                f *= inc.severity.max(1.0);
+            }
+        }
+        f
+    }
+
+    /// Derive a drifted copy of this model for one day of a drift episode:
+    /// per-edge capacity scaling (roadworks), new peak parameters, and that
+    /// day's incidents. Spatial structure (center, radius) is preserved.
+    pub(crate) fn derive(
+        &self,
+        peak_strength: f64,
+        peak_shift: f64,
+        incidents: Vec<Incident>,
+        edge_scale: impl Fn(usize) -> f64,
+    ) -> Self {
+        let edge_factor = self
+            .edge_factor
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f * edge_scale(i)).clamp(0.2, 2.0))
+            .collect();
+        Self {
+            edge_factor,
+            center: self.center,
+            radius: self.radius,
+            peak_strength,
+            peak_shift,
+            incidents,
         }
     }
 
@@ -82,7 +186,7 @@ impl CongestionModel {
 
     /// Congestion factor ≥ 1 dividing free-flow speed at `pos` and time `t`.
     pub fn congestion_factor(&self, t: SimTime, pos: (f64, f64)) -> f64 {
-        1.0 + self.peak_strength * Self::time_profile(t) * self.spatial(pos)
+        1.0 + self.peak_strength * self.profile(t) * self.spatial(pos)
     }
 
     /// Instantaneous speed on an edge at time `t`, m/s.
@@ -92,7 +196,8 @@ impl CongestionModel {
         // More lanes flow slightly better under load.
         let lane_factor = 0.9 + 0.05 * edge.features.lanes as f64;
         let pos = net.edge_midpoint(e);
-        (base * lane_factor * self.edge_factor[e.index()] / self.congestion_factor(t, pos)).max(1.0)
+        let divisor = self.congestion_factor(t, pos) * self.incident_factor(e, t);
+        (base * lane_factor * self.edge_factor[e.index()] / divisor).max(1.0)
     }
 
     /// Expected traversal time of an edge entered at time `t`, seconds,
@@ -102,7 +207,7 @@ impl CongestionModel {
         let drive = edge.length / self.speed(net, e, t);
         let signal = if edge.features.signals {
             // Expected signal wait grows with congestion.
-            8.0 + 12.0 * Self::time_profile(t)
+            8.0 + 12.0 * self.profile(t)
         } else {
             0.0
         };
@@ -190,6 +295,64 @@ mod tests {
         let night = model.network_congestion_index(&net, SimTime::from_hm(1, 3, 0));
         assert!((0.0..=1.0).contains(&peak) && (0.0..=1.0).contains(&night));
         assert!(peak > night + 0.2, "peak index {peak} vs night {night}");
+    }
+
+    #[test]
+    fn zero_shift_instance_profile_matches_static_bitwise() {
+        let (_, model) = setup();
+        for s in (0..crate::time::WEEK_SECONDS).step_by(997) {
+            let t = SimTime::new(s);
+            assert_eq!(
+                model.profile(t).to_bits(),
+                CongestionModel::time_profile(t).to_bits(),
+                "at t={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_drift_serialization_loads_with_inert_drift_fields() {
+        let (net, model) = setup();
+        // Strip the drift fields to reconstruct the on-disk shape of datasets
+        // serialized before they existed.
+        use serde::{Deserialize as _, Serialize as _, Value};
+        let mut v = model.to_value();
+        let Value::Object(obj) = &mut v else { panic!("model must serialize to an object") };
+        let before = obj.len();
+        obj.retain(|(k, _)| k != "peak_shift" && k != "incidents");
+        assert_eq!(obj.len(), before - 2, "both drift fields must have been present");
+        let old = CongestionModel::from_value(&v).unwrap();
+        assert_eq!(old.peak_shift(), 0.0);
+        assert!(old.incidents().is_empty());
+        let t = SimTime::from_hm(1, 8, 0);
+        let e = EdgeId(3);
+        assert_eq!(old.speed(&net, e, t).to_bits(), model.speed(&net, e, t).to_bits());
+    }
+
+    #[test]
+    fn incident_slows_only_its_edge_inside_its_window() {
+        let (net, model) = setup();
+        let e = EdgeId(5);
+        let other = EdgeId(6);
+        let start = SimTime::from_hm(2, 9, 0).seconds();
+        let inc = Incident { edge: e.index() as u32, start, end: start + 3600, severity: 3.0 };
+        let drifted = model.derive(model.peak_strength, 0.0, vec![inc], |_| 1.0);
+        let inside = SimTime::new(start + 600);
+        let outside = SimTime::new(start + 7200);
+        assert!(
+            drifted.speed(&net, e, inside) < model.speed(&net, e, inside) / 2.0 + 1.0,
+            "severity-3 incident must slow the edge"
+        );
+        assert_eq!(
+            drifted.speed(&net, e, outside).to_bits(),
+            model.speed(&net, e, outside).to_bits(),
+            "outside the window the edge is untouched"
+        );
+        assert_eq!(
+            drifted.speed(&net, other, inside).to_bits(),
+            model.speed(&net, other, inside).to_bits(),
+            "other edges are untouched"
+        );
     }
 
     #[test]

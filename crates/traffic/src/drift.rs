@@ -1,0 +1,312 @@
+//! Deterministic day-over-day traffic drift.
+//!
+//! A drift episode models a city whose traffic changes between data-collection
+//! periods ("days"): transient incidents, seasonal shifts of the commute
+//! peaks, and multi-day capacity changes (roadworks). Each day's congestion is
+//! a [`CongestionModel`] derived from the episode's day-0 base model as a
+//! **pure function of `(seed, day)`** — every quantity is hashed out of
+//! [`mix64`] with no sequential RNG state, so realizing day 40 does not
+//! require days 0..39, and the result is bit-identical regardless of thread
+//! count or evaluation order (the same discipline as `IndexedTripGen`).
+//!
+//! One "day" is one collection period: trajectories collected on day `d` are
+//! simulated over the full week cycle of `day_model(d)` (the week-periodic
+//! congestion regime in effect during that period), not over a single
+//! calendar day. Day 0's seasonal components are anchored to zero, so the
+//! episode drifts *away* from the base model gradually; incidents and
+//! roadworks can be active from day 0.
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+use wsccl_roadnet::RoadNetwork;
+
+use crate::congestion::{CongestionModel, Incident};
+use crate::gen::mix64;
+use crate::time::DAY_SECONDS;
+
+/// Uniform in `[0, 1)` from a hash (same unit conversion as `gen.rs`).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Parameters of a drift episode. Defaults give a visible but recoverable
+/// day-over-day drift at any city scale.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Mean incidents per day; actual count is hashed uniform in
+    /// `0..=2*mean`.
+    pub incident_mean: usize,
+    /// Maximum incident severity (speed divisor); severities are hashed
+    /// uniform in `[1.5, max]`.
+    pub incident_severity: f64,
+    /// Seasonal peak-shift amplitude, hours.
+    pub peak_shift_hours: f64,
+    /// Relative seasonal swing of `peak_strength` (0.3 = ±30%).
+    pub peak_strength_swing: f64,
+    /// Seasonal period, days.
+    pub season_days: f64,
+    /// Expected fraction of edges under roadworks on any given day.
+    pub works_rate: f64,
+    /// Capacity factor applied to an edge while under works (< 1 = slower).
+    pub works_factor: f64,
+    /// Mean duration of one roadworks project, days.
+    pub works_days: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            incident_mean: 2,
+            incident_severity: 3.0,
+            peak_shift_hours: 1.0,
+            peak_strength_swing: 0.3,
+            season_days: 28.0,
+            works_rate: 0.05,
+            works_factor: 0.55,
+            works_days: 7,
+        }
+    }
+}
+
+/// One day's drift summary, for run logs and the drift dashboard.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DriftDay {
+    pub day: u64,
+    /// Effective peak strength that day.
+    pub peak_strength: f64,
+    /// Seasonal peak shift that day, hours.
+    pub peak_shift: f64,
+    /// Number of incidents placed that day.
+    pub incidents: usize,
+    /// Number of edges under roadworks that day.
+    pub works_edges: usize,
+}
+
+/// Deterministic generator of per-day congestion models.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DriftModel {
+    cfg: DriftConfig,
+    seed: u64,
+}
+
+impl DriftModel {
+    pub fn new(cfg: DriftConfig, seed: u64) -> Self {
+        Self { cfg, seed }
+    }
+
+    pub fn config(&self) -> &DriftConfig {
+        &self.cfg
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Seasonal components for `day`: (peak shift in hours, peak-strength
+    /// multiplier). Sinusoids of `day` with hashed phases, anchored so day 0
+    /// is exactly the base model's regime.
+    fn season(&self, day: u64) -> (f64, f64) {
+        let period = self.cfg.season_days.max(1.0);
+        let theta = TAU * day as f64 / period;
+        let phase_shift = TAU * unit(mix64(self.seed ^ 0x5EA5_0401));
+        let phase_strength = TAU * unit(mix64(self.seed ^ 0x5EA5_0402));
+        // sin(phase + theta) - sin(phase) ∈ [-2, 2]; halved to bound the
+        // swing by the configured amplitude, zero at day 0.
+        let swing = |phase: f64| 0.5 * ((phase + theta).sin() - phase.sin());
+        let shift = self.cfg.peak_shift_hours * swing(phase_shift);
+        let strength_mul = 1.0 + self.cfg.peak_strength_swing * swing(phase_strength);
+        (shift, strength_mul.max(0.1))
+    }
+
+    /// Whether edge `e` is under roadworks on `day`. Each edge has a hashed
+    /// works cycle (duration ≈ `works_days`, duty cycle ≈ `works_rate`).
+    fn works_active(&self, e: usize, day: u64) -> bool {
+        let rate = self.cfg.works_rate.clamp(0.0, 1.0);
+        if rate <= 0.0 {
+            return false;
+        }
+        let wd = self.cfg.works_days.max(1);
+        let h = mix64(self.seed ^ 0x90AD_90AD ^ mix64(e as u64 ^ 0x0E06E));
+        let dur = wd / 2 + h % (wd + 1);
+        let period = ((dur as f64 / rate) as u64).max(dur + 1);
+        let offset = mix64(h ^ 0x0FF5_E7) % period;
+        (day + offset) % period < dur
+    }
+
+    /// The incidents placed on `day`. Each incident sits inside one weekday
+    /// of the week cycle (starting 06:00–20:00, lasting 0.5–3 h), so windows
+    /// never wrap the cycle.
+    fn day_incidents(&self, num_edges: usize, day: u64) -> Vec<Incident> {
+        if num_edges == 0 || self.cfg.incident_mean == 0 {
+            return Vec::new();
+        }
+        let hd = mix64(self.seed ^ 0x1AC1_DE47 ^ mix64(day ^ 0xDD47));
+        let n = (hd % (2 * self.cfg.incident_mean as u64 + 1)) as usize;
+        (0..n)
+            .map(|k| {
+                let h = mix64(hd ^ mix64(0xA5C0 + k as u64));
+                let edge = (h % num_edges as u64) as u32;
+                let h2 = mix64(h ^ 0xB7);
+                let weekday = (h2 % 7) as u32;
+                let sod = 6 * 3600 + (mix64(h2 ^ 0x11) % (14 * 3600)) as u32;
+                let dur = 1800 + (mix64(h2 ^ 0x22) % 9000) as u32;
+                let max_sev = self.cfg.incident_severity.max(1.5);
+                let severity = 1.5 + unit(mix64(h2 ^ 0x33)) * (max_sev - 1.5);
+                let start = weekday * DAY_SECONDS + sod;
+                Incident { edge, start, end: start + dur, severity }
+            })
+            .collect()
+    }
+
+    /// Realize `day`'s congestion from the episode's base model. Pure in
+    /// `(self.seed, day)` given the same `base` and `net`.
+    pub fn day_model(
+        &self,
+        net: &RoadNetwork,
+        base: &CongestionModel,
+        day: u64,
+    ) -> CongestionModel {
+        let (shift, strength_mul) = self.season(day);
+        let incidents = self.day_incidents(net.num_edges(), day);
+        let works_factor = self.cfg.works_factor.clamp(0.1, 1.0);
+        base.derive(base.peak_strength * strength_mul, shift, incidents, |e| {
+            if self.works_active(e, day) {
+                works_factor
+            } else {
+                1.0
+            }
+        })
+    }
+
+    /// Summary of `day`'s drift (for logs and the dashboard); consistent with
+    /// [`Self::day_model`] by construction.
+    pub fn day_summary(&self, net: &RoadNetwork, base: &CongestionModel, day: u64) -> DriftDay {
+        let (shift, strength_mul) = self.season(day);
+        let works_edges = (0..net.num_edges()).filter(|&e| self.works_active(e, day)).count();
+        DriftDay {
+            day,
+            peak_strength: base.peak_strength * strength_mul,
+            peak_shift: shift,
+            incidents: self.day_incidents(net.num_edges(), day).len(),
+            works_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{SimTime, WEEK_SECONDS};
+    use wsccl_roadnet::{CityProfile, EdgeId};
+
+    fn setup() -> (RoadNetwork, CongestionModel, DriftModel) {
+        let net = CityProfile::Aalborg.generate(7);
+        let base = CongestionModel::new(&net, 1.5, 7);
+        let drift = DriftModel::new(DriftConfig::default(), 7);
+        (net, base, drift)
+    }
+
+    /// Bit-exact fingerprint of a model: sampled speeds over edges × times.
+    fn fingerprint(net: &RoadNetwork, m: &CongestionModel) -> Vec<u64> {
+        let mut out = Vec::new();
+        for e in (0..net.num_edges()).step_by(17) {
+            for s in (0..WEEK_SECONDS).step_by(50_411) {
+                out.push(m.speed(net, EdgeId(e as u32), SimTime::new(s)).to_bits());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn day_model_is_pure_and_thread_invariant() {
+        let (net, base, drift) = setup();
+        // Serial realization, ascending days.
+        let serial: Vec<Vec<u64>> =
+            (0..6u64).map(|d| fingerprint(&net, &drift.day_model(&net, &base, d))).collect();
+        // Parallel realization, one thread per day, spawned in reverse order.
+        let parallel: Vec<Vec<u64>> = std::thread::scope(|s| {
+            let mut handles: Vec<_> = (0..6u64)
+                .rev()
+                .map(|d| {
+                    let (net, base, drift) = (&net, &base, &drift);
+                    s.spawn(move || (d, fingerprint(net, &drift.day_model(net, base, d))))
+                })
+                .collect();
+            let mut got: Vec<(u64, Vec<u64>)> =
+                handles.drain(..).map(|h| h.join().unwrap()).collect();
+            got.sort_by_key(|(d, _)| *d);
+            got.into_iter().map(|(_, f)| f).collect()
+        });
+        assert_eq!(serial, parallel, "drift must be bit-identical across thread counts");
+        // And repeatable from a fresh DriftModel.
+        let again = DriftModel::new(DriftConfig::default(), 7);
+        assert_eq!(serial[3], fingerprint(&net, &again.day_model(&net, &base, 3)));
+    }
+
+    #[test]
+    fn day_zero_seasonal_components_match_base() {
+        let (net, base, drift) = setup();
+        let d0 = drift.day_model(&net, &base, 0);
+        assert_eq!(d0.peak_shift(), 0.0);
+        assert_eq!(d0.peak_strength.to_bits(), base.peak_strength.to_bits());
+        let summary = drift.day_summary(&net, &base, 0);
+        assert_eq!(summary.peak_shift, 0.0);
+    }
+
+    #[test]
+    fn days_differ_and_summary_is_consistent() {
+        let (net, base, drift) = setup();
+        let f0 = fingerprint(&net, &drift.day_model(&net, &base, 0));
+        let diff = (1..6u64)
+            .filter(|&d| fingerprint(&net, &drift.day_model(&net, &base, d)) != f0)
+            .count();
+        assert!(diff >= 4, "drift must change traffic on most days ({diff}/5 differed)");
+        for d in 0..6u64 {
+            let m = drift.day_model(&net, &base, d);
+            let s = drift.day_summary(&net, &base, d);
+            assert_eq!(s.incidents, m.incidents().len());
+            assert_eq!(s.peak_shift.to_bits(), m.peak_shift().to_bits());
+            assert_eq!(s.peak_strength.to_bits(), m.peak_strength.to_bits());
+        }
+    }
+
+    #[test]
+    fn incident_windows_are_valid_and_bounded() {
+        let (net, base, drift) = setup();
+        for d in 0..30u64 {
+            let m = drift.day_model(&net, &base, d);
+            assert!(m.incidents().len() <= 2 * DriftConfig::default().incident_mean);
+            for inc in m.incidents() {
+                assert!(inc.start < inc.end, "window must be non-empty");
+                assert!(inc.end <= WEEK_SECONDS, "window must not wrap the week cycle");
+                assert!((inc.edge as usize) < net.num_edges());
+                assert!(
+                    inc.severity >= 1.5 && inc.severity <= DriftConfig::default().incident_severity
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roadworks_persist_for_multiple_days_at_roughly_the_configured_rate() {
+        let (net, _base, drift) = setup();
+        let n = net.num_edges();
+        // Duty cycle over a long horizon ≈ works_rate.
+        let horizon = 120u64;
+        let mut active_days = 0usize;
+        for d in 0..horizon {
+            active_days += (0..n).filter(|&e| drift.works_active(e, d)).count();
+        }
+        let rate = active_days as f64 / (horizon as f64 * n as f64);
+        assert!(
+            (0.02..=0.10).contains(&rate),
+            "works duty cycle {rate:.3} should be near the configured 0.05"
+        );
+        // Projects persist: some edge active on consecutive days.
+        let persistent = (0..n).any(|e| {
+            (0..horizon - 1).any(|d| drift.works_active(e, d) && drift.works_active(e, d + 1))
+        });
+        assert!(persistent, "roadworks must span consecutive days");
+    }
+}

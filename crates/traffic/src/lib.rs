@@ -9,6 +9,9 @@
 //!   weekday morning/afternoon peaks; it defines per-edge speeds and thus
 //!   travel-time ground truth, and the citywide congestion index used for the
 //!   TCI weak labels (§VII-A.5).
+//! * [`drift`] — deterministic day-over-day drift of the congestion model
+//!   (incidents, seasonal peak shifts, roadworks), the substrate of the
+//!   continual-learning loop; every day is a pure function of `(seed, day)`.
 //! * [`labels`] — the two weak-label families: peak/off-peak (POP, Definition
 //!   6's example) and traffic congestion indices (TCI).
 //! * [`trajectory`] — trip generation (OD sampling, peak-weighted departure
@@ -16,13 +19,19 @@
 //!   fix emission at per-city sampling rates (§VII-A.1).
 
 pub mod congestion;
+pub mod drift;
 pub mod gen;
 pub mod labels;
 pub mod time;
 pub mod trajectory;
 
-pub use congestion::CongestionModel;
+pub use congestion::{CongestionModel, Incident};
+pub use drift::{DriftConfig, DriftDay, DriftModel};
 pub use gen::IndexedTripGen;
 pub use labels::{PopLabeler, TciLabeler, WeakLabel, WeakLabeler};
 pub use time::SimTime;
 pub use trajectory::{GpsFix, Trajectory, Trip, TripConfig, TripGenerator};
+
+/// Crate version, recorded into drift benchmark artifacts so staleness
+/// against the built library can be detected (`runner::check_drift_bench`).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

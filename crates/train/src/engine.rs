@@ -238,6 +238,13 @@ impl Trainer {
         &self.spec
     }
 
+    /// Override the base learning rate for subsequent steps (the schedule
+    /// factor still applies on top). Used by fine-tuning drivers that re-train
+    /// a warm-started model at a fraction of the from-scratch rate.
+    pub fn set_base_lr(&mut self, lr: f64) {
+        self.spec.lr = lr;
+    }
+
     /// Attempted optimizer steps so far (including skipped ones).
     pub fn step_count(&self) -> u64 {
         self.step

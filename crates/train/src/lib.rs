@@ -27,6 +27,7 @@ pub mod checkpoint;
 pub mod engine;
 pub mod jsonl;
 pub mod observe;
+pub mod replay;
 pub mod spec;
 pub mod worker;
 
@@ -36,5 +37,6 @@ pub use jsonl::{
     run_log_path, EpochLine, HistogramLine, JsonlObserver, MetricsLine, PhaseLine, StepLine,
 };
 pub use observe::{EpochRecord, LossCurve, NoopObserver, StepRecord, TrainObserver};
+pub use replay::ReplayBuffer;
 pub use spec::{LrSchedule, OptimizerKind, TrainSpec};
 pub use worker::WorkerPool;

@@ -1,0 +1,147 @@
+//! Bounded replay buffer with deterministic reservoir sampling.
+//!
+//! Continual re-training mixes a bounded sample of everything seen so far
+//! into each day's fresh training pool. The buffer is Algorithm R with one
+//! twist: the accept/replace decision for the `i`-th absorbed item is a
+//! **hash of `(seed, i)`**, not a draw from sequential RNG state. Feeding the
+//! same item sequence therefore yields bit-identical contents regardless of
+//! how the items were *produced* (thread count, batching), and the entire
+//! state is four scalars plus the items — small enough to serialize into an
+//! `EngineCheckpoint` so kill-and-resume holds mid-episode.
+
+/// SplitMix64 finalizer (same mixer as `wsccl_traffic::gen::mix64`,
+/// duplicated here so the training engine stays traffic-agnostic).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Bounded reservoir over items of type `T`.
+///
+/// After absorbing `n ≥ capacity` items, each of them is retained with
+/// probability `capacity / n` (the Algorithm R invariant). Retained items
+/// keep no particular order.
+#[derive(Clone, Debug)]
+pub struct ReplayBuffer<T> {
+    capacity: usize,
+    seed: u64,
+    /// Items absorbed so far (including dropped ones).
+    seen: u64,
+    items: Vec<T>,
+}
+
+impl<T> ReplayBuffer<T> {
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        Self { capacity, seed, seen: 0, items: Vec::with_capacity(capacity.min(1024)) }
+    }
+
+    /// Rebuild from serialized state (the inverse of reading the accessors).
+    /// Panics if `items` exceeds `capacity` or disagrees with `seen`.
+    pub fn from_state(capacity: usize, seed: u64, seen: u64, items: Vec<T>) -> Self {
+        assert!(items.len() <= capacity, "replay state has more items than capacity");
+        assert!(items.len() as u64 <= seen, "replay state has more items than were seen");
+        assert_eq!(
+            items.len() as u64,
+            seen.min(capacity as u64),
+            "replay state item count is inconsistent with `seen`"
+        );
+        Self { capacity, seed, seen, items }
+    }
+
+    /// Offer one item to the reservoir. The decision is a pure function of
+    /// `(seed, seen)`: the `i`-th offered item replaces slot
+    /// `mix64(seed ⊕ mix64(i)) mod (i+1)` iff that slot is in range.
+    pub fn absorb(&mut self, item: T) {
+        let i = self.seen;
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            return;
+        }
+        if self.capacity == 0 {
+            return;
+        }
+        let r = mix64(self.seed ^ mix64(i)) % (i + 1);
+        if (r as usize) < self.capacity {
+            self.items[r as usize] = item;
+        }
+    }
+
+    pub fn extend(&mut self, items: impl IntoIterator<Item = T>) {
+        for item in items {
+            self.absorb(item);
+        }
+    }
+
+    /// Current reservoir contents (at most `capacity` items).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Total items offered so far (kept or dropped).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_to_capacity_then_stays_bounded() {
+        let mut rb = ReplayBuffer::new(8, 42);
+        for i in 0..8u64 {
+            rb.absorb(i);
+            assert_eq!(rb.len(), i as usize + 1);
+        }
+        assert_eq!(rb.items(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        rb.extend(8..100);
+        assert_eq!(rb.len(), 8);
+        assert_eq!(rb.seen(), 100);
+    }
+
+    #[test]
+    fn zero_capacity_absorbs_nothing() {
+        let mut rb = ReplayBuffer::new(0, 1);
+        rb.extend(0..10u64);
+        assert!(rb.is_empty());
+        assert_eq!(rb.seen(), 10);
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_future_decisions() {
+        let mut a = ReplayBuffer::new(4, 7);
+        a.extend(0..37u64);
+        let mut b = ReplayBuffer::from_state(a.capacity(), a.seed(), a.seen(), a.items().to_vec());
+        let mut a2 = a.clone();
+        a2.extend(37..200u64);
+        b.extend(37..200u64);
+        assert_eq!(a2.items(), b.items());
+        assert_eq!(a2.seen(), b.seen());
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn from_state_rejects_inconsistent_counts() {
+        let _ = ReplayBuffer::from_state(4, 7, 10, vec![1u64, 2]);
+    }
+}

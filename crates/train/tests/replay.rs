@@ -1,0 +1,99 @@
+//! Property tests for the deterministic replay reservoir: capacity bounds,
+//! Algorithm R statistics, purity across producer thread counts, and exact
+//! state roundtrips (the same state that `EngineCheckpoint` embeds; the
+//! checkpoint-level roundtrip test lives in `wsccl-core`, which owns that
+//! type).
+
+use proptest::prelude::*;
+use wsccl_train::ReplayBuffer;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn capacity_bound_and_counters_hold(cap in 0usize..32, n in 0u64..300, seed in any::<u64>()) {
+        let mut rb = ReplayBuffer::new(cap, seed);
+        rb.extend(0..n);
+        prop_assert_eq!(rb.seen(), n);
+        prop_assert_eq!(rb.len(), (n as usize).min(cap));
+        // Contents are distinct items that were actually offered.
+        let mut sorted = rb.items().to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), rb.len());
+        prop_assert!(rb.items().iter().all(|&x| x < n));
+    }
+
+    #[test]
+    fn contents_are_pure_in_seed_and_feed_order(cap in 1usize..16, n in 1u64..200, seed in any::<u64>()) {
+        // The producer's thread count must not matter: items generated in
+        // parallel chunks but absorbed in index order give bit-identical
+        // contents to single-threaded production.
+        let serial: Vec<u64> = (0..n).map(|i| i.wrapping_mul(0x9E37) ^ seed).collect();
+        let parallel: Vec<u64> = std::thread::scope(|s| {
+            let chunk = (n as usize).div_ceil(4);
+            let handles: Vec<_> = (0..n)
+                .collect::<Vec<_>>()
+                .chunks(chunk)
+                .map(|c| {
+                    let c = c.to_vec();
+                    s.spawn(move || {
+                        c.into_iter().map(|i| i.wrapping_mul(0x9E37) ^ seed).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        prop_assert_eq!(&serial, &parallel);
+        let mut a = ReplayBuffer::new(cap, seed);
+        a.extend(serial);
+        let mut b = ReplayBuffer::new(cap, seed);
+        b.extend(parallel);
+        prop_assert_eq!(a.items(), b.items());
+        prop_assert_eq!(a.seen(), b.seen());
+    }
+
+    #[test]
+    fn state_roundtrip_is_exact_and_preserves_future_decisions(
+        cap in 0usize..16,
+        n in 0u64..200,
+        m in 0u64..100,
+        seed in any::<u64>(),
+    ) {
+        let mut a = ReplayBuffer::new(cap, seed);
+        a.extend(0..n);
+        let mut b = ReplayBuffer::from_state(a.capacity(), a.seed(), a.seen(), a.items().to_vec());
+        prop_assert_eq!(a.items(), b.items());
+        // A resumed reservoir must make the same decisions as one that was
+        // never serialized.
+        a.extend(n..n + m);
+        b.extend(n..n + m);
+        prop_assert_eq!(a.items(), b.items());
+        prop_assert_eq!(a.seen(), b.seen());
+    }
+}
+
+#[test]
+fn reservoir_inclusion_probability_is_uniform() {
+    // Algorithm R invariant: after n offers, each item is retained with
+    // probability k/n. Averaged over seeds, per-item inclusion rates must
+    // concentrate around k/n = 0.25 (600 trials → σ ≈ 0.018; ±0.10 ≈ 5.6σ).
+    let (k, n, trials) = (16usize, 64u64, 600u64);
+    let mut counts = vec![0u32; n as usize];
+    for seed in 0..trials {
+        let mut rb = ReplayBuffer::new(k, 0xC0FFEE ^ seed);
+        rb.extend(0..n);
+        for &item in rb.items() {
+            counts[item as usize] += 1;
+        }
+    }
+    for (i, &c) in counts.iter().enumerate() {
+        let rate = c as f64 / trials as f64;
+        assert!(
+            (0.15..=0.35).contains(&rate),
+            "item {i} retained at rate {rate:.3}, expected 0.25"
+        );
+    }
+    let total: u64 = counts.iter().map(|&c| c as u64).sum();
+    assert_eq!(total, trials * k as u64, "every trial must retain exactly k items");
+}

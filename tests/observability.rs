@@ -16,8 +16,9 @@ use wsccl_core::curriculum::{train_wsccl_with_strategy_observed, CurriculumStrat
 use wsccl_core::encoder::{EncoderConfig, TemporalPathEncoder};
 use wsccl_core::wsc::WscModel;
 use wsccl_core::PathRepresenter;
+use wsccl_core::{ContinualConfig, ContinualTrainer};
 use wsccl_datagen::{CityDataset, DatasetConfig};
-use wsccl_obs::{AnomalyGuard, AnomalyPolicy};
+use wsccl_obs::{AnomalyGuard, AnomalyKind, AnomalyPolicy};
 use wsccl_roadnet::CityProfile;
 use wsccl_traffic::PopLabeler;
 use wsccl_train::{EpochLine, JsonlObserver, LossCurve, MetricsLine, PhaseLine, StepLine};
@@ -251,4 +252,110 @@ fn golden_trace_run_log_is_schema_valid() {
     assert!(phases >= 2, "expected curriculum stage phases plus final, got {phases}");
     assert_eq!(phase_names.last().map(String::as_str), Some("final"));
     assert!(phase_names.iter().any(|p| p.starts_with("curriculum/stage-")));
+}
+
+/// Golden trace for a drift episode: two days of incremental re-training must
+/// log schema-valid records only, with the continual phases (`drift/day-N`,
+/// `retrain/stage-K`, `retrain/final`) present and the step counter monotone
+/// across the whole episode.
+#[test]
+fn drift_episode_run_log_is_schema_valid() {
+    let _guard = registry_lock();
+    let (ds, enc) = dataset();
+
+    wsccl_obs::global().set_enabled(false);
+    let mut model = WscModel::new(Arc::clone(enc), WscclConfig::tiny(), 33);
+    model.train(&ds.unlabeled, &PopLabeler, 1);
+    let mut ct = ContinualTrainer::new(model, 31, ds.congestion.clone(), ContinualConfig::tiny(43));
+
+    let mut log = JsonlObserver::new(Vec::new());
+    let mut guard = AnomalyGuard::new(AnomalyPolicy::Record);
+    for _ in 0..2 {
+        let r = ct.run_day(&ds.net, &mut log, &mut guard);
+        assert_eq!(r.anomalies, 0, "healthy drift day must not trip the guard");
+    }
+
+    let text = String::from_utf8(log.into_inner()).expect("utf8 log");
+    let mut phase_names = Vec::new();
+    let mut last_step: Option<u64> = None;
+    for (i, line) in text.lines().enumerate() {
+        if let Ok(s) = serde_json::from_str::<StepLine>(line) {
+            if s.record == "step" {
+                if let Some(prev) = last_step {
+                    assert!(s.step > prev, "line {i}: step counter went backwards");
+                }
+                last_step = Some(s.step);
+                assert!(!s.phase.is_empty(), "line {i}: step outside any phase");
+                continue;
+            }
+        }
+        if let Ok(e) = serde_json::from_str::<EpochLine>(line) {
+            if e.record == "epoch" {
+                assert!(e.steps > 0, "line {i}: epoch with zero steps");
+                continue;
+            }
+        }
+        if let Ok(p) = serde_json::from_str::<PhaseLine>(line) {
+            if p.record == "phase" {
+                phase_names.push(p.phase);
+                continue;
+            }
+        }
+        if let Ok(m) = serde_json::from_str::<MetricsLine>(line) {
+            if m.record == "metrics" {
+                continue;
+            }
+        }
+        panic!("line {i} is not a known record type: {line}");
+    }
+    assert!(last_step.is_some(), "no step records in drift trace");
+    for day in 0..2u64 {
+        assert!(
+            phase_names.iter().any(|p| p == &format!("drift/day-{day}")),
+            "missing drift/day-{day} phase: {phase_names:?}"
+        );
+    }
+    assert!(
+        phase_names.iter().any(|p| p.starts_with("retrain/stage-")),
+        "missing curriculum-restart stage phases: {phase_names:?}"
+    );
+    assert!(phase_names.iter().any(|p| p == "retrain/final"));
+}
+
+/// A NaN planted in the weights must be attributed: the drift day's parameter
+/// sweep reports a `NonFiniteParam` event naming the poisoned parameter.
+#[test]
+fn drift_param_sweep_attributes_injected_nan() {
+    let _guard = registry_lock();
+    let (ds, enc) = dataset();
+
+    wsccl_obs::global().set_enabled(false);
+    let mut model = WscModel::new(Arc::clone(enc), WscclConfig::tiny(), 34);
+    model.train(&ds.unlabeled, &PopLabeler, 1);
+    let mut ct = ContinualTrainer::new(model, 31, ds.congestion.clone(), ContinualConfig::tiny(44));
+
+    // Poison one parameter element. NaN survives every optimizer update, so
+    // whatever else it contaminates, the sweep must still name this tensor.
+    let params = ct.model_mut().params_mut();
+    let id = params.ids().next().expect("model has parameters");
+    let poisoned = params.name(id).to_string();
+    params.value_mut(id).data_mut()[0] = f64::NAN;
+
+    let mut log = JsonlObserver::new(Vec::new());
+    let mut guard = AnomalyGuard::new(AnomalyPolicy::Record);
+    let r = ct.run_day(&ds.net, &mut log, &mut guard);
+    assert!(r.anomalies > 0, "poisoned run must raise anomalies");
+    let hit = guard
+        .events()
+        .iter()
+        .find(|e| e.kind == AnomalyKind::NonFiniteParam && e.context.contains(&poisoned))
+        .unwrap_or_else(|| {
+            panic!("no NonFiniteParam event names `{poisoned}`: {:?}", guard.events())
+        });
+    assert!(
+        hit.context.contains("drift/day-0"),
+        "attribution must cite the drift day: {}",
+        hit.context
+    );
+    assert!(hit.value.is_nan());
 }

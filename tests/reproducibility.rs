@@ -1,11 +1,17 @@
 //! Reproducibility: everything downstream of a seed is bit-identical across
 //! runs — datasets, training, evaluation metrics.
 
+use std::sync::Arc;
+
 use wsccl_bench::eval::evaluate_tte;
 use wsccl_bench::methods::{train_method, Method, MethodKind};
 use wsccl_bench::Scale;
+use wsccl_core::encoder::{EncoderConfig, TemporalPathEncoder};
+use wsccl_core::persist::EngineCheckpoint;
+use wsccl_core::{ContinualConfig, ContinualTrainer, WscModel, WscclConfig};
 use wsccl_datagen::{CityDataset, DatasetConfig};
 use wsccl_roadnet::CityProfile;
+use wsccl_traffic::PopLabeler;
 
 #[test]
 fn datasets_are_bit_identical_across_runs() {
@@ -37,6 +43,73 @@ fn trained_method_metrics_are_identical_across_runs() {
     assert_eq!(a.mae, b.mae);
     assert_eq!(a.mare, b.mare);
     assert_eq!(a.mape, b.mape);
+}
+
+/// Kill-and-resume mid-drift-episode: run A three days straight; run B two
+/// days, checkpoint through bytes (as a killed process would), resume, run
+/// the third. Weights, replay reservoir, and the continuing JSONL step
+/// counters must all match an uninterrupted episode bit for bit.
+#[test]
+fn continual_episode_survives_kill_and_resume() {
+    let ds = CityDataset::generate(&DatasetConfig::tiny(CityProfile::Aalborg, 57));
+    let enc = Arc::new(TemporalPathEncoder::new(&ds.net, EncoderConfig::tiny(), 57));
+    let pretrain = || {
+        let mut m = WscModel::new(Arc::clone(&enc), WscclConfig::tiny(), 57);
+        m.train(&ds.unlabeled, &PopLabeler, 1);
+        m
+    };
+    let episode = ContinualConfig::tiny(41);
+
+    let mut a = ContinualTrainer::new(pretrain(), 57, ds.congestion.clone(), episode.clone());
+    for _ in 0..3 {
+        a.run_day_quiet(&ds.net);
+    }
+
+    let mut log = wsccl_train::JsonlObserver::new(Vec::new());
+    let mut guard =
+        wsccl_core::continual::AnomalyGuard::new(wsccl_core::continual::AnomalyPolicy::Record);
+    let mut b = ContinualTrainer::new(pretrain(), 57, ds.congestion.clone(), episode);
+    b.run_day(&ds.net, &mut log, &mut guard);
+    b.run_day(&ds.net, &mut log, &mut guard);
+    let mut buf = Vec::new();
+    b.checkpoint().write_to(&mut buf).expect("write checkpoint");
+    drop(b);
+    let cp = EngineCheckpoint::read_from(&mut buf.as_slice()).expect("read checkpoint");
+    // Encoder tables are deterministic per (config, seed); sharing the Arc
+    // mirrors `ContinualTrainer::resume` without re-running node2vec.
+    let mut b = ContinualTrainer::resume_with_encoder(Arc::clone(&enc), cp);
+    b.run_day(&ds.net, &mut log, &mut guard);
+
+    assert_eq!(a.day(), b.day());
+    for (x, y) in a.replay_items().iter().zip(b.replay_items()) {
+        assert_eq!(x.path.edges(), y.path.edges(), "replay reservoir diverged");
+        assert_eq!(x.departure, y.departure);
+        assert_eq!(
+            serde_json::to_string(&x.label).unwrap(),
+            serde_json::to_string(&y.label).unwrap()
+        );
+    }
+    assert_eq!(a.replay_items().len(), b.replay_items().len());
+    for s in ds.unlabeled.iter().take(16) {
+        assert_eq!(
+            a.model().embed(&s.path, s.departure),
+            b.model().embed(&s.path, s.departure),
+            "resumed episode must embed bit-identically to the uninterrupted one"
+        );
+    }
+
+    // The run log spans the kill: step counters keep increasing across the
+    // resume boundary instead of restarting.
+    let text = String::from_utf8(log.into_inner()).expect("utf8 log");
+    let steps: Vec<wsccl_train::StepLine> = text
+        .lines()
+        .filter_map(|l| serde_json::from_str(l).ok())
+        .filter(|s: &wsccl_train::StepLine| s.record == "step")
+        .collect();
+    assert!(!steps.is_empty());
+    for w in steps.windows(2) {
+        assert!(w[1].step > w[0].step, "step counter must survive the resume");
+    }
 }
 
 #[test]
