@@ -12,7 +12,7 @@ use wsccl_core::config::WscclConfig;
 use wsccl_core::encoder::{EncoderConfig, TemporalPathEncoder};
 use wsccl_core::wsc::WscModel;
 use wsccl_datagen::{CityDataset, DatasetConfig};
-use wsccl_downstream::{GbConfig, GbRegressor};
+use wsccl_downstream::{EtaRegression, GbConfig, Task};
 use wsccl_graphembed::walks::AdjGraph;
 use wsccl_mapmatch::{map_match, EdgeSpatialIndex, MatchConfig};
 use wsccl_roadnet::shortest::dijkstra;
@@ -109,11 +109,11 @@ fn bench_gbdt(c: &mut Criterion) {
     let x: Vec<Vec<f64>> =
         (0..400).map(|_| (0..32).map(|_| rng.random_range(-1.0..1.0)).collect()).collect();
     let y: Vec<f64> = x.iter().map(|r| r.iter().sum::<f64>()).collect();
-    c.bench_function("gbr_fit_400x32", |b| {
-        b.iter(|| GbRegressor::fit(&x, &y, &GbConfig { n_trees: 40, ..Default::default() }))
-    });
-    let model = GbRegressor::fit(&x, &y, &GbConfig::default());
-    c.bench_function("gbr_predict", |b| b.iter(|| model.predict(&x[0])));
+    let task40 = EtaRegression { gb: GbConfig { n_trees: 40, ..Default::default() } };
+    c.bench_function("gbr_fit_400x32", |b| b.iter(|| task40.fit(&x, &y)));
+    let task = EtaRegression::default();
+    let model = task.fit(&x, &y);
+    c.bench_function("gbr_predict", |b| b.iter(|| task.predict(&model, &x[0])));
 }
 
 criterion_group! {

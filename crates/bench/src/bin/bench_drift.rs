@@ -38,7 +38,7 @@ use wsccl_bench::{DriftBench, DriftDayRow, Scale, Table};
 use wsccl_core::encoder::{EncoderConfig, TemporalPathEncoder};
 use wsccl_core::{ContinualConfig, ContinualTrainer, WscModel, WscclConfig};
 use wsccl_datagen::{CityDataset, TemporalPathSample};
-use wsccl_downstream::{metrics, GbConfig, GbRegressor};
+use wsccl_downstream::task::{kfold_modulo_mae, EtaRegression};
 use wsccl_obs::{AnomalyGuard, AnomalyPolicy};
 use wsccl_roadnet::{CityProfile, Path, RoadNetwork};
 use wsccl_traffic::{CongestionModel, SimTime, TciLabeler};
@@ -79,39 +79,22 @@ fn expected_time(
     total
 }
 
-/// Embedding-quality probe: 4-fold cross-validated MAE of a GBR head fit on
-/// the model's embeddings against that day's true expected travel times.
-/// Mirrors `eval::evaluate_tte` / `kfold::kfold_tte_mae`, but against the
-/// drifted day's ground truth; the folds use every eval sample as test once,
-/// which keeps the probe variance well below the drift effect.
+/// Embedding-quality probe: 4-fold cross-validated MAE of an
+/// [`EtaRegression`] head fit on the model's embeddings against that day's
+/// true expected travel times. Mirrors `eval::evaluate_tte` /
+/// `kfold::kfold_tte_mae`, but against the drifted day's ground truth; the
+/// modulo folds use every eval sample as test once, which keeps the probe
+/// variance well below the drift effect.
 fn tte_probe_mae(
     model: &WscModel,
     net: &RoadNetwork,
     day_model: &CongestionModel,
     samples: &[TemporalPathSample],
 ) -> f64 {
-    const K: usize = 4;
     let x: Vec<Vec<f64>> = samples.iter().map(|s| model.embed(&s.path, s.departure)).collect();
     let y: Vec<f64> =
         samples.iter().map(|s| expected_time(net, day_model, &s.path, s.departure)).collect();
-    let mut maes = Vec::with_capacity(K);
-    for fold in 0..K {
-        let (mut xt, mut yt, mut truth, mut pred_x) =
-            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        for i in 0..x.len() {
-            if i % K == fold {
-                truth.push(y[i]);
-                pred_x.push(&x[i]);
-            } else {
-                xt.push(x[i].clone());
-                yt.push(y[i]);
-            }
-        }
-        let head = GbRegressor::fit(&xt, &yt, &GbConfig::default());
-        let pred: Vec<f64> = pred_x.iter().map(|xi| head.predict(xi)).collect();
-        maes.push(metrics::mae(&truth, &pred));
-    }
-    maes.iter().sum::<f64>() / K as f64
+    kfold_modulo_mae(&EtaRegression::default(), &x, &y, 4)
 }
 
 fn env_f64(name: &str, default: f64) -> f64 {

@@ -303,14 +303,16 @@ fn cmd_serve(
         }
     };
 
-    // Fit the ETA head on (a slice of) the labeled TTE split.
+    // Fit the ETA head on (a slice of) the labeled TTE split via the
+    // downstream task layer — the served head is a plain EtaRegression head.
     let head = {
+        use wsccl_downstream::{EtaRegression, Task};
         let take = ds.tte.len().min(512);
         let queries: Vec<(&wsccl_roadnet::Path, wsccl_traffic::SimTime)> =
             ds.tte.iter().take(take).map(|e| (&e.path, e.departure)).collect();
         let x = rep.embed_batch(&queries);
         let y: Vec<f64> = ds.tte.iter().take(take).map(|e| e.travel_time).collect();
-        wsccl_downstream::GbRegressor::fit(&x, &y, &wsccl_downstream::GbConfig::default())
+        EtaRegression::default().fit(&x, &y)
     };
 
     let max_batch: usize = flags.get("batch").and_then(|s| s.parse().ok()).unwrap_or(16);

@@ -6,8 +6,7 @@
 
 use wsccl_core::PathRepresenter;
 use wsccl_datagen::CityDataset;
-use wsccl_downstream::metrics;
-use wsccl_downstream::{GbConfig, GbRegressor};
+use wsccl_downstream::task::{kfold_indexed_mae, EtaRegression};
 
 /// A cross-validated metric: mean and standard deviation over folds.
 #[derive(Clone, Copy, Debug)]
@@ -46,23 +45,7 @@ pub fn kfold_tte_mae(
         ds.tte.iter().map(|t| rep.represent(&ds.net, &t.path, t.departure)).collect();
     let y: Vec<f64> = ds.tte.iter().map(|t| t.travel_time).collect();
     let folds = folds(x.len(), k, seed);
-    let mut maes = Vec::with_capacity(folds.len());
-    for (fi, test) in folds.iter().enumerate() {
-        let test_set: std::collections::HashSet<usize> = test.iter().copied().collect();
-        let mut xt = Vec::new();
-        let mut yt = Vec::new();
-        for i in 0..x.len() {
-            if !test_set.contains(&i) {
-                xt.push(x[i].clone());
-                yt.push(y[i]);
-            }
-        }
-        let _ = fi;
-        let model = GbRegressor::fit(&xt, &yt, &GbConfig::default());
-        let truth: Vec<f64> = test.iter().map(|&i| y[i]).collect();
-        let pred: Vec<f64> = test.iter().map(|&i| model.predict(&x[i])).collect();
-        maes.push(metrics::mae(&truth, &pred));
-    }
+    let maes = kfold_indexed_mae(&EtaRegression::default(), &x, &y, &folds);
     summarize(&maes)
 }
 

@@ -20,6 +20,7 @@ pub mod report;
 pub mod runner;
 pub mod scale;
 pub mod serve_bench;
+pub mod workloads_bench;
 
 pub use datagen_bench::{DatagenBench, DatagenTierResult};
 pub use drift_bench::{DriftBench, DriftDayRow};
@@ -29,3 +30,4 @@ pub use methods::{train_method, Method, MethodKind};
 pub use report::Table;
 pub use scale::{datagen_tiers, metro_dataset, Scale};
 pub use serve_bench::{EmbedPathResult, ServeBench, ServeWorkloadResult};
+pub use workloads_bench::{KnnWorkload, OdtteWorkload, WorkloadsBench};

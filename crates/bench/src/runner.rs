@@ -112,6 +112,38 @@ pub fn check_drift_bench() {
     });
 }
 
+/// Warn (once per process) when `BENCH_workloads.json` is missing or was
+/// recorded by a different `wsccl-downstream` version than the one linked
+/// into this binary — the downstream crate owns the ANN index and OD-TTE
+/// estimator, so stale similarity-search/OD-error numbers silently
+/// misrepresent the current workloads. Run `cargo run --release --bin
+/// bench_workloads` to refresh it.
+pub fn check_workloads_bench() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        match std::fs::read_to_string(crate::workloads_bench::BENCH_WORKLOADS_PATH) {
+            Err(_) => eprintln!(
+                "[warn] BENCH_workloads.json not found; run `cargo run --release --bin \
+                 bench_workloads` to record similarity-search and OD-TTE results for this tree"
+            ),
+            Ok(text) => match serde_json::from_str::<crate::workloads_bench::WorkloadsBench>(&text)
+            {
+                Ok(bench) if bench.downstream_version == wsccl_downstream::VERSION => {}
+                Ok(bench) => eprintln!(
+                    "[warn] BENCH_workloads.json is stale: recorded by wsccl-downstream {}, this \
+                     binary links {}; re-run `cargo run --release --bin bench_workloads`",
+                    bench.downstream_version,
+                    wsccl_downstream::VERSION
+                ),
+                Err(_) => eprintln!(
+                    "[warn] BENCH_workloads.json is unreadable; re-run `cargo run --release \
+                     --bin bench_workloads`"
+                ),
+            },
+        }
+    });
+}
+
 /// Results of evaluating one trained method on one city.
 pub struct MethodResult {
     pub method: Method,

@@ -1,0 +1,132 @@
+//! Schema and I/O for `BENCH_workloads.json` — the two ROADMAP item-4
+//! downstream workloads at metro/streaming scale: trajectory similarity
+//! search (exact vs. IVF ANN latency and recall) and OD travel-time
+//! estimation (bucketed-aggregate error vs. the full-path ETA head).
+//! Written by the `bench_workloads` binary; read by
+//! [`crate::runner::check_workloads_bench`] to warn when the recorded
+//! numbers were produced by a different `wsccl-downstream` version.
+
+use serde::{Deserialize, Serialize};
+
+pub const BENCH_WORKLOADS_PATH: &str = "BENCH_workloads.json";
+
+/// Similarity-search segment: exact scan vs. IVF ANN over the same
+/// embedding set.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KnnWorkload {
+    /// Vectors in the index.
+    pub num_vectors: usize,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Queries measured.
+    pub num_queries: usize,
+    /// Neighbors per query (the k of recall@k).
+    pub k: usize,
+    /// IVF inverted lists.
+    pub n_lists: usize,
+    /// Lists probed per query.
+    pub nprobe: usize,
+    /// Mean exact (brute-force) query latency, microseconds.
+    pub exact_query_us: f64,
+    /// Mean ANN query latency, microseconds.
+    pub ann_query_us: f64,
+    /// `exact_query_us / ann_query_us` — the headline speedup (≥ 5× is the
+    /// acceptance bar at 100k vectors).
+    pub speedup: f64,
+    /// Mean recall@k of ANN against exact (≥ 0.9 is the acceptance bar).
+    pub recall_at_k: f64,
+    /// ANN index build time, milliseconds.
+    pub build_ms: f64,
+}
+
+/// OD travel-time estimation segment: per-(O, D, slot) embedding aggregates
+/// vs. the full-path ETA head on the same test trips.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OdtteWorkload {
+    /// Training trips aggregated.
+    pub train_trips: usize,
+    /// Held-out trips scored.
+    pub test_trips: usize,
+    /// Distinct OD pairs in the training pool.
+    pub od_pairs: usize,
+    /// `(O, D, slot)` buckets with data.
+    pub buckets: usize,
+    /// OD-TTE MAE (seconds), path-free prediction.
+    pub od_mae: f64,
+    pub od_mare: f64,
+    pub od_mape: f64,
+    /// Full-path ETA head MAE (seconds) on the same test trips — the
+    /// information ceiling the OD estimator is measured against.
+    pub path_mae: f64,
+    /// `od_mae / path_mae` (≤ 1.25 is the acceptance bar: the path-free
+    /// estimate stays within 25% of the full-path head).
+    pub mae_ratio: f64,
+    /// Test queries answered from the exact bucket / pair fallback / global
+    /// fallback.
+    pub fallback_counts: [usize; 3],
+}
+
+/// The whole benchmark file.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkloadsBench {
+    /// `wsccl-downstream` crate version (owner of the index and OD-TTE
+    /// estimator) the numbers were recorded against.
+    pub downstream_version: String,
+    pub knn: KnnWorkload,
+    pub odtte: OdtteWorkload,
+}
+
+impl WorkloadsBench {
+    pub fn load() -> Option<Self> {
+        let text = std::fs::read_to_string(BENCH_WORKLOADS_PATH).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    pub fn save(&self) -> std::io::Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(BENCH_WORKLOADS_PATH, json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_json() {
+        let b = WorkloadsBench {
+            downstream_version: "0.1.0".into(),
+            knn: KnnWorkload {
+                num_vectors: 100_000,
+                dim: 32,
+                num_queries: 256,
+                k: 10,
+                n_lists: 316,
+                nprobe: 16,
+                exact_query_us: 900.0,
+                ann_query_us: 80.0,
+                speedup: 11.25,
+                recall_at_k: 0.96,
+                build_ms: 1500.0,
+            },
+            odtte: OdtteWorkload {
+                train_trips: 8000,
+                test_trips: 2000,
+                od_pairs: 50,
+                buckets: 700,
+                od_mae: 40.0,
+                od_mare: 0.08,
+                od_mape: 9.0,
+                path_mae: 36.0,
+                mae_ratio: 40.0 / 36.0,
+                fallback_counts: [1990, 10, 0],
+            },
+        };
+        let json = serde_json::to_string(&b).unwrap();
+        let back: WorkloadsBench = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.knn.num_vectors, 100_000);
+        assert_eq!(back.odtte.fallback_counts[0], 1990);
+        assert!((back.knn.speedup - 11.25).abs() < 1e-12);
+    }
+}

@@ -161,22 +161,15 @@ impl WeakLabeler for MixedLabeler<'_> {
     }
 }
 
-fn cosine(a: &[f64], b: &[f64]) -> f64 {
-    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
-    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
-    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
-    if na == 0.0 || nb == 0.0 {
-        0.0
-    } else {
-        dot / (na * nb)
-    }
-}
-
 /// Embedding-quality probe: mean same-label cosine similarity minus mean
 /// cross-label cosine similarity over all sample pairs (labels from
 /// `labeler`). Positive = the embedding space separates the weak classes;
 /// drift erodes it, re-training should restore it. Returns 0 when the
 /// sample set has no same-label or no cross-label pair.
+///
+/// The pairwise-margin math lives with the other evaluation metrics in
+/// `wsccl_downstream::metrics::label_margin`; this wrapper owns only the
+/// model/labeler plumbing.
 pub fn label_margin(
     model: &WscModel,
     samples: &[TemporalPathSample],
@@ -188,21 +181,7 @@ pub fn label_margin(
     let embs: Vec<Vec<f64>> = samples.iter().map(|s| model.embed(&s.path, s.departure)).collect();
     let labels: Vec<usize> =
         samples.iter().map(|s| labeler.label(s.departure).class_index()).collect();
-    let (mut same, mut diff) = ((0.0, 0u64), (0.0, 0u64));
-    for i in 0..embs.len() {
-        for j in i + 1..embs.len() {
-            let c = cosine(&embs[i], &embs[j]);
-            if labels[i] == labels[j] {
-                same = (same.0 + c, same.1 + 1);
-            } else {
-                diff = (diff.0 + c, diff.1 + 1);
-            }
-        }
-    }
-    if same.1 == 0 || diff.1 == 0 {
-        return 0.0;
-    }
-    same.0 / same.1 as f64 - diff.0 / diff.1 as f64
+    wsccl_downstream::metrics::label_margin(&embs, &labels)
 }
 
 /// The incremental re-training driver: owns the model, the drift episode,

@@ -33,16 +33,50 @@ pub fn mape(truth: &[f64], pred: &[f64]) -> f64 {
 }
 
 /// Kendall rank correlation coefficient τ (Eq. 15), with the τ-a convention:
-/// ties count as neither concordant nor discordant.
+/// ties count as neither concordant nor discordant, and the denominator is
+/// the total pair count n(n−1)/2 regardless of ties. Under heavy ties τ-a is
+/// bounded away from ±1; use [`kendall_tau_b`] when a tie-corrected
+/// coefficient is needed.
 pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    let (con, dis, _, _, pairs) = kendall_pair_counts(a, b);
+    (con - dis) as f64 / pairs as f64
+}
+
+/// Kendall τ-b: tie-corrected Kendall coefficient,
+/// `(C − D) / sqrt((n0 − n1)(n0 − n2))` where `n0` is the total pair count
+/// and `n1`/`n2` count pairs tied in `a`/`b` respectively. Reaches ±1 on
+/// perfectly concordant/discordant data even under ties. Defined as 0 when
+/// either input is constant (no order information).
+pub fn kendall_tau_b(a: &[f64], b: &[f64]) -> f64 {
+    let (con, dis, ties_a, ties_b, pairs) = kendall_pair_counts(a, b);
+    let da = (pairs - ties_a) as f64;
+    let db = (pairs - ties_b) as f64;
+    if da <= 0.0 || db <= 0.0 {
+        return 0.0; // a constant ranking carries no order information
+    }
+    (con - dis) as f64 / (da * db).sqrt()
+}
+
+/// Shared pair scan for the Kendall coefficients: returns
+/// `(concordant, discordant, ties_in_a, ties_in_b, total_pairs)`. A pair
+/// tied in both sequences counts toward both tie tallies and toward neither
+/// C nor D.
+fn kendall_pair_counts(a: &[f64], b: &[f64]) -> (i64, i64, i64, i64, i64) {
     assert_eq!(a.len(), b.len());
     let n = a.len();
     assert!(n >= 2, "kendall tau needs at least two items");
-    let mut con = 0i64;
-    let mut dis = 0i64;
+    let (mut con, mut dis, mut ties_a, mut ties_b) = (0i64, 0i64, 0i64, 0i64);
     for i in 0..n {
         for j in (i + 1)..n {
-            let s = (a[i] - a[j]) * (b[i] - b[j]);
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            if da == 0.0 {
+                ties_a += 1;
+            }
+            if db == 0.0 {
+                ties_b += 1;
+            }
+            let s = da * db;
             if s > 0.0 {
                 con += 1;
             } else if s < 0.0 {
@@ -50,8 +84,7 @@ pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
             }
         }
     }
-    let pairs = (n * (n - 1) / 2) as f64;
-    (con - dis) as f64 / pairs
+    (con, dis, ties_a, ties_b, (n * (n - 1) / 2) as i64)
 }
 
 /// Average ranks (1-based), ties receive their mean rank.
@@ -116,6 +149,84 @@ pub fn hit_rate(truth: &[bool], pred: &[bool]) -> f64 {
     } else {
         tp / (tp + fnn)
     }
+}
+
+/// Cosine similarity, defined as 0 when either vector is all-zero.
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Embedding-quality margin: mean same-label cosine similarity minus mean
+/// cross-label cosine similarity over all embedding pairs. Positive = the
+/// embedding space separates the label classes. Returns 0 when there are
+/// fewer than two embeddings, or no same-label or no cross-label pair.
+pub fn label_margin(embs: &[Vec<f64>], labels: &[usize]) -> f64 {
+    assert_eq!(embs.len(), labels.len());
+    if embs.len() < 2 {
+        return 0.0;
+    }
+    let (mut same, mut diff) = ((0.0, 0u64), (0.0, 0u64));
+    for i in 0..embs.len() {
+        for j in i + 1..embs.len() {
+            let c = cosine(&embs[i], &embs[j]);
+            if labels[i] == labels[j] {
+                same = (same.0 + c, same.1 + 1);
+            } else {
+                diff = (diff.0 + c, diff.1 + 1);
+            }
+        }
+    }
+    if same.1 == 0 || diff.1 == 0 {
+        return 0.0;
+    }
+    same.0 / same.1 as f64 - diff.0 / diff.1 as f64
+}
+
+/// Top-k hit rate for one candidate group: 1.0 if any positively-labelled
+/// candidate appears among the k highest-scored candidates, else 0.0. Ties
+/// in `scores` are broken by candidate index (earlier wins), matching a
+/// stable descending sort, so the result is deterministic.
+///
+/// Returns 0.0 when the group has no positive candidate (nothing to hit).
+pub fn hit_rate_at_k(labels: &[bool], scores: &[f64], k: usize) -> f64 {
+    assert_eq!(labels.len(), scores.len());
+    assert!(k >= 1, "hit_rate_at_k needs k >= 1");
+    if !labels.iter().any(|&l| l) {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    // Stable sort by descending score: equal scores keep index order.
+    order.sort_by(|&i, &j| scores[j].partial_cmp(&scores[i]).expect("finite scores"));
+    if order.iter().take(k).any(|&i| labels[i]) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Mean top-k hit rate over consecutive candidate groups (`groups` holds the
+/// group sizes, partitioning the rows). Groups without a positive candidate
+/// contribute 0. Returns 0.0 when there are no groups.
+pub fn mean_hit_rate_at_k(labels: &[bool], scores: &[f64], groups: &[usize], k: usize) -> f64 {
+    assert_eq!(labels.len(), scores.len());
+    assert_eq!(groups.iter().sum::<usize>(), labels.len(), "group sizes must partition the rows");
+    if groups.is_empty() {
+        return 0.0;
+    }
+    let mut at = 0usize;
+    let mut sum = 0.0;
+    for &n in groups {
+        sum += hit_rate_at_k(&labels[at..at + n], &scores[at..at + n], k);
+        at += n;
+    }
+    sum / groups.len() as f64
 }
 
 #[cfg(test)]
@@ -186,5 +297,77 @@ mod tests {
         let t = [0.0, 100.0];
         let p = [5.0, 110.0];
         assert!((mape(&t, &p) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tau_a_and_tau_b_agree_without_ties() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [20.0, 10.0, 30.0, 40.0];
+        assert!((kendall_tau(&a, &b) - kendall_tau_b(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_b_tie_correction_on_hand_computed_example() {
+        // a = [1,2,2,3], b = [1,2,3,4]: 6 pairs total.
+        // Pair (a2,a3) is tied in a → n1 = 1, n2 = 0.
+        // Concordant pairs: (1,2),(1,3),(1,4),(2,4),(3,4) = 5; discordant 0.
+        // τ-a = 5/6; τ-b = 5 / sqrt(5 * 6).
+        let a = [1.0, 2.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert!((kendall_tau(&a, &b) - 5.0 / 6.0).abs() < 1e-12);
+        assert!((kendall_tau_b(&a, &b) - 5.0 / (5.0f64 * 6.0).sqrt()).abs() < 1e-12);
+        // Under these ties, τ-b is the larger (tie-corrected) coefficient.
+        assert!(kendall_tau_b(&a, &b) > kendall_tau(&a, &b));
+    }
+
+    #[test]
+    fn tau_b_reaches_one_under_ties_and_zero_on_constants() {
+        // Perfectly concordant despite a tie in both sequences at the same
+        // pair: τ-b = C / sqrt(C · C) = 1.
+        let a = [1.0, 2.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 20.0, 30.0];
+        assert!((kendall_tau_b(&a, &b) - 1.0).abs() < 1e-12);
+        // τ-a cannot reach 1 here: 5 concordant of 6 pairs.
+        assert!((kendall_tau(&a, &b) - 5.0 / 6.0).abs() < 1e-12);
+        // Constant input → no order information.
+        let c = [7.0, 7.0, 7.0, 7.0];
+        assert_eq!(kendall_tau_b(&a, &c), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_at_k_hand_computed() {
+        let labels = [false, true, false, false];
+        let scores = [0.9, 0.8, 0.7, 0.6];
+        // Positive is ranked 2nd: misses k=1, hits k=2.
+        assert_eq!(hit_rate_at_k(&labels, &scores, 1), 0.0);
+        assert_eq!(hit_rate_at_k(&labels, &scores, 2), 1.0);
+        // k beyond group size behaves like k = n.
+        assert_eq!(hit_rate_at_k(&labels, &scores, 10), 1.0);
+    }
+
+    #[test]
+    fn hit_rate_at_k_breaks_ties_by_index() {
+        // All scores tied: the stable order is candidate index, so top-1 is
+        // candidate 0 (negative) and top-2 reaches candidate 1 (positive).
+        let labels = [false, true, false];
+        let scores = [0.5, 0.5, 0.5];
+        assert_eq!(hit_rate_at_k(&labels, &scores, 1), 0.0);
+        assert_eq!(hit_rate_at_k(&labels, &scores, 2), 1.0);
+    }
+
+    #[test]
+    fn hit_rate_at_k_without_positives_is_zero() {
+        assert_eq!(hit_rate_at_k(&[false, false], &[1.0, 2.0], 2), 0.0);
+    }
+
+    #[test]
+    fn mean_hit_rate_at_k_over_groups() {
+        // Group 1 (size 3): positive ranked 1st → hit@1.
+        // Group 2 (size 3): positive ranked 3rd → miss@1, miss@2, hit@3.
+        let labels = [true, false, false, false, false, true];
+        let scores = [0.9, 0.5, 0.1, 0.9, 0.5, 0.1];
+        assert!((mean_hit_rate_at_k(&labels, &scores, &[3, 3], 1) - 0.5).abs() < 1e-12);
+        assert!((mean_hit_rate_at_k(&labels, &scores, &[3, 3], 2) - 0.5).abs() < 1e-12);
+        assert!((mean_hit_rate_at_k(&labels, &scores, &[3, 3], 3) - 1.0).abs() < 1e-12);
     }
 }

@@ -1,0 +1,297 @@
+//! Origin–destination travel-time estimation from sparse trajectories
+//! (ROADMAP item 4, after the OD-TTE line of work of Wang et al.).
+//!
+//! At query time only `(origin, destination, departure)` is known — there is
+//! no path to embed. Instead, historical trips are bucketed by
+//! `(origin, destination, departure slot)` and each bucket aggregates the
+//! mean of its members' frozen path embeddings plus the mean weak TCI class
+//! (the same weak supervision signal the representation was trained on). An
+//! [`EtaRegression`] head is then fit on per-trip rows whose features are
+//! the trip's *bucket* aggregate — exactly what will be available at query
+//! time — plus a time-of-day feature.
+//!
+//! Unseen buckets fall back along a coarsening hierarchy:
+//! `(O, D, slot)` → `(O, D)` over all slots → the global aggregate. The
+//! fallback level is reported per query ([`OdFallback`]) so benchmarks can
+//! track coverage alongside error.
+//!
+//! This module is deliberately generic over plain integer node ids and
+//! departure seconds; mapping road-network paths onto [`OdTrip`] rows lives
+//! with the callers (see the bench crate's workloads harness).
+
+use std::collections::BTreeMap;
+
+use crate::task::{EtaRegression, Task, TteScores};
+
+/// One historical trip: endpoints, departure, the frozen path embedding, the
+/// weak TCI class of the trip, and the observed travel time (seconds).
+#[derive(Clone, Debug)]
+pub struct OdTrip {
+    pub origin: u64,
+    pub dest: u64,
+    pub departure_seconds: u32,
+    pub embedding: Vec<f64>,
+    pub weak_class: usize,
+    pub travel_time: f64,
+}
+
+/// OD-TTE aggregation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct OdtteConfig {
+    /// Departure-slot width in seconds. Coarser than the representation
+    /// model's temporal resolution on purpose: sparse OD data needs wide
+    /// buckets to accumulate support. Default one hour.
+    pub slot_seconds: u32,
+    /// Head configuration, shared with every other [`EtaRegression`] site.
+    pub task: EtaRegression,
+}
+
+impl Default for OdtteConfig {
+    fn default() -> Self {
+        Self { slot_seconds: 3600, task: EtaRegression::default() }
+    }
+}
+
+/// Which level of the fallback hierarchy answered a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OdFallback {
+    /// Exact `(origin, destination, slot)` bucket.
+    Bucket,
+    /// `(origin, destination)` aggregate over all slots.
+    Pair,
+    /// Global aggregate — the estimator has never seen this OD pair.
+    Global,
+}
+
+/// Running mean of embeddings and weak classes for one bucket.
+#[derive(Clone, Debug, Default)]
+struct Agg {
+    emb_sum: Vec<f64>,
+    class_sum: f64,
+    n: usize,
+}
+
+impl Agg {
+    fn push(&mut self, emb: &[f64], class: usize) {
+        if self.emb_sum.is_empty() {
+            self.emb_sum = vec![0.0; emb.len()];
+        }
+        for (s, &x) in self.emb_sum.iter_mut().zip(emb) {
+            *s += x;
+        }
+        self.class_sum += class as f64;
+        self.n += 1;
+    }
+
+    fn mean_emb(&self) -> Vec<f64> {
+        self.emb_sum.iter().map(|s| s / self.n as f64).collect()
+    }
+
+    fn mean_class(&self) -> f64 {
+        self.class_sum / self.n as f64
+    }
+}
+
+const SECONDS_PER_DAY: u32 = 86_400;
+
+/// Fitted OD travel-time estimator.
+pub struct OdtteModel {
+    slot_seconds: u32,
+    task: EtaRegression,
+    head: <EtaRegression as Task>::Head,
+    buckets: BTreeMap<(u64, u64, u32), (Vec<f64>, f64)>,
+    pairs: BTreeMap<(u64, u64), (Vec<f64>, f64)>,
+    global: (Vec<f64>, f64),
+}
+
+impl OdtteModel {
+    /// Aggregate training trips into buckets and fit the regression head on
+    /// per-trip rows with bucket-level features. Fully deterministic: sums
+    /// accumulate in trip order and rows are fit in trip order.
+    pub fn fit(trips: &[OdTrip], cfg: &OdtteConfig) -> Self {
+        assert!(!trips.is_empty(), "odtte fit needs at least one trip");
+        assert!(cfg.slot_seconds > 0);
+        let mut buckets: BTreeMap<(u64, u64, u32), Agg> = BTreeMap::new();
+        let mut pairs: BTreeMap<(u64, u64), Agg> = BTreeMap::new();
+        let mut global = Agg::default();
+        for t in trips {
+            let slot = Self::slot_of(cfg.slot_seconds, t.departure_seconds);
+            buckets.entry((t.origin, t.dest, slot)).or_default().push(&t.embedding, t.weak_class);
+            pairs.entry((t.origin, t.dest)).or_default().push(&t.embedding, t.weak_class);
+            global.push(&t.embedding, t.weak_class);
+        }
+        let buckets: BTreeMap<_, _> =
+            buckets.into_iter().map(|(k, a)| (k, (a.mean_emb(), a.mean_class()))).collect();
+        let pairs: BTreeMap<_, _> =
+            pairs.into_iter().map(|(k, a)| (k, (a.mean_emb(), a.mean_class()))).collect();
+        let global = (global.mean_emb(), global.mean_class());
+
+        // Train rows see exactly the query-time features: their bucket's
+        // aggregate, never their own embedding.
+        let mut x = Vec::with_capacity(trips.len());
+        let mut y = Vec::with_capacity(trips.len());
+        for t in trips {
+            let slot = Self::slot_of(cfg.slot_seconds, t.departure_seconds);
+            let (emb, class) = &buckets[&(t.origin, t.dest, slot)];
+            x.push(Self::features(emb, *class, cfg.slot_seconds, t.departure_seconds));
+            y.push(t.travel_time);
+        }
+        let head = cfg.task.fit(&x, &y);
+        Self { slot_seconds: cfg.slot_seconds, task: cfg.task, head, buckets, pairs, global }
+    }
+
+    fn slot_of(slot_seconds: u32, departure_seconds: u32) -> u32 {
+        (departure_seconds % SECONDS_PER_DAY) / slot_seconds
+    }
+
+    /// Feature row: bucket-mean embedding ++ [mean weak class, time-of-day].
+    /// The time-of-day fraction lets the head keep a temporal signal even
+    /// when a query falls back to the slot-blind `(O, D)` aggregate.
+    fn features(emb: &[f64], class: f64, _slot_seconds: u32, departure_seconds: u32) -> Vec<f64> {
+        let mut row = Vec::with_capacity(emb.len() + 2);
+        row.extend_from_slice(emb);
+        row.push(class);
+        row.push((departure_seconds % SECONDS_PER_DAY) as f64 / SECONDS_PER_DAY as f64);
+        row
+    }
+
+    /// Predict travel time, reporting the fallback level that supplied the
+    /// features.
+    pub fn predict_with_fallback(
+        &self,
+        origin: u64,
+        dest: u64,
+        departure_seconds: u32,
+    ) -> (f64, OdFallback) {
+        let slot = Self::slot_of(self.slot_seconds, departure_seconds);
+        let (agg, level) = if let Some(a) = self.buckets.get(&(origin, dest, slot)) {
+            (a, OdFallback::Bucket)
+        } else if let Some(a) = self.pairs.get(&(origin, dest)) {
+            (a, OdFallback::Pair)
+        } else {
+            (&self.global, OdFallback::Global)
+        };
+        let row = Self::features(&agg.0, agg.1, self.slot_seconds, departure_seconds);
+        (self.task.predict(&self.head, &row), level)
+    }
+
+    pub fn predict(&self, origin: u64, dest: u64, departure_seconds: u32) -> f64 {
+        self.predict_with_fallback(origin, dest, departure_seconds).0
+    }
+
+    /// Score the estimator on held-out trips with the standard Eq. 14
+    /// metrics; also returns the per-level fallback counts
+    /// `[bucket, pair, global]`.
+    pub fn evaluate(&self, trips: &[OdTrip]) -> (TteScores, [usize; 3]) {
+        assert!(!trips.is_empty(), "odtte evaluate needs at least one trip");
+        let mut pred = Vec::with_capacity(trips.len());
+        let mut truth = Vec::with_capacity(trips.len());
+        let mut levels = [0usize; 3];
+        for t in trips {
+            let (p, level) = self.predict_with_fallback(t.origin, t.dest, t.departure_seconds);
+            pred.push(p);
+            truth.push(t.travel_time);
+            levels[match level {
+                OdFallback::Bucket => 0,
+                OdFallback::Pair => 1,
+                OdFallback::Global => 2,
+            }] += 1;
+        }
+        (self.task.score(&truth, &pred, &[]), levels)
+    }
+
+    /// Number of `(O, D, slot)` buckets with data.
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Number of distinct OD pairs with data.
+    pub fn n_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic world: travel time depends on the OD pair (base) and on the
+    /// departure slot (rush-hour bump); the embedding leaks the base time,
+    /// the weak class leaks the bump — so the head has everything it needs.
+    fn trip(o: u64, d: u64, dep: u32, seed: u64) -> OdTrip {
+        let base = 100.0 + (o * 31 + d * 7) as f64 % 200.0;
+        let rush = if (30_600..34_200).contains(&(dep % 86_400)) { 60.0 } else { 0.0 };
+        let jitter = (seed % 7) as f64 - 3.0;
+        OdTrip {
+            origin: o,
+            dest: d,
+            departure_seconds: dep,
+            embedding: vec![base / 100.0, (dep % 86_400) as f64 / 86_400.0, 1.0],
+            weak_class: if rush > 0.0 { 2 } else { 0 },
+            travel_time: base + rush + jitter,
+        }
+    }
+
+    fn world() -> Vec<OdTrip> {
+        let mut trips = Vec::new();
+        let mut seed = 0u64;
+        for o in 0..4u64 {
+            for d in 4..8u64 {
+                for h in [7u32, 8, 9, 12, 18] {
+                    for rep in 0..3u32 {
+                        seed += 1;
+                        trips.push(trip(o, d, h * 3600 + rep * 600, seed));
+                    }
+                }
+            }
+        }
+        trips
+    }
+
+    #[test]
+    fn fit_predict_on_seen_buckets_is_accurate() {
+        let trips = world();
+        let model = OdtteModel::fit(&trips, &OdtteConfig::default());
+        let (scores, levels) = model.evaluate(&trips);
+        // Every eval trip hits its exact bucket; jitter is ±3s on ~100–300s
+        // times, so the head should sit well under 20s MAE.
+        assert_eq!(levels[1] + levels[2], 0, "all trips must hit exact buckets");
+        assert!(scores.mae < 20.0, "mae {} too high", scores.mae);
+    }
+
+    #[test]
+    fn fallback_hierarchy_engages_in_order() {
+        let trips = world();
+        let model = OdtteModel::fit(&trips, &OdtteConfig::default());
+        // Seen pair, unseen slot (3am) → Pair fallback.
+        let (_, l) = model.predict_with_fallback(0, 4, 3 * 3600);
+        assert_eq!(l, OdFallback::Pair);
+        // Unseen pair → Global fallback.
+        let (_, l) = model.predict_with_fallback(99, 98, 8 * 3600);
+        assert_eq!(l, OdFallback::Global);
+        // Seen bucket → Bucket.
+        let (_, l) = model.predict_with_fallback(0, 4, 8 * 3600);
+        assert_eq!(l, OdFallback::Bucket);
+    }
+
+    #[test]
+    fn deterministic_across_fits() {
+        let trips = world();
+        let a = OdtteModel::fit(&trips, &OdtteConfig::default());
+        let b = OdtteModel::fit(&trips, &OdtteConfig::default());
+        for t in &trips[..10] {
+            let pa = a.predict(t.origin, t.dest, t.departure_seconds);
+            let pb = b.predict(t.origin, t.dest, t.departure_seconds);
+            assert_eq!(pa.to_bits(), pb.to_bits());
+        }
+    }
+
+    #[test]
+    fn bucket_counts() {
+        let trips = world();
+        let model = OdtteModel::fit(&trips, &OdtteConfig::default());
+        assert_eq!(model.n_pairs(), 16);
+        // 16 pairs × 5 distinct hours.
+        assert_eq!(model.n_buckets(), 80);
+    }
+}

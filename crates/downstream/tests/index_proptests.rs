@@ -1,0 +1,122 @@
+//! Property-based tests for the similarity-search indexes: ANN recall vs.
+//! the exact scan, determinism across builds, and edge cases with empty or
+//! duplicated vectors.
+
+use proptest::prelude::*;
+use wsccl_downstream::index::{recall_at_k, to_f32, AnnConfig, AnnIndex, ExactIndex, VectorIndex};
+
+const DIM: usize = 6;
+
+fn vectors(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(proptest::collection::vec(-10.0f32..10.0, DIM), n)
+}
+
+fn ids_for(n: usize) -> Vec<u64> {
+    (0..n as u64).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// With generous probing the IVF index keeps recall@10 high against the
+    /// exact scan on arbitrary embedding sets.
+    #[test]
+    fn ann_recall_at_10_vs_exact(vecs in vectors(80..200), qs in vectors(3..6)) {
+        let ids = ids_for(vecs.len());
+        let exact = ExactIndex::build(DIM, &ids, &vecs);
+        let cfg = AnnConfig { nprobe: 8, ..AnnConfig::default() };
+        let ann = AnnIndex::build(DIM, &ids, &vecs, &cfg);
+        for q in &qs {
+            let e = exact.knn(q, 10);
+            let a = ann.knn(q, 10);
+            let r = recall_at_k(&e, &a);
+            // nprobe 8 of ~√n ≈ 9–14 lists probes the majority of the data.
+            prop_assert!(r >= 0.5, "recall {r} too low ({} vecs)", vecs.len());
+        }
+    }
+
+    /// Probing every list makes IVF exhaustive: results must equal the exact
+    /// scan, including order and distances.
+    #[test]
+    fn ann_with_full_probe_equals_exact(vecs in vectors(20..80), q in proptest::collection::vec(-10.0f32..10.0, DIM)) {
+        let ids = ids_for(vecs.len());
+        let exact = ExactIndex::build(DIM, &ids, &vecs);
+        let n_lists = (vecs.len() as f64).sqrt().round() as usize;
+        let cfg = AnnConfig { n_lists, nprobe: n_lists, ..AnnConfig::default() };
+        let ann = AnnIndex::build(DIM, &ids, &vecs, &cfg);
+        let e = exact.knn(&q, 10);
+        let a = ann.knn(&q, 10);
+        prop_assert_eq!(e.len(), a.len());
+        for (x, y) in e.iter().zip(&a) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+        }
+    }
+
+    /// Two builds over the same input return bit-identical results for any
+    /// query — the index is a pure function of (vectors, config).
+    #[test]
+    fn ann_builds_are_deterministic(vecs in vectors(30..120), q in proptest::collection::vec(-10.0f32..10.0, DIM)) {
+        let ids = ids_for(vecs.len());
+        let cfg = AnnConfig::default();
+        let a = AnnIndex::build(DIM, &ids, &vecs, &cfg);
+        let b = AnnIndex::build(DIM, &ids, &vecs, &cfg);
+        let ra = a.knn(&q, 10);
+        let rb = b.knn(&q, 10);
+        prop_assert_eq!(ra.len(), rb.len());
+        for (x, y) in ra.iter().zip(&rb) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+        }
+    }
+
+    /// Duplicate vectors: every duplicate of the query's nearest vector must
+    /// surface before anything farther, ordered by id.
+    #[test]
+    fn duplicates_rank_by_id(base in proptest::collection::vec(-10.0f32..10.0, DIM), copies in 2usize..6) {
+        // `copies` duplicates of `base` plus one far-away point.
+        let mut vecs: Vec<Vec<f32>> = (0..copies).map(|_| base.clone()).collect();
+        vecs.push(base.iter().map(|x| x + 100.0).collect());
+        let ids = ids_for(vecs.len());
+        let exact = ExactIndex::build(DIM, &ids, &vecs);
+        let r = exact.knn(&base, copies);
+        let got: Vec<u64> = r.iter().map(|n| n.id).collect();
+        let want: Vec<u64> = (0..copies as u64).collect();
+        prop_assert_eq!(got, want);
+        for n in &r {
+            prop_assert_eq!(n.dist, 0.0);
+        }
+        // The ANN index tolerates duplicates too (all land in one list).
+        let ann = AnnIndex::build(DIM, &ids, &vecs, &AnnConfig::default());
+        let ra = ann.knn(&base, copies);
+        prop_assert!(ra.iter().all(|n| n.dist == 0.0));
+    }
+
+    /// recall_at_k is 1 against itself and in [0, 1] against anything.
+    #[test]
+    fn recall_bounds(vecs in vectors(10..40), q in proptest::collection::vec(-10.0f32..10.0, DIM)) {
+        let ids = ids_for(vecs.len());
+        let exact = ExactIndex::build(DIM, &ids, &vecs);
+        let e = exact.knn(&q, 10);
+        prop_assert_eq!(recall_at_k(&e, &e), 1.0);
+        let ann = AnnIndex::build(DIM, &ids, &vecs, &AnnConfig { nprobe: 1, ..AnnConfig::default() });
+        let r = recall_at_k(&e, &ann.knn(&q, 10));
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+}
+
+#[test]
+fn empty_index_edge_cases() {
+    let exact = ExactIndex::new(DIM);
+    assert!(exact.knn(&[0.0; DIM], 10).is_empty());
+    let ann = AnnIndex::build(DIM, &[], &[], &AnnConfig::default());
+    assert!(ann.knn(&[0.0; DIM], 10).is_empty());
+    assert_eq!(ann.len(), 0);
+    assert!(recall_at_k(&[], &[]) == 1.0);
+}
+
+#[test]
+fn f64_to_f32_bridge() {
+    let v = vec![1.5f64, -2.25, 0.0];
+    assert_eq!(to_f32(&v), vec![1.5f32, -2.25, 0.0]);
+}

@@ -33,6 +33,7 @@ use std::time::{Duration, Instant, SystemTime};
 use wsccl_core::encoder::BatchScratch;
 use wsccl_core::persist::EngineCheckpoint;
 use wsccl_core::TrainedRepresenter;
+use wsccl_downstream::index::{Neighbor, VectorIndex};
 use wsccl_downstream::GbRegressor;
 use wsccl_roadnet::Path;
 use wsccl_traffic::SimTime;
@@ -72,6 +73,8 @@ pub enum ServeError {
     Closed,
     /// ETA requested but no ETA head is installed.
     NoEtaHead,
+    /// Similarity search requested but no vector index is installed.
+    NoIndex,
     /// Empty paths have no embedding.
     EmptyPath,
 }
@@ -81,6 +84,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Closed => write!(f, "server closed"),
             ServeError::NoEtaHead => write!(f, "no ETA head installed"),
+            ServeError::NoIndex => write!(f, "no vector index installed"),
             ServeError::EmptyPath => write!(f, "empty path"),
         }
     }
@@ -98,6 +102,8 @@ pub struct ServeStats {
     pub batches: u64,
     /// Embeddings computed through the batched forward pass.
     pub batched_embeds: u64,
+    /// Top-k similarity searches answered through the installed index.
+    pub knn_served: u64,
     pub reloads: u64,
     /// Reloads rejected (load error or encoder-config mismatch).
     pub reload_errors: u64,
@@ -126,8 +132,22 @@ enum Request {
         enq: Instant,
         resp: OneSender<Result<f64, ServeError>>,
     },
+    /// Top-k similar trips: the query path's embedding rides the same fused
+    /// forward pass / cache as Embed and Eta; the index search runs on the
+    /// resolved embedding during the reply sweep.
+    Knn {
+        path: Path,
+        departure: SimTime,
+        k: usize,
+        enq: Instant,
+        resp: OneSender<Result<Vec<Neighbor>, ServeError>>,
+    },
     SetEtaHead {
         head: Box<GbRegressor>,
+        resp: OneSender<()>,
+    },
+    SetIndex {
+        index: Arc<dyn VectorIndex>,
         resp: OneSender<()>,
     },
     Reload {
@@ -145,6 +165,7 @@ enum Request {
 struct State {
     model: Arc<TrainedRepresenter>,
     eta_head: Option<Arc<GbRegressor>>,
+    index: Option<Arc<dyn VectorIndex>>,
     cache: Arc<EmbeddingCache>,
     scratch: BatchScratch,
     stats: ServeStats,
@@ -265,10 +286,41 @@ impl Client {
         rrx.recv().ok_or(ServeError::Closed)?
     }
 
+    /// Top-k most similar stored trips to `(path, departure)` via the
+    /// installed vector index. The query embedding is resolved exactly like
+    /// [`Client::embed`] (cache, then fused batch), so repeated queries are
+    /// answered from the LRU cache with only the index scan on top.
+    pub fn knn(
+        &self,
+        path: &Path,
+        departure: SimTime,
+        k: usize,
+    ) -> Result<Vec<Neighbor>, ServeError> {
+        let (rtx, rrx) = oneshot();
+        self.tx.send(Request::Knn {
+            path: path.clone(),
+            departure,
+            k,
+            enq: Instant::now(),
+            resp: rtx,
+        });
+        rrx.recv().ok_or(ServeError::Closed)?
+    }
+
     /// Install (or replace) the ETA regression head.
     pub fn set_eta_head(&self, head: GbRegressor) -> Result<(), ServeError> {
         let (rtx, rrx) = oneshot();
         self.tx.send(Request::SetEtaHead { head: Box::new(head), resp: rtx });
+        rrx.recv().ok_or(ServeError::Closed)
+    }
+
+    /// Install (or replace) the similarity-search index backing
+    /// [`Client::knn`]. The index must be built over embeddings of the model
+    /// currently served (ids are the caller's business — typically trip
+    /// indices into the corpus the index was built from).
+    pub fn set_index(&self, index: Arc<dyn VectorIndex>) -> Result<(), ServeError> {
+        let (rtx, rrx) = oneshot();
+        self.tx.send(Request::SetIndex { index, resp: rtx });
         rrx.recv().ok_or(ServeError::Closed)
     }
 
@@ -291,6 +343,7 @@ fn run_server(rep: TrainedRepresenter, cfg: ServeConfig, rx: Receiver<Request>) 
     let state = Rc::new(RefCell::new(State {
         model: Arc::new(rep),
         eta_head: None,
+        index: None,
         cache: Arc::new(EmbeddingCache::new(cfg.cache_capacity, cfg.cache_shards)),
         scratch: BatchScratch::default(),
         stats: ServeStats::default(),
@@ -374,6 +427,10 @@ fn process_batch(
                 state.borrow_mut().eta_head = Some(Arc::from(head));
                 resp.send(());
             }
+            Request::SetIndex { index, resp } => {
+                state.borrow_mut().index = Some(index);
+                resp.send(());
+            }
             Request::Reload { rep, resp } => {
                 state.borrow_mut().swap_model(*rep);
                 resp.send(());
@@ -401,6 +458,7 @@ fn process_batch(
         let enq = match req {
             Request::Embed { enq, .. }
             | Request::Eta { enq, .. }
+            | Request::Knn { enq, .. }
             | Request::EmbedMany { enq, .. } => *enq,
             _ => unreachable!("control requests were split off"),
         };
@@ -417,9 +475,9 @@ fn process_batch(
         let mut items: Vec<(&Path, SimTime)> = Vec::with_capacity(work.len());
         for req in &work {
             match req {
-                Request::Embed { path, departure, .. } | Request::Eta { path, departure, .. } => {
-                    items.push((path, *departure))
-                }
+                Request::Embed { path, departure, .. }
+                | Request::Eta { path, departure, .. }
+                | Request::Knn { path, departure, .. } => items.push((path, *departure)),
                 Request::EmbedMany { queries, .. } => {
                     items.extend(queries.iter().map(|(p, t)| (p, *t)))
                 }
@@ -491,6 +549,17 @@ fn process_batch(
                     (_, None) => resp.send(Err(ServeError::EmptyPath)),
                     (None, Some(_)) => resp.send(Err(ServeError::NoEtaHead)),
                     (Some(head), Some(emb)) => resp.send(Ok(head.predict(&emb))),
+                }
+            }
+            Request::Knn { k, resp, .. } => {
+                match (&st.index, results.next().expect("one result per item")) {
+                    (_, None) => resp.send(Err(ServeError::EmptyPath)),
+                    (None, Some(_)) => resp.send(Err(ServeError::NoIndex)),
+                    (Some(index), Some(emb)) => {
+                        let q: Vec<f32> = emb.iter().map(|&x| x as f32).collect();
+                        st.stats.knn_served += 1;
+                        resp.send(Ok(index.knn(&q, k)));
+                    }
                 }
             }
             _ => unreachable!(),

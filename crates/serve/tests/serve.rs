@@ -9,7 +9,7 @@ use std::time::Duration;
 use wsccl_core::encoder::{EncoderConfig, TemporalPathEncoder};
 use wsccl_core::{TrainedRepresenter, WscModel, WscclConfig};
 use wsccl_datagen::{CityDataset, DatasetConfig};
-use wsccl_downstream::{GbConfig, GbRegressor};
+use wsccl_downstream::{EtaRegression, GbConfig, Task};
 use wsccl_roadnet::CityProfile;
 use wsccl_serve::{ServeConfig, ServeError, Server};
 use wsccl_traffic::{PopLabeler, SimTime};
@@ -104,7 +104,8 @@ fn eta_requests_flow_through_installed_head() {
     let x: Vec<Vec<f64>> =
         ds.tte.iter().take(64).map(|e| rep.embed(&e.path, e.departure)).collect();
     let y: Vec<f64> = ds.tte.iter().take(64).map(|e| e.travel_time).collect();
-    let head = GbRegressor::fit(&x, &y, &GbConfig { n_trees: 10, ..GbConfig::default() });
+    let task = EtaRegression { gb: GbConfig { n_trees: 10, ..GbConfig::default() } };
+    let head = task.fit(&x, &y);
 
     let server = Server::spawn(rep, ServeConfig::default());
     let client = server.client();
@@ -355,4 +356,44 @@ fn watcher_reloads_from_checkpoint_file() {
     assert_eq!(stats.reloads, 1);
     assert_eq!(stats.reload_errors, 0);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn knn_requests_flow_through_installed_index() {
+    use wsccl_downstream::index::{to_f32, ExactIndex, VectorIndex};
+
+    let (ds, model, _enc) = setup(17, 1);
+    let rep = model.into_representer("WSCCL");
+
+    // Index the first 32 trips under their corpus indices as ids.
+    let trips: Vec<_> = ds.unlabeled.iter().take(32).collect();
+    let queries: Vec<_> = trips.iter().map(|s| (&s.path, s.departure)).collect();
+    let embs = rep.embed_batch(&queries);
+    let dim = embs[0].len();
+    let vecs: Vec<Vec<f32>> = embs.iter().map(|e| to_f32(e)).collect();
+    let ids: Vec<u64> = (0..vecs.len() as u64).collect();
+    let index = Arc::new(ExactIndex::build(dim, &ids, &vecs));
+
+    let server = Server::spawn(rep, ServeConfig::default());
+    let client = server.client();
+    let probe = trips[3];
+    assert_eq!(client.knn(&probe.path, probe.departure, 5), Err(ServeError::NoIndex));
+
+    client.set_index(Arc::clone(&index) as Arc<dyn VectorIndex>).unwrap();
+    let got = client.knn(&probe.path, probe.departure, 5).expect("knn");
+    assert_eq!(got.len(), 5);
+    // The query IS stored trip 3: it must come back first at distance ~0.
+    assert_eq!(got[0].id, 3);
+    assert!(got[0].dist < 1e-5, "self-distance {}", got[0].dist);
+    // The served search must equal searching the served embedding directly.
+    let direct_emb = client.embed(&probe.path, probe.departure).unwrap();
+    let direct = index.knn(&to_f32(&direct_emb), 5);
+    assert_eq!(got.len(), direct.len());
+    for (a, b) in got.iter().zip(&direct) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.dist.to_bits(), b.dist.to_bits());
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.knn_served, 1, "only the post-install search counts");
 }

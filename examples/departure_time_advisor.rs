@@ -15,7 +15,7 @@
 use wsccl_bench::Scale;
 use wsccl_core::train_wsccl;
 use wsccl_datagen::CityDataset;
-use wsccl_downstream::{GbConfig, GbRegressor};
+use wsccl_downstream::{EtaRegression, Task};
 use wsccl_roadnet::yen::k_shortest_paths;
 use wsccl_roadnet::{CityProfile, NodeId};
 use wsccl_serve::{ServeConfig, Server};
@@ -28,11 +28,11 @@ fn main() {
     let rep = train_wsccl(&ds.net, &ds.unlabeled, &PopLabeler, &scale.wsccl(21));
 
     // Fit a travel-time head on the labeled examples (one batched embed
-    // pass), then serve model + head together.
+    // pass) via the EtaRegression task, then serve model + head together.
     let queries: Vec<_> = ds.tte.iter().map(|t| (&t.path, t.departure)).collect();
     let x = rep.embed_batch(&queries);
     let y: Vec<f64> = ds.tte.iter().map(|t| t.travel_time).collect();
-    let head = GbRegressor::fit(&x, &y, &GbConfig::default());
+    let head = EtaRegression::default().fit(&x, &y);
 
     let server = Server::spawn(rep, ServeConfig::default());
     let client = server.client();

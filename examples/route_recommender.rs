@@ -16,7 +16,7 @@
 use wsccl_bench::Scale;
 use wsccl_core::train_wsccl;
 use wsccl_datagen::{train_test_split, CityDataset};
-use wsccl_downstream::{GbClassifier, GbConfig};
+use wsccl_downstream::{PathClassification, Task};
 use wsccl_roadnet::CityProfile;
 use wsccl_serve::{ServeConfig, Server};
 use wsccl_traffic::{PopLabeler, WeakLabel, WeakLabeler};
@@ -71,7 +71,8 @@ fn main() {
             y.push(l);
         }
     }
-    let head = GbClassifier::fit(&x, &y, &GbConfig::default());
+    let task = PathClassification::default();
+    let head = task.fit(&x, &y);
 
     // Recommend for unseen queries: pick the candidate with the highest
     // predicted probability of being the driver's choice.
@@ -87,7 +88,7 @@ fn main() {
             .enumerate()
             .map(|(i, p)| {
                 let emb = client.embed(p, g.departure).expect("serve");
-                (i, head.predict_proba(&emb))
+                (i, task.predict(&head, &emb))
             })
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
             .map(|(i, _)| i)

@@ -1,0 +1,82 @@
+//! Similar-trips search — "find me past trips like this one".
+//!
+//! Trains WSCCL, embeds the unlabeled trip corpus, builds an IVF ANN index
+//! over it ([`AnnIndex`]), installs the index into a running `wsccl-serve`
+//! server, and answers similarity queries through `client.knn(path,
+//! departure, k)`: the query embedding is resolved through the same batched
+//! f32 forward pass and LRU cache as every other serve request, with the
+//! index scan on top. For a few held-out query trips it prints the nearest
+//! stored trips and how much of the corpus the IVF probe actually scanned.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p wsccl-bench --example similar_trips
+//! ```
+
+use std::sync::Arc;
+
+use wsccl_bench::Scale;
+use wsccl_core::train_wsccl;
+use wsccl_datagen::CityDataset;
+use wsccl_downstream::index::{to_f32, AnnConfig, AnnIndex};
+use wsccl_roadnet::CityProfile;
+use wsccl_serve::{ServeConfig, Server};
+use wsccl_traffic::PopLabeler;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = CityDataset::generate(&scale.dataset(CityProfile::Chengdu, 21));
+    println!("training WSCCL on {} unlabeled temporal paths ...", ds.unlabeled.len());
+    let rep = train_wsccl(&ds.net, &ds.unlabeled, &PopLabeler, &scale.wsccl(21));
+
+    // Embed the trip corpus in one batched pass and index it. Ids are
+    // indices into `ds.unlabeled`, so a search result maps straight back to
+    // the stored trip.
+    let queries: Vec<_> = ds.unlabeled.iter().map(|s| (&s.path, s.departure)).collect();
+    let corpus: Vec<Vec<f32>> = rep.embed_batch(&queries).iter().map(|v| to_f32(v)).collect();
+    let ids: Vec<u64> = (0..corpus.len() as u64).collect();
+    let dim = corpus[0].len();
+    let index = AnnIndex::build(dim, &ids, &corpus, &AnnConfig::default());
+    println!(
+        "indexed {} trips (dim {dim}) into {} IVF lists, mean scan fraction {:.2}",
+        corpus.len(),
+        index.n_lists(),
+        index.mean_scan_fraction()
+    );
+
+    let server = Server::spawn(rep, ServeConfig::default());
+    let client = server.client();
+    client.set_index(Arc::new(index)).expect("install index");
+
+    // Query with held-out labeled trips — paths the index never saw.
+    println!("\nquery trip                     | most similar stored trips (id @ distance)");
+    println!("-------------------------------+------------------------------------------");
+    for t in ds.tte.iter().take(5) {
+        let hits = client.knn(&t.path, t.departure, 3).expect("serve knn");
+        let day = t.departure.day();
+        let line = hits
+            .iter()
+            .map(|n| format!("#{} @ {:.3}", n.id, n.dist))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "{:>3} edges, day {day} {:05.2}h      | {line}",
+            t.path.edges().len(),
+            t.departure.hour_f()
+        );
+        // Every hit is a real stored trip; show the closest one's shape.
+        let best = &ds.unlabeled[hits[0].id as usize];
+        println!(
+            "                               |   closest: {} edges departing day {} {:05.2}h",
+            best.path.edges().len(),
+            best.departure.day(),
+            best.departure.hour_f()
+        );
+    }
+
+    let stats = server.shutdown();
+    println!(
+        "\nserved {} knn queries ({} embedding cache hits, {} misses)",
+        stats.knn_served, stats.cache.hits, stats.cache.misses
+    );
+}
